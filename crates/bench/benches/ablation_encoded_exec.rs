@@ -1,0 +1,65 @@
+//! Ablation: direct execution on encoded data (§6.1). A pipelined GroupBy
+//! consuming RLE runs without expansion vs the same aggregation forced to
+//! expand runs into plain values first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vdb_exec::aggregate::{AggCall, AggFunc};
+use vdb_exec::batch::{Batch, ColumnSlice};
+use vdb_exec::groupby::PipelinedGroupByOp;
+use vdb_exec::operator::{collect_rows, Operator, ValuesOp};
+
+/// 2M logical rows as 2k runs of 1k identical values.
+fn rle_batches() -> Vec<Batch> {
+    (0..200)
+        .map(|b| {
+            Batch::new(vec![ColumnSlice::Rle(
+                (0..10)
+                    .map(|r| (vdb_types::Value::Integer(b * 10 + r), 1000u32))
+                    .collect(),
+            )])
+        })
+        .collect()
+}
+
+fn expanded_batches() -> Vec<Batch> {
+    rle_batches()
+        .into_iter()
+        .map(|b| Batch::new(vec![ColumnSlice::Plain(b.columns[0].to_values())]))
+        .collect()
+}
+
+fn run(batches: Vec<Batch>) -> u64 {
+    let mut op = PipelinedGroupByOp::new(
+        Box::new(ValuesOp::new(batches)),
+        vec![0],
+        vec![AggCall::new(AggFunc::CountStar, 0, "cnt")],
+    );
+    let rows = collect_rows(&mut op).unwrap();
+    assert_eq!(rows.len(), 2000);
+    let encoded = op.run_aggregated_rows();
+    let _ = op.name();
+    encoded
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_encoded_exec");
+    g.sample_size(10);
+    g.bench_function("rle_runs_direct", |b| {
+        b.iter_batched(
+            rle_batches,
+            |batches| assert_eq!(run(batches), 2_000_000, "all rows via run math"),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("expanded_values", |b| {
+        b.iter_batched(
+            expanded_batches,
+            |batches| assert_eq!(run(batches), 0, "no run math possible"),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Ablation: prejoin projections (§3.3). The paper found query-time hash
+//! joins with small dimensions good enough that prejoins are rarely worth
+//! their load cost; this bench shows both sides — query speed (prejoin
+//! scan vs hash join) and load cost (prejoin denormalization at load).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vdb_core::Database;
+use vdb_types::{Row, Value};
+
+fn setup(with_prejoin: bool, n: i64) -> Database {
+    let db = Database::single_node();
+    db.execute("CREATE TABLE dim (id INT, grp INT)").unwrap();
+    db.execute(
+        "CREATE PROJECTION dim_super AS SELECT id, grp FROM dim ORDER BY id \
+         UNSEGMENTED ALL NODES",
+    )
+    .unwrap();
+    let dims: Vec<Row> = (0..100)
+        .map(|i| vec![Value::Integer(i), Value::Integer(i % 7)])
+        .collect();
+    db.load("dim", &dims).unwrap();
+    db.execute("CREATE TABLE fact (fid INT, did INT, amt INT)").unwrap();
+    db.execute(
+        "CREATE PROJECTION fact_super AS SELECT fid, did, amt FROM fact ORDER BY fid \
+         UNSEGMENTED ALL NODES",
+    )
+    .unwrap();
+    if with_prejoin {
+        // Built programmatically: prejoin DDL is not in the SQL subset.
+        let schema = db.cluster().table_schema("fact").unwrap();
+        let mut def = vdb_storage::projection::ProjectionDef::super_projection(
+            &schema,
+            "fact_prejoin",
+            &[0],
+            &[],
+        );
+        def.prejoin = vec![vdb_storage::projection::PrejoinDim {
+            dim_table: "dim".into(),
+            fact_key: 1,
+            dim_key: 0,
+            dim_columns: vec![1],
+        }];
+        def.column_names.push("grp".into());
+        def.column_types.push(vdb_types::DataType::Integer);
+        def.encodings.push(vdb_encoding::EncodingType::Auto);
+        db.cluster().create_projection(def).unwrap();
+    }
+    let facts: Vec<Row> = (0..n)
+        .map(|i| {
+            vec![
+                Value::Integer(i),
+                Value::Integer(i % 100),
+                Value::Integer(i % 1000),
+            ]
+        })
+        .collect();
+    db.load("fact", &facts).unwrap();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let q = "SELECT grp, SUM(amt) FROM fact, dim WHERE did = id GROUP BY grp";
+    let with = setup(true, 100_000);
+    let without = setup(false, 100_000);
+    // Same answers either way.
+    let mut a = with.query(q).unwrap();
+    let mut b2 = without.query(q).unwrap();
+    a.sort();
+    b2.sort();
+    assert_eq!(a, b2);
+    let mut g = c.benchmark_group("ablation_prejoin");
+    g.sample_size(10);
+    g.bench_function("query_prejoin_scan", |b| b.iter(|| with.query(q).unwrap()));
+    g.bench_function("query_hash_join", |b| {
+        b.iter(|| without.query(q).unwrap())
+    });
+    // Load cost: the other half of the paper's argument.
+    let facts: Vec<Row> = (0..20_000i64)
+        .map(|i| {
+            vec![
+                Value::Integer(i),
+                Value::Integer(i % 100),
+                Value::Integer(i % 1000),
+            ]
+        })
+        .collect();
+    g.bench_function("load_with_prejoin", |b| {
+        b.iter_batched(
+            || setup(true, 1),
+            |db| db.load("fact", &facts).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("load_without_prejoin", |b| {
+        b.iter_batched(
+            || setup(false, 1),
+            |db| db.load("fact", &facts).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

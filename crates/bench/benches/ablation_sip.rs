@@ -1,0 +1,75 @@
+//! Ablation: Sideways Information Passing (§6.1). The same selective
+//! fact-dimension join with the SIP filter wired into the fact scan vs
+//! disabled — SIP drops non-matching fact rows at the scan instead of
+//! carrying them to the join.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vdb_exec::plan::{execute_collect, ExecContext, JoinType, PhysicalPlan};
+use vdb_storage::projection::ProjectionDef;
+use vdb_storage::{MemBackend, ProjectionStore, StorageBackend};
+use vdb_types::{ColumnDef, DataType, Epoch, Row, TableSchema, Value};
+
+fn fact_ctx(n: i64) -> ExecContext {
+    let schema = TableSchema::new(
+        "fact",
+        vec![
+            ColumnDef::new("dim_id", DataType::Integer),
+            ColumnDef::new("amount", DataType::Integer),
+        ],
+    );
+    let def = ProjectionDef::super_projection(&schema, "fact_super", &[0], &[]);
+    let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+    let mut store = ProjectionStore::new(def, None, 1, backend.clone());
+    let rows: Vec<Row> = (0..n)
+        .map(|i| vec![Value::Integer(i % 10_000), Value::Integer(i)])
+        .collect();
+    store.insert_direct_ros(rows, Epoch(1)).unwrap();
+    let mut ctx = ExecContext::new(backend);
+    ctx.snapshots
+        .insert("fact_super".into(), store.scan_snapshot(Epoch(1)));
+    ctx
+}
+
+fn plan(with_sip: bool) -> PhysicalPlan {
+    // Tiny selective build side: 20 of 10k dim ids survive.
+    let dim_rows: Vec<Row> = (0..20).map(|i| vec![Value::Integer(i * 13)]).collect();
+    PhysicalPlan::HashJoin {
+        left: Box::new(PhysicalPlan::Scan {
+            projection: "fact_super".into(),
+            output_columns: vec![0, 1],
+            predicate: None,
+            partition_predicate: None,
+            sip: if with_sip { vec![(0, vec![0])] } else { vec![] },
+        }),
+        right: Box::new(PhysicalPlan::Values {
+            rows: dim_rows,
+            arity: 1,
+        }),
+        left_keys: vec![0],
+        right_keys: vec![0],
+        join_type: JoinType::Inner,
+        sip: with_sip.then_some(0),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sip");
+    g.sample_size(10);
+    for (name, with_sip) in [("sip_on", true), ("sip_off", false)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || fact_ctx(400_000),
+                |mut ctx| {
+                    let rows = execute_collect(&plan(with_sip), &mut ctx).unwrap();
+                    assert_eq!(rows.len(), 800, "20 ids × 40 fact rows each");
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation: the tuple mover's exponential strata (§4) vs a naive policy
+//! that merges every container whenever more than one exists. Strata bound
+//! the number of times any tuple is rewritten; naive merging rewrites the
+//! whole projection on every load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vdb_storage::projection::ProjectionDef;
+use vdb_storage::{MemBackend, ProjectionStore, TupleMover, TupleMoverConfig};
+use vdb_types::{ColumnDef, DataType, Epoch, Row, TableSchema, Value};
+
+fn store() -> ProjectionStore {
+    let schema = TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Integer),
+            ColumnDef::new("v", DataType::Integer),
+        ],
+    );
+    let def = ProjectionDef::super_projection(&schema, "t_super", &[0], &[]);
+    ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()))
+}
+
+fn rows(load: i64, n: i64) -> Vec<Row> {
+    (0..n)
+        .map(|i| vec![Value::Integer(load * n + i), Value::Integer(i)])
+        .collect()
+}
+
+/// `loads` bulk loads of `per_load` rows with a mergeout pass after each.
+fn run(mover: &TupleMover, loads: i64, per_load: i64) -> usize {
+    let mut s = store();
+    for l in 0..loads {
+        s.insert_direct_ros(rows(l, per_load), Epoch(l as u64 + 1))
+            .unwrap();
+        mover.run_mergeout(&mut s, Epoch::ZERO).unwrap();
+    }
+    s.container_count()
+}
+
+fn bench(c: &mut Criterion) {
+    let strata = TupleMover::new(TupleMoverConfig {
+        strata_base_bytes: 2048,
+        strata_factor: 8,
+        merge_threshold: 4,
+        ..Default::default()
+    });
+    // "Naive": threshold 2 and one giant stratum — merges everything into
+    // one container after nearly every load.
+    let naive = TupleMover::new(TupleMoverConfig {
+        strata_base_bytes: u64::MAX / 4,
+        strata_factor: 2,
+        merge_threshold: 2,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("ablation_tuple_mover");
+    g.sample_size(10);
+    g.bench_function("strata_mergeout", |b| {
+        b.iter(|| {
+            let n = run(&strata, 40, 500);
+            assert!(n < 40, "containers must consolidate: {n}");
+        })
+    });
+    g.bench_function("naive_merge_all", |b| {
+        b.iter(|| run(&naive, 40, 500))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 1: projections. Benches the same aggregate answered by the
+//! narrow (cust, price) projection vs forced through the super projection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vdb_core::Database;
+use vdb_types::Value;
+
+fn setup(narrow: bool) -> Database {
+    let db = Database::single_node();
+    db.execute("CREATE TABLE sales (sale_id INT, cust VARCHAR, price FLOAT, date TIMESTAMP)")
+        .unwrap();
+    db.execute(
+        "CREATE PROJECTION sales_super AS SELECT sale_id, cust, price, date FROM sales \
+         ORDER BY date SEGMENTED BY HASH(sale_id) ALL NODES",
+    )
+    .unwrap();
+    if narrow {
+        db.execute(
+            "CREATE PROJECTION sales_cust_price AS SELECT cust, price FROM sales \
+             ORDER BY cust SEGMENTED BY HASH(cust) ALL NODES",
+        )
+        .unwrap();
+    }
+    let rows: Vec<vdb_types::Row> = (0..100_000i64)
+        .map(|i| {
+            vec![
+                Value::Integer(i),
+                Value::Varchar(format!("cust{}", i % 97)),
+                Value::Float((i % 1000) as f64 / 10.0),
+                Value::Timestamp(1_330_000_000 + i * 60),
+            ]
+        })
+        .collect();
+    db.load("sales", &rows).unwrap();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vdb_bench::repro::figure1(100_000).unwrap());
+    let with_narrow = setup(true);
+    let super_only = setup(false);
+    let q = "SELECT cust, SUM(price) FROM sales GROUP BY cust";
+    let mut g = c.benchmark_group("fig1_projections");
+    g.sample_size(10);
+    g.bench_function("narrow_projection", |b| {
+        b.iter(|| with_narrow.query(q).unwrap())
+    });
+    g.bench_function("super_projection_only", |b| {
+        b.iter(|| super_only.query(q).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

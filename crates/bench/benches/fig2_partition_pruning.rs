@@ -1,0 +1,80 @@
+//! Figure 2: physical storage separation. Benches a one-month query with
+//! partition pruning against the same query with pruning disabled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use vdb_exec::operator::collect_rows;
+use vdb_exec::scan::ScanOperator;
+use vdb_storage::partition::PartitionSpec;
+use vdb_storage::projection::ProjectionDef;
+use vdb_storage::{MemBackend, ProjectionStore};
+use vdb_types::{ColumnDef, DataType, Epoch, Expr, Row, TableSchema, Value};
+
+fn store(rows_per_month: usize) -> ProjectionStore {
+    let schema = TableSchema::new(
+        "sales",
+        vec![
+            ColumnDef::new("cid", DataType::Integer),
+            ColumnDef::new("ts", DataType::Timestamp),
+        ],
+    );
+    let def = ProjectionDef::super_projection(&schema, "sales_b0", &[1], &[0]);
+    let spec = PartitionSpec::by_year_month(1, "ts");
+    let mut s = ProjectionStore::new(def, Some(spec), 3, Arc::new(MemBackend::new()));
+    let mut rows: Vec<Row> = Vec::new();
+    for m in 1..=12u32 {
+        for d in 0..rows_per_month as i64 {
+            rows.push(vec![
+                Value::Integer(d * 7919 % 100_000),
+                Value::Timestamp(vdb_types::date::timestamp_from_civil(
+                    2012,
+                    m,
+                    1 + (d % 27) as u32,
+                    0,
+                    0,
+                    0,
+                )),
+            ]);
+        }
+    }
+    s.insert_direct_ros(rows, Epoch(1)).unwrap();
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vdb_bench::repro::figure2(10_000).unwrap());
+    let s = store(20_000);
+    let april_key =
+        Expr::eq(Expr::col(0, "pk"), Expr::int(201_204));
+    let run = |partition_pred: Option<Expr>| {
+        let snap = s.scan_snapshot(Epoch(1));
+        let mut scan = ScanOperator::new(
+            s.backend().clone(),
+            snap.containers,
+            vec![],
+            vec![0, 1],
+            None,
+            partition_pred,
+            vec![],
+        );
+        collect_rows(&mut scan).unwrap().len()
+    };
+    let mut g = c.benchmark_group("fig2_partition_pruning");
+    g.sample_size(10);
+    g.bench_function("pruned_one_month", |b| {
+        b.iter(|| {
+            let n = run(Some(april_key.clone()));
+            assert_eq!(n, 20_000);
+        })
+    });
+    g.bench_function("unpruned_full_scan", |b| {
+        b.iter(|| {
+            let n = run(None);
+            assert_eq!(n, 240_000);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Figure 3: the multi-threaded pipelined plan. Benches the resegmenting
+//! ParallelUnion GroupBy at 1, 2 and 4 lanes, plus the prepass two-phase
+//! plan against a single-phase hash aggregate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdb_exec::aggregate::{AggCall, AggFunc};
+use vdb_exec::exchange::parallel_segmented;
+use vdb_exec::groupby::{two_phase_aggs, HashGroupByOp, PrepassGroupByOp, PREPASS_GROUPS};
+use vdb_exec::filter::ProjectOp;
+use vdb_exec::operator::{collect_rows, BoxedOperator, ValuesOp};
+use vdb_exec::MemoryBudget;
+use vdb_types::{Row, Value};
+
+fn data(n: i64, groups: i64) -> Vec<Row> {
+    (0..n)
+        .map(|i| vec![Value::Integer(i % groups), Value::Integer(i)])
+        .collect()
+}
+
+fn aggs() -> Vec<AggCall> {
+    vec![
+        AggCall::new(AggFunc::CountStar, 0, "cnt"),
+        AggCall::new(AggFunc::Sum, 1, "sum"),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vdb_bench::repro::figure3(500_000).unwrap());
+    let rows = data(300_000, 512);
+    let mut g = c.benchmark_group("fig3_parallelism");
+    g.sample_size(10);
+    for lanes in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("lanes", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                let mut op = parallel_segmented(
+                    Box::new(ValuesOp::from_rows(rows.clone())) as BoxedOperator,
+                    vec![0],
+                    lanes,
+                    |lane| {
+                        Box::new(HashGroupByOp::new(
+                            lane,
+                            vec![0],
+                            aggs(),
+                            MemoryBudget::unlimited(),
+                        ))
+                    },
+                );
+                assert_eq!(collect_rows(&mut op).unwrap().len(), 512);
+            })
+        });
+    }
+    // Prepass (two-phase) vs single-phase.
+    g.bench_function("prepass_two_phase", |b| {
+        b.iter(|| {
+            let (partial, final_aggs, project) = two_phase_aggs(1, &aggs()).unwrap();
+            let prepass = PrepassGroupByOp::new(
+                Box::new(ValuesOp::from_rows(rows.clone())),
+                vec![0],
+                partial,
+                PREPASS_GROUPS,
+            );
+            let final_gb = HashGroupByOp::new(
+                Box::new(prepass),
+                vec![0],
+                final_aggs,
+                MemoryBudget::unlimited(),
+            );
+            let mut proj = ProjectOp::new(Box::new(final_gb), project);
+            assert_eq!(collect_rows(&mut proj).unwrap().len(), 512);
+        })
+    });
+    g.bench_function("single_phase_hash", |b| {
+        b.iter(|| {
+            let mut op = HashGroupByOp::new(
+                Box::new(ValuesOp::from_rows(rows.clone())),
+                vec![0],
+                aggs(),
+                MemoryBudget::unlimited(),
+            );
+            assert_eq!(collect_rows(&mut op).unwrap().len(), 512);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

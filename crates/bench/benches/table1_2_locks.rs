@@ -1,0 +1,43 @@
+//! Tables 1 & 2: the lock model. Prints both matrices (regenerated from
+//! the implementation) and benches the concurrency the `I` mode exists
+//! for — parallel bulk loads acquiring/releasing insert locks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vdb_txn::{LockManager, LockMode};
+use vdb_types::TxnId;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", vdb_bench::repro::table1_2());
+    let mut g = c.benchmark_group("table1_2_locks");
+    g.sample_size(20);
+    // Parallel loads: N transactions take compatible I locks.
+    g.bench_function("parallel_insert_locks_x100", |b| {
+        b.iter(|| {
+            let lm = LockManager::new();
+            for t in 0..100u64 {
+                lm.acquire(TxnId(t), "sales", LockMode::I).unwrap();
+            }
+            for t in 0..100u64 {
+                lm.release_all(TxnId(t));
+            }
+        })
+    });
+    // Full compatibility sweep (49 pairs) as the microbenchmark.
+    g.bench_function("compatibility_sweep", |b| {
+        b.iter(|| {
+            let mut yes = 0;
+            for req in vdb_txn::locks::ALL_MODES {
+                for granted in vdb_txn::locks::ALL_MODES {
+                    if req.compatible_with(granted) {
+                        yes += 1;
+                    }
+                }
+            }
+            assert_eq!(yes, 20, "Table 1 has exactly 20 Yes cells");
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 3: Vertica vs the C-Store baseline on the seven-query harness.
+//! Prints the full reproduction table once, then benches each query pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdb_bench::workloads::cstore7;
+
+fn bench(c: &mut Criterion) {
+    // Printed reproduction at a moderate scale.
+    println!("{}", vdb_bench::repro::table3(200_000).unwrap());
+
+    // Criterion timing at a CI-friendly scale.
+    let (li, ord) = cstore7::generate(60_000, 7);
+    let vertica = cstore7::setup_vertica(&li, &ord).unwrap();
+    let cstore = cstore7::setup_cstore(li, ord).unwrap();
+    let consts = cstore7::constants();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for q in 1..=7usize {
+        g.bench_with_input(BenchmarkId::new("cstore", q), &q, |b, &q| {
+            b.iter(|| cstore7::run_cstore(&cstore, q, &consts).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("vertica", q), &q, |b, &q| {
+            b.iter(|| vertica.query(&cstore7::vertica_sql(q, &consts)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Table 4: compression. Prints the reproduction (sizes/ratios), then
+//! benches the encode throughput of each method.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vdb_bench::workloads::{meter, random_ints};
+use vdb_encoding::{ColumnWriter, EncodingType};
+use vdb_types::Value;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        vdb_bench::repro::table4(1_000_000, 500_000).unwrap()
+    );
+
+    let n = 200_000;
+    let ints = random_ints::generate(n, 42);
+    let text = random_ints::as_text(&ints);
+    let mut sorted = ints.clone();
+    sorted.sort_unstable();
+    let col: Vec<Value> = sorted.iter().map(|&v| Value::Integer(v)).collect();
+
+    let mut g = c.benchmark_group("table4_encode");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("gzip_class_text", |b| {
+        b.iter(|| vdb_compress::compress(text.as_bytes()))
+    });
+    g.bench_function("vertica_sorted_column", |b| {
+        b.iter(|| {
+            let mut w = ColumnWriter::new(EncodingType::Auto);
+            w.extend(col.iter().cloned());
+            w.finish()
+        })
+    });
+    // Meter CSV vs columnar.
+    let rows = meter::generate(100_000, &vdb_bench::repro::scaled_meter_config(100_000));
+    let csv = meter::as_csv(&rows);
+    g.throughput(Throughput::Bytes(csv.len() as u64));
+    g.bench_function("gzip_class_meter_csv", |b| {
+        b.iter(|| vdb_compress::compress(csv.as_bytes()))
+    });
+    g.bench_function("vertica_meter_columns", |b| {
+        b.iter(|| {
+            (0..4)
+                .map(|ci| {
+                    let mut w = ColumnWriter::new(EncodingType::Auto);
+                    w.extend(rows.iter().map(|r| r[ci].clone()));
+                    let (d, i) = w.finish();
+                    d.len() + i.encode().len()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

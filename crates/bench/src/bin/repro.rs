@@ -1,0 +1,44 @@
+//! `repro` — print the reproduction of every table and figure.
+//!
+//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3] [--full]`
+//! `--full` runs paper-scale inputs (minutes); default scales finish in
+//! seconds.
+
+use vdb_bench::repro;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let full = args.iter().any(|a| a == "--full");
+    let (li_rows, ints, meter_rows, fig_rows) = if full {
+        (6_000_000, 1_000_000, 10_000_000, 2_000_000)
+    } else {
+        (600_000, 1_000_000, 2_000_000, 200_000)
+    };
+    let run = |name: &str, text: Result<String, vdb_types::DbError>| {
+        match text {
+            Ok(t) => println!("{t}"),
+            Err(e) => eprintln!("{name} failed: {e}"),
+        }
+    };
+    match what {
+        "table1" | "table2" => println!("{}", repro::table1_2()),
+        "table3" => run("table3", repro::table3(li_rows)),
+        "table4" => run("table4", repro::table4(ints, meter_rows)),
+        "fig1" => run("fig1", repro::figure1(fig_rows)),
+        "fig2" => run("fig2", repro::figure2(fig_rows / 20)),
+        "fig3" => run("fig3", repro::figure3(fig_rows * 5)),
+        "all" => {
+            println!("{}", repro::table1_2());
+            run("table3", repro::table3(li_rows));
+            run("table4", repro::table4(ints, meter_rows));
+            run("fig1", repro::figure1(fig_rows));
+            run("fig2", repro::figure2(fig_rows / 20));
+            run("fig3", repro::figure3(fig_rows * 5));
+        }
+        other => {
+            eprintln!("unknown target {other}; use all|table1|table3|table4|fig1|fig2|fig3");
+            std::process::exit(2);
+        }
+    }
+}

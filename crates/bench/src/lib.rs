@@ -1,0 +1,17 @@
+//! `vdb-bench` — workload generators and reproduction harnesses for every
+//! table and figure of the paper.
+//!
+//! | Experiment | Harness |
+//! |---|---|
+//! | Table 1 & 2 (lock matrices) | [`repro::table1_2`] |
+//! | Table 3 (C-Store vs Vertica, Q1–Q7 + disk) | [`repro::table3`] |
+//! | Table 4 (compression) | [`repro::table4`] |
+//! | Figure 1 (projections) | [`repro::figure1`] |
+//! | Figure 2 (storage layout + partition pruning) | [`repro::figure2`] |
+//! | Figure 3 (parallel pipelined plan) | [`repro::figure3`] |
+//!
+//! `cargo run -p vdb-bench --bin repro -- all` prints every reproduction;
+//! the Criterion benches in `benches/` time the same code paths.
+
+pub mod repro;
+pub mod workloads;

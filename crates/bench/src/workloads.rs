@@ -1,0 +1,5 @@
+//! Workload generators.
+
+pub mod cstore7;
+pub mod meter;
+pub mod random_ints;

@@ -1,0 +1,41 @@
+//! Table 4's first dataset: "a text file containing a million random
+//! integers between 1 and 10 million".
+
+use rand::{Rng, SeedableRng};
+
+/// Generate `n` uniform integers in `[1, 10_000_000]`.
+pub fn generate(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(1..=10_000_000i64)).collect()
+}
+
+/// Render as the paper's text file: one integer per line.
+pub fn as_text(values: &[i64]) -> String {
+    let mut s = String::with_capacity(values.len() * 8);
+    for v in values {
+        s.push_str(&v.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let vals = generate(10_000, 42);
+        assert!(vals.iter().all(|&v| (1..=10_000_000).contains(&v)));
+        let text = as_text(&vals);
+        // ~7 digits + newline ≈ 7.9 bytes/row (paper's raw figure).
+        let per_row = text.len() as f64 / vals.len() as f64;
+        assert!((7.0..9.0).contains(&per_row), "bytes/row = {per_row}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(generate(100, 7), generate(100, 7));
+        assert_ne!(generate(100, 7), generate(100, 8));
+    }
+}

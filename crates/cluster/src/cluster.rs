@@ -1,0 +1,1098 @@
+//! The cluster: nodes, membership, quorum commit, routed loads,
+//! distributed query execution and maintenance.
+
+use crate::segmentation::RingRouter;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use vdb_exec::plan::{execute_collect, ExecContext};
+use vdb_optimizer::{MergeSpec, OptimizerCatalog, PlannedQuery, ProjectionMeta, TableAccess, TableMeta};
+use vdb_storage::projection::ProjectionDef;
+use vdb_storage::store::SnapshotScan;
+use vdb_storage::{
+    MemBackend, StorageEngine, TupleMover, TupleMoverConfig,
+};
+use vdb_txn::txn::Isolation;
+use vdb_txn::{EpochManager, LockMode, TransactionManager};
+use vdb_types::{DbError, DbResult, Epoch, Expr, NodeId, Row, TableSchema, Value};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub n_nodes: usize,
+    /// K-safety: segmented projections keep K+1 buddy replicas (§5.2).
+    pub k_safety: usize,
+    /// Local segments per node (§3.6, Figure 2 uses 3).
+    pub n_local_segments: u32,
+    /// AHM retention policy in epochs (§5.1).
+    pub history_retention: u64,
+    pub tuple_mover: TupleMoverConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            n_nodes: 3,
+            k_safety: 1,
+            n_local_segments: 3,
+            history_retention: u64::MAX,
+            tuple_mover: TupleMoverConfig::default(),
+        }
+    }
+}
+
+struct Node {
+    /// Node identity (display/debug; the index in `nodes` is authoritative).
+    #[allow(dead_code)]
+    id: NodeId,
+    engine: StorageEngine,
+}
+
+/// One logical projection family: K+1 physical buddy replicas.
+#[derive(Debug, Clone)]
+pub(crate) struct Family {
+    pub(crate) table: String,
+    /// The family definition (replica 0's def; its name is the family name).
+    pub(crate) def: ProjectionDef,
+    /// Physical replica projection names, index = buddy offset.
+    pub(crate) replicas: Vec<String>,
+}
+
+/// A simulated shared-nothing cluster (§2.1: "Vertica is designed from the
+/// ground up to be a distributed database").
+pub struct Cluster {
+    pub config: ClusterConfig,
+    nodes: Vec<Node>,
+    up: RwLock<Vec<bool>>,
+    pub epochs: Arc<EpochManager>,
+    pub txns: TransactionManager,
+    router: RingRouter,
+    families: RwLock<BTreeMap<String, Family>>,
+    tables: RwLock<BTreeMap<String, (TableSchema, Option<Expr>)>>,
+    mover: TupleMover,
+    /// Highest commit epoch each node has fully applied; a down node's
+    /// entry freezes at its failure point and drives recovery's truncation
+    /// (its effective Last Good Epoch).
+    applied: RwLock<Vec<Epoch>>,
+}
+
+impl Cluster {
+    pub fn new(config: ClusterConfig) -> Cluster {
+        let epochs = Arc::new(EpochManager::new(config.history_retention));
+        let nodes = (0..config.n_nodes)
+            .map(|i| Node {
+                id: NodeId(i as u32),
+                engine: StorageEngine::new(
+                    Arc::new(MemBackend::new()),
+                    config.n_local_segments,
+                ),
+            })
+            .collect();
+        Cluster {
+            applied: RwLock::new(vec![Epoch::ZERO; config.n_nodes]),
+            router: RingRouter::new(config.n_nodes),
+            up: RwLock::new(vec![true; config.n_nodes]),
+            epochs: epochs.clone(),
+            txns: TransactionManager::new(epochs),
+            families: RwLock::new(BTreeMap::new()),
+            tables: RwLock::new(BTreeMap::new()),
+            mover: TupleMover::new(config.tuple_mover.clone()),
+            nodes,
+            config,
+        }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn node_engine(&self, node: usize) -> &StorageEngine {
+        &self.nodes[node].engine
+    }
+
+    pub fn up_nodes(&self) -> Vec<usize> {
+        self.up
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    pub fn is_up(&self, node: usize) -> bool {
+        self.up.read()[node]
+    }
+
+    // ------------------------------------------------------------------
+    // membership / safety (§5.3)
+    // ------------------------------------------------------------------
+
+    /// Quorum: more than half the nodes must be up ("a N/2+1 quorum to
+    /// protect against network partitions and avoid split brain").
+    pub fn has_quorum(&self) -> bool {
+        self.up_nodes().len() * 2 > self.nodes.len()
+    }
+
+    /// Is every ring position of every segmented family readable?
+    pub fn data_available(&self) -> bool {
+        let up = self.up.read().clone();
+        self.families.read().values().all(|f| {
+            if self.router.is_replicated(&f.def) {
+                up.iter().any(|&u| u)
+            } else {
+                self.router
+                    .all_positions_readable(&up, f.replicas.len() - 1)
+            }
+        })
+    }
+
+    /// The cluster keeps serving only with quorum AND availability.
+    pub fn is_available(&self) -> bool {
+        self.has_quorum() && self.data_available()
+    }
+
+    /// Eject a node (failure injection / failed commit apply). Freezes the
+    /// AHM so history needed for recovery is preserved (§5.1).
+    pub fn fail_node(&self, node: usize) {
+        self.up.write()[node] = false;
+        self.epochs.freeze_ahm(true);
+        // A crash loses the in-memory WOS (§5.1): epochs whose data only
+        // reached the WOS are NOT durable on this node, so its effective
+        // Last Good Epoch drops to the minimum store LGE before the WOS
+        // contents vanish. Recovery replays from there.
+        let applied = self.applied.read()[node];
+        let mut lge = applied;
+        for pname in self.nodes[node].engine.projection_names() {
+            if let Ok(store) = self.nodes[node].engine.projection(&pname) {
+                lge = lge.min(store.read().last_good_epoch(applied));
+            }
+        }
+        self.applied.write()[node] = lge;
+        for pname in self.nodes[node].engine.projection_names() {
+            if let Ok(store) = self.nodes[node].engine.projection(&pname) {
+                store.write().lose_wos();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    pub fn create_table(
+        &self,
+        schema: TableSchema,
+        partition_by: Option<Expr>,
+    ) -> DbResult<()> {
+        for n in &self.nodes {
+            n.engine.create_table(schema.clone(), partition_by.clone())?;
+        }
+        self.tables
+            .write()
+            .insert(schema.name.clone(), (schema, partition_by));
+        Ok(())
+    }
+
+    pub fn table_schema(&self, name: &str) -> Option<TableSchema> {
+        self.tables.read().get(name).map(|(s, _)| s.clone())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Create a projection family: replicated projections get one replica;
+    /// segmented ones get K+1 buddies (§5.2: "each projection must have at
+    /// least one buddy projection ... no row is stored on the same node by
+    /// both projections").
+    pub fn create_projection(&self, def: ProjectionDef) -> DbResult<()> {
+        let family_name = def.name.clone();
+        if self.families.read().contains_key(&family_name) {
+            return Err(DbError::AlreadyExists(format!("projection {family_name}")));
+        }
+        if !def.prejoin.is_empty() && !self.router.is_replicated(&def) {
+            return Err(DbError::Plan(
+                "prejoin projections must be replicated (UNSEGMENTED)".into(),
+            ));
+        }
+        let n_replicas = if self.router.is_replicated(&def) {
+            1
+        } else {
+            self.config.k_safety + 1
+        };
+        let mut replicas = Vec::with_capacity(n_replicas);
+        for b in 0..n_replicas {
+            let mut rdef = def.clone();
+            rdef.name = if n_replicas == 1 {
+                family_name.clone()
+            } else {
+                format!("{family_name}_b{b}")
+            };
+            for n in &self.nodes {
+                n.engine.create_projection(rdef.clone())?;
+            }
+            replicas.push(rdef.name);
+        }
+        self.families.write().insert(
+            family_name,
+            Family {
+                table: def.anchor_table.clone(),
+                def,
+                replicas,
+            },
+        );
+        Ok(())
+    }
+
+    pub fn drop_projection(&self, family: &str) -> DbResult<()> {
+        let f = self
+            .families
+            .write()
+            .remove(family)
+            .ok_or_else(|| DbError::NotFound(format!("projection {family}")))?;
+        for r in &f.replicas {
+            for n in &self.nodes {
+                let _ = n.engine.drop_projection(r);
+            }
+        }
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        let families: Vec<String> = self
+            .families
+            .read()
+            .iter()
+            .filter(|(_, f)| f.table == name)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for f in families {
+            self.drop_projection(&f)?;
+        }
+        for n in &self.nodes {
+            n.engine.drop_table(name)?;
+        }
+        self.tables.write().remove(name);
+        Ok(())
+    }
+
+    pub fn projection_families_of(&self, table: &str) -> Vec<String> {
+        self.families
+            .read()
+            .iter()
+            .filter(|(_, f)| f.table == table)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    pub fn family_def(&self, family: &str) -> Option<ProjectionDef> {
+        self.families.read().get(family).map(|f| f.def.clone())
+    }
+
+    /// Does `table` have at least one family covering every column?
+    pub fn has_super_projection(&self, table: &str) -> bool {
+        let Some((schema, _)) = self.tables.read().get(table).cloned() else {
+            return false;
+        };
+        self.families
+            .read()
+            .values()
+            .any(|f| f.table == table && f.def.is_super(schema.arity()))
+    }
+
+    // ------------------------------------------------------------------
+    // DML (quorum commit, no 2PC — §5)
+    // ------------------------------------------------------------------
+
+    fn check_writable(&self) -> DbResult<()> {
+        if !self.is_available() {
+            return Err(DbError::Cluster(
+                "cluster is unavailable (quorum or K-safety lost)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bulk/trickle load: routes each row to its owning node per replica.
+    /// Returns the commit epoch.
+    pub fn load(&self, table: &str, rows: &[Row], direct_ros: bool) -> DbResult<Epoch> {
+        self.check_writable()?;
+        if !self.has_super_projection(table) {
+            return Err(DbError::Plan(format!(
+                "table {table} has no super projection; create one before loading"
+            )));
+        }
+        let txn = self.txns.begin(Isolation::ReadCommitted);
+        self.txns.lock(&txn, table, LockMode::I)?;
+        let epoch = self.txns.pending_commit_epoch();
+        let result = self.apply_load(table, rows, epoch, direct_ros);
+        match result {
+            Ok(()) => {
+                self.txns.commit(&txn, true)?;
+                self.record_applied(epoch);
+                Ok(epoch)
+            }
+            Err(e) => {
+                self.txns.rollback(&txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_load(
+        &self,
+        table: &str,
+        rows: &[Row],
+        epoch: Epoch,
+        direct_ros: bool,
+    ) -> DbResult<()> {
+        let families: Vec<Family> = self
+            .families
+            .read()
+            .values()
+            .filter(|f| f.table == table)
+            .cloned()
+            .collect();
+        let up = self.up.read().clone();
+        // Validate once against the schema (projection stores re-validate
+        // arity only).
+        let (schema, _) = self
+            .tables
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| DbError::NotFound(format!("table {table}")))?;
+        let mut validated: Vec<Row> = Vec::with_capacity(rows.len());
+        for r in rows {
+            let mut row = r.clone();
+            schema.validate_row(&mut row)?;
+            validated.push(row);
+        }
+        for family in &families {
+            for (b, replica) in family.replicas.iter().enumerate() {
+                if self.router.is_replicated(&family.def) {
+                    for (n, node) in self.nodes.iter().enumerate() {
+                        if up[n] {
+                            node.engine.insert_projection_rows(
+                                replica, &validated, epoch, direct_ros,
+                            )?;
+                        }
+                    }
+                    continue;
+                }
+                // Route by segmentation. The segmentation expression is in
+                // projection column space: project each row first.
+                let mut per_node: HashMap<usize, Vec<Row>> = HashMap::new();
+                for row in &validated {
+                    // Prejoin families are replicated (enforced at create),
+                    // so this branch only sees ordinary projections.
+                    let prow = family.def.project_row(row)?;
+                    let node = self
+                        .router
+                        .node_for(&family.def, &prow, b)?
+                        .expect("segmented");
+                    per_node.entry(node).or_default().push(row.clone());
+                }
+                for (n, node_rows) in per_node {
+                    if up[n] {
+                        self.nodes[n].engine.insert_projection_rows(
+                            replica, &node_rows, epoch, direct_ros,
+                        )?;
+                    }
+                    // Down node: rows are skipped; recovery replays them
+                    // from the buddy (§5.2).
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// DELETE: marks matching rows in every projection replica on every up
+    /// node. Returns (commit epoch, rows deleted on replica 0).
+    pub fn delete(&self, table: &str, predicate: Option<&Expr>) -> DbResult<(Epoch, u64)> {
+        self.check_writable()?;
+        let txn = self.txns.begin(Isolation::ReadCommitted);
+        self.txns.lock(&txn, table, LockMode::X)?;
+        let epoch = self.txns.pending_commit_epoch();
+        let snapshot = epoch.prev();
+        let mut deleted_primary = 0u64;
+        let families: Vec<Family> = self
+            .families
+            .read()
+            .values()
+            .filter(|f| f.table == table)
+            .cloned()
+            .collect();
+        for family in &families {
+            for (b, replica) in family.replicas.iter().enumerate() {
+                for n in self.up_nodes() {
+                    let store = self.nodes[n].engine.projection(replica)?;
+                    let (locations, def) = {
+                        let s = store.read();
+                        let def = s.def().clone();
+                        let pred = match predicate {
+                            None => None,
+                            Some(p) => Some(
+                                p.remap_columns(&|c| def.projection_column_of(c))
+                                    .ok_or_else(|| {
+                                        DbError::Plan(format!(
+                                        "DELETE predicate not coverable by projection {replica}"
+                                    ))
+                                    })?,
+                            ),
+                        };
+                        let mut locs = Vec::new();
+                        for (loc, row) in s.visible_rows_with_locations(snapshot)? {
+                            let keep = match &pred {
+                                None => true,
+                                Some(p) => p.matches(&row)?,
+                            };
+                            if keep {
+                                locs.push(loc);
+                            }
+                        }
+                        (locs, def)
+                    };
+                    let _ = def;
+                    if b == 0 {
+                        deleted_primary += locations.len() as u64;
+                    }
+                    let mut s = store.write();
+                    for loc in locations {
+                        s.mark_deleted(loc, epoch)?;
+                    }
+                }
+            }
+        }
+        self.txns.commit(&txn, true)?;
+        self.record_applied(epoch);
+        Ok((epoch, deleted_primary))
+    }
+
+    /// UPDATE = DELETE + INSERT of modified rows (§3.7.1). Sets are
+    /// (table column, value expr over table columns).
+    pub fn update(
+        &self,
+        table: &str,
+        sets: &[(usize, Expr)],
+        predicate: Option<&Expr>,
+    ) -> DbResult<(Epoch, u64)> {
+        self.check_writable()?;
+        // Collect the new rows from the (full) table image first.
+        let snapshot = self.epochs.read_committed_snapshot();
+        let old_rows = self.table_rows(table, snapshot)?;
+        let mut new_rows = Vec::new();
+        for row in old_rows {
+            let matches = match predicate {
+                None => true,
+                Some(p) => p.matches(&row)?,
+            };
+            if matches {
+                let mut updated = row.clone();
+                for (col, e) in sets {
+                    updated[*col] = e.eval(&row)?;
+                }
+                new_rows.push(updated);
+            }
+        }
+        let (epoch, deleted) = self.delete(table, predicate)?;
+        if !new_rows.is_empty() {
+            self.load(table, &new_rows, false)?;
+        }
+        Ok((epoch, deleted))
+    }
+
+    /// ALTER TABLE ... DROP PARTITION: file-level bulk delete on every
+    /// replica (§3.5).
+    pub fn drop_partition(&self, table: &str, key: &Value) -> DbResult<usize> {
+        self.check_writable()?;
+        let txn = self.txns.begin(Isolation::ReadCommitted);
+        self.txns.lock(&txn, table, LockMode::O)?;
+        let epoch = self.txns.pending_commit_epoch();
+        let mut dropped = 0;
+        for n in self.up_nodes() {
+            dropped += self.nodes[n].engine.drop_partition(table, key, epoch)?;
+        }
+        self.txns.commit(&txn, true)?;
+        self.record_applied(epoch);
+        Ok(dropped)
+    }
+
+    /// All visible rows of a table (via the first covering family) — used
+    /// by UPDATE and recovery tooling, not the query path.
+    pub fn table_rows(&self, table: &str, snapshot: Epoch) -> DbResult<Vec<Row>> {
+        let (schema, _) = self
+            .tables
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| DbError::NotFound(format!("table {table}")))?;
+        // Prefer an identity-ordered super projection (the canonical super);
+        // any covering projection works as a fallback.
+        let fams = self.families.read();
+        let family = fams
+            .values()
+            .find(|f| {
+                f.table == table
+                    && f.def.prejoin.is_empty()
+                    && f.def.columns == (0..schema.arity()).collect::<Vec<_>>()
+            })
+            .or_else(|| {
+                fams.values().find(|f| {
+                    f.table == table
+                        && f.def.is_super(schema.arity())
+                        && f.def.prejoin.is_empty()
+                })
+            })
+            .cloned()
+            .ok_or_else(|| DbError::Plan(format!("no super projection on {table}")))?;
+        drop(fams);
+        let snaps = self.family_snapshot_per_node(&family, snapshot)?;
+        let mut out = Vec::new();
+        for (n, snap) in snaps {
+            let _ = n;
+            // Read rows directly from the snapshot containers.
+            for sc in &snap.containers {
+                let visible = sc.visible(sc.backend.as_ref())?;
+                if matches!(visible, vdb_storage::store::VisibleSet::None) {
+                    continue;
+                }
+                let rows = sc.container.read_rows(sc.backend.as_ref())?;
+                for (i, mut row) in rows.into_iter().enumerate() {
+                    if visible.is_visible(i as u64) {
+                        row.pop();
+                        // Reorder projection row into table column order.
+                        let mut table_row = vec![Value::Null; schema.arity()];
+                        for (pi, &tc) in family.def.columns.iter().enumerate() {
+                            table_row[tc] = row[pi].clone();
+                        }
+                        out.push(table_row);
+                    }
+                }
+            }
+            out.extend(snap.wos_rows.into_iter().map(|row| {
+                let mut table_row = vec![Value::Null; schema.arity()];
+                for (pi, &tc) in family.def.columns.iter().enumerate() {
+                    table_row[tc] = row[pi].clone();
+                }
+                table_row
+            }));
+            if self.router.is_replicated(&family.def) {
+                break; // one node suffices for replicated data
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // snapshots (buddy-aware reads)
+    // ------------------------------------------------------------------
+
+    /// Per-up-node snapshot of one family at `snapshot`, applying buddy
+    /// sourcing: node n reads its replica-b data exactly when it is the
+    /// designated reader for ring position (n - b) mod N (§5.2).
+    fn family_snapshot_per_node(
+        &self,
+        family: &Family,
+        snapshot: Epoch,
+    ) -> DbResult<Vec<(usize, SnapshotScan)>> {
+        let up = self.up.read().clone();
+        let n_nodes = self.nodes.len();
+        let mut out = Vec::new();
+        if self.router.is_replicated(&family.def) {
+            for (n, &isup) in up.iter().enumerate() {
+                if !isup {
+                    continue;
+                }
+                let store = self.nodes[n].engine.projection(&family.replicas[0])?;
+                out.push((n, store.read().scan_snapshot(snapshot)));
+            }
+            return Ok(out);
+        }
+        let max_buddy = family.replicas.len() - 1;
+        for n in 0..n_nodes {
+            if !up[n] {
+                continue;
+            }
+            let mut combined: Option<SnapshotScan> = None;
+            for (b, replica) in family.replicas.iter().enumerate() {
+                let r = (n + n_nodes - b) % n_nodes;
+                if self.router.reader_replica(r, n, &up, max_buddy) != Some(b) {
+                    continue;
+                }
+                let store = self.nodes[n].engine.projection(replica)?;
+                let snap = store.read().scan_snapshot(snapshot);
+                combined = Some(match combined {
+                    None => snap,
+                    Some(mut acc) => {
+                        acc.containers.extend(snap.containers);
+                        acc.wos_rows.extend(snap.wos_rows);
+                        acc
+                    }
+                });
+            }
+            out.push((
+                n,
+                combined.unwrap_or(SnapshotScan {
+                    containers: vec![],
+                    wos_rows: vec![],
+                }),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Union of a family's data across all up nodes (broadcast gather).
+    fn family_snapshot_union(&self, family: &Family, snapshot: Epoch) -> DbResult<SnapshotScan> {
+        let mut acc = SnapshotScan {
+            containers: vec![],
+            wos_rows: vec![],
+        };
+        if self.router.is_replicated(&family.def) {
+            let n = *self.up_nodes().first().ok_or_else(|| {
+                DbError::Cluster("no up nodes".into())
+            })?;
+            let store = self.nodes[n].engine.projection(&family.replicas[0])?;
+            return Ok(store.read().scan_snapshot(snapshot));
+        }
+        for (_, snap) in self.family_snapshot_per_node(family, snapshot)? {
+            acc.containers.extend(snap.containers);
+            acc.wos_rows.extend(snap.wos_rows);
+        }
+        Ok(acc)
+    }
+
+    // ------------------------------------------------------------------
+    // query execution
+    // ------------------------------------------------------------------
+
+    /// Live projection families (all families remain *logically* live as
+    /// long as every ring position is readable; a family is dead when data
+    /// became unavailable).
+    pub fn live_projections(&self) -> HashSet<String> {
+        let up = self.up.read().clone();
+        self.families
+            .read()
+            .iter()
+            .filter(|(_, f)| {
+                if self.router.is_replicated(&f.def) {
+                    up.iter().any(|&u| u)
+                } else {
+                    self.router.all_positions_readable(&up, f.replicas.len() - 1)
+                }
+            })
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Execute a planned query at a snapshot. Each participating node runs
+    /// the local plan on a worker thread; the initiator merges.
+    pub fn execute(&self, planned: &PlannedQuery, snapshot: Epoch) -> DbResult<Vec<Row>> {
+        if !self.has_quorum() {
+            return Err(DbError::Cluster("cluster lost quorum".into()));
+        }
+        let families = self.families.read().clone();
+        // Resolve every scanned family's per-node or broadcast snapshot.
+        let mut per_node_snapshots: HashMap<usize, HashMap<String, SnapshotScan>> =
+            HashMap::new();
+        let participants: Vec<usize> = if planned.single_node {
+            vec![*self.up_nodes().first().ok_or_else(|| {
+                DbError::Cluster("no up nodes".into())
+            })?]
+        } else {
+            self.up_nodes()
+        };
+        for (fname, access) in &planned.table_access {
+            let family = families
+                .get(fname)
+                .ok_or_else(|| DbError::NotFound(format!("projection {fname}")))?;
+            match access {
+                TableAccess::Local => {
+                    for (n, snap) in self.family_snapshot_per_node(family, snapshot)? {
+                        per_node_snapshots
+                            .entry(n)
+                            .or_default()
+                            .insert(fname.clone(), snap);
+                    }
+                }
+                TableAccess::Broadcast => {
+                    let union = self.family_snapshot_union(family, snapshot)?;
+                    for &n in &participants {
+                        per_node_snapshots
+                            .entry(n)
+                            .or_default()
+                            .insert(fname.clone(), union.clone());
+                    }
+                }
+            }
+        }
+        // Run local plans in parallel (one thread per node).
+        let local_plan = Arc::new(planned.local.clone());
+        let mut handles = Vec::new();
+        for &n in &participants {
+            let snaps = per_node_snapshots.remove(&n).unwrap_or_default();
+            let backend = self.nodes[n].engine.backend().clone();
+            let plan = local_plan.clone();
+            handles.push(std::thread::spawn(move || -> DbResult<Vec<Row>> {
+                let mut ctx = ExecContext::new(backend);
+                ctx.snapshots = snaps;
+                execute_collect(&plan, &mut ctx)
+            }));
+        }
+        let mut union_rows = Vec::new();
+        for h in handles {
+            let rows = h
+                .join()
+                .map_err(|_| DbError::Execution("node worker panicked".into()))??;
+            union_rows.extend(rows);
+        }
+        // Merge at the initiator.
+        let arity = union_arity(&planned.merge, &union_rows);
+        let merge_plan = planned.merge_plan(union_rows, arity);
+        let mut ctx = ExecContext::new(self.nodes[participants[0]].engine.backend().clone());
+        execute_collect(&merge_plan, &mut ctx)
+    }
+
+    /// Build the optimizer catalog from live storage (sampled stats).
+    pub fn catalog(&self) -> DbResult<OptimizerCatalog> {
+        let snapshot = self.epochs.read_committed_snapshot();
+        let mut catalog = OptimizerCatalog::default();
+        for (tname, (schema, partition_by)) in self.tables.read().iter() {
+            let mut projections = Vec::new();
+            for (fname, family) in self.families.read().iter() {
+                if &family.table != tname {
+                    continue;
+                }
+                let mut row_count = 0u64;
+                let mut column_bytes = vec![0u64; family.def.arity()];
+                let mut sample: Vec<Row> = Vec::new();
+                for n in self.up_nodes() {
+                    let store = self.nodes[n].engine.projection(&family.replicas[0])?;
+                    let s = store.read();
+                    row_count += s.row_count_estimate();
+                    for (i, b) in s.column_bytes().into_iter().enumerate() {
+                        column_bytes[i] += b;
+                    }
+                    if sample.len() < 1000 {
+                        let rows = s.visible_rows(snapshot)?;
+                        sample.extend(rows.into_iter().take(1000 - sample.len()));
+                    }
+                    if self.router.is_replicated(&family.def) {
+                        break;
+                    }
+                }
+                let mut def = family.def.clone();
+                def.name = fname.clone();
+                projections.push(ProjectionMeta::from_sample(
+                    def,
+                    row_count,
+                    column_bytes,
+                    &sample,
+                ));
+            }
+            catalog.tables.insert(
+                tname.clone(),
+                TableMeta {
+                    schema: schema.clone(),
+                    partition_by: partition_by.clone(),
+                    projections,
+                },
+            );
+        }
+        Ok(catalog)
+    }
+
+    // ------------------------------------------------------------------
+    // maintenance
+    // ------------------------------------------------------------------
+
+    /// Run the tuple mover over every store on every up node (§4).
+    pub fn tuple_mover_tick(&self, force_moveout: bool) -> DbResult<()> {
+        let epoch = self.epochs.read_committed_snapshot();
+        let ahm = self.epochs.ahm();
+        for n in self.up_nodes() {
+            for pname in self.nodes[n].engine.projection_names() {
+                let store = self.nodes[n].engine.projection(&pname)?;
+                let mut s = store.write();
+                self.mover.run_moveout(&mut s, epoch, force_moveout)?;
+                self.mover.run_mergeout(&mut s, ahm)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Hard-link backup of every projection on every up node (§5.2).
+    pub fn backup(&self, tag: &str) -> DbResult<usize> {
+        let mut files = 0;
+        for n in self.up_nodes() {
+            for pname in self.nodes[n].engine.projection_names() {
+                let store = self.nodes[n].engine.projection(&pname)?;
+                files += store.read().backup(tag)?;
+            }
+        }
+        Ok(files)
+    }
+
+    /// Total ROS bytes across the cluster (replica 0 only — the logical
+    /// data size; buddies double physical storage exactly as in Vertica).
+    pub fn logical_ros_bytes(&self) -> u64 {
+        let mut total = 0;
+        for family in self.families.read().values() {
+            for n in self.up_nodes() {
+                if let Ok(store) = self.nodes[n].engine.projection(&family.replicas[0]) {
+                    total += store.read().ros_bytes();
+                }
+                if self.router.is_replicated(&family.def) {
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    pub(crate) fn family(&self, name: &str) -> Option<Family> {
+        self.families.read().get(name).cloned()
+    }
+
+    pub(crate) fn router(&self) -> &RingRouter {
+        &self.router
+    }
+
+    pub(crate) fn node_up_mask(&self) -> Vec<bool> {
+        self.up.read().clone()
+    }
+
+    fn record_applied(&self, epoch: Epoch) {
+        let up = self.up.read().clone();
+        let mut applied = self.applied.write();
+        for (n, a) in applied.iter_mut().enumerate() {
+            if up[n] {
+                *a = epoch;
+            }
+        }
+    }
+
+    pub(crate) fn applied_epoch(&self, node: usize) -> Epoch {
+        self.applied.read()[node]
+    }
+
+    pub(crate) fn set_applied_epoch(&self, node: usize, epoch: Epoch) {
+        self.applied.write()[node] = epoch;
+    }
+
+    pub(crate) fn mark_up(&self, node: usize) {
+        self.up.write()[node] = true;
+        if self.up.read().iter().all(|&u| u) {
+            self.epochs.freeze_ahm(false);
+        }
+    }
+}
+
+fn union_arity(merge: &MergeSpec, rows: &[Row]) -> usize {
+    rows.first().map(Vec::len).unwrap_or(match merge {
+        MergeSpec::ReAggregate {
+            group_columns,
+            merge_aggs,
+            ..
+        } => group_columns.len() + merge_aggs.len(),
+        _ => 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_types::{ColumnDef, DataType};
+
+    fn sales_schema() -> TableSchema {
+        TableSchema::new(
+            "sales",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("region", DataType::Integer),
+                ColumnDef::new("amt", DataType::Integer),
+            ],
+        )
+    }
+
+    fn make_cluster(n: usize, k: usize) -> Cluster {
+        let c = Cluster::new(ClusterConfig {
+            n_nodes: n,
+            k_safety: k,
+            n_local_segments: 2,
+            ..Default::default()
+        });
+        c.create_table(sales_schema(), None).unwrap();
+        c.create_projection(ProjectionDef::super_projection(
+            &sales_schema(),
+            "sales_super",
+            &[0],
+            &[0],
+        ))
+        .unwrap();
+        c
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Integer(i),
+                    Value::Integer(i % 4),
+                    Value::Integer(i * 10),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn load_replicates_k_plus_1_buddies() {
+        let c = make_cluster(3, 1);
+        c.load("sales", &rows(300), true).unwrap();
+        // Each replica holds all 300 rows across the cluster.
+        let snapshot = c.epochs.read_committed_snapshot();
+        for replica in ["sales_super_b0", "sales_super_b1"] {
+            let mut total = 0;
+            for n in 0..3 {
+                let store = c.node_engine(n).projection(replica).unwrap();
+                total += store.read().visible_rows(snapshot).unwrap().len();
+            }
+            assert_eq!(total, 300, "replica {replica}");
+        }
+        // Buddy shift: per-node counts differ between replicas but each
+        // node holds data for both.
+        assert_eq!(c.table_rows("sales", snapshot).unwrap().len(), 300);
+    }
+
+    #[test]
+    fn quorum_and_availability() {
+        let c = make_cluster(3, 1);
+        assert!(c.is_available());
+        c.fail_node(0);
+        assert!(c.has_quorum());
+        assert!(c.data_available(), "K=1 tolerates one failure");
+        assert!(c.is_available());
+        c.fail_node(1);
+        assert!(!c.has_quorum(), "2 of 3 down: no quorum");
+        assert!(!c.is_available());
+        // Writes refused without quorum.
+        assert!(c.load("sales", &rows(1), true).is_err());
+    }
+
+    #[test]
+    fn buddy_sourced_reads_after_failure() {
+        let c = make_cluster(3, 1);
+        c.load("sales", &rows(500), true).unwrap();
+        let snapshot = c.epochs.read_committed_snapshot();
+        let before = c.table_rows("sales", snapshot).unwrap().len();
+        assert_eq!(before, 500);
+        c.fail_node(1);
+        let after = c.table_rows("sales", snapshot).unwrap().len();
+        assert_eq!(after, 500, "buddy projections fill the gap");
+    }
+
+    #[test]
+    fn delete_and_snapshot_reads() {
+        let c = make_cluster(3, 1);
+        c.load("sales", &rows(100), true).unwrap();
+        let before = c.epochs.read_committed_snapshot();
+        let pred = Expr::binary(
+            vdb_types::BinOp::Lt,
+            Expr::col(0, "id"),
+            Expr::int(10),
+        );
+        let (_, deleted) = c.delete("sales", Some(&pred)).unwrap();
+        assert_eq!(deleted, 10);
+        let now = c.epochs.read_committed_snapshot();
+        assert_eq!(c.table_rows("sales", now).unwrap().len(), 90);
+        assert_eq!(
+            c.table_rows("sales", before).unwrap().len(),
+            100,
+            "historical snapshot unaffected"
+        );
+    }
+
+    #[test]
+    fn update_rewrites_rows() {
+        let c = make_cluster(3, 1);
+        c.load("sales", &rows(20), true).unwrap();
+        let pred = Expr::eq(Expr::col(0, "id"), Expr::int(5));
+        let sets = vec![(2usize, Expr::int(999))];
+        c.update("sales", &sets, Some(&pred)).unwrap();
+        let now = c.epochs.read_committed_snapshot();
+        let all = c.table_rows("sales", now).unwrap();
+        assert_eq!(all.len(), 20);
+        let updated = all
+            .iter()
+            .find(|r| r[0] == Value::Integer(5))
+            .unwrap();
+        assert_eq!(updated[2], Value::Integer(999));
+    }
+
+    #[test]
+    fn load_rejected_without_super_projection() {
+        let c = Cluster::new(ClusterConfig {
+            n_nodes: 2,
+            k_safety: 0,
+            ..Default::default()
+        });
+        c.create_table(sales_schema(), None).unwrap();
+        assert!(c.load("sales", &rows(1), true).is_err());
+    }
+
+    #[test]
+    fn catalog_reflects_loaded_data() {
+        let c = make_cluster(3, 1);
+        c.load("sales", &rows(1000), true).unwrap();
+        let cat = c.catalog().unwrap();
+        let t = cat.table("sales").unwrap();
+        assert_eq!(t.row_count(), 1000);
+        let p = &t.projections[0];
+        assert_eq!(p.def.name, "sales_super");
+        assert!(p.column_bytes.iter().sum::<u64>() > 0);
+        assert!(p.stats[0].distinct > 100);
+    }
+
+    #[test]
+    fn tuple_mover_consolidates_across_cluster() {
+        let mut cfg = ClusterConfig {
+            n_nodes: 2,
+            k_safety: 0,
+            n_local_segments: 1,
+            ..Default::default()
+        };
+        cfg.tuple_mover.merge_threshold = 3;
+        cfg.tuple_mover.strata_base_bytes = 1 << 20;
+        let c = Cluster::new(cfg);
+        c.create_table(sales_schema(), None).unwrap();
+        c.create_projection(ProjectionDef::super_projection(
+            &sales_schema(),
+            "sales_super",
+            &[0],
+            &[0],
+        ))
+        .unwrap();
+        for i in 0..6 {
+            c.load("sales", &rows(20 + i), true).unwrap();
+        }
+        let count_containers = |c: &Cluster| -> usize {
+            (0..2)
+                .map(|n| {
+                    c.node_engine(n)
+                        .projection("sales_super")
+                        .unwrap()
+                        .read()
+                        .container_count()
+                })
+                .sum()
+        };
+        let before = count_containers(&c);
+        c.tuple_mover_tick(true).unwrap();
+        let after = count_containers(&c);
+        assert!(after < before, "{before} -> {after}");
+        let snapshot = c.epochs.read_committed_snapshot();
+        let total: usize = c.table_rows("sales", snapshot).unwrap().len();
+        assert_eq!(total, (0..6).map(|i| 20 + i as usize).sum::<usize>());
+    }
+}

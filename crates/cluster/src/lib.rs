@@ -1,0 +1,28 @@
+//! `vdb-cluster` — the shared-nothing cluster simulation (§3.6, §5.2–5.3).
+//!
+//! A [`cluster::Cluster`] holds N simulated nodes, each with its own
+//! [`vdb_storage::StorageEngine`] and data directory. It implements:
+//!
+//! * **segmentation** ([`segmentation`]) — the ring mapping of §3.6:
+//!   node *i* owns the *i*-th equal slice of the unsigned 64-bit
+//!   segmentation-expression range;
+//! * **buddy projections & K-safety** — each segmented projection family
+//!   keeps K+1 replicas, replica *i* shifted *i* nodes around the ring, so
+//!   any K node failures leave every row readable (§5.2);
+//! * **quorum commit without 2PC** (§5) — commits broadcast to all up
+//!   nodes; a node that fails to apply is ejected and later recovers;
+//!   the cluster shuts down if more than ⌊N/2⌋ nodes are lost (§5.3);
+//! * **distributed query execution** — each up node runs the planner's
+//!   local plan against its storage (buddy-sourced when a neighbour is
+//!   down, broadcast-gathered for non-co-located tables); the initiator
+//!   merges per the plan's [`vdb_optimizer::MergeSpec`];
+//! * **recovery** ([`recovery`]) — truncate to the Last Good Epoch, then
+//!   historical + current phase copy from a buddy (§5.2); **refresh**
+//!   populates projections created after load.
+
+pub mod cluster;
+pub mod recovery;
+pub mod segmentation;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use segmentation::{ring_node, RingRouter};

@@ -1,0 +1,183 @@
+//! Bit-granular readers and writers (LSB-first, DEFLATE bit order).
+
+use crate::error::{corrupt, CompressError};
+
+/// Accumulates bits LSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    /// Bits accumulated but not yet flushed (low bits are oldest).
+    acc: u64,
+    /// Number of valid bits in `acc` (always < 8 after `flush_bytes`).
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Write the low `n` bits of `v` (n ≤ 57).
+    pub fn write_bits(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 57);
+        debug_assert!(n == 64 || v < (1u64 << n));
+        self.acc |= v << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pad to a byte boundary with zero bits and return the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+        }
+        self.out
+    }
+
+    /// Current length in bits (for size estimation).
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    byte_pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            buf,
+            byte_pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.byte_pos < self.buf.len() {
+            self.acc |= u64::from(self.buf[self.byte_pos]) << self.nbits;
+            self.byte_pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Read exactly `n` bits (n ≤ 57); errors at end of stream.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, CompressError> {
+        debug_assert!(n <= 57);
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.nbits < n {
+            self.refill();
+            if self.nbits < n {
+                return Err(corrupt("bitstream exhausted"));
+            }
+        }
+        let v = self.acc & ((1u64 << n) - 1);
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Peek up to `n` bits without consuming (zero-padded near the end).
+    pub fn peek_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 57);
+        if self.nbits < n {
+            self.refill();
+        }
+        if n == 0 {
+            return 0;
+        }
+        self.acc & ((1u64 << n) - 1)
+    }
+
+    /// Consume `n` bits previously peeked; errors if fewer are available.
+    pub fn consume(&mut self, n: u32) -> Result<(), CompressError> {
+        if self.nbits < n {
+            self.refill();
+            if self.nbits < n {
+                return Err(corrupt("bitstream exhausted"));
+            }
+        }
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_widths() {
+        let mut w = BitWriter::new();
+        let vals: Vec<(u64, u32)> = vec![
+            (1, 1),
+            (0, 1),
+            (5, 3),
+            (255, 8),
+            (1023, 10),
+            (0, 5),
+            (0x1f_ffff, 21),
+            (1, 1),
+        ];
+        for &(v, n) in &vals {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &vals {
+            assert_eq!(r.read_bits(n).unwrap(), v, "width {n}");
+        }
+    }
+
+    #[test]
+    fn peek_then_consume() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0b01, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(4), 0b1011);
+        assert_eq!(r.peek_bits(4), 0b1011, "peek does not consume");
+        r.consume(4).unwrap();
+        assert_eq!(r.read_bits(2).unwrap(), 0b01);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let bytes = [0xff];
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bits(8).is_ok());
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    fn peek_past_end_is_zero_padded() {
+        let bytes = [0b0000_0001];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(16), 1, "high bits read as zero");
+        r.consume(8).unwrap();
+        assert!(r.consume(1).is_err());
+    }
+
+    #[test]
+    fn bit_len_tracks() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 16);
+    }
+}

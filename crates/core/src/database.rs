@@ -1,0 +1,582 @@
+//! The `Database` facade: SQL in, rows out.
+
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use vdb_cluster::{Cluster, ClusterConfig};
+use vdb_optimizer::OptimizerCatalog;
+use vdb_sql::{BoundStatement, SchemaProvider};
+use vdb_types::{DbError, DbResult, Epoch, Row, TableSchema, Value};
+
+/// Database construction parameters (wraps the cluster config).
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseConfig {
+    pub cluster: ClusterConfig,
+}
+
+/// Result of a statement: column names plus rows (empty for DDL/DML, which
+/// report a tag instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    /// Human-readable command tag ("CREATE TABLE", "INSERT 3", ...).
+    pub tag: String,
+}
+
+impl QueryResult {
+    fn tag(tag: impl Into<String>) -> QueryResult {
+        QueryResult {
+            columns: vec![],
+            rows: vec![],
+            tag: tag.into(),
+        }
+    }
+
+    /// Single-column convenience accessor.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// The database: a cluster plus SQL/plan caching glue.
+pub struct Database {
+    cluster: Cluster,
+    /// Catalog cache keyed by the epoch it was built at.
+    catalog: RwLock<Option<(Epoch, OptimizerCatalog)>>,
+}
+
+impl Database {
+    pub fn new(config: DatabaseConfig) -> Database {
+        Database {
+            cluster: Cluster::new(config.cluster),
+            catalog: RwLock::new(None),
+        }
+    }
+
+    /// Single-node, no-buddy database (laptop mode; what the Table 3 and
+    /// Table 4 experiments use).
+    pub fn single_node() -> Database {
+        Database::new(DatabaseConfig {
+            cluster: ClusterConfig {
+                n_nodes: 1,
+                k_safety: 0,
+                n_local_segments: 1,
+                ..Default::default()
+            },
+        })
+    }
+
+    /// A K-safe multi-node cluster.
+    pub fn cluster_of(n_nodes: usize, k_safety: usize) -> Database {
+        Database::new(DatabaseConfig {
+            cluster: ClusterConfig {
+                n_nodes,
+                k_safety,
+                ..Default::default()
+            },
+        })
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn invalidate_catalog(&self) {
+        *self.catalog.write() = None;
+    }
+
+    /// Current optimizer catalog (rebuilt when the epoch moved).
+    pub fn optimizer_catalog(&self) -> DbResult<OptimizerCatalog> {
+        let epoch = self.cluster.epochs.current();
+        if let Some((e, cat)) = self.catalog.read().as_ref() {
+            if *e == epoch {
+                return Ok(cat.clone());
+            }
+        }
+        let cat = self.cluster.catalog()?;
+        *self.catalog.write() = Some((epoch, cat.clone()));
+        Ok(cat)
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
+        let stmt = vdb_sql::compile(sql, &Schemas { cluster: &self.cluster })?;
+        self.execute_bound(stmt)
+    }
+
+    /// Convenience: run a SELECT and return its rows.
+    pub fn query(&self, sql: &str) -> DbResult<Vec<Row>> {
+        Ok(self.execute(sql)?.rows)
+    }
+
+    pub fn execute_bound(&self, stmt: BoundStatement) -> DbResult<QueryResult> {
+        match stmt {
+            BoundStatement::CreateTable {
+                schema,
+                partition_by,
+            } => {
+                self.cluster.create_table(schema, partition_by)?;
+                self.invalidate_catalog();
+                Ok(QueryResult::tag("CREATE TABLE"))
+            }
+            BoundStatement::CreateProjection { def } => {
+                self.cluster.create_projection(def.clone())?;
+                // Populate from existing data if the table already has rows
+                // (refresh, §5.2).
+                if self
+                    .cluster
+                    .table_rows(&def.anchor_table, self.cluster.epochs.read_committed_snapshot())
+                    .map(|r| !r.is_empty())
+                    .unwrap_or(false)
+                {
+                    self.cluster.refresh_projection(&def.name)?;
+                }
+                self.invalidate_catalog();
+                Ok(QueryResult::tag("CREATE PROJECTION"))
+            }
+            BoundStatement::DropTable(name) => {
+                self.cluster.drop_table(&name)?;
+                self.invalidate_catalog();
+                Ok(QueryResult::tag("DROP TABLE"))
+            }
+            BoundStatement::DropProjection(name) => {
+                self.cluster.drop_projection(&name)?;
+                self.invalidate_catalog();
+                Ok(QueryResult::tag("DROP PROJECTION"))
+            }
+            BoundStatement::Insert { table, rows } => {
+                let n = rows.len();
+                // Trickle inserts land in the WOS (§3.7); bulk loads should
+                // use Database::load / COPY which target the ROS directly.
+                self.cluster.load(&table, &rows, false)?;
+                self.invalidate_catalog();
+                Ok(QueryResult::tag(format!("INSERT {n}")))
+            }
+            BoundStatement::Delete { table, predicate } => {
+                let (_, n) = self.cluster.delete(&table, predicate.as_ref())?;
+                self.invalidate_catalog();
+                Ok(QueryResult::tag(format!("DELETE {n}")))
+            }
+            BoundStatement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                let (_, n) = self.cluster.update(&table, &sets, predicate.as_ref())?;
+                self.invalidate_catalog();
+                Ok(QueryResult::tag(format!("UPDATE {n}")))
+            }
+            BoundStatement::DropPartition { table, key } => {
+                let n = self.cluster.drop_partition(&table, &key)?;
+                self.invalidate_catalog();
+                Ok(QueryResult::tag(format!("DROP PARTITION {n}")))
+            }
+            BoundStatement::Select(q) => {
+                let catalog = self.optimizer_catalog()?;
+                let live = self.live_projections();
+                let planned = vdb_optimizer::plan(&catalog, &q, live.as_ref())?;
+                let snapshot = self.cluster.epochs.read_committed_snapshot();
+                let rows = self.cluster.execute(&planned, snapshot)?;
+                Ok(QueryResult {
+                    columns: planned.output_names.clone(),
+                    tag: format!("SELECT {}", rows.len()),
+                    rows,
+                })
+            }
+            BoundStatement::Explain(q) => {
+                let catalog = self.optimizer_catalog()?;
+                let live = self.live_projections();
+                let planned = vdb_optimizer::plan(&catalog, &q, live.as_ref())?;
+                let mut text = vdb_exec::plan::explain(&planned.local);
+                text.push_str(&format!(
+                    "-- merge at initiator: {}\n-- table access: {:?}\n",
+                    match &planned.merge {
+                        vdb_optimizer::MergeSpec::Concat { .. } => "concat".to_string(),
+                        vdb_optimizer::MergeSpec::ReAggregate { .. } =>
+                            "re-aggregate partials".to_string(),
+                        vdb_optimizer::MergeSpec::WindowThenProject { .. } =>
+                            "apply windows".to_string(),
+                    },
+                    planned.table_access
+                ));
+                Ok(QueryResult {
+                    columns: vec!["QUERY PLAN".into()],
+                    rows: text
+                        .lines()
+                        .map(|l| vec![Value::Varchar(l.to_string())])
+                        .collect(),
+                    tag: "EXPLAIN".into(),
+                })
+            }
+            // Session transaction syntax: DML here autocommits (each
+            // statement is its own transaction under READ COMMITTED, §5);
+            // BEGIN/COMMIT are accepted for compatibility.
+            BoundStatement::Begin => Ok(QueryResult::tag("BEGIN")),
+            BoundStatement::Commit => Ok(QueryResult::tag("COMMIT")),
+            BoundStatement::Rollback => Ok(QueryResult::tag("ROLLBACK")),
+        }
+    }
+
+    /// Which projection families are currently usable (None = all up).
+    fn live_projections(&self) -> Option<HashSet<String>> {
+        if self.cluster.up_nodes().len() == self.cluster.n_nodes() {
+            None
+        } else {
+            Some(self.cluster.live_projections())
+        }
+    }
+
+    /// Bulk load rows through the direct-ROS path (§7: bulk loads bypass
+    /// the WOS). Returns the commit epoch.
+    pub fn load(&self, table: &str, rows: &[Row]) -> DbResult<Epoch> {
+        let e = self.cluster.load(table, rows, true)?;
+        self.invalidate_catalog();
+        Ok(e)
+    }
+
+    /// Trickle load into the WOS.
+    pub fn load_wos(&self, table: &str, rows: &[Row]) -> DbResult<Epoch> {
+        let e = self.cluster.load(table, rows, false)?;
+        self.invalidate_catalog();
+        Ok(e)
+    }
+
+    /// Run the Database Designer (§6.3) over sample data + workload SQL and
+    /// install the proposed projections. Returns their rationales.
+    pub fn run_designer(
+        &self,
+        table: &str,
+        sample: &[Row],
+        total_rows: u64,
+        workload_sql: &[&str],
+        policy: vdb_designer::DesignPolicy,
+    ) -> DbResult<Vec<String>> {
+        let schema = self
+            .cluster
+            .table_schema(table)
+            .ok_or_else(|| DbError::NotFound(format!("table {table}")))?;
+        let mut workload = Vec::new();
+        for sql in workload_sql {
+            match vdb_sql::compile(sql, &Schemas { cluster: &self.cluster })? {
+                BoundStatement::Select(q) => workload.push(q),
+                _ => {
+                    return Err(DbError::Binder(
+                        "designer workload must be SELECT statements".into(),
+                    ))
+                }
+            }
+        }
+        let designs =
+            vdb_designer::design_table(&schema, sample, total_rows, &workload, policy)?;
+        let mut rationales = Vec::new();
+        for d in designs {
+            self.cluster.create_projection(d.def.clone())?;
+            if !sample.is_empty() {
+                // Populate from existing table data if any.
+                let _ = self.cluster.refresh_projection(&d.def.name);
+            }
+            rationales.push(format!("{}: {}", d.def.name, d.rationale));
+        }
+        self.invalidate_catalog();
+        Ok(rationales)
+    }
+
+    /// Total logical ROS bytes (disk space reporting for Table 3).
+    pub fn disk_bytes(&self) -> u64 {
+        self.cluster.logical_ros_bytes()
+    }
+
+    /// Run the tuple mover across the cluster.
+    pub fn tuple_mover_tick(&self) -> DbResult<()> {
+        self.cluster.tuple_mover_tick(true)
+    }
+}
+
+struct Schemas<'a> {
+    cluster: &'a Cluster,
+}
+
+impl SchemaProvider for Schemas<'_> {
+    fn table_schema(&self, name: &str) -> Option<TableSchema> {
+        self.cluster.table_schema(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_sales() -> Database {
+        let db = Database::single_node();
+        db.execute("CREATE TABLE sales (id INT, region VARCHAR, amt FLOAT, ts TIMESTAMP)")
+            .unwrap();
+        db.execute(
+            "CREATE PROJECTION sales_super AS SELECT id, region, amt, ts FROM sales \
+             ORDER BY ts SEGMENTED BY HASH(id) ALL NODES",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_sql_round_trip() {
+        let db = db_with_sales();
+        db.execute(
+            "INSERT INTO sales VALUES \
+             (1, 'east', 10.0, 1000), (2, 'west', 20.0, 2000), \
+             (3, 'east', 30.0, 3000), (4, 'west', 40.0, 4000)",
+        )
+        .unwrap();
+        let r = db
+            .execute("SELECT region, COUNT(*), SUM(amt) FROM sales GROUP BY region ORDER BY region")
+            .unwrap();
+        assert_eq!(r.columns, vec!["region", "count", "sum"]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![
+                    Value::Varchar("east".into()),
+                    Value::Integer(2),
+                    Value::Float(40.0)
+                ],
+                vec![
+                    Value::Varchar("west".into()),
+                    Value::Integer(2),
+                    Value::Float(60.0)
+                ],
+            ]
+        );
+    }
+
+    #[test]
+    fn where_order_limit() {
+        let db = db_with_sales();
+        let rows: Vec<Row> = (0..100)
+            .map(|i| {
+                vec![
+                    Value::Integer(i),
+                    Value::Varchar(if i % 2 == 0 { "e" } else { "w" }.into()),
+                    Value::Float(i as f64),
+                    Value::Timestamp(i * 100),
+                ]
+            })
+            .collect();
+        db.load("sales", &rows).unwrap();
+        let got = db
+            .query("SELECT id FROM sales WHERE amt >= 90 ORDER BY id DESC LIMIT 3")
+            .unwrap();
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Integer(99)],
+                vec![Value::Integer(98)],
+                vec![Value::Integer(97)]
+            ]
+        );
+    }
+
+    #[test]
+    fn delete_update_and_snapshots() {
+        let db = db_with_sales();
+        db.execute("INSERT INTO sales VALUES (1, 'e', 1.0, 10), (2, 'w', 2.0, 20)")
+            .unwrap();
+        let r = db.execute("DELETE FROM sales WHERE id = 1").unwrap();
+        assert_eq!(r.tag, "DELETE 1");
+        assert_eq!(db.query("SELECT id FROM sales").unwrap().len(), 1);
+        db.execute("UPDATE sales SET amt = 9.5 WHERE id = 2").unwrap();
+        let got = db.query("SELECT amt FROM sales WHERE id = 2").unwrap();
+        assert_eq!(got[0][0], Value::Float(9.5));
+    }
+
+    #[test]
+    fn explain_mentions_scan_and_merge() {
+        let db = db_with_sales();
+        db.execute("INSERT INTO sales VALUES (1, 'e', 1.0, 10)").unwrap();
+        let r = db
+            .execute("EXPLAIN SELECT region, COUNT(*) FROM sales GROUP BY region")
+            .unwrap();
+        let text: String = r
+            .rows
+            .iter()
+            .map(|row| format!("{}\n", row[0]))
+            .collect();
+        assert!(text.contains("Scan sales_super"), "{text}");
+        assert!(text.contains("re-aggregate"), "{text}");
+    }
+
+    #[test]
+    fn joins_across_tables() {
+        let db = db_with_sales();
+        db.execute("CREATE TABLE region_names (code VARCHAR, full_name VARCHAR)")
+            .unwrap();
+        db.execute(
+            "CREATE PROJECTION region_super AS SELECT code, full_name FROM region_names \
+             ORDER BY code UNSEGMENTED ALL NODES",
+        )
+        .unwrap();
+        db.execute("INSERT INTO region_names VALUES ('e', 'East Coast'), ('w', 'West Coast')")
+            .unwrap();
+        db.execute(
+            "INSERT INTO sales VALUES (1, 'e', 10.0, 1), (2, 'w', 20.0, 2), (3, 'e', 30.0, 3)",
+        )
+        .unwrap();
+        let rows = db
+            .query(
+                "SELECT full_name, COUNT(*) FROM sales JOIN region_names \
+                 ON sales.region = region_names.code GROUP BY full_name ORDER BY full_name",
+            )
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Varchar("East Coast".into()), Value::Integer(2)],
+                vec![Value::Varchar("West Coast".into()), Value::Integer(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn multinode_query_with_failure_and_recovery() {
+        let db = Database::cluster_of(3, 1);
+        db.execute("CREATE TABLE t (id INT, v INT)").unwrap();
+        db.execute(
+            "CREATE PROJECTION t_super AS SELECT id, v FROM t ORDER BY id \
+             SEGMENTED BY HASH(id) ALL NODES",
+        )
+        .unwrap();
+        let rows: Vec<Row> = (0..500)
+            .map(|i| vec![Value::Integer(i), Value::Integer(i % 7)])
+            .collect();
+        db.load("t", &rows).unwrap();
+        let sum = |db: &Database| -> i64 {
+            db.query("SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v")
+                .unwrap()
+                .iter()
+                .map(|r| r[1].as_i64().unwrap())
+                .sum()
+        };
+        assert_eq!(sum(&db), 500);
+        db.cluster().fail_node(1);
+        assert_eq!(sum(&db), 500, "buddy-sourced reads after failure");
+        db.load("t", &[vec![Value::Integer(999), Value::Integer(0)]])
+            .unwrap();
+        db.cluster().recover_node(1).unwrap();
+        assert_eq!(sum(&db), 501);
+    }
+
+    #[test]
+    fn projection_created_after_load_is_refreshed() {
+        let db = db_with_sales();
+        db.execute("INSERT INTO sales VALUES (1, 'e', 1.0, 10), (2, 'w', 2.0, 20)")
+            .unwrap();
+        db.execute(
+            "CREATE PROJECTION sales_by_region AS SELECT region, amt FROM sales \
+             ORDER BY region UNSEGMENTED ALL NODES",
+        )
+        .unwrap();
+        // The new projection serves queries immediately.
+        let rows = db
+            .query("SELECT region, SUM(amt) FROM sales GROUP BY region ORDER BY region")
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn window_functions_via_sql() {
+        let db = db_with_sales();
+        db.execute(
+            "INSERT INTO sales VALUES \
+             (1, 'e', 10.0, 100), (2, 'e', 20.0, 200), (3, 'w', 5.0, 300)",
+        )
+        .unwrap();
+        let rows = db
+            .query(
+                "SELECT id, SUM(amt) OVER (PARTITION BY region ORDER BY ts) AS running \
+                 FROM sales ORDER BY id",
+            )
+            .unwrap();
+        assert_eq!(rows[0][1], Value::Float(10.0));
+        assert_eq!(rows[1][1], Value::Float(30.0));
+        assert_eq!(rows[2][1], Value::Float(5.0));
+    }
+
+    #[test]
+    fn partition_pruning_and_drop_partition() {
+        let db = Database::single_node();
+        db.execute(
+            "CREATE TABLE events (id INT, ts TIMESTAMP) PARTITION BY YEAR_MONTH(ts)",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE PROJECTION events_super AS SELECT id, ts FROM events ORDER BY ts \
+             SEGMENTED BY HASH(id) ALL NODES",
+        )
+        .unwrap();
+        let mar = vdb_types::date::timestamp_from_civil(2012, 3, 5, 0, 0, 0);
+        let apr = vdb_types::date::timestamp_from_civil(2012, 4, 5, 0, 0, 0);
+        let rows: Vec<Row> = (0..20)
+            .map(|i| {
+                vec![
+                    Value::Integer(i),
+                    Value::Timestamp(if i % 2 == 0 { mar } else { apr }),
+                ]
+            })
+            .collect();
+        db.load("events", &rows).unwrap();
+        let r = db.execute("ALTER TABLE events DROP PARTITION 201203").unwrap();
+        assert!(r.tag.starts_with("DROP PARTITION"));
+        assert_eq!(db.query("SELECT id FROM events").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn designer_installs_projections() {
+        let db = Database::single_node();
+        db.execute("CREATE TABLE m (metric INT, meter INT, ts TIMESTAMP, value FLOAT)")
+            .unwrap();
+        let sample: Vec<Row> = (0..500)
+            .map(|i| {
+                vec![
+                    Value::Integer(i % 5),
+                    Value::Integer(i % 50),
+                    Value::Timestamp(1000 + i * 300),
+                    Value::Float((i % 9) as f64),
+                ]
+            })
+            .collect();
+        let rationales = db
+            .run_designer(
+                "m",
+                &sample,
+                1_000_000,
+                &["SELECT meter, SUM(value) FROM m WHERE metric = 3 GROUP BY meter"],
+                vdb_designer::DesignPolicy::Balanced,
+            )
+            .unwrap();
+        assert!(!rationales.is_empty());
+        db.load("m", &sample).unwrap();
+        let rows = db
+            .query("SELECT meter, SUM(value) FROM m WHERE metric = 3 GROUP BY meter")
+            .unwrap();
+        // metric = 3 ⇔ i ≡ 3 (mod 5); those i values hit 10 distinct meters.
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn count_distinct_end_to_end() {
+        let db = db_with_sales();
+        db.execute(
+            "INSERT INTO sales VALUES (1,'e',1.0,1),(2,'e',1.0,2),(3,'e',2.0,3),(4,'w',2.0,4)",
+        )
+        .unwrap();
+        let rows = db
+            .query("SELECT region, COUNT(DISTINCT amt) FROM sales GROUP BY region ORDER BY region")
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Varchar("e".into()), Value::Integer(2)],
+                vec![Value::Varchar("w".into()), Value::Integer(1)],
+            ]
+        );
+    }
+}

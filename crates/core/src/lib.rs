@@ -1,0 +1,19 @@
+//! `vdb-core` — the Vertica-style analytic database facade.
+//!
+//! [`Database`] glues the stack together: SQL text goes through `vdb-sql`,
+//! SELECTs are planned by `vdb-optimizer` against a statistics catalog
+//! sampled from live storage, plans execute on the `vdb-cluster` simulation
+//! (with `vdb-exec` pipelines per node over `vdb-storage` projections), and
+//! DML runs under `vdb-txn` epochs and locks. The bulk loader implements
+//! the §7 "rejected records" behaviour: malformed CSV rows are collected,
+//! not fatal.
+
+pub mod database;
+pub mod loader;
+
+pub use database::{Database, DatabaseConfig, QueryResult};
+pub use loader::{load_csv, LoadReport};
+
+// Re-exports for example/bench ergonomics.
+pub use vdb_cluster::{Cluster, ClusterConfig};
+pub use vdb_types::{DataType, DbError, DbResult, Row, Value};

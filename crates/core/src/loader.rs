@@ -1,0 +1,126 @@
+//! Bulk CSV loader with rejected-record handling (§7).
+//!
+//! "Handling input data from the bulk loader that did not conform to the
+//! defined schema in a large distributed system turned out to be important
+//! and complex to implement" — malformed rows are collected with their line
+//! numbers and reasons, never aborting the load.
+
+use crate::database::Database;
+use vdb_types::{DbResult, Row, Value};
+
+/// Outcome of a CSV bulk load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    pub loaded: usize,
+    /// (1-based line number, error message) of rejected records.
+    pub rejected: Vec<(usize, String)>,
+}
+
+/// Parse comma-separated text against the table schema and bulk load the
+/// conforming rows straight to the ROS. Empty fields load as NULL.
+pub fn load_csv(db: &Database, table: &str, csv: &str) -> DbResult<LoadReport> {
+    let schema = db
+        .cluster()
+        .table_schema(table)
+        .ok_or_else(|| vdb_types::DbError::NotFound(format!("table {table}")))?;
+    let mut rows: Vec<Row> = Vec::new();
+    let mut rejected = Vec::new();
+    for (i, line) in csv.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != schema.arity() {
+            rejected.push((
+                lineno,
+                format!(
+                    "expected {} fields, found {}",
+                    schema.arity(),
+                    fields.len()
+                ),
+            ));
+            continue;
+        }
+        let mut row: Row = Vec::with_capacity(fields.len());
+        let mut ok = true;
+        for (f, col) in fields.iter().zip(&schema.columns) {
+            match Value::parse_typed(f.trim(), col.data_type) {
+                Ok(v) => row.push(v),
+                Err(e) => {
+                    rejected.push((lineno, format!("column {}: {e}", col.name)));
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // NOT NULL and type validation happen in the storage layer; catch
+        // constraint rejections per row rather than failing the batch.
+        let mut validated = row.clone();
+        match schema.validate_row(&mut validated) {
+            Ok(()) => rows.push(validated),
+            Err(e) => rejected.push((lineno, e.to_string())),
+        }
+    }
+    let loaded = rows.len();
+    if !rows.is_empty() {
+        db.load(table, &rows)?;
+    }
+    Ok(LoadReport { loaded, rejected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::single_node();
+        db.execute("CREATE TABLE t (id INT NOT NULL, name VARCHAR, amt FLOAT)")
+            .unwrap();
+        db.execute(
+            "CREATE PROJECTION t_super AS SELECT id, name, amt FROM t ORDER BY id \
+             SEGMENTED BY HASH(id) ALL NODES",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn loads_conforming_rows() {
+        let db = db();
+        let report = load_csv(&db, "t", "1,ann,2.5\n2,bob,3.5\n").unwrap();
+        assert_eq!(report.loaded, 2);
+        assert!(report.rejected.is_empty());
+        assert_eq!(db.query("SELECT id FROM t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_rows_without_aborting() {
+        let db = db();
+        let csv = "1,ann,2.5\n\
+                   not_a_number,bob,3.5\n\
+                   3,carl\n\
+                   ,dora,1.0\n\
+                   5,eve,oops\n\
+                   6,frank,6.5\n";
+        let report = load_csv(&db, "t", csv).unwrap();
+        assert_eq!(report.loaded, 2, "rows 1 and 6");
+        assert_eq!(report.rejected.len(), 4);
+        let lines: Vec<usize> = report.rejected.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5]);
+        // Line 4 violates NOT NULL (empty id field).
+        assert!(report.rejected[2].1.contains("NOT NULL"));
+        assert_eq!(db.query("SELECT id FROM t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let db = db();
+        let report = load_csv(&db, "t", "\n\n").unwrap();
+        assert_eq!(report.loaded, 0);
+        assert!(report.rejected.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Auto encoding selection (§3.4.1 type 1).
+//!
+//! "The system automatically picks the most advantageous encoding type
+//! based on properties of the data itself. This type is the default and is
+//! used when insufficient usage examples are known."
+//!
+//! [`choose_encoding`] uses cheap data properties (run structure, distinct
+//! count, type, sortedness). [`choose_by_trial`] actually encodes with
+//! every applicable scheme and keeps the smallest — the empirical method
+//! the Database Designer's storage-optimization phase uses (§6.3), whose
+//! encoding choices the paper notes users essentially never override.
+
+use crate::{block_dict, common_delta, delta_range, delta_value, rle, EncodingType};
+use vdb_types::codec::Writer;
+use vdb_types::Value;
+
+/// Data properties driving the heuristic choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnProperties {
+    pub count: usize,
+    pub distinct: usize,
+    pub runs: usize,
+    pub sorted: bool,
+    pub all_integral: bool,
+    pub all_float: bool,
+    pub has_nulls: bool,
+}
+
+/// Compute the properties of a block of values (exact; blocks are small).
+pub fn analyze(values: &[Value]) -> ColumnProperties {
+    let count = values.len();
+    let runs = rle::to_runs(values).len();
+    let mut distinct_set: Vec<&Value> = values.iter().collect();
+    distinct_set.sort();
+    distinct_set.dedup();
+    let distinct = distinct_set.len();
+    let sorted = values.windows(2).all(|w| w[0] <= w[1]);
+    let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    let all_integral = !non_null.is_empty()
+        && non_null
+            .iter()
+            .all(|v| matches!(v, Value::Integer(_) | Value::Timestamp(_)));
+    let all_float = !non_null.is_empty() && non_null.iter().all(|v| matches!(v, Value::Float(_)));
+    ColumnProperties {
+        count,
+        distinct,
+        runs,
+        sorted,
+        all_integral,
+        all_float,
+        has_nulls: non_null.len() != count,
+    }
+}
+
+/// Heuristic encoding choice from data properties.
+pub fn choose_encoding(values: &[Value]) -> EncodingType {
+    if values.is_empty() {
+        return EncodingType::Plain;
+    }
+    let p = analyze(values);
+    let non_null: Vec<Value> = values.iter().filter(|v| !v.is_null()).cloned().collect();
+
+    // Long runs (low-cardinality sorted data): RLE wins outright.
+    if p.count >= 8 && p.runs * 4 <= p.count {
+        return EncodingType::Rle;
+    }
+    if p.all_integral {
+        // Predictable sequences (repeating deltas) → delta dictionary +
+        // entropy coding. Sortedness is not required: periodic timestamps
+        // that reset at series boundaries still have a tiny delta
+        // dictionary. The profitability gate (deltas must repeat ≥8x on
+        // average) keeps random integers away from this scheme.
+        if common_delta::profitable(&non_null) {
+            return EncodingType::CommonDelta;
+        }
+        // Few-valued unsorted → per-block dictionary.
+        if p.distinct * 16 <= p.count && block_dict::applicable(&non_null) {
+            return EncodingType::BlockDict;
+        }
+        // Many-valued unsorted integers → delta from block min.
+        if delta_value::applicable(&non_null) {
+            return EncodingType::DeltaValue;
+        }
+    }
+    if p.all_float {
+        if p.distinct * 16 <= p.count && block_dict::applicable(&non_null) {
+            return EncodingType::BlockDict;
+        }
+        if delta_range::applicable(&non_null) {
+            return EncodingType::DeltaRange;
+        }
+    }
+    // Strings / mixed: dictionary when repetitive, else plain.
+    if p.distinct * 4 <= p.count && block_dict::applicable(&non_null) {
+        return EncodingType::BlockDict;
+    }
+    EncodingType::Plain
+}
+
+/// Empirically choose the smallest encoding by trial (the DBD method).
+/// Returns `(winner, encoded_sizes)` where sizes align with
+/// [`EncodingType::CONCRETE`].
+pub fn choose_by_trial(values: &[Value]) -> (EncodingType, Vec<(EncodingType, usize)>) {
+    let mut results = Vec::with_capacity(EncodingType::CONCRETE.len());
+    for e in EncodingType::CONCRETE {
+        let mut w = Writer::new();
+        let used = crate::block::encode_block(values, e, &mut w);
+        // Only count schemes that actually applied (no silent Plain
+        // fallback winning under another name).
+        if used == e {
+            results.push((e, w.len()));
+        }
+    }
+    let winner = results
+        .iter()
+        .min_by_key(|(_, size)| *size)
+        .map(|(e, _)| *e)
+        .unwrap_or(EncodingType::Plain);
+    (winner, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_low_cardinality_picks_rle() {
+        let mut vals = Vec::new();
+        for d in 0..4 {
+            vals.extend(std::iter::repeat(Value::Integer(d)).take(100));
+        }
+        assert_eq!(choose_encoding(&vals), EncodingType::Rle);
+    }
+
+    #[test]
+    fn periodic_sorted_ints_pick_common_delta() {
+        let vals: Vec<Value> = (0..1000).map(|i| Value::Integer(i * 300)).collect();
+        assert_eq!(choose_encoding(&vals), EncodingType::CommonDelta);
+    }
+
+    #[test]
+    fn many_valued_unsorted_ints_pick_delta_value() {
+        let mut x = 17u64;
+        let vals: Vec<Value> = (0..1000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                Value::Integer((x % 1_000_000) as i64)
+            })
+            .collect();
+        assert_eq!(choose_encoding(&vals), EncodingType::DeltaValue);
+    }
+
+    #[test]
+    fn few_valued_unsorted_floats_pick_block_dict() {
+        let prices = [10.0, 10.25, 10.5];
+        let vals: Vec<Value> = (0..600)
+            .map(|i| Value::Float(prices[(i * 7) % 3]))
+            .collect();
+        // Unsorted but few runs of equal neighbors: check not RLE-dominated.
+        let e = choose_encoding(&vals);
+        assert_eq!(e, EncodingType::BlockDict);
+    }
+
+    #[test]
+    fn random_strings_pick_plain() {
+        let vals: Vec<Value> = (0..100)
+            .map(|i| Value::Varchar(format!("user_{i}_xyz")))
+            .collect();
+        assert_eq!(choose_encoding(&vals), EncodingType::Plain);
+    }
+
+    #[test]
+    fn trial_choice_is_never_bigger_than_heuristic() {
+        let vals: Vec<Value> = (0..2000).map(|i| Value::Integer(i / 10)).collect();
+        let (winner, sizes) = choose_by_trial(&vals);
+        let winner_size = sizes.iter().find(|(e, _)| *e == winner).unwrap().1;
+        for (_, s) in &sizes {
+            assert!(winner_size <= *s);
+        }
+    }
+
+    #[test]
+    fn analyze_properties() {
+        let vals = vec![
+            Value::Integer(1),
+            Value::Integer(1),
+            Value::Integer(2),
+            Value::Null,
+        ];
+        let p = analyze(&vals);
+        assert_eq!(p.count, 4);
+        assert_eq!(p.runs, 3);
+        assert!(p.has_nulls);
+        assert!(!p.sorted, "null sorts first, so trailing null breaks order");
+    }
+}

@@ -1,0 +1,256 @@
+//! Block-level encode/decode with centralized NULL handling.
+//!
+//! Layout of an encoded block:
+//!
+//! ```text
+//! [encoding tag: u8] [count: uvarint] [null flag: u8]
+//! [if nulls: null bitmap, ceil(count/8) bytes]
+//! [codec payload over the non-null values]
+//! ```
+//!
+//! The specialized codecs (delta/dictionary families) only see non-null
+//! values; NULL positions are carried in the bitmap. RLE and Plain handle
+//! NULLs natively (a NULL run is a perfectly good run), so they skip the
+//! bitmap, keeping the common sorted-leading-column path allocation-free.
+
+use crate::{
+    auto, block_dict, common_delta, delta_range, delta_value, plain, rle, EncodingType,
+};
+use vdb_types::codec::{Reader, Writer};
+use vdb_types::{DbError, DbResult, Value};
+
+/// Result of decoding a block: either expanded values or RLE runs (for the
+/// encoded-execution path of §6.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodedBlock {
+    Values(Vec<Value>),
+    Runs(Vec<(Value, u32)>),
+}
+
+impl DecodedBlock {
+    /// Expand to plain values.
+    pub fn into_values(self) -> Vec<Value> {
+        match self {
+            DecodedBlock::Values(v) => v,
+            DecodedBlock::Runs(runs) => {
+                let total: usize = runs.iter().map(|(_, n)| *n as usize).sum();
+                let mut out = Vec::with_capacity(total);
+                for (v, n) in runs {
+                    for _ in 0..n {
+                        out.push(v.clone());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Row count without expansion.
+    pub fn len(&self) -> usize {
+        match self {
+            DecodedBlock::Values(v) => v.len(),
+            DecodedBlock::Runs(runs) => runs.iter().map(|(_, n)| *n as usize).sum(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Encode one block of values. Returns the concrete encoding actually used
+/// (Auto resolves; inapplicable requests fall back to Plain — the storage
+/// layer records the concrete tag in the position index).
+pub fn encode_block(values: &[Value], requested: EncodingType, w: &mut Writer) -> EncodingType {
+    let concrete = resolve(values, requested);
+    w.put_u8(concrete.tag());
+    w.put_uvarint(values.len() as u64);
+    match concrete {
+        EncodingType::Plain => {
+            w.put_u8(0);
+            plain::encode(values, w);
+        }
+        EncodingType::Rle => {
+            w.put_u8(0);
+            rle::encode(values, w);
+        }
+        EncodingType::DeltaValue | EncodingType::BlockDict | EncodingType::DeltaRange
+        | EncodingType::CommonDelta => {
+            let has_nulls = values.iter().any(Value::is_null);
+            w.put_u8(u8::from(has_nulls));
+            let storage: Vec<Value>;
+            let non_null: &[Value] = if has_nulls {
+                let mut bitmap = vec![0u8; values.len().div_ceil(8)];
+                for (i, v) in values.iter().enumerate() {
+                    if v.is_null() {
+                        bitmap[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                w.put_raw(&bitmap);
+                storage = values.iter().filter(|v| !v.is_null()).cloned().collect();
+                &storage
+            } else {
+                values
+            };
+            let r = match concrete {
+                EncodingType::DeltaValue => delta_value::encode(non_null, w),
+                EncodingType::BlockDict => block_dict::encode(non_null, w),
+                EncodingType::DeltaRange => delta_range::encode(non_null, w),
+                EncodingType::CommonDelta => common_delta::encode(non_null, w),
+                _ => unreachable!(),
+            };
+            debug_assert!(r.is_ok(), "resolve() guaranteed applicability");
+        }
+        EncodingType::Auto => unreachable!("resolve() returns concrete encodings"),
+    }
+    concrete
+}
+
+/// Resolve a requested encoding against the data: Auto picks; inapplicable
+/// specialized codecs fall back to Plain.
+fn resolve(values: &[Value], requested: EncodingType) -> EncodingType {
+    let non_null_applicable = |e: EncodingType| {
+        let non_null: Vec<Value> = values.iter().filter(|v| !v.is_null()).cloned().collect();
+        match e {
+            EncodingType::DeltaValue => delta_value::applicable(&non_null),
+            EncodingType::BlockDict => block_dict::applicable(&non_null),
+            EncodingType::DeltaRange => delta_range::applicable(&non_null),
+            EncodingType::CommonDelta => common_delta::applicable(&non_null),
+            _ => true,
+        }
+    };
+    match requested {
+        EncodingType::Auto => auto::choose_encoding(values),
+        EncodingType::Plain | EncodingType::Rle => requested,
+        e if non_null_applicable(e) => e,
+        _ => EncodingType::Plain,
+    }
+}
+
+/// Decode one block.
+pub fn decode_block(r: &mut Reader<'_>) -> DbResult<DecodedBlock> {
+    let encoding = EncodingType::from_tag(r.get_u8()?)?;
+    let count = r.get_uvarint()? as usize;
+    let has_nulls = r.get_u8()? != 0;
+    match encoding {
+        EncodingType::Plain => Ok(DecodedBlock::Values(plain::decode(r, count)?)),
+        EncodingType::Rle => Ok(DecodedBlock::Runs(rle::decode_runs(r, count)?)),
+        EncodingType::Auto => Err(DbError::Corrupt("Auto tag on disk".into())),
+        specialized => {
+            let (null_bitmap, non_null_count) = if has_nulls {
+                let bitmap = r.get_raw(count.div_ceil(8))?.to_vec();
+                let nulls = (0..count)
+                    .filter(|i| bitmap[i / 8] & (1 << (i % 8)) != 0)
+                    .count();
+                (Some(bitmap), count - nulls)
+            } else {
+                (None, count)
+            };
+            let non_null = match specialized {
+                EncodingType::DeltaValue => delta_value::decode(r, non_null_count)?,
+                EncodingType::BlockDict => block_dict::decode(r, non_null_count)?,
+                EncodingType::DeltaRange => delta_range::decode(r, non_null_count)?,
+                EncodingType::CommonDelta => common_delta::decode(r, non_null_count)?,
+                _ => unreachable!(),
+            };
+            match null_bitmap {
+                None => Ok(DecodedBlock::Values(non_null)),
+                Some(bitmap) => {
+                    let mut out = Vec::with_capacity(count);
+                    let mut it = non_null.into_iter();
+                    for i in 0..count {
+                        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                            out.push(Value::Null);
+                        } else {
+                            out.push(it.next().ok_or_else(|| {
+                                DbError::Corrupt("null bitmap / payload mismatch".into())
+                            })?);
+                        }
+                    }
+                    Ok(DecodedBlock::Values(out))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[Value], enc: EncodingType) -> EncodingType {
+        let mut w = Writer::new();
+        let used = encode_block(values, enc, &mut w);
+        let bytes = w.into_bytes();
+        let decoded = decode_block(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(decoded.len(), values.len());
+        assert_eq!(decoded.into_values(), values);
+        used
+    }
+
+    #[test]
+    fn every_concrete_encoding_round_trips_ints() {
+        let vals: Vec<Value> = (0..500).map(|i| Value::Integer(i % 37)).collect();
+        for e in EncodingType::CONCRETE {
+            round_trip(&vals, e);
+        }
+    }
+
+    #[test]
+    fn nulls_round_trip_through_specialized_codecs() {
+        let vals: Vec<Value> = (0..200)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Integer(i)
+                }
+            })
+            .collect();
+        for e in [
+            EncodingType::DeltaValue,
+            EncodingType::BlockDict,
+            EncodingType::DeltaRange,
+            EncodingType::CommonDelta,
+            EncodingType::Rle,
+            EncodingType::Plain,
+        ] {
+            round_trip(&vals, e);
+        }
+    }
+
+    #[test]
+    fn inapplicable_request_falls_back_to_plain() {
+        let vals = vec![Value::Varchar("a".into()), Value::Varchar("b".into())];
+        let used = round_trip(&vals, EncodingType::DeltaValue);
+        assert_eq!(used, EncodingType::Plain);
+    }
+
+    #[test]
+    fn rle_blocks_decode_as_runs() {
+        let vals = vec![Value::Integer(1); 100];
+        let mut w = Writer::new();
+        encode_block(&vals, EncodingType::Rle, &mut w);
+        let bytes = w.into_bytes();
+        match decode_block(&mut Reader::new(&bytes)).unwrap() {
+            DecodedBlock::Runs(runs) => assert_eq!(runs, vec![(Value::Integer(1), 100)]),
+            DecodedBlock::Values(_) => panic!("rle should decode to runs"),
+        }
+    }
+
+    #[test]
+    fn empty_block() {
+        round_trip(&[], EncodingType::Plain);
+        round_trip(&[], EncodingType::Rle);
+    }
+
+    #[test]
+    fn auto_never_writes_auto_tag() {
+        let vals: Vec<Value> = (0..100).map(Value::Integer).collect();
+        let mut w = Writer::new();
+        let used = encode_block(&vals, EncodingType::Auto, &mut w);
+        assert_ne!(used, EncodingType::Auto);
+        let bytes = w.into_bytes();
+        assert_ne!(bytes[0], EncodingType::Auto.tag());
+    }
+}

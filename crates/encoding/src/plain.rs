@@ -1,0 +1,42 @@
+//! Plain (uncompressed) encoding: tagged values back to back.
+//!
+//! Fallback when no specialized scheme applies; also the reference decoder
+//! against which all other codecs are property-tested.
+
+use vdb_types::codec::{Reader, Writer};
+use vdb_types::{DbResult, Value};
+
+pub fn encode(values: &[Value], w: &mut Writer) {
+    for v in values {
+        w.put_value(v);
+    }
+}
+
+pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(r.get_value()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed() {
+        let vals = vec![
+            Value::Integer(1),
+            Value::Varchar("x".into()),
+            Value::Float(0.5),
+            Value::Boolean(false),
+            Value::Timestamp(99),
+        ];
+        let mut w = Writer::new();
+        encode(&vals, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(decode(&mut r, vals.len()).unwrap(), vals);
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-column position index (§3.7).
+//!
+//! "Vertica stores two files per column within a ROS container: one with
+//! the actual column data, and one with a position index. ... The position
+//! index is approximately 1/1000 the size of the raw column data and stores
+//! metadata per disk block such as start position, minimum value and
+//! maximum value that improve the speed of the execution engine and permits
+//! fast tuple reconstruction. Unlike C-Store, this index structure does not
+//! utilize a B-Tree as the ROS containers are never modified."
+//!
+//! Accordingly [`PositionIndex`] is a flat, immutable array of per-block
+//! metadata; lookups are binary searches over start positions.
+
+use crate::EncodingType;
+use vdb_types::codec::{Reader, Writer};
+use vdb_types::{DbError, DbResult, Value};
+
+/// Metadata for one encoded block of a column file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeta {
+    /// Ordinal position (within the ROS container) of the block's first row.
+    pub start_position: u64,
+    /// Number of rows in the block.
+    pub count: u32,
+    /// Byte offset of the block within the column data file.
+    pub byte_offset: u64,
+    /// Encoded byte length of the block.
+    pub byte_len: u32,
+    /// Concrete encoding used for this block.
+    pub encoding: EncodingType,
+    /// Minimum value in the block (NULLs excluded; Null if all-null).
+    pub min: Value,
+    /// Maximum value in the block (NULLs excluded; Null if all-null).
+    pub max: Value,
+}
+
+impl BlockMeta {
+    /// Can any row of this block satisfy `value ⊓ [min, max]`? Used by the
+    /// scan operator's block pruning (the [22] SMA technique in §3.5).
+    pub fn might_contain_range(&self, low: Option<&Value>, high: Option<&Value>) -> bool {
+        if self.min.is_null() && self.max.is_null() {
+            // All-null block: only IS NULL scans care, which bypass pruning.
+            return false;
+        }
+        if let Some(lo) = low {
+            if &self.max < lo {
+                return false;
+            }
+        }
+        if let Some(hi) = high {
+            if &self.min > hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The position index for one column of one ROS container.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PositionIndex {
+    pub blocks: Vec<BlockMeta>,
+}
+
+impl PositionIndex {
+    pub fn total_rows(&self) -> u64 {
+        self.blocks
+            .last()
+            .map_or(0, |b| b.start_position + u64::from(b.count))
+    }
+
+    /// Index of the block containing ordinal `position`.
+    pub fn block_for_position(&self, position: u64) -> Option<usize> {
+        if position >= self.total_rows() {
+            return None;
+        }
+        let i = self
+            .blocks
+            .partition_point(|b| b.start_position + u64::from(b.count) <= position);
+        Some(i)
+    }
+
+    /// Column-level min/max across blocks (for container-level pruning).
+    pub fn column_min_max(&self) -> Option<(Value, Value)> {
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for b in &self.blocks {
+            if b.min.is_null() && b.max.is_null() {
+                continue;
+            }
+            min = Some(match min {
+                None => b.min.clone(),
+                Some(m) => m.min(b.min.clone()),
+            });
+            max = Some(match max {
+                None => b.max.clone(),
+                Some(m) => m.max(b.max.clone()),
+            });
+        }
+        Some((min?, max?))
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_uvarint(self.blocks.len() as u64);
+        for b in &self.blocks {
+            w.put_uvarint(b.start_position);
+            w.put_uvarint(u64::from(b.count));
+            w.put_uvarint(b.byte_offset);
+            w.put_uvarint(u64::from(b.byte_len));
+            w.put_u8(b.encoding.tag());
+            w.put_value(&b.min);
+            w.put_value(&b.max);
+        }
+        w.into_bytes()
+    }
+
+    pub fn decode(bytes: &[u8]) -> DbResult<PositionIndex> {
+        let mut r = Reader::new(bytes);
+        let n = r.get_uvarint()? as usize;
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            blocks.push(BlockMeta {
+                start_position: r.get_uvarint()?,
+                count: r.get_uvarint()? as u32,
+                byte_offset: r.get_uvarint()?,
+                byte_len: r.get_uvarint()? as u32,
+                encoding: EncodingType::from_tag(r.get_u8()?)?,
+                min: r.get_value()?,
+                max: r.get_value()?,
+            });
+        }
+        if !r.is_empty() {
+            return Err(DbError::Corrupt("trailing bytes in position index".into()));
+        }
+        Ok(PositionIndex { blocks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(start: u64, count: u32, min: i64, max: i64) -> BlockMeta {
+        BlockMeta {
+            start_position: start,
+            count,
+            byte_offset: start * 10,
+            byte_len: count * 10,
+            encoding: EncodingType::Plain,
+            min: Value::Integer(min),
+            max: Value::Integer(max),
+        }
+    }
+
+    #[test]
+    fn position_lookup() {
+        let idx = PositionIndex {
+            blocks: vec![meta(0, 100, 0, 9), meta(100, 100, 10, 19), meta(200, 50, 20, 25)],
+        };
+        assert_eq!(idx.total_rows(), 250);
+        assert_eq!(idx.block_for_position(0), Some(0));
+        assert_eq!(idx.block_for_position(99), Some(0));
+        assert_eq!(idx.block_for_position(100), Some(1));
+        assert_eq!(idx.block_for_position(249), Some(2));
+        assert_eq!(idx.block_for_position(250), None);
+    }
+
+    #[test]
+    fn range_pruning() {
+        let b = meta(0, 100, 10, 20);
+        assert!(b.might_contain_range(Some(&Value::Integer(15)), None));
+        assert!(!b.might_contain_range(Some(&Value::Integer(21)), None));
+        assert!(!b.might_contain_range(None, Some(&Value::Integer(9))));
+        assert!(b.might_contain_range(Some(&Value::Integer(20)), Some(&Value::Integer(20))));
+        assert!(b.might_contain_range(None, None));
+    }
+
+    #[test]
+    fn all_null_block_prunes() {
+        let b = BlockMeta {
+            min: Value::Null,
+            max: Value::Null,
+            ..meta(0, 10, 0, 0)
+        };
+        assert!(!b.might_contain_range(None, None));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let idx = PositionIndex {
+            blocks: vec![
+                meta(0, 1024, -5, 100),
+                BlockMeta {
+                    encoding: EncodingType::Rle,
+                    min: Value::Varchar("a".into()),
+                    max: Value::Varchar("z".into()),
+                    ..meta(1024, 512, 0, 0)
+                },
+            ],
+        };
+        let bytes = idx.encode();
+        assert_eq!(PositionIndex::decode(&bytes).unwrap(), idx);
+        assert!(PositionIndex::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn column_min_max_spans_blocks() {
+        let idx = PositionIndex {
+            blocks: vec![meta(0, 10, 5, 20), meta(10, 10, -3, 8)],
+        };
+        assert_eq!(
+            idx.column_min_max(),
+            Some((Value::Integer(-3), Value::Integer(20)))
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests: every encoding must round-trip arbitrary value
+//! sequences (falling back to Plain where inapplicable), and the position
+//! index must agree with the data file.
+
+use proptest::prelude::*;
+use vdb_encoding::{ColumnReader, ColumnWriter, EncodingType};
+use vdb_types::codec::{Reader, Writer};
+use vdb_types::Value;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Integer),
+        // Finite floats keep assertions simple; NaN handled in unit tests.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(Value::Varchar),
+        any::<bool>().prop_map(Value::Boolean),
+        (-4_000_000_000i64..4_000_000_000).prop_map(Value::Timestamp),
+    ]
+}
+
+/// Homogeneous columns: the realistic case (a column has one type).
+fn arb_column() -> impl Strategy<Value = Vec<Value>> {
+    prop_oneof![
+        prop::collection::vec(
+            prop_oneof![Just(Value::Null), (-1000i64..1000).prop_map(Value::Integer)],
+            0..500
+        ),
+        prop::collection::vec(
+            prop_oneof![Just(Value::Null), (0i64..50).prop_map(Value::Integer)],
+            0..500
+        ),
+        prop::collection::vec((-1e6f64..1e6).prop_map(Value::Float), 0..300),
+        prop::collection::vec("[a-c]{1,3}".prop_map(Value::Varchar), 0..300),
+        prop::collection::vec(arb_value(), 0..200),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_encoding_round_trips(values in arb_column(), enc_idx in 0usize..6) {
+        let enc = EncodingType::CONCRETE[enc_idx];
+        let mut w = Writer::new();
+        vdb_encoding::encode_block(&values, enc, &mut w);
+        let bytes = w.into_bytes();
+        let decoded = vdb_encoding::decode_block(&mut Reader::new(&bytes)).unwrap();
+        prop_assert_eq!(decoded.into_values(), values);
+    }
+
+    #[test]
+    fn auto_round_trips_and_never_beats_plain_badly(values in arb_column()) {
+        let mut w = Writer::new();
+        let used = vdb_encoding::encode_block(&values, EncodingType::Auto, &mut w);
+        prop_assert_ne!(used, EncodingType::Auto);
+        let bytes = w.into_bytes();
+        let decoded = vdb_encoding::decode_block(&mut Reader::new(&bytes)).unwrap();
+        prop_assert_eq!(decoded.into_values(), values);
+    }
+
+    #[test]
+    fn column_writer_reader_round_trip(values in arb_column(), block in 1usize..200) {
+        let mut w = ColumnWriter::with_block_size(EncodingType::Auto, block);
+        w.extend(values.iter().cloned());
+        let (data, index) = w.finish();
+        let r = ColumnReader::new(&data, &index);
+        prop_assert_eq!(r.total_rows() as usize, values.len());
+        prop_assert_eq!(r.read_all().unwrap(), values.clone());
+        // Positional fetches agree with the expanded column.
+        if !values.is_empty() {
+            let probe = values.len() / 2;
+            prop_assert_eq!(r.value_at(probe as u64).unwrap(), values[probe].clone());
+        }
+    }
+
+    #[test]
+    fn block_min_max_bounds_all_values(values in arb_column()) {
+        let mut w = ColumnWriter::with_block_size(EncodingType::Auto, 64);
+        w.extend(values.iter().cloned());
+        let (_, index) = w.finish();
+        let mut pos = 0usize;
+        for b in &index.blocks {
+            for v in &values[pos..pos + b.count as usize] {
+                if !v.is_null() {
+                    prop_assert!(v >= &b.min && v <= &b.max);
+                }
+            }
+            pos += b.count as usize;
+        }
+    }
+
+    #[test]
+    fn compressor_round_trips_bytes(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let c = vdb_compress::compress(&data);
+        prop_assert_eq!(vdb_compress::decompress(&c).unwrap(), data);
+    }
+}

@@ -1,0 +1,358 @@
+//! Aggregate functions with decomposable partial states.
+//!
+//! Partial states make three §6.1 techniques possible: the L1-sized
+//! *prepass* GroupBy (partials merged by the final GroupBy), parallel
+//! GroupBys under a ParallelUnion, and distributed aggregation where
+//! per-node partials are merged after a Send/Recv.
+
+use vdb_types::{DbError, DbResult, Value};
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    CountDistinct,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Count => "COUNT",
+            AggFunc::CountDistinct => "COUNT DISTINCT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Can partial states be merged? (COUNT DISTINCT partials must carry
+    /// the distinct set, which `AggState::merge` does — so yes for all.)
+    pub fn parse(name: &str, distinct: bool) -> Option<AggFunc> {
+        Some(match (name.to_ascii_uppercase().as_str(), distinct) {
+            ("COUNT", false) => AggFunc::Count,
+            ("COUNT", true) => AggFunc::CountDistinct,
+            ("SUM", false) => AggFunc::Sum,
+            ("MIN", false) => AggFunc::Min,
+            ("MAX", false) => AggFunc::Max,
+            ("AVG", false) => AggFunc::Avg,
+            _ => return None,
+        })
+    }
+}
+
+/// One aggregate call: function + input column (of the operator's input).
+/// `input` is ignored for `CountStar`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    pub func: AggFunc,
+    pub input: usize,
+    pub output_name: String,
+}
+
+impl AggCall {
+    pub fn new(func: AggFunc, input: usize, output_name: impl Into<String>) -> AggCall {
+        AggCall {
+            func,
+            input,
+            output_name: output_name.into(),
+        }
+    }
+}
+
+/// Running state of one aggregate within one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    Count(u64),
+    /// Distinct values seen (hash of value → kept small by hashing; exact
+    /// values retained for correctness).
+    CountDistinct(std::collections::BTreeSet<Value>),
+    /// SUM with integer/float duality: stays integer until a float arrives.
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    /// (sum, count) for AVG.
+    Avg(f64, u64),
+}
+
+impl AggState {
+    pub fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+            AggFunc::CountDistinct => AggState::CountDistinct(Default::default()),
+            AggFunc::Sum => AggState::SumInt(0, false),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+        }
+    }
+
+    /// Fold in one value (`Value::Null` for CountStar's placeholder). SQL
+    /// semantics: NULLs are ignored by every aggregate except COUNT(*).
+    pub fn update(&mut self, func: AggFunc, v: &Value) -> DbResult<()> {
+        self.update_n(func, v, 1)
+    }
+
+    /// Fold in `n` copies of one value — the RLE fast path: a run of
+    /// identical values updates the state once (§6.1 "operate directly on
+    /// encoded data").
+    pub fn update_n(&mut self, func: AggFunc, v: &Value, n: u64) -> DbResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        match self {
+            AggState::Count(c) => {
+                if func == AggFunc::CountStar || !v.is_null() {
+                    *c += n;
+                }
+            }
+            AggState::CountDistinct(set) => {
+                if !v.is_null() {
+                    set.insert(v.clone());
+                }
+            }
+            AggState::SumInt(acc, seen) => match v {
+                Value::Null => {}
+                Value::Integer(i) => {
+                    *acc = acc.wrapping_add(i.wrapping_mul(n as i64));
+                    *seen = true;
+                }
+                Value::Float(f) => {
+                    let new = *acc as f64 + f * n as f64;
+                    *self = AggState::SumFloat(new, true);
+                }
+                other => {
+                    return Err(DbError::TypeMismatch {
+                        expected: "numeric for SUM".into(),
+                        found: other.to_string(),
+                    })
+                }
+            },
+            AggState::SumFloat(acc, seen) => match v {
+                Value::Null => {}
+                other => {
+                    let f = other.as_f64().ok_or_else(|| DbError::TypeMismatch {
+                        expected: "numeric for SUM".into(),
+                        found: other.to_string(),
+                    })?;
+                    *acc += f * n as f64;
+                    *seen = true;
+                }
+            },
+            AggState::Min(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            AggState::Max(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            AggState::Avg(sum, count) => {
+                if !v.is_null() {
+                    let f = v.as_f64().ok_or_else(|| DbError::TypeMismatch {
+                        expected: "numeric for AVG".into(),
+                        found: v.to_string(),
+                    })?;
+                    *sum += f * n as f64;
+                    *count += n;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another partial state (prepass → final, node → coordinator).
+    pub fn merge(&mut self, other: AggState) -> DbResult<()> {
+        match (&mut *self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::CountDistinct(a), AggState::CountDistinct(b)) => a.extend(b),
+            (AggState::SumInt(a, sa), AggState::SumInt(b, sb)) => {
+                *a = a.wrapping_add(b);
+                *sa |= sb;
+            }
+            (AggState::SumInt(a, sa), AggState::SumFloat(b, sb)) => {
+                *self = AggState::SumFloat(*a as f64 + b, *sa || sb);
+            }
+            (AggState::SumFloat(a, sa), AggState::SumInt(b, sb)) => {
+                *a += b as f64;
+                *sa |= sb;
+            }
+            (AggState::SumFloat(a, sa), AggState::SumFloat(b, sb)) => {
+                *a += b;
+                *sa |= sb;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|av| &bv < av) {
+                        *a = Some(bv);
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|av| &bv > av) {
+                        *a = Some(bv);
+                    }
+                }
+            }
+            (AggState::Avg(s, c), AggState::Avg(s2, c2)) => {
+                *s += s2;
+                *c += c2;
+            }
+            (a, b) => {
+                return Err(DbError::Execution(format!(
+                    "cannot merge aggregate states {a:?} and {b:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Final SQL value.
+    pub fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Integer(c as i64),
+            AggState::CountDistinct(set) => Value::Integer(set.len() as i64),
+            AggState::SumInt(v, seen) => {
+                if seen {
+                    Value::Integer(v)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumFloat(v, seen) => {
+                if seen {
+                    Value::Float(v)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::Avg(sum, count) => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+        }
+    }
+
+    /// Approximate bytes held (memory budgeting; only CountDistinct grows).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            AggState::CountDistinct(set) => {
+                32 + set.iter().map(crate::batch::approx_value_bytes).sum::<usize>()
+            }
+            _ => 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_ignores_nulls_count_star_does_not() {
+        let mut c = AggState::new(AggFunc::Count);
+        c.update(AggFunc::Count, &Value::Null).unwrap();
+        c.update(AggFunc::Count, &Value::Integer(1)).unwrap();
+        assert_eq!(c.finish(), Value::Integer(1));
+        let mut cs = AggState::new(AggFunc::CountStar);
+        cs.update(AggFunc::CountStar, &Value::Null).unwrap();
+        cs.update(AggFunc::CountStar, &Value::Null).unwrap();
+        assert_eq!(cs.finish(), Value::Integer(2));
+    }
+
+    #[test]
+    fn sum_integer_until_float_appears() {
+        let mut s = AggState::new(AggFunc::Sum);
+        s.update(AggFunc::Sum, &Value::Integer(5)).unwrap();
+        s.update(AggFunc::Sum, &Value::Integer(7)).unwrap();
+        assert_eq!(s.clone().finish(), Value::Integer(12));
+        s.update(AggFunc::Sum, &Value::Float(0.5)).unwrap();
+        assert_eq!(s.finish(), Value::Float(12.5));
+        // Empty SUM is NULL.
+        assert_eq!(AggState::new(AggFunc::Sum).finish(), Value::Null);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let mut mn = AggState::new(AggFunc::Min);
+        let mut mx = AggState::new(AggFunc::Max);
+        let mut av = AggState::new(AggFunc::Avg);
+        for v in [3i64, 1, 4, 1, 5] {
+            mn.update(AggFunc::Min, &Value::Integer(v)).unwrap();
+            mx.update(AggFunc::Max, &Value::Integer(v)).unwrap();
+            av.update(AggFunc::Avg, &Value::Integer(v)).unwrap();
+        }
+        assert_eq!(mn.finish(), Value::Integer(1));
+        assert_eq!(mx.finish(), Value::Integer(5));
+        assert_eq!(av.finish(), Value::Float(2.8));
+    }
+
+    #[test]
+    fn count_distinct_dedups_across_merge() {
+        let mut a = AggState::new(AggFunc::CountDistinct);
+        let mut b = AggState::new(AggFunc::CountDistinct);
+        for v in [1i64, 2, 2] {
+            a.update(AggFunc::CountDistinct, &Value::Integer(v)).unwrap();
+        }
+        for v in [2i64, 3] {
+            b.update(AggFunc::CountDistinct, &Value::Integer(v)).unwrap();
+        }
+        a.merge(b).unwrap();
+        assert_eq!(a.finish(), Value::Integer(3));
+    }
+
+    #[test]
+    fn rle_update_n_equals_n_updates() {
+        let mut bulk = AggState::new(AggFunc::Avg);
+        bulk.update_n(AggFunc::Avg, &Value::Integer(10), 1000).unwrap();
+        bulk.update_n(AggFunc::Avg, &Value::Integer(20), 1000).unwrap();
+        let mut single = AggState::new(AggFunc::Avg);
+        for _ in 0..1000 {
+            single.update(AggFunc::Avg, &Value::Integer(10)).unwrap();
+            single.update(AggFunc::Avg, &Value::Integer(20)).unwrap();
+        }
+        assert_eq!(bulk.finish(), single.finish());
+        let mut c = AggState::new(AggFunc::CountStar);
+        c.update_n(AggFunc::CountStar, &Value::Null, 42).unwrap();
+        assert_eq!(c.finish(), Value::Integer(42));
+    }
+
+    #[test]
+    fn partial_merge_matches_single_pass() {
+        let values: Vec<i64> = (0..100).collect();
+        let mut single = AggState::new(AggFunc::Sum);
+        for v in &values {
+            single.update(AggFunc::Sum, &Value::Integer(*v)).unwrap();
+        }
+        let mut p1 = AggState::new(AggFunc::Sum);
+        let mut p2 = AggState::new(AggFunc::Sum);
+        for v in &values[..50] {
+            p1.update(AggFunc::Sum, &Value::Integer(*v)).unwrap();
+        }
+        for v in &values[50..] {
+            p2.update(AggFunc::Sum, &Value::Integer(*v)).unwrap();
+        }
+        p1.merge(p2).unwrap();
+        assert_eq!(p1.finish(), single.finish());
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let mut s = AggState::new(AggFunc::Sum);
+        assert!(s.update(AggFunc::Sum, &Value::Varchar("x".into())).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! The Analytic operator (§6.1 #6): SQL-99 windowed aggregates.
+//!
+//! `f(...) OVER (PARTITION BY p ORDER BY o)` — input is sorted by
+//! (partition, order) first (the optimizer skips the sort when a
+//! projection's sort order already provides it), then each partition is
+//! processed in one pass. With an ORDER BY, aggregate functions compute the
+//! running (rows-unbounded-preceding) frame; without one, the whole
+//! partition.
+
+use crate::aggregate::{AggFunc, AggState};
+use crate::batch::{Batch, BATCH_SIZE};
+use crate::memory::MemoryBudget;
+use crate::operator::{BoxedOperator, Operator};
+use crate::sort::SortOp;
+use vdb_types::schema::SortKey;
+use vdb_types::{DbResult, Row, Value};
+
+/// Window function kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowFunc {
+    RowNumber,
+    Rank,
+    DenseRank,
+    /// `LAG(col, 1)` — previous row's value within the partition.
+    Lag(usize),
+    /// `LEAD(col, 1)`.
+    Lead(usize),
+    /// Windowed aggregate over `col`.
+    Agg(AggFunc, usize),
+}
+
+impl WindowFunc {
+    pub fn name(&self) -> String {
+        match self {
+            WindowFunc::RowNumber => "ROW_NUMBER()".into(),
+            WindowFunc::Rank => "RANK()".into(),
+            WindowFunc::DenseRank => "DENSE_RANK()".into(),
+            WindowFunc::Lag(c) => format!("LAG(#{c})"),
+            WindowFunc::Lead(c) => format!("LEAD(#{c})"),
+            WindowFunc::Agg(f, c) => format!("{} OVER (#{c})", f.name()),
+        }
+    }
+}
+
+/// One window call: function + window spec (shared across calls here; one
+/// Analytic operator per distinct window spec, as real planners do).
+pub struct AnalyticOp {
+    /// Sorted input (constructed in `new`).
+    input: BoxedOperator,
+    partition_by: Vec<usize>,
+    order_by: Vec<SortKey>,
+    funcs: Vec<WindowFunc>,
+    /// Buffered current partition.
+    partition: Vec<Row>,
+    current_key: Option<Vec<Value>>,
+    pending: Vec<Row>,
+    input_done: bool,
+    carry: Vec<Row>,
+}
+
+impl AnalyticOp {
+    /// `pre_sorted`: skip the sort when the input already arrives ordered
+    /// by (partition_by, order_by) — the projection-sort-order fast path.
+    pub fn new(
+        input: BoxedOperator,
+        partition_by: Vec<usize>,
+        order_by: Vec<SortKey>,
+        funcs: Vec<WindowFunc>,
+        pre_sorted: bool,
+        budget: MemoryBudget,
+    ) -> AnalyticOp {
+        let sorted: BoxedOperator = if pre_sorted {
+            input
+        } else {
+            let mut keys: Vec<SortKey> =
+                partition_by.iter().map(|&c| SortKey::asc(c)).collect();
+            keys.extend(order_by.iter().copied());
+            Box::new(SortOp::new(input, keys, budget))
+        };
+        AnalyticOp {
+            input: sorted,
+            partition_by,
+            order_by,
+            funcs,
+            partition: Vec::new(),
+            current_key: None,
+            pending: Vec::new(),
+            input_done: false,
+            carry: Vec::new(),
+        }
+    }
+
+    fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.partition_by.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    /// Compute window columns for a complete partition and append rows to
+    /// pending output.
+    fn flush_partition(&mut self) -> DbResult<()> {
+        if self.partition.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.partition);
+        let n = rows.len();
+        // Per-function output column values.
+        let mut extra: Vec<Vec<Value>> = Vec::with_capacity(self.funcs.len());
+        for f in &self.funcs {
+            let col = match f {
+                WindowFunc::RowNumber => {
+                    (1..=n as i64).map(Value::Integer).collect()
+                }
+                WindowFunc::Rank | WindowFunc::DenseRank => {
+                    let dense = matches!(f, WindowFunc::DenseRank);
+                    let mut out = Vec::with_capacity(n);
+                    let mut rank = 0i64;
+                    let mut dense_rank = 0i64;
+                    let mut prev: Option<Vec<Value>> = None;
+                    for (i, row) in rows.iter().enumerate() {
+                        let key: Vec<Value> = self
+                            .order_by
+                            .iter()
+                            .map(|k| row[k.column].clone())
+                            .collect();
+                        if prev.as_ref() != Some(&key) {
+                            rank = i as i64 + 1;
+                            dense_rank += 1;
+                            prev = Some(key);
+                        }
+                        out.push(Value::Integer(if dense { dense_rank } else { rank }));
+                    }
+                    out
+                }
+                WindowFunc::Lag(c) => {
+                    let mut out = vec![Value::Null];
+                    out.extend(rows[..n - 1].iter().map(|r| r[*c].clone()));
+                    out
+                }
+                WindowFunc::Lead(c) => {
+                    let mut out: Vec<Value> =
+                        rows[1..].iter().map(|r| r[*c].clone()).collect();
+                    out.push(Value::Null);
+                    out
+                }
+                WindowFunc::Agg(func, c) => {
+                    if self.order_by.is_empty() {
+                        // Whole-partition frame.
+                        let mut state = AggState::new(*func);
+                        for row in &rows {
+                            state.update(*func, &row[*c])?;
+                        }
+                        let v = state.finish();
+                        vec![v; n]
+                    } else {
+                        // Running frame with peers: rows with equal order
+                        // keys share the frame result (RANGE semantics).
+                        let mut out = Vec::with_capacity(n);
+                        let mut state = AggState::new(*func);
+                        let mut i = 0usize;
+                        while i < n {
+                            // Find the peer group [i, j).
+                            let key: Vec<Value> = self
+                                .order_by
+                                .iter()
+                                .map(|k| rows[i][k.column].clone())
+                                .collect();
+                            let mut j = i;
+                            while j < n {
+                                let kj: Vec<Value> = self
+                                    .order_by
+                                    .iter()
+                                    .map(|k| rows[j][k.column].clone())
+                                    .collect();
+                                if kj != key {
+                                    break;
+                                }
+                                state.update(*func, &rows[j][*c])?;
+                                j += 1;
+                            }
+                            let v = state.clone().finish();
+                            for _ in i..j {
+                                out.push(v.clone());
+                            }
+                            i = j;
+                        }
+                        out
+                    }
+                }
+            };
+            extra.push(col);
+        }
+        for (i, mut row) in rows.into_iter().enumerate() {
+            for col in &extra {
+                row.push(col[i].clone());
+            }
+            self.pending.push(row);
+        }
+        Ok(())
+    }
+
+    fn consume_rows(&mut self, rows: Vec<Row>) -> DbResult<()> {
+        for row in rows {
+            let key = self.key_of(&row);
+            if self.current_key.as_ref() != Some(&key) {
+                self.flush_partition()?;
+                self.current_key = Some(key);
+            }
+            self.partition.push(row);
+        }
+        Ok(())
+    }
+}
+
+impl Operator for AnalyticOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        loop {
+            if self.pending.len() >= BATCH_SIZE || (self.input_done && !self.pending.is_empty()) {
+                let take = self.pending.len().min(BATCH_SIZE * 4);
+                let rows: Vec<Row> = self.pending.drain(..take).collect();
+                return Ok(Some(Batch::from_rows(rows)));
+            }
+            if self.input_done {
+                return Ok(None);
+            }
+            if !self.carry.is_empty() {
+                let rows = std::mem::take(&mut self.carry);
+                self.consume_rows(rows)?;
+                continue;
+            }
+            match self.input.next_batch()? {
+                Some(batch) => self.consume_rows(batch.into_rows())?,
+                None => {
+                    self.flush_partition()?;
+                    self.input_done = true;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        let fs: Vec<String> = self.funcs.iter().map(WindowFunc::name).collect();
+        format!("Analytic({})", fs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{collect_rows, ValuesOp};
+
+    /// (dept, salary) rows.
+    fn emp_rows() -> Vec<Row> {
+        vec![
+            vec![Value::Integer(1), Value::Integer(100)],
+            vec![Value::Integer(1), Value::Integer(200)],
+            vec![Value::Integer(1), Value::Integer(200)],
+            vec![Value::Integer(2), Value::Integer(50)],
+            vec![Value::Integer(2), Value::Integer(75)],
+        ]
+    }
+
+    fn run(funcs: Vec<WindowFunc>, order: Vec<SortKey>) -> Vec<Row> {
+        let mut op = AnalyticOp::new(
+            Box::new(ValuesOp::from_rows(emp_rows())),
+            vec![0],
+            order,
+            funcs,
+            false,
+            MemoryBudget::unlimited(),
+        );
+        collect_rows(&mut op).unwrap()
+    }
+
+    #[test]
+    fn row_number_per_partition() {
+        let rows = run(vec![WindowFunc::RowNumber], vec![SortKey::asc(1)]);
+        let rn: Vec<i64> = rows.iter().map(|r| r[2].as_i64().unwrap()).collect();
+        assert_eq!(rn, vec![1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn rank_vs_dense_rank_with_ties() {
+        let rows = run(
+            vec![WindowFunc::Rank, WindowFunc::DenseRank],
+            vec![SortKey::asc(1)],
+        );
+        let dept1: Vec<(i64, i64)> = rows
+            .iter()
+            .filter(|r| r[0] == Value::Integer(1))
+            .map(|r| (r[2].as_i64().unwrap(), r[3].as_i64().unwrap()))
+            .collect();
+        // salaries 100, 200, 200 → rank 1,2,2; dense 1,2,2.
+        assert_eq!(dept1, vec![(1, 1), (2, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn running_sum_respects_peers() {
+        let rows = run(
+            vec![WindowFunc::Agg(AggFunc::Sum, 1)],
+            vec![SortKey::asc(1)],
+        );
+        let dept1: Vec<i64> = rows
+            .iter()
+            .filter(|r| r[0] == Value::Integer(1))
+            .map(|r| r[2].as_i64().unwrap())
+            .collect();
+        // 100 | 200,200 are peers: frames 100, 500, 500.
+        assert_eq!(dept1, vec![100, 500, 500]);
+    }
+
+    #[test]
+    fn whole_partition_aggregate_without_order() {
+        let rows = run(vec![WindowFunc::Agg(AggFunc::Max, 1)], vec![]);
+        for r in &rows {
+            let expect = if r[0] == Value::Integer(1) { 200 } else { 75 };
+            assert_eq!(r[2], Value::Integer(expect));
+        }
+    }
+
+    #[test]
+    fn lag_and_lead() {
+        let rows = run(
+            vec![WindowFunc::Lag(1), WindowFunc::Lead(1)],
+            vec![SortKey::asc(1)],
+        );
+        let dept2: Vec<(Value, Value)> = rows
+            .iter()
+            .filter(|r| r[0] == Value::Integer(2))
+            .map(|r| (r[2].clone(), r[3].clone()))
+            .collect();
+        assert_eq!(
+            dept2,
+            vec![
+                (Value::Null, Value::Integer(75)),
+                (Value::Integer(50), Value::Null),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_partition_when_no_partition_by() {
+        let mut op = AnalyticOp::new(
+            Box::new(ValuesOp::from_rows(emp_rows())),
+            vec![],
+            vec![SortKey::asc(1)],
+            vec![WindowFunc::RowNumber],
+            false,
+            MemoryBudget::unlimited(),
+        );
+        let rows = collect_rows(&mut op).unwrap();
+        let rn: Vec<i64> = rows.iter().map(|r| r[2].as_i64().unwrap()).collect();
+        assert_eq!(rn, vec![1, 2, 3, 4, 5]);
+    }
+}

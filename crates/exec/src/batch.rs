@@ -1,0 +1,276 @@
+//! Column-oriented row batches.
+//!
+//! The engine is vectorized: operators exchange [`Batch`]es of ~[`BATCH_SIZE`]
+//! rows rather than single tuples. A batch is column-major, and a column may
+//! arrive as unexpanded RLE runs straight off the storage layer — the §6.1
+//! "operate directly on encoded data" path. Operators that cannot exploit
+//! runs call [`Batch::rows`] to expand.
+
+use vdb_types::{Row, Value};
+
+/// Target rows per batch.
+pub const BATCH_SIZE: usize = 1024;
+
+/// One column of a batch: plain values or RLE runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSlice {
+    Plain(Vec<Value>),
+    /// `(value, run_length)` pairs; total run length equals the batch len.
+    Rle(Vec<(Value, u32)>),
+}
+
+impl ColumnSlice {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnSlice::Plain(v) => v.len(),
+            ColumnSlice::Rle(runs) => runs.iter().map(|(_, n)| *n as usize).sum(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_rle(&self) -> bool {
+        matches!(self, ColumnSlice::Rle(_))
+    }
+
+    /// Expand to plain values (cloning run values).
+    pub fn to_values(&self) -> Vec<Value> {
+        match self {
+            ColumnSlice::Plain(v) => v.clone(),
+            ColumnSlice::Rle(runs) => {
+                let mut out = Vec::with_capacity(self.len());
+                for (v, n) in runs {
+                    for _ in 0..*n {
+                        out.push(v.clone());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Value at row index (O(1) for plain, O(runs) for RLE).
+    pub fn value_at(&self, i: usize) -> &Value {
+        match self {
+            ColumnSlice::Plain(v) => &v[i],
+            ColumnSlice::Rle(runs) => {
+                let mut remaining = i;
+                for (v, n) in runs {
+                    if remaining < *n as usize {
+                        return v;
+                    }
+                    remaining -= *n as usize;
+                }
+                panic!("row {i} out of bounds for rle slice");
+            }
+        }
+    }
+}
+
+/// A column-major batch of rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Batch {
+    pub columns: Vec<ColumnSlice>,
+    len: usize,
+}
+
+impl Batch {
+    pub fn new(columns: Vec<ColumnSlice>) -> Batch {
+        let len = columns.first().map_or(0, ColumnSlice::len);
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        Batch { columns, len }
+    }
+
+    pub fn from_rows(rows: Vec<Row>) -> Batch {
+        if rows.is_empty() {
+            return Batch::default();
+        }
+        let arity = rows[0].len();
+        let len = rows.len();
+        let mut columns: Vec<Vec<Value>> = (0..arity)
+            .map(|_| Vec::with_capacity(len))
+            .collect();
+        for row in rows {
+            for (c, v) in row.into_iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Batch {
+            columns: columns.into_iter().map(ColumnSlice::Plain).collect(),
+            len,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Expand into row-major form.
+    pub fn rows(&self) -> Vec<Row> {
+        let cols: Vec<Vec<Value>> = self.columns.iter().map(ColumnSlice::to_values).collect();
+        (0..self.len)
+            .map(|i| cols.iter().map(|c| c[i].clone()).collect())
+            .collect()
+    }
+
+    /// Expand into row-major form, consuming the batch (plain column
+    /// values are *moved*, not cloned — the hot path for joins and
+    /// aggregation over wide rows).
+    pub fn into_rows(self) -> Vec<Row> {
+        let len = self.len;
+        let mut rows: Vec<Row> = (0..len).map(|_| Vec::with_capacity(self.columns.len())).collect();
+        for col in self.columns {
+            match col {
+                ColumnSlice::Plain(values) => {
+                    for (row, v) in rows.iter_mut().zip(values) {
+                        row.push(v);
+                    }
+                }
+                ColumnSlice::Rle(runs) => {
+                    let mut i = 0usize;
+                    for (v, n) in runs {
+                        for _ in 0..n {
+                            rows[i].push(v.clone());
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Row at index (clones).
+    pub fn row_at(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.value_at(i).clone()).collect()
+    }
+
+    /// Keep only rows where `mask[i]`, consuming the batch (plain values
+    /// move instead of cloning — the scan's post-SIP/visibility path).
+    pub fn into_filtered(self, mask: &[bool]) -> Batch {
+        debug_assert_eq!(mask.len(), self.len);
+        let kept = mask.iter().filter(|&&b| b).count();
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for col in self.columns {
+            let vals = match col {
+                ColumnSlice::Plain(v) => v,
+                rle @ ColumnSlice::Rle(_) => rle.to_values(),
+            };
+            let mut out = Vec::with_capacity(kept);
+            for (v, &keep) in vals.into_iter().zip(mask) {
+                if keep {
+                    out.push(v);
+                }
+            }
+            columns.push(ColumnSlice::Plain(out));
+        }
+        Batch { columns, len: kept }
+    }
+
+    /// Keep only rows where `mask[i]` (expands RLE).
+    pub fn filter_by_mask(&self, mask: &[bool]) -> Batch {
+        debug_assert_eq!(mask.len(), self.len);
+        let kept = mask.iter().filter(|&&b| b).count();
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            let vals = col.to_values();
+            let mut out = Vec::with_capacity(kept);
+            for (v, &keep) in vals.into_iter().zip(mask) {
+                if keep {
+                    out.push(v);
+                }
+            }
+            columns.push(ColumnSlice::Plain(out));
+        }
+        Batch {
+            columns,
+            len: kept,
+        }
+    }
+
+    /// Approximate in-memory bytes (for memory budgeting).
+    pub fn approx_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| match c {
+                ColumnSlice::Plain(v) => v.iter().map(approx_value_bytes).sum::<usize>(),
+                ColumnSlice::Rle(runs) => runs
+                    .iter()
+                    .map(|(v, _)| approx_value_bytes(v) + 4)
+                    .sum::<usize>(),
+            })
+            .sum()
+    }
+}
+
+pub(crate) fn approx_value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null | Value::Boolean(_) => 1,
+        Value::Integer(_) | Value::Float(_) | Value::Timestamp(_) => 8,
+        Value::Varchar(s) => 24 + s.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trip() {
+        let rows = vec![
+            vec![Value::Integer(1), Value::Varchar("a".into())],
+            vec![Value::Integer(2), Value::Varchar("b".into())],
+        ];
+        let b = Batch::from_rows(rows.clone());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.rows(), rows);
+        assert_eq!(b.row_at(1), rows[1]);
+    }
+
+    #[test]
+    fn rle_column_expansion_and_access() {
+        let b = Batch::new(vec![
+            ColumnSlice::Rle(vec![(Value::Integer(7), 3), (Value::Integer(9), 2)]),
+            ColumnSlice::Plain((0..5).map(Value::Integer).collect()),
+        ]);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.columns[0].value_at(2), &Value::Integer(7));
+        assert_eq!(b.columns[0].value_at(3), &Value::Integer(9));
+        assert_eq!(b.row_at(4), vec![Value::Integer(9), Value::Integer(4)]);
+        assert!(b.columns[0].is_rle());
+    }
+
+    #[test]
+    fn filter_by_mask() {
+        let b = Batch::from_rows((0..6).map(|i| vec![Value::Integer(i)]).collect());
+        let mask = [true, false, true, false, true, false];
+        let f = b.filter_by_mask(&mask);
+        assert_eq!(f.len(), 3);
+        assert_eq!(
+            f.rows(),
+            vec![
+                vec![Value::Integer(0)],
+                vec![Value::Integer(2)],
+                vec![Value::Integer(4)]
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch::from_rows(vec![]);
+        assert!(b.is_empty());
+        assert_eq!(b.rows(), Vec::<Row>::new());
+    }
+}

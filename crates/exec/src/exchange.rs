@@ -1,0 +1,544 @@
+//! Data movement operators (§6.1 #7 and Figure 3).
+//!
+//! * [`SendOp`]/[`RecvOp`] — "Sends tuples from one node to another. Both
+//!   broadcast and sending to nodes based on segmentation expression
+//!   evaluation is supported." Channels are in-process (the cluster is
+//!   simulated) with byte counters so the optimizer's network-cost model
+//!   can be validated.
+//! * [`MergingRecvOp`] — a Recv that k-way-merges several sorted senders,
+//!   "capable of retaining the sortedness of the input stream".
+//! * [`ParallelUnionOp`] — Figure 3's ParallelUnion: runs child pipelines
+//!   on worker threads and unions their batches.
+//! * [`parallel_segmented`] — Figure 3's StorageUnion + resegment pattern:
+//!   splits a stream by key hash into N lanes, runs a pipeline per lane on
+//!   its own thread (alike values co-located, so per-lane GroupBys compute
+//!   complete groups), and unions the results.
+
+use crate::batch::{Batch, BATCH_SIZE};
+use crate::operator::{BoxedOperator, Operator};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vdb_types::schema::{compare_rows, SortKey};
+use vdb_types::{DbError, DbResult, Row};
+
+/// How a Send routes rows.
+#[derive(Debug, Clone)]
+pub enum Routing {
+    /// Every destination receives every row.
+    Broadcast,
+    /// Row goes to `hash(key columns) % destinations` (local resegment) —
+    /// alike values co-locate.
+    HashColumns(Vec<usize>),
+    /// Ring segmentation (§3.6): destination owns a contiguous range of the
+    /// unsigned 64-bit expression value. `dests` ranges are equal slices.
+    Ring(vdb_types::Expr),
+}
+
+/// Shared byte counter for network accounting.
+pub type ByteCounter = Arc<AtomicU64>;
+
+/// Pulls from a child and pushes batches to N channels by routing rule.
+/// Drives to completion on first `next_batch` call and yields no rows
+/// itself (a sink); pair it with [`RecvOp`]s on the other end.
+pub struct SendOp {
+    input: Option<BoxedOperator>,
+    routing: Routing,
+    senders: Vec<Sender<Batch>>,
+    bytes_sent: ByteCounter,
+}
+
+impl SendOp {
+    pub fn new(
+        input: BoxedOperator,
+        routing: Routing,
+        senders: Vec<Sender<Batch>>,
+        bytes_sent: ByteCounter,
+    ) -> SendOp {
+        SendOp {
+            input: Some(input),
+            routing,
+            senders,
+            bytes_sent,
+        }
+    }
+
+    /// Run the send loop to completion (blocking). Channels close when the
+    /// senders drop.
+    pub fn run(mut self) -> DbResult<()> {
+        let mut input = self.input.take().expect("run once");
+        let n = self.senders.len();
+        let mut buckets: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+        while let Some(batch) = input.next_batch()? {
+            match &self.routing {
+                Routing::Broadcast => {
+                    self.bytes_sent
+                        .fetch_add((batch.approx_bytes() * n) as u64, Ordering::Relaxed);
+                    for s in &self.senders {
+                        s.send(batch.clone()).map_err(closed)?;
+                    }
+                }
+                Routing::HashColumns(cols) => {
+                    for row in batch.into_rows() {
+                        let mut h = 0u64;
+                        for &c in cols {
+                            h = h.rotate_left(21) ^ row[c].hash64();
+                        }
+                        buckets[(h % n as u64) as usize].push(row);
+                    }
+                    self.flush_buckets(&mut buckets, false)?;
+                }
+                Routing::Ring(expr) => {
+                    for row in batch.into_rows() {
+                        let v = expr.eval(&row)?;
+                        let ring = v.as_i64().ok_or_else(|| {
+                            DbError::Execution("ring expression must be integral".into())
+                        })? as u64;
+                        let dest = ((ring as u128 * n as u128) >> 64) as usize;
+                        buckets[dest].push(row);
+                    }
+                    self.flush_buckets(&mut buckets, false)?;
+                }
+            }
+        }
+        let mut buckets_final = buckets;
+        self.flush_buckets(&mut buckets_final, true)?;
+        Ok(())
+    }
+
+    fn flush_buckets(&self, buckets: &mut [Vec<Row>], force: bool) -> DbResult<()> {
+        for (i, bucket) in buckets.iter_mut().enumerate() {
+            if bucket.is_empty() || (!force && bucket.len() < BATCH_SIZE) {
+                continue;
+            }
+            let batch = Batch::from_rows(std::mem::take(bucket));
+            self.bytes_sent
+                .fetch_add(batch.approx_bytes() as u64, Ordering::Relaxed);
+            self.senders[i].send(batch).map_err(closed)?;
+        }
+        Ok(())
+    }
+}
+
+fn closed<T>(_: crossbeam::channel::SendError<T>) -> DbError {
+    DbError::Execution("receiver hung up (node ejected?)".into())
+}
+
+/// Receives batches from one channel.
+pub struct RecvOp {
+    rx: Receiver<Batch>,
+}
+
+impl RecvOp {
+    pub fn new(rx: Receiver<Batch>) -> RecvOp {
+        RecvOp { rx }
+    }
+}
+
+impl Operator for RecvOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        match self.rx.recv() {
+            Ok(b) => Ok(Some(b)),
+            Err(_) => Ok(None), // all senders dropped: end of stream
+        }
+    }
+
+    fn name(&self) -> String {
+        "Recv".into()
+    }
+}
+
+/// Receives from several channels whose streams are each sorted by `keys`,
+/// producing a globally sorted stream (sortedness-retaining Recv).
+pub struct MergingRecvOp {
+    sources: Vec<SourceCursor>,
+    keys: Vec<SortKey>,
+}
+
+struct SourceCursor {
+    rx: Receiver<Batch>,
+    buf: Vec<Row>,
+    pos: usize,
+    done: bool,
+}
+
+impl SourceCursor {
+    fn peek(&mut self) -> DbResult<Option<&Row>> {
+        while self.pos >= self.buf.len() && !self.done {
+            match self.rx.recv() {
+                Ok(b) => {
+                    self.buf = b.rows();
+                    self.pos = 0;
+                }
+                Err(_) => self.done = true,
+            }
+        }
+        if self.pos < self.buf.len() {
+            Ok(Some(&self.buf[self.pos]))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl MergingRecvOp {
+    pub fn new(receivers: Vec<Receiver<Batch>>, keys: Vec<SortKey>) -> MergingRecvOp {
+        MergingRecvOp {
+            sources: receivers
+                .into_iter()
+                .map(|rx| SourceCursor {
+                    rx,
+                    buf: Vec::new(),
+                    pos: 0,
+                    done: false,
+                })
+                .collect(),
+            keys,
+        }
+    }
+}
+
+impl Operator for MergingRecvOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        let mut out = Vec::with_capacity(BATCH_SIZE);
+        while out.len() < BATCH_SIZE {
+            let mut best: Option<usize> = None;
+            for i in 0..self.sources.len() {
+                if self.sources[i].peek()?.is_none() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => i,
+                    Some(j) => {
+                        let a = &self.sources[i].buf[self.sources[i].pos];
+                        let b = &self.sources[j].buf[self.sources[j].pos];
+                        if compare_rows(a, b, &self.keys) == std::cmp::Ordering::Less {
+                            i
+                        } else {
+                            j
+                        }
+                    }
+                });
+            }
+            match best {
+                None => break,
+                Some(i) => {
+                    let src = &mut self.sources[i];
+                    out.push(src.buf[src.pos].clone());
+                    src.pos += 1;
+                }
+            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(Batch::from_rows(out)))
+        }
+    }
+
+    fn name(&self) -> String {
+        "Recv(merge)".into()
+    }
+}
+
+/// Figure 3's ParallelUnion: each child pipeline runs on its own worker
+/// thread; batches are unioned in arrival order.
+pub struct ParallelUnionOp {
+    children: Option<Vec<BoxedOperator>>,
+    rx: Option<Receiver<DbResult<Batch>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ParallelUnionOp {
+    pub fn new(children: Vec<BoxedOperator>) -> ParallelUnionOp {
+        ParallelUnionOp {
+            children: Some(children),
+            rx: None,
+            handles: Vec::new(),
+        }
+    }
+
+    fn start(&mut self) {
+        let children = self.children.take().expect("start once");
+        let (tx, rx) = bounded::<DbResult<Batch>>(children.len().max(2) * 2);
+        for mut child in children {
+            let tx = tx.clone();
+            self.handles.push(std::thread::spawn(move || loop {
+                match child.next_batch() {
+                    Ok(Some(b)) => {
+                        if tx.send(Ok(b)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => return,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            }));
+        }
+        self.rx = Some(rx);
+    }
+}
+
+impl Operator for ParallelUnionOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        if self.rx.is_none() {
+            self.start();
+        }
+        match self.rx.as_ref().unwrap().recv() {
+            Ok(res) => res.map(Some),
+            Err(_) => {
+                for h in self.handles.drain(..) {
+                    let _ = h.join();
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "ParallelUnion".into()
+    }
+}
+
+/// Plain serial union (StorageUnion without threads): drains children in
+/// order. Used where determinism matters more than parallelism.
+pub struct UnionOp {
+    children: Vec<BoxedOperator>,
+    current: usize,
+}
+
+impl UnionOp {
+    pub fn new(children: Vec<BoxedOperator>) -> UnionOp {
+        UnionOp {
+            children,
+            current: 0,
+        }
+    }
+}
+
+impl Operator for UnionOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        while self.current < self.children.len() {
+            match self.children[self.current].next_batch()? {
+                Some(b) => return Ok(Some(b)),
+                None => self.current += 1,
+            }
+        }
+        Ok(None)
+    }
+
+    fn name(&self) -> String {
+        format!("StorageUnion({} inputs)", self.children.len())
+    }
+}
+
+/// Figure 3's parallel pattern: resegment `input` on `key_columns` into
+/// `lanes` hash lanes; run `pipeline(recv)` per lane on a worker thread;
+/// union the lane outputs. Because alike key values land in the same lane,
+/// per-lane GroupBys "compute complete results".
+pub fn parallel_segmented(
+    input: BoxedOperator,
+    key_columns: Vec<usize>,
+    lanes: usize,
+    pipeline: impl Fn(BoxedOperator) -> BoxedOperator,
+) -> ParallelUnionOp {
+    let lanes = lanes.max(1);
+    let mut senders = Vec::with_capacity(lanes);
+    let mut receivers = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        let (tx, rx) = bounded::<Batch>(4);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let bytes = Arc::new(AtomicU64::new(0));
+    let send = SendOp::new(input, Routing::HashColumns(key_columns), senders, bytes);
+    // Router thread feeds the lanes.
+    std::thread::spawn(move || {
+        let _ = send.run();
+    });
+    let children: Vec<BoxedOperator> = receivers
+        .into_iter()
+        .map(|rx| pipeline(Box::new(RecvOp::new(rx)) as BoxedOperator))
+        .collect();
+    ParallelUnionOp::new(children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AggCall, AggFunc};
+    use crate::groupby::HashGroupByOp;
+    use crate::memory::MemoryBudget;
+    use crate::operator::{collect_rows, ValuesOp};
+    use vdb_types::Value;
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| vec![Value::Integer(i % 17), Value::Integer(i)])
+            .collect()
+    }
+
+    #[test]
+    fn send_recv_hash_routing_partitions_keys() {
+        let (tx1, rx1) = bounded(64);
+        let (tx2, rx2) = bounded(64);
+        let bytes = Arc::new(AtomicU64::new(0));
+        let send = SendOp::new(
+            Box::new(ValuesOp::from_rows(rows(1000))),
+            Routing::HashColumns(vec![0]),
+            vec![tx1, tx2],
+            bytes.clone(),
+        );
+        std::thread::spawn(move || send.run().unwrap());
+        let a = collect_rows(&mut RecvOp::new(rx1)).unwrap();
+        let b = collect_rows(&mut RecvOp::new(rx2)).unwrap();
+        assert_eq!(a.len() + b.len(), 1000);
+        assert!(bytes.load(Ordering::Relaxed) > 0, "bytes accounted");
+        // No key appears in both lanes.
+        let keys_a: std::collections::HashSet<i64> =
+            a.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let keys_b: std::collections::HashSet<i64> =
+            b.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert!(keys_a.is_disjoint(&keys_b));
+    }
+
+    #[test]
+    fn broadcast_duplicates_to_all() {
+        let (tx1, rx1) = bounded(64);
+        let (tx2, rx2) = bounded(64);
+        let send = SendOp::new(
+            Box::new(ValuesOp::from_rows(rows(100))),
+            Routing::Broadcast,
+            vec![tx1, tx2],
+            Arc::new(AtomicU64::new(0)),
+        );
+        std::thread::spawn(move || send.run().unwrap());
+        assert_eq!(collect_rows(&mut RecvOp::new(rx1)).unwrap().len(), 100);
+        assert_eq!(collect_rows(&mut RecvOp::new(rx2)).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn ring_routing_uses_contiguous_ranges() {
+        // Ring on column 1 values scaled to the top of the u64 range.
+        let data: Vec<Row> = vec![
+            vec![Value::Integer(0)],                // ring position 0 → lane 0
+            vec![Value::Integer(i64::MIN)],         // as u64 = 2^63 → lane 1
+            vec![Value::Integer(-1)],               // as u64 = MAX → lane 1
+        ];
+        let (tx1, rx1) = bounded(8);
+        let (tx2, rx2) = bounded(8);
+        let send = SendOp::new(
+            Box::new(ValuesOp::from_rows(data)),
+            Routing::Ring(vdb_types::Expr::col(0, "k")),
+            vec![tx1, tx2],
+            Arc::new(AtomicU64::new(0)),
+        );
+        std::thread::spawn(move || send.run().unwrap());
+        let a = collect_rows(&mut RecvOp::new(rx1)).unwrap();
+        let b = collect_rows(&mut RecvOp::new(rx2)).unwrap();
+        assert_eq!(a.len(), 1, "low half: only 0");
+        assert_eq!(b.len(), 2, "high half: 2^63 and MAX");
+    }
+
+    #[test]
+    fn merging_recv_retains_sortedness() {
+        let (tx1, rx1) = bounded(8);
+        let (tx2, rx2) = bounded(8);
+        tx1.send(Batch::from_rows(
+            [1i64, 3, 5].iter().map(|&i| vec![Value::Integer(i)]).collect(),
+        ))
+        .unwrap();
+        tx2.send(Batch::from_rows(
+            [2i64, 4, 6].iter().map(|&i| vec![Value::Integer(i)]).collect(),
+        ))
+        .unwrap();
+        drop((tx1, tx2));
+        let mut op = MergingRecvOp::new(vec![rx1, rx2], vec![SortKey::asc(0)]);
+        let got = collect_rows(&mut op).unwrap();
+        let vals: Vec<i64> = got.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn parallel_union_collects_all_children() {
+        let children: Vec<BoxedOperator> = (0..4)
+            .map(|_| Box::new(ValuesOp::from_rows(rows(500))) as BoxedOperator)
+            .collect();
+        let mut op = ParallelUnionOp::new(children);
+        assert_eq!(collect_rows(&mut op).unwrap().len(), 2000);
+    }
+
+    #[test]
+    fn parallel_union_propagates_errors() {
+        struct FailOp;
+        impl Operator for FailOp {
+            fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+                Err(DbError::Execution("boom".into()))
+            }
+            fn name(&self) -> String {
+                "Fail".into()
+            }
+        }
+        let mut op = ParallelUnionOp::new(vec![Box::new(FailOp)]);
+        let mut saw_err = false;
+        loop {
+            match op.next_batch() {
+                Err(_) => {
+                    saw_err = true;
+                    break;
+                }
+                Ok(None) => break,
+                Ok(Some(_)) => {}
+            }
+        }
+        assert!(saw_err);
+    }
+
+    #[test]
+    fn figure3_parallel_groupby_computes_complete_groups() {
+        // Serial reference.
+        let mut reference = HashGroupByOp::new(
+            Box::new(ValuesOp::from_rows(rows(10_000))),
+            vec![0],
+            vec![
+                AggCall::new(AggFunc::CountStar, 0, "cnt"),
+                AggCall::new(AggFunc::Sum, 1, "sum"),
+            ],
+            MemoryBudget::unlimited(),
+        );
+        let expected = collect_rows(&mut reference).unwrap();
+        // Parallel: resegment by group key across 4 lanes, GroupBy per lane.
+        let mut par = parallel_segmented(
+            Box::new(ValuesOp::from_rows(rows(10_000))),
+            vec![0],
+            4,
+            |lane| {
+                Box::new(HashGroupByOp::new(
+                    lane,
+                    vec![0],
+                    vec![
+                        AggCall::new(AggFunc::CountStar, 0, "cnt"),
+                        AggCall::new(AggFunc::Sum, 1, "sum"),
+                    ],
+                    MemoryBudget::unlimited(),
+                ))
+            },
+        );
+        let mut got = collect_rows(&mut par).unwrap();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn serial_union_preserves_child_order() {
+        let mut op = UnionOp::new(vec![
+            Box::new(ValuesOp::from_rows(vec![vec![Value::Integer(1)]])),
+            Box::new(ValuesOp::from_rows(vec![vec![Value::Integer(2)]])),
+        ]);
+        let got = collect_rows(&mut op).unwrap();
+        assert_eq!(got, vec![vec![Value::Integer(1)], vec![Value::Integer(2)]]);
+    }
+}

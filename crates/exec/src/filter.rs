@@ -1,0 +1,132 @@
+//! ExprEval (§6.1 #4) and Filter: row-wise expression projection and
+//! predicate application over batches.
+
+use crate::batch::Batch;
+use crate::operator::{BoxedOperator, Operator};
+use vdb_types::{DbResult, Expr};
+
+/// Applies a predicate, keeping matching rows (used for HAVING and for
+/// residual predicates that could not be pushed into a Scan).
+pub struct FilterOp {
+    input: BoxedOperator,
+    predicate: Expr,
+}
+
+impl FilterOp {
+    pub fn new(input: BoxedOperator, predicate: Expr) -> FilterOp {
+        FilterOp { input, predicate }
+    }
+}
+
+impl Operator for FilterOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        while let Some(batch) = self.input.next_batch()? {
+            let rows = batch.rows();
+            let mut mask = Vec::with_capacity(rows.len());
+            let mut any = false;
+            for row in &rows {
+                let keep = self.predicate.matches(row)?;
+                any |= keep;
+                mask.push(keep);
+            }
+            if !any {
+                continue;
+            }
+            if mask.iter().all(|&b| b) {
+                return Ok(Some(batch));
+            }
+            return Ok(Some(batch.filter_by_mask(&mask)));
+        }
+        Ok(None)
+    }
+
+    fn name(&self) -> String {
+        format!("Filter({})", self.predicate)
+    }
+}
+
+/// Evaluates a list of expressions per input row (ExprEval): projection,
+/// computed columns, select-list expressions.
+pub struct ProjectOp {
+    input: BoxedOperator,
+    exprs: Vec<Expr>,
+}
+
+impl ProjectOp {
+    pub fn new(input: BoxedOperator, exprs: Vec<Expr>) -> ProjectOp {
+        ProjectOp { input, exprs }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        match self.input.next_batch()? {
+            None => Ok(None),
+            Some(batch) => {
+                let rows = batch.into_rows();
+                let mut out = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    let mut projected = Vec::with_capacity(self.exprs.len());
+                    for e in &self.exprs {
+                        projected.push(e.eval(row)?);
+                    }
+                    out.push(projected);
+                }
+                Ok(Some(Batch::from_rows(out)))
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        let list: Vec<String> = self.exprs.iter().map(|e| e.to_string()).collect();
+        format!("ExprEval({})", list.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{collect_rows, ValuesOp};
+    use vdb_types::{BinOp, Value};
+
+    fn source(n: i64) -> BoxedOperator {
+        Box::new(ValuesOp::from_rows(
+            (0..n)
+                .map(|i| vec![Value::Integer(i), Value::Integer(i * 10)])
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let pred = Expr::binary(BinOp::Lt, Expr::col(0, "a"), Expr::int(3));
+        let mut op = FilterOp::new(source(10), pred);
+        let rows = collect_rows(&mut op).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn filter_skips_empty_batches() {
+        let pred = Expr::eq(Expr::col(0, "a"), Expr::int(-1));
+        let mut op = FilterOp::new(source(5000), pred);
+        assert!(collect_rows(&mut op).unwrap().is_empty());
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let exprs = vec![
+            Expr::binary(BinOp::Add, Expr::col(0, "a"), Expr::col(1, "b")),
+            Expr::lit(Value::Varchar("k".into())),
+        ];
+        let mut op = ProjectOp::new(source(3), exprs);
+        let rows = collect_rows(&mut op).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Integer(0), Value::Varchar("k".into())],
+                vec![Value::Integer(11), Value::Varchar("k".into())],
+                vec![Value::Integer(22), Value::Varchar("k".into())],
+            ]
+        );
+    }
+}

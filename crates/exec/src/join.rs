@@ -1,0 +1,824 @@
+//! Join operators (§6.1 #3).
+//!
+//! "Vertica supports both hash join and merge join algorithms which are
+//! capable of externalizing if necessary. All flavors of INNER, LEFT OUTER,
+//! RIGHT OUTER, FULL OUTER, SEMI, and ANTI joins are supported."
+//!
+//! [`HashJoinOp`] builds on the right input. After the build it publishes
+//! the key set to an attached [`SipFilter`] so the probe-side Scan can drop
+//! non-matching rows early (§6.1 SIP). If the build side exceeds its memory
+//! budget, the operator "will perform a sort-merge join instead" — both
+//! sides are external-sorted on the keys and merged.
+//!
+//! [`MergeJoinOp`] joins two inputs already sorted on the join keys (the
+//! projection-sort-order fast path the optimizer prefers for co-sorted
+//! projections).
+
+use crate::batch::{Batch, BATCH_SIZE};
+use crate::memory::MemoryBudget;
+use crate::operator::{BoxedOperator, Operator, ValuesOp};
+use crate::sip::SipFilter;
+use crate::sort::SortOp;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdb_types::schema::SortKey;
+use vdb_types::{DbResult, Row, Value};
+
+/// Join flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinType {
+    Inner,
+    LeftOuter,
+    RightOuter,
+    FullOuter,
+    Semi,
+    Anti,
+}
+
+impl JoinType {
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinType::Inner => "INNER",
+            JoinType::LeftOuter => "LEFT OUTER",
+            JoinType::RightOuter => "RIGHT OUTER",
+            JoinType::FullOuter => "FULL OUTER",
+            JoinType::Semi => "SEMI",
+            JoinType::Anti => "ANTI",
+        }
+    }
+
+    /// Does the output include right-side columns?
+    pub fn emits_right_columns(self) -> bool {
+        !matches!(self, JoinType::Semi | JoinType::Anti)
+    }
+}
+
+fn key_of(row: &[Value], cols: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(cols.len());
+    for &c in cols {
+        let v = &row[c];
+        if v.is_null() {
+            return None; // SQL: NULL keys never match
+        }
+        key.push(v.clone());
+    }
+    Some(key)
+}
+
+/// Build-side hash table, specialized for the dominant single-column-key
+/// case so probing never allocates a `Vec<Value>` per row.
+enum BuildTable {
+    One(HashMap<Value, (Vec<Row>, bool)>),
+    Many(HashMap<Vec<Value>, (Vec<Row>, bool)>),
+}
+
+impl BuildTable {
+    fn new(key_arity: usize) -> BuildTable {
+        if key_arity == 1 {
+            BuildTable::One(HashMap::new())
+        } else {
+            BuildTable::Many(HashMap::new())
+        }
+    }
+
+    fn insert_row(&mut self, key: Vec<Value>, row: Row) {
+        match self {
+            BuildTable::One(m) => {
+                let [k] = <[Value; 1]>::try_from(key).expect("single key");
+                m.entry(k).or_insert_with(|| (Vec::new(), false)).0.push(row);
+            }
+            BuildTable::Many(m) => {
+                m.entry(key).or_insert_with(|| (Vec::new(), false)).0.push(row);
+            }
+        }
+    }
+
+    /// Probe by key columns of `row` without allocating; `None` on NULL
+    /// keys or misses.
+    fn probe_mut(&mut self, row: &[Value], cols: &[usize]) -> Option<&mut (Vec<Row>, bool)> {
+        match self {
+            BuildTable::One(m) => {
+                let v = &row[cols[0]];
+                if v.is_null() {
+                    return None;
+                }
+                m.get_mut(v)
+            }
+            BuildTable::Many(m) => {
+                let key = key_of(row, cols)?;
+                m.get_mut(&key)
+            }
+        }
+    }
+
+    fn drain_rows(&mut self) -> Vec<(Vec<Row>, bool)> {
+        match self {
+            BuildTable::One(m) => m.drain().map(|(_, v)| v).collect(),
+            BuildTable::Many(m) => m.drain().map(|(_, v)| v).collect(),
+        }
+    }
+
+    fn publish_sip(&self, sip: &SipFilter) {
+        let keys = match self {
+            BuildTable::One(m) => m
+                .keys()
+                .map(|k| SipFilter::key_hash(std::slice::from_ref(&k)))
+                .collect(),
+            BuildTable::Many(m) => m
+                .keys()
+                .map(|k| {
+                    let refs: Vec<&Value> = k.iter().collect();
+                    SipFilter::key_hash(&refs)
+                })
+                .collect(),
+        };
+        sip.publish(keys);
+    }
+}
+
+/// Hash join: builds on the right, probes with the left.
+pub struct HashJoinOp {
+    left: Option<BoxedOperator>,
+    right: Option<BoxedOperator>,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    join_type: JoinType,
+    budget: MemoryBudget,
+    sip: Option<Arc<SipFilter>>,
+    /// Build table: key → (rows, matched flag).
+    table: BuildTable,
+    /// NULL-keyed build rows retained for RIGHT/FULL OUTER emission.
+    null_build_rows: Vec<Row>,
+    right_arity: usize,
+    left_arity: usize,
+    pending: Vec<Row>,
+    state: JoinState,
+    /// Filled when the build overflowed and we switched algorithms.
+    fallback: Option<BoxedOperator>,
+    switched_to_merge: bool,
+}
+
+enum JoinState {
+    Building,
+    Probing,
+    EmittingUnmatchedBuild(std::vec::IntoIter<Row>),
+    Done,
+}
+
+impl HashJoinOp {
+    pub fn new(
+        left: BoxedOperator,
+        right: BoxedOperator,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        join_type: JoinType,
+        budget: MemoryBudget,
+        sip: Option<Arc<SipFilter>>,
+    ) -> HashJoinOp {
+        assert_eq!(left_keys.len(), right_keys.len());
+        let key_arity = left_keys.len();
+        HashJoinOp {
+            left: Some(left),
+            right: Some(right),
+            left_keys,
+            right_keys,
+            join_type,
+            budget,
+            sip,
+            table: BuildTable::new(key_arity),
+            null_build_rows: Vec::new(),
+            right_arity: 0,
+            left_arity: 0,
+            pending: Vec::new(),
+            state: JoinState::Building,
+            fallback: None,
+            switched_to_merge: false,
+        }
+    }
+
+    /// Did the runtime switch to sort-merge (§6.1 algorithm switching)?
+    pub fn switched_to_merge(&self) -> bool {
+        self.switched_to_merge
+    }
+
+    fn build(&mut self) -> DbResult<()> {
+        let mut right = self.right.take().expect("build called once");
+        let mut bytes = 0usize;
+        let mut overflow: Vec<Row> = Vec::new();
+        while let Some(batch) = right.next_batch()? {
+            self.right_arity = batch.arity();
+            bytes += batch.approx_bytes();
+            if self.budget.exceeded_by(bytes) {
+                // Abandon hashing: collect the remainder and fall back to
+                // sort-merge on both (fully materialized) sides.
+                for (rows, _) in self.table.drain_rows() {
+                    overflow.extend(rows);
+                }
+                overflow.extend(batch.into_rows());
+                while let Some(b) = right.next_batch()? {
+                    overflow.extend(b.into_rows());
+                }
+                self.switched_to_merge = true;
+                return self.build_fallback(overflow);
+            }
+            for row in batch.into_rows() {
+                if let Some(key) = key_of(&row, &self.right_keys) {
+                    self.table.insert_row(key, row);
+                } else if matches!(self.join_type, JoinType::RightOuter | JoinType::FullOuter) {
+                    // NULL-keyed right rows still appear in right/full
+                    // outer (they can never match, but must be emitted).
+                    self.null_build_rows.push(row);
+                }
+            }
+        }
+        // Publish SIP keys now that the build side is complete.
+        if let Some(sip) = &self.sip {
+            self.table.publish_sip(sip);
+        }
+        self.state = JoinState::Probing;
+        Ok(())
+    }
+
+    /// Sort-merge fallback: external-sort both sides by key columns, then
+    /// run the generic sorted-merge with identical semantics.
+    fn build_fallback(&mut self, right_rows: Vec<Row>) -> DbResult<()> {
+        let left = self.left.take().expect("fallback before probe");
+        let right_op: BoxedOperator = Box::new(ValuesOp::from_rows(right_rows));
+        let left_sorted = SortOp::new(
+            left,
+            self.left_keys.iter().map(|&c| SortKey::asc(c)).collect(),
+            self.budget,
+        );
+        let right_sorted = SortOp::new(
+            right_op,
+            self.right_keys.iter().map(|&c| SortKey::asc(c)).collect(),
+            self.budget,
+        );
+        self.fallback = Some(Box::new(MergeJoinOp::new(
+            Box::new(left_sorted),
+            Box::new(right_sorted),
+            self.left_keys.clone(),
+            self.right_keys.clone(),
+            self.join_type,
+        )));
+        self.state = JoinState::Probing;
+        Ok(())
+    }
+
+    fn null_right(&self) -> Vec<Value> {
+        vec![Value::Null; self.right_arity]
+    }
+
+    fn probe_batch(&mut self, batch: Batch) -> DbResult<()> {
+        self.left_arity = batch.arity();
+        for row in batch.into_rows() {
+            let hit = self.table.probe_mut(&row, &self.left_keys);
+            match self.join_type {
+                JoinType::Inner => {
+                    if let Some((matches, _)) = hit {
+                        for m in matches.iter() {
+                            let mut out = row.clone();
+                            out.extend(m.iter().cloned());
+                            self.pending.push(out);
+                        }
+                    }
+                }
+                JoinType::LeftOuter => match hit {
+                    Some((matches, _)) => {
+                        for m in matches.iter() {
+                            let mut out = row.clone();
+                            out.extend(m.iter().cloned());
+                            self.pending.push(out);
+                        }
+                    }
+                    None => {
+                        let mut out = row.clone();
+                        out.extend(self.null_right());
+                        self.pending.push(out);
+                    }
+                },
+                JoinType::RightOuter | JoinType::FullOuter => {
+                    if let Some((matches, matched)) = hit {
+                        *matched = true;
+                        for m in matches.iter() {
+                            let mut out = row.clone();
+                            out.extend(m.iter().cloned());
+                            self.pending.push(out);
+                        }
+                    } else if self.join_type == JoinType::FullOuter {
+                        let mut out = row.clone();
+                        out.extend(self.null_right());
+                        self.pending.push(out);
+                    }
+                }
+                JoinType::Semi => {
+                    if hit.is_some() {
+                        self.pending.push(row.clone());
+                    }
+                }
+                JoinType::Anti => {
+                    if hit.is_none() {
+                        self.pending.push(row.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn take_pending(&mut self) -> Option<Batch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let take = self.pending.len().min(BATCH_SIZE * 4);
+        let rows: Vec<Row> = self.pending.drain(..take).collect();
+        Some(Batch::from_rows(rows))
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        if matches!(self.state, JoinState::Building) {
+            self.build()?;
+        }
+        if let Some(fb) = &mut self.fallback {
+            return fb.next_batch();
+        }
+        loop {
+            if let Some(batch) = self.take_pending() {
+                return Ok(Some(batch));
+            }
+            match &mut self.state {
+                JoinState::Probing => {
+                    let left = self.left.as_mut().expect("probe side");
+                    match left.next_batch()? {
+                        Some(batch) => self.probe_batch(batch)?,
+                        None => {
+                            // Right/full outer: emit unmatched build rows.
+                            if matches!(
+                                self.join_type,
+                                JoinType::RightOuter | JoinType::FullOuter
+                            ) {
+                                let arity = self.left_arity.max(self.left_keys.len());
+                                let mut unmatched = Vec::new();
+                                for (rows, matched) in self.table.drain_rows() {
+                                    if !matched {
+                                        for r in rows {
+                                            let mut out = vec![Value::Null; arity];
+                                            out.extend(r);
+                                            unmatched.push(out);
+                                        }
+                                    }
+                                }
+                                for r in self.null_build_rows.drain(..) {
+                                    let mut out = vec![Value::Null; arity];
+                                    out.extend(r);
+                                    unmatched.push(out);
+                                }
+                                self.state =
+                                    JoinState::EmittingUnmatchedBuild(unmatched.into_iter());
+                            } else {
+                                self.state = JoinState::Done;
+                            }
+                        }
+                    }
+                }
+                JoinState::EmittingUnmatchedBuild(iter) => {
+                    let rows: Vec<Row> = iter.by_ref().take(BATCH_SIZE).collect();
+                    if rows.is_empty() {
+                        self.state = JoinState::Done;
+                    } else {
+                        return Ok(Some(Batch::from_rows(rows)));
+                    }
+                }
+                JoinState::Done => return Ok(None),
+                JoinState::Building => unreachable!(),
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "HashJoin({}{})",
+            self.join_type.name(),
+            if self.sip.is_some() { ", SIP" } else { "" }
+        )
+    }
+}
+
+/// Merge join over inputs sorted ascending on their join keys. Handles all
+/// flavors; duplicate keys produce the full cross product per key group.
+pub struct MergeJoinOp {
+    left: BoxedOperator,
+    right: BoxedOperator,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    join_type: JoinType,
+    left_buf: Vec<Row>,
+    right_buf: Vec<Row>,
+    left_done: bool,
+    right_done: bool,
+    left_pos: usize,
+    right_pos: usize,
+    left_arity: usize,
+    right_arity: usize,
+    pending: Vec<Row>,
+    done: bool,
+}
+
+impl MergeJoinOp {
+    pub fn new(
+        left: BoxedOperator,
+        right: BoxedOperator,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        join_type: JoinType,
+    ) -> MergeJoinOp {
+        MergeJoinOp {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            left_buf: Vec::new(),
+            right_buf: Vec::new(),
+            left_done: false,
+            right_done: false,
+            left_pos: 0,
+            right_pos: 0,
+            left_arity: 0,
+            right_arity: 0,
+            pending: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn fill_left(&mut self) -> DbResult<bool> {
+        while self.left_pos >= self.left_buf.len() && !self.left_done {
+            match self.left.next_batch()? {
+                Some(b) => {
+                    self.left_arity = b.arity();
+                    self.left_buf = b.rows();
+                    self.left_pos = 0;
+                }
+                None => self.left_done = true,
+            }
+        }
+        Ok(self.left_pos < self.left_buf.len())
+    }
+
+    fn fill_right(&mut self) -> DbResult<bool> {
+        while self.right_pos >= self.right_buf.len() && !self.right_done {
+            match self.right.next_batch()? {
+                Some(b) => {
+                    self.right_arity = b.arity();
+                    self.right_buf = b.rows();
+                    self.right_pos = 0;
+                }
+                None => self.right_done = true,
+            }
+        }
+        Ok(self.right_pos < self.right_buf.len())
+    }
+
+    /// Collect the group of consecutive rows with the current key.
+    fn take_left_group(&mut self) -> DbResult<Vec<Row>> {
+        let key: Vec<Value> = self.left_keys
+            .iter()
+            .map(|&c| self.left_buf[self.left_pos][c].clone())
+            .collect();
+        let mut group = Vec::new();
+        loop {
+            if !self.fill_left()? {
+                break;
+            }
+            let row = &self.left_buf[self.left_pos];
+            let rkey: Vec<Value> = self.left_keys.iter().map(|&c| row[c].clone()).collect();
+            if rkey != key {
+                break;
+            }
+            group.push(row.clone());
+            self.left_pos += 1;
+        }
+        Ok(group)
+    }
+
+    fn take_right_group(&mut self) -> DbResult<Vec<Row>> {
+        let key: Vec<Value> = self.right_keys
+            .iter()
+            .map(|&c| self.right_buf[self.right_pos][c].clone())
+            .collect();
+        let mut group = Vec::new();
+        loop {
+            if !self.fill_right()? {
+                break;
+            }
+            let row = &self.right_buf[self.right_pos];
+            let rkey: Vec<Value> = self.right_keys.iter().map(|&c| row[c].clone()).collect();
+            if rkey != key {
+                break;
+            }
+            group.push(row.clone());
+            self.right_pos += 1;
+        }
+        Ok(group)
+    }
+
+    fn emit_left_unmatched(&mut self, rows: Vec<Row>) {
+        match self.join_type {
+            JoinType::LeftOuter | JoinType::FullOuter => {
+                for mut r in rows {
+                    r.extend(vec![Value::Null; self.right_arity]);
+                    self.pending.push(r);
+                }
+            }
+            JoinType::Anti => self.pending.extend(rows),
+            _ => {}
+        }
+    }
+
+    fn emit_right_unmatched(&mut self, rows: Vec<Row>) {
+        if matches!(self.join_type, JoinType::RightOuter | JoinType::FullOuter) {
+            for r in rows {
+                let mut out = vec![Value::Null; self.left_arity];
+                out.extend(r);
+                self.pending.push(out);
+            }
+        }
+    }
+
+    fn emit_matched(&mut self, left: Vec<Row>, right: Vec<Row>) {
+        match self.join_type {
+            JoinType::Semi => self.pending.extend(left),
+            JoinType::Anti => {}
+            _ => {
+                for l in &left {
+                    for r in &right {
+                        let mut out = l.clone();
+                        out.extend(r.iter().cloned());
+                        self.pending.push(out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn advance(&mut self) -> DbResult<()> {
+        loop {
+            if !self.pending.is_empty() {
+                return Ok(());
+            }
+            let has_left = self.fill_left()?;
+            let has_right = self.fill_right()?;
+            match (has_left, has_right) {
+                (false, false) => {
+                    self.done = true;
+                    return Ok(());
+                }
+                (true, false) => {
+                    let group = self.take_left_group()?;
+                    self.emit_left_unmatched(group);
+                    if self.pending.is_empty() {
+                        continue;
+                    }
+                    return Ok(());
+                }
+                (false, true) => {
+                    let group = self.take_right_group()?;
+                    self.emit_right_unmatched(group);
+                    if self.pending.is_empty() {
+                        continue;
+                    }
+                    return Ok(());
+                }
+                (true, true) => {
+                    let lkey: Vec<&Value> = self
+                        .left_keys
+                        .iter()
+                        .map(|&c| &self.left_buf[self.left_pos][c])
+                        .collect();
+                    let rkey: Vec<&Value> = self
+                        .right_keys
+                        .iter()
+                        .map(|&c| &self.right_buf[self.right_pos][c])
+                        .collect();
+                    let lnull = lkey.iter().any(|v| v.is_null());
+                    let rnull = rkey.iter().any(|v| v.is_null());
+                    let ord = lkey.cmp(&rkey);
+                    // NULL keys sort first and never match.
+                    if lnull || (ord == std::cmp::Ordering::Less && !rnull) || (ord == std::cmp::Ordering::Less && rnull) {
+                        let group = self.take_left_group()?;
+                        self.emit_left_unmatched(group);
+                    } else if rnull || ord == std::cmp::Ordering::Greater {
+                        let group = self.take_right_group()?;
+                        self.emit_right_unmatched(group);
+                    } else {
+                        let l = self.take_left_group()?;
+                        let r = self.take_right_group()?;
+                        self.emit_matched(l, r);
+                    }
+                    if self.pending.is_empty() {
+                        continue;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+impl Operator for MergeJoinOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        loop {
+            if !self.pending.is_empty() {
+                let take = self.pending.len().min(BATCH_SIZE * 4);
+                let rows: Vec<Row> = self.pending.drain(..take).collect();
+                return Ok(Some(Batch::from_rows(rows)));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            self.advance()?;
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("MergeJoin({})", self.join_type.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::collect_rows;
+
+    fn left_rows() -> Vec<Row> {
+        vec![
+            vec![Value::Integer(1), Value::Varchar("l1".into())],
+            vec![Value::Integer(2), Value::Varchar("l2".into())],
+            vec![Value::Integer(2), Value::Varchar("l2b".into())],
+            vec![Value::Integer(4), Value::Varchar("l4".into())],
+            vec![Value::Null, Value::Varchar("lnull".into())],
+        ]
+    }
+
+    fn right_rows() -> Vec<Row> {
+        vec![
+            vec![Value::Integer(2), Value::Varchar("r2".into())],
+            vec![Value::Integer(3), Value::Varchar("r3".into())],
+            vec![Value::Integer(4), Value::Varchar("r4".into())],
+            vec![Value::Integer(4), Value::Varchar("r4b".into())],
+            vec![Value::Null, Value::Varchar("rnull".into())],
+        ]
+    }
+
+    fn hash_join(jt: JoinType) -> Vec<Row> {
+        let mut op = HashJoinOp::new(
+            Box::new(ValuesOp::from_rows(left_rows())),
+            Box::new(ValuesOp::from_rows(right_rows())),
+            vec![0],
+            vec![0],
+            jt,
+            MemoryBudget::unlimited(),
+            None,
+        );
+        let mut rows = collect_rows(&mut op).unwrap();
+        rows.sort();
+        rows
+    }
+
+    fn merge_join(jt: JoinType) -> Vec<Row> {
+        let mut l = left_rows();
+        let mut r = right_rows();
+        l.sort();
+        r.sort();
+        let mut op = MergeJoinOp::new(
+            Box::new(ValuesOp::from_rows(l)),
+            Box::new(ValuesOp::from_rows(r)),
+            vec![0],
+            vec![0],
+            jt,
+        );
+        let mut rows = collect_rows(&mut op).unwrap();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn inner_join_counts() {
+        let rows = hash_join(JoinType::Inner);
+        // keys 2 (2 left × 1 right) + 4 (1 × 2) = 4 rows; NULLs never match.
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn left_outer_keeps_unmatched_left() {
+        let rows = hash_join(JoinType::LeftOuter);
+        // 4 inner + l1 + lnull with null right sides.
+        assert_eq!(rows.len(), 6);
+        assert!(rows
+            .iter()
+            .any(|r| r[1] == Value::Varchar("l1".into()) && r[2].is_null()));
+    }
+
+    #[test]
+    fn right_outer_keeps_unmatched_right() {
+        let rows = hash_join(JoinType::RightOuter);
+        // 4 inner + r3 + rnull.
+        assert_eq!(rows.len(), 6);
+        assert!(rows
+            .iter()
+            .any(|r| r[0].is_null() && r[3] == Value::Varchar("r3".into())));
+    }
+
+    #[test]
+    fn full_outer_keeps_both() {
+        let rows = hash_join(JoinType::FullOuter);
+        // 4 inner + 2 left-unmatched + 2 right-unmatched.
+        assert_eq!(rows.len(), 8);
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let semi = hash_join(JoinType::Semi);
+        assert_eq!(semi.len(), 3, "l2, l2b, l4");
+        assert!(semi.iter().all(|r| r.len() == 2), "left columns only");
+        let anti = hash_join(JoinType::Anti);
+        assert_eq!(anti.len(), 2, "l1 and lnull");
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join_all_flavors() {
+        for jt in [
+            JoinType::Inner,
+            JoinType::LeftOuter,
+            JoinType::RightOuter,
+            JoinType::FullOuter,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            assert_eq!(hash_join(jt), merge_join(jt), "flavor {}", jt.name());
+        }
+    }
+
+    #[test]
+    fn sip_published_after_build() {
+        let sip = SipFilter::new();
+        let mut op = HashJoinOp::new(
+            Box::new(ValuesOp::from_rows(left_rows())),
+            Box::new(ValuesOp::from_rows(right_rows())),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+            MemoryBudget::unlimited(),
+            Some(sip.clone()),
+        );
+        assert!(!sip.is_ready());
+        let _ = collect_rows(&mut op).unwrap();
+        assert!(sip.is_ready());
+        assert!(sip.might_contain(&[&Value::Integer(2)]));
+        assert!(!sip.might_contain(&[&Value::Integer(99)]));
+    }
+
+    #[test]
+    fn memory_overflow_switches_to_sort_merge() {
+        let big_right: Vec<Row> = (0..10_000)
+            .map(|i| vec![Value::Integer(i % 100), Value::Integer(i)])
+            .collect();
+        let left: Vec<Row> = (0..100).map(|i| vec![Value::Integer(i)]).collect();
+        let mut op = HashJoinOp::new(
+            Box::new(ValuesOp::from_rows(left)),
+            Box::new(ValuesOp::from_rows(big_right)),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+            MemoryBudget::new(8 * 1024),
+            None,
+        );
+        let rows = collect_rows(&mut op).unwrap();
+        assert!(op.switched_to_merge(), "tiny budget must trigger fallback");
+        assert_eq!(rows.len(), 10_000, "every right row matches one left key");
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let l = vec![
+            vec![Value::Integer(1), Value::Integer(10), Value::Varchar("a".into())],
+            vec![Value::Integer(1), Value::Integer(20), Value::Varchar("b".into())],
+        ];
+        let r = vec![vec![Value::Integer(1), Value::Integer(10), Value::Varchar("x".into())]];
+        let mut op = HashJoinOp::new(
+            Box::new(ValuesOp::from_rows(l)),
+            Box::new(ValuesOp::from_rows(r)),
+            vec![0, 1],
+            vec![0, 1],
+            JoinType::Inner,
+            MemoryBudget::unlimited(),
+            None,
+        );
+        let rows = collect_rows(&mut op).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][2], Value::Varchar("a".into()));
+    }
+}

@@ -1,0 +1,44 @@
+//! `vdb-exec` — the Vertica Execution Engine (§6.1 of the paper).
+//!
+//! A multi-threaded, pipelined, vectorized **pull-model** engine: operators
+//! implement [`operator::Operator::next_batch`] and request blocks of rows
+//! from upstream. The operator set matches §6.1's enumeration:
+//!
+//! | Paper operator | Module |
+//! |---|---|
+//! | Scan (predicate pushdown, SMA/partition/block pruning, SIP) | [`scan`] |
+//! | GroupBy (hash, pipelined one-pass, L1-sized prepass) | [`groupby`] |
+//! | Join (hash + merge, externalizing, all flavors, SIP build) | [`join`] |
+//! | ExprEval | [`filter`] |
+//! | Sort (externalizing) + Limit | [`sort`] |
+//! | Analytic (SQL-99 windowed aggregates) | [`analytic`] |
+//! | Send/Recv (segment-aware, sortedness-retaining) | [`exchange`] |
+//! | StorageUnion / ParallelUnion (intra-node parallelism) | [`exchange`] |
+//!
+//! Operators can run "directly on encoded data": [`batch::ColumnSlice`]
+//! keeps RLE runs unexpanded from the scan through pipelined aggregation.
+//! Every stateful operator takes a [`memory::MemoryBudget`] and spills to
+//! the storage backend when it is exceeded (§6.1: "all operators are
+//! capable of handling arbitrary sized inputs ... by externalizing their
+//! buffers to disk").
+
+pub mod aggregate;
+pub mod analytic;
+pub mod batch;
+pub mod exchange;
+pub mod filter;
+pub mod groupby;
+pub mod join;
+pub mod memory;
+pub mod operator;
+pub mod plan;
+pub mod scan;
+pub mod sip;
+pub mod sort;
+
+pub use aggregate::{AggCall, AggFunc};
+pub use batch::{Batch, ColumnSlice};
+pub use memory::MemoryBudget;
+pub use operator::{collect_rows, BoxedOperator, Operator};
+pub use plan::{build_operator, ExecContext, JoinType, PhysicalPlan};
+pub use sip::SipFilter;

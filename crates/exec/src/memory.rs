@@ -1,0 +1,80 @@
+//! Operator memory budgets (§6.1).
+//!
+//! "During query compile time, each operator is given a memory budget based
+//! on the resources available given a user defined workload policy ... All
+//! operators are capable of handling arbitrary sized inputs, regardless of
+//! the memory allocated, by externalizing their buffers to disk." Budgets
+//! here are advisory byte counts; stateful operators check them and spill.
+
+/// Byte budget handed to one stateful operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    pub bytes: usize,
+}
+
+impl MemoryBudget {
+    pub fn new(bytes: usize) -> MemoryBudget {
+        MemoryBudget { bytes }
+    }
+
+    /// Effectively-unbounded budget (tests, small queries).
+    pub fn unlimited() -> MemoryBudget {
+        MemoryBudget { bytes: usize::MAX }
+    }
+
+    pub fn exceeded_by(&self, used: usize) -> bool {
+        used > self.bytes
+    }
+}
+
+impl Default for MemoryBudget {
+    fn default() -> MemoryBudget {
+        MemoryBudget::new(64 << 20)
+    }
+}
+
+/// Workload policy: how a query's total memory is split across its
+/// stateful operators, with plan-zone awareness — "downstream operators are
+/// able to reclaim resources previously used by upstream operators"
+/// because a Sort (a zone boundary) ends the upstream zone.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourcePolicy {
+    /// Total memory for one query.
+    pub query_bytes: usize,
+}
+
+impl Default for ResourcePolicy {
+    fn default() -> ResourcePolicy {
+        ResourcePolicy {
+            query_bytes: 256 << 20,
+        }
+    }
+}
+
+impl ResourcePolicy {
+    /// Budget for each of `stateful_ops` operators that can be live at the
+    /// same time within one zone.
+    pub fn per_operator(&self, stateful_ops: usize) -> MemoryBudget {
+        MemoryBudget::new(self.query_bytes / stateful_ops.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_checks() {
+        let b = MemoryBudget::new(100);
+        assert!(!b.exceeded_by(100));
+        assert!(b.exceeded_by(101));
+        assert!(!MemoryBudget::unlimited().exceeded_by(usize::MAX - 1));
+    }
+
+    #[test]
+    fn policy_splits_across_operators() {
+        let p = ResourcePolicy { query_bytes: 100 };
+        assert_eq!(p.per_operator(4).bytes, 25);
+        assert_eq!(p.per_operator(0).bytes, 100);
+    }
+}

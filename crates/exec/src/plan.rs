@@ -1,0 +1,628 @@
+//! Physical plans: the tree the optimizer hands to the engine.
+//!
+//! [`PhysicalPlan`] is a serializable description; [`build_operator`] turns
+//! it into a live operator pipeline against an [`ExecContext`] holding the
+//! projection snapshots for one node. EXPLAIN output (Figure 3's plan
+//! rendering) comes from [`explain`].
+
+use crate::aggregate::AggCall;
+use crate::analytic::{AnalyticOp, WindowFunc};
+use crate::batch::Batch;
+use crate::exchange::{parallel_segmented, UnionOp};
+use crate::filter::{FilterOp, ProjectOp};
+use crate::groupby::{two_phase_aggs, HashGroupByOp, PipelinedGroupByOp, PrepassGroupByOp};
+pub use crate::join::JoinType;
+use crate::join::{HashJoinOp, MergeJoinOp};
+use crate::memory::{MemoryBudget, ResourcePolicy};
+use crate::operator::{BoxedOperator, ValuesOp};
+use crate::scan::{ScanOperator, SipBinding};
+use crate::sip::SipFilter;
+use crate::sort::{LimitOp, SortOp};
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdb_storage::store::SnapshotScan;
+use vdb_storage::StorageBackend;
+use vdb_types::schema::SortKey;
+use vdb_types::{DbError, DbResult, Expr, Row};
+
+/// A SIP filter edge: the join that builds it and the scan that consumes
+/// it share the id.
+pub type SipId = usize;
+
+/// Physical plan nodes.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Scan one projection's snapshot on this node.
+    Scan {
+        projection: String,
+        /// Projection column indexes to output, in order.
+        output_columns: Vec<usize>,
+        /// Residual predicate over the output columns.
+        predicate: Option<Expr>,
+        /// Predicate over the single-value row `[partition_key]`.
+        partition_predicate: Option<Expr>,
+        /// `(sip id, key columns of the scan output)`.
+        sip: Vec<(SipId, Vec<usize>)>,
+    },
+    /// Literal rows (DML sources, replan inputs, tests).
+    Values { rows: Vec<Row>, arity: usize },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<Expr>,
+    },
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        join_type: JoinType,
+        /// SIP filter this join publishes (consumed by a Scan below left).
+        sip: Option<SipId>,
+    },
+    MergeJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        join_type: JoinType,
+    },
+    HashGroupBy {
+        input: Box<PhysicalPlan>,
+        group_columns: Vec<usize>,
+        aggs: Vec<AggCall>,
+    },
+    /// One-pass aggregation over input sorted by the group columns.
+    PipelinedGroupBy {
+        input: Box<PhysicalPlan>,
+        group_columns: Vec<usize>,
+        aggs: Vec<AggCall>,
+    },
+    /// Prepass + final hash GroupBy (+ AVG reconstitution projection).
+    TwoPhaseGroupBy {
+        input: Box<PhysicalPlan>,
+        group_columns: Vec<usize>,
+        aggs: Vec<AggCall>,
+    },
+    /// Figure 3: resegment into N parallel lanes, aggregate per lane.
+    ParallelGroupBy {
+        input: Box<PhysicalPlan>,
+        group_columns: Vec<usize>,
+        aggs: Vec<AggCall>,
+        lanes: usize,
+    },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        limit: usize,
+        offset: usize,
+    },
+    Analytic {
+        input: Box<PhysicalPlan>,
+        partition_by: Vec<usize>,
+        order_by: Vec<SortKey>,
+        funcs: Vec<WindowFunc>,
+        pre_sorted: bool,
+    },
+    /// Concatenate children (same schema).
+    Union { inputs: Vec<PhysicalPlan> },
+}
+
+/// Everything needed to instantiate a plan on one node.
+pub struct ExecContext {
+    pub backend: Arc<dyn StorageBackend>,
+    /// Projection name → snapshot to scan.
+    pub snapshots: HashMap<String, SnapshotScan>,
+    pub policy: ResourcePolicy,
+    /// SIP filters keyed by id, shared between joins and scans.
+    pub sip_filters: HashMap<SipId, Arc<SipFilter>>,
+}
+
+impl ExecContext {
+    pub fn new(backend: Arc<dyn StorageBackend>) -> ExecContext {
+        ExecContext {
+            backend,
+            snapshots: HashMap::new(),
+            policy: ResourcePolicy::default(),
+            sip_filters: HashMap::new(),
+        }
+    }
+
+    fn sip(&mut self, id: SipId) -> Arc<SipFilter> {
+        self.sip_filters
+            .entry(id)
+            .or_insert_with(SipFilter::new)
+            .clone()
+    }
+}
+
+/// Count stateful operators for the §6.1 memory split.
+fn stateful_count(plan: &PhysicalPlan) -> usize {
+    match plan {
+        PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => 0,
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Limit { input, .. } => stateful_count(input),
+        PhysicalPlan::HashJoin { left, right, .. }
+        | PhysicalPlan::MergeJoin { left, right, .. } => {
+            1 + stateful_count(left) + stateful_count(right)
+        }
+        PhysicalPlan::HashGroupBy { input, .. }
+        | PhysicalPlan::PipelinedGroupBy { input, .. }
+        | PhysicalPlan::TwoPhaseGroupBy { input, .. }
+        | PhysicalPlan::ParallelGroupBy { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Analytic { input, .. } => 1 + stateful_count(input),
+        PhysicalPlan::Union { inputs } => inputs.iter().map(stateful_count).sum(),
+    }
+}
+
+/// Instantiate a plan into an operator pipeline.
+pub fn build_operator(plan: &PhysicalPlan, ctx: &mut ExecContext) -> DbResult<BoxedOperator> {
+    let budget = ctx.policy.per_operator(stateful_count(plan).max(1));
+    build_inner(plan, ctx, budget)
+}
+
+fn build_inner(
+    plan: &PhysicalPlan,
+    ctx: &mut ExecContext,
+    budget: MemoryBudget,
+) -> DbResult<BoxedOperator> {
+    Ok(match plan {
+        PhysicalPlan::Scan {
+            projection,
+            output_columns,
+            predicate,
+            partition_predicate,
+            sip,
+        } => {
+            let bindings: Vec<SipBinding> = sip
+                .iter()
+                .map(|(id, cols)| SipBinding {
+                    filter: ctx.sip(*id),
+                    key_columns: cols.clone(),
+                })
+                .collect();
+            let snap = ctx.snapshots.get(projection).ok_or_else(|| {
+                DbError::Plan(format!("no snapshot for projection {projection}"))
+            })?;
+            Box::new(ScanOperator::new(
+                ctx.backend.clone(),
+                snap.containers.clone(),
+                snap.wos_rows.clone(),
+                output_columns.clone(),
+                predicate.clone(),
+                partition_predicate.clone(),
+                bindings,
+            ))
+        }
+        PhysicalPlan::Values { rows, .. } => Box::new(ValuesOp::from_rows(rows.clone())),
+        PhysicalPlan::Filter { input, predicate } => Box::new(FilterOp::new(
+            build_inner(input, ctx, budget)?,
+            predicate.clone(),
+        )),
+        PhysicalPlan::Project { input, exprs } => Box::new(ProjectOp::new(
+            build_inner(input, ctx, budget)?,
+            exprs.clone(),
+        )),
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            sip,
+        } => {
+            let sip_filter = sip.map(|id| ctx.sip(id));
+            // Build right first so the SIP filter exists before the probe
+            // side's scan is constructed (construction order is irrelevant
+            // at runtime — the filter fills during build — but keeping the
+            // id registered is required).
+            let right_op = build_inner(right, ctx, budget)?;
+            let left_op = build_inner(left, ctx, budget)?;
+            Box::new(HashJoinOp::new(
+                left_op,
+                right_op,
+                left_keys.clone(),
+                right_keys.clone(),
+                *join_type,
+                budget,
+                sip_filter,
+            ))
+        }
+        PhysicalPlan::MergeJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => Box::new(MergeJoinOp::new(
+            build_inner(left, ctx, budget)?,
+            build_inner(right, ctx, budget)?,
+            left_keys.clone(),
+            right_keys.clone(),
+            *join_type,
+        )),
+        PhysicalPlan::HashGroupBy {
+            input,
+            group_columns,
+            aggs,
+        } => Box::new(HashGroupByOp::new(
+            build_inner(input, ctx, budget)?,
+            group_columns.clone(),
+            aggs.clone(),
+            budget,
+        )),
+        PhysicalPlan::PipelinedGroupBy {
+            input,
+            group_columns,
+            aggs,
+        } => Box::new(PipelinedGroupByOp::new(
+            build_inner(input, ctx, budget)?,
+            group_columns.clone(),
+            aggs.clone(),
+        )),
+        PhysicalPlan::TwoPhaseGroupBy {
+            input,
+            group_columns,
+            aggs,
+        } => {
+            let (partial, final_aggs, project) = two_phase_aggs(group_columns.len(), aggs)
+                .ok_or_else(|| {
+                    DbError::Plan("two-phase groupby with non-decomposable aggregate".into())
+                })?;
+            let child = build_inner(input, ctx, budget)?;
+            let prepass = PrepassGroupByOp::new(
+                child,
+                group_columns.clone(),
+                partial,
+                crate::groupby::PREPASS_GROUPS,
+            );
+            let keys: Vec<usize> = (0..group_columns.len()).collect();
+            let final_gb = HashGroupByOp::new(Box::new(prepass), keys, final_aggs, budget);
+            Box::new(ProjectOp::new(Box::new(final_gb), project))
+        }
+        PhysicalPlan::ParallelGroupBy {
+            input,
+            group_columns,
+            aggs,
+            lanes,
+        } => {
+            let child = build_inner(input, ctx, budget)?;
+            let group_columns = group_columns.clone();
+            let aggs = aggs.clone();
+            let gb_keys = group_columns.clone();
+            Box::new(parallel_segmented(
+                child,
+                group_columns,
+                *lanes,
+                move |lane| {
+                    Box::new(HashGroupByOp::new(
+                        lane,
+                        gb_keys.clone(),
+                        aggs.clone(),
+                        budget,
+                    ))
+                },
+            ))
+        }
+        PhysicalPlan::Sort { input, keys } => Box::new(SortOp::new(
+            build_inner(input, ctx, budget)?,
+            keys.clone(),
+            budget,
+        )),
+        PhysicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => Box::new(LimitOp::new(
+            build_inner(input, ctx, budget)?,
+            *limit,
+            *offset,
+        )),
+        PhysicalPlan::Analytic {
+            input,
+            partition_by,
+            order_by,
+            funcs,
+            pre_sorted,
+        } => Box::new(AnalyticOp::new(
+            build_inner(input, ctx, budget)?,
+            partition_by.clone(),
+            order_by.clone(),
+            funcs.clone(),
+            *pre_sorted,
+            budget,
+        )),
+        PhysicalPlan::Union { inputs } => {
+            let children = inputs
+                .iter()
+                .map(|p| build_inner(p, ctx, budget))
+                .collect::<DbResult<Vec<_>>>()?;
+            Box::new(UnionOp::new(children))
+        }
+    })
+}
+
+/// Execute a plan to completion on one node, returning all rows.
+pub fn execute_collect(plan: &PhysicalPlan, ctx: &mut ExecContext) -> DbResult<Vec<Row>> {
+    let mut op = build_operator(plan, ctx)?;
+    crate::operator::collect_rows(op.as_mut())
+}
+
+/// Execute and stream batches through a callback.
+pub fn execute_foreach(
+    plan: &PhysicalPlan,
+    ctx: &mut ExecContext,
+    mut f: impl FnMut(Batch) -> DbResult<()>,
+) -> DbResult<()> {
+    let mut op = build_operator(plan, ctx)?;
+    while let Some(b) = op.next_batch()? {
+        f(b)?;
+    }
+    Ok(())
+}
+
+/// Render an EXPLAIN tree (Figure 3 style).
+pub fn explain(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let line = match plan {
+        PhysicalPlan::Scan {
+            projection,
+            output_columns,
+            predicate,
+            partition_predicate,
+            sip,
+        } => {
+            let mut s = format!("Scan {projection} cols={output_columns:?}");
+            if let Some(p) = predicate {
+                s.push_str(&format!(" filter=({p})"));
+            }
+            if partition_predicate.is_some() {
+                s.push_str(" [partition-pruned]");
+            }
+            if !sip.is_empty() {
+                s.push_str(&format!(" [SIP x{}]", sip.len()));
+            }
+            s
+        }
+        PhysicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
+        PhysicalPlan::Filter { predicate, .. } => format!("Filter ({predicate})"),
+        PhysicalPlan::Project { exprs, .. } => {
+            let list: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+            format!("ExprEval [{}]", list.join(", "))
+        }
+        PhysicalPlan::HashJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            sip,
+            ..
+        } => format!(
+            "HashJoin {} on {left_keys:?}={right_keys:?}{}",
+            join_type.name(),
+            if sip.is_some() { " [builds SIP]" } else { "" }
+        ),
+        PhysicalPlan::MergeJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            ..
+        } => format!(
+            "MergeJoin {} on {left_keys:?}={right_keys:?}",
+            join_type.name()
+        ),
+        PhysicalPlan::HashGroupBy {
+            group_columns,
+            aggs,
+            ..
+        } => format!(
+            "GroupByHash keys={group_columns:?} aggs=[{}]",
+            aggs.iter().map(|a| a.func.name()).collect::<Vec<_>>().join(", ")
+        ),
+        PhysicalPlan::PipelinedGroupBy { group_columns, .. } => {
+            format!("GroupByPipelined keys={group_columns:?} (sorted input, encoded-aware)")
+        }
+        PhysicalPlan::TwoPhaseGroupBy { group_columns, .. } => {
+            format!("GroupByPrepass+Final keys={group_columns:?}")
+        }
+        PhysicalPlan::ParallelGroupBy {
+            group_columns,
+            lanes,
+            ..
+        } => format!(
+            "ParallelUnion -> {lanes}x GroupByHash keys={group_columns:?} (StorageUnion resegments)"
+        ),
+        PhysicalPlan::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
+        PhysicalPlan::Limit { limit, offset, .. } => {
+            format!("Limit {limit} offset {offset}")
+        }
+        PhysicalPlan::Analytic { funcs, .. } => format!(
+            "Analytic [{}]",
+            funcs.iter().map(WindowFunc::name).collect::<Vec<_>>().join(", ")
+        ),
+        PhysicalPlan::Union { inputs } => format!("StorageUnion ({} inputs)", inputs.len()),
+    };
+    out.push_str(&pad);
+    out.push_str(&line);
+    out.push('\n');
+    match plan {
+        PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => {}
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::HashGroupBy { input, .. }
+        | PhysicalPlan::PipelinedGroupBy { input, .. }
+        | PhysicalPlan::TwoPhaseGroupBy { input, .. }
+        | PhysicalPlan::ParallelGroupBy { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Analytic { input, .. } => render(input, depth + 1, out),
+        PhysicalPlan::HashJoin { left, right, .. }
+        | PhysicalPlan::MergeJoin { left, right, .. } => {
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        PhysicalPlan::Union { inputs } => {
+            for i in inputs {
+                render(i, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use vdb_storage::projection::ProjectionDef;
+    use vdb_storage::{MemBackend, ProjectionStore};
+    use vdb_types::{BinOp, ColumnDef, DataType, Epoch, TableSchema, Value};
+
+    fn ctx_with_store(rows: Vec<Row>) -> ExecContext {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Integer),
+                ColumnDef::new("b", DataType::Integer),
+            ],
+        );
+        let def = ProjectionDef::super_projection(&schema, "t_super", &[0], &[]);
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let mut store = ProjectionStore::new(def, None, 1, backend.clone());
+        store.insert_direct_ros(rows, Epoch(1)).unwrap();
+        let mut ctx = ExecContext::new(backend);
+        ctx.snapshots
+            .insert("t_super".into(), store.scan_snapshot(Epoch(1)));
+        ctx
+    }
+
+    fn scan_plan(pred: Option<Expr>) -> PhysicalPlan {
+        PhysicalPlan::Scan {
+            projection: "t_super".into(),
+            output_columns: vec![0, 1],
+            predicate: pred,
+            partition_predicate: None,
+            sip: vec![],
+        }
+    }
+
+    #[test]
+    fn end_to_end_scan_groupby_sort() {
+        let rows: Vec<Row> = (0..1000)
+            .map(|i| vec![Value::Integer(i), Value::Integer(i % 4)])
+            .collect();
+        let mut ctx = ctx_with_store(rows);
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::HashGroupBy {
+                input: Box::new(scan_plan(None)),
+                group_columns: vec![1],
+                aggs: vec![AggCall::new(AggFunc::CountStar, 0, "cnt")],
+            }),
+            keys: vec![SortKey::asc(0)],
+        };
+        let got = execute_collect(&plan, &mut ctx).unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|r| r[1] == Value::Integer(250)));
+    }
+
+    #[test]
+    fn sip_wired_between_join_and_scan() {
+        let rows: Vec<Row> = (0..100)
+            .map(|i| vec![Value::Integer(i), Value::Integer(i)])
+            .collect();
+        let mut ctx = ctx_with_store(rows);
+        // Join probe side scans t_super with SIP id 0; build side is a
+        // 3-row Values.
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::Scan {
+                projection: "t_super".into(),
+                output_columns: vec![0, 1],
+                predicate: None,
+                partition_predicate: None,
+                sip: vec![(0, vec![0])],
+            }),
+            right: Box::new(PhysicalPlan::Values {
+                rows: vec![
+                    vec![Value::Integer(5)],
+                    vec![Value::Integer(50)],
+                    vec![Value::Integer(500)],
+                ],
+                arity: 1,
+            }),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+            sip: Some(0),
+        };
+        let got = execute_collect(&plan, &mut ctx).unwrap();
+        assert_eq!(got.len(), 2, "keys 5 and 50 exist, 500 does not");
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::TwoPhaseGroupBy {
+                input: Box::new(scan_plan(Some(Expr::binary(
+                    BinOp::Gt,
+                    Expr::col(0, "a"),
+                    Expr::int(10),
+                )))),
+                group_columns: vec![1],
+                aggs: vec![AggCall::new(AggFunc::Sum, 0, "s")],
+            }),
+            limit: 5,
+            offset: 0,
+        };
+        let text = explain(&plan);
+        assert!(text.contains("Limit 5"));
+        assert!(text.contains("GroupByPrepass+Final"));
+        assert!(text.contains("Scan t_super"));
+        assert!(text.contains("filter=((a > 10))"));
+        // Indentation reflects depth.
+        assert!(text.lines().nth(2).unwrap().starts_with("    "));
+    }
+
+    #[test]
+    fn parallel_groupby_plan_matches_serial() {
+        let rows: Vec<Row> = (0..5000)
+            .map(|i| vec![Value::Integer(i), Value::Integer(i % 7)])
+            .collect();
+        let serial = PhysicalPlan::HashGroupBy {
+            input: Box::new(scan_plan(None)),
+            group_columns: vec![1],
+            aggs: vec![AggCall::new(AggFunc::Sum, 0, "s")],
+        };
+        let parallel = PhysicalPlan::ParallelGroupBy {
+            input: Box::new(scan_plan(None)),
+            group_columns: vec![1],
+            aggs: vec![AggCall::new(AggFunc::Sum, 0, "s")],
+            lanes: 4,
+        };
+        let mut ctx1 = ctx_with_store(rows.clone());
+        let mut s = execute_collect(&serial, &mut ctx1).unwrap();
+        let mut ctx2 = ctx_with_store(rows);
+        let mut p = execute_collect(&parallel, &mut ctx2).unwrap();
+        s.sort();
+        p.sort();
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn missing_projection_is_plan_error() {
+        let mut ctx = ExecContext::new(Arc::new(MemBackend::new()));
+        let err = execute_collect(&scan_plan(None), &mut ctx);
+        assert!(matches!(err, Err(DbError::Plan(_))));
+    }
+}

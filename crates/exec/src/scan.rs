@@ -1,0 +1,662 @@
+//! The Scan operator (§6.1 #1).
+//!
+//! "Reads data from a particular projection's ROS containers, and applies
+//! predicates in the most advantageous manner possible." Advantageous here
+//! means, in order:
+//!
+//! 1. **Partition pruning** — skip containers whose `PARTITION BY` key
+//!    cannot satisfy the predicate (§3.5).
+//! 2. **Container pruning** — skip containers whose column min/max (from
+//!    the position index) cannot pass, the small-materialized-aggregates
+//!    technique the paper cites as [22].
+//! 3. **Block pruning** — the same test per 1024-row block.
+//! 4. **SIP filters** — membership tests against a join's hash table (§6.1).
+//! 5. Residual predicate evaluation, vectorized per batch.
+//!
+//! Blocks whose columns survive untouched keep RLE runs unexpanded, feeding
+//! the encoded-execution path of pipelined GroupBy.
+
+use crate::batch::{Batch, ColumnSlice};
+use crate::operator::Operator;
+use crate::sip::SipFilter;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use vdb_encoding::block::DecodedBlock;
+use vdb_encoding::ColumnReader;
+use vdb_storage::store::{ScanContainer, VisibleSet};
+use vdb_storage::StorageBackend;
+use vdb_types::{BinOp, DbResult, Expr, Row, Value};
+
+/// A SIP filter bound to this scan: which output columns form the join key.
+#[derive(Clone)]
+pub struct SipBinding {
+    pub filter: Arc<SipFilter>,
+    /// Indexes into the scan's *output* columns.
+    pub key_columns: Vec<usize>,
+}
+
+/// Counters exposed for EXPLAIN ANALYZE-style reporting and the pruning /
+/// SIP benchmarks.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ScanStats {
+    pub containers_total: usize,
+    pub containers_pruned_partition: usize,
+    pub containers_pruned_minmax: usize,
+    pub blocks_total: usize,
+    pub blocks_pruned: usize,
+    pub rows_scanned: u64,
+    pub rows_after_predicate: u64,
+    pub rows_sip_filtered: u64,
+}
+
+/// Inclusive bounds extracted from predicate conjuncts, used for SMA
+/// pruning: `low ≤ column ≤ high`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBounds {
+    pub column: usize,
+    pub low: Option<Value>,
+    pub high: Option<Value>,
+}
+
+/// Extract per-column bounds from the conjuncts of `pred` (column indexes
+/// are in the predicate's own frame).
+pub fn extract_bounds(pred: &Expr) -> Vec<ColumnBounds> {
+    let mut out: Vec<ColumnBounds> = Vec::new();
+    let mut add = |col: usize, low: Option<Value>, high: Option<Value>| {
+        match out.iter_mut().find(|b| b.column == col) {
+            Some(b) => {
+                if let Some(l) = low {
+                    b.low = Some(match b.low.take() {
+                        Some(prev) => prev.max(l),
+                        None => l,
+                    });
+                }
+                if let Some(h) = high {
+                    b.high = Some(match b.high.take() {
+                        Some(prev) => prev.min(h),
+                        None => h,
+                    });
+                }
+            }
+            None => out.push(ColumnBounds { column: col, low, high }),
+        }
+    };
+    for conj in pred.clone().split_conjuncts() {
+        match &conj {
+            Expr::Binary { op, left, right } if op.is_comparison() => {
+                let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column { index, .. }, Expr::Literal(v)) => (*index, v.clone(), *op),
+                    (Expr::Literal(v), Expr::Column { index, .. }) => {
+                        // Flip: lit op col ≡ col flipped-op lit.
+                        let flipped = match *op {
+                            BinOp::Lt => BinOp::Gt,
+                            BinOp::Le => BinOp::Ge,
+                            BinOp::Gt => BinOp::Lt,
+                            BinOp::Ge => BinOp::Le,
+                            other => other,
+                        };
+                        (*index, v.clone(), flipped)
+                    }
+                    _ => continue,
+                };
+                if lit.is_null() {
+                    continue;
+                }
+                match op {
+                    BinOp::Eq => add(col, Some(lit.clone()), Some(lit)),
+                    BinOp::Lt | BinOp::Le => add(col, None, Some(lit)),
+                    BinOp::Gt | BinOp::Ge => add(col, Some(lit), None),
+                    _ => {}
+                }
+            }
+            Expr::Between { input, low, high } => {
+                if let (Expr::Column { index, .. }, Expr::Literal(lo), Expr::Literal(hi)) =
+                    (input.as_ref(), low.as_ref(), high.as_ref())
+                {
+                    if !lo.is_null() && !hi.is_null() {
+                        add(*index, Some(lo.clone()), Some(hi.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The Scan operator over one projection's snapshot on one node.
+pub struct ScanOperator {
+    /// Default backend (containers carry their own, so cross-node container
+    /// mixes — buddy reads, broadcast gathers — read from the right node).
+    #[allow(dead_code)]
+    backend: Arc<dyn StorageBackend>,
+    /// Remaining containers to scan.
+    containers: VecDeque<ScanContainer>,
+    /// Projection column indexes this scan outputs, in output order.
+    output_columns: Vec<usize>,
+    /// Residual predicate over the *output* columns.
+    predicate: Option<Expr>,
+    /// Bounds for pruning, with `column` = output column index.
+    bounds: Vec<ColumnBounds>,
+    /// Predicate over the 1-column row `[partition_key]`.
+    partition_predicate: Option<Expr>,
+    sip: Vec<SipBinding>,
+    /// Visible WOS rows (projection-shaped), drained after containers.
+    wos_rows: Option<Vec<Row>>,
+    /// In-flight container state: decoded column readers per block.
+    current: Option<ContainerCursor>,
+    stats: Arc<Mutex<ScanStats>>,
+    done: bool,
+}
+
+struct ContainerCursor {
+    /// Raw column bytes + cloned index, per output column.
+    columns: Vec<(Vec<u8>, vdb_encoding::PositionIndex)>,
+    visible: VisibleSet,
+    num_blocks: usize,
+    next_block: usize,
+}
+
+impl ScanOperator {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        backend: Arc<dyn StorageBackend>,
+        containers: Vec<ScanContainer>,
+        wos_rows: Vec<Row>,
+        output_columns: Vec<usize>,
+        predicate: Option<Expr>,
+        partition_predicate: Option<Expr>,
+        sip: Vec<SipBinding>,
+    ) -> ScanOperator {
+        let bounds = predicate.as_ref().map(extract_bounds).unwrap_or_default();
+        let stats = Arc::new(Mutex::new(ScanStats {
+            containers_total: containers.len(),
+            ..ScanStats::default()
+        }));
+        ScanOperator {
+            backend,
+            containers: containers.into(),
+            output_columns,
+            predicate,
+            bounds,
+            partition_predicate,
+            sip,
+            wos_rows: Some(wos_rows),
+            current: None,
+            stats,
+            done: false,
+        }
+    }
+
+    /// Shared stats handle (inspect after draining).
+    pub fn stats(&self) -> Arc<Mutex<ScanStats>> {
+        self.stats.clone()
+    }
+
+    /// Advance to the next unpruned container, building its cursor.
+    fn open_next_container(&mut self) -> DbResult<bool> {
+        while let Some(sc) = self.containers.pop_front() {
+            // 1. Partition pruning.
+            if let (Some(pred), Some(key)) =
+                (&self.partition_predicate, &sc.container.partition_key)
+            {
+                if !pred.matches(std::slice::from_ref(key))? {
+                    self.stats.lock().containers_pruned_partition += 1;
+                    continue;
+                }
+            }
+            // 2. Container-level min/max pruning.
+            let mut pruned = false;
+            for b in &self.bounds {
+                let proj_col = self.output_columns[b.column];
+                if let Some((min, max)) = sc.container.column_min_max(proj_col) {
+                    if b.low.as_ref().is_some_and(|lo| &max < lo)
+                        || b.high.as_ref().is_some_and(|hi| &min > hi)
+                    {
+                        pruned = true;
+                        break;
+                    }
+                }
+            }
+            if pruned {
+                self.stats.lock().containers_pruned_minmax += 1;
+                continue;
+            }
+            // Visibility (epoch + delete vector).
+            let visible = sc.visible(sc.backend.as_ref())?;
+            if matches!(visible, VisibleSet::None) {
+                continue;
+            }
+            // Load needed column bytes from the container's own backend.
+            let mut columns = Vec::with_capacity(self.output_columns.len());
+            for &proj_col in &self.output_columns {
+                let bytes = sc.container.read_column_bytes(sc.backend.as_ref(), proj_col)?;
+                columns.push((bytes, sc.container.indexes[proj_col].clone()));
+            }
+            let num_blocks = columns
+                .first()
+                .map_or(0, |(_, idx)| idx.blocks.len());
+            self.stats.lock().blocks_total += num_blocks;
+            self.current = Some(ContainerCursor {
+                columns,
+                visible,
+                num_blocks,
+                next_block: 0,
+            });
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Produce the batch for the next surviving block of the current
+    /// container; `None` when the container is exhausted.
+    fn next_block_batch(&mut self) -> DbResult<Option<Batch>> {
+        loop {
+            let Some(cur) = self.current.as_mut() else {
+                return Ok(None);
+            };
+            if cur.next_block >= cur.num_blocks {
+                self.current = None;
+                return Ok(None);
+            }
+            let bi = cur.next_block;
+            cur.next_block += 1;
+            // 3. Block-level pruning on bounded columns.
+            let mut skip = false;
+            for b in &self.bounds {
+                let meta = &cur.columns[b.column].1.blocks[bi];
+                if !meta.might_contain_range(b.low.as_ref(), b.high.as_ref()) {
+                    skip = true;
+                    break;
+                }
+            }
+            if skip {
+                self.stats.lock().blocks_pruned += 1;
+                continue;
+            }
+            // Decode the block for every output column.
+            let meta0 = &cur.columns[0].1.blocks[bi];
+            let block_start = meta0.start_position;
+            let block_rows = meta0.count as usize;
+            let mut slices = Vec::with_capacity(cur.columns.len());
+            for (bytes, index) in &cur.columns {
+                let reader = ColumnReader::new(bytes, index);
+                let decoded = reader.read_block(bi)?;
+                slices.push(match decoded {
+                    DecodedBlock::Values(v) => ColumnSlice::Plain(v),
+                    DecodedBlock::Runs(r) => ColumnSlice::Rle(r),
+                });
+            }
+            self.stats.lock().rows_scanned += block_rows as u64;
+            let mut batch = Batch::new(slices);
+            // Visibility mask for this block's position range.
+            if !matches!(cur.visible, VisibleSet::All) {
+                let mask: Vec<bool> = (0..block_rows)
+                    .map(|i| cur.visible.is_visible(block_start + i as u64))
+                    .collect();
+                if mask.iter().any(|&b| !b) {
+                    batch = batch.into_filtered(&mask);
+                }
+            }
+            let batch = self.apply_row_filters(batch)?;
+            if batch.is_empty() {
+                continue;
+            }
+            return Ok(Some(batch));
+        }
+    }
+
+    /// 4+5: SIP filters then residual predicate.
+    fn apply_row_filters(&self, batch: Batch) -> DbResult<Batch> {
+        let mut batch = batch;
+        for binding in &self.sip {
+            if !binding.filter.is_ready() || batch.is_empty() {
+                continue;
+            }
+            let n = batch.len();
+            let mut mask = vec![true; n];
+            let mut dropped = 0u64;
+            if let [only] = binding.key_columns.as_slice() {
+                // Single-column fast path, run-aware for RLE keys.
+                match &batch.columns[*only] {
+                    crate::batch::ColumnSlice::Plain(values) => {
+                        for (i, v) in values.iter().enumerate() {
+                            if !binding.filter.might_contain_one(v) {
+                                mask[i] = false;
+                                dropped += 1;
+                            }
+                        }
+                    }
+                    crate::batch::ColumnSlice::Rle(runs) => {
+                        let mut i = 0usize;
+                        for (v, len) in runs {
+                            let keep = binding.filter.might_contain_one(v);
+                            if !keep {
+                                dropped += u64::from(*len);
+                            }
+                            for _ in 0..*len {
+                                mask[i] = keep;
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+            } else {
+                let key_cols: Vec<Vec<Value>> = binding
+                    .key_columns
+                    .iter()
+                    .map(|&c| batch.columns[c].to_values())
+                    .collect();
+                for i in 0..n {
+                    let key: Vec<&Value> = key_cols.iter().map(|col| &col[i]).collect();
+                    if !binding.filter.might_contain(&key) {
+                        mask[i] = false;
+                        dropped += 1;
+                    }
+                }
+            }
+            if dropped > 0 {
+                self.stats.lock().rows_sip_filtered += dropped;
+                batch = batch.into_filtered(&mask);
+            }
+        }
+        if let Some(pred) = &self.predicate {
+            if !batch.is_empty() {
+                let rows = batch.rows();
+                let mut mask = Vec::with_capacity(rows.len());
+                let mut all = true;
+                for row in &rows {
+                    let keep = pred.matches(row)?;
+                    all &= keep;
+                    mask.push(keep);
+                }
+                if !all {
+                    batch = batch.into_filtered(&mask);
+                }
+            }
+        }
+        self.stats.lock().rows_after_predicate += batch.len() as u64;
+        Ok(batch)
+    }
+
+    /// Project + filter the WOS rows.
+    fn wos_batch(&mut self) -> DbResult<Option<Batch>> {
+        let Some(rows) = self.wos_rows.take() else {
+            return Ok(None);
+        };
+        if rows.is_empty() {
+            return Ok(None);
+        }
+        self.stats.lock().rows_scanned += rows.len() as u64;
+        let projected: Vec<Row> = rows
+            .into_iter()
+            .map(|r| {
+                self.output_columns
+                    .iter()
+                    .map(|&c| r[c].clone())
+                    .collect()
+            })
+            .collect();
+        let batch = self.apply_row_filters(Batch::from_rows(projected))?;
+        if batch.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(batch))
+        }
+    }
+}
+
+impl Operator for ScanOperator {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            if self.current.is_some() {
+                if let Some(batch) = self.next_block_batch()? {
+                    return Ok(Some(batch));
+                }
+                continue;
+            }
+            if self.open_next_container()? {
+                continue;
+            }
+            // Containers exhausted: WOS tail.
+            match self.wos_batch()? {
+                Some(batch) => return Ok(Some(batch)),
+                None => {
+                    if self.wos_rows.is_none() {
+                        self.done = true;
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        match &self.predicate {
+            Some(p) => format!("Scan(filter: {p})"),
+            None => "Scan".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::collect_rows;
+    use std::sync::Arc;
+    use vdb_storage::{MemBackend, ProjectionStore};
+    use vdb_storage::projection::ProjectionDef;
+    use vdb_types::{ColumnDef, DataType, Epoch, TableSchema};
+
+    fn make_store(rows: Vec<Row>) -> ProjectionStore {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Integer),
+                ColumnDef::new("b", DataType::Integer),
+            ],
+        );
+        let def = ProjectionDef::super_projection(&schema, "t_super", &[0], &[]);
+        let mut s = ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()));
+        s.insert_direct_ros(rows, Epoch(1)).unwrap();
+        s
+    }
+
+    fn scan_of(store: &ProjectionStore, pred: Option<Expr>) -> ScanOperator {
+        let snap = store.scan_snapshot(Epoch(1));
+        ScanOperator::new(
+            store.backend().clone(),
+            snap.containers,
+            snap.wos_rows,
+            vec![0, 1],
+            pred,
+            None,
+            vec![],
+        )
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| vec![Value::Integer(i), Value::Integer(i % 10)])
+            .collect()
+    }
+
+    #[test]
+    fn full_scan_returns_everything() {
+        let store = make_store(rows(3000));
+        let mut scan = scan_of(&store, None);
+        let got = collect_rows(&mut scan).unwrap();
+        assert_eq!(got.len(), 3000);
+    }
+
+    #[test]
+    fn predicate_filters_rows() {
+        let store = make_store(rows(3000));
+        let pred = Expr::binary(BinOp::Ge, Expr::col(0, "a"), Expr::int(2995));
+        let mut scan = scan_of(&store, Some(pred));
+        let got = collect_rows(&mut scan).unwrap();
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn block_pruning_skips_sorted_ranges() {
+        // 3000 sorted rows = 3 blocks of 1024ish; a >= 2995 predicate must
+        // prune the first two blocks.
+        let store = make_store(rows(3000));
+        let pred = Expr::binary(BinOp::Ge, Expr::col(0, "a"), Expr::int(2995));
+        let mut scan = scan_of(&store, Some(pred));
+        let stats = scan.stats();
+        collect_rows(&mut scan).unwrap();
+        let s = stats.lock().clone();
+        assert!(s.blocks_pruned >= 2, "pruned {} blocks", s.blocks_pruned);
+        assert!(s.rows_scanned < 3000, "scanned {}", s.rows_scanned);
+    }
+
+    #[test]
+    fn bounds_extraction() {
+        let pred = Expr::and(
+            Expr::binary(BinOp::Ge, Expr::col(0, "a"), Expr::int(10)),
+            Expr::and(
+                Expr::binary(BinOp::Lt, Expr::col(0, "a"), Expr::int(20)),
+                Expr::eq(Expr::col(1, "b"), Expr::int(5)),
+            ),
+        );
+        let bounds = extract_bounds(&pred);
+        assert_eq!(bounds.len(), 2);
+        let a = bounds.iter().find(|b| b.column == 0).unwrap();
+        assert_eq!(a.low, Some(Value::Integer(10)));
+        assert_eq!(a.high, Some(Value::Integer(20)));
+        let b = bounds.iter().find(|b| b.column == 1).unwrap();
+        assert_eq!(b.low, Some(Value::Integer(5)));
+        assert_eq!(b.high, Some(Value::Integer(5)));
+        // Flipped literal side.
+        let flipped = Expr::binary(BinOp::Gt, Expr::int(100), Expr::col(0, "a"));
+        let fb = extract_bounds(&flipped);
+        assert_eq!(fb[0].high, Some(Value::Integer(100)));
+        assert_eq!(fb[0].low, None);
+    }
+
+    #[test]
+    fn rle_blocks_stay_encoded_without_predicate() {
+        // Column b cycles over 10 values but sorted data groups them:
+        // build a store sorted by b so RLE applies.
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Integer),
+                ColumnDef::new("b", DataType::Integer),
+            ],
+        );
+        let def = ProjectionDef::super_projection(&schema, "t_by_b", &[1], &[]);
+        let mut store = ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()));
+        store.insert_direct_ros(rows(2048), Epoch(1)).unwrap();
+        let snap = store.scan_snapshot(Epoch(1));
+        let mut scan = ScanOperator::new(
+            store.backend().clone(),
+            snap.containers,
+            snap.wos_rows,
+            vec![1], // just column b
+            None,
+            None,
+            vec![],
+        );
+        let batch = scan.next_batch().unwrap().unwrap();
+        assert!(
+            batch.columns[0].is_rle(),
+            "sorted low-cardinality column should arrive as runs"
+        );
+    }
+
+    #[test]
+    fn wos_rows_are_scanned_after_ros() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Integer),
+                ColumnDef::new("b", DataType::Integer),
+            ],
+        );
+        let def = ProjectionDef::super_projection(&schema, "t_super", &[0], &[]);
+        let mut store = ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()));
+        store.insert_direct_ros(rows(10), Epoch(1)).unwrap();
+        store
+            .insert_wos(vec![vec![Value::Integer(99), Value::Integer(9)]], Epoch(1))
+            .unwrap();
+        let snap = store.scan_snapshot(Epoch(1));
+        let mut scan = ScanOperator::new(
+            store.backend().clone(),
+            snap.containers,
+            snap.wos_rows,
+            vec![0, 1],
+            None,
+            None,
+            vec![],
+        );
+        let got = collect_rows(&mut scan).unwrap();
+        assert_eq!(got.len(), 11);
+        assert_eq!(got[10][0], Value::Integer(99));
+    }
+
+    #[test]
+    fn sip_filters_rows_at_scan() {
+        let store = make_store(rows(100));
+        let snap = store.scan_snapshot(Epoch(1));
+        let filter = SipFilter::new();
+        let mut keys = std::collections::HashSet::new();
+        for k in [3i64, 7] {
+            keys.insert(SipFilter::key_hash(&[&Value::Integer(k)]));
+        }
+        filter.publish(keys);
+        let mut scan = ScanOperator::new(
+            store.backend().clone(),
+            snap.containers,
+            snap.wos_rows,
+            vec![0, 1],
+            None,
+            None,
+            vec![SipBinding {
+                filter,
+                key_columns: vec![0],
+            }],
+        );
+        let stats = scan.stats();
+        let got = collect_rows(&mut scan).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(stats.lock().rows_sip_filtered, 98);
+    }
+
+    #[test]
+    fn deleted_rows_are_masked() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Integer),
+                ColumnDef::new("b", DataType::Integer),
+            ],
+        );
+        let def = ProjectionDef::super_projection(&schema, "t_super", &[0], &[]);
+        let mut store = ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()));
+        store.insert_direct_ros(rows(10), Epoch(1)).unwrap();
+        let id = store.containers().next().unwrap().id;
+        store
+            .mark_deleted(vdb_storage::RowLocation::Ros(id, 0), Epoch(2))
+            .unwrap();
+        let snap = store.scan_snapshot(Epoch(2));
+        let mut scan = ScanOperator::new(
+            store.backend().clone(),
+            snap.containers,
+            snap.wos_rows,
+            vec![0, 1],
+            None,
+            None,
+            vec![],
+        );
+        let got = collect_rows(&mut scan).unwrap();
+        assert_eq!(got.len(), 9);
+        assert!(got.iter().all(|r| r[0] != Value::Integer(0)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Sideways Information Passing (§6.1).
+//!
+//! "Special SIP filters are built during optimizer planning and placed in
+//! the Scan operator. At run time, the Scan has access to the Join's hash
+//! table and the SIP filters are used to evaluate whether the outer key
+//! values exist in the hash table." In the pull model the hash join fully
+//! builds its hash table before pulling the probe side, so by the time the
+//! probe-side Scan runs, the filter is populated.
+
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::Arc;
+use vdb_types::Value;
+
+/// A shared key-membership filter: the join build side fills it; the
+/// probe-side scan consults it.
+#[derive(Debug, Default)]
+pub struct SipFilter {
+    /// `None` until the build side publishes; scans pass everything until
+    /// then (correctness never depends on SIP).
+    keys: RwLock<Option<HashSet<u64>>>,
+}
+
+impl SipFilter {
+    pub fn new() -> Arc<SipFilter> {
+        Arc::new(SipFilter::default())
+    }
+
+    /// Combined hash of a multi-column key.
+    pub fn key_hash(key: &[&Value]) -> u64 {
+        let mut h: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        for v in key {
+            h = h.rotate_left(23).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ v.hash64();
+        }
+        h
+    }
+
+    /// Publish the build side's key set.
+    pub fn publish(&self, keys: HashSet<u64>) {
+        *self.keys.write() = Some(keys);
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.keys.read().is_some()
+    }
+
+    /// Might this key exist on the build side? `true` when not yet ready.
+    pub fn might_contain(&self, key: &[&Value]) -> bool {
+        match self.keys.read().as_ref() {
+            None => true,
+            Some(set) => set.contains(&Self::key_hash(key)),
+        }
+    }
+
+    /// Single-column fast path: no slice allocation per row.
+    pub fn might_contain_one(&self, key: &Value) -> bool {
+        match self.keys.read().as_ref() {
+            None => true,
+            Some(set) => set.contains(&Self::key_hash(std::slice::from_ref(&key))),
+        }
+    }
+
+    /// Number of build keys, if published (scan uses this to skip SIP when
+    /// it would not be selective).
+    pub fn key_count(&self) -> Option<usize> {
+        self.keys.read().as_ref().map(HashSet::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_everything_until_ready() {
+        let f = SipFilter::new();
+        assert!(!f.is_ready());
+        assert!(f.might_contain(&[&Value::Integer(42)]));
+    }
+
+    #[test]
+    fn filters_after_publish() {
+        let f = SipFilter::new();
+        let mut keys = HashSet::new();
+        keys.insert(SipFilter::key_hash(&[&Value::Integer(1)]));
+        keys.insert(SipFilter::key_hash(&[&Value::Integer(3)]));
+        f.publish(keys);
+        assert!(f.is_ready());
+        assert!(f.might_contain(&[&Value::Integer(1)]));
+        assert!(!f.might_contain(&[&Value::Integer(2)]));
+        assert_eq!(f.key_count(), Some(2));
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let f = SipFilter::new();
+        let a = Value::Integer(1);
+        let b = Value::Varchar("x".into());
+        let mut keys = HashSet::new();
+        keys.insert(SipFilter::key_hash(&[&a, &b]));
+        f.publish(keys);
+        assert!(f.might_contain(&[&a, &b]));
+        assert!(!f.might_contain(&[&b, &a]), "key order matters");
+    }
+}

@@ -1,0 +1,39 @@
+//! `vdb-optimizer` — the query optimizer (§6.2 of the paper).
+//!
+//! The paper traces three generations: StarOpt (star-schema join ordering),
+//! StarifiedOpt (force non-star queries into star shape) and the
+//! distribution-aware, physical-property-driven V2Opt. This crate
+//! implements the V2Opt recipe scaled to this engine:
+//!
+//! * **physical properties** — projection sort order, segmentation and
+//!   compression-aware scan cost drive projection choice
+//!   ([`planner::choose_projection`]);
+//! * **StarOpt join order** — "join a fact table with its most highly
+//!   selective dimensions first" ([`planner`]);
+//! * **statistics** — sample-based distinct estimation (the paper cites
+//!   Haas et al. [16]) and equi-height histograms ([`stats`]);
+//! * **cost model** — compression-aware I/O + CPU + network ([`cost`]);
+//! * **rewrites** — transitive predicates from join keys, outer→inner
+//!   conversion, predicate pushdown ([`rewrite`]);
+//! * **SIP placement** — hash-join filters pushed into probe-side scans;
+//! * **distribution awareness** — every plan carries a [`plan_out::MergeSpec`]
+//!   telling the cluster layer how to combine per-node results, plus the
+//!   set of tables whose scans must be broadcast because their
+//!   segmentation does not co-locate with the join
+//!   ([`planner::TableAccess`]);
+//! * **node-down replanning** — [`planner::plan`] takes the set of *live*
+//!   projections and re-costs with buddies when the preferred projection
+//!   is unavailable (§6.2 last paragraph).
+
+pub mod catalog;
+pub mod cost;
+pub mod plan_out;
+pub mod planner;
+pub mod query;
+pub mod rewrite;
+pub mod stats;
+
+pub use catalog::{ColumnStats, OptimizerCatalog, ProjectionMeta, TableMeta};
+pub use plan_out::{MergeSpec, PlannedQuery, TableAccess};
+pub use planner::plan;
+pub use query::{BoundQuery, JoinEdge, OrderItem, QueryTable, WindowCall};

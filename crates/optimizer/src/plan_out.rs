@@ -1,0 +1,153 @@
+//! Planner output: a per-node local plan plus instructions for combining
+//! node results — the distribution-aware half of V2Opt (§6.2).
+
+use vdb_exec::aggregate::AggCall;
+use vdb_exec::analytic::WindowFunc;
+use vdb_exec::plan::PhysicalPlan;
+use vdb_types::schema::SortKey;
+use vdb_types::Expr;
+
+/// How the cluster must source one FROM table for this plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableAccess {
+    /// Scan local segments only (segmented & co-located, or the fact).
+    Local,
+    /// Gather the table's rows from every node and broadcast to all nodes
+    /// before running the local plan (non-co-located build side).
+    Broadcast,
+}
+
+/// How per-node result streams combine into the final answer.
+#[derive(Debug, Clone)]
+pub enum MergeSpec {
+    /// Concatenate node outputs, then apply final ORDER BY / LIMIT.
+    Concat {
+        order_by: Vec<SortKey>,
+        limit: Option<(usize, usize)>,
+    },
+    /// Node outputs are partial-aggregate rows (group cols first): merge
+    /// with the given aggregates, project, filter (HAVING), sort, limit.
+    ReAggregate {
+        group_columns: Vec<usize>,
+        merge_aggs: Vec<AggCall>,
+        project: Vec<Expr>,
+        having: Option<Expr>,
+        order_by: Vec<SortKey>,
+        limit: Option<(usize, usize)>,
+    },
+    /// Node outputs are base rows; apply window functions globally, then
+    /// project / sort / limit (window queries run their Analytic at the
+    /// initiator for global frame correctness).
+    WindowThenProject {
+        partition_by: Vec<usize>,
+        order_by_window: Vec<SortKey>,
+        funcs: Vec<WindowFunc>,
+        project: Vec<Expr>,
+        order_by: Vec<SortKey>,
+        limit: Option<(usize, usize)>,
+    },
+}
+
+/// The planner's result.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// Plan each participating node runs against its local storage.
+    pub local: PhysicalPlan,
+    /// How node outputs merge at the initiator.
+    pub merge: MergeSpec,
+    /// Output column names.
+    pub output_names: Vec<String>,
+    /// Per FROM table: (chosen projection, access mode).
+    pub table_access: Vec<(String, TableAccess)>,
+    /// True when every scanned projection is replicated: the plan must run
+    /// on exactly one node or rows would double-count.
+    pub single_node: bool,
+}
+
+impl PlannedQuery {
+    /// Projections the local plan scans.
+    pub fn scanned_projections(&self) -> Vec<String> {
+        self.table_access.iter().map(|(p, _)| p.clone()).collect()
+    }
+
+    /// Build the merge plan over a materialized union of node outputs.
+    pub fn merge_plan(&self, union_rows: Vec<vdb_types::Row>, arity: usize) -> PhysicalPlan {
+        let values = PhysicalPlan::Values {
+            rows: union_rows,
+            arity,
+        };
+        match &self.merge {
+            MergeSpec::Concat { order_by, limit } => {
+                finish(values, &[], order_by, *limit)
+            }
+            MergeSpec::ReAggregate {
+                group_columns,
+                merge_aggs,
+                project,
+                having,
+                order_by,
+                limit,
+            } => {
+                let mut plan = PhysicalPlan::HashGroupBy {
+                    input: Box::new(values),
+                    group_columns: group_columns.clone(),
+                    aggs: merge_aggs.clone(),
+                };
+                plan = PhysicalPlan::Project {
+                    input: Box::new(plan),
+                    exprs: project.clone(),
+                };
+                if let Some(h) = having {
+                    plan = PhysicalPlan::Filter {
+                        input: Box::new(plan),
+                        predicate: h.clone(),
+                    };
+                }
+                finish(plan, &[], order_by, *limit)
+            }
+            MergeSpec::WindowThenProject {
+                partition_by,
+                order_by_window,
+                funcs,
+                project,
+                order_by,
+                limit,
+            } => {
+                let plan = PhysicalPlan::Analytic {
+                    input: Box::new(values),
+                    partition_by: partition_by.clone(),
+                    order_by: order_by_window.clone(),
+                    funcs: funcs.clone(),
+                    pre_sorted: false,
+                };
+                let plan = PhysicalPlan::Project {
+                    input: Box::new(plan),
+                    exprs: project.clone(),
+                };
+                finish(plan, &[], order_by, *limit)
+            }
+        }
+    }
+}
+
+fn finish(
+    mut plan: PhysicalPlan,
+    _unused: &[()],
+    order_by: &[SortKey],
+    limit: Option<(usize, usize)>,
+) -> PhysicalPlan {
+    if !order_by.is_empty() {
+        plan = PhysicalPlan::Sort {
+            input: Box::new(plan),
+            keys: order_by.to_vec(),
+        };
+    }
+    if let Some((n, offset)) = limit {
+        plan = PhysicalPlan::Limit {
+            input: Box::new(plan),
+            limit: n,
+            offset,
+        };
+    }
+    plan
+}

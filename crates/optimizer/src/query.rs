@@ -1,0 +1,131 @@
+//! The bound query representation the SQL binder hands to the planner.
+//!
+//! Column references inside expressions use the **global column space**:
+//! the columns of all FROM tables concatenated in FROM order. The planner
+//! remaps them as it chooses projections and join orders.
+
+use vdb_exec::aggregate::AggFunc;
+use vdb_exec::analytic::WindowFunc;
+use vdb_exec::plan::JoinType;
+use vdb_types::Expr;
+
+/// One FROM-clause table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTable {
+    pub table: String,
+    pub alias: String,
+}
+
+/// An equi-join edge between two FROM tables (multi-column capable).
+/// Columns are *local* to each table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdge {
+    pub left_table: usize,
+    pub left_columns: Vec<usize>,
+    pub right_table: usize,
+    pub right_columns: Vec<usize>,
+    pub join_type: JoinType,
+}
+
+/// ORDER BY item over the query's *output* columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderItem {
+    pub output_column: usize,
+    pub ascending: bool,
+}
+
+/// A window-function call (only valid for non-aggregating queries).
+/// Columns are in the global column space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowCall {
+    pub func: WindowFunc,
+    pub partition_by: Vec<usize>,
+    pub order_by: Vec<(usize, bool)>,
+    pub output_name: String,
+}
+
+/// One aggregate in the SELECT list: function + argument expression over
+/// global columns (`None` = COUNT(*)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    pub func: AggFunc,
+    pub input: Option<Expr>,
+    pub output_name: String,
+}
+
+/// A fully bound SELECT query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BoundQuery {
+    pub tables: Vec<QueryTable>,
+    /// Per-table filter (column indexes local to that table).
+    pub table_filters: Vec<Option<Expr>>,
+    pub joins: Vec<JoinEdge>,
+    /// Residual predicates over the global column space that could not be
+    /// attributed to a single table (cross-table non-equi conditions).
+    pub residual_filters: Vec<Expr>,
+    /// Plain select list (global column space). For aggregate queries this
+    /// holds the group-by output expressions instead; see `aggregates`.
+    pub select: Vec<(Expr, String)>,
+    pub distinct: bool,
+    /// GROUP BY expressions (global column space).
+    pub group_by: Vec<Expr>,
+    pub aggregates: Vec<AggItem>,
+    /// HAVING over the aggregate output layout: group columns first, then
+    /// aggregates, in order.
+    pub having: Option<Expr>,
+    /// Window calls (non-aggregate queries only).
+    pub windows: Vec<WindowCall>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+    pub offset: usize,
+}
+
+impl BoundQuery {
+    pub fn is_aggregate(&self) -> bool {
+        !self.aggregates.is_empty() || !self.group_by.is_empty()
+    }
+
+    /// Output column names in order.
+    pub fn output_names(&self) -> Vec<String> {
+        if self.is_aggregate() {
+            let mut names: Vec<String> = self
+                .select
+                .iter()
+                .map(|(_, n)| n.clone())
+                .collect();
+            names.extend(self.aggregates.iter().map(|a| a.output_name.clone()));
+            names
+        } else {
+            let mut names: Vec<String> =
+                self.select.iter().map(|(_, n)| n.clone()).collect();
+            names.extend(self.windows.iter().map(|w| w.output_name.clone()));
+            names
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_names_order() {
+        let q = BoundQuery {
+            tables: vec![QueryTable {
+                table: "t".into(),
+                alias: "t".into(),
+            }],
+            table_filters: vec![None],
+            select: vec![(Expr::col(0, "a"), "a".into())],
+            group_by: vec![Expr::col(0, "a")],
+            aggregates: vec![AggItem {
+                func: AggFunc::CountStar,
+                input: None,
+                output_name: "cnt".into(),
+            }],
+            ..Default::default()
+        };
+        assert!(q.is_aggregate());
+        assert_eq!(q.output_names(), vec!["a".to_string(), "cnt".to_string()]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Query rewrites (§6.2): transitive predicates from join keys and
+//! outer→inner join conversion — two of the "best practices developed over
+//! the past 30 years of optimizer research" V2Opt incorporates.
+
+use crate::query::BoundQuery;
+use vdb_exec::plan::JoinType;
+use vdb_types::{BinOp, Expr};
+
+/// Apply all rewrites in place.
+pub fn rewrite(q: &mut BoundQuery) {
+    outer_to_inner(q);
+    transitive_predicates(q);
+}
+
+/// A LEFT (RIGHT) outer join whose nullable side carries a null-rejecting
+/// WHERE filter is equivalent to an inner join: NULL-extended rows can
+/// never pass the filter.
+pub fn outer_to_inner(q: &mut BoundQuery) {
+    for edge in &mut q.joins {
+        let nullable_side = match edge.join_type {
+            JoinType::LeftOuter => edge.right_table,
+            JoinType::RightOuter => edge.left_table,
+            _ => continue,
+        };
+        if q.table_filters
+            .get(nullable_side)
+            .and_then(|f| f.as_ref())
+            .is_some_and(null_rejecting)
+        {
+            edge.join_type = JoinType::Inner;
+        }
+    }
+}
+
+/// Does the predicate reject NULL inputs? Comparisons and BETWEEN do (NULL
+/// compares to NULL, which is not true); `IS NULL` does not.
+fn null_rejecting(pred: &Expr) -> bool {
+    pred.clone().split_conjuncts().iter().any(|c| match c {
+        Expr::Binary { op, .. } => op.is_comparison(),
+        Expr::Between { .. } => true,
+        Expr::InList { negated, .. } => !negated,
+        Expr::IsNull { negated, .. } => *negated,
+        _ => false,
+    })
+}
+
+/// For every single-column inner-join edge, copy `col op literal`
+/// conjuncts across the equality: `fact.k = dim.k AND dim.k > 5` implies
+/// `fact.k > 5`, which can prune fact containers.
+pub fn transitive_predicates(q: &mut BoundQuery) {
+    for edge in &q.joins {
+        if edge.join_type != JoinType::Inner || edge.left_columns.len() != 1 {
+            continue;
+        }
+        let (lt, lc) = (edge.left_table, edge.left_columns[0]);
+        let (rt, rc) = (edge.right_table, edge.right_columns[0]);
+        let from_left = extract_literal_conjuncts(q.table_filters[lt].as_ref(), lc);
+        let from_right = extract_literal_conjuncts(q.table_filters[rt].as_ref(), rc);
+        for (op, lit) in from_left {
+            add_conjunct(&mut q.table_filters[rt], Expr::binary(op, Expr::col(rc, "tp"), Expr::Literal(lit)));
+        }
+        for (op, lit) in from_right {
+            add_conjunct(&mut q.table_filters[lt], Expr::binary(op, Expr::col(lc, "tp"), Expr::Literal(lit)));
+        }
+    }
+}
+
+fn extract_literal_conjuncts(
+    pred: Option<&Expr>,
+    col: usize,
+) -> Vec<(BinOp, vdb_types::Value)> {
+    let Some(pred) = pred else {
+        return Vec::new();
+    };
+    pred.clone()
+        .split_conjuncts()
+        .into_iter()
+        .filter_map(|c| match c {
+            Expr::Binary { op, left, right } if op.is_comparison() => {
+                match (*left, *right) {
+                    (Expr::Column { index, .. }, Expr::Literal(v)) if index == col => {
+                        Some((op, v))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn add_conjunct(slot: &mut Option<Expr>, conjunct: Expr) {
+    // Skip if an identical conjunct is already present.
+    if let Some(existing) = slot {
+        if existing
+            .clone()
+            .split_conjuncts()
+            .iter()
+            .any(|c| c == &conjunct)
+        {
+            return;
+        }
+        *slot = Some(Expr::and(existing.clone(), conjunct));
+    } else {
+        *slot = Some(conjunct);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{JoinEdge, QueryTable};
+
+    fn two_table_query(join_type: JoinType) -> BoundQuery {
+        BoundQuery {
+            tables: vec![
+                QueryTable {
+                    table: "fact".into(),
+                    alias: "f".into(),
+                },
+                QueryTable {
+                    table: "dim".into(),
+                    alias: "d".into(),
+                },
+            ],
+            table_filters: vec![None, None],
+            joins: vec![JoinEdge {
+                left_table: 0,
+                left_columns: vec![1],
+                right_table: 1,
+                right_columns: vec![0],
+                join_type,
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn left_outer_with_null_rejecting_filter_becomes_inner() {
+        let mut q = two_table_query(JoinType::LeftOuter);
+        q.table_filters[1] = Some(Expr::binary(
+            BinOp::Gt,
+            Expr::col(2, "x"),
+            Expr::int(5),
+        ));
+        rewrite(&mut q);
+        assert_eq!(q.joins[0].join_type, JoinType::Inner);
+    }
+
+    #[test]
+    fn left_outer_with_is_null_filter_stays_outer() {
+        let mut q = two_table_query(JoinType::LeftOuter);
+        q.table_filters[1] = Some(Expr::IsNull {
+            input: Box::new(Expr::col(2, "x")),
+            negated: false,
+        });
+        rewrite(&mut q);
+        assert_eq!(q.joins[0].join_type, JoinType::LeftOuter);
+    }
+
+    #[test]
+    fn transitive_predicate_copies_across_join_key() {
+        let mut q = two_table_query(JoinType::Inner);
+        // dim.key > 100 — the fact side should inherit fact.fk > 100.
+        q.table_filters[1] = Some(Expr::binary(
+            BinOp::Gt,
+            Expr::col(0, "key"),
+            Expr::int(100),
+        ));
+        rewrite(&mut q);
+        let fact_filter = q.table_filters[0].as_ref().unwrap();
+        let conjuncts = fact_filter.clone().split_conjuncts();
+        assert!(conjuncts.iter().any(|c| matches!(
+            c,
+            Expr::Binary { op: BinOp::Gt, left, .. }
+            if matches!(left.as_ref(), Expr::Column { index: 1, .. })
+        )));
+    }
+
+    #[test]
+    fn transitive_predicates_do_not_duplicate() {
+        let mut q = two_table_query(JoinType::Inner);
+        q.table_filters[1] = Some(Expr::binary(
+            BinOp::Gt,
+            Expr::col(0, "key"),
+            Expr::int(100),
+        ));
+        rewrite(&mut q);
+        let before = q.table_filters[0].clone().unwrap().split_conjuncts().len();
+        rewrite(&mut q);
+        let after = q.table_filters[0].clone().unwrap().split_conjuncts().len();
+        assert_eq!(before, after, "second pass adds nothing");
+    }
+
+    #[test]
+    fn filters_on_non_key_columns_do_not_transfer() {
+        let mut q = two_table_query(JoinType::Inner);
+        q.table_filters[1] = Some(Expr::binary(
+            BinOp::Gt,
+            Expr::col(3, "other"),
+            Expr::int(1),
+        ));
+        rewrite(&mut q);
+        assert!(q.table_filters[0].is_none());
+    }
+}

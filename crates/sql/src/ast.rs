@@ -1,0 +1,170 @@
+//! Name-based SQL AST (pre-binding).
+
+use vdb_types::{DataType, Value};
+
+/// Scalar expression with unresolved column names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// `[qualifier.]name`
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    Binary {
+        op: vdb_types::BinOp,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
+    Unary {
+        op: vdb_types::UnOp,
+        input: Box<SqlExpr>,
+    },
+    /// Scalar function call (`YEAR(ts)`, `HASH(a,b)`...).
+    Func {
+        name: String,
+        args: Vec<SqlExpr>,
+    },
+    /// Aggregate call: `COUNT(*)`, `SUM(x)`, `COUNT(DISTINCT x)`.
+    Aggregate {
+        name: String,
+        distinct: bool,
+        /// None = `*`.
+        arg: Option<Box<SqlExpr>>,
+    },
+    /// `f(args) OVER (PARTITION BY ... ORDER BY ...)`
+    Window {
+        name: String,
+        args: Vec<SqlExpr>,
+        partition_by: Vec<SqlExpr>,
+        order_by: Vec<(SqlExpr, bool)>,
+    },
+    IsNull {
+        input: Box<SqlExpr>,
+        negated: bool,
+    },
+    InList {
+        input: Box<SqlExpr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    Between {
+        input: Box<SqlExpr>,
+        low: Box<SqlExpr>,
+        high: Box<SqlExpr>,
+    },
+    Case {
+        branches: Vec<(SqlExpr, SqlExpr)>,
+        otherwise: Option<Box<SqlExpr>>,
+    },
+    Cast {
+        input: Box<SqlExpr>,
+        to: DataType,
+    },
+}
+
+/// One SELECT list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: SqlExpr,
+    pub alias: Option<String>,
+}
+
+/// FROM-clause table reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+/// A JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub join_type: vdb_exec::plan::JoinType,
+    pub table: TableRef,
+    pub on: SqlExpr,
+}
+
+/// ORDER BY item (name, alias or 1-based position).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: SqlExpr,
+    pub ascending: bool,
+}
+
+/// A parsed SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<SqlExpr>,
+    pub having: Option<SqlExpr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<usize>,
+    pub offset: usize,
+}
+
+/// Column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDefAst {
+    pub name: String,
+    pub data_type: DataType,
+    pub not_null: bool,
+}
+
+/// CREATE PROJECTION segmentation clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentationAst {
+    /// SEGMENTED BY HASH(cols)
+    Hash(Vec<String>),
+    /// UNSEGMENTED (replicated on all nodes)
+    Unsegmented,
+    /// Not specified — binder defaults to hash of the first sort column.
+    Default,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDefAst>,
+        partition_by: Option<SqlExpr>,
+    },
+    CreateProjection {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        order_by: Vec<String>,
+        segmentation: SegmentationAst,
+    },
+    DropTable(String),
+    DropProjection(String),
+    Insert {
+        table: String,
+        /// Literal rows only.
+        rows: Vec<Vec<SqlExpr>>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<SqlExpr>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, SqlExpr)>,
+        predicate: Option<SqlExpr>,
+    },
+    /// ALTER TABLE t DROP PARTITION <literal>
+    DropPartition {
+        table: String,
+        key: Value,
+    },
+    Select(SelectStmt),
+    Explain(SelectStmt),
+    Begin,
+    Commit,
+    Rollback,
+}

@@ -1,0 +1,1049 @@
+//! Name resolution: AST → bound statements over positional column indexes.
+
+use crate::ast::*;
+use std::collections::BTreeMap;
+use vdb_exec::aggregate::AggFunc;
+use vdb_exec::analytic::WindowFunc;
+use vdb_exec::plan::JoinType;
+use vdb_optimizer::query::{AggItem, BoundQuery, JoinEdge, OrderItem, QueryTable, WindowCall};
+use vdb_storage::projection::{ProjectionDef, Segmentation};
+use vdb_types::schema::SortKey;
+use vdb_types::{
+    ColumnDef, DataType, DbError, DbResult, Expr, Func, Row, TableSchema, Value,
+};
+
+/// Catalog access the binder needs.
+pub trait SchemaProvider {
+    fn table_schema(&self, name: &str) -> Option<TableSchema>;
+}
+
+impl SchemaProvider for BTreeMap<String, TableSchema> {
+    fn table_schema(&self, name: &str) -> Option<TableSchema> {
+        self.get(name).cloned()
+    }
+}
+
+/// A fully bound statement, ready for the engine.
+#[derive(Debug, Clone)]
+pub enum BoundStatement {
+    CreateTable {
+        schema: TableSchema,
+        /// Over table columns.
+        partition_by: Option<Expr>,
+    },
+    CreateProjection {
+        def: ProjectionDef,
+    },
+    DropTable(String),
+    DropProjection(String),
+    Insert {
+        table: String,
+        rows: Vec<Row>,
+    },
+    Delete {
+        table: String,
+        /// Over table columns.
+        predicate: Option<Expr>,
+    },
+    Update {
+        table: String,
+        /// (table column, value expression over table columns).
+        sets: Vec<(usize, Expr)>,
+        predicate: Option<Expr>,
+    },
+    DropPartition {
+        table: String,
+        key: Value,
+    },
+    Select(BoundQuery),
+    Explain(BoundQuery),
+    Begin,
+    Commit,
+    Rollback,
+}
+
+/// Bind a parsed statement.
+pub fn bind(stmt: Statement, schemas: &dyn SchemaProvider) -> DbResult<BoundStatement> {
+    match stmt {
+        Statement::CreateTable {
+            name,
+            columns,
+            partition_by,
+        } => {
+            let schema = TableSchema::new(
+                name,
+                columns
+                    .into_iter()
+                    .map(|c| {
+                        let mut d = ColumnDef::new(c.name, c.data_type);
+                        if c.not_null {
+                            d = d.not_null();
+                        }
+                        d
+                    })
+                    .collect(),
+            );
+            let partition_by = match partition_by {
+                None => None,
+                Some(e) => Some(bind_table_expr(&e, &schema)?),
+            };
+            Ok(BoundStatement::CreateTable {
+                schema,
+                partition_by,
+            })
+        }
+        Statement::CreateProjection {
+            name,
+            table,
+            columns,
+            order_by,
+            segmentation,
+        } => {
+            let schema = schemas
+                .table_schema(&table)
+                .ok_or_else(|| DbError::NotFound(format!("table {table}")))?;
+            let col_indexes: Vec<usize> = if columns.is_empty() {
+                (0..schema.arity()).collect()
+            } else {
+                columns
+                    .iter()
+                    .map(|c| {
+                        schema.column_index(c).ok_or_else(|| {
+                            DbError::Binder(format!("no column {c} in {table}"))
+                        })
+                    })
+                    .collect::<DbResult<_>>()?
+            };
+            let column_names: Vec<String> = col_indexes
+                .iter()
+                .map(|&i| schema.columns[i].name.clone())
+                .collect();
+            let column_types: Vec<DataType> = col_indexes
+                .iter()
+                .map(|&i| schema.columns[i].data_type)
+                .collect();
+            let proj_pos = |name: &str| -> DbResult<usize> {
+                column_names
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(name))
+                    .ok_or_else(|| {
+                        DbError::Binder(format!("column {name} not in projection {}", &name))
+                    })
+            };
+            let sort_keys: Vec<SortKey> = order_by
+                .iter()
+                .map(|c| Ok(SortKey::asc(proj_pos(c)?)))
+                .collect::<DbResult<_>>()?;
+            let segmentation = match segmentation {
+                SegmentationAst::Unsegmented => Segmentation::Replicated,
+                SegmentationAst::Hash(cols) => {
+                    let pairs: Vec<(usize, &str)> = cols
+                        .iter()
+                        .map(|c| Ok((proj_pos(c)?, c.as_str())))
+                        .collect::<DbResult<_>>()?;
+                    Segmentation::hash_of(&pairs)
+                }
+                SegmentationAst::Default => match sort_keys.first() {
+                    Some(k) => Segmentation::hash_of(&[(
+                        k.column,
+                        column_names[k.column].as_str(),
+                    )]),
+                    None => Segmentation::Replicated,
+                },
+            };
+            Ok(BoundStatement::CreateProjection {
+                def: ProjectionDef {
+                    name,
+                    anchor_table: table,
+                    columns: col_indexes,
+                    column_names,
+                    column_types,
+                    sort_keys,
+                    encodings: vec![vdb_encoding::EncodingType::Auto; 0],
+                    segmentation,
+                    prejoin: vec![],
+                }
+                .with_auto_encodings(),
+            })
+        }
+        Statement::DropTable(n) => Ok(BoundStatement::DropTable(n)),
+        Statement::DropProjection(n) => Ok(BoundStatement::DropProjection(n)),
+        Statement::Insert { table, rows } => {
+            let schema = schemas
+                .table_schema(&table)
+                .ok_or_else(|| DbError::NotFound(format!("table {table}")))?;
+            let bound: Vec<Row> = rows
+                .into_iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|e| {
+                            let expr = bind_constant(e)?;
+                            expr.eval(&[])
+                        })
+                        .collect::<DbResult<Row>>()
+                })
+                .collect::<DbResult<_>>()?;
+            for r in &bound {
+                if r.len() != schema.arity() {
+                    return Err(DbError::Binder(format!(
+                        "INSERT arity {} does not match table {} ({})",
+                        r.len(),
+                        table,
+                        schema.arity()
+                    )));
+                }
+            }
+            Ok(BoundStatement::Insert { table, rows: bound })
+        }
+        Statement::Delete { table, predicate } => {
+            let schema = schemas
+                .table_schema(&table)
+                .ok_or_else(|| DbError::NotFound(format!("table {table}")))?;
+            let predicate = match predicate {
+                None => None,
+                Some(p) => Some(bind_table_expr(&p, &schema)?),
+            };
+            Ok(BoundStatement::Delete { table, predicate })
+        }
+        Statement::Update {
+            table,
+            sets,
+            predicate,
+        } => {
+            let schema = schemas
+                .table_schema(&table)
+                .ok_or_else(|| DbError::NotFound(format!("table {table}")))?;
+            let sets = sets
+                .into_iter()
+                .map(|(c, e)| {
+                    let col = schema
+                        .column_index(&c)
+                        .ok_or_else(|| DbError::Binder(format!("no column {c}")))?;
+                    Ok((col, bind_table_expr(&e, &schema)?))
+                })
+                .collect::<DbResult<_>>()?;
+            let predicate = match predicate {
+                None => None,
+                Some(p) => Some(bind_table_expr(&p, &schema)?),
+            };
+            Ok(BoundStatement::Update {
+                table,
+                sets,
+                predicate,
+            })
+        }
+        Statement::DropPartition { table, key } => {
+            Ok(BoundStatement::DropPartition { table, key })
+        }
+        Statement::Select(s) => Ok(BoundStatement::Select(bind_select(s, schemas)?)),
+        Statement::Explain(s) => Ok(BoundStatement::Explain(bind_select(s, schemas)?)),
+        Statement::Begin => Ok(BoundStatement::Begin),
+        Statement::Commit => Ok(BoundStatement::Commit),
+        Statement::Rollback => Ok(BoundStatement::Rollback),
+    }
+}
+
+trait WithAutoEncodings {
+    fn with_auto_encodings(self) -> Self;
+}
+
+impl WithAutoEncodings for ProjectionDef {
+    fn with_auto_encodings(mut self) -> Self {
+        self.encodings = vec![vdb_encoding::EncodingType::Auto; self.column_names.len()];
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scope / expression binding
+// ---------------------------------------------------------------------------
+
+struct Scope {
+    /// (alias, schema, global offset) per FROM table.
+    tables: Vec<(String, TableSchema, usize)>,
+}
+
+impl Scope {
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> DbResult<usize> {
+        let mut found = None;
+        for (alias, schema, offset) in &self.tables {
+            if let Some(q) = qualifier {
+                if !alias.eq_ignore_ascii_case(q) && !schema.name.eq_ignore_ascii_case(q) {
+                    continue;
+                }
+            }
+            if let Some(c) = schema.column_index(name) {
+                if found.is_some() && qualifier.is_none() {
+                    return Err(DbError::Binder(format!("ambiguous column {name}")));
+                }
+                found = Some(offset + c);
+                if qualifier.is_some() {
+                    break;
+                }
+            }
+        }
+        found.ok_or_else(|| {
+            DbError::Binder(format!(
+                "unknown column {}{name}",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+            ))
+        })
+    }
+
+    fn table_of_global(&self, g: usize) -> (usize, usize) {
+        for (t, (_, schema, offset)) in self.tables.iter().enumerate() {
+            if g >= *offset && g < offset + schema.arity() {
+                return (t, g - offset);
+            }
+        }
+        unreachable!("global column out of range")
+    }
+}
+
+/// Bind a scalar expression (no aggregates/windows) in a scope, producing
+/// global column indexes.
+fn bind_scalar(e: &SqlExpr, scope: &Scope) -> DbResult<Expr> {
+    Ok(match e {
+        SqlExpr::Column { qualifier, name } => {
+            let g = scope.resolve(qualifier.as_deref(), name)?;
+            Expr::col(g, name.clone())
+        }
+        SqlExpr::Literal(v) => Expr::Literal(v.clone()),
+        SqlExpr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(bind_scalar(left, scope)?),
+            right: Box::new(bind_scalar(right, scope)?),
+        },
+        SqlExpr::Unary { op, input } => Expr::Unary {
+            op: *op,
+            input: Box::new(bind_scalar(input, scope)?),
+        },
+        SqlExpr::Func { name, args } => {
+            let func = Func::parse(name)
+                .ok_or_else(|| DbError::Binder(format!("unknown function {name}")))?;
+            Expr::Call {
+                func,
+                args: args
+                    .iter()
+                    .map(|a| bind_scalar(a, scope))
+                    .collect::<DbResult<_>>()?,
+            }
+        }
+        SqlExpr::IsNull { input, negated } => Expr::IsNull {
+            input: Box::new(bind_scalar(input, scope)?),
+            negated: *negated,
+        },
+        SqlExpr::InList {
+            input,
+            list,
+            negated,
+        } => Expr::InList {
+            input: Box::new(bind_scalar(input, scope)?),
+            list: list.clone(),
+            negated: *negated,
+        },
+        SqlExpr::Between { input, low, high } => Expr::Between {
+            input: Box::new(bind_scalar(input, scope)?),
+            low: Box::new(bind_scalar(low, scope)?),
+            high: Box::new(bind_scalar(high, scope)?),
+        },
+        SqlExpr::Case {
+            branches,
+            otherwise,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| Ok((bind_scalar(c, scope)?, bind_scalar(v, scope)?)))
+                .collect::<DbResult<_>>()?,
+            otherwise: match otherwise {
+                Some(e) => Some(Box::new(bind_scalar(e, scope)?)),
+                None => None,
+            },
+        },
+        SqlExpr::Cast { input, to } => Expr::Cast {
+            input: Box::new(bind_scalar(input, scope)?),
+            to: *to,
+        },
+        SqlExpr::Aggregate { .. } => {
+            return Err(DbError::Binder(
+                "aggregate calls are only allowed at the top of a SELECT item".into(),
+            ))
+        }
+        SqlExpr::Window { .. } => {
+            return Err(DbError::Binder(
+                "window calls are only allowed at the top of a SELECT item".into(),
+            ))
+        }
+    })
+}
+
+/// Bind an expression whose scope is a single table (DDL/DML contexts);
+/// column indexes are table-local.
+fn bind_table_expr(e: &SqlExpr, schema: &TableSchema) -> DbResult<Expr> {
+    let scope = Scope {
+        tables: vec![(schema.name.clone(), schema.clone(), 0)],
+    };
+    bind_scalar(e, &scope)
+}
+
+/// Bind a constant expression (INSERT values).
+fn bind_constant(e: &SqlExpr) -> DbResult<Expr> {
+    let scope = Scope { tables: vec![] };
+    bind_scalar(e, &scope)
+}
+
+// ---------------------------------------------------------------------------
+// SELECT binding
+// ---------------------------------------------------------------------------
+
+fn bind_select(s: SelectStmt, schemas: &dyn SchemaProvider) -> DbResult<BoundQuery> {
+    // Scope: FROM table + joined tables.
+    let mut tables = Vec::new();
+    let mut scope = Scope { tables: Vec::new() };
+    let mut offset = 0;
+    let mut add_table = |tref: &TableRef, scope: &mut Scope, tables: &mut Vec<QueryTable>| -> DbResult<()> {
+        let schema = schemas
+            .table_schema(&tref.name)
+            .ok_or_else(|| DbError::NotFound(format!("table {}", tref.name)))?;
+        let alias = tref.alias.clone().unwrap_or_else(|| tref.name.clone());
+        scope.tables.push((alias.clone(), schema.clone(), offset));
+        offset += schema.arity();
+        tables.push(QueryTable {
+            table: tref.name.clone(),
+            alias,
+        });
+        Ok(())
+    };
+    add_table(&s.from, &mut scope, &mut tables)?;
+    for j in &s.joins {
+        add_table(&j.table, &mut scope, &mut tables)?;
+    }
+    drop(add_table);
+
+    let n = tables.len();
+    let mut table_filters: Vec<Option<Expr>> = vec![None; n];
+    let mut residual_filters: Vec<Expr> = Vec::new();
+    // (table pair, join type) → edge under construction.
+    let mut edges: Vec<JoinEdge> = Vec::new();
+
+    let add_conjunct_to = |expr: Expr,
+                               scope: &Scope,
+                               table_filters: &mut Vec<Option<Expr>>,
+                               residual: &mut Vec<Expr>| {
+        let refs = expr.referenced_columns();
+        let tables_referenced: Vec<usize> = {
+            let mut ts: Vec<usize> =
+                refs.iter().map(|&g| scope.table_of_global(g).0).collect();
+            ts.sort_unstable();
+            ts.dedup();
+            ts
+        };
+        if tables_referenced.len() == 1 {
+            let t = tables_referenced[0];
+            let local = expr
+                .remap_columns(&|g| Some(scope.table_of_global(g).1))
+                .expect("single-table remap");
+            table_filters[t] = Some(match table_filters[t].take() {
+                Some(prev) => Expr::and(prev, local),
+                None => local,
+            });
+        } else {
+            residual.push(expr);
+        }
+    };
+
+    // ON clauses.
+    for (ji, j) in s.joins.iter().enumerate() {
+        let right_table = ji + 1;
+        let conjuncts = bind_scalar(&j.on, &scope)?.split_conjuncts();
+        let mut left_cols = Vec::new();
+        let mut right_cols = Vec::new();
+        let mut other_table = None;
+        for c in conjuncts {
+            if let Expr::Binary {
+                op: vdb_types::BinOp::Eq,
+                left,
+                right,
+            } = &c
+            {
+                if let (Expr::Column { index: a, .. }, Expr::Column { index: b, .. }) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    let (ta, ca) = scope.table_of_global(*a);
+                    let (tb, cb) = scope.table_of_global(*b);
+                    if ta != tb && (ta == right_table || tb == right_table) {
+                        let (rt_col, ot, ot_col) = if ta == right_table {
+                            (ca, tb, cb)
+                        } else {
+                            (cb, ta, ca)
+                        };
+                        if other_table.is_none() {
+                            other_table = Some(ot);
+                        }
+                        if other_table == Some(ot) {
+                            right_cols.push(rt_col);
+                            left_cols.push(ot_col);
+                            continue;
+                        }
+                    }
+                }
+            }
+            if c == Expr::Literal(Value::Boolean(true)) {
+                continue;
+            }
+            // Non-equi ON condition.
+            if j.join_type == JoinType::Inner {
+                add_conjunct_to(c, &scope, &mut table_filters, &mut residual_filters);
+            } else {
+                return Err(DbError::Binder(
+                    "outer joins support only equality ON conditions".into(),
+                ));
+            }
+        }
+        if left_cols.is_empty() && j.join_type != JoinType::Inner {
+            return Err(DbError::Binder("outer join missing equi-join keys".into()));
+        }
+        if !left_cols.is_empty() {
+            edges.push(JoinEdge {
+                left_table: other_table.unwrap(),
+                left_columns: left_cols,
+                right_table,
+                right_columns: right_cols,
+                join_type: j.join_type,
+            });
+        }
+    }
+
+    // WHERE.
+    if let Some(w) = &s.where_clause {
+        for c in bind_scalar(w, &scope)?.split_conjuncts() {
+            // Cross-table equi conjuncts become (inner) join edges.
+            if let Expr::Binary {
+                op: vdb_types::BinOp::Eq,
+                left,
+                right,
+            } = &c
+            {
+                if let (Expr::Column { index: a, .. }, Expr::Column { index: b, .. }) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    let (ta, ca) = scope.table_of_global(*a);
+                    let (tb, cb) = scope.table_of_global(*b);
+                    if ta != tb {
+                        // Merge into an existing inner edge if present.
+                        if let Some(e) = edges.iter_mut().find(|e| {
+                            e.join_type == JoinType::Inner
+                                && ((e.left_table == ta && e.right_table == tb)
+                                    || (e.left_table == tb && e.right_table == ta))
+                        }) {
+                            if e.left_table == ta {
+                                e.left_columns.push(ca);
+                                e.right_columns.push(cb);
+                            } else {
+                                e.left_columns.push(cb);
+                                e.right_columns.push(ca);
+                            }
+                        } else {
+                            edges.push(JoinEdge {
+                                left_table: ta,
+                                left_columns: vec![ca],
+                                right_table: tb,
+                                right_columns: vec![cb],
+                                join_type: JoinType::Inner,
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+            add_conjunct_to(c, &scope, &mut table_filters, &mut residual_filters);
+        }
+    }
+
+    // SELECT list: split into plain exprs / aggregates / windows.
+    let mut select = Vec::new();
+    let mut aggregates = Vec::new();
+    let mut windows = Vec::new();
+    let out_name = |alias: &Option<String>, e: &SqlExpr, i: usize| -> String {
+        alias.clone().unwrap_or_else(|| match e {
+            SqlExpr::Column { name, .. } => name.clone(),
+            SqlExpr::Aggregate { name, .. } => name.to_lowercase(),
+            SqlExpr::Window { name, .. } => name.to_lowercase(),
+            _ => format!("col{i}"),
+        })
+    };
+    for (i, item) in s.items.iter().enumerate() {
+        let name = out_name(&item.alias, &item.expr, i);
+        match &item.expr {
+            SqlExpr::Aggregate {
+                name: fname,
+                distinct,
+                arg,
+            } => {
+                let func = parse_agg(fname, *distinct, arg.is_none())?;
+                let input = match arg {
+                    None => None,
+                    Some(a) => Some(bind_scalar(a, &scope)?),
+                };
+                aggregates.push(AggItem {
+                    func,
+                    input,
+                    output_name: name,
+                });
+            }
+            SqlExpr::Window {
+                name: fname,
+                args,
+                partition_by,
+                order_by,
+            } => {
+                windows.push(bind_window(
+                    fname, args, partition_by, order_by, name, &scope,
+                )?);
+            }
+            other => {
+                select.push((bind_scalar(other, &scope)?, name));
+            }
+        }
+    }
+
+    // GROUP BY.
+    let group_by: Vec<Expr> = s
+        .group_by
+        .iter()
+        .map(|e| bind_scalar(e, &scope))
+        .collect::<DbResult<_>>()?;
+    if !aggregates.is_empty() || !group_by.is_empty() {
+        if !windows.is_empty() {
+            return Err(DbError::Binder(
+                "window functions cannot be combined with GROUP BY".into(),
+            ));
+        }
+        // Aggregates must come after the grouping columns in the SELECT
+        // list (the engine's output layout is group columns then
+        // aggregates).
+        let first_agg = s
+            .items
+            .iter()
+            .position(|i| matches!(i.expr, SqlExpr::Aggregate { .. }));
+        if let Some(fa) = first_agg {
+            if s.items[fa..]
+                .iter()
+                .any(|i| !matches!(i.expr, SqlExpr::Aggregate { .. }))
+            {
+                return Err(DbError::Binder(
+                    "aggregates must follow the grouping columns in the SELECT list".into(),
+                ));
+            }
+        }
+        // Non-aggregate select items must be exactly the GROUP BY list, in
+        // order (grouping columns lead the output).
+        if select.len() != group_by.len()
+            || select
+                .iter()
+                .zip(&group_by)
+                .any(|((e, _), g)| e != g)
+        {
+            return Err(DbError::Binder(
+                "in aggregate queries the non-aggregate SELECT items must list the \
+                 GROUP BY expressions, in order, before the aggregates"
+                    .into(),
+            ));
+        }
+    }
+
+    // HAVING over output layout (group cols then aggregates).
+    let having = match &s.having {
+        None => None,
+        Some(h) => Some(bind_having(h, &scope, &select, &aggregates, &s.group_by)?),
+    };
+
+    // ORDER BY over output columns.
+    let output_names: Vec<String> = select
+        .iter()
+        .map(|(_, n)| n.clone())
+        .chain(aggregates.iter().map(|a| a.output_name.clone()))
+        .chain(windows.iter().map(|w| w.output_name.clone()))
+        .collect();
+    let order_by = s
+        .order_by
+        .iter()
+        .map(|o| {
+            let col = match &o.expr {
+                SqlExpr::Literal(Value::Integer(k)) if *k >= 1 => (*k - 1) as usize,
+                SqlExpr::Column { name, .. } => output_names
+                    .iter()
+                    .position(|n| n.eq_ignore_ascii_case(name))
+                    .ok_or_else(|| {
+                        DbError::Binder(format!("ORDER BY column {name} not in output"))
+                    })?,
+                other => {
+                    // Expression matching a select item.
+                    let bound = bind_scalar(other, &scope)?;
+                    select
+                        .iter()
+                        .position(|(e, _)| e == &bound)
+                        .ok_or_else(|| {
+                            DbError::Binder("ORDER BY expression not in SELECT list".into())
+                        })?
+                }
+            };
+            if col >= output_names.len() {
+                return Err(DbError::Binder(format!(
+                    "ORDER BY position {} out of range",
+                    col + 1
+                )));
+            }
+            Ok(OrderItem {
+                output_column: col,
+                ascending: o.ascending,
+            })
+        })
+        .collect::<DbResult<Vec<_>>>()?;
+
+    Ok(BoundQuery {
+        tables,
+        table_filters,
+        joins: edges,
+        residual_filters,
+        select,
+        distinct: s.distinct,
+        group_by,
+        aggregates,
+        having,
+        windows,
+        order_by,
+        limit: s.limit,
+        offset: s.offset,
+    })
+}
+
+fn parse_agg(name: &str, distinct: bool, star: bool) -> DbResult<AggFunc> {
+    if star {
+        if name.eq_ignore_ascii_case("COUNT") {
+            return Ok(AggFunc::CountStar);
+        }
+        return Err(DbError::Binder(format!("{name}(*) is not valid")));
+    }
+    AggFunc::parse(name, distinct)
+        .ok_or_else(|| DbError::Binder(format!("unknown aggregate {name}")))
+}
+
+fn bind_window(
+    fname: &str,
+    args: &[SqlExpr],
+    partition_by: &[SqlExpr],
+    order_by: &[(SqlExpr, bool)],
+    output_name: String,
+    scope: &Scope,
+) -> DbResult<WindowCall> {
+    let col_of = |e: &SqlExpr| -> DbResult<usize> {
+        match bind_scalar(e, scope)? {
+            Expr::Column { index, .. } => Ok(index),
+            other => Err(DbError::Binder(format!(
+                "window specifications require plain columns, got {other}"
+            ))),
+        }
+    };
+    let func = match fname.to_ascii_uppercase().as_str() {
+        "ROW_NUMBER" => WindowFunc::RowNumber,
+        "RANK" => WindowFunc::Rank,
+        "DENSE_RANK" => WindowFunc::DenseRank,
+        "LAG" => WindowFunc::Lag(col_of(args.first().ok_or_else(|| {
+            DbError::Binder("LAG needs an argument".into())
+        })?)?),
+        "LEAD" => WindowFunc::Lead(col_of(args.first().ok_or_else(|| {
+            DbError::Binder("LEAD needs an argument".into())
+        })?)?),
+        agg @ ("SUM" | "MIN" | "MAX" | "AVG" | "COUNT") => {
+            let f = AggFunc::parse(agg, false).unwrap();
+            WindowFunc::Agg(
+                f,
+                col_of(args.first().ok_or_else(|| {
+                    DbError::Binder(format!("{agg} OVER needs an argument"))
+                })?)?,
+            )
+        }
+        other => return Err(DbError::Binder(format!("unknown window function {other}"))),
+    };
+    Ok(WindowCall {
+        func,
+        partition_by: partition_by
+            .iter()
+            .map(|e| col_of(e))
+            .collect::<DbResult<_>>()?,
+        order_by: order_by
+            .iter()
+            .map(|(e, asc)| Ok((col_of(e)?, *asc)))
+            .collect::<DbResult<_>>()?,
+        output_name,
+    })
+}
+
+/// Bind HAVING: column refs resolve to output names; aggregate calls must
+/// match an existing aggregate and resolve to its output column.
+fn bind_having(
+    h: &SqlExpr,
+    scope: &Scope,
+    select: &[(Expr, String)],
+    aggregates: &[AggItem],
+    _group_by_ast: &[SqlExpr],
+) -> DbResult<Expr> {
+    let g = select.len();
+    Ok(match h {
+        SqlExpr::Aggregate {
+            name,
+            distinct,
+            arg,
+        } => {
+            let func = parse_agg(name, *distinct, arg.is_none())?;
+            let input = match arg {
+                None => None,
+                Some(a) => Some(bind_scalar(a, scope)?),
+            };
+            let idx = aggregates
+                .iter()
+                .position(|a| a.func == func && a.input == input)
+                .ok_or_else(|| {
+                    DbError::Binder(format!(
+                        "HAVING aggregate {name} must also appear in the SELECT list"
+                    ))
+                })?;
+            Expr::col(g + idx, aggregates[idx].output_name.clone())
+        }
+        SqlExpr::Column { name, qualifier } => {
+            // Output-name resolution first, then group expression match.
+            let pos = select
+                .iter()
+                .position(|(_, n)| n.eq_ignore_ascii_case(name))
+                .or_else(|| {
+                    aggregates
+                        .iter()
+                        .position(|a| a.output_name.eq_ignore_ascii_case(name))
+                        .map(|i| g + i)
+                });
+            match pos {
+                Some(p) => Expr::col(p, name.clone()),
+                None => {
+                    // A group-by column referenced by its base name.
+                    let bound = bind_scalar(
+                        &SqlExpr::Column {
+                            qualifier: qualifier.clone(),
+                            name: name.clone(),
+                        },
+                        scope,
+                    )?;
+                    let p = select.iter().position(|(e, _)| e == &bound).ok_or_else(
+                        || DbError::Binder(format!("HAVING column {name} not grouped")),
+                    )?;
+                    Expr::col(p, name.clone())
+                }
+            }
+        }
+        SqlExpr::Literal(v) => Expr::Literal(v.clone()),
+        SqlExpr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(bind_having(left, scope, select, aggregates, _group_by_ast)?),
+            right: Box::new(bind_having(right, scope, select, aggregates, _group_by_ast)?),
+        },
+        SqlExpr::Unary { op, input } => Expr::Unary {
+            op: *op,
+            input: Box::new(bind_having(input, scope, select, aggregates, _group_by_ast)?),
+        },
+        SqlExpr::Between { input, low, high } => Expr::Between {
+            input: Box::new(bind_having(input, scope, select, aggregates, _group_by_ast)?),
+            low: Box::new(bind_having(low, scope, select, aggregates, _group_by_ast)?),
+            high: Box::new(bind_having(high, scope, select, aggregates, _group_by_ast)?),
+        },
+        other => {
+            return Err(DbError::Binder(format!(
+                "unsupported HAVING expression: {other:?}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn schemas() -> BTreeMap<String, TableSchema> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "sales".to_string(),
+            TableSchema::new(
+                "sales",
+                vec![
+                    ColumnDef::new("id", DataType::Integer),
+                    ColumnDef::new("cust_id", DataType::Integer),
+                    ColumnDef::new("amt", DataType::Float),
+                    ColumnDef::new("ts", DataType::Timestamp),
+                ],
+            ),
+        );
+        m.insert(
+            "customer".to_string(),
+            TableSchema::new(
+                "customer",
+                vec![
+                    ColumnDef::new("cid", DataType::Integer),
+                    ColumnDef::new("state", DataType::Varchar),
+                ],
+            ),
+        );
+        m
+    }
+
+    fn bind_sql(sql: &str) -> DbResult<BoundStatement> {
+        bind(parse_statement(sql)?, &schemas())
+    }
+
+    #[test]
+    fn bind_simple_select() {
+        let BoundStatement::Select(q) =
+            bind_sql("SELECT amt, id FROM sales WHERE amt > 10").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(q.tables.len(), 1);
+        assert!(q.table_filters[0].is_some());
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.output_names(), vec!["amt", "id"]);
+    }
+
+    #[test]
+    fn bind_join_extracts_edges() {
+        let BoundStatement::Select(q) = bind_sql(
+            "SELECT state, COUNT(*) FROM sales s JOIN customer c ON s.cust_id = c.cid \
+             WHERE s.amt > 5 GROUP BY state",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left_table, 0);
+        assert_eq!(q.joins[0].left_columns, vec![1]);
+        assert_eq!(q.joins[0].right_columns, vec![0]);
+        assert!(q.table_filters[0].is_some());
+        assert!(q.is_aggregate());
+        // state is global column 5 (4 sales cols + cid).
+        assert_eq!(q.group_by[0].referenced_columns(), vec![5]);
+    }
+
+    #[test]
+    fn bind_comma_join_from_where() {
+        let BoundStatement::Select(q) = bind_sql(
+            "SELECT s.id FROM sales s, customer c WHERE s.cust_id = c.cid AND c.state = 'MA'",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(q.joins.len(), 1);
+        assert!(q.table_filters[1].is_some(), "state filter on customer");
+    }
+
+    #[test]
+    fn aggregate_select_order_enforced() {
+        // Aggregates before group columns: rejected.
+        let err = bind_sql("SELECT COUNT(*), state FROM customer GROUP BY state");
+        assert!(matches!(err, Err(DbError::Binder(_))));
+        // Correct order passes.
+        assert!(bind_sql("SELECT state, COUNT(*) FROM customer GROUP BY state").is_ok());
+    }
+
+    #[test]
+    fn having_binds_to_aggregate_output() {
+        let BoundStatement::Select(q) = bind_sql(
+            "SELECT state, COUNT(*) AS c FROM customer GROUP BY state HAVING COUNT(*) > 3",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let h = q.having.unwrap();
+        // COUNT(*) is output column 1 (after 1 group column).
+        assert_eq!(h.referenced_columns(), vec![1]);
+    }
+
+    #[test]
+    fn order_by_name_position_and_expr() {
+        let BoundStatement::Select(q) =
+            bind_sql("SELECT id, amt FROM sales ORDER BY amt DESC, 1").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(q.order_by[0].output_column, 1);
+        assert!(!q.order_by[0].ascending);
+        assert_eq!(q.order_by[1].output_column, 0);
+    }
+
+    #[test]
+    fn bind_window_call() {
+        let BoundStatement::Select(q) = bind_sql(
+            "SELECT id, SUM(amt) OVER (PARTITION BY cust_id ORDER BY ts) AS running \
+             FROM sales",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(q.windows.len(), 1);
+        assert_eq!(q.windows[0].partition_by, vec![1]);
+        assert_eq!(q.windows[0].output_name, "running");
+    }
+
+    #[test]
+    fn bind_ddl_and_dml() {
+        let BoundStatement::CreateTable { schema, partition_by } = bind_sql(
+            "CREATE TABLE t2 (a INT NOT NULL, ts TIMESTAMP) PARTITION BY YEAR_MONTH(ts)",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(schema.arity(), 2);
+        assert!(partition_by.is_some());
+        let BoundStatement::Insert { rows, .. } =
+            bind_sql("INSERT INTO customer VALUES (1, 'MA'), (2, NULL)").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], Value::Null);
+        let BoundStatement::CreateProjection { def } = bind_sql(
+            "CREATE PROJECTION sales_b0 AS SELECT id, amt, ts, cust_id FROM sales \
+             ORDER BY ts SEGMENTED BY HASH(id) ALL NODES",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(def.columns, vec![0, 2, 3, 1]);
+        assert_eq!(def.sort_keys.len(), 1);
+        assert_eq!(def.sort_keys[0].column, 2, "ts is projection column 2");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert!(matches!(
+            bind_sql("SELECT nope FROM sales"),
+            Err(DbError::Binder(_))
+        ));
+        assert!(matches!(
+            bind_sql("SELECT id FROM nonexistent"),
+            Err(DbError::NotFound(_))
+        ));
+        // Ambiguous: id exists only in sales, cid only in customer — make a
+        // genuinely ambiguous name by self-join aliasing.
+        let err = bind_sql("SELECT cid FROM customer a JOIN customer b ON a.cid = b.cid");
+        assert!(matches!(err, Err(DbError::Binder(_))), "{err:?}");
+    }
+
+    #[test]
+    fn update_binds_set_list() {
+        let BoundStatement::Update { sets, predicate, .. } =
+            bind_sql("UPDATE sales SET amt = amt * 2 WHERE id = 3").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(sets[0].0, 2);
+        assert!(predicate.is_some());
+    }
+}

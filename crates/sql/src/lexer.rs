@@ -1,0 +1,258 @@
+//! SQL lexer: case-insensitive keywords, quoted strings, numbers.
+
+use vdb_types::{DbError, DbResult};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword, uppercased for keywords comparison; the
+    /// original text is kept for identifiers.
+    Ident(String),
+    Integer(i64),
+    Float(f64),
+    Str(String),
+    Symbol(Sym),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Dot,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> DbResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let b = input.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                // line comment
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Sym::Semicolon));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Symbol(Sym::Percent));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Symbol(Sym::Le));
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token::Symbol(Sym::Ne));
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= b.len() {
+                        return Err(DbError::Parse("unterminated string literal".into()));
+                    }
+                    if b[i] == b'\'' {
+                        // '' escape
+                        if i + 1 < b.len() && b[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    if b[i] == b'.' {
+                        // Stop on `..` or second dot.
+                        if is_float || (i + 1 < b.len() && b[i + 1] == b'.') {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                // exponent
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    out.push(Token::Integer(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad integer literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // Quoted identifier.
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && b[i] != b'"' {
+                        i += 1;
+                    }
+                    if i >= b.len() {
+                        return Err(DbError::Parse("unterminated quoted identifier".into()));
+                    }
+                    out.push(Token::Ident(input[start..i].to_string()));
+                    i += 1;
+                } else {
+                    let start = i;
+                    while i < b.len()
+                        && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.push(Token::Ident(input[start..i].to_string()));
+                }
+            }
+            other => {
+                return Err(DbError::Parse(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_select() {
+        let toks = lex("SELECT a, count(*) FROM t WHERE x >= 1.5 AND y <> 'a''b'").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Symbol(Sym::Ge)));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Str("a'b".into())));
+        assert!(toks.contains(&Token::Symbol(Sym::Ne)));
+    }
+
+    #[test]
+    fn comments_and_quoted_idents() {
+        let toks = lex("SELECT \"Weird Name\" -- trailing\nFROM t").unwrap();
+        assert_eq!(toks[1], Token::Ident("Weird Name".into()));
+        assert!(toks[2].is_kw("from"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("SELECT @").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex("1 2.5 3e2 42").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Integer(1),
+                Token::Float(2.5),
+                Token::Float(300.0),
+                Token::Integer(42)
+            ]
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! `vdb-sql` — the SQL front end.
+//!
+//! Vertica reused PostgreSQL's parser/analyzer (§2.1.1); this crate is a
+//! from-scratch replacement covering the dialect the examples, tests and
+//! benchmarks need: DDL (`CREATE TABLE ... PARTITION BY`,
+//! `CREATE PROJECTION ... ORDER BY ... SEGMENTED BY HASH(...)`), DML
+//! (`INSERT`, `UPDATE`, `DELETE`, `ALTER TABLE ... DROP PARTITION`),
+//! `SELECT` with joins, grouping, HAVING, DISTINCT, window functions,
+//! ORDER BY / LIMIT, and `EXPLAIN`.
+//!
+//! Pipeline: [`lexer`] → [`parser`] (name-based [`ast`]) → [`binder`]
+//! (resolves names against a schema provider into the optimizer's
+//! [`vdb_optimizer::BoundQuery`] / storage definitions).
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use binder::{bind, BoundStatement, SchemaProvider};
+pub use parser::parse_statement;
+
+use vdb_types::DbResult;
+
+/// Parse and bind one SQL statement.
+pub fn compile(sql: &str, schemas: &dyn SchemaProvider) -> DbResult<BoundStatement> {
+    let stmt = parse_statement(sql)?;
+    bind(stmt, schemas)
+}

@@ -1,0 +1,978 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::lexer::{lex, Sym, Token};
+use vdb_exec::plan::JoinType;
+use vdb_types::{BinOp, DataType, DbError, DbResult, UnOp, Value};
+
+/// Parse one statement (trailing semicolon optional).
+pub fn parse_statement(sql: &str) -> DbResult<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(Sym::Semicolon);
+    if !p.at_end() {
+        return Err(p.error("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> DbResult<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| DbError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn error(&self, msg: &str) -> DbError {
+        DbError::Parse(format!(
+            "{msg} (near token {:?})",
+            self.peek().cloned().unwrap_or(Token::Ident("<end>".into()))
+        ))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if self.peek() == Some(&Token::Symbol(s)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> DbResult<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {s:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> DbResult<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            t => Err(DbError::Parse(format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> DbResult<Statement> {
+        if self.eat_kw("EXPLAIN") {
+            return Ok(Statement::Explain(self.select()?));
+        }
+        if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_kw("PROJECTION") {
+                return self.create_projection();
+            }
+            return Err(self.error("expected TABLE or PROJECTION after CREATE"));
+        }
+        if self.eat_kw("DROP") {
+            if self.eat_kw("TABLE") {
+                return Ok(Statement::DropTable(self.ident()?));
+            }
+            if self.eat_kw("PROJECTION") {
+                return Ok(Statement::DropProjection(self.ident()?));
+            }
+            return Err(self.error("expected TABLE or PROJECTION after DROP"));
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let predicate = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, predicate });
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("ALTER") {
+            self.expect_kw("TABLE")?;
+            let table = self.ident()?;
+            self.expect_kw("DROP")?;
+            self.expect_kw("PARTITION")?;
+            let key = match self.next()? {
+                Token::Integer(i) => Value::Integer(i),
+                Token::Str(s) => Value::Varchar(s),
+                t => return Err(DbError::Parse(format!("expected partition literal, got {t:?}"))),
+            };
+            return Ok(Statement::DropPartition { table, key });
+        }
+        if self.eat_kw("BEGIN") || self.eat_kw("START") {
+            self.eat_kw("TRANSACTION");
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("COMMIT") {
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("ROLLBACK") || self.eat_kw("ABORT") {
+            return Ok(Statement::Rollback);
+        }
+        Err(self.error("unrecognized statement"))
+    }
+
+    fn create_table(&mut self) -> DbResult<Statement> {
+        let name = self.ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            let ty_name = self.ident()?;
+            let data_type = DataType::parse_sql(&ty_name)?;
+            let mut not_null = false;
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                not_null = true;
+            }
+            columns.push(ColumnDefAst {
+                name: col_name,
+                data_type,
+                not_null,
+            });
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        let partition_by = if self.eat_kw("PARTITION") {
+            self.expect_kw("BY")?;
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            partition_by,
+        })
+    }
+
+    /// CREATE PROJECTION p AS SELECT c1, c2 FROM t ORDER BY c1, c2
+    ///   [SEGMENTED BY HASH(c1) [ALL NODES] | UNSEGMENTED [ALL NODES]]
+    fn create_projection(&mut self) -> DbResult<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("AS")?;
+        self.expect_kw("SELECT")?;
+        let mut columns = Vec::new();
+        if self.eat_symbol(Sym::Star) {
+            // '*' handled by binder (empty column list = all columns).
+        } else {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                order_by.push(self.ident()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let segmentation = if self.eat_kw("SEGMENTED") {
+            self.expect_kw("BY")?;
+            self.expect_kw("HASH")?;
+            self.expect_symbol(Sym::LParen)?;
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            self.eat_kw("ALL");
+            self.eat_kw("NODES");
+            SegmentationAst::Hash(cols)
+        } else if self.eat_kw("UNSEGMENTED") {
+            self.eat_kw("ALL");
+            self.eat_kw("NODES");
+            SegmentationAst::Unsegmented
+        } else {
+            SegmentationAst::Default
+        };
+        Ok(Statement::CreateProjection {
+            name,
+            table,
+            columns,
+            order_by,
+            segmentation,
+        })
+    }
+
+    fn insert(&mut self) -> DbResult<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Sym::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn update(&mut self) -> DbResult<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_symbol(Sym::Eq)?;
+            sets.push((col, self.expr()?));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            predicate,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    fn select(&mut self) -> DbResult<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw("AS") {
+                Some(self.ident()?)
+            } else if matches!(self.peek(), Some(Token::Ident(s))
+                if !is_reserved(s))
+            {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let join_type = if self.eat_kw("JOIN") || {
+                if self.peek().is_some_and(|t| t.is_kw("INNER")) {
+                    self.pos += 1;
+                    self.expect_kw("JOIN")?;
+                    true
+                } else {
+                    false
+                }
+            } {
+                JoinType::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinType::LeftOuter
+            } else if self.eat_kw("RIGHT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinType::RightOuter
+            } else if self.eat_kw("FULL") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinType::FullOuter
+            } else if self.eat_kw("SEMI") {
+                self.expect_kw("JOIN")?;
+                JoinType::Semi
+            } else if self.eat_kw("ANTI") {
+                self.expect_kw("JOIN")?;
+                JoinType::Anti
+            } else if self.eat_symbol(Sym::Comma) {
+                // implicit cross join via comma requires ON-less syntax;
+                // we require WHERE-based equi predicates, treated as inner
+                // join with ON pulled from WHERE by the binder.
+                let table = self.table_ref()?;
+                joins.push(JoinClause {
+                    join_type: JoinType::Inner,
+                    table,
+                    on: SqlExpr::Literal(Value::Boolean(true)),
+                });
+                continue;
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let on = self.expr()?;
+            joins.push(JoinClause {
+                join_type,
+                table,
+                on,
+            });
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push(OrderByItem { expr, ascending });
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = 0;
+        if self.eat_kw("LIMIT") {
+            match self.next()? {
+                Token::Integer(n) if n >= 0 => limit = Some(n as usize),
+                t => return Err(DbError::Parse(format!("bad LIMIT {t:?}"))),
+            }
+        }
+        if self.eat_kw("OFFSET") {
+            match self.next()? {
+                Token::Integer(n) if n >= 0 => offset = n as usize,
+                t => return Err(DbError::Parse(format!("bad OFFSET {t:?}"))),
+            }
+        }
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn table_ref(&mut self) -> DbResult<TableRef> {
+        let name = self.ident()?;
+        let alias = match self.peek() {
+            Some(Token::Ident(s)) if !is_reserved(s) => Some(self.ident()?),
+            _ => None,
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // ------------------------------------------------------------------
+    // expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> DbResult<SqlExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = SqlExpr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> DbResult<SqlExpr> {
+        if self.eat_kw("NOT") {
+            let input = self.not_expr()?;
+            return Ok(SqlExpr::Unary {
+                op: UnOp::Not,
+                input: Box::new(input),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> DbResult<SqlExpr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(SqlExpr::IsNull {
+                input: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] BETWEEN / IN
+        let negated = if self.peek().is_some_and(|t| t.is_kw("NOT"))
+            && self
+                .peek2()
+                .is_some_and(|t| t.is_kw("BETWEEN") || t.is_kw("IN"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            let between = SqlExpr::Between {
+                input: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+            };
+            return Ok(if negated {
+                SqlExpr::Unary {
+                    op: UnOp::Not,
+                    input: Box::new(between),
+                }
+            } else {
+                between
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_symbol(Sym::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                match self.next()? {
+                    Token::Integer(i) => list.push(Value::Integer(i)),
+                    Token::Float(f) => list.push(Value::Float(f)),
+                    Token::Str(s) => list.push(Value::Varchar(s)),
+                    Token::Ident(s) if s.eq_ignore_ascii_case("null") => {
+                        list.push(Value::Null)
+                    }
+                    t => return Err(DbError::Parse(format!("IN list literal, got {t:?}"))),
+                }
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(SqlExpr::InList {
+                input: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol(Sym::Eq)) => BinOp::Eq,
+            Some(Token::Symbol(Sym::Ne)) => BinOp::Ne,
+            Some(Token::Symbol(Sym::Lt)) => BinOp::Lt,
+            Some(Token::Symbol(Sym::Le)) => BinOp::Le,
+            Some(Token::Symbol(Sym::Gt)) => BinOp::Gt,
+            Some(Token::Symbol(Sym::Ge)) => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.additive()?;
+        Ok(SqlExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn additive(&mut self) -> DbResult<SqlExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Plus)) => BinOp::Add,
+                Some(Token::Symbol(Sym::Minus)) => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn multiplicative(&mut self) -> DbResult<SqlExpr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol(Sym::Star)) => BinOp::Mul,
+                Some(Token::Symbol(Sym::Slash)) => BinOp::Div,
+                Some(Token::Symbol(Sym::Percent)) => BinOp::Mod,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> DbResult<SqlExpr> {
+        if self.eat_symbol(Sym::Minus) {
+            let input = self.unary()?;
+            return Ok(SqlExpr::Unary {
+                op: UnOp::Neg,
+                input: Box::new(input),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> DbResult<SqlExpr> {
+        match self.next()? {
+            Token::Integer(i) => Ok(SqlExpr::Literal(Value::Integer(i))),
+            Token::Float(f) => Ok(SqlExpr::Literal(Value::Float(f))),
+            Token::Str(s) => Ok(SqlExpr::Literal(Value::Varchar(s))),
+            Token::Symbol(Sym::LParen) => {
+                let e = self.expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => self.ident_expr(name),
+            t => Err(DbError::Parse(format!("unexpected token {t:?}"))),
+        }
+    }
+
+    fn ident_expr(&mut self, name: String) -> DbResult<SqlExpr> {
+        let upper = name.to_ascii_uppercase();
+        match upper.as_str() {
+            "NULL" => return Ok(SqlExpr::Literal(Value::Null)),
+            "TRUE" => return Ok(SqlExpr::Literal(Value::Boolean(true))),
+            "FALSE" => return Ok(SqlExpr::Literal(Value::Boolean(false))),
+            "DATE" | "TIMESTAMP" => {
+                // DATE 'YYYY-MM-DD' literal.
+                if let Some(Token::Str(s)) = self.peek() {
+                    let s = s.clone();
+                    self.pos += 1;
+                    let ts = vdb_types::date::parse_timestamp(&s)
+                        .ok_or_else(|| DbError::Parse(format!("bad date literal '{s}'")))?;
+                    return Ok(SqlExpr::Literal(Value::Timestamp(ts)));
+                }
+            }
+            "CASE" => return self.case_expr(),
+            "CAST" => {
+                self.expect_symbol(Sym::LParen)?;
+                let input = self.expr()?;
+                self.expect_kw("AS")?;
+                let ty = DataType::parse_sql(&self.ident()?)?;
+                self.expect_symbol(Sym::RParen)?;
+                return Ok(SqlExpr::Cast {
+                    input: Box::new(input),
+                    to: ty,
+                });
+            }
+            "EXTRACT" => {
+                // EXTRACT(YEAR FROM expr)
+                self.expect_symbol(Sym::LParen)?;
+                let field = self.ident()?;
+                self.expect_kw("FROM")?;
+                let arg = self.expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                return Ok(SqlExpr::Func {
+                    name: field,
+                    args: vec![arg],
+                });
+            }
+            _ => {}
+        }
+        // Function / aggregate / window call?
+        if self.peek() == Some(&Token::Symbol(Sym::LParen)) {
+            self.pos += 1;
+            let is_agg = matches!(upper.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG");
+            // COUNT(*)
+            let (distinct, args): (bool, Vec<SqlExpr>) =
+                if self.eat_symbol(Sym::Star) {
+                    self.expect_symbol(Sym::RParen)?;
+                    (false, vec![])
+                } else if self.eat_symbol(Sym::RParen) {
+                    (false, vec![])
+                } else {
+                    let distinct = self.eat_kw("DISTINCT");
+                    let mut args = vec![self.expr()?];
+                    while self.eat_symbol(Sym::Comma) {
+                        args.push(self.expr()?);
+                    }
+                    self.expect_symbol(Sym::RParen)?;
+                    (distinct, args)
+                };
+            // OVER clause → window function.
+            if self.eat_kw("OVER") {
+                self.expect_symbol(Sym::LParen)?;
+                let mut partition_by = Vec::new();
+                if self.eat_kw("PARTITION") {
+                    self.expect_kw("BY")?;
+                    loop {
+                        partition_by.push(self.expr()?);
+                        if !self.eat_symbol(Sym::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let mut order_by = Vec::new();
+                if self.eat_kw("ORDER") {
+                    self.expect_kw("BY")?;
+                    loop {
+                        let e = self.expr()?;
+                        let asc = if self.eat_kw("DESC") {
+                            false
+                        } else {
+                            self.eat_kw("ASC");
+                            true
+                        };
+                        order_by.push((e, asc));
+                        if !self.eat_symbol(Sym::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect_symbol(Sym::RParen)?;
+                return Ok(SqlExpr::Window {
+                    name: upper,
+                    args,
+                    partition_by,
+                    order_by,
+                });
+            }
+            if is_agg {
+                return Ok(SqlExpr::Aggregate {
+                    name: upper,
+                    distinct,
+                    arg: args.into_iter().next().map(Box::new),
+                });
+            }
+            return Ok(SqlExpr::Func { name: upper, args });
+        }
+        // qualified column?
+        if self.eat_symbol(Sym::Dot) {
+            let col = self.ident()?;
+            return Ok(SqlExpr::Column {
+                qualifier: Some(name),
+                name: col,
+            });
+        }
+        Ok(SqlExpr::Column {
+            qualifier: None,
+            name,
+        })
+    }
+
+    fn case_expr(&mut self) -> DbResult<SqlExpr> {
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = self.expr()?;
+            self.expect_kw("THEN")?;
+            let val = self.expr()?;
+            branches.push((cond, val));
+        }
+        let otherwise = if self.eat_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(SqlExpr::Case {
+            branches,
+            otherwise,
+        })
+    }
+}
+
+/// Keywords that terminate an implicit alias.
+fn is_reserved(s: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "JOIN", "INNER",
+        "LEFT", "RIGHT", "FULL", "SEMI", "ANTI", "ON", "AS", "AND", "OR", "NOT", "ASC",
+        "DESC", "UNION", "SELECT", "BY", "PARTITION", "SEGMENTED", "UNSEGMENTED", "SET",
+        "VALUES", "BETWEEN", "IN", "IS", "NULL", "CASE", "WHEN", "THEN", "ELSE", "END",
+        "OVER", "DISTINCT",
+    ];
+    RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_select() {
+        let s = parse_statement(
+            "SELECT a, b + 1 AS b1 FROM t WHERE a > 5 ORDER BY a DESC LIMIT 10 OFFSET 2",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!("not a select")
+        };
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.items[1].alias, Some("b1".into()));
+        assert_eq!(sel.from.name, "t");
+        assert!(sel.where_clause.is_some());
+        assert_eq!(sel.limit, Some(10));
+        assert_eq!(sel.offset, 2);
+        assert!(!sel.order_by[0].ascending);
+    }
+
+    #[test]
+    fn parse_joins_and_groupby() {
+        let s = parse_statement(
+            "SELECT d.name, COUNT(*) FROM fact f JOIN dim d ON f.did = d.id \
+             LEFT JOIN other o ON o.k = f.k \
+             WHERE f.x = 1 GROUP BY d.name HAVING COUNT(*) > 2",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        assert_eq!(sel.joins.len(), 2);
+        assert_eq!(sel.joins[0].join_type, JoinType::Inner);
+        assert_eq!(sel.joins[1].join_type, JoinType::LeftOuter);
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert!(matches!(
+            sel.items[1].expr,
+            SqlExpr::Aggregate { distinct: false, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_window_function() {
+        let s = parse_statement(
+            "SELECT a, ROW_NUMBER() OVER (PARTITION BY b ORDER BY c DESC) FROM t",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        match &sel.items[1].expr {
+            SqlExpr::Window {
+                name,
+                partition_by,
+                order_by,
+                ..
+            } => {
+                assert_eq!(name, "ROW_NUMBER");
+                assert_eq!(partition_by.len(), 1);
+                assert!(!order_by[0].1);
+            }
+            other => panic!("expected window, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_ddl() {
+        let s = parse_statement(
+            "CREATE TABLE sales (id INT NOT NULL, amt FLOAT, ts TIMESTAMP) \
+             PARTITION BY YEAR_MONTH(ts)",
+        )
+        .unwrap();
+        let Statement::CreateTable {
+            name,
+            columns,
+            partition_by,
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(name, "sales");
+        assert_eq!(columns.len(), 3);
+        assert!(columns[0].not_null);
+        assert!(partition_by.is_some());
+        let p = parse_statement(
+            "CREATE PROJECTION sales_b0 AS SELECT id, amt FROM sales ORDER BY id \
+             SEGMENTED BY HASH(id) ALL NODES",
+        )
+        .unwrap();
+        assert!(matches!(
+            p,
+            Statement::CreateProjection {
+                segmentation: SegmentationAst::Hash(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_dml() {
+        let s =
+            parse_statement("INSERT INTO t VALUES (1, 'x', 2.5), (2, NULL, 3.0)").unwrap();
+        let Statement::Insert { rows, .. } = s else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 2);
+        let d = parse_statement("DELETE FROM t WHERE a = 3").unwrap();
+        assert!(matches!(d, Statement::Delete { predicate: Some(_), .. }));
+        let u = parse_statement("UPDATE t SET a = a + 1 WHERE b < 5").unwrap();
+        assert!(matches!(u, Statement::Update { .. }));
+        let ap = parse_statement("ALTER TABLE t DROP PARTITION 201203").unwrap();
+        assert!(matches!(ap, Statement::DropPartition { .. }));
+    }
+
+    #[test]
+    fn parse_date_literals_and_extract() {
+        let s = parse_statement(
+            "SELECT EXTRACT(MONTH FROM ts) FROM t WHERE ts >= DATE '2012-03-01'",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        assert!(matches!(sel.items[0].expr, SqlExpr::Func { .. }));
+        // The date literal parsed to a Timestamp value.
+        let w = sel.where_clause.unwrap();
+        match w {
+            SqlExpr::Binary { right, .. } => {
+                assert!(matches!(*right, SqlExpr::Literal(Value::Timestamp(_))))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_between_in_case() {
+        let s = parse_statement(
+            "SELECT CASE WHEN a BETWEEN 1 AND 5 THEN 'low' ELSE 'high' END \
+             FROM t WHERE b IN (1, 2, 3) AND c IS NOT NULL",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else {
+            panic!()
+        };
+        assert!(matches!(sel.items[0].expr, SqlExpr::Case { .. }));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("BANANA").is_err());
+        assert!(parse_statement("SELECT a FROM t WHERE").is_err());
+        assert!(parse_statement("SELECT a FROM t garbage garbage garbage").is_err());
+    }
+
+    #[test]
+    fn explain_and_txn() {
+        assert!(matches!(
+            parse_statement("EXPLAIN SELECT a FROM t").unwrap(),
+            Statement::Explain(_)
+        ));
+        assert!(matches!(parse_statement("BEGIN").unwrap(), Statement::Begin));
+        assert!(matches!(
+            parse_statement("COMMIT;").unwrap(),
+            Statement::Commit
+        ));
+    }
+}

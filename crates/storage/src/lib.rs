@@ -1,0 +1,31 @@
+//! `vdb-storage` — the physical storage layer (§3 and §4 of the paper).
+//!
+//! Table data is physically organized into **projections**: sorted subsets
+//! of a table's attributes ([`projection`]). Each projection's data lives in
+//! immutable **ROS containers** ([`ros`]) — a pair of files per column (data
+//! + position index) on a [`backend`] — plus an in-memory, unsorted,
+//! unencoded **WOS** ([`wos`]) that buffers trickle loads. Deletes never
+//! modify storage: they append to **delete vectors** ([`delete_vector`]).
+//! The **tuple mover** ([`tuple_mover`]) runs moveout (WOS→ROS) and
+//! strata-based mergeout, preserving `PARTITION BY` ([`partition`]) and
+//! local-segment boundaries. A node's projections are collected in a
+//! [`engine::StorageEngine`].
+
+pub mod backend;
+pub mod delete_vector;
+pub mod engine;
+pub mod layout;
+pub mod partition;
+pub mod projection;
+pub mod ros;
+pub mod store;
+pub mod tuple_mover;
+pub mod wos;
+
+pub use backend::{FsBackend, MemBackend, StorageBackend};
+pub use delete_vector::DeleteVector;
+pub use engine::StorageEngine;
+pub use projection::{ProjectionDef, Segmentation};
+pub use ros::{ContainerId, RosContainer};
+pub use store::{ProjectionStore, RowLocation, SnapshotScan};
+pub use tuple_mover::{TupleMover, TupleMoverConfig};

@@ -1,0 +1,428 @@
+//! Projection definitions (§3.1–§3.3, §3.6).
+//!
+//! A projection is a sorted subset of a table's attributes with its own
+//! sort order, per-column encodings and segmentation clause. Every table
+//! needs at least one **super projection** containing every column (Vertica
+//! dropped C-Store's join indexes, §3.2). **Prejoin projections** (§3.3)
+//! denormalize N:1 joins with dimension tables at load time.
+
+use vdb_encoding::EncodingType;
+use vdb_types::schema::{SortDirection, SortKey};
+use vdb_types::{DbError, DbResult, Expr, Row, TableSchema, Value};
+
+/// How a projection's tuples are distributed across nodes (§3.6).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segmentation {
+    /// Every node stores a full copy (small dimension tables).
+    Replicated,
+    /// `SEGMENTED BY <expr>`: the integral expression (over the projection's
+    /// columns) maps each tuple onto the ring; nodes own contiguous ranges.
+    ByExpr(Expr),
+}
+
+impl Segmentation {
+    /// The canonical choice: `HASH(cols...)` over high-cardinality columns.
+    pub fn hash_of(columns: &[(usize, &str)]) -> Segmentation {
+        Segmentation::ByExpr(Expr::call(
+            vdb_types::Func::Hash,
+            columns
+                .iter()
+                .map(|(i, n)| Expr::col(*i, (*n).to_string()))
+                .collect(),
+        ))
+    }
+}
+
+/// One dimension-table join of a prejoin projection (§3.3): rows of the
+/// anchor (fact) table are joined N:1 against the dimension at load time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrejoinDim {
+    pub dim_table: String,
+    /// Column index in the *anchor table* holding the foreign key.
+    pub fact_key: usize,
+    /// Column index in the *dimension table* holding the join key.
+    pub dim_key: usize,
+    /// Dimension columns materialized into the projection, as indexes into
+    /// the dimension table schema.
+    pub dim_columns: Vec<usize>,
+}
+
+/// Definition of a physical projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionDef {
+    pub name: String,
+    /// The anchoring logical table.
+    pub anchor_table: String,
+    /// Anchor-table column indexes stored by this projection, in projection
+    /// column order. For prejoin projections these come first, followed by
+    /// the dimension columns of each `prejoin` entry in order.
+    pub columns: Vec<usize>,
+    /// Display names of the projection columns (anchor + dimension).
+    pub column_names: Vec<String>,
+    /// Data types of the projection columns.
+    pub column_types: Vec<vdb_types::DataType>,
+    /// Sort order, as indexes into the *projection's* columns.
+    pub sort_keys: Vec<SortKey>,
+    /// Per-projection-column encodings.
+    pub encodings: Vec<EncodingType>,
+    /// Cluster distribution.
+    pub segmentation: Segmentation,
+    /// Prejoined dimensions (empty for ordinary projections).
+    pub prejoin: Vec<PrejoinDim>,
+}
+
+impl ProjectionDef {
+    /// Build a super projection over every column of `schema`, sorted by
+    /// `sort_columns` (table column indexes), hash-segmented by
+    /// `seg_columns` (table column indexes), with Auto encodings.
+    pub fn super_projection(
+        schema: &TableSchema,
+        name: impl Into<String>,
+        sort_columns: &[usize],
+        seg_columns: &[usize],
+    ) -> ProjectionDef {
+        let columns: Vec<usize> = (0..schema.arity()).collect();
+        let column_names = schema.columns.iter().map(|c| c.name.clone()).collect();
+        let column_types = schema.columns.iter().map(|c| c.data_type).collect();
+        let sort_keys = sort_columns.iter().map(|&c| SortKey::asc(c)).collect();
+        let segmentation = if seg_columns.is_empty() {
+            Segmentation::Replicated
+        } else {
+            Segmentation::hash_of(
+                &seg_columns
+                    .iter()
+                    .map(|&c| (c, schema.columns[c].name.as_str()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        ProjectionDef {
+            name: name.into(),
+            anchor_table: schema.name.clone(),
+            columns,
+            column_names,
+            column_types,
+            sort_keys,
+            encodings: vec![EncodingType::Auto; schema.arity()],
+            segmentation,
+            prejoin: Vec::new(),
+        }
+    }
+
+    /// Is this a super projection of a table with `arity` columns?
+    /// (Prejoin projections qualify if they cover every anchor column.)
+    pub fn is_super(&self, arity: usize) -> bool {
+        let mut covered: Vec<usize> = self
+            .columns
+            .iter()
+            .take(self.num_anchor_columns())
+            .copied()
+            .collect();
+        covered.sort_unstable();
+        covered.dedup();
+        covered.len() == arity
+    }
+
+    /// Number of leading projection columns sourced from the anchor table.
+    /// (`columns` indexes only anchor columns; dimension columns of prejoin
+    /// projections follow them and are described by `prejoin`.)
+    pub fn num_anchor_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn arity(&self) -> usize {
+        self.column_names.len()
+    }
+
+    /// Map an anchor-table column index to this projection's column index.
+    pub fn projection_column_of(&self, table_column: usize) -> Option<usize> {
+        self.columns[..self.num_anchor_columns()]
+            .iter()
+            .position(|&c| c == table_column)
+    }
+
+    /// Project an anchor-table row into this projection's column order
+    /// (non-prejoin projections only).
+    pub fn project_row(&self, table_row: &[Value]) -> DbResult<Row> {
+        if !self.prejoin.is_empty() {
+            return Err(DbError::Execution(
+                "prejoin projections need dimension rows; use project_row_prejoin".into(),
+            ));
+        }
+        self.columns
+            .iter()
+            .map(|&c| {
+                table_row.get(c).cloned().ok_or_else(|| {
+                    DbError::Execution(format!(
+                        "projection {} references column {c} beyond row arity {}",
+                        self.name,
+                        table_row.len()
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Project a fact row joined with pre-looked-up dimension rows (one per
+    /// prejoin entry, in order) into projection column order.
+    pub fn project_row_prejoin(&self, fact_row: &[Value], dim_rows: &[&[Value]]) -> DbResult<Row> {
+        if dim_rows.len() != self.prejoin.len() {
+            return Err(DbError::Execution(format!(
+                "projection {} expects {} dimension rows, got {}",
+                self.name,
+                self.prejoin.len(),
+                dim_rows.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.arity());
+        for &c in &self.columns[..self.num_anchor_columns()] {
+            out.push(fact_row[c].clone());
+        }
+        for (dim, row) in self.prejoin.iter().zip(dim_rows) {
+            for &c in &dim.dim_columns {
+                out.push(row[c].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sort a batch of projection-shaped rows by the projection sort order.
+    pub fn sort_rows(&self, rows: &mut [Row]) {
+        let keys = &self.sort_keys;
+        rows.sort_by(|a, b| vdb_types::schema::compare_rows(a, b, keys));
+    }
+
+    /// Evaluate the segmentation expression for a projection-shaped row.
+    /// Returns `None` for replicated projections.
+    pub fn segment_value(&self, row: &[Value]) -> DbResult<Option<u64>> {
+        match &self.segmentation {
+            Segmentation::Replicated => Ok(None),
+            Segmentation::ByExpr(e) => {
+                let v = e.eval(row)?;
+                let i = v.as_i64().ok_or_else(|| DbError::Execution(format!(
+                    "segmentation expression of {} must be integral, got {v}",
+                    self.name
+                )))?;
+                Ok(Some(i as u64))
+            }
+        }
+    }
+
+    /// Leading sort columns (projection column indexes) — the prefix the
+    /// optimizer matches predicates and group-bys against.
+    pub fn sort_prefix(&self) -> Vec<usize> {
+        self.sort_keys.iter().map(|k| k.column).collect()
+    }
+
+    /// Does the projection's sort order start with `columns` (in any order
+    /// within the prefix)? Used for merge-join and pipelined-groupby
+    /// eligibility.
+    pub fn sorted_by_prefix(&self, columns: &[usize]) -> bool {
+        if columns.len() > self.sort_keys.len() {
+            return false;
+        }
+        let prefix: Vec<usize> = self.sort_keys[..columns.len()]
+            .iter()
+            .map(|k| k.column)
+            .collect();
+        let mut a = prefix.clone();
+        let mut b = columns.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    /// Human-readable DDL-ish description (EXPLAIN / Database Designer).
+    pub fn describe(&self) -> String {
+        let sort: Vec<String> = self
+            .sort_keys
+            .iter()
+            .map(|k| {
+                format!(
+                    "{}{}",
+                    self.column_names[k.column],
+                    match k.direction {
+                        SortDirection::Asc => "",
+                        SortDirection::Desc => " DESC",
+                    }
+                )
+            })
+            .collect();
+        let seg = match &self.segmentation {
+            Segmentation::Replicated => "UNSEGMENTED ALL NODES".to_string(),
+            Segmentation::ByExpr(e) => format!("SEGMENTED BY {e}"),
+        };
+        format!(
+            "PROJECTION {} ({}) ORDER BY {} {}",
+            self.name,
+            self.column_names.join(", "),
+            sort.join(", "),
+            seg
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_types::{ColumnDef, DataType};
+
+    fn sales_schema() -> TableSchema {
+        TableSchema::new(
+            "sales",
+            vec![
+                ColumnDef::new("sale_id", DataType::Integer),
+                ColumnDef::new("cust", DataType::Varchar),
+                ColumnDef::new("price", DataType::Float),
+                ColumnDef::new("date", DataType::Timestamp),
+            ],
+        )
+    }
+
+    #[test]
+    fn super_projection_covers_all_columns() {
+        let p = ProjectionDef::super_projection(&sales_schema(), "sales_super", &[3], &[0]);
+        assert!(p.is_super(4));
+        assert_eq!(p.arity(), 4);
+        assert_eq!(p.sort_prefix(), vec![3]);
+        assert!(matches!(p.segmentation, Segmentation::ByExpr(_)));
+    }
+
+    #[test]
+    fn narrow_projection_figure1() {
+        // Figure 1's second projection: (cust, price) sorted by cust,
+        // segmented by HASH(cust).
+        let p = ProjectionDef {
+            name: "sales_cust_price".into(),
+            anchor_table: "sales".into(),
+            columns: vec![1, 2],
+            column_names: vec!["cust".into(), "price".into()],
+            column_types: vec![DataType::Varchar, DataType::Float],
+            sort_keys: vec![SortKey::asc(0)],
+            encodings: vec![EncodingType::Auto, EncodingType::Auto],
+            segmentation: Segmentation::hash_of(&[(0, "cust")]),
+            prejoin: vec![],
+        };
+        assert!(!p.is_super(4));
+        let row = vec![
+            Value::Integer(7),
+            Value::Varchar("ann".into()),
+            Value::Float(9.5),
+            Value::Timestamp(0),
+        ];
+        assert_eq!(
+            p.project_row(&row).unwrap(),
+            vec![Value::Varchar("ann".into()), Value::Float(9.5)]
+        );
+        assert_eq!(p.projection_column_of(2), Some(1));
+        assert_eq!(p.projection_column_of(0), None);
+    }
+
+    #[test]
+    fn segment_value_is_deterministic() {
+        let p = ProjectionDef::super_projection(&sales_schema(), "s", &[0], &[0]);
+        let row = vec![
+            Value::Integer(42),
+            Value::Varchar("x".into()),
+            Value::Float(0.0),
+            Value::Timestamp(0),
+        ];
+        let a = p.segment_value(&row).unwrap().unwrap();
+        let b = p.segment_value(&row).unwrap().unwrap();
+        assert_eq!(a, b);
+        let replicated = ProjectionDef::super_projection(&sales_schema(), "r", &[0], &[]);
+        assert_eq!(replicated.segment_value(&row).unwrap(), None);
+    }
+
+    #[test]
+    fn sort_rows_by_order() {
+        let p = ProjectionDef::super_projection(&sales_schema(), "s", &[3, 0], &[0]);
+        let mut rows = vec![
+            vec![
+                Value::Integer(2),
+                Value::Varchar("b".into()),
+                Value::Float(1.0),
+                Value::Timestamp(100),
+            ],
+            vec![
+                Value::Integer(1),
+                Value::Varchar("a".into()),
+                Value::Float(2.0),
+                Value::Timestamp(100),
+            ],
+            vec![
+                Value::Integer(3),
+                Value::Varchar("c".into()),
+                Value::Float(3.0),
+                Value::Timestamp(50),
+            ],
+        ];
+        p.sort_rows(&mut rows);
+        assert_eq!(rows[0][3], Value::Timestamp(50));
+        assert_eq!(rows[1][0], Value::Integer(1));
+        assert_eq!(rows[2][0], Value::Integer(2));
+    }
+
+    #[test]
+    fn sorted_by_prefix_matching() {
+        let p = ProjectionDef::super_projection(&sales_schema(), "s", &[3, 0, 1], &[0]);
+        assert!(p.sorted_by_prefix(&[3]));
+        assert!(p.sorted_by_prefix(&[0, 3]), "prefix is order-insensitive");
+        assert!(!p.sorted_by_prefix(&[0]));
+        assert!(!p.sorted_by_prefix(&[3, 0, 1, 2]));
+    }
+
+    #[test]
+    fn prejoin_projection_rows() {
+        // Fact sales(sale_id, cust_id, price) prejoined with
+        // customer(cust_id, name, state).
+        let p = ProjectionDef {
+            name: "sales_prejoin".into(),
+            anchor_table: "sales".into(),
+            columns: vec![0, 1, 2],
+            column_names: vec![
+                "sale_id".into(),
+                "cust_id".into(),
+                "price".into(),
+                "name".into(),
+                "state".into(),
+            ],
+            column_types: vec![
+                DataType::Integer,
+                DataType::Integer,
+                DataType::Float,
+                DataType::Varchar,
+                DataType::Varchar,
+            ],
+            sort_keys: vec![SortKey::asc(0)],
+            encodings: vec![EncodingType::Auto; 5],
+            segmentation: Segmentation::Replicated,
+            prejoin: vec![PrejoinDim {
+                dim_table: "customer".into(),
+                fact_key: 1,
+                dim_key: 0,
+                dim_columns: vec![1, 2],
+            }],
+        };
+        assert_eq!(p.num_anchor_columns(), 3);
+        assert!(p.is_super(3));
+        let fact = vec![Value::Integer(1), Value::Integer(77), Value::Float(5.0)];
+        let dim = vec![
+            Value::Integer(77),
+            Value::Varchar("ann".into()),
+            Value::Varchar("MA".into()),
+        ];
+        let row = p.project_row_prejoin(&fact, &[&dim]).unwrap();
+        assert_eq!(row.len(), 5);
+        assert_eq!(row[3], Value::Varchar("ann".into()));
+        assert!(p.project_row(&fact).is_err(), "prejoin needs dim rows");
+    }
+
+    #[test]
+    fn describe_is_ddl_like() {
+        let p = ProjectionDef::super_projection(&sales_schema(), "sales_super", &[3], &[0]);
+        let d = p.describe();
+        assert!(d.contains("PROJECTION sales_super"));
+        assert!(d.contains("ORDER BY date"));
+        assert!(d.contains("SEGMENTED BY HASH(sale_id)"));
+    }
+}

@@ -1,0 +1,950 @@
+//! Per-projection storage management: WOS + ROS containers + delete
+//! vectors, with epoch-based visibility (§3.7, §5).
+//!
+//! "Every tuple in Vertica is timestamped with the logical time at which it
+//! was committed ... implemented as implicit 64-bit integral columns on the
+//! projection" — each ROS container here carries a hidden trailing epoch
+//! column, so historical snapshots work even for containers holding rows
+//! from several epochs (as moveout produces). Container-level epoch min/max
+//! (from the epoch column's position index) lets scans skip the per-row
+//! check for fully-visible containers, which is the common case.
+
+use crate::backend::StorageBackend;
+use crate::delete_vector::DeleteVector;
+use crate::partition::PartitionSpec;
+use crate::projection::ProjectionDef;
+use crate::ros::{ContainerId, RosContainer};
+use crate::wos::Wos;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vdb_encoding::EncodingType;
+use vdb_types::{DbError, DbResult, Epoch, Row, Value};
+
+/// Where a row physically lives (for delete targeting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowLocation {
+    Wos(u64),
+    Ros(ContainerId, u64),
+}
+
+/// Visibility of a container's rows at a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VisibleSet {
+    /// Every position visible.
+    All,
+    /// No position visible.
+    None,
+    /// Per-position mask.
+    Mask(Vec<bool>),
+}
+
+impl VisibleSet {
+    pub fn is_visible(&self, pos: u64) -> bool {
+        match self {
+            VisibleSet::All => true,
+            VisibleSet::None => false,
+            VisibleSet::Mask(m) => m.get(pos as usize).copied().unwrap_or(false),
+        }
+    }
+
+    pub fn count_visible(&self, total: u64) -> u64 {
+        match self {
+            VisibleSet::All => total,
+            VisibleSet::None => 0,
+            VisibleSet::Mask(m) => m.iter().filter(|&&b| b).count() as u64,
+        }
+    }
+}
+
+/// One container plus its delete vector, pinned to a snapshot epoch — the
+/// unit handed to the scan operator. Carries the owning node's backend so
+/// a scan can mix containers sourced from several nodes (buddy-projection
+/// reads and broadcast gathers in the cluster layer).
+#[derive(Clone)]
+pub struct ScanContainer {
+    pub container: RosContainer,
+    pub deletes: DeleteVector,
+    pub snapshot: Epoch,
+    pub backend: Arc<dyn StorageBackend>,
+}
+
+impl std::fmt::Debug for ScanContainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanContainer")
+            .field("container", &self.container)
+            .field("deletes", &self.deletes)
+            .field("snapshot", &self.snapshot)
+            .finish()
+    }
+}
+
+impl ScanContainer {
+    /// Index of the hidden epoch column.
+    pub fn epoch_column(&self) -> usize {
+        self.container.indexes.len() - 1
+    }
+
+    /// Compute which positions are visible at the snapshot, consulting the
+    /// epoch column only when the container straddles the snapshot.
+    pub fn visible(&self, backend: &dyn StorageBackend) -> DbResult<VisibleSet> {
+        let (min_e, max_e) = match self.container.column_min_max(self.epoch_column()) {
+            Some((Value::Integer(a), Value::Integer(b))) => (Epoch(a as u64), Epoch(b as u64)),
+            _ => (self.container.commit_epoch, self.container.commit_epoch),
+        };
+        if min_e > self.snapshot {
+            return Ok(VisibleSet::None);
+        }
+        let epoch_visible_all = max_e <= self.snapshot;
+        if epoch_visible_all && self.deletes.is_empty() {
+            return Ok(VisibleSet::All);
+        }
+        let n = self.container.row_count as usize;
+        let mut mask = vec![true; n];
+        if !epoch_visible_all {
+            let epochs = self
+                .container
+                .read_column(backend, self.epoch_column())?;
+            for (i, e) in epochs.iter().enumerate() {
+                if e.as_i64().map_or(true, |v| Epoch(v as u64) > self.snapshot) {
+                    mask[i] = false;
+                }
+            }
+        }
+        for (pos, del_epoch) in self.deletes.iter() {
+            if del_epoch <= self.snapshot {
+                if let Some(m) = mask.get_mut(pos as usize) {
+                    *m = false;
+                }
+            }
+        }
+        if mask.iter().all(|&b| b) {
+            Ok(VisibleSet::All)
+        } else if mask.iter().all(|&b| !b) {
+            Ok(VisibleSet::None)
+        } else {
+            Ok(VisibleSet::Mask(mask))
+        }
+    }
+}
+
+/// Everything a scan needs from one projection at one snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotScan {
+    pub containers: Vec<ScanContainer>,
+    /// Visible WOS rows (projection-shaped, no epoch column).
+    pub wos_rows: Vec<Row>,
+}
+
+impl SnapshotScan {
+    pub fn total_ros_rows(&self) -> u64 {
+        self.containers.iter().map(|c| c.container.row_count).sum()
+    }
+}
+
+/// WOS + ROS + delete vectors for one projection on one node.
+pub struct ProjectionStore {
+    def: ProjectionDef,
+    /// Physical definition: `def` plus the hidden epoch column.
+    physical: ProjectionDef,
+    /// Partition clause, already remapped to projection column indexes.
+    partition: Option<PartitionSpec>,
+    n_local_segments: u32,
+    backend: Arc<dyn StorageBackend>,
+    wos: Wos,
+    containers: BTreeMap<ContainerId, RosContainer>,
+    delete_vectors: BTreeMap<ContainerId, DeleteVector>,
+    next_container: u64,
+}
+
+impl ProjectionStore {
+    pub fn new(
+        def: ProjectionDef,
+        partition: Option<PartitionSpec>,
+        n_local_segments: u32,
+        backend: Arc<dyn StorageBackend>,
+    ) -> ProjectionStore {
+        assert!(n_local_segments >= 1);
+        let mut physical = def.clone();
+        physical.columns.push(usize::MAX); // not a real anchor column
+        physical.column_names.push("__epoch".into());
+        physical.column_types.push(vdb_types::DataType::Integer);
+        physical.encodings.push(EncodingType::Auto);
+        ProjectionStore {
+            def,
+            physical,
+            partition,
+            n_local_segments,
+            backend,
+            wos: Wos::new(),
+            containers: BTreeMap::new(),
+            delete_vectors: BTreeMap::new(),
+            next_container: 1,
+        }
+    }
+
+    pub fn def(&self) -> &ProjectionDef {
+        &self.def
+    }
+
+    pub fn partition_spec(&self) -> Option<&PartitionSpec> {
+        self.partition.as_ref()
+    }
+
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    pub fn wos_row_count(&self) -> usize {
+        self.wos.len()
+    }
+
+    pub fn wos_bytes(&self) -> usize {
+        self.wos.approx_bytes()
+    }
+
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    pub fn containers(&self) -> impl Iterator<Item = &RosContainer> {
+        self.containers.values()
+    }
+
+    /// Total on-backend bytes of this projection's containers.
+    pub fn ros_bytes(&self) -> u64 {
+        self.containers
+            .values()
+            .map(|c| c.total_bytes(self.backend.as_ref()))
+            .sum()
+    }
+
+    /// Local segment of a segmentation-ring value: the ring is cut into
+    /// `n_local_segments` equal ranges so segments transfer wholesale when
+    /// the cluster resizes (§3.6).
+    pub fn local_segment_of(&self, seg_value: Option<u64>) -> u32 {
+        match seg_value {
+            None => 0,
+            Some(v) => ((v as u128 * u128::from(self.n_local_segments)) >> 64) as u32,
+        }
+    }
+
+    fn alloc_container(&mut self) -> ContainerId {
+        let id = ContainerId(self.next_container);
+        self.next_container += 1;
+        id
+    }
+
+    /// Insert projection-shaped rows at `epoch`, buffered in the WOS.
+    pub fn insert_wos(&mut self, rows: Vec<Row>, epoch: Epoch) -> DbResult<()> {
+        for row in rows {
+            self.check_arity(&row)?;
+            self.wos.insert(row, epoch);
+        }
+        Ok(())
+    }
+
+    /// Insert projection-shaped rows at `epoch` directly into new ROS
+    /// containers, bypassing the WOS (the §7 "Direct Loading to the ROS"
+    /// path for bulk loads).
+    pub fn insert_direct_ros(&mut self, rows: Vec<Row>, epoch: Epoch) -> DbResult<Vec<ContainerId>> {
+        for row in &rows {
+            self.check_arity(row)?;
+        }
+        let augmented: Vec<(Row, Epoch, Option<Epoch>)> =
+            rows.into_iter().map(|r| (r, epoch, None)).collect();
+        self.write_containers(augmented, epoch)
+    }
+
+    fn check_arity(&self, row: &Row) -> DbResult<()> {
+        if row.len() != self.def.arity() {
+            return Err(DbError::Execution(format!(
+                "projection {} expects {} columns, row has {}",
+                self.def.name,
+                self.def.arity(),
+                row.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Group rows by (partition key, local segment), sort each group by the
+    /// sort order, append the epoch column and write one container per
+    /// group. Deleted rows carry their delete epochs into the new
+    /// container's delete vector.
+    fn write_containers(
+        &mut self,
+        rows: Vec<(Row, Epoch, Option<Epoch>)>,
+        commit_epoch: Epoch,
+    ) -> DbResult<Vec<ContainerId>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Group key: (partition, local segment).
+        let mut groups: BTreeMap<(Option<Value>, u32), Vec<(Row, Epoch, Option<Epoch>)>> =
+            BTreeMap::new();
+        for (row, e, d) in rows {
+            let pkey = match &self.partition {
+                Some(spec) => Some(spec.key_of(&row)?),
+                None => None,
+            };
+            let seg = self.def.segment_value(&row)?;
+            let lseg = self.local_segment_of(seg);
+            groups.entry((pkey, lseg)).or_default().push((row, e, d));
+        }
+        let mut created = Vec::with_capacity(groups.len());
+        for ((pkey, lseg), mut group) in groups {
+            group.sort_by(|a, b| {
+                vdb_types::schema::compare_rows(&a.0, &b.0, &self.def.sort_keys)
+            });
+            let mut dv = DeleteVector::new();
+            let physical_rows: Vec<Row> = group
+                .iter()
+                .enumerate()
+                .map(|(i, (row, e, d))| {
+                    if let Some(de) = d {
+                        dv.mark(i as u64, *de);
+                    }
+                    let mut pr = row.clone();
+                    pr.push(Value::Integer(e.0 as i64));
+                    pr
+                })
+                .collect();
+            let id = self.alloc_container();
+            let container = RosContainer::write(
+                self.backend.as_ref(),
+                &self.physical,
+                id,
+                &physical_rows,
+                commit_epoch,
+                pkey,
+                lseg,
+            )?;
+            self.containers.insert(id, container);
+            if !dv.is_empty() {
+                self.persist_delete_vector(id, &dv)?;
+            }
+            self.delete_vectors.insert(id, dv);
+            created.push(id);
+        }
+        Ok(created)
+    }
+
+    fn persist_delete_vector(&self, id: ContainerId, dv: &DeleteVector) -> DbResult<()> {
+        self.backend.write_file(
+            &format!("{}/{}/deletes.dv", self.def.name, id),
+            &dv.encode(),
+        )
+    }
+
+    /// Moveout (§4): move WOS rows committed at or before `up_to` into new
+    /// ROS containers. Returns created container ids.
+    pub fn moveout(&mut self, up_to: Epoch) -> DbResult<Vec<ContainerId>> {
+        let moved = self.wos.drain_up_to(up_to);
+        if moved.is_empty() {
+            return Ok(Vec::new());
+        }
+        let max_epoch = moved.iter().map(|(_, e, _)| *e).max().unwrap();
+        self.write_containers(moved, max_epoch)
+    }
+
+    /// Mark a row deleted (§3.7.1). UPDATE = delete + insert at exec level.
+    pub fn mark_deleted(&mut self, loc: RowLocation, epoch: Epoch) -> DbResult<()> {
+        match loc {
+            RowLocation::Wos(pos) => {
+                if pos >= self.wos.len() as u64 {
+                    return Err(DbError::Execution(format!(
+                        "WOS position {pos} out of range"
+                    )));
+                }
+                self.wos.mark_deleted(pos, epoch);
+                Ok(())
+            }
+            RowLocation::Ros(id, pos) => {
+                let container = self
+                    .containers
+                    .get(&id)
+                    .ok_or_else(|| DbError::NotFound(format!("container {id}")))?;
+                if pos >= container.row_count {
+                    return Err(DbError::Execution(format!(
+                        "position {pos} out of range for {id}"
+                    )));
+                }
+                let dv = self.delete_vectors.entry(id).or_default();
+                dv.mark(pos, epoch);
+                let dv = dv.clone();
+                self.persist_delete_vector(id, &dv)
+            }
+        }
+    }
+
+    /// Snapshot of everything a scan needs at `snapshot`.
+    pub fn scan_snapshot(&self, snapshot: Epoch) -> SnapshotScan {
+        let containers = self
+            .containers
+            .values()
+            .map(|c| ScanContainer {
+                container: c.clone(),
+                deletes: self
+                    .delete_vectors
+                    .get(&c.id)
+                    .cloned()
+                    .unwrap_or_default(),
+                snapshot,
+                backend: self.backend.clone(),
+            })
+            .collect();
+        SnapshotScan {
+            containers,
+            wos_rows: self.wos.visible_rows(snapshot),
+        }
+    }
+
+    /// All rows visible at `snapshot` (projection-shaped, epoch column
+    /// stripped), in no particular order. Recovery, refresh and tests use
+    /// this; queries go through the execution engine's scan instead.
+    pub fn visible_rows(&self, snapshot: Epoch) -> DbResult<Vec<Row>> {
+        let scan = self.scan_snapshot(snapshot);
+        let mut out = Vec::new();
+        for sc in &scan.containers {
+            let visible = sc.visible(self.backend.as_ref())?;
+            if matches!(visible, VisibleSet::None) {
+                continue;
+            }
+            let rows = sc.container.read_rows(self.backend.as_ref())?;
+            for (i, mut row) in rows.into_iter().enumerate() {
+                if visible.is_visible(i as u64) {
+                    row.pop(); // strip epoch column
+                    out.push(row);
+                }
+            }
+        }
+        out.extend(scan.wos_rows);
+        Ok(out)
+    }
+
+    /// Visible rows together with their physical locations (DELETE/UPDATE
+    /// targeting).
+    pub fn visible_rows_with_locations(
+        &self,
+        snapshot: Epoch,
+    ) -> DbResult<Vec<(RowLocation, Row)>> {
+        let scan = self.scan_snapshot(snapshot);
+        let mut out = Vec::new();
+        for sc in &scan.containers {
+            let visible = sc.visible(self.backend.as_ref())?;
+            if matches!(visible, VisibleSet::None) {
+                continue;
+            }
+            let rows = sc.container.read_rows(self.backend.as_ref())?;
+            for (i, mut row) in rows.into_iter().enumerate() {
+                if visible.is_visible(i as u64) {
+                    row.pop();
+                    out.push((RowLocation::Ros(sc.container.id, i as u64), row));
+                }
+            }
+        }
+        for (pos, wr, del) in self.wos.all_rows() {
+            let deleted = del.is_some_and(|d| d <= snapshot);
+            if wr.epoch <= snapshot && !deleted {
+                out.push((RowLocation::Wos(pos), wr.row.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Encoded bytes per projection column (data + index files), summed
+    /// across containers — the optimizer's compression-aware I/O input.
+    pub fn column_bytes(&self) -> Vec<u64> {
+        let mut bytes = vec![0u64; self.def.arity()];
+        for c in self.containers.values() {
+            if c.grouped {
+                continue;
+            }
+            for (col, b) in bytes.iter_mut().enumerate() {
+                *b += self
+                    .backend
+                    .file_size(&c.data_path(col))
+                    .unwrap_or(0)
+                    + self.backend.file_size(&c.index_path(col)).unwrap_or(0);
+            }
+        }
+        bytes
+    }
+
+    /// Total visible row count at a snapshot (cheap: container row counts
+    /// minus deletes; WOS visible rows).
+    pub fn row_count_estimate(&self) -> u64 {
+        self.containers
+            .values()
+            .map(|c| c.row_count)
+            .sum::<u64>()
+            + self.wos.len() as u64
+    }
+
+    /// Fast bulk delete of one partition (§3.5): moveout any WOS rows, then
+    /// delete the files of every container with the given partition key.
+    pub fn drop_partition(&mut self, key: &Value, current: Epoch) -> DbResult<usize> {
+        self.moveout(current)?;
+        let victims: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| c.partition_key.as_ref() == Some(key))
+            .map(|c| c.id)
+            .collect();
+        for id in &victims {
+            let c = self.containers.remove(id).unwrap();
+            c.delete_files(self.backend.as_ref())?;
+            self.delete_vectors.remove(id);
+            let _ = self
+                .backend
+                .delete_file(&format!("{}/{}/deletes.dv", self.def.name, id));
+        }
+        Ok(victims.len())
+    }
+
+    /// Remove a container from the catalog and backend (mergeout input
+    /// reclamation).
+    pub(crate) fn remove_container(&mut self, id: ContainerId) -> DbResult<()> {
+        if let Some(c) = self.containers.remove(&id) {
+            c.delete_files(self.backend.as_ref())?;
+            self.delete_vectors.remove(&id);
+            let _ = self
+                .backend
+                .delete_file(&format!("{}/{}/deletes.dv", self.def.name, id));
+        }
+        Ok(())
+    }
+
+    /// Read a container's rows together with per-row `(epoch, delete)`
+    /// history — the mergeout and recovery input.
+    pub(crate) fn container_history(
+        &self,
+        id: ContainerId,
+    ) -> DbResult<Vec<(Row, Epoch, Option<Epoch>)>> {
+        let c = self
+            .containers
+            .get(&id)
+            .ok_or_else(|| DbError::NotFound(format!("container {id}")))?;
+        let dv = self.delete_vectors.get(&id).cloned().unwrap_or_default();
+        let rows = c.read_rows(self.backend.as_ref())?;
+        Ok(rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut row)| {
+                let e = row
+                    .pop()
+                    .and_then(|v| v.as_i64())
+                    .map(|v| Epoch(v as u64))
+                    .unwrap_or(c.commit_epoch);
+                (row, e, dv.delete_epoch(i as u64))
+            })
+            .collect())
+    }
+
+    /// Replace a set of containers with newly-merged history (tuple mover).
+    pub(crate) fn replace_containers(
+        &mut self,
+        victims: &[ContainerId],
+        merged: Vec<(Row, Epoch, Option<Epoch>)>,
+        commit_epoch: Epoch,
+    ) -> DbResult<Vec<ContainerId>> {
+        let created = self.write_containers(merged, commit_epoch)?;
+        for id in victims {
+            self.remove_container(*id)?;
+        }
+        Ok(created)
+    }
+
+    pub(crate) fn delete_vector_of(&self, id: ContainerId) -> DeleteVector {
+        self.delete_vectors.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Truncate all effects after `epoch`: recovery's first step ("the node
+    /// truncates all tuples that were inserted after its LGE", §5.2). Rows
+    /// committed after `epoch` disappear; delete marks stamped after
+    /// `epoch` are undone.
+    pub fn truncate_after(&mut self, epoch: Epoch) -> DbResult<()> {
+        // WOS: drop rows after epoch, undo later deletes.
+        let kept = self.wos.drain_up_to(Epoch(u64::MAX));
+        let mut new_wos = Wos::new();
+        for (row, e, d) in kept {
+            if e <= epoch {
+                let pos = new_wos.insert(row, e);
+                if let Some(de) = d {
+                    if de <= epoch {
+                        new_wos.mark_deleted(pos, de);
+                    }
+                }
+            }
+        }
+        self.wos = new_wos;
+        // ROS: rewrite containers that contain post-epoch rows or deletes.
+        let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+        for id in ids {
+            let hist = self.container_history(id)?;
+            let needs_rewrite = hist
+                .iter()
+                .any(|(_, e, d)| *e > epoch || d.is_some_and(|de| de > epoch));
+            if !needs_rewrite {
+                continue;
+            }
+            let filtered: Vec<(Row, Epoch, Option<Epoch>)> = hist
+                .into_iter()
+                .filter(|(_, e, _)| *e <= epoch)
+                .map(|(r, e, d)| (r, e, d.filter(|de| *de <= epoch)))
+                .collect();
+            self.remove_container(id)?;
+            if !filtered.is_empty() {
+                self.write_containers(filtered, epoch)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Complete history of the projection (for recovery copy): every row
+    /// with commit epoch in `(from, to]`, including deleted rows and their
+    /// delete epochs — "an execution plan similar to INSERT...SELECT is
+    /// used to move rows (including deleted rows)" (§5.2).
+    pub fn history_between(
+        &self,
+        from: Epoch,
+        to: Epoch,
+    ) -> DbResult<Vec<(Row, Epoch, Option<Epoch>)>> {
+        let mut out = Vec::new();
+        let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+        for id in ids {
+            for (row, e, d) in self.container_history(id)? {
+                if e > from && e <= to {
+                    out.push((row, e, d.filter(|de| *de <= to)));
+                }
+            }
+        }
+        for (_, wr, d) in self.wos.all_rows() {
+            if wr.epoch > from && wr.epoch <= to {
+                out.push((wr.row.clone(), wr.epoch, d.filter(|de| *de <= to)));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deletes that hit *old* rows during an interval: rows committed at or
+    /// before `from` whose delete epoch lies in `(from, to]`. Recovery must
+    /// replay these separately — `history_between` only carries rows whose
+    /// *commit* falls in the window.
+    pub fn late_deletes_between(
+        &self,
+        from: Epoch,
+        to: Epoch,
+    ) -> DbResult<Vec<(Row, Epoch, Epoch)>> {
+        let mut out = Vec::new();
+        let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+        for id in ids {
+            for (row, e, d) in self.container_history(id)? {
+                if let Some(de) = d {
+                    if e <= from && de > from && de <= to {
+                        out.push((row, e, de));
+                    }
+                }
+            }
+        }
+        for (_, wr, d) in self.wos.all_rows() {
+            if let Some(de) = d {
+                if wr.epoch <= from && de > from && de <= to {
+                    out.push((wr.row.clone(), wr.epoch, de));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Replay late deletes gathered from a buddy: find each (row, commit
+    /// epoch) pair without a delete mark and mark it. Returns marks applied.
+    pub fn apply_late_deletes(
+        &mut self,
+        items: &[(Row, Epoch, Epoch)],
+    ) -> DbResult<u64> {
+        let mut applied = 0;
+        for (row, commit, delete) in items {
+            let mut target: Option<RowLocation> = None;
+            let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+            'search: for id in ids {
+                for (i, (r, e, d)) in self.container_history(id)?.into_iter().enumerate() {
+                    if d.is_none() && &r == row && &e == commit {
+                        target = Some(RowLocation::Ros(id, i as u64));
+                        break 'search;
+                    }
+                }
+            }
+            if target.is_none() {
+                for (pos, wr, d) in self.wos.all_rows() {
+                    if d.is_none() && &wr.row == row && &wr.epoch == commit {
+                        target = Some(RowLocation::Wos(pos));
+                        break;
+                    }
+                }
+            }
+            if let Some(loc) = target {
+                self.mark_deleted(loc, *delete)?;
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Drop all WOS contents (simulated node crash: "data that exists only
+    /// in the WOS is lost in the event of a node failure", §5.1).
+    pub fn lose_wos(&mut self) {
+        self.wos = Wos::new();
+    }
+
+    /// Apply copied history (recovery's historical/current phases).
+    pub fn apply_history(&mut self, rows: Vec<(Row, Epoch, Option<Epoch>)>) -> DbResult<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let max_epoch = rows.iter().map(|(_, e, _)| *e).max().unwrap();
+        self.write_containers(rows, max_epoch)?;
+        Ok(())
+    }
+
+    /// Last Good Epoch (§5.1): everything at or below this epoch is safely
+    /// in ROS containers on disk. Data only in the WOS would be lost on
+    /// failure.
+    pub fn last_good_epoch(&self, current: Epoch) -> Epoch {
+        match self.wos.min_epoch() {
+            Some(e) => e.prev(),
+            None => current,
+        }
+    }
+
+    /// Hard-link every file of this projection under `backup/<tag>/`
+    /// (§5.2's backup mechanism). Returns the number of files linked.
+    pub fn backup(&self, tag: &str) -> DbResult<usize> {
+        let files = self.backend.list_files(&format!("{}/", self.def.name));
+        for f in &files {
+            self.backend.hard_link(f, &format!("backup/{tag}/{f}"))?;
+        }
+        Ok(files.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use vdb_types::{ColumnDef, DataType, TableSchema};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "sales",
+            vec![
+                ColumnDef::new("id", DataType::Integer),
+                ColumnDef::new("amt", DataType::Integer),
+            ],
+        )
+    }
+
+    fn store() -> ProjectionStore {
+        let def = ProjectionDef::super_projection(&schema(), "sales_super", &[0], &[0]);
+        ProjectionStore::new(def, None, 3, Arc::new(MemBackend::new()))
+    }
+
+    fn row(id: i64, amt: i64) -> Row {
+        vec![Value::Integer(id), Value::Integer(amt)]
+    }
+
+    #[test]
+    fn wos_insert_then_moveout() {
+        let mut s = store();
+        s.insert_wos(vec![row(1, 10), row(2, 20)], Epoch(1)).unwrap();
+        s.insert_wos(vec![row(3, 30)], Epoch(2)).unwrap();
+        assert_eq!(s.wos_row_count(), 3);
+        assert_eq!(s.container_count(), 0);
+        let created = s.moveout(Epoch(2)).unwrap();
+        assert!(!created.is_empty());
+        assert_eq!(s.wos_row_count(), 0);
+        let mut rows = s.visible_rows(Epoch(2)).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row(1, 10), row(2, 20), row(3, 30)]);
+    }
+
+    #[test]
+    fn snapshot_isolation_across_epochs() {
+        let mut s = store();
+        s.insert_wos(vec![row(1, 10)], Epoch(1)).unwrap();
+        s.moveout(Epoch(1)).unwrap();
+        s.insert_wos(vec![row(2, 20)], Epoch(2)).unwrap();
+        s.moveout(Epoch(2)).unwrap();
+        assert_eq!(s.visible_rows(Epoch(1)).unwrap(), vec![row(1, 10)]);
+        assert_eq!(s.visible_rows(Epoch(2)).unwrap().len(), 2);
+        assert_eq!(s.visible_rows(Epoch(0)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn mixed_epoch_container_visibility() {
+        // Moveout bundles epochs 1..3 into one container; per-row epoch
+        // column must keep historical snapshots exact.
+        let mut s = store();
+        s.insert_wos(vec![row(1, 1)], Epoch(1)).unwrap();
+        s.insert_wos(vec![row(2, 2)], Epoch(2)).unwrap();
+        s.insert_wos(vec![row(3, 3)], Epoch(3)).unwrap();
+        s.moveout(Epoch(3)).unwrap();
+        assert_eq!(s.visible_rows(Epoch(2)).unwrap().len(), 2);
+        assert_eq!(s.visible_rows(Epoch(3)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn direct_ros_load() {
+        let mut s = store();
+        let rows: Vec<Row> = (0..100).map(|i| row(i, i * 2)).collect();
+        let created = s.insert_direct_ros(rows.clone(), Epoch(1)).unwrap();
+        assert!(!created.is_empty());
+        assert_eq!(s.wos_row_count(), 0);
+        let mut got = s.visible_rows(Epoch(1)).unwrap();
+        got.sort();
+        assert_eq!(got, rows);
+    }
+
+    /// Unsegmented single-local-segment store: one container per load, rows
+    /// in sort order (position semantics are deterministic).
+    fn flat_store() -> ProjectionStore {
+        let def = ProjectionDef::super_projection(&schema(), "sales_flat", &[0], &[]);
+        ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()))
+    }
+
+    #[test]
+    fn deletes_and_historical_reads() {
+        let mut s = flat_store();
+        s.insert_direct_ros(vec![row(1, 10), row(2, 20)], Epoch(1))
+            .unwrap();
+        let id = s.containers().next().unwrap().id;
+        // Row order inside the container is sorted by id: position 0 = id 1.
+        s.mark_deleted(RowLocation::Ros(id, 0), Epoch(3)).unwrap();
+        assert_eq!(s.visible_rows(Epoch(2)).unwrap().len(), 2);
+        assert_eq!(s.visible_rows(Epoch(3)).unwrap(), vec![row(2, 20)]);
+    }
+
+    #[test]
+    fn wos_deletes_survive_moveout() {
+        let mut s = store();
+        s.insert_wos(vec![row(1, 10), row(2, 20)], Epoch(1)).unwrap();
+        s.mark_deleted(RowLocation::Wos(0), Epoch(2)).unwrap();
+        s.moveout(Epoch(2)).unwrap();
+        assert_eq!(s.visible_rows(Epoch(1)).unwrap().len(), 2);
+        assert_eq!(s.visible_rows(Epoch(2)).unwrap(), vec![row(2, 20)]);
+    }
+
+    #[test]
+    fn partitioned_containers_per_key() {
+        let def = ProjectionDef::super_projection(&schema(), "p", &[0], &[0]);
+        let spec = PartitionSpec::new(vdb_types::Expr::binary(
+            vdb_types::BinOp::Mod,
+            vdb_types::Expr::col(0, "id"),
+            vdb_types::Expr::int(2),
+        ));
+        let mut s = ProjectionStore::new(def, Some(spec), 1, Arc::new(MemBackend::new()));
+        s.insert_direct_ros((0..10).map(|i| row(i, i)).collect(), Epoch(1))
+            .unwrap();
+        // Two partitions (even/odd), one local segment each.
+        assert_eq!(s.container_count(), 2);
+        let keys: Vec<Option<Value>> = s
+            .containers()
+            .map(|c| c.partition_key.clone())
+            .collect();
+        assert!(keys.contains(&Some(Value::Integer(0))));
+        assert!(keys.contains(&Some(Value::Integer(1))));
+    }
+
+    #[test]
+    fn drop_partition_is_file_deletion() {
+        let def = ProjectionDef::super_projection(&schema(), "p", &[0], &[0]);
+        let spec = PartitionSpec::new(vdb_types::Expr::binary(
+            vdb_types::BinOp::Mod,
+            vdb_types::Expr::col(0, "id"),
+            vdb_types::Expr::int(2),
+        ));
+        let mut s = ProjectionStore::new(def, Some(spec), 1, Arc::new(MemBackend::new()));
+        s.insert_direct_ros((0..10).map(|i| row(i, i)).collect(), Epoch(1))
+            .unwrap();
+        let dropped = s.drop_partition(&Value::Integer(0), Epoch(1)).unwrap();
+        assert_eq!(dropped, 1);
+        let rows = s.visible_rows(Epoch(1)).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r[0].as_i64().unwrap() % 2 == 1));
+    }
+
+    #[test]
+    fn local_segments_split_direct_loads() {
+        let mut s = store(); // 3 local segments, segmented by HASH(id)
+        s.insert_direct_ros((0..300).map(|i| row(i, i)).collect(), Epoch(1))
+            .unwrap();
+        let segs: std::collections::BTreeSet<u32> =
+            s.containers().map(|c| c.local_segment).collect();
+        assert!(segs.len() > 1, "hash range should hit several local segments");
+        assert_eq!(s.visible_rows(Epoch(1)).unwrap().len(), 300);
+    }
+
+    #[test]
+    fn truncate_after_restores_consistent_state() {
+        let mut s = store();
+        s.insert_direct_ros(vec![row(1, 1)], Epoch(1)).unwrap();
+        s.insert_direct_ros(vec![row(2, 2)], Epoch(3)).unwrap();
+        let id = s.containers().next().unwrap().id;
+        s.mark_deleted(RowLocation::Ros(id, 0), Epoch(4)).unwrap();
+        s.insert_wos(vec![row(9, 9)], Epoch(5)).unwrap();
+        s.truncate_after(Epoch(2)).unwrap();
+        // Epoch-3 insert, epoch-4 delete and epoch-5 WOS row all gone.
+        assert_eq!(s.visible_rows(Epoch(10)).unwrap(), vec![row(1, 1)]);
+        assert_eq!(s.wos_row_count(), 0);
+    }
+
+    #[test]
+    fn history_between_and_apply() {
+        let mut s = store();
+        s.insert_direct_ros(vec![row(1, 1)], Epoch(1)).unwrap();
+        s.insert_direct_ros(vec![row(2, 2)], Epoch(2)).unwrap();
+        s.insert_wos(vec![row(3, 3)], Epoch(3)).unwrap();
+        let hist = s.history_between(Epoch(1), Epoch(3)).unwrap();
+        assert_eq!(hist.len(), 2, "rows committed in (1,3]");
+        let mut other = store();
+        other.insert_direct_ros(vec![row(1, 1)], Epoch(1)).unwrap();
+        other.apply_history(hist).unwrap();
+        let mut rows = other.visible_rows(Epoch(3)).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row(1, 1), row(2, 2), row(3, 3)]);
+    }
+
+    #[test]
+    fn last_good_epoch_tracks_wos() {
+        let mut s = store();
+        assert_eq!(s.last_good_epoch(Epoch(5)), Epoch(5));
+        s.insert_wos(vec![row(1, 1)], Epoch(3)).unwrap();
+        assert_eq!(s.last_good_epoch(Epoch(5)), Epoch(2));
+        s.moveout(Epoch(5)).unwrap();
+        assert_eq!(s.last_good_epoch(Epoch(5)), Epoch(5));
+    }
+
+    #[test]
+    fn backup_hard_links_files() {
+        let mut s = store();
+        s.insert_direct_ros(vec![row(1, 1)], Epoch(1)).unwrap();
+        let n = s.backup("snap1").unwrap();
+        assert!(n > 0);
+        let backend = s.backend().clone();
+        assert!(!backend.list_files("backup/snap1/").is_empty());
+    }
+
+    #[test]
+    fn scan_container_visibility_fast_paths() {
+        let mut s = store();
+        s.insert_direct_ros(vec![row(1, 1), row(2, 2)], Epoch(1)).unwrap();
+        let scan = s.scan_snapshot(Epoch(1));
+        let sc = &scan.containers[0];
+        assert_eq!(sc.visible(s.backend().as_ref()).unwrap(), VisibleSet::All);
+        let older = s.scan_snapshot(Epoch(0));
+        assert_eq!(
+            older.containers[0].visible(s.backend().as_ref()).unwrap(),
+            VisibleSet::None
+        );
+    }
+}

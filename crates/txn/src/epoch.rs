@@ -1,0 +1,167 @@
+//! Epoch management (§5.1).
+//!
+//! "Vertica automatically advances the epoch as part of commit when the
+//! committing transaction includes DML" — so each DML commit gets its own
+//! epoch and becomes immediately visible to READ COMMITTED queries, which
+//! target the *latest epoch* (current − 1).
+//!
+//! Two tracked marks: the **Last Good Epoch** (per projection, owned by the
+//! storage layer) and the **Ancient History Mark** — history before the AHM
+//! may be purged by the tuple mover. The AHM advances by a user policy
+//! (here: keep the most recent `history_retention` epochs) and "normally
+//! does not advance when nodes are down", which the cluster layer enforces
+//! by calling [`EpochManager::freeze_ahm`].
+
+use parking_lot::Mutex;
+use vdb_types::{DbResult, Epoch};
+
+#[derive(Debug)]
+struct EpochState {
+    current: Epoch,
+    ahm: Epoch,
+    ahm_frozen: bool,
+}
+
+/// Cluster-wide logical clock. All nodes agree on commit epochs (the
+/// cluster layer broadcasts commits; within this single-process simulation
+/// the manager itself is shared).
+#[derive(Debug)]
+pub struct EpochManager {
+    state: Mutex<EpochState>,
+    /// AHM policy: number of epochs of history to retain.
+    history_retention: u64,
+}
+
+impl Default for EpochManager {
+    fn default() -> EpochManager {
+        EpochManager::new(u64::MAX)
+    }
+}
+
+impl EpochManager {
+    /// `history_retention`: how many epochs of history the AHM policy
+    /// preserves (`u64::MAX` = keep everything).
+    pub fn new(history_retention: u64) -> EpochManager {
+        EpochManager {
+            state: Mutex::new(EpochState {
+                current: Epoch(1),
+                ahm: Epoch::ZERO,
+                ahm_frozen: false,
+            }),
+            history_retention,
+        }
+    }
+
+    /// The epoch an in-flight DML commit will stamp.
+    pub fn current(&self) -> Epoch {
+        self.state.lock().current
+    }
+
+    /// READ COMMITTED snapshot: "each query targets the latest epoch (the
+    /// current epoch − 1)".
+    pub fn read_committed_snapshot(&self) -> Epoch {
+        self.state.lock().current.prev()
+    }
+
+    /// Commit a DML transaction: returns the commit epoch and advances the
+    /// current epoch (automatic epoch advancement, §5.1). The AHM advances
+    /// per policy unless frozen.
+    pub fn commit_dml(&self) -> Epoch {
+        let mut s = self.state.lock();
+        let commit = s.current;
+        s.current = s.current.next();
+        if !s.ahm_frozen {
+            let target = s.current.0.saturating_sub(self.history_retention);
+            if target > s.ahm.0 {
+                s.ahm = Epoch(target);
+            }
+        }
+        commit
+    }
+
+    /// Ancient History Mark: history at or before this epoch may be purged.
+    pub fn ahm(&self) -> Epoch {
+        self.state.lock().ahm
+    }
+
+    /// Freeze the AHM (nodes are down: preserve history for incremental
+    /// recovery, §5.1) or unfreeze it.
+    pub fn freeze_ahm(&self, frozen: bool) {
+        self.state.lock().ahm_frozen = frozen;
+    }
+
+    /// Manually advance the AHM (administrative override). Fails if it
+    /// would move backwards or past the last committed epoch.
+    pub fn advance_ahm_to(&self, to: Epoch) -> DbResult<()> {
+        let mut s = self.state.lock();
+        if to < s.ahm {
+            return Err(vdb_types::DbError::Txn(format!(
+                "AHM cannot move backwards ({} -> {to})",
+                s.ahm
+            )));
+        }
+        if to >= s.current {
+            return Err(vdb_types::DbError::Txn(format!(
+                "AHM {to} cannot reach the current epoch {}",
+                s.current
+            )));
+        }
+        s.ahm = to;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_advances_epoch() {
+        let em = EpochManager::default();
+        assert_eq!(em.current(), Epoch(1));
+        assert_eq!(em.read_committed_snapshot(), Epoch(0));
+        let e1 = em.commit_dml();
+        assert_eq!(e1, Epoch(1));
+        assert_eq!(em.current(), Epoch(2));
+        // The committed epoch is immediately visible to READ COMMITTED.
+        assert_eq!(em.read_committed_snapshot(), e1);
+    }
+
+    #[test]
+    fn ahm_follows_retention_policy() {
+        let em = EpochManager::new(3);
+        for _ in 0..10 {
+            em.commit_dml();
+        }
+        // current = 11; retain 3 → AHM = 8.
+        assert_eq!(em.current(), Epoch(11));
+        assert_eq!(em.ahm(), Epoch(8));
+    }
+
+    #[test]
+    fn frozen_ahm_does_not_advance() {
+        let em = EpochManager::new(1);
+        em.commit_dml();
+        let before = em.ahm();
+        em.freeze_ahm(true);
+        for _ in 0..5 {
+            em.commit_dml();
+        }
+        assert_eq!(em.ahm(), before, "AHM frozen while nodes down");
+        em.freeze_ahm(false);
+        em.commit_dml();
+        assert!(em.ahm() > before);
+    }
+
+    #[test]
+    fn manual_ahm_bounds() {
+        let em = EpochManager::default();
+        for _ in 0..5 {
+            em.commit_dml();
+        }
+        em.advance_ahm_to(Epoch(3)).unwrap();
+        assert_eq!(em.ahm(), Epoch(3));
+        assert!(em.advance_ahm_to(Epoch(2)).is_err(), "backwards");
+        assert!(em.advance_ahm_to(Epoch(99)).is_err(), "past current");
+    }
+}

@@ -1,0 +1,19 @@
+//! `vdb-txn` — transactions: epoch-based MVCC and the analytic-workload
+//! lock model (§5 of the paper).
+//!
+//! Queries never lock: they read a consistent snapshot identified by an
+//! epoch ([`epoch::EpochManager`]). DML takes table locks from the 7-mode
+//! model of Tables 1 and 2 ([`locks`]) — notably the `I` (Insert) mode is
+//! self-compatible so parallel bulk loads proceed concurrently, "critical
+//! to maintain high ingest rates". [`txn::Transaction`] tracks a
+//! transaction's locks and buffered effects; commit stamping and
+//! application to storage are orchestrated by `vdb-core` (single node) and
+//! `vdb-cluster` (quorum commit without two-phase commit).
+
+pub mod epoch;
+pub mod locks;
+pub mod txn;
+
+pub use epoch::EpochManager;
+pub use locks::{LockManager, LockMode};
+pub use txn::{Transaction, TransactionManager, TxnState};

@@ -1,0 +1,178 @@
+//! Proleptic-Gregorian calendar arithmetic for `Timestamp` values.
+//!
+//! `PARTITION BY` expressions are "most often date related such as
+//! extracting the month and year from a timestamp" (§3.5), so the expression
+//! language needs EXTRACT. We implement the civil-date conversions from
+//! first principles (days-from-epoch algorithm, Hinnant-style) instead of
+//! pulling in a chrono dependency.
+
+/// Days from 1970-01-01 for a civil date. Valid for the full i32 year range.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    debug_assert!((1..=12).contains(&m));
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m + 9) % 12; // March=0 .. February=11
+    let doy = (153 * mp as i64 + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date (year, month, day) from days since 1970-01-01.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Build a timestamp (seconds since Unix epoch) from civil components.
+pub fn timestamp_from_civil(y: i64, mo: u32, d: u32, h: u32, mi: u32, s: u32) -> i64 {
+    days_from_civil(y, mo, d) * 86_400 + i64::from(h) * 3600 + i64::from(mi) * 60 + i64::from(s)
+}
+
+/// Decompose a timestamp into `(year, month, day, hour, minute, second)`.
+pub fn to_civil(ts: i64) -> (i64, u32, u32, u32, u32, u32) {
+    let days = ts.div_euclid(86_400);
+    let secs = ts.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    (
+        y,
+        m,
+        d,
+        (secs / 3600) as u32,
+        (secs % 3600 / 60) as u32,
+        (secs % 60) as u32,
+    )
+}
+
+/// EXTRACT(YEAR FROM ts)
+pub fn year(ts: i64) -> i64 {
+    to_civil(ts).0
+}
+
+/// EXTRACT(MONTH FROM ts)
+pub fn month(ts: i64) -> i64 {
+    i64::from(to_civil(ts).1)
+}
+
+/// EXTRACT(DAY FROM ts)
+pub fn day(ts: i64) -> i64 {
+    i64::from(to_civil(ts).2)
+}
+
+/// The combined `year*100 + month` key commonly used for `PARTITION BY
+/// EXTRACT MONTH, YEAR FROM TIMESTAMP` (Figure 2 uses keys like 3/2012).
+pub fn year_month(ts: i64) -> i64 {
+    let (y, m, _, _, _, _) = to_civil(ts);
+    y * 100 + i64::from(m)
+}
+
+/// Parse `YYYY-MM-DD` or `YYYY-MM-DD hh:mm:ss` into epoch seconds.
+pub fn parse_timestamp(text: &str) -> Option<i64> {
+    let text = text.trim();
+    let (date_part, time_part) = match text.split_once(|c| c == ' ' || c == 'T') {
+        Some((d, t)) => (d, Some(t)),
+        None => (text, None),
+    };
+    let mut it = date_part.split('-');
+    let y: i64 = it.next()?.parse().ok()?;
+    let mo: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&mo) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let (h, mi, s) = match time_part {
+        None => (0, 0, 0),
+        Some(t) => {
+            let mut it = t.split(':');
+            let h: u32 = it.next()?.parse().ok()?;
+            let mi: u32 = it.next()?.parse().ok()?;
+            let s: u32 = it.next().map_or(Some(0), |s| s.parse().ok())?;
+            if h > 23 || mi > 59 || s > 60 {
+                return None;
+            }
+            (h, mi, s)
+        }
+    };
+    Some(timestamp_from_civil(y, mo, d, h, mi, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn round_trip_many_days() {
+        // Every ~13 days across 160 years exercises all month/era branches.
+        let mut d = days_from_civil(1900, 1, 1);
+        let end = days_from_civil(2060, 1, 1);
+        while d < end {
+            let (y, m, dd) = civil_from_days(d);
+            assert_eq!(days_from_civil(y, m, dd), d);
+            d += 13;
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(civil_from_days(days_from_civil(2012, 2, 29)), (2012, 2, 29));
+        assert_eq!(
+            civil_from_days(days_from_civil(2012, 2, 29) + 1),
+            (2012, 3, 1)
+        );
+        // 1900 is not a leap year, 2000 is.
+        assert_eq!(
+            civil_from_days(days_from_civil(1900, 2, 28) + 1),
+            (1900, 3, 1)
+        );
+        assert_eq!(
+            civil_from_days(days_from_civil(2000, 2, 28) + 1),
+            (2000, 2, 29)
+        );
+    }
+
+    #[test]
+    fn extract_functions() {
+        let ts = timestamp_from_civil(2012, 6, 15, 13, 30, 45);
+        assert_eq!(year(ts), 2012);
+        assert_eq!(month(ts), 6);
+        assert_eq!(day(ts), 15);
+        assert_eq!(year_month(ts), 201_206);
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(
+            parse_timestamp("2012-03-01"),
+            Some(timestamp_from_civil(2012, 3, 1, 0, 0, 0))
+        );
+        assert_eq!(
+            parse_timestamp("2012-03-01 10:20:30"),
+            Some(timestamp_from_civil(2012, 3, 1, 10, 20, 30))
+        );
+        assert_eq!(parse_timestamp("2012-13-01"), None);
+        assert_eq!(parse_timestamp("nonsense"), None);
+    }
+
+    #[test]
+    fn negative_timestamps() {
+        let ts = timestamp_from_civil(1960, 7, 4, 0, 0, 0);
+        assert!(ts < 0);
+        assert_eq!(year(ts), 1960);
+        assert_eq!(month(ts), 7);
+        assert_eq!(day(ts), 4);
+    }
+}

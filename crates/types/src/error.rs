@@ -1,0 +1,118 @@
+//! Unified error type for the whole database.
+
+use std::fmt;
+
+/// Convenience result alias used across all `vdb-*` crates.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors surfaced by any layer of the database.
+///
+/// A single error enum (rather than per-crate errors) keeps the public facade
+/// simple: everything a user sees out of `vdb_core::Database` is a `DbError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// Valid SQL that references unknown tables/columns or is semantically
+    /// invalid (binder errors).
+    Binder(String),
+    /// The optimizer could not produce a plan (e.g. no live projection covers
+    /// the query after node failures).
+    Plan(String),
+    /// Runtime execution failure.
+    Execution(String),
+    /// A catalog object (table, projection, node) was not found.
+    NotFound(String),
+    /// A catalog object already exists.
+    AlreadyExists(String),
+    /// Type mismatch during expression evaluation or load.
+    TypeMismatch { expected: String, found: String },
+    /// On-disk or in-memory serialized data failed to decode.
+    Corrupt(String),
+    /// Lock request could not be granted (conflict with a held mode).
+    LockConflict { table: String, requested: String, held: String },
+    /// The cluster lost quorum or the operation would violate K-safety.
+    Cluster(String),
+    /// Transaction-level error (e.g. commit of an aborted transaction).
+    Txn(String),
+    /// Underlying I/O error (message-only so the error stays `Clone + Eq`).
+    Io(String),
+    /// Constraint violation such as loading a row that fails the schema.
+    Constraint(String),
+}
+
+impl DbError {
+    /// Helper for I/O conversions that keeps call sites terse.
+    pub fn io(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Binder(m) => write!(f, "binder error: {m}"),
+            DbError::Plan(m) => write!(f, "planning error: {m}"),
+            DbError::Execution(m) => write!(f, "execution error: {m}"),
+            DbError::NotFound(m) => write!(f, "not found: {m}"),
+            DbError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            DbError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            DbError::LockConflict { table, requested, held } => write!(
+                f,
+                "lock conflict on table {table}: requested {requested}, held {held}"
+            ),
+            DbError::Cluster(m) => write!(f, "cluster error: {m}"),
+            DbError::Txn(m) => write!(f, "transaction error: {m}"),
+            DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = DbError::LockConflict {
+            table: "sales".into(),
+            requested: "X".into(),
+            held: "I".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "lock conflict on table sales: requested X, held I"
+        );
+        assert_eq!(
+            DbError::Parse("unexpected token".into()).to_string(),
+            "parse error: unexpected token"
+        );
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DbError = io.into();
+        assert!(matches!(e, DbError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(DbError::Parse("x".into()), DbError::Parse("x".into()));
+        assert_ne!(DbError::Parse("x".into()), DbError::Binder("x".into()));
+    }
+}

@@ -1,0 +1,882 @@
+//! Bound scalar expressions.
+//!
+//! These are *bound* expressions: column references are positional indexes
+//! into an input row or batch. The SQL layer (`vdb-sql`) resolves names to
+//! indexes; storage uses bound expressions for `PARTITION BY` and
+//! `SEGMENTED BY` clauses so that partition/segment evaluation never needs a
+//! catalog.
+//!
+//! Comparison operators implement SQL three-valued logic: any comparison
+//! with NULL yields NULL, `AND`/`OR` follow Kleene logic, and `IS NULL` is
+//! the only NULL-tolerant predicate.
+
+use crate::date;
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// For transitive-predicate derivation: `a op b` with `a = c` implies
+    /// `c op b` for any comparison op.
+    pub fn sql_symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Func {
+    /// `HASH(args...)` — the segmentation hash of §3.6.
+    Hash,
+    /// `EXTRACT(YEAR FROM ts)`
+    ExtractYear,
+    /// `EXTRACT(MONTH FROM ts)`
+    ExtractMonth,
+    /// `EXTRACT(DAY FROM ts)`
+    ExtractDay,
+    /// `year*100+month`, the canonical month/year partition key (§3.5).
+    YearMonth,
+    Abs,
+    /// String length.
+    Length,
+    Lower,
+    Upper,
+    /// Smallest of the arguments (NULL-propagating).
+    Least,
+    Greatest,
+}
+
+impl Func {
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Hash => "HASH",
+            Func::ExtractYear => "YEAR",
+            Func::ExtractMonth => "MONTH",
+            Func::ExtractDay => "DAY",
+            Func::YearMonth => "YEAR_MONTH",
+            Func::Abs => "ABS",
+            Func::Length => "LENGTH",
+            Func::Lower => "LOWER",
+            Func::Upper => "UPPER",
+            Func::Least => "LEAST",
+            Func::Greatest => "GREATEST",
+        }
+    }
+
+    pub fn parse(name: &str) -> Option<Func> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "HASH" => Func::Hash,
+            "YEAR" => Func::ExtractYear,
+            "MONTH" => Func::ExtractMonth,
+            "DAY" => Func::ExtractDay,
+            "YEAR_MONTH" => Func::YearMonth,
+            "ABS" => Func::Abs,
+            "LENGTH" => Func::Length,
+            "LOWER" => Func::Lower,
+            "UPPER" => Func::Upper,
+            "LEAST" => Func::Least,
+            "GREATEST" => Func::Greatest,
+            _ => return None,
+        })
+    }
+}
+
+/// A bound scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Positional reference into the input row, with a display name carried
+    /// along for EXPLAIN output.
+    Column { index: usize, name: String },
+    Literal(Value),
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        input: Box<Expr>,
+    },
+    Call {
+        func: Func,
+        args: Vec<Expr>,
+    },
+    IsNull {
+        input: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)` with literal list.
+    InList {
+        input: Box<Expr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    /// `expr BETWEEN low AND high` (inclusive).
+    Between {
+        input: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
+    /// `CASE WHEN c1 THEN v1 ... ELSE e END`
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        otherwise: Option<Box<Expr>>,
+    },
+    Cast {
+        input: Box<Expr>,
+        to: DataType,
+    },
+}
+
+impl Expr {
+    pub fn col(index: usize, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            index,
+            name: name.into(),
+        }
+    }
+
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Integer(v))
+    }
+
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, left, right)
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::And, left, right)
+    }
+
+    pub fn call(func: Func, args: Vec<Expr>) -> Expr {
+        Expr::Call { func, args }
+    }
+
+    /// Conjoin a list of predicates (`None` for an empty list).
+    pub fn conjunction(mut preds: Vec<Expr>) -> Option<Expr> {
+        let first = if preds.is_empty() {
+            return None;
+        } else {
+            preds.remove(0)
+        };
+        Some(preds.into_iter().fold(first, Expr::and))
+    }
+
+    /// Split a predicate into its top-level AND conjuncts.
+    pub fn split_conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut out = left.split_conjuncts();
+                out.extend(right.split_conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// All column indexes referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit_columns(&mut |i| out.push(i));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    pub fn visit_columns(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            Expr::Column { index, .. } => f(*index),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Unary { input, .. } | Expr::IsNull { input, .. } | Expr::Cast { input, .. } => {
+                input.visit_columns(f)
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.visit_columns(f);
+                }
+            }
+            Expr::InList { input, .. } => input.visit_columns(f),
+            Expr::Between { input, low, high } => {
+                input.visit_columns(f);
+                low.visit_columns(f);
+                high.visit_columns(f);
+            }
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
+                for (c, v) in branches {
+                    c.visit_columns(f);
+                    v.visit_columns(f);
+                }
+                if let Some(e) = otherwise {
+                    e.visit_columns(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrite column indexes through a mapping (used when pushing
+    /// expressions through projections whose column order differs from the
+    /// anchor table). Returns `None` if a referenced column is not mapped.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> Option<usize>) -> Option<Expr> {
+        Some(match self {
+            Expr::Column { index, name } => Expr::Column {
+                index: map(*index)?,
+                name: name.clone(),
+            },
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.remap_columns(map)?),
+                right: Box::new(right.remap_columns(map)?),
+            },
+            Expr::Unary { op, input } => Expr::Unary {
+                op: *op,
+                input: Box::new(input.remap_columns(map)?),
+            },
+            Expr::Call { func, args } => Expr::Call {
+                func: *func,
+                args: args
+                    .iter()
+                    .map(|a| a.remap_columns(map))
+                    .collect::<Option<Vec<_>>>()?,
+            },
+            Expr::IsNull { input, negated } => Expr::IsNull {
+                input: Box::new(input.remap_columns(map)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                input,
+                list,
+                negated,
+            } => Expr::InList {
+                input: Box::new(input.remap_columns(map)?),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::Between { input, low, high } => Expr::Between {
+                input: Box::new(input.remap_columns(map)?),
+                low: Box::new(low.remap_columns(map)?),
+                high: Box::new(high.remap_columns(map)?),
+            },
+            Expr::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| Some((c.remap_columns(map)?, v.remap_columns(map)?)))
+                    .collect::<Option<Vec<_>>>()?,
+                otherwise: match otherwise {
+                    Some(e) => Some(Box::new(e.remap_columns(map)?)),
+                    None => None,
+                },
+            },
+            Expr::Cast { input, to } => Expr::Cast {
+                input: Box::new(input.remap_columns(map)?),
+                to: *to,
+            },
+        })
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Value]) -> DbResult<Value> {
+        match self {
+            Expr::Column { index, name } => row.get(*index).cloned().ok_or_else(|| {
+                DbError::Execution(format!(
+                    "column {name} (index {index}) out of bounds for row of arity {}",
+                    row.len()
+                ))
+            }),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { op, left, right } => {
+                // Short-circuit Kleene logic for AND/OR.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    return eval_logic(*op, left, right, row);
+                }
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                eval_binary(*op, &l, &r)
+            }
+            Expr::Unary { op, input } => {
+                let v = input.eval(row)?;
+                match (op, v) {
+                    (_, Value::Null) => Ok(Value::Null),
+                    (UnOp::Neg, Value::Integer(i)) => Ok(Value::Integer(-i)),
+                    (UnOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
+                    (UnOp::Not, Value::Boolean(b)) => Ok(Value::Boolean(!b)),
+                    (op, v) => Err(DbError::Execution(format!(
+                        "cannot apply {op:?} to {v}"
+                    ))),
+                }
+            }
+            Expr::Call { func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row)?);
+                }
+                eval_func(*func, &vals)
+            }
+            Expr::IsNull { input, negated } => {
+                let v = input.eval(row)?;
+                Ok(Value::Boolean(v.is_null() != *negated))
+            }
+            Expr::InList {
+                input,
+                list,
+                negated,
+            } => {
+                let v = input.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let found = list.iter().any(|x| x == &v);
+                Ok(Value::Boolean(found != *negated))
+            }
+            Expr::Between { input, low, high } => {
+                let v = input.eval(row)?;
+                let lo = low.eval(row)?;
+                let hi = high.eval(row)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Boolean(v >= lo && v <= hi))
+            }
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
+                for (cond, val) in branches {
+                    if cond.eval(row)?.is_true() {
+                        return val.eval(row);
+                    }
+                }
+                match otherwise {
+                    Some(e) => e.eval(row),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Cast { input, to } => cast_value(input.eval(row)?, *to),
+        }
+    }
+
+    /// True if the predicate accepts the row (NULL → false).
+    pub fn matches(&self, row: &[Value]) -> DbResult<bool> {
+        Ok(self.eval(row)?.is_true())
+    }
+}
+
+fn eval_logic(op: BinOp, left: &Expr, right: &Expr, row: &[Value]) -> DbResult<Value> {
+    let l = left.eval(row)?;
+    match (op, &l) {
+        (BinOp::And, Value::Boolean(false)) => return Ok(Value::Boolean(false)),
+        (BinOp::Or, Value::Boolean(true)) => return Ok(Value::Boolean(true)),
+        _ => {}
+    }
+    let r = right.eval(row)?;
+    Ok(match op {
+        BinOp::And => match (bool3(&l)?, bool3(&r)?) {
+            (Some(false), _) | (_, Some(false)) => Value::Boolean(false),
+            (Some(true), Some(true)) => Value::Boolean(true),
+            _ => Value::Null,
+        },
+        BinOp::Or => match (bool3(&l)?, bool3(&r)?) {
+            (Some(true), _) | (_, Some(true)) => Value::Boolean(true),
+            (Some(false), Some(false)) => Value::Boolean(false),
+            _ => Value::Null,
+        },
+        _ => unreachable!(),
+    })
+}
+
+fn bool3(v: &Value) -> DbResult<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Boolean(b) => Ok(Some(*b)),
+        other => Err(DbError::TypeMismatch {
+            expected: "BOOLEAN".into(),
+            found: other.to_string(),
+        }),
+    }
+}
+
+/// Evaluate a non-logical binary operator with SQL NULL propagation.
+pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> DbResult<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = l.cmp(r);
+        let b = match op {
+            BinOp::Eq => ord == std::cmp::Ordering::Equal,
+            BinOp::Ne => ord != std::cmp::Ordering::Equal,
+            BinOp::Lt => ord == std::cmp::Ordering::Less,
+            BinOp::Le => ord != std::cmp::Ordering::Greater,
+            BinOp::Gt => ord == std::cmp::Ordering::Greater,
+            BinOp::Ge => ord != std::cmp::Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Boolean(b));
+    }
+    // Arithmetic. Integer op integer stays integer (except division by zero
+    // errors); anything involving a float is float.
+    match (l, r) {
+        (Value::Integer(a), Value::Integer(b)) => {
+            let v = match op {
+                BinOp::Add => a.wrapping_add(*b),
+                BinOp::Sub => a.wrapping_sub(*b),
+                BinOp::Mul => a.wrapping_mul(*b),
+                BinOp::Div => {
+                    if *b == 0 {
+                        return Err(DbError::Execution("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if *b == 0 {
+                        return Err(DbError::Execution("division by zero".into()));
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Integer(v))
+        }
+        (Value::Varchar(a), Value::Varchar(b)) if op == BinOp::Add => {
+            Ok(Value::Varchar(format!("{a}{b}")))
+        }
+        (Value::Timestamp(a), Value::Integer(b)) if matches!(op, BinOp::Add | BinOp::Sub) => {
+            Ok(Value::Timestamp(if op == BinOp::Add { a + b } else { a - b }))
+        }
+        _ => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(DbError::TypeMismatch {
+                        expected: "numeric operands".into(),
+                        found: format!("{l} {} {r}", op.sql_symbol()),
+                    })
+                }
+            };
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(DbError::Execution("division by zero".into()));
+                    }
+                    a / b
+                }
+                BinOp::Mod => a % b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(v))
+        }
+    }
+}
+
+fn eval_func(func: Func, args: &[Value]) -> DbResult<Value> {
+    let arg_err = |want: &str| {
+        Err(DbError::Execution(format!(
+            "{} expects {want}, got {} args",
+            func.name(),
+            args.len()
+        )))
+    };
+    match func {
+        Func::Hash => {
+            // Combine the hashes of all arguments, as HASH(col1..coln).
+            let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+            for a in args {
+                h = h
+                    .rotate_left(27)
+                    .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                    .wrapping_add(a.hash64());
+            }
+            // Segmentation treats the hash as an unsigned 64-bit ring
+            // position (0 ≤ expr < CMAX = 2^64, §3.6); we surface the full
+            // 64 bits reinterpreted as i64 so the whole ring is reachable.
+            Ok(Value::Integer(h as i64))
+        }
+        Func::ExtractYear | Func::ExtractMonth | Func::ExtractDay | Func::YearMonth => {
+            if args.len() != 1 {
+                return arg_err("1 timestamp arg");
+            }
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Timestamp(ts) | Value::Integer(ts) => Ok(Value::Integer(match func {
+                    Func::ExtractYear => date::year(*ts),
+                    Func::ExtractMonth => date::month(*ts),
+                    Func::ExtractDay => date::day(*ts),
+                    Func::YearMonth => date::year_month(*ts),
+                    _ => unreachable!(),
+                })),
+                other => Err(DbError::TypeMismatch {
+                    expected: "TIMESTAMP".into(),
+                    found: other.to_string(),
+                }),
+            }
+        }
+        Func::Abs => {
+            if args.len() != 1 {
+                return arg_err("1 numeric arg");
+            }
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Integer(v) => Ok(Value::Integer(v.abs())),
+                Value::Float(v) => Ok(Value::Float(v.abs())),
+                other => Err(DbError::TypeMismatch {
+                    expected: "numeric".into(),
+                    found: other.to_string(),
+                }),
+            }
+        }
+        Func::Length => match args {
+            [Value::Null] => Ok(Value::Null),
+            [Value::Varchar(s)] => Ok(Value::Integer(s.chars().count() as i64)),
+            _ => arg_err("1 varchar arg"),
+        },
+        Func::Lower => match args {
+            [Value::Null] => Ok(Value::Null),
+            [Value::Varchar(s)] => Ok(Value::Varchar(s.to_lowercase())),
+            _ => arg_err("1 varchar arg"),
+        },
+        Func::Upper => match args {
+            [Value::Null] => Ok(Value::Null),
+            [Value::Varchar(s)] => Ok(Value::Varchar(s.to_uppercase())),
+            _ => arg_err("1 varchar arg"),
+        },
+        Func::Least | Func::Greatest => {
+            if args.is_empty() {
+                return arg_err(">=1 arg");
+            }
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let mut best = args[0].clone();
+            for a in &args[1..] {
+                let take = if func == Func::Least {
+                    *a < best
+                } else {
+                    *a > best
+                };
+                if take {
+                    best = a.clone();
+                }
+            }
+            Ok(best)
+        }
+    }
+}
+
+fn cast_value(v: Value, to: DataType) -> DbResult<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    let fail = |v: &Value| DbError::TypeMismatch {
+        expected: to.to_string(),
+        found: v.to_string(),
+    };
+    Ok(match (to, &v) {
+        (DataType::Integer, Value::Integer(_)) => v,
+        (DataType::Integer, Value::Float(f)) => Value::Integer(*f as i64),
+        (DataType::Integer, Value::Timestamp(t)) => Value::Integer(*t),
+        (DataType::Integer, Value::Boolean(b)) => Value::Integer(i64::from(*b)),
+        (DataType::Integer, Value::Varchar(s)) => {
+            Value::Integer(s.trim().parse().map_err(|_| fail(&v))?)
+        }
+        (DataType::Float, _) => Value::Float(v.as_f64().ok_or_else(|| fail(&v))?),
+        (DataType::Varchar, _) => Value::Varchar(v.to_string()),
+        (DataType::Boolean, Value::Boolean(_)) => v,
+        (DataType::Boolean, Value::Integer(i)) => Value::Boolean(*i != 0),
+        (DataType::Timestamp, Value::Timestamp(_)) => v,
+        (DataType::Timestamp, Value::Integer(i)) => Value::Timestamp(*i),
+        (DataType::Timestamp, Value::Varchar(s)) => {
+            Value::Timestamp(date::parse_timestamp(s).ok_or_else(|| fail(&v))?)
+        }
+        _ => return Err(fail(&v)),
+    })
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { name, .. } => write!(f, "{name}"),
+            Expr::Literal(v) => match v {
+                Value::Varchar(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.sql_symbol())
+            }
+            Expr::Unary { op, input } => match op {
+                UnOp::Neg => write!(f, "(-{input})"),
+                UnOp::Not => write!(f, "(NOT {input})"),
+            },
+            Expr::Call { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::IsNull { input, negated } => {
+                write!(f, "({input} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList {
+                input,
+                list,
+                negated,
+            } => {
+                write!(f, "({input} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Between { input, low, high } => {
+                write!(f, "({input} BETWEEN {low} AND {high})")
+            }
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
+                write!(f, "CASE")?;
+                for (c, v) in branches {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                if let Some(e) = otherwise {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Cast { input, to } => write!(f, "CAST({input} AS {to})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Integer(10),
+            Value::Varchar("bob".into()),
+            Value::Float(2.5),
+            Value::Null,
+            Value::Timestamp(date::timestamp_from_civil(2012, 5, 17, 0, 0, 0)),
+        ]
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let r = row();
+        let e = Expr::binary(BinOp::Add, Expr::col(0, "a"), Expr::int(5));
+        assert_eq!(e.eval(&r).unwrap(), Value::Integer(15));
+        let e = Expr::binary(BinOp::Mul, Expr::col(2, "f"), Expr::int(4));
+        assert_eq!(e.eval(&r).unwrap(), Value::Float(10.0));
+        let e = Expr::binary(BinOp::Gt, Expr::col(0, "a"), Expr::int(9));
+        assert_eq!(e.eval(&r).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn null_propagation_three_valued() {
+        let r = row();
+        let cmp = Expr::eq(Expr::col(3, "n"), Expr::int(1));
+        assert_eq!(cmp.eval(&r).unwrap(), Value::Null);
+        assert!(!cmp.matches(&r).unwrap(), "NULL comparison is not true");
+        // NULL OR true = true; NULL AND false = false (Kleene)
+        let or = Expr::binary(
+            BinOp::Or,
+            Expr::eq(Expr::col(3, "n"), Expr::int(1)),
+            Expr::lit(Value::Boolean(true)),
+        );
+        assert_eq!(or.eval(&r).unwrap(), Value::Boolean(true));
+        let and = Expr::binary(
+            BinOp::And,
+            Expr::eq(Expr::col(3, "n"), Expr::int(1)),
+            Expr::lit(Value::Boolean(false)),
+        );
+        assert_eq!(and.eval(&r).unwrap(), Value::Boolean(false));
+    }
+
+    #[test]
+    fn is_null_and_in_list() {
+        let r = row();
+        let e = Expr::IsNull {
+            input: Box::new(Expr::col(3, "n")),
+            negated: false,
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Boolean(true));
+        let e = Expr::InList {
+            input: Box::new(Expr::col(0, "a")),
+            list: vec![Value::Integer(9), Value::Integer(10)],
+            negated: false,
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn extract_functions_for_partitioning() {
+        let r = row();
+        let ym = Expr::call(Func::YearMonth, vec![Expr::col(4, "ts")]);
+        assert_eq!(ym.eval(&r).unwrap(), Value::Integer(201_205));
+        let y = Expr::call(Func::ExtractYear, vec![Expr::col(4, "ts")]);
+        assert_eq!(y.eval(&r).unwrap(), Value::Integer(2012));
+    }
+
+    #[test]
+    fn hash_is_stable_for_segmentation() {
+        let r = row();
+        let h = Expr::call(Func::Hash, vec![Expr::col(0, "a"), Expr::col(1, "b")]);
+        let v1 = h.eval(&r).unwrap();
+        let v2 = h.eval(&r).unwrap();
+        assert_eq!(v1, v2);
+        // Different inputs land elsewhere on the ring.
+        let h2 = Expr::call(Func::Hash, vec![Expr::col(1, "b")]);
+        assert_ne!(h2.eval(&r).unwrap(), v1);
+    }
+
+    #[test]
+    fn split_and_conjoin() {
+        let p = Expr::and(
+            Expr::eq(Expr::col(0, "a"), Expr::int(1)),
+            Expr::and(
+                Expr::eq(Expr::col(1, "b"), Expr::int(2)),
+                Expr::eq(Expr::col(2, "c"), Expr::int(3)),
+            ),
+        );
+        let parts = p.clone().split_conjuncts();
+        assert_eq!(parts.len(), 3);
+        let back = Expr::conjunction(parts).unwrap();
+        // Same set of conjuncts (associativity may change shape).
+        assert_eq!(back.split_conjuncts().len(), 3);
+        assert_eq!(p.referenced_columns(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn remap_columns() {
+        let e = Expr::binary(BinOp::Add, Expr::col(2, "x"), Expr::col(5, "y"));
+        let mapped = e.remap_columns(&|i| if i == 2 { Some(0) } else { Some(1) }).unwrap();
+        assert_eq!(mapped.referenced_columns(), vec![0, 1]);
+        assert!(e.remap_columns(&|_| None).is_none());
+    }
+
+    #[test]
+    fn case_and_cast() {
+        let r = row();
+        let e = Expr::Case {
+            branches: vec![(
+                Expr::binary(BinOp::Gt, Expr::col(0, "a"), Expr::int(5)),
+                Expr::lit(Value::Varchar("big".into())),
+            )],
+            otherwise: Some(Box::new(Expr::lit(Value::Varchar("small".into())))),
+        };
+        assert_eq!(e.eval(&r).unwrap(), Value::Varchar("big".into()));
+        let c = Expr::Cast {
+            input: Box::new(Expr::lit(Value::Varchar("42".into()))),
+            to: DataType::Integer,
+        };
+        assert_eq!(c.eval(&[]).unwrap(), Value::Integer(42));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = Expr::binary(BinOp::Div, Expr::int(1), Expr::int(0));
+        assert!(e.eval(&[]).is_err());
+    }
+
+    #[test]
+    fn between() {
+        let e = Expr::Between {
+            input: Box::new(Expr::int(5)),
+            low: Box::new(Expr::int(1)),
+            high: Box::new(Expr::int(5)),
+        };
+        assert_eq!(e.eval(&[]).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::and(
+            Expr::binary(BinOp::Ge, Expr::col(0, "price"), Expr::int(10)),
+            Expr::call(Func::ExtractMonth, vec![Expr::col(1, "date")]),
+        );
+        assert_eq!(e.to_string(), "((price >= 10) AND MONTH(date))");
+    }
+}

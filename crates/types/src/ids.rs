@@ -1,0 +1,77 @@
+//! Small newtype identifiers used across the system.
+
+use std::fmt;
+
+/// Logical commit timestamp (§5 of the paper).
+///
+/// Every tuple is stamped with the epoch of the transaction that committed
+/// it; every delete marker carries the epoch it was deleted at. An epoch
+/// boundary is a globally consistent snapshot, so snapshot reads need no
+/// locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The epoch before any user transaction; bulk-loaded initial data
+    /// commits at `Epoch(1)`.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// Successor epoch.
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+
+    /// Predecessor epoch, saturating at zero. Under READ COMMITTED a query
+    /// targets `current_epoch.prev()` — "the latest epoch" in paper terms.
+    #[must_use]
+    pub fn prev(self) -> Epoch {
+        Epoch(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifies a node in the shared-nothing cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifies a transaction within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_ordering_and_arithmetic() {
+        assert!(Epoch(1) < Epoch(2));
+        assert_eq!(Epoch(1).next(), Epoch(2));
+        assert_eq!(Epoch(2).prev(), Epoch(1));
+        assert_eq!(Epoch::ZERO.prev(), Epoch::ZERO, "prev saturates at zero");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Epoch(7).to_string(), "e7");
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(TxnId(42).to_string(), "txn42");
+    }
+}

@@ -1,0 +1,22 @@
+//! `vdb-types` — foundation types shared by every crate in the workspace.
+//!
+//! This crate defines the logical data model of the system described in
+//! *"The Vertica Analytic Database: C-Store 7 Years Later"* (Lamb et al.,
+//! VLDB 2012): typed [`Value`]s, table [`schema`]s, bound scalar
+//! [`expr::Expr`]essions, the hand-rolled binary [`codec`] used by the on-disk
+//! formats, calendar [`date`] arithmetic for `PARTITION BY` expressions, and
+//! the shared [`error::DbError`] type.
+
+pub mod codec;
+pub mod date;
+pub mod error;
+pub mod expr;
+pub mod ids;
+pub mod schema;
+pub mod value;
+
+pub use error::{DbError, DbResult};
+pub use expr::{BinOp, Expr, Func, UnOp};
+pub use ids::{Epoch, NodeId, TxnId};
+pub use schema::{ColumnDef, SortKey, TableSchema};
+pub use value::{DataType, Row, Value};

@@ -1,0 +1,262 @@
+//! Logical table schemas.
+//!
+//! Vertica "models user data as tables of columns (attributes), though the
+//! data is not physically arranged in this manner" (§3). The physical
+//! arrangement — projections — lives in `vdb-storage`; this module is purely
+//! the logical layer that SQL binds against.
+
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Row, Value};
+use std::fmt;
+
+/// One column of a logical table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    /// NOT NULL constraint, enforced at load/insert time.
+    pub not_null: bool,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            not_null: false,
+        }
+    }
+
+    #[must_use]
+    pub fn not_null(mut self) -> ColumnDef {
+        self.not_null = true;
+        self
+    }
+}
+
+/// Sort direction within a projection sort order or ORDER BY clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDirection {
+    Asc,
+    Desc,
+}
+
+/// One key of a sort order: a column index plus direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub column: usize,
+    pub direction: SortDirection,
+}
+
+impl SortKey {
+    pub fn asc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            direction: SortDirection::Asc,
+        }
+    }
+
+    pub fn desc(column: usize) -> SortKey {
+        SortKey {
+            column,
+            direction: SortDirection::Desc,
+        }
+    }
+}
+
+/// Compare two rows under a compound sort order.
+pub fn compare_rows(a: &[Value], b: &[Value], keys: &[SortKey]) -> std::cmp::Ordering {
+    for k in keys {
+        let ord = a[k.column].cmp(&b[k.column]);
+        let ord = match k.direction {
+            SortDirection::Asc => ord,
+            SortDirection::Desc => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// A logical table schema: ordered, named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> TableSchema {
+        TableSchema {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column(&self, index: usize) -> &ColumnDef {
+        &self.columns[index]
+    }
+
+    /// Validate a row against the schema: arity, types (NULL passes unless
+    /// NOT NULL), with integer→float widening applied in place.
+    pub fn validate_row(&self, row: &mut Row) -> DbResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::Constraint(format!(
+                "table {} expects {} columns, row has {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (v, col) in row.iter_mut().zip(&self.columns) {
+            if v.is_null() {
+                if col.not_null {
+                    return Err(DbError::Constraint(format!(
+                        "column {} is NOT NULL",
+                        col.name
+                    )));
+                }
+                continue;
+            }
+            // Integer literals are accepted for float and timestamp columns.
+            match (col.data_type, v.data_type().unwrap()) {
+                (a, b) if a == b => {}
+                (DataType::Float, DataType::Integer) => {
+                    *v = Value::Float(v.as_i64().unwrap() as f64);
+                }
+                (DataType::Timestamp, DataType::Integer) => {
+                    *v = Value::Timestamp(v.as_i64().unwrap());
+                }
+                (DataType::Integer, DataType::Timestamp) => {
+                    *v = Value::Integer(v.as_i64().unwrap());
+                }
+                (expected, found) => {
+                    return Err(DbError::TypeMismatch {
+                        expected: format!("{expected} for column {}", col.name),
+                        found: found.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+            if c.not_null {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> TableSchema {
+        TableSchema::new(
+            "sales",
+            vec![
+                ColumnDef::new("sale_id", DataType::Integer).not_null(),
+                ColumnDef::new("cust", DataType::Varchar),
+                ColumnDef::new("price", DataType::Float),
+                ColumnDef::new("date", DataType::Timestamp),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = sales();
+        assert_eq!(s.column_index("CUST"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+    }
+
+    #[test]
+    fn validate_accepts_and_widens() {
+        let s = sales();
+        let mut row = vec![
+            Value::Integer(1),
+            Value::Varchar("bob".into()),
+            Value::Integer(10), // int literal into float column
+            Value::Integer(1_000_000),
+        ];
+        s.validate_row(&mut row).unwrap();
+        assert_eq!(row[2], Value::Float(10.0));
+        assert_eq!(row[3], Value::Timestamp(1_000_000));
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity_and_types() {
+        let s = sales();
+        let mut short = vec![Value::Integer(1)];
+        assert!(matches!(
+            s.validate_row(&mut short),
+            Err(DbError::Constraint(_))
+        ));
+        let mut bad = vec![
+            Value::Integer(1),
+            Value::Integer(2), // int into varchar
+            Value::Float(1.0),
+            Value::Timestamp(0),
+        ];
+        assert!(matches!(
+            s.validate_row(&mut bad),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_enforces_not_null() {
+        let s = sales();
+        let mut row = vec![
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ];
+        assert!(matches!(
+            s.validate_row(&mut row),
+            Err(DbError::Constraint(_))
+        ));
+    }
+
+    #[test]
+    fn compare_rows_compound() {
+        let keys = [SortKey::asc(0), SortKey::desc(1)];
+        let a = vec![Value::Integer(1), Value::Integer(5)];
+        let b = vec![Value::Integer(1), Value::Integer(3)];
+        assert_eq!(compare_rows(&a, &b, &keys), std::cmp::Ordering::Less);
+        let c = vec![Value::Integer(0), Value::Integer(9)];
+        assert_eq!(compare_rows(&a, &c, &keys), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn display_schema() {
+        assert_eq!(
+            sales().to_string(),
+            "sales(sale_id INTEGER NOT NULL, cust VARCHAR, price FLOAT, date TIMESTAMP)"
+        );
+    }
+}

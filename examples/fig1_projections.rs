@@ -1,0 +1,12 @@
+//! Figure 1 example: the relationship between a table and its projections —
+//! a super projection sorted by date and a narrow (cust, price) projection
+//! sorted by cust, each with its own segmentation.
+//!
+//! ```sh
+//! cargo run -p vdb-examples --bin fig1_projections
+//! ```
+
+fn main() -> vdb_core::DbResult<()> {
+    print!("{}", vdb_bench::repro::figure1(50_000)?);
+    Ok(())
+}

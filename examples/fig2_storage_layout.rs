@@ -1,0 +1,12 @@
+//! Figure 2 example: physical storage layout within a node — month/year
+//! partitions × local segments × ROS containers × column files — plus the
+//! partition-pruned scan the layout enables.
+//!
+//! ```sh
+//! cargo run -p vdb-examples --bin fig2_storage_layout
+//! ```
+
+fn main() -> vdb_core::DbResult<()> {
+    print!("{}", vdb_bench::repro::figure2(2_000)?);
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Figure 3 example: the multi-threaded pipelined query plan — EXPLAIN
+//! rendering of a grouped aggregate and the StorageUnion-resegmented
+//! parallel GroupBy at 1 vs 4 lanes.
+//!
+//! ```sh
+//! cargo run -p vdb-examples --bin fig3_parallel_plan
+//! ```
+
+fn main() -> vdb_core::DbResult<()> {
+    print!("{}", vdb_bench::repro::figure3(400_000)?);
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! Cluster-wide fault-tolerance integration: failures during a workload,
+//! buddy-sourced queries, recovery, refresh and backup — the §5.2/§5.3
+//! behaviours exercised through the public facade.
+
+use vdb_core::{Database, Value};
+use vdb_types::Row;
+
+fn db() -> Database {
+    let db = Database::cluster_of(4, 1);
+    db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)").unwrap();
+    db.execute(
+        "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
+         SEGMENTED BY HASH(id) ALL NODES",
+    )
+    .unwrap();
+    db
+}
+
+fn rows(lo: i64, hi: i64) -> Vec<Row> {
+    (lo..hi)
+        .map(|i| {
+            vec![
+                Value::Integer(i),
+                Value::Integer(i % 8),
+                Value::Float((i % 100) as f64),
+            ]
+        })
+        .collect()
+}
+
+fn total(db: &Database) -> i64 {
+    db.query("SELECT grp, COUNT(*) FROM t GROUP BY grp")
+        .unwrap()
+        .iter()
+        .map(|r| r[1].as_i64().unwrap())
+        .sum()
+}
+
+#[test]
+fn queries_and_loads_survive_single_failure() {
+    let db = db();
+    db.load("t", &rows(0, 4000)).unwrap();
+    assert_eq!(total(&db), 4000);
+    db.cluster().fail_node(2);
+    assert!(db.cluster().is_available());
+    assert_eq!(total(&db), 4000, "buddy reads cover the down node");
+    db.load("t", &rows(4000, 5000)).unwrap();
+    assert_eq!(total(&db), 5000);
+    let stats = db.cluster().recover_node(2).unwrap();
+    assert!(stats.projections_recovered > 0);
+    assert_eq!(total(&db), 5000);
+    // After recovery, fail a *different* node: the recovered node must now
+    // serve buddy reads, proving its replicas are complete.
+    db.cluster().fail_node(3);
+    assert_eq!(total(&db), 5000);
+}
+
+#[test]
+fn deletes_during_outage_replay_on_recovery() {
+    let db = db();
+    db.load("t", &rows(0, 1000)).unwrap();
+    db.cluster().fail_node(1);
+    db.execute("DELETE FROM t WHERE id < 100").unwrap();
+    db.execute("UPDATE t SET v = 1.5 WHERE id = 500").unwrap();
+    db.cluster().recover_node(1).unwrap();
+    assert_eq!(total(&db), 900);
+    let got = db.query("SELECT v FROM t WHERE id = 500").unwrap();
+    assert_eq!(got[0][0], Value::Float(1.5));
+    // Cross-check from the recovered node's perspective: fail its buddy
+    // source and re-query.
+    db.cluster().fail_node(2);
+    assert_eq!(total(&db), 900);
+}
+
+#[test]
+fn quorum_loss_refuses_work() {
+    let db = db();
+    db.load("t", &rows(0, 100)).unwrap();
+    db.cluster().fail_node(0);
+    db.cluster().fail_node(1);
+    // 2 of 4 nodes: no strict majority.
+    assert!(!db.cluster().has_quorum());
+    assert!(db.load("t", &rows(100, 101)).is_err());
+    assert!(db.query("SELECT COUNT(*) FROM t").is_err());
+}
+
+#[test]
+fn adjacent_double_failure_loses_data_with_k1() {
+    let db = db();
+    db.load("t", &rows(0, 100)).unwrap();
+    // K=1: two *adjacent* ring failures make some segment unreadable.
+    db.cluster().fail_node(1);
+    db.cluster().fail_node(2);
+    assert!(!db.cluster().data_available());
+    assert!(!db.cluster().is_available());
+}
+
+#[test]
+fn replicated_projections_survive_any_single_node() {
+    let db = Database::cluster_of(3, 1);
+    db.execute("CREATE TABLE dim (k INT, name VARCHAR)").unwrap();
+    db.execute(
+        "CREATE PROJECTION dim_super AS SELECT k, name FROM dim ORDER BY k \
+         UNSEGMENTED ALL NODES",
+    )
+    .unwrap();
+    db.execute("INSERT INTO dim VALUES (1, 'a'), (2, 'b')").unwrap();
+    for n in 0..3 {
+        let db2 = &db;
+        db2.cluster().fail_node(n);
+        assert_eq!(db2.query("SELECT k FROM dim").unwrap().len(), 2);
+        db2.cluster().recover_node(n).unwrap();
+    }
+}
+
+#[test]
+fn backup_links_every_projection_file() {
+    let db = db();
+    db.load("t", &rows(0, 500)).unwrap();
+    let files = db.cluster().backup("snap").unwrap();
+    assert!(files > 0);
+    // Backup is non-destructive: queries still fine.
+    assert_eq!(total(&db), 500);
+}
+
+#[test]
+fn ahm_freeze_preserves_history_for_recovery() {
+    let db = Database::new(vdb_core::database::DatabaseConfig {
+        cluster: vdb_core::ClusterConfig {
+            n_nodes: 3,
+            k_safety: 1,
+            history_retention: 1,
+            ..Default::default()
+        },
+    });
+    db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)").unwrap();
+    db.execute(
+        "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
+         SEGMENTED BY HASH(id) ALL NODES",
+    )
+    .unwrap();
+    db.load("t", &rows(0, 100)).unwrap();
+    db.cluster().fail_node(1);
+    for batch in 0..5 {
+        db.load("t", &rows(100 + batch * 10, 110 + batch * 10)).unwrap();
+    }
+    // Mergeouts while the node is down must not purge replay history.
+    db.tuple_mover_tick().unwrap();
+    db.cluster().recover_node(1).unwrap();
+    assert_eq!(total(&db), 150);
+}

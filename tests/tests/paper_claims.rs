@@ -1,0 +1,146 @@
+//! Paper-claim integration tests: cheap versions of the evaluation-section
+//! *shapes* that must hold on every run (the benches measure magnitudes).
+
+use vdb_bench::workloads::{cstore7, meter, random_ints};
+use vdb_encoding::{ColumnWriter, EncodingType};
+use vdb_types::Value;
+
+/// Column footprint after the Database Designer's empirical encoding
+/// choice (try everything, keep the smallest — §6.3), matching what a
+/// DBD-designed projection would store.
+fn auto_bytes(col: &[Value]) -> usize {
+    let mut best = usize::MAX;
+    for enc in EncodingType::CONCRETE.iter().copied().chain([EncodingType::Auto]) {
+        let mut w = ColumnWriter::new(enc);
+        w.extend(col.iter().cloned());
+        let (d, i) = w.finish();
+        best = best.min(d.len() + i.encode().len());
+    }
+    best
+}
+
+/// Table 4a shape: Vertica < gzip+sort < gzip < raw.
+#[test]
+fn table4a_ordering_holds() {
+    let ints = random_ints::generate(100_000, 42);
+    let text = random_ints::as_text(&ints);
+    let raw = text.len();
+    let gz = vdb_compress::compress(text.as_bytes()).len();
+    let mut sorted = ints.clone();
+    sorted.sort_unstable();
+    let gz_sorted =
+        vdb_compress::compress(random_ints::as_text(&sorted).as_bytes()).len();
+    let col: Vec<Value> = sorted.iter().map(|&v| Value::Integer(v)).collect();
+    let vertica = auto_bytes(&col);
+    assert!(gz < raw, "gzip-class compresses digit text");
+    assert!(gz_sorted < gz, "sorting helps the byte compressor");
+    assert!(vertica < gz_sorted, "type-aware encoding beats byte compression");
+    // Paper: Vertica ≈ 0.6 B/row at 1M; allow generous slack at 100k.
+    assert!(
+        (vertica as f64) / 100_000.0 < 2.0,
+        "vertica B/row = {}",
+        vertica as f64 / 100_000.0
+    );
+}
+
+/// Table 4b shape: Vertica beats the byte compressor on meter data, and
+/// the per-column story matches (metric tiny, value dominant).
+#[test]
+fn table4b_per_column_story() {
+    let rows = meter::generate(60_000, &vdb_bench::repro::scaled_meter_config(60_000));
+    let csv = meter::as_csv(&rows);
+    let gz = vdb_compress::compress(csv.as_bytes()).len();
+    let col = |c: usize| -> Vec<Value> { rows.iter().map(|r| r[c].clone()).collect() };
+    let metric = auto_bytes(&col(0));
+    let meter_b = auto_bytes(&col(1));
+    let ts = auto_bytes(&col(2));
+    let value = auto_bytes(&col(3));
+    let total = metric + meter_b + ts + value;
+    assert!(total < gz, "vertica {total} vs gzip-class {gz}");
+    assert!(metric < meter_b.max(1) * 10, "metric column is tiny (RLE)");
+    assert!(
+        value > metric && value > ts,
+        "value column dominates as in the paper (got metric={metric} ts={ts} value={value})"
+    );
+}
+
+/// Table 3 shape: Vertica answers the 7-query suite faster in total and
+/// uses less disk than the C-Store baseline.
+#[test]
+fn table3_shape_vertica_wins() {
+    let (li, ord) = cstore7::generate(60_000, 7);
+    let vertica = cstore7::setup_vertica(&li, &ord).unwrap();
+    let cstore = cstore7::setup_cstore(li, ord).unwrap();
+    let c = cstore7::constants();
+    // Warm both once.
+    for q in 1..=7 {
+        let _ = vertica.query(&cstore7::vertica_sql(q, &c)).unwrap();
+        let _ = cstore7::run_cstore(&cstore, q, &c).unwrap();
+    }
+    let t = std::time::Instant::now();
+    for q in 1..=7 {
+        let _ = cstore7::run_cstore(&cstore, q, &c).unwrap();
+    }
+    let cstore_total = t.elapsed();
+    let t = std::time::Instant::now();
+    for q in 1..=7 {
+        let _ = vertica.query(&cstore7::vertica_sql(q, &c)).unwrap();
+    }
+    let vertica_total = t.elapsed();
+    // Paper: ~1.9x total. The timing half of the claim only holds in
+    // optimized builds — debug builds bury the vectorized engine under
+    // per-Value overhead — so assert it under release only (the bench
+    // harness measures it properly).
+    if !cfg!(debug_assertions) {
+        assert!(
+            vertica_total.as_secs_f64() < cstore_total.as_secs_f64() * 0.95,
+            "vertica {vertica_total:?} should beat cstore {cstore_total:?}"
+        );
+    }
+    assert!(
+        vertica.disk_bytes() < cstore.disk_bytes(),
+        "vertica disk {} vs cstore {}",
+        vertica.disk_bytes(),
+        cstore.disk_bytes()
+    );
+}
+
+/// §8.1's feature list: the overheads Vertica added over the prototype all
+/// exist here — NULLs, floats/varchars, deletes, ROS+WOS, transactions —
+/// exercised in one pass.
+#[test]
+fn product_grade_features_coexist() {
+    let db = vdb_core::Database::single_node();
+    db.execute(
+        "CREATE TABLE everything (i INT, f FLOAT, s VARCHAR, b BOOLEAN, t TIMESTAMP)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE PROJECTION everything_super AS SELECT i, f, s, b, t FROM everything \
+         ORDER BY i SEGMENTED BY HASH(i) ALL NODES",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO everything VALUES \
+         (1, 1.5, 'x', TRUE, 1000), (2, NULL, NULL, FALSE, 2000), (NULL, 0.0, '', TRUE, NULL)",
+    )
+    .unwrap();
+    let rows = db
+        .query("SELECT COUNT(*), COUNT(i), COUNT(f), MIN(f), MAX(t) FROM everything")
+        .unwrap();
+    assert_eq!(
+        rows[0],
+        vec![
+            Value::Integer(3),
+            Value::Integer(2),
+            Value::Integer(2),
+            Value::Float(0.0),
+            Value::Timestamp(2000),
+        ]
+    );
+    db.execute("DELETE FROM everything WHERE i IS NULL").unwrap();
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM everything").unwrap()[0][0],
+        Value::Integer(2)
+    );
+}

@@ -1,0 +1,170 @@
+//! Storage-stack integration: encodings ↔ containers ↔ tuple mover ↔
+//! epochs, including a property test that arbitrary load/delete/moveout/
+//! mergeout interleavings preserve snapshot semantics.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vdb_storage::projection::ProjectionDef;
+use vdb_storage::{MemBackend, ProjectionStore, RowLocation, TupleMover, TupleMoverConfig};
+use vdb_types::{ColumnDef, DataType, Epoch, Row, TableSchema, Value};
+
+fn store() -> ProjectionStore {
+    let schema = TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Integer),
+            ColumnDef::new("v", DataType::Integer),
+        ],
+    );
+    let def = ProjectionDef::super_projection(&schema, "t_super", &[0], &[]);
+    ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    LoadWos(u8),
+    LoadRos(u8),
+    Delete(u8),
+    Moveout,
+    Mergeout,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u8..20).prop_map(Op::LoadWos),
+        (1u8..20).prop_map(Op::LoadRos),
+        any::<u8>().prop_map(Op::Delete),
+        Just(Op::Moveout),
+        Just(Op::Mergeout),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A reference model (plain vectors with epochs) and the real storage
+    /// stack must agree on the visible rows at EVERY epoch, under any
+    /// interleaving of loads, deletes and tuple-mover activity.
+    #[test]
+    fn storage_matches_reference_model(ops in prop::collection::vec(arb_op(), 1..25)) {
+        let mover = TupleMover::new(TupleMoverConfig {
+            strata_base_bytes: 512,
+            strata_factor: 4,
+            merge_threshold: 3,
+            ..Default::default()
+        });
+        let mut s = store();
+        // Model: (row, commit epoch, delete epoch).
+        let mut model: Vec<(Row, u64, Option<u64>)> = Vec::new();
+        let mut epoch = 1u64;
+        let mut next_id = 0i64;
+        for op in &ops {
+            match op {
+                Op::LoadWos(n) | Op::LoadRos(n) => {
+                    let rows: Vec<Row> = (0..*n as i64)
+                        .map(|k| vec![Value::Integer(next_id + k), Value::Integer(k)])
+                        .collect();
+                    next_id += *n as i64;
+                    for r in &rows {
+                        model.push((r.clone(), epoch, None));
+                    }
+                    if matches!(op, Op::LoadWos(_)) {
+                        s.insert_wos(rows, Epoch(epoch)).unwrap();
+                    } else {
+                        s.insert_direct_ros(rows, Epoch(epoch)).unwrap();
+                    }
+                    epoch += 1;
+                }
+                Op::Delete(sel) => {
+                    // Delete every visible row whose id % 7 matches.
+                    let target = i64::from(*sel % 7);
+                    let snapshot = Epoch(epoch - 1);
+                    let victims: Vec<RowLocation> = s
+                        .visible_rows_with_locations(snapshot)
+                        .unwrap()
+                        .into_iter()
+                        .filter(|(_, r)| r[0].as_i64().unwrap() % 7 == target)
+                        .map(|(loc, _)| loc)
+                        .collect();
+                    for loc in victims {
+                        s.mark_deleted(loc, Epoch(epoch)).unwrap();
+                    }
+                    for (r, ce, de) in model.iter_mut() {
+                        if de.is_none()
+                            && *ce < epoch
+                            && r[0].as_i64().unwrap() % 7 == target
+                        {
+                            *de = Some(epoch);
+                        }
+                    }
+                    epoch += 1;
+                }
+                Op::Moveout => {
+                    s.moveout(Epoch(epoch - 1)).unwrap();
+                }
+                Op::Mergeout => {
+                    mover.run_mergeout(&mut s, Epoch::ZERO).unwrap();
+                }
+            }
+        }
+        // Verify every epoch's snapshot.
+        for e in 0..epoch {
+            let snap = Epoch(e);
+            let mut got = s.visible_rows(snap).unwrap();
+            got.sort();
+            let mut want: Vec<Row> = model
+                .iter()
+                .filter(|(_, ce, de)| *ce <= e && de.map_or(true, |d| d > e))
+                .map(|(r, _, _)| r.clone())
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want, "snapshot {} diverged", e);
+        }
+    }
+
+    /// AHM purge: after mergeout with an AHM, snapshots at or after the AHM
+    /// are unchanged (older history may legitimately disappear).
+    #[test]
+    fn ahm_purge_preserves_recent_snapshots(
+        deletes in prop::collection::vec(0u8..50, 1..10)
+    ) {
+        let mover = TupleMover::new(TupleMoverConfig {
+            strata_base_bytes: 128,
+            merge_threshold: 2,
+            ..Default::default()
+        });
+        let mut s = store();
+        let rows: Vec<Row> = (0..50i64)
+            .map(|i| vec![Value::Integer(i), Value::Integer(i)])
+            .collect();
+        s.insert_direct_ros(rows, Epoch(1)).unwrap();
+        let mut epoch = 2u64;
+        for d in &deletes {
+            let victims: Vec<RowLocation> = s
+                .visible_rows_with_locations(Epoch(epoch - 1))
+                .unwrap()
+                .into_iter()
+                .filter(|(_, r)| r[0].as_i64().unwrap() == i64::from(*d))
+                .map(|(loc, _)| loc)
+                .collect();
+            for loc in victims {
+                s.mark_deleted(loc, Epoch(epoch)).unwrap();
+            }
+            epoch += 1;
+        }
+        let ahm = Epoch(epoch / 2);
+        let reference: Vec<Vec<Row>> = (ahm.0..epoch)
+            .map(|e| {
+                let mut v = s.visible_rows(Epoch(e)).unwrap();
+                v.sort();
+                v
+            })
+            .collect();
+        mover.run_mergeout(&mut s, ahm).unwrap();
+        for (i, e) in (ahm.0..epoch).enumerate() {
+            let mut v = s.visible_rows(Epoch(e)).unwrap();
+            v.sort();
+            prop_assert_eq!(&v, &reference[i], "post-AHM snapshot {} changed", e);
+        }
+    }
+}
