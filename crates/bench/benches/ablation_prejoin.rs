@@ -19,7 +19,8 @@ fn setup(with_prejoin: bool, n: i64) -> Database {
         .map(|i| vec![Value::Integer(i), Value::Integer(i % 7)])
         .collect();
     db.load("dim", &dims).unwrap();
-    db.execute("CREATE TABLE fact (fid INT, did INT, amt INT)").unwrap();
+    db.execute("CREATE TABLE fact (fid INT, did INT, amt INT)")
+        .unwrap();
     db.execute(
         "CREATE PROJECTION fact_super AS SELECT fid, did, amt FROM fact ORDER BY fid \
          UNSEGMENTED ALL NODES",
@@ -71,9 +72,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_prejoin");
     g.sample_size(10);
     g.bench_function("query_prejoin_scan", |b| b.iter(|| with.query(q).unwrap()));
-    g.bench_function("query_hash_join", |b| {
-        b.iter(|| without.query(q).unwrap())
-    });
+    g.bench_function("query_hash_join", |b| b.iter(|| without.query(q).unwrap()));
     // Load cost: the other half of the paper's argument.
     let facts: Vec<Row> = (0..20_000i64)
         .map(|i| {

@@ -61,9 +61,7 @@ fn bench(c: &mut Criterion) {
             assert!(n < 40, "containers must consolidate: {n}");
         })
     });
-    g.bench_function("naive_merge_all", |b| {
-        b.iter(|| run(&naive, 40, 500))
-    });
+    g.bench_function("naive_merge_all", |b| b.iter(|| run(&naive, 40, 500)));
     g.finish();
 }
 

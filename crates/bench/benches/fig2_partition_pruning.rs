@@ -44,8 +44,7 @@ fn store(rows_per_month: usize) -> ProjectionStore {
 fn bench(c: &mut Criterion) {
     println!("{}", vdb_bench::repro::figure2(10_000).unwrap());
     let s = store(20_000);
-    let april_key =
-        Expr::eq(Expr::col(0, "pk"), Expr::int(201_204));
+    let april_key = Expr::eq(Expr::col(0, "pk"), Expr::int(201_204));
     let run = |partition_pred: Option<Expr>| {
         let snap = s.scan_snapshot(Epoch(1));
         let mut scan = ScanOperator::new(

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vdb_exec::aggregate::{AggCall, AggFunc};
 use vdb_exec::exchange::parallel_segmented;
-use vdb_exec::groupby::{two_phase_aggs, HashGroupByOp, PrepassGroupByOp, PREPASS_GROUPS};
 use vdb_exec::filter::ProjectOp;
+use vdb_exec::groupby::{two_phase_aggs, HashGroupByOp, PrepassGroupByOp, PREPASS_GROUPS};
 use vdb_exec::operator::{collect_rows, BoxedOperator, ValuesOp};
 use vdb_exec::MemoryBudget;
 use vdb_types::{Row, Value};

@@ -7,10 +7,7 @@ use vdb_encoding::{ColumnWriter, EncodingType};
 use vdb_types::Value;
 
 fn bench(c: &mut Criterion) {
-    println!(
-        "{}",
-        vdb_bench::repro::table4(1_000_000, 500_000).unwrap()
-    );
+    println!("{}", vdb_bench::repro::table4(1_000_000, 500_000).unwrap());
 
     let n = 200_000;
     let ints = random_ints::generate(n, 42);

@@ -15,11 +15,9 @@ fn main() {
     } else {
         (600_000, 1_000_000, 2_000_000, 200_000)
     };
-    let run = |name: &str, text: Result<String, vdb_types::DbError>| {
-        match text {
-            Ok(t) => println!("{t}"),
-            Err(e) => eprintln!("{name} failed: {e}"),
-        }
+    let run = |name: &str, text: Result<String, vdb_types::DbError>| match text {
+        Ok(t) => println!("{t}"),
+        Err(e) => eprintln!("{name} failed: {e}"),
     };
     match what {
         "table1" | "table2" => println!("{}", repro::table1_2()),

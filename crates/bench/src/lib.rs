@@ -10,8 +10,10 @@
 //! | Figure 2 (storage layout + partition pruning) | [`repro::figure2`] |
 //! | Figure 3 (parallel pipelined plan) | [`repro::figure3`] |
 //!
-//! `cargo run -p vdb-bench --bin repro -- all` prints every reproduction;
+//! `cargo run -p vdb_bench --bin repro -- all` prints every reproduction;
 //! the Criterion benches in `benches/` time the same code paths.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod repro;
 pub mod workloads;

@@ -31,7 +31,11 @@ pub fn table3(lineitem_rows: usize) -> DbResult<String> {
         out,
         "== Table 3: Vertica vs C-Store ({lineitem_rows} lineitem rows) =="
     );
-    let _ = writeln!(out, "{:<8}{:>14}{:>14}{:>9}", "Query", "C-Store(ms)", "Vertica(ms)", "ratio");
+    let _ = writeln!(
+        out,
+        "{:<8}{:>14}{:>14}{:>9}",
+        "Query", "C-Store(ms)", "Vertica(ms)", "ratio"
+    );
     let mut total_c = 0.0;
     let mut total_v = 0.0;
     for q in 1..=7 {
@@ -82,7 +86,11 @@ pub fn table3(lineitem_rows: usize) -> DbResult<String> {
 /// empirically and keeps the smallest (§6.3); per-block Auto competes too.
 fn vertica_column_bytes(values: &[Value]) -> usize {
     let mut best = usize::MAX;
-    for enc in EncodingType::CONCRETE.iter().copied().chain([EncodingType::Auto]) {
+    for enc in EncodingType::CONCRETE
+        .iter()
+        .copied()
+        .chain([EncodingType::Auto])
+    {
         let mut w = ColumnWriter::new(enc);
         w.extend(values.iter().cloned());
         let (data, index) = w.finish();
@@ -107,7 +115,11 @@ pub fn table4(n_ints: usize, meter_rows: usize) -> DbResult<String> {
     let col: Vec<Value> = sorted.iter().map(|&v| Value::Integer(v)).collect();
     let vertica = vertica_column_bytes(&col);
     let _ = writeln!(out, "== Table 4a: {n_ints} random integers ==");
-    let _ = writeln!(out, "{:<16}{:>12}{:>8}{:>10}", "Method", "Bytes", "Ratio", "B/row");
+    let _ = writeln!(
+        out,
+        "{:<16}{:>12}{:>8}{:>10}",
+        "Method", "Bytes", "Ratio", "B/row"
+    );
     for (name, bytes) in [
         ("Raw", raw),
         ("gzip-class", gz),
@@ -136,7 +148,11 @@ pub fn table4(n_ints: usize, meter_rows: usize) -> DbResult<String> {
     let raw = csv.len();
     let gz = vdb_compress::compress(csv.as_bytes()).len();
     let _ = writeln!(out, "== Table 4b: {meter_rows} meter records ==");
-    let _ = writeln!(out, "{:<16}{:>12}{:>8}{:>10}", "Method", "Bytes", "Ratio", "B/row");
+    let _ = writeln!(
+        out,
+        "{:<16}{:>12}{:>8}{:>10}",
+        "Method", "Bytes", "Ratio", "B/row"
+    );
     let _ = writeln!(
         out,
         "{:<16}{raw:>12}{:>8.1}{:>10.2}",
@@ -196,9 +212,7 @@ pub fn scaled_meter_config(target_rows: usize) -> meter::MeterConfig {
 /// projection; shows the physical designs and the narrow-scan advantage.
 pub fn figure1(rows: usize) -> DbResult<String> {
     let db = vdb_core::Database::single_node();
-    db.execute(
-        "CREATE TABLE sales (sale_id INT, cust VARCHAR, price FLOAT, date TIMESTAMP)",
-    )?;
+    db.execute("CREATE TABLE sales (sale_id INT, cust VARCHAR, price FLOAT, date TIMESTAMP)")?;
     db.execute(
         "CREATE PROJECTION sales_super AS SELECT sale_id, cust, price, date FROM sales \
          ORDER BY date SEGMENTED BY HASH(sale_id) ALL NODES",
@@ -226,11 +240,7 @@ pub fn figure1(rows: usize) -> DbResult<String> {
     // The narrow projection answers cust/price queries with less I/O: the
     // optimizer picks it automatically.
     let explain = db.execute("EXPLAIN SELECT cust, SUM(price) FROM sales GROUP BY cust")?;
-    let text: String = explain
-        .rows
-        .iter()
-        .map(|r| format!("{}\n", r[0]))
-        .collect();
+    let text: String = explain.rows.iter().map(|r| format!("{}\n", r[0])).collect();
     let _ = writeln!(out, "\nplan for SELECT cust, SUM(price) ... GROUP BY cust:");
     out.push_str(&text);
     assert!(
@@ -290,10 +300,7 @@ pub fn figure2(rows_per_month: usize) -> DbResult<String> {
     let _ = writeln!(out, "== Figure 2: physical storage layout ==");
     out.push_str(&vdb_storage::layout::render(&store));
     // Partition pruning: scan April only.
-    let april = vdb_types::Expr::eq(
-        vdb_types::Expr::col(0, "pk"),
-        vdb_types::Expr::int(201_204),
-    );
+    let april = vdb_types::Expr::eq(vdb_types::Expr::col(0, "pk"), vdb_types::Expr::int(201_204));
     let snap = store.scan_snapshot(Epoch(1));
     let mut pruned_scan = vdb_exec::scan::ScanOperator::new(
         store.backend().clone(),
@@ -339,9 +346,7 @@ pub fn figure3(rows: usize) -> DbResult<String> {
          SEGMENTED BY HASH(v) ALL NODES",
     )?;
     db.execute("INSERT INTO t VALUES (1, 1)")?;
-    let explain = db.execute(
-        "EXPLAIN SELECT g, COUNT(*), SUM(v) FROM t WHERE v > 0 GROUP BY g",
-    )?;
+    let explain = db.execute("EXPLAIN SELECT g, COUNT(*), SUM(v) FROM t WHERE v > 0 GROUP BY g")?;
     let mut out = String::new();
     let _ = writeln!(out, "== Figure 3: pipelined multi-threaded plan ==");
     for r in &explain.rows {

@@ -16,9 +16,7 @@ use rand::{Rng, SeedableRng};
 use vdb_core::Database;
 use vdb_cstore::{collect, CStoreDb, CStoreGroupBy, CStoreHashJoin};
 use vdb_exec::aggregate::{AggCall, AggFunc};
-use vdb_types::{
-    BinOp, ColumnDef, DataType, DbResult, Expr, Row, TableSchema, Value,
-};
+use vdb_types::{BinOp, ColumnDef, DataType, DbResult, Expr, Row, TableSchema, Value};
 
 pub const DAY: i64 = 86_400;
 /// Dates span 1992-01-01 .. ~1998 in day-granular timestamps.
@@ -68,13 +66,13 @@ pub fn generate(lineitem_rows: usize, seed: u64) -> (Vec<Row>, Vec<Row>) {
     for _ in 0..lineitem_rows {
         let ok = rng.gen_range(0..n_orders as i64);
         // Ship within ~0..60 days of the order date.
-        let ship = order_dates[ok as usize] + rng.gen_range(1..60) * DAY;
+        let ship = order_dates[ok as usize] + rng.gen_range(1..60i64) * DAY;
         lineitems.push(vec![
             Value::Integer(ok),
             Value::Integer(rng.gen_range(0..N_SUPPLIERS)),
             Value::Timestamp(ship),
             Value::Float((rng.gen_range(100..100_000) as f64) / 100.0),
-            Value::Varchar(flags[rng.gen_range(0..3)].to_string()),
+            Value::Varchar(flags[rng.gen_range(0..3usize)].to_string()),
         ]);
     }
     (lineitems, orders)

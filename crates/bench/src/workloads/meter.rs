@@ -45,8 +45,7 @@ impl Default for MeterConfig {
 /// Generate approximately `target_rows` rows sorted by (metric, meter, ts).
 pub fn generate(target_rows: usize, config: &MeterConfig) -> Vec<Row> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let per_series =
-        (target_rows as i64 / (config.n_metrics * config.n_meters)).max(1) as usize;
+    let per_series = (target_rows as i64 / (config.n_metrics * config.n_meters)).max(1) as usize;
     let base_ts = 1_330_000_000i64; // early 2012
     let mut rows = Vec::with_capacity(target_rows);
     'outer: for metric in 0..config.n_metrics {

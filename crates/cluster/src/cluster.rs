@@ -6,12 +6,12 @@ use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use vdb_exec::plan::{execute_collect, ExecContext};
-use vdb_optimizer::{MergeSpec, OptimizerCatalog, PlannedQuery, ProjectionMeta, TableAccess, TableMeta};
+use vdb_optimizer::{
+    MergeSpec, OptimizerCatalog, PlannedQuery, ProjectionMeta, TableAccess, TableMeta,
+};
 use vdb_storage::projection::ProjectionDef;
 use vdb_storage::store::SnapshotScan;
-use vdb_storage::{
-    MemBackend, StorageEngine, TupleMover, TupleMoverConfig,
-};
+use vdb_storage::{MemBackend, StorageEngine, TupleMover, TupleMoverConfig};
 use vdb_txn::txn::Isolation;
 use vdb_txn::{EpochManager, LockMode, TransactionManager};
 use vdb_types::{DbError, DbResult, Epoch, Expr, NodeId, Row, TableSchema, Value};
@@ -82,10 +82,7 @@ impl Cluster {
         let nodes = (0..config.n_nodes)
             .map(|i| Node {
                 id: NodeId(i as u32),
-                engine: StorageEngine::new(
-                    Arc::new(MemBackend::new()),
-                    config.n_local_segments,
-                ),
+                engine: StorageEngine::new(Arc::new(MemBackend::new()), config.n_local_segments),
             })
             .collect();
         Cluster {
@@ -180,13 +177,10 @@ impl Cluster {
     // DDL
     // ------------------------------------------------------------------
 
-    pub fn create_table(
-        &self,
-        schema: TableSchema,
-        partition_by: Option<Expr>,
-    ) -> DbResult<()> {
+    pub fn create_table(&self, schema: TableSchema, partition_by: Option<Expr>) -> DbResult<()> {
         for n in &self.nodes {
-            n.engine.create_table(schema.clone(), partition_by.clone())?;
+            n.engine
+                .create_table(schema.clone(), partition_by.clone())?;
         }
         self.tables
             .write()
@@ -374,9 +368,8 @@ impl Cluster {
                 if self.router.is_replicated(&family.def) {
                     for (n, node) in self.nodes.iter().enumerate() {
                         if up[n] {
-                            node.engine.insert_projection_rows(
-                                replica, &validated, epoch, direct_ros,
-                            )?;
+                            node.engine
+                                .insert_projection_rows(replica, &validated, epoch, direct_ros)?;
                         }
                     }
                     continue;
@@ -396,9 +389,9 @@ impl Cluster {
                 }
                 for (n, node_rows) in per_node {
                     if up[n] {
-                        self.nodes[n].engine.insert_projection_rows(
-                            replica, &node_rows, epoch, direct_ros,
-                        )?;
+                        self.nodes[n]
+                            .engine
+                            .insert_projection_rows(replica, &node_rows, epoch, direct_ros)?;
                     }
                     // Down node: rows are skipped; recovery replays them
                     // from the buddy (§5.2).
@@ -540,9 +533,7 @@ impl Cluster {
             })
             .or_else(|| {
                 fams.values().find(|f| {
-                    f.table == table
-                        && f.def.is_super(schema.arity())
-                        && f.def.prejoin.is_empty()
+                    f.table == table && f.def.is_super(schema.arity()) && f.def.prejoin.is_empty()
                 })
             })
             .cloned()
@@ -650,9 +641,10 @@ impl Cluster {
             wos_rows: vec![],
         };
         if self.router.is_replicated(&family.def) {
-            let n = *self.up_nodes().first().ok_or_else(|| {
-                DbError::Cluster("no up nodes".into())
-            })?;
+            let n = *self
+                .up_nodes()
+                .first()
+                .ok_or_else(|| DbError::Cluster("no up nodes".into()))?;
             let store = self.nodes[n].engine.projection(&family.replicas[0])?;
             return Ok(store.read().scan_snapshot(snapshot));
         }
@@ -679,7 +671,8 @@ impl Cluster {
                 if self.router.is_replicated(&f.def) {
                     up.iter().any(|&u| u)
                 } else {
-                    self.router.all_positions_readable(&up, f.replicas.len() - 1)
+                    self.router
+                        .all_positions_readable(&up, f.replicas.len() - 1)
                 }
             })
             .map(|(k, _)| k.clone())
@@ -694,12 +687,12 @@ impl Cluster {
         }
         let families = self.families.read().clone();
         // Resolve every scanned family's per-node or broadcast snapshot.
-        let mut per_node_snapshots: HashMap<usize, HashMap<String, SnapshotScan>> =
-            HashMap::new();
+        let mut per_node_snapshots: HashMap<usize, HashMap<String, SnapshotScan>> = HashMap::new();
         let participants: Vec<usize> = if planned.single_node {
-            vec![*self.up_nodes().first().ok_or_else(|| {
-                DbError::Cluster("no up nodes".into())
-            })?]
+            vec![*self
+                .up_nodes()
+                .first()
+                .ok_or_else(|| DbError::Cluster("no up nodes".into()))?]
         } else {
             self.up_nodes()
         };
@@ -997,11 +990,7 @@ mod tests {
         let c = make_cluster(3, 1);
         c.load("sales", &rows(100), true).unwrap();
         let before = c.epochs.read_committed_snapshot();
-        let pred = Expr::binary(
-            vdb_types::BinOp::Lt,
-            Expr::col(0, "id"),
-            Expr::int(10),
-        );
+        let pred = Expr::binary(vdb_types::BinOp::Lt, Expr::col(0, "id"), Expr::int(10));
         let (_, deleted) = c.delete("sales", Some(&pred)).unwrap();
         assert_eq!(deleted, 10);
         let now = c.epochs.read_committed_snapshot();
@@ -1023,10 +1012,7 @@ mod tests {
         let now = c.epochs.read_committed_snapshot();
         let all = c.table_rows("sales", now).unwrap();
         assert_eq!(all.len(), 20);
-        let updated = all
-            .iter()
-            .find(|r| r[0] == Value::Integer(5))
-            .unwrap();
+        let updated = all.iter().find(|r| r[0] == Value::Integer(5)).unwrap();
         assert_eq!(updated[2], Value::Integer(999));
     }
 

@@ -20,6 +20,8 @@
 //!   historical + current phase copy from a buddy (§5.2); **refresh**
 //!   populates projections created after load.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod cluster;
 pub mod recovery;
 pub mod segmentation;

@@ -64,8 +64,7 @@ impl Cluster {
                 store.write().truncate_after(lge)?;
                 // 2. Historical phase (no locks): replay (LGE, Eh].
                 let eh = self.epochs.read_committed_snapshot();
-                let hist =
-                    self.gather_replay_rows(&family.def, replica, b, node, lge, eh)?;
+                let hist = self.gather_replay_rows(&family.def, replica, b, node, lge, eh)?;
                 stats.historical_rows += hist.rows.len() as u64;
                 store.write().apply_history(hist.rows)?;
                 store.write().apply_late_deletes(&hist.late_deletes)?;
@@ -74,8 +73,7 @@ impl Cluster {
                 let txn = self.txns.begin(Isolation::ReadCommitted);
                 self.txns.lock(&txn, &family.table, LockMode::S)?;
                 let current = self.epochs.current();
-                let cur =
-                    self.gather_replay_rows(&family.def, replica, b, node, eh, current)?;
+                let cur = self.gather_replay_rows(&family.def, replica, b, node, eh, current)?;
                 stats.current_rows += cur.rows.len() as u64;
                 store.write().apply_history(cur.rows)?;
                 store.write().apply_late_deletes(&cur.late_deletes)?;

@@ -36,9 +36,7 @@ impl RingRouter {
     ) -> DbResult<Option<usize>> {
         match def.segment_value(row)? {
             None => Ok(None),
-            Some(v) => Ok(Some(
-                (ring_node(v, self.n_nodes) + buddy) % self.n_nodes,
-            )),
+            Some(v) => Ok(Some((ring_node(v, self.n_nodes) + buddy) % self.n_nodes)),
         }
     }
 

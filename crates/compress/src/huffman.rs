@@ -103,7 +103,10 @@ fn huffman_depths(freqs: &[u64]) -> Vec<u32> {
     let mut parent = vec![usize::MAX; n + present.len()];
     let mut heap = std::collections::BinaryHeap::new();
     for &i in &present {
-        heap.push(Node { freq: freqs[i], id: i });
+        heap.push(Node {
+            freq: freqs[i],
+            id: i,
+        });
     }
     let mut next_id = n;
     while heap.len() > 1 {
@@ -439,7 +442,10 @@ mod tests {
             Token::Literal(b'i'),
             Token::Match { len: 10, dist: 2 },
             Token::Literal(0),
-            Token::Match { len: 258, dist: 32_767 },
+            Token::Match {
+                len: 258,
+                dist: 32_767,
+            },
             Token::Match { len: 4, dist: 1 },
         ];
         let orig_len: usize = tokens

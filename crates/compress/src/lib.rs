@@ -14,6 +14,8 @@
 //! scheme, which the paper describes as storing "indexes into the
 //! dictionary using entropy coding": we reuse [`huffman`] for that.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod bitio;
 pub mod huffman;
 pub mod lz77;

@@ -24,7 +24,10 @@ pub enum Token {
     /// position. `MIN_MATCH ≤ len ≤ MAX_MATCH`, `1 ≤ dist < WINDOW`
     /// (strictly below so `dist` fits `u16` and the 15-bucket distance
     /// alphabet).
-    Match { len: u16, dist: u16 },
+    Match {
+        len: u16,
+        dist: u16,
+    },
 }
 
 #[inline]

@@ -39,6 +39,28 @@ impl QueryResult {
 }
 
 /// The database: a cluster plus SQL/plan caching glue.
+///
+/// # Examples
+///
+/// Create a table, insert through the WOS, and query — the whole
+/// SQL→optimizer→executor→storage pipeline on one node:
+///
+/// ```
+/// use vdb_core::{Database, Value};
+///
+/// let db = Database::single_node();
+/// db.execute("CREATE TABLE t (id INT, name VARCHAR)").unwrap();
+/// db.execute("CREATE PROJECTION t_super AS SELECT id, name FROM t ORDER BY id")
+///     .unwrap();
+/// db.execute("INSERT INTO t VALUES (1, 'ada')").unwrap();
+/// db.execute("INSERT INTO t VALUES (2, 'grace')").unwrap();
+///
+/// let rows = db.query("SELECT name FROM t WHERE id = 2").unwrap();
+/// assert_eq!(rows, vec![vec![Value::Varchar("grace".into())]]);
+///
+/// let count = db.execute("SELECT COUNT(*) FROM t").unwrap();
+/// assert_eq!(count.scalar(), Some(&Value::Integer(2)));
+/// ```
 pub struct Database {
     cluster: Cluster,
     /// Catalog cache keyed by the epoch it was built at.
@@ -100,7 +122,12 @@ impl Database {
 
     /// Execute one SQL statement.
     pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
-        let stmt = vdb_sql::compile(sql, &Schemas { cluster: &self.cluster })?;
+        let stmt = vdb_sql::compile(
+            sql,
+            &Schemas {
+                cluster: &self.cluster,
+            },
+        )?;
         self.execute_bound(stmt)
     }
 
@@ -125,7 +152,10 @@ impl Database {
                 // (refresh, §5.2).
                 if self
                     .cluster
-                    .table_rows(&def.anchor_table, self.cluster.epochs.read_committed_snapshot())
+                    .table_rows(
+                        &def.anchor_table,
+                        self.cluster.epochs.read_committed_snapshot(),
+                    )
                     .map(|r| !r.is_empty())
                     .unwrap_or(false)
                 {
@@ -257,7 +287,12 @@ impl Database {
             .ok_or_else(|| DbError::NotFound(format!("table {table}")))?;
         let mut workload = Vec::new();
         for sql in workload_sql {
-            match vdb_sql::compile(sql, &Schemas { cluster: &self.cluster })? {
+            match vdb_sql::compile(
+                sql,
+                &Schemas {
+                    cluster: &self.cluster,
+                },
+            )? {
                 BoundStatement::Select(q) => workload.push(q),
                 _ => {
                     return Err(DbError::Binder(
@@ -266,8 +301,7 @@ impl Database {
                 }
             }
         }
-        let designs =
-            vdb_designer::design_table(&schema, sample, total_rows, &workload, policy)?;
+        let designs = vdb_designer::design_table(&schema, sample, total_rows, &workload, policy)?;
         let mut rationales = Vec::new();
         for d in designs {
             self.cluster.create_projection(d.def.clone())?;
@@ -383,7 +417,8 @@ mod tests {
         let r = db.execute("DELETE FROM sales WHERE id = 1").unwrap();
         assert_eq!(r.tag, "DELETE 1");
         assert_eq!(db.query("SELECT id FROM sales").unwrap().len(), 1);
-        db.execute("UPDATE sales SET amt = 9.5 WHERE id = 2").unwrap();
+        db.execute("UPDATE sales SET amt = 9.5 WHERE id = 2")
+            .unwrap();
         let got = db.query("SELECT amt FROM sales WHERE id = 2").unwrap();
         assert_eq!(got[0][0], Value::Float(9.5));
     }
@@ -391,15 +426,12 @@ mod tests {
     #[test]
     fn explain_mentions_scan_and_merge() {
         let db = db_with_sales();
-        db.execute("INSERT INTO sales VALUES (1, 'e', 1.0, 10)").unwrap();
+        db.execute("INSERT INTO sales VALUES (1, 'e', 1.0, 10)")
+            .unwrap();
         let r = db
             .execute("EXPLAIN SELECT region, COUNT(*) FROM sales GROUP BY region")
             .unwrap();
-        let text: String = r
-            .rows
-            .iter()
-            .map(|row| format!("{}\n", row[0]))
-            .collect();
+        let text: String = r.rows.iter().map(|row| format!("{}\n", row[0])).collect();
         assert!(text.contains("Scan sales_super"), "{text}");
         assert!(text.contains("re-aggregate"), "{text}");
     }
@@ -503,10 +535,8 @@ mod tests {
     #[test]
     fn partition_pruning_and_drop_partition() {
         let db = Database::single_node();
-        db.execute(
-            "CREATE TABLE events (id INT, ts TIMESTAMP) PARTITION BY YEAR_MONTH(ts)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE events (id INT, ts TIMESTAMP) PARTITION BY YEAR_MONTH(ts)")
+            .unwrap();
         db.execute(
             "CREATE PROJECTION events_super AS SELECT id, ts FROM events ORDER BY ts \
              SEGMENTED BY HASH(id) ALL NODES",
@@ -523,7 +553,9 @@ mod tests {
             })
             .collect();
         db.load("events", &rows).unwrap();
-        let r = db.execute("ALTER TABLE events DROP PARTITION 201203").unwrap();
+        let r = db
+            .execute("ALTER TABLE events DROP PARTITION 201203")
+            .unwrap();
         assert!(r.tag.starts_with("DROP PARTITION"));
         assert_eq!(db.query("SELECT id FROM events").unwrap().len(), 10);
     }

@@ -8,6 +8,8 @@
 //! the §7 "rejected records" behaviour: malformed CSV rows are collected,
 //! not fatal.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod database;
 pub mod loader;
 

@@ -34,11 +34,7 @@ pub fn load_csv(db: &Database, table: &str, csv: &str) -> DbResult<LoadReport> {
         if fields.len() != schema.arity() {
             rejected.push((
                 lineno,
-                format!(
-                    "expected {} fields, found {}",
-                    schema.arity(),
-                    fields.len()
-                ),
+                format!("expected {} fields, found {}", schema.arity(), fields.len()),
             ));
             continue;
         }

@@ -20,6 +20,8 @@
 //! iterators); the Table 3 harness drives both engines through equivalent
 //! physical plans.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::collections::HashMap;
 use vdb_types::codec::{Reader, Writer};
 use vdb_types::{DbError, DbResult, Expr, Row, TableSchema, Value};
@@ -99,7 +101,8 @@ impl CStoreDb {
             row_count: rows.len(),
             arity,
         };
-        self.tables.insert(schema.name.clone(), (schema, projection));
+        self.tables
+            .insert(schema.name.clone(), (schema, projection));
         Ok(())
     }
 
@@ -115,8 +118,7 @@ impl CStoreDb {
         self.tables
             .values()
             .map(|(_, p)| {
-                p.columns.iter().map(Vec::len).sum::<usize>() as u64
-                    + p.row_ids.len() as u64
+                p.columns.iter().map(Vec::len).sum::<usize>() as u64 + p.row_ids.len() as u64
             })
             .sum()
     }

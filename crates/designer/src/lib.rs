@@ -18,6 +18,8 @@
 //! Three design policies trade query speed against load/storage cost:
 //! load-optimized (fewest projections), balanced, query-optimized.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::collections::BTreeMap;
 use vdb_encoding::EncodingType;
 use vdb_optimizer::query::BoundQuery;
@@ -133,9 +135,7 @@ pub fn design_table(
                 s += 10 * interest.predicate_weight.get(&lead).copied().unwrap_or(1);
             }
         }
-        if !interest.group_columns.is_empty()
-            && order.starts_with(&interest.group_columns)
-        {
+        if !interest.group_columns.is_empty() && order.starts_with(&interest.group_columns) {
             s += 5;
         }
         s
@@ -178,10 +178,11 @@ pub fn design_table(
                     cols.push(c);
                 }
             }
-            let column_names: Vec<String> =
-                cols.iter().map(|&c| schema.columns[c].name.clone()).collect();
-            let column_types: Vec<_> =
-                cols.iter().map(|&c| schema.columns[c].data_type).collect();
+            let column_names: Vec<String> = cols
+                .iter()
+                .map(|&c| schema.columns[c].name.clone())
+                .collect();
+            let column_types: Vec<_> = cols.iter().map(|&c| schema.columns[c].data_type).collect();
             let mut def = ProjectionDef {
                 name: format!("{}_gb", schema.name),
                 anchor_table: schema.name.clone(),
@@ -272,7 +273,9 @@ pub fn workload_interest(schema: &TableSchema, workload: &[BoundQuery]) -> Workl
                 interest.join_columns.extend(e.left_columns.iter().copied());
             }
             if e.right_table == t {
-                interest.join_columns.extend(e.right_columns.iter().copied());
+                interest
+                    .join_columns
+                    .extend(e.right_columns.iter().copied());
             }
         }
         if q.tables.len() == 1 {
@@ -342,8 +345,8 @@ mod tests {
         (0..n)
             .map(|i| {
                 vec![
-                    Value::Integer(i % 10),          // few metrics
-                    Value::Integer(i % 100),         // meters
+                    Value::Integer(i % 10),                // few metrics
+                    Value::Integer(i % 100),               // meters
                     Value::Timestamp(1_000_000 + i * 300), // periodic
                     Value::Float((i % 7) as f64),
                 ]
@@ -375,9 +378,14 @@ mod tests {
 
     #[test]
     fn designs_super_projection_with_predicate_leading_sort() {
-        let designs =
-            design_table(&schema(), &sample(2000), 1_000_000, &workload(), DesignPolicy::Balanced)
-                .unwrap();
+        let designs = design_table(
+            &schema(),
+            &sample(2000),
+            1_000_000,
+            &workload(),
+            DesignPolicy::Balanced,
+        )
+        .unwrap();
         assert!(!designs.is_empty());
         let sup = &designs[0].def;
         assert!(sup.is_super(4));
@@ -405,9 +413,14 @@ mod tests {
 
     #[test]
     fn balanced_policy_adds_groupby_projection() {
-        let designs =
-            design_table(&schema(), &sample(2000), 1_000_000, &workload(), DesignPolicy::Balanced)
-                .unwrap();
+        let designs = design_table(
+            &schema(),
+            &sample(2000),
+            1_000_000,
+            &workload(),
+            DesignPolicy::Balanced,
+        )
+        .unwrap();
         assert_eq!(designs.len(), 2);
         let gb = &designs[1].def;
         assert_eq!(gb.sort_prefix(), vec![0], "sorted by meter (proj col 0)");

@@ -13,9 +13,7 @@
 //! NULLs natively (a NULL run is a perfectly good run), so they skip the
 //! bitmap, keeping the common sorted-leading-column path allocation-free.
 
-use crate::{
-    auto, block_dict, common_delta, delta_range, delta_value, plain, rle, EncodingType,
-};
+use crate::{auto, block_dict, common_delta, delta_range, delta_value, plain, rle, EncodingType};
 use vdb_types::codec::{Reader, Writer};
 use vdb_types::{DbError, DbResult, Value};
 
@@ -74,7 +72,9 @@ pub fn encode_block(values: &[Value], requested: EncodingType, w: &mut Writer) -
             w.put_u8(0);
             rle::encode(values, w);
         }
-        EncodingType::DeltaValue | EncodingType::BlockDict | EncodingType::DeltaRange
+        EncodingType::DeltaValue
+        | EncodingType::BlockDict
+        | EncodingType::DeltaRange
         | EncodingType::CommonDelta => {
             let has_nulls = values.iter().any(Value::is_null);
             w.put_u8(u8::from(has_nulls));

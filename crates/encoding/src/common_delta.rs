@@ -141,8 +141,8 @@ pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
             .read_bits(4)
             .map_err(|e| DbError::Corrupt(e.to_string()))? as u32;
     }
-    let dec = HuffmanDecoder::from_lengths(&lengths)
-        .map_err(|e| DbError::Corrupt(e.to_string()))?;
+    let dec =
+        HuffmanDecoder::from_lengths(&lengths).map_err(|e| DbError::Corrupt(e.to_string()))?;
     let mut out = Vec::with_capacity(count);
     let mut acc = 0i64;
     for _ in 0..count {

@@ -118,7 +118,11 @@ mod tests {
         // tagged f64 needs.
         let mut pw = Writer::new();
         crate::plain::encode(&vals, &mut pw);
-        assert!(dr_len < pw.len(), "delta-range {dr_len} vs plain {}", pw.len());
+        assert!(
+            dr_len < pw.len(),
+            "delta-range {dr_len} vs plain {}",
+            pw.len()
+        );
     }
 
     #[test]

@@ -33,9 +33,9 @@ pub fn applicable(values: &[Value]) -> bool {
 }
 
 pub fn encode(values: &[Value], w: &mut Writer) -> DbResult<()> {
-    let tag = type_tag(values).ok_or_else(|| DbError::Execution(
-        "delta-value encoding requires a single integral type".into(),
-    ))?;
+    let tag = type_tag(values).ok_or_else(|| {
+        DbError::Execution("delta-value encoding requires a single integral type".into())
+    })?;
     let ints: Vec<i64> = values.iter().map(|v| v.as_i64().unwrap()).collect();
     let min = ints.iter().copied().min().unwrap_or(0);
     w.put_u8(tag);
@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn negative_values() {
-        let vals: Vec<Value> = [-100, -5, -100, 0].iter().map(|&v| Value::Integer(v)).collect();
+        let vals: Vec<Value> = [-100, -5, -100, 0]
+            .iter()
+            .map(|&v| Value::Integer(v))
+            .collect();
         let mut w = Writer::new();
         encode(&vals, &mut w).unwrap();
         let bytes = w.into_bytes();

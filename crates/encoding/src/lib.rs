@@ -23,6 +23,8 @@
 //! data" (§3.7) — which the scan operator uses for fast tuple reconstruction
 //! and container pruning.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod auto;
 pub mod block;
 pub mod block_dict;

@@ -36,7 +36,7 @@ pub struct BlockMeta {
 
 impl BlockMeta {
     /// Can any row of this block satisfy `value ⊓ [min, max]`? Used by the
-    /// scan operator's block pruning (the [22] SMA technique in §3.5).
+    /// scan operator's block pruning (the \[22\] SMA technique in §3.5).
     pub fn might_contain_range(&self, low: Option<&Value>, high: Option<&Value>) -> bool {
         if self.min.is_null() && self.max.is_null() {
             // All-null block: only IS NULL scans care, which bypass pruning.
@@ -156,7 +156,11 @@ mod tests {
     #[test]
     fn position_lookup() {
         let idx = PositionIndex {
-            blocks: vec![meta(0, 100, 0, 9), meta(100, 100, 10, 19), meta(200, 50, 20, 25)],
+            blocks: vec![
+                meta(0, 100, 0, 9),
+                meta(100, 100, 10, 19),
+                meta(200, 50, 20, 25),
+            ],
         };
         assert_eq!(idx.total_rows(), 250);
         assert_eq!(idx.block_for_position(0), Some(0));

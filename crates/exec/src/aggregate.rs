@@ -251,7 +251,10 @@ impl AggState {
     pub fn approx_bytes(&self) -> usize {
         match self {
             AggState::CountDistinct(set) => {
-                32 + set.iter().map(crate::batch::approx_value_bytes).sum::<usize>()
+                32 + set
+                    .iter()
+                    .map(crate::batch::approx_value_bytes)
+                    .sum::<usize>()
             }
             _ => 24,
         }
@@ -306,10 +309,12 @@ mod tests {
         let mut a = AggState::new(AggFunc::CountDistinct);
         let mut b = AggState::new(AggFunc::CountDistinct);
         for v in [1i64, 2, 2] {
-            a.update(AggFunc::CountDistinct, &Value::Integer(v)).unwrap();
+            a.update(AggFunc::CountDistinct, &Value::Integer(v))
+                .unwrap();
         }
         for v in [2i64, 3] {
-            b.update(AggFunc::CountDistinct, &Value::Integer(v)).unwrap();
+            b.update(AggFunc::CountDistinct, &Value::Integer(v))
+                .unwrap();
         }
         a.merge(b).unwrap();
         assert_eq!(a.finish(), Value::Integer(3));
@@ -318,8 +323,10 @@ mod tests {
     #[test]
     fn rle_update_n_equals_n_updates() {
         let mut bulk = AggState::new(AggFunc::Avg);
-        bulk.update_n(AggFunc::Avg, &Value::Integer(10), 1000).unwrap();
-        bulk.update_n(AggFunc::Avg, &Value::Integer(20), 1000).unwrap();
+        bulk.update_n(AggFunc::Avg, &Value::Integer(10), 1000)
+            .unwrap();
+        bulk.update_n(AggFunc::Avg, &Value::Integer(20), 1000)
+            .unwrap();
         let mut single = AggState::new(AggFunc::Avg);
         for _ in 0..1000 {
             single.update(AggFunc::Avg, &Value::Integer(10)).unwrap();

@@ -72,8 +72,7 @@ impl AnalyticOp {
         let sorted: BoxedOperator = if pre_sorted {
             input
         } else {
-            let mut keys: Vec<SortKey> =
-                partition_by.iter().map(|&c| SortKey::asc(c)).collect();
+            let mut keys: Vec<SortKey> = partition_by.iter().map(|&c| SortKey::asc(c)).collect();
             keys.extend(order_by.iter().copied());
             Box::new(SortOp::new(input, keys, budget))
         };
@@ -106,9 +105,7 @@ impl AnalyticOp {
         let mut extra: Vec<Vec<Value>> = Vec::with_capacity(self.funcs.len());
         for f in &self.funcs {
             let col = match f {
-                WindowFunc::RowNumber => {
-                    (1..=n as i64).map(Value::Integer).collect()
-                }
+                WindowFunc::RowNumber => (1..=n as i64).map(Value::Integer).collect(),
                 WindowFunc::Rank | WindowFunc::DenseRank => {
                     let dense = matches!(f, WindowFunc::DenseRank);
                     let mut out = Vec::with_capacity(n);
@@ -136,8 +133,7 @@ impl AnalyticOp {
                     out
                 }
                 WindowFunc::Lead(c) => {
-                    let mut out: Vec<Value> =
-                        rows[1..].iter().map(|r| r[*c].clone()).collect();
+                    let mut out: Vec<Value> = rows[1..].iter().map(|r| r[*c].clone()).collect();
                     out.push(Value::Null);
                     out
                 }

@@ -89,9 +89,7 @@ impl Batch {
         }
         let arity = rows[0].len();
         let len = rows.len();
-        let mut columns: Vec<Vec<Value>> = (0..arity)
-            .map(|_| Vec::with_capacity(len))
-            .collect();
+        let mut columns: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(len)).collect();
         for row in rows {
             for (c, v) in row.into_iter().enumerate() {
                 columns[c].push(v);
@@ -128,7 +126,9 @@ impl Batch {
     /// aggregation over wide rows).
     pub fn into_rows(self) -> Vec<Row> {
         let len = self.len;
-        let mut rows: Vec<Row> = (0..len).map(|_| Vec::with_capacity(self.columns.len())).collect();
+        let mut rows: Vec<Row> = (0..len)
+            .map(|_| Vec::with_capacity(self.columns.len()))
+            .collect();
         for col in self.columns {
             match col {
                 ColumnSlice::Plain(values) => {
@@ -192,10 +192,7 @@ impl Batch {
             }
             columns.push(ColumnSlice::Plain(out));
         }
-        Batch {
-            columns,
-            len: kept,
-        }
+        Batch { columns, len: kept }
     }
 
     /// Approximate in-memory bytes (for memory budgeting).

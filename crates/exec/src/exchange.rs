@@ -424,9 +424,9 @@ mod tests {
     fn ring_routing_uses_contiguous_ranges() {
         // Ring on column 1 values scaled to the top of the u64 range.
         let data: Vec<Row> = vec![
-            vec![Value::Integer(0)],                // ring position 0 → lane 0
-            vec![Value::Integer(i64::MIN)],         // as u64 = 2^63 → lane 1
-            vec![Value::Integer(-1)],               // as u64 = MAX → lane 1
+            vec![Value::Integer(0)],        // ring position 0 → lane 0
+            vec![Value::Integer(i64::MIN)], // as u64 = 2^63 → lane 1
+            vec![Value::Integer(-1)],       // as u64 = MAX → lane 1
         ];
         let (tx1, rx1) = bounded(8);
         let (tx2, rx2) = bounded(8);
@@ -448,11 +448,17 @@ mod tests {
         let (tx1, rx1) = bounded(8);
         let (tx2, rx2) = bounded(8);
         tx1.send(Batch::from_rows(
-            [1i64, 3, 5].iter().map(|&i| vec![Value::Integer(i)]).collect(),
+            [1i64, 3, 5]
+                .iter()
+                .map(|&i| vec![Value::Integer(i)])
+                .collect(),
         ))
         .unwrap();
         tx2.send(Batch::from_rows(
-            [2i64, 4, 6].iter().map(|&i| vec![Value::Integer(i)]).collect(),
+            [2i64, 4, 6]
+                .iter()
+                .map(|&i| vec![Value::Integer(i)])
+                .collect(),
         ))
         .unwrap();
         drop((tx1, tx2));

@@ -767,7 +767,11 @@ pub fn two_phase_aggs(
             AggFunc::CountDistinct => return None,
             AggFunc::CountStar | AggFunc::Count => {
                 let pcol = group_arity + partial.len();
-                partial.push(AggCall::new(a.func, a.input, format!("p_{}", a.output_name)));
+                partial.push(AggCall::new(
+                    a.func,
+                    a.input,
+                    format!("p_{}", a.output_name),
+                ));
                 final_aggs.push(AggCall::new(AggFunc::Sum, pcol, a.output_name.clone()));
                 project.push(Expr::col(
                     group_arity + final_aggs.len() - 1,
@@ -776,7 +780,11 @@ pub fn two_phase_aggs(
             }
             AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
                 let pcol = group_arity + partial.len();
-                partial.push(AggCall::new(a.func, a.input, format!("p_{}", a.output_name)));
+                partial.push(AggCall::new(
+                    a.func,
+                    a.input,
+                    format!("p_{}", a.output_name),
+                ));
                 final_aggs.push(AggCall::new(a.func, pcol, a.output_name.clone()));
                 project.push(Expr::col(
                     group_arity + final_aggs.len() - 1,
@@ -785,13 +793,29 @@ pub fn two_phase_aggs(
             }
             AggFunc::Avg => {
                 let sum_col = group_arity + partial.len();
-                partial.push(AggCall::new(AggFunc::Sum, a.input, format!("p_sum_{}", a.output_name)));
+                partial.push(AggCall::new(
+                    AggFunc::Sum,
+                    a.input,
+                    format!("p_sum_{}", a.output_name),
+                ));
                 let cnt_col = group_arity + partial.len();
-                partial.push(AggCall::new(AggFunc::Count, a.input, format!("p_cnt_{}", a.output_name)));
+                partial.push(AggCall::new(
+                    AggFunc::Count,
+                    a.input,
+                    format!("p_cnt_{}", a.output_name),
+                ));
                 let fsum = group_arity + final_aggs.len();
-                final_aggs.push(AggCall::new(AggFunc::Sum, sum_col, format!("f_sum_{}", a.output_name)));
+                final_aggs.push(AggCall::new(
+                    AggFunc::Sum,
+                    sum_col,
+                    format!("f_sum_{}", a.output_name),
+                ));
                 let fcnt = group_arity + final_aggs.len();
-                final_aggs.push(AggCall::new(AggFunc::Sum, cnt_col, format!("f_cnt_{}", a.output_name)));
+                final_aggs.push(AggCall::new(
+                    AggFunc::Sum,
+                    cnt_col,
+                    format!("f_cnt_{}", a.output_name),
+                ));
                 project.push(Expr::binary(
                     vdb_types::BinOp::Div,
                     Expr::Cast {
@@ -880,11 +904,7 @@ mod tests {
             aggs.clone(),
             MemoryBudget::unlimited(),
         );
-        let mut pipe = PipelinedGroupByOp::new(
-            Box::new(ValuesOp::from_rows(rows)),
-            vec![0],
-            aggs,
-        );
+        let mut pipe = PipelinedGroupByOp::new(Box::new(ValuesOp::from_rows(rows)), vec![0], aggs);
         let mut h = collect_rows(&mut hash).unwrap();
         let mut p = collect_rows(&mut pipe).unwrap();
         h.sort();

@@ -85,10 +85,16 @@ impl BuildTable {
         match self {
             BuildTable::One(m) => {
                 let [k] = <[Value; 1]>::try_from(key).expect("single key");
-                m.entry(k).or_insert_with(|| (Vec::new(), false)).0.push(row);
+                m.entry(k)
+                    .or_insert_with(|| (Vec::new(), false))
+                    .0
+                    .push(row);
             }
             BuildTable::Many(m) => {
-                m.entry(key).or_insert_with(|| (Vec::new(), false)).0.push(row);
+                m.entry(key)
+                    .or_insert_with(|| (Vec::new(), false))
+                    .0
+                    .push(row);
             }
         }
     }
@@ -355,10 +361,8 @@ impl Operator for HashJoinOp {
                         Some(batch) => self.probe_batch(batch)?,
                         None => {
                             // Right/full outer: emit unmatched build rows.
-                            if matches!(
-                                self.join_type,
-                                JoinType::RightOuter | JoinType::FullOuter
-                            ) {
+                            if matches!(self.join_type, JoinType::RightOuter | JoinType::FullOuter)
+                            {
                                 let arity = self.left_arity.max(self.left_keys.len());
                                 let mut unmatched = Vec::new();
                                 for (rows, matched) in self.table.drain_rows() {
@@ -483,7 +487,8 @@ impl MergeJoinOp {
 
     /// Collect the group of consecutive rows with the current key.
     fn take_left_group(&mut self) -> DbResult<Vec<Row>> {
-        let key: Vec<Value> = self.left_keys
+        let key: Vec<Value> = self
+            .left_keys
             .iter()
             .map(|&c| self.left_buf[self.left_pos][c].clone())
             .collect();
@@ -504,7 +509,8 @@ impl MergeJoinOp {
     }
 
     fn take_right_group(&mut self) -> DbResult<Vec<Row>> {
-        let key: Vec<Value> = self.right_keys
+        let key: Vec<Value> = self
+            .right_keys
             .iter()
             .map(|&c| self.right_buf[self.right_pos][c].clone())
             .collect();
@@ -606,7 +612,10 @@ impl MergeJoinOp {
                     let rnull = rkey.iter().any(|v| v.is_null());
                     let ord = lkey.cmp(&rkey);
                     // NULL keys sort first and never match.
-                    if lnull || (ord == std::cmp::Ordering::Less && !rnull) || (ord == std::cmp::Ordering::Less && rnull) {
+                    if lnull
+                        || (ord == std::cmp::Ordering::Less && !rnull)
+                        || (ord == std::cmp::Ordering::Less && rnull)
+                    {
                         let group = self.take_left_group()?;
                         self.emit_left_unmatched(group);
                     } else if rnull || ord == std::cmp::Ordering::Greater {
@@ -804,10 +813,22 @@ mod tests {
     #[test]
     fn multi_column_keys() {
         let l = vec![
-            vec![Value::Integer(1), Value::Integer(10), Value::Varchar("a".into())],
-            vec![Value::Integer(1), Value::Integer(20), Value::Varchar("b".into())],
+            vec![
+                Value::Integer(1),
+                Value::Integer(10),
+                Value::Varchar("a".into()),
+            ],
+            vec![
+                Value::Integer(1),
+                Value::Integer(20),
+                Value::Varchar("b".into()),
+            ],
         ];
-        let r = vec![vec![Value::Integer(1), Value::Integer(10), Value::Varchar("x".into())]];
+        let r = vec![vec![
+            Value::Integer(1),
+            Value::Integer(10),
+            Value::Varchar("x".into()),
+        ]];
         let mut op = HashJoinOp::new(
             Box::new(ValuesOp::from_rows(l)),
             Box::new(ValuesOp::from_rows(r)),

@@ -22,6 +22,8 @@
 //! capable of handling arbitrary sized inputs ... by externalizing their
 //! buffers to disk").
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod aggregate;
 pub mod analytic;
 pub mod batch;

@@ -189,9 +189,10 @@ fn build_inner(
                     key_columns: cols.clone(),
                 })
                 .collect();
-            let snap = ctx.snapshots.get(projection).ok_or_else(|| {
-                DbError::Plan(format!("no snapshot for projection {projection}"))
-            })?;
+            let snap = ctx
+                .snapshots
+                .get(projection)
+                .ok_or_else(|| DbError::Plan(format!("no snapshot for projection {projection}")))?;
             Box::new(ScanOperator::new(
                 ctx.backend.clone(),
                 snap.containers.clone(),
@@ -430,7 +431,10 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             ..
         } => format!(
             "GroupByHash keys={group_columns:?} aggs=[{}]",
-            aggs.iter().map(|a| a.func.name()).collect::<Vec<_>>().join(", ")
+            aggs.iter()
+                .map(|a| a.func.name())
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         PhysicalPlan::PipelinedGroupBy { group_columns, .. } => {
             format!("GroupByPipelined keys={group_columns:?} (sorted input, encoded-aware)")
@@ -451,7 +455,11 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
         }
         PhysicalPlan::Analytic { funcs, .. } => format!(
             "Analytic [{}]",
-            funcs.iter().map(WindowFunc::name).collect::<Vec<_>>().join(", ")
+            funcs
+                .iter()
+                .map(WindowFunc::name)
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         PhysicalPlan::Union { inputs } => format!("StorageUnion ({} inputs)", inputs.len()),
     };

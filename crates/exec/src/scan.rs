@@ -8,7 +8,7 @@
 //!    cannot satisfy the predicate (§3.5).
 //! 2. **Container pruning** — skip containers whose column min/max (from
 //!    the position index) cannot pass, the small-materialized-aggregates
-//!    technique the paper cites as [22].
+//!    technique the paper cites as \[22\].
 //! 3. **Block pruning** — the same test per 1024-row block.
 //! 4. **SIP filters** — membership tests against a join's hash table (§6.1).
 //! 5. Residual predicate evaluation, vectorized per batch.
@@ -63,24 +63,29 @@ pub struct ColumnBounds {
 /// are in the predicate's own frame).
 pub fn extract_bounds(pred: &Expr) -> Vec<ColumnBounds> {
     let mut out: Vec<ColumnBounds> = Vec::new();
-    let mut add = |col: usize, low: Option<Value>, high: Option<Value>| {
-        match out.iter_mut().find(|b| b.column == col) {
-            Some(b) => {
-                if let Some(l) = low {
-                    b.low = Some(match b.low.take() {
-                        Some(prev) => prev.max(l),
-                        None => l,
-                    });
-                }
-                if let Some(h) = high {
-                    b.high = Some(match b.high.take() {
-                        Some(prev) => prev.min(h),
-                        None => h,
-                    });
-                }
+    let mut add = |col: usize, low: Option<Value>, high: Option<Value>| match out
+        .iter_mut()
+        .find(|b| b.column == col)
+    {
+        Some(b) => {
+            if let Some(l) = low {
+                b.low = Some(match b.low.take() {
+                    Some(prev) => prev.max(l),
+                    None => l,
+                });
             }
-            None => out.push(ColumnBounds { column: col, low, high }),
+            if let Some(h) = high {
+                b.high = Some(match b.high.take() {
+                    Some(prev) => prev.min(h),
+                    None => h,
+                });
+            }
         }
+        None => out.push(ColumnBounds {
+            column: col,
+            low,
+            high,
+        }),
     };
     for conj in pred.clone().split_conjuncts() {
         match &conj {
@@ -231,12 +236,12 @@ impl ScanOperator {
             // Load needed column bytes from the container's own backend.
             let mut columns = Vec::with_capacity(self.output_columns.len());
             for &proj_col in &self.output_columns {
-                let bytes = sc.container.read_column_bytes(sc.backend.as_ref(), proj_col)?;
+                let bytes = sc
+                    .container
+                    .read_column_bytes(sc.backend.as_ref(), proj_col)?;
                 columns.push((bytes, sc.container.indexes[proj_col].clone()));
             }
-            let num_blocks = columns
-                .first()
-                .map_or(0, |(_, idx)| idx.blocks.len());
+            let num_blocks = columns.first().map_or(0, |(_, idx)| idx.blocks.len());
             self.stats.lock().blocks_total += num_blocks;
             self.current = Some(ContainerCursor {
                 columns,
@@ -391,12 +396,7 @@ impl ScanOperator {
         self.stats.lock().rows_scanned += rows.len() as u64;
         let projected: Vec<Row> = rows
             .into_iter()
-            .map(|r| {
-                self.output_columns
-                    .iter()
-                    .map(|&c| r[c].clone())
-                    .collect()
-            })
+            .map(|r| self.output_columns.iter().map(|&c| r[c].clone()).collect())
             .collect();
         let batch = self.apply_row_filters(Batch::from_rows(projected))?;
         if batch.is_empty() {
@@ -448,8 +448,8 @@ mod tests {
     use super::*;
     use crate::operator::collect_rows;
     use std::sync::Arc;
-    use vdb_storage::{MemBackend, ProjectionStore};
     use vdb_storage::projection::ProjectionDef;
+    use vdb_storage::{MemBackend, ProjectionStore};
     use vdb_types::{ColumnDef, DataType, Epoch, TableSchema};
 
     fn make_store(rows: Vec<Row>) -> ProjectionStore {

@@ -353,7 +353,9 @@ mod tests {
         let rows = collect_rows(&mut op).unwrap();
         assert_eq!(
             rows,
-            (10..15).map(|i| vec![Value::Integer(i)]).collect::<Vec<_>>()
+            (10..15)
+                .map(|i| vec![Value::Integer(i)])
+                .collect::<Vec<_>>()
         );
     }
 

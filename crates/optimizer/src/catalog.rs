@@ -33,8 +33,7 @@ impl ProjectionMeta {
         let arity = def.arity();
         let stats = (0..arity)
             .map(|c| {
-                let col: Vec<vdb_types::Value> =
-                    sample.iter().map(|r| r[c].clone()).collect();
+                let col: Vec<vdb_types::Value> = sample.iter().map(|r| r[c].clone()).collect();
                 build_column_stats(&col, row_count)
             })
             .collect();
@@ -57,7 +56,11 @@ pub struct TableMeta {
 
 impl TableMeta {
     pub fn row_count(&self) -> u64 {
-        self.projections.iter().map(|p| p.row_count).max().unwrap_or(0)
+        self.projections
+            .iter()
+            .map(|p| p.row_count)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -23,9 +23,7 @@ pub struct Cost {
 
 impl Cost {
     pub fn total(&self) -> f64 {
-        self.io_bytes * IO_WEIGHT
-            + self.cpu_rows * CPU_WEIGHT
-            + self.network_bytes * NETWORK_WEIGHT
+        self.io_bytes * IO_WEIGHT + self.cpu_rows * CPU_WEIGHT + self.network_bytes * NETWORK_WEIGHT
     }
 
     pub fn add(&mut self, other: Cost) {

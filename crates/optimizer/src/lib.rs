@@ -7,11 +7,11 @@
 //!
 //! * **physical properties** — projection sort order, segmentation and
 //!   compression-aware scan cost drive projection choice
-//!   ([`planner::choose_projection`]);
+//!   (`planner`'s projection choice);
 //! * **StarOpt join order** — "join a fact table with its most highly
 //!   selective dimensions first" ([`planner`]);
 //! * **statistics** — sample-based distinct estimation (the paper cites
-//!   Haas et al. [16]) and equi-height histograms ([`stats`]);
+//!   Haas et al. \[16\]) and equi-height histograms ([`stats`]);
 //! * **cost model** — compression-aware I/O + CPU + network ([`cost`]);
 //! * **rewrites** — transitive predicates from join keys, outer→inner
 //!   conversion, predicate pushdown ([`rewrite`]);
@@ -20,10 +20,12 @@
 //!   telling the cluster layer how to combine per-node results, plus the
 //!   set of tables whose scans must be broadcast because their
 //!   segmentation does not co-locate with the join
-//!   ([`planner::TableAccess`]);
+//!   ([`plan_out::TableAccess`]);
 //! * **node-down replanning** — [`planner::plan`] takes the set of *live*
 //!   projections and re-costs with buddies when the preferred projection
 //!   is unavailable (§6.2 last paragraph).
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod catalog;
 pub mod cost;

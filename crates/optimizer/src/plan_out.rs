@@ -77,9 +77,7 @@ impl PlannedQuery {
             arity,
         };
         match &self.merge {
-            MergeSpec::Concat { order_by, limit } => {
-                finish(values, &[], order_by, *limit)
-            }
+            MergeSpec::Concat { order_by, limit } => finish(values, &[], order_by, *limit),
             MergeSpec::ReAggregate {
                 group_columns,
                 merge_aggs,

@@ -247,8 +247,7 @@ impl<'a> Planner<'a> {
                 }
             };
             let prune_fraction = if prunable { selectivity.max(0.01) } else { 1.0 };
-            let cost =
-                crate::cost::scan_cost(p, &proj_cols, prune_fraction, selectivity).total();
+            let cost = crate::cost::scan_cost(p, &proj_cols, prune_fraction, selectivity).total();
             if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((p, cost));
             }
@@ -345,7 +344,11 @@ impl<'a> Planner<'a> {
             let layout: Vec<(usize, usize)> = ordered_layout(0, &scans[0]);
             return Ok((scans[0].plan.clone(), layout, vec![0]));
         }
-        let all_inner = self.query.joins.iter().all(|e| e.join_type == JoinType::Inner);
+        let all_inner = self
+            .query
+            .joins
+            .iter()
+            .all(|e| e.join_type == JoinType::Inner);
         // Order: fact (largest estimate) first, then ascending estimates
         // (most selective dimension first). Non-inner queries keep FROM
         // order for orientation safety.
@@ -428,10 +431,7 @@ impl<'a> Planner<'a> {
                         .ok_or_else(|| DbError::Plan("join key missing from layout".into()))
                 })
                 .collect::<DbResult<_>>()?;
-            let right_keys: Vec<usize> = build_cols
-                .iter()
-                .map(|&c| scans[t].map[&c])
-                .collect();
+            let right_keys: Vec<usize> = build_cols.iter().map(|&c| scans[t].map[&c]).collect();
             // SIP: push to the fact scan when the probe keys live in the
             // fact prefix of the layout and the join type allows it.
             let sip_id = if matches!(join_type, JoinType::Inner | JoinType::Semi)
@@ -500,11 +500,7 @@ impl<'a> Planner<'a> {
         Ok((plan, layout, order_out))
     }
 
-    fn access_modes(
-        &self,
-        scans: &[TableScan],
-        order: &[usize],
-    ) -> Vec<(String, TableAccess)> {
+    fn access_modes(&self, scans: &[TableScan], order: &[usize]) -> Vec<(String, TableAccess)> {
         let fact = order[0];
         (0..scans.len())
             .map(|t| {
@@ -524,8 +520,7 @@ impl<'a> Planner<'a> {
                         let dim_seg = scans[dim].seg_columns.as_deref();
                         let other_seg = scans[other].seg_columns.as_deref();
                         matches_cols(dim_seg, dim_cols)
-                            && (scans[other].replicated
-                                || matches_cols(other_seg, other_cols))
+                            && (scans[other].replicated || matches_cols(other_seg, other_cols))
                     });
                     if co_located {
                         TableAccess::Local
@@ -603,8 +598,7 @@ impl<'a> Planner<'a> {
                 let group_columns: Vec<usize> = gcols
                     .iter()
                     .map(|&gc| {
-                        global_pos(gc)
-                            .ok_or_else(|| DbError::Plan("group column pruned".into()))
+                        global_pos(gc).ok_or_else(|| DbError::Plan("group column pruned".into()))
                     })
                     .collect::<DbResult<_>>()?;
                 let agg_calls: Vec<AggCall> = aggs
@@ -744,11 +738,8 @@ impl<'a> Planner<'a> {
             }
         }
         let needed: Vec<usize> = needed.into_iter().collect();
-        let compact: HashMap<usize, usize> = needed
-            .iter()
-            .enumerate()
-            .map(|(i, &g)| (g, i))
-            .collect();
+        let compact: HashMap<usize, usize> =
+            needed.iter().enumerate().map(|(i, &g)| (g, i)).collect();
         let exprs: Vec<Expr> = needed
             .iter()
             .map(|&gc| {
@@ -770,8 +761,7 @@ impl<'a> Planner<'a> {
                 ));
             }
         }
-        let partition_by: Vec<usize> =
-            first.partition_by.iter().map(|c| compact[c]).collect();
+        let partition_by: Vec<usize> = first.partition_by.iter().map(|c| compact[c]).collect();
         let order_by_window: Vec<SortKey> = first
             .order_by
             .iter()
@@ -899,7 +889,10 @@ impl<'a> Planner<'a> {
             return Ok(None);
         }
         // Identify fact (anchor) and dim sides against each candidate.
-        for (fact_t, dim_t) in [(edge.left_table, edge.right_table), (edge.right_table, edge.left_table)] {
+        for (fact_t, dim_t) in [
+            (edge.left_table, edge.right_table),
+            (edge.right_table, edge.left_table),
+        ] {
             let (fact_key, dim_key) = if fact_t == edge.left_table {
                 (edge.left_columns[0], edge.right_columns[0])
             } else {
@@ -922,15 +915,13 @@ impl<'a> Planner<'a> {
                 let fact_ok = needed[fact_t]
                     .iter()
                     .all(|&c| p.def.projection_column_of(c).is_some());
-                let dim_ok = needed[dim_t]
-                    .iter()
-                    .all(|&c| pj.dim_columns.contains(&c));
+                let dim_ok = needed[dim_t].iter().all(|&c| pj.dim_columns.contains(&c));
                 if !fact_ok || !dim_ok {
                     continue;
                 }
-                return Ok(Some(self.plan_over_prejoin(
-                    p, fact_t, dim_t, offsets, needed,
-                )?));
+                return Ok(Some(
+                    self.plan_over_prejoin(p, fact_t, dim_t, offsets, needed)?,
+                ));
             }
         }
         Ok(None)
@@ -976,9 +967,10 @@ impl<'a> Planner<'a> {
         let mut preds = Vec::new();
         for (t, f) in self.query.table_filters.iter().enumerate() {
             if let Some(f) = f {
-                preds.push(f.remap_columns(&|c| pos_of(t, c)).ok_or_else(|| {
-                    DbError::Plan("prejoin filter remap failed".into())
-                })?);
+                preds.push(
+                    f.remap_columns(&|c| pos_of(t, c))
+                        .ok_or_else(|| DbError::Plan("prejoin filter remap failed".into()))?,
+                );
             }
         }
         let scan = PhysicalPlan::Scan {
@@ -1005,8 +997,7 @@ impl<'a> Planner<'a> {
                 seg_columns: None,
                 arity: proj_cols.len(),
             }];
-            let layout: Vec<(usize, usize)> =
-                proj_cols.iter().map(|&(_, t, c)| (t, c)).collect();
+            let layout: Vec<(usize, usize)> = proj_cols.iter().map(|&(_, t, c)| (t, c)).collect();
             self.plan_aggregate(scan, &scans, &layout, offsets, &global_pos)?
         } else if !self.query.windows.is_empty() {
             self.plan_windows(scan, &global_pos)?
@@ -1058,12 +1049,12 @@ fn locate(g: usize, offsets: &[usize]) -> (usize, usize) {
 
 /// If `e` is `HASH(col, col, ...)`, the table columns hashed (projection
 /// columns mapped through the def).
-fn hash_columns_of(
-    e: &Expr,
-    def: &vdb_storage::projection::ProjectionDef,
-) -> Option<Vec<usize>> {
+fn hash_columns_of(e: &Expr, def: &vdb_storage::projection::ProjectionDef) -> Option<Vec<usize>> {
     match e {
-        Expr::Call { func: Func::Hash, args } => args
+        Expr::Call {
+            func: Func::Hash,
+            args,
+        } => args
             .iter()
             .map(|a| match a {
                 Expr::Column { index, .. } => def.columns.get(*index).copied(),
@@ -1097,11 +1088,17 @@ pub fn derive_partition_predicate(
     let partition_by = partition_by?;
     let filter = filter?;
     let (mono_fn, col): (fn(i64) -> i64, usize) = match partition_by {
-        Expr::Call { func: Func::YearMonth, args } => match args.as_slice() {
+        Expr::Call {
+            func: Func::YearMonth,
+            args,
+        } => match args.as_slice() {
             [Expr::Column { index, .. }] => (vdb_types::date::year_month, *index),
             _ => return None,
         },
-        Expr::Call { func: Func::ExtractYear, args } => match args.as_slice() {
+        Expr::Call {
+            func: Func::ExtractYear,
+            args,
+        } => match args.as_slice() {
             [Expr::Column { index, .. }] => (vdb_types::date::year, *index),
             _ => return None,
         },
@@ -1145,7 +1142,11 @@ mod tests {
 
     fn sample_rows(n: i64, arity: usize) -> Vec<Row> {
         (0..n)
-            .map(|i| (0..arity).map(|c| Value::Integer(i * (c as i64 + 1))).collect())
+            .map(|i| {
+                (0..arity)
+                    .map(|c| Value::Integer(i * (c as i64 + 1)))
+                    .collect()
+            })
             .collect()
     }
 
@@ -1168,8 +1169,7 @@ mod tests {
                 ColumnDef::new("name_code", DataType::Integer),
             ],
         );
-        let fact_proj =
-            ProjectionDef::super_projection(&fact_schema, "fact_super", &[3, 0], &[0]);
+        let fact_proj = ProjectionDef::super_projection(&fact_schema, "fact_super", &[3, 0], &[0]);
         let fact_meta = ProjectionMeta::from_sample(
             fact_proj,
             100_000,
@@ -1177,12 +1177,8 @@ mod tests {
             &sample_rows(1000, 4),
         );
         let dim_proj = ProjectionDef::super_projection(&dim_schema, "dim_super", &[0], &[]);
-        let dim_meta = ProjectionMeta::from_sample(
-            dim_proj,
-            100,
-            vec![500, 700],
-            &sample_rows(100, 2),
-        );
+        let dim_meta =
+            ProjectionMeta::from_sample(dim_proj, 100, vec![500, 700], &sample_rows(100, 2));
         let mut cat = OptimizerCatalog::default();
         cat.tables.insert(
             "fact".into(),
@@ -1218,7 +1214,11 @@ mod tests {
                 },
             ],
             table_filters: vec![
-                Some(Expr::binary(BinOp::Gt, Expr::col(2, "amount"), Expr::int(50))),
+                Some(Expr::binary(
+                    BinOp::Gt,
+                    Expr::col(2, "amount"),
+                    Expr::int(50),
+                )),
                 None,
             ],
             joins: vec![JoinEdge {
@@ -1318,25 +1318,16 @@ mod tests {
         let mut cat = catalog();
         // Add a buddy projection of fact with a different sort order.
         let fact = cat.tables.get_mut("fact").unwrap();
-        let buddy_def = ProjectionDef::super_projection(
-            &fact.schema,
-            "fact_b1",
-            &[0],
-            &[0],
-        );
+        let buddy_def = ProjectionDef::super_projection(&fact.schema, "fact_b1", &[0], &[0]);
         fact.projections.push(ProjectionMeta::from_sample(
             buddy_def,
             100_000,
             vec![80_000, 40_000, 120_000, 20_000, 10_000],
             &sample_rows(1000, 4),
         ));
-        let live: HashSet<String> =
-            HashSet::from(["dim_super".to_string(), "fact_b1".to_string()]);
+        let live: HashSet<String> = HashSet::from(["dim_super".to_string(), "fact_b1".to_string()]);
         let planned = plan(&cat, &join_query(), Some(&live)).unwrap();
-        assert!(planned
-            .table_access
-            .iter()
-            .any(|(p, _)| p == "fact_b1"));
+        assert!(planned.table_access.iter().any(|(p, _)| p == "fact_b1"));
     }
 
     #[test]
@@ -1344,8 +1335,7 @@ mod tests {
         let mut cat = catalog();
         // Make dim segmented on name_code (not the join key).
         let dim = cat.tables.get_mut("dim").unwrap();
-        dim.projections[0].def.segmentation =
-            Segmentation::hash_of(&[(1, "name_code")]);
+        dim.projections[0].def.segmentation = Segmentation::hash_of(&[(1, "name_code")]);
         let planned = plan(&cat, &join_query(), None).unwrap();
         let dim_access = planned
             .table_access
@@ -1376,8 +1366,16 @@ mod tests {
         let mar1 = vdb_types::date::timestamp_from_civil(2012, 3, 1, 0, 0, 0);
         let may31 = vdb_types::date::timestamp_from_civil(2012, 5, 31, 0, 0, 0);
         let filter = Expr::and(
-            Expr::binary(BinOp::Ge, Expr::col(3, "ts"), Expr::lit(Value::Timestamp(mar1))),
-            Expr::binary(BinOp::Le, Expr::col(3, "ts"), Expr::lit(Value::Timestamp(may31))),
+            Expr::binary(
+                BinOp::Ge,
+                Expr::col(3, "ts"),
+                Expr::lit(Value::Timestamp(mar1)),
+            ),
+            Expr::binary(
+                BinOp::Le,
+                Expr::col(3, "ts"),
+                Expr::lit(Value::Timestamp(may31)),
+            ),
         );
         let pred = derive_partition_predicate(Some(&part), Some(&filter)).unwrap();
         // Key 201202 excluded, 201204 included, 201206 excluded.

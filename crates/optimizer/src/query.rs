@@ -88,16 +88,11 @@ impl BoundQuery {
     /// Output column names in order.
     pub fn output_names(&self) -> Vec<String> {
         if self.is_aggregate() {
-            let mut names: Vec<String> = self
-                .select
-                .iter()
-                .map(|(_, n)| n.clone())
-                .collect();
+            let mut names: Vec<String> = self.select.iter().map(|(_, n)| n.clone()).collect();
             names.extend(self.aggregates.iter().map(|a| a.output_name.clone()));
             names
         } else {
-            let mut names: Vec<String> =
-                self.select.iter().map(|(_, n)| n.clone()).collect();
+            let mut names: Vec<String> = self.select.iter().map(|(_, n)| n.clone()).collect();
             names.extend(self.windows.iter().map(|w| w.output_name.clone()));
             names
         }

@@ -57,18 +57,21 @@ pub fn transitive_predicates(q: &mut BoundQuery) {
         let from_left = extract_literal_conjuncts(q.table_filters[lt].as_ref(), lc);
         let from_right = extract_literal_conjuncts(q.table_filters[rt].as_ref(), rc);
         for (op, lit) in from_left {
-            add_conjunct(&mut q.table_filters[rt], Expr::binary(op, Expr::col(rc, "tp"), Expr::Literal(lit)));
+            add_conjunct(
+                &mut q.table_filters[rt],
+                Expr::binary(op, Expr::col(rc, "tp"), Expr::Literal(lit)),
+            );
         }
         for (op, lit) in from_right {
-            add_conjunct(&mut q.table_filters[lt], Expr::binary(op, Expr::col(lc, "tp"), Expr::Literal(lit)));
+            add_conjunct(
+                &mut q.table_filters[lt],
+                Expr::binary(op, Expr::col(lc, "tp"), Expr::Literal(lit)),
+            );
         }
     }
 }
 
-fn extract_literal_conjuncts(
-    pred: Option<&Expr>,
-    col: usize,
-) -> Vec<(BinOp, vdb_types::Value)> {
+fn extract_literal_conjuncts(pred: Option<&Expr>, col: usize) -> Vec<(BinOp, vdb_types::Value)> {
     let Some(pred) = pred else {
         return Vec::new();
     };
@@ -76,14 +79,10 @@ fn extract_literal_conjuncts(
         .split_conjuncts()
         .into_iter()
         .filter_map(|c| match c {
-            Expr::Binary { op, left, right } if op.is_comparison() => {
-                match (*left, *right) {
-                    (Expr::Column { index, .. }, Expr::Literal(v)) if index == col => {
-                        Some((op, v))
-                    }
-                    _ => None,
-                }
-            }
+            Expr::Binary { op, left, right } if op.is_comparison() => match (*left, *right) {
+                (Expr::Column { index, .. }, Expr::Literal(v)) if index == col => Some((op, v)),
+                _ => None,
+            },
             _ => None,
         })
         .collect()
@@ -138,11 +137,7 @@ mod tests {
     #[test]
     fn left_outer_with_null_rejecting_filter_becomes_inner() {
         let mut q = two_table_query(JoinType::LeftOuter);
-        q.table_filters[1] = Some(Expr::binary(
-            BinOp::Gt,
-            Expr::col(2, "x"),
-            Expr::int(5),
-        ));
+        q.table_filters[1] = Some(Expr::binary(BinOp::Gt, Expr::col(2, "x"), Expr::int(5)));
         rewrite(&mut q);
         assert_eq!(q.joins[0].join_type, JoinType::Inner);
     }
@@ -162,11 +157,7 @@ mod tests {
     fn transitive_predicate_copies_across_join_key() {
         let mut q = two_table_query(JoinType::Inner);
         // dim.key > 100 — the fact side should inherit fact.fk > 100.
-        q.table_filters[1] = Some(Expr::binary(
-            BinOp::Gt,
-            Expr::col(0, "key"),
-            Expr::int(100),
-        ));
+        q.table_filters[1] = Some(Expr::binary(BinOp::Gt, Expr::col(0, "key"), Expr::int(100)));
         rewrite(&mut q);
         let fact_filter = q.table_filters[0].as_ref().unwrap();
         let conjuncts = fact_filter.clone().split_conjuncts();
@@ -180,11 +171,7 @@ mod tests {
     #[test]
     fn transitive_predicates_do_not_duplicate() {
         let mut q = two_table_query(JoinType::Inner);
-        q.table_filters[1] = Some(Expr::binary(
-            BinOp::Gt,
-            Expr::col(0, "key"),
-            Expr::int(100),
-        ));
+        q.table_filters[1] = Some(Expr::binary(BinOp::Gt, Expr::col(0, "key"), Expr::int(100)));
         rewrite(&mut q);
         let before = q.table_filters[0].clone().unwrap().split_conjuncts().len();
         rewrite(&mut q);
@@ -195,11 +182,7 @@ mod tests {
     #[test]
     fn filters_on_non_key_columns_do_not_transfer() {
         let mut q = two_table_query(JoinType::Inner);
-        q.table_filters[1] = Some(Expr::binary(
-            BinOp::Gt,
-            Expr::col(3, "other"),
-            Expr::int(1),
-        ));
+        q.table_filters[1] = Some(Expr::binary(BinOp::Gt, Expr::col(3, "other"), Expr::int(1)));
         rewrite(&mut q);
         assert!(q.table_filters[0].is_none());
     }

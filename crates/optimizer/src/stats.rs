@@ -124,9 +124,9 @@ fn conjunct_selectivity(conj: &Expr, stats: &[ColumnStatsData]) -> f64 {
         Expr::Binary { op, left, right } if op.is_comparison() => {
             match (left.as_ref(), right.as_ref()) {
                 (Expr::Column { index, .. }, Expr::Literal(v))
-                | (Expr::Literal(v), Expr::Column { index, .. }) => stats
-                    .get(*index)
-                    .map_or(0.3, |s| s.selectivity(*op, v)),
+                | (Expr::Literal(v), Expr::Column { index, .. }) => {
+                    stats.get(*index).map_or(0.3, |s| s.selectivity(*op, v))
+                }
                 _ => 0.5,
             }
         }

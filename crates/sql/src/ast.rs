@@ -157,7 +157,7 @@ pub enum Statement {
         sets: Vec<(String, SqlExpr)>,
         predicate: Option<SqlExpr>,
     },
-    /// ALTER TABLE t DROP PARTITION <literal>
+    /// `ALTER TABLE t DROP PARTITION <literal>`
     DropPartition {
         table: String,
         key: Value,

@@ -8,9 +8,7 @@ use vdb_exec::plan::JoinType;
 use vdb_optimizer::query::{AggItem, BoundQuery, JoinEdge, OrderItem, QueryTable, WindowCall};
 use vdb_storage::projection::{ProjectionDef, Segmentation};
 use vdb_types::schema::SortKey;
-use vdb_types::{
-    ColumnDef, DataType, DbError, DbResult, Expr, Func, Row, TableSchema, Value,
-};
+use vdb_types::{ColumnDef, DataType, DbError, DbResult, Expr, Func, Row, TableSchema, Value};
 
 /// Catalog access the binder needs.
 pub trait SchemaProvider {
@@ -108,9 +106,9 @@ pub fn bind(stmt: Statement, schemas: &dyn SchemaProvider) -> DbResult<BoundStat
                 columns
                     .iter()
                     .map(|c| {
-                        schema.column_index(c).ok_or_else(|| {
-                            DbError::Binder(format!("no column {c} in {table}"))
-                        })
+                        schema
+                            .column_index(c)
+                            .ok_or_else(|| DbError::Binder(format!("no column {c} in {table}")))
                     })
                     .collect::<DbResult<_>>()?
             };
@@ -144,10 +142,9 @@ pub fn bind(stmt: Statement, schemas: &dyn SchemaProvider) -> DbResult<BoundStat
                     Segmentation::hash_of(&pairs)
                 }
                 SegmentationAst::Default => match sort_keys.first() {
-                    Some(k) => Segmentation::hash_of(&[(
-                        k.column,
-                        column_names[k.column].as_str(),
-                    )]),
+                    Some(k) => {
+                        Segmentation::hash_of(&[(k.column, column_names[k.column].as_str())])
+                    }
                     None => Segmentation::Replicated,
                 },
             };
@@ -232,9 +229,7 @@ pub fn bind(stmt: Statement, schemas: &dyn SchemaProvider) -> DbResult<BoundStat
                 predicate,
             })
         }
-        Statement::DropPartition { table, key } => {
-            Ok(BoundStatement::DropPartition { table, key })
-        }
+        Statement::DropPartition { table, key } => Ok(BoundStatement::DropPartition { table, key }),
         Statement::Select(s) => Ok(BoundStatement::Select(bind_select(s, schemas)?)),
         Statement::Explain(s) => Ok(BoundStatement::Explain(bind_select(s, schemas)?)),
         Statement::Begin => Ok(BoundStatement::Begin),
@@ -401,19 +396,20 @@ fn bind_select(s: SelectStmt, schemas: &dyn SchemaProvider) -> DbResult<BoundQue
     let mut tables = Vec::new();
     let mut scope = Scope { tables: Vec::new() };
     let mut offset = 0;
-    let mut add_table = |tref: &TableRef, scope: &mut Scope, tables: &mut Vec<QueryTable>| -> DbResult<()> {
-        let schema = schemas
-            .table_schema(&tref.name)
-            .ok_or_else(|| DbError::NotFound(format!("table {}", tref.name)))?;
-        let alias = tref.alias.clone().unwrap_or_else(|| tref.name.clone());
-        scope.tables.push((alias.clone(), schema.clone(), offset));
-        offset += schema.arity();
-        tables.push(QueryTable {
-            table: tref.name.clone(),
-            alias,
-        });
-        Ok(())
-    };
+    let mut add_table =
+        |tref: &TableRef, scope: &mut Scope, tables: &mut Vec<QueryTable>| -> DbResult<()> {
+            let schema = schemas
+                .table_schema(&tref.name)
+                .ok_or_else(|| DbError::NotFound(format!("table {}", tref.name)))?;
+            let alias = tref.alias.clone().unwrap_or_else(|| tref.name.clone());
+            scope.tables.push((alias.clone(), schema.clone(), offset));
+            offset += schema.arity();
+            tables.push(QueryTable {
+                table: tref.name.clone(),
+                alias,
+            });
+            Ok(())
+        };
     add_table(&s.from, &mut scope, &mut tables)?;
     for j in &s.joins {
         add_table(&j.table, &mut scope, &mut tables)?;
@@ -427,13 +423,12 @@ fn bind_select(s: SelectStmt, schemas: &dyn SchemaProvider) -> DbResult<BoundQue
     let mut edges: Vec<JoinEdge> = Vec::new();
 
     let add_conjunct_to = |expr: Expr,
-                               scope: &Scope,
-                               table_filters: &mut Vec<Option<Expr>>,
-                               residual: &mut Vec<Expr>| {
+                           scope: &Scope,
+                           table_filters: &mut Vec<Option<Expr>>,
+                           residual: &mut Vec<Expr>| {
         let refs = expr.referenced_columns();
         let tables_referenced: Vec<usize> = {
-            let mut ts: Vec<usize> =
-                refs.iter().map(|&g| scope.table_of_global(g).0).collect();
+            let mut ts: Vec<usize> = refs.iter().map(|&g| scope.table_of_global(g).0).collect();
             ts.sort_unstable();
             ts.dedup();
             ts
@@ -598,7 +593,12 @@ fn bind_select(s: SelectStmt, schemas: &dyn SchemaProvider) -> DbResult<BoundQue
                 order_by,
             } => {
                 windows.push(bind_window(
-                    fname, args, partition_by, order_by, name, &scope,
+                    fname,
+                    args,
+                    partition_by,
+                    order_by,
+                    name,
+                    &scope,
                 )?);
             }
             other => {
@@ -638,11 +638,7 @@ fn bind_select(s: SelectStmt, schemas: &dyn SchemaProvider) -> DbResult<BoundQue
         }
         // Non-aggregate select items must be exactly the GROUP BY list, in
         // order (grouping columns lead the output).
-        if select.len() != group_by.len()
-            || select
-                .iter()
-                .zip(&group_by)
-                .any(|((e, _), g)| e != g)
+        if select.len() != group_by.len() || select.iter().zip(&group_by).any(|((e, _), g)| e != g)
         {
             return Err(DbError::Binder(
                 "in aggregate queries the non-aggregate SELECT items must list the \
@@ -749,19 +745,22 @@ fn bind_window(
         "ROW_NUMBER" => WindowFunc::RowNumber,
         "RANK" => WindowFunc::Rank,
         "DENSE_RANK" => WindowFunc::DenseRank,
-        "LAG" => WindowFunc::Lag(col_of(args.first().ok_or_else(|| {
-            DbError::Binder("LAG needs an argument".into())
-        })?)?),
-        "LEAD" => WindowFunc::Lead(col_of(args.first().ok_or_else(|| {
-            DbError::Binder("LEAD needs an argument".into())
-        })?)?),
+        "LAG" => WindowFunc::Lag(col_of(
+            args.first()
+                .ok_or_else(|| DbError::Binder("LAG needs an argument".into()))?,
+        )?),
+        "LEAD" => WindowFunc::Lead(col_of(
+            args.first()
+                .ok_or_else(|| DbError::Binder("LEAD needs an argument".into()))?,
+        )?),
         agg @ ("SUM" | "MIN" | "MAX" | "AVG" | "COUNT") => {
             let f = AggFunc::parse(agg, false).unwrap();
             WindowFunc::Agg(
                 f,
-                col_of(args.first().ok_or_else(|| {
-                    DbError::Binder(format!("{agg} OVER needs an argument"))
-                })?)?,
+                col_of(
+                    args.first()
+                        .ok_or_else(|| DbError::Binder(format!("{agg} OVER needs an argument")))?,
+                )?,
             )
         }
         other => return Err(DbError::Binder(format!("unknown window function {other}"))),
@@ -833,9 +832,12 @@ fn bind_having(
                         },
                         scope,
                     )?;
-                    let p = select.iter().position(|(e, _)| e == &bound).ok_or_else(
-                        || DbError::Binder(format!("HAVING column {name} not grouped")),
-                    )?;
+                    let p = select
+                        .iter()
+                        .position(|(e, _)| e == &bound)
+                        .ok_or_else(|| {
+                            DbError::Binder(format!("HAVING column {name} not grouped"))
+                        })?;
                     Expr::col(p, name.clone())
                 }
             }
@@ -844,14 +846,32 @@ fn bind_having(
         SqlExpr::Binary { op, left, right } => Expr::Binary {
             op: *op,
             left: Box::new(bind_having(left, scope, select, aggregates, _group_by_ast)?),
-            right: Box::new(bind_having(right, scope, select, aggregates, _group_by_ast)?),
+            right: Box::new(bind_having(
+                right,
+                scope,
+                select,
+                aggregates,
+                _group_by_ast,
+            )?),
         },
         SqlExpr::Unary { op, input } => Expr::Unary {
             op: *op,
-            input: Box::new(bind_having(input, scope, select, aggregates, _group_by_ast)?),
+            input: Box::new(bind_having(
+                input,
+                scope,
+                select,
+                aggregates,
+                _group_by_ast,
+            )?),
         },
         SqlExpr::Between { input, low, high } => Expr::Between {
-            input: Box::new(bind_having(input, scope, select, aggregates, _group_by_ast)?),
+            input: Box::new(bind_having(
+                input,
+                scope,
+                select,
+                aggregates,
+                _group_by_ast,
+            )?),
             low: Box::new(bind_having(low, scope, select, aggregates, _group_by_ast)?),
             high: Box::new(bind_having(high, scope, select, aggregates, _group_by_ast)?),
         },
@@ -993,10 +1013,12 @@ mod tests {
 
     #[test]
     fn bind_ddl_and_dml() {
-        let BoundStatement::CreateTable { schema, partition_by } = bind_sql(
-            "CREATE TABLE t2 (a INT NOT NULL, ts TIMESTAMP) PARTITION BY YEAR_MONTH(ts)",
-        )
-        .unwrap() else {
+        let BoundStatement::CreateTable {
+            schema,
+            partition_by,
+        } = bind_sql("CREATE TABLE t2 (a INT NOT NULL, ts TIMESTAMP) PARTITION BY YEAR_MONTH(ts)")
+            .unwrap()
+        else {
             panic!()
         };
         assert_eq!(schema.arity(), 2);
@@ -1038,8 +1060,9 @@ mod tests {
 
     #[test]
     fn update_binds_set_list() {
-        let BoundStatement::Update { sets, predicate, .. } =
-            bind_sql("UPDATE sales SET amt = amt * 2 WHERE id = 3").unwrap()
+        let BoundStatement::Update {
+            sets, predicate, ..
+        } = bind_sql("UPDATE sales SET amt = amt * 2 WHERE id = 3").unwrap()
         else {
             panic!()
         };

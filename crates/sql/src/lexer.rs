@@ -199,9 +199,7 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                     i += 1;
                 } else {
                     let start = i;
-                    while i < b.len()
-                        && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
-                    {
+                    while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
                         i += 1;
                     }
                     out.push(Token::Ident(input[start..i].to_string()));

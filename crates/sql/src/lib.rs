@@ -12,6 +12,8 @@
 //! (resolves names against a schema provider into the optimizer's
 //! [`vdb_optimizer::BoundQuery`] / storage definitions).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod ast;
 pub mod binder;
 pub mod lexer;

@@ -146,7 +146,11 @@ impl Parser {
             let key = match self.next()? {
                 Token::Integer(i) => Value::Integer(i),
                 Token::Str(s) => Value::Varchar(s),
-                t => return Err(DbError::Parse(format!("expected partition literal, got {t:?}"))),
+                t => {
+                    return Err(DbError::Parse(format!(
+                        "expected partition literal, got {t:?}"
+                    )))
+                }
             };
             return Ok(Statement::DropPartition { table, key });
         }
@@ -552,9 +556,7 @@ impl Parser {
                     Token::Integer(i) => list.push(Value::Integer(i)),
                     Token::Float(f) => list.push(Value::Float(f)),
                     Token::Str(s) => list.push(Value::Varchar(s)),
-                    Token::Ident(s) if s.eq_ignore_ascii_case("null") => {
-                        list.push(Value::Null)
-                    }
+                    Token::Ident(s) if s.eq_ignore_ascii_case("null") => list.push(Value::Null),
                     t => return Err(DbError::Parse(format!("IN list literal, got {t:?}"))),
                 }
                 if !self.eat_symbol(Sym::Comma) {
@@ -696,21 +698,20 @@ impl Parser {
             self.pos += 1;
             let is_agg = matches!(upper.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG");
             // COUNT(*)
-            let (distinct, args): (bool, Vec<SqlExpr>) =
-                if self.eat_symbol(Sym::Star) {
-                    self.expect_symbol(Sym::RParen)?;
-                    (false, vec![])
-                } else if self.eat_symbol(Sym::RParen) {
-                    (false, vec![])
-                } else {
-                    let distinct = self.eat_kw("DISTINCT");
-                    let mut args = vec![self.expr()?];
-                    while self.eat_symbol(Sym::Comma) {
-                        args.push(self.expr()?);
-                    }
-                    self.expect_symbol(Sym::RParen)?;
-                    (distinct, args)
-                };
+            let (distinct, args): (bool, Vec<SqlExpr>) = if self.eat_symbol(Sym::Star) {
+                self.expect_symbol(Sym::RParen)?;
+                (false, vec![])
+            } else if self.eat_symbol(Sym::RParen) {
+                (false, vec![])
+            } else {
+                let distinct = self.eat_kw("DISTINCT");
+                let mut args = vec![self.expr()?];
+                while self.eat_symbol(Sym::Comma) {
+                    args.push(self.expr()?);
+                }
+                self.expect_symbol(Sym::RParen)?;
+                (distinct, args)
+            };
             // OVER clause → window function.
             if self.eat_kw("OVER") {
                 self.expect_symbol(Sym::LParen)?;
@@ -796,11 +797,46 @@ impl Parser {
 /// Keywords that terminate an implicit alias.
 fn is_reserved(s: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "JOIN", "INNER",
-        "LEFT", "RIGHT", "FULL", "SEMI", "ANTI", "ON", "AS", "AND", "OR", "NOT", "ASC",
-        "DESC", "UNION", "SELECT", "BY", "PARTITION", "SEGMENTED", "UNSEGMENTED", "SET",
-        "VALUES", "BETWEEN", "IN", "IS", "NULL", "CASE", "WHEN", "THEN", "ELSE", "END",
-        "OVER", "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "HAVING",
+        "ORDER",
+        "LIMIT",
+        "OFFSET",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "SEMI",
+        "ANTI",
+        "ON",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "ASC",
+        "DESC",
+        "UNION",
+        "SELECT",
+        "BY",
+        "PARTITION",
+        "SEGMENTED",
+        "UNSEGMENTED",
+        "SET",
+        "VALUES",
+        "BETWEEN",
+        "IN",
+        "IS",
+        "NULL",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "OVER",
+        "DISTINCT",
     ];
     RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r))
 }
@@ -835,9 +871,7 @@ mod tests {
              WHERE f.x = 1 GROUP BY d.name HAVING COUNT(*) > 2",
         )
         .unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.joins.len(), 2);
         assert_eq!(sel.joins[0].join_type, JoinType::Inner);
         assert_eq!(sel.joins[1].join_type, JoinType::LeftOuter);
@@ -845,19 +879,19 @@ mod tests {
         assert!(sel.having.is_some());
         assert!(matches!(
             sel.items[1].expr,
-            SqlExpr::Aggregate { distinct: false, .. }
+            SqlExpr::Aggregate {
+                distinct: false,
+                ..
+            }
         ));
     }
 
     #[test]
     fn parse_window_function() {
-        let s = parse_statement(
-            "SELECT a, ROW_NUMBER() OVER (PARTITION BY b ORDER BY c DESC) FROM t",
-        )
-        .unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let s =
+            parse_statement("SELECT a, ROW_NUMBER() OVER (PARTITION BY b ORDER BY c DESC) FROM t")
+                .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
         match &sel.items[1].expr {
             SqlExpr::Window {
                 name,
@@ -908,14 +942,19 @@ mod tests {
 
     #[test]
     fn parse_dml() {
-        let s =
-            parse_statement("INSERT INTO t VALUES (1, 'x', 2.5), (2, NULL, 3.0)").unwrap();
+        let s = parse_statement("INSERT INTO t VALUES (1, 'x', 2.5), (2, NULL, 3.0)").unwrap();
         let Statement::Insert { rows, .. } = s else {
             panic!()
         };
         assert_eq!(rows.len(), 2);
         let d = parse_statement("DELETE FROM t WHERE a = 3").unwrap();
-        assert!(matches!(d, Statement::Delete { predicate: Some(_), .. }));
+        assert!(matches!(
+            d,
+            Statement::Delete {
+                predicate: Some(_),
+                ..
+            }
+        ));
         let u = parse_statement("UPDATE t SET a = a + 1 WHERE b < 5").unwrap();
         assert!(matches!(u, Statement::Update { .. }));
         let ap = parse_statement("ALTER TABLE t DROP PARTITION 201203").unwrap();
@@ -924,13 +963,10 @@ mod tests {
 
     #[test]
     fn parse_date_literals_and_extract() {
-        let s = parse_statement(
-            "SELECT EXTRACT(MONTH FROM ts) FROM t WHERE ts >= DATE '2012-03-01'",
-        )
-        .unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let s =
+            parse_statement("SELECT EXTRACT(MONTH FROM ts) FROM t WHERE ts >= DATE '2012-03-01'")
+                .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
         assert!(matches!(sel.items[0].expr, SqlExpr::Func { .. }));
         // The date literal parsed to a Timestamp value.
         let w = sel.where_clause.unwrap();
@@ -949,9 +985,7 @@ mod tests {
              FROM t WHERE b IN (1, 2, 3) AND c IS NOT NULL",
         )
         .unwrap();
-        let Statement::Select(sel) = s else {
-            panic!()
-        };
+        let Statement::Select(sel) = s else { panic!() };
         assert!(matches!(sel.items[0].expr, SqlExpr::Case { .. }));
     }
 
@@ -969,7 +1003,10 @@ mod tests {
             parse_statement("EXPLAIN SELECT a FROM t").unwrap(),
             Statement::Explain(_)
         ));
-        assert!(matches!(parse_statement("BEGIN").unwrap(), Statement::Begin));
+        assert!(matches!(
+            parse_statement("BEGIN").unwrap(),
+            Statement::Begin
+        ));
         assert!(matches!(
             parse_statement("COMMIT;").unwrap(),
             Statement::Commit

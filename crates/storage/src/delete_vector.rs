@@ -91,9 +91,7 @@ impl DeleteVector {
         while i < self.entries.len() {
             let e = self.entries[i].1;
             let mut run = 1u64;
-            while i + (run as usize) < self.entries.len()
-                && self.entries[i + run as usize].1 == e
-            {
+            while i + (run as usize) < self.entries.len() && self.entries[i + run as usize].1 == e {
                 run += 1;
             }
             w.put_uvarint(run);
@@ -148,7 +146,10 @@ mod tests {
         dv.mark(3, Epoch(7));
         assert!(dv.is_deleted(10, Epoch(5)));
         assert!(dv.is_deleted(10, Epoch(9)));
-        assert!(!dv.is_deleted(10, Epoch(4)), "historical query sees the row");
+        assert!(
+            !dv.is_deleted(10, Epoch(4)),
+            "historical query sees the row"
+        );
         assert!(!dv.is_deleted(4, Epoch(100)));
         assert_eq!(dv.delete_epoch(3), Some(Epoch(7)));
         assert_eq!(dv.len(), 2);

@@ -58,8 +58,16 @@ impl StorageEngine {
         if tables.contains_key(&schema.name) {
             return Err(DbError::AlreadyExists(format!("table {}", schema.name)));
         }
-        self.by_table.write().insert(schema.name.clone(), Vec::new());
-        tables.insert(schema.name.clone(), TableEntry { schema, partition_by });
+        self.by_table
+            .write()
+            .insert(schema.name.clone(), Vec::new());
+        tables.insert(
+            schema.name.clone(),
+            TableEntry {
+                schema,
+                partition_by,
+            },
+        );
         Ok(())
     }
 
@@ -182,11 +190,7 @@ impl StorageEngine {
     }
 
     pub fn projections_of(&self, table: &str) -> Vec<String> {
-        self.by_table
-            .read()
-            .get(table)
-            .cloned()
-            .unwrap_or_default()
+        self.by_table.read().get(table).cloned().unwrap_or_default()
     }
 
     /// Definitions of all projections anchored on `table`.
@@ -532,8 +536,13 @@ mod tests {
             ],
         );
         e.create_table(cust.clone(), None).unwrap();
-        e.create_projection(ProjectionDef::super_projection(&cust, "cust_super", &[0], &[]))
-            .unwrap();
+        e.create_projection(ProjectionDef::super_projection(
+            &cust,
+            "cust_super",
+            &[0],
+            &[],
+        ))
+        .unwrap();
         e.insert_table_rows(
             "customer",
             &[

@@ -11,6 +11,8 @@
 //! local-segment boundaries. A node's projections are collected in a
 //! [`engine::StorageEngine`].
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod backend;
 pub mod delete_vector;
 pub mod engine;

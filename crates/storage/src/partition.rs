@@ -71,9 +71,7 @@ mod tests {
     fn split_groups_by_distinct_key() {
         let spec = PartitionSpec::by_year_month(1, "ts");
         let rows: Vec<Row> = (3..=6)
-            .flat_map(|m| {
-                (0..4).map(move |d| row(timestamp_from_civil(2012, m, 1 + d, 0, 0, 0)))
-            })
+            .flat_map(|m| (0..4).map(move |d| row(timestamp_from_civil(2012, m, 1 + d, 0, 0, 0))))
             .collect();
         let groups = spec.split(rows).unwrap();
         // Figure 2: four partition keys 3/2012..6/2012.

@@ -198,10 +198,12 @@ impl ProjectionDef {
             Segmentation::Replicated => Ok(None),
             Segmentation::ByExpr(e) => {
                 let v = e.eval(row)?;
-                let i = v.as_i64().ok_or_else(|| DbError::Execution(format!(
-                    "segmentation expression of {} must be integral, got {v}",
-                    self.name
-                )))?;
+                let i = v.as_i64().ok_or_else(|| {
+                    DbError::Execution(format!(
+                        "segmentation expression of {} must be integral, got {v}",
+                        self.name
+                    ))
+                })?;
                 Ok(Some(i as u64))
             }
         }

@@ -157,11 +157,7 @@ impl RosContainer {
 
     /// Read the raw column file bytes (for block-pruned scans, which need
     /// the bytes plus the cached index).
-    pub fn read_column_bytes(
-        &self,
-        backend: &dyn StorageBackend,
-        col: usize,
-    ) -> DbResult<Vec<u8>> {
+    pub fn read_column_bytes(&self, backend: &dyn StorageBackend, col: usize) -> DbResult<Vec<u8>> {
         if self.grouped {
             return Err(DbError::Execution(
                 "grouped containers have no per-column files".into(),
@@ -346,10 +342,7 @@ mod tests {
         .unwrap();
         assert_eq!(c.row_count, 100);
         assert_eq!(c.read_rows(&backend).unwrap(), rows(100));
-        assert_eq!(
-            c.read_column(&backend, 0).unwrap()[5],
-            Value::Integer(5)
-        );
+        assert_eq!(c.read_column(&backend, 0).unwrap()[5], Value::Integer(5));
         // Two files per column + meta.
         assert_eq!(backend.list_files("t_super/").len(), 5);
     }
@@ -419,14 +412,11 @@ mod tests {
         // columnar form compresses sorted data; the grouped form cannot.
         let backend = MemBackend::new();
         let many = rows(5000);
-        let col = RosContainer::write(
-            &backend, &def(), ContainerId(5), &many, Epoch(1), None, 0,
-        )
-        .unwrap();
-        let grp = RosContainer::write_grouped(
-            &backend, &def(), ContainerId(6), &many, Epoch(1), None, 0,
-        )
-        .unwrap();
+        let col = RosContainer::write(&backend, &def(), ContainerId(5), &many, Epoch(1), None, 0)
+            .unwrap();
+        let grp =
+            RosContainer::write_grouped(&backend, &def(), ContainerId(6), &many, Epoch(1), None, 0)
+                .unwrap();
         assert!(
             col.total_bytes(&backend) < grp.total_bytes(&backend) / 2,
             "columnar {} vs grouped {}",

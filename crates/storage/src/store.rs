@@ -101,9 +101,7 @@ impl ScanContainer {
         let n = self.container.row_count as usize;
         let mut mask = vec![true; n];
         if !epoch_visible_all {
-            let epochs = self
-                .container
-                .read_column(backend, self.epoch_column())?;
+            let epochs = self.container.read_column(backend, self.epoch_column())?;
             for (i, e) in epochs.iter().enumerate() {
                 if e.as_i64().map_or(true, |v| Epoch(v as u64) > self.snapshot) {
                     mask[i] = false;
@@ -246,7 +244,11 @@ impl ProjectionStore {
     /// Insert projection-shaped rows at `epoch` directly into new ROS
     /// containers, bypassing the WOS (the §7 "Direct Loading to the ROS"
     /// path for bulk loads).
-    pub fn insert_direct_ros(&mut self, rows: Vec<Row>, epoch: Epoch) -> DbResult<Vec<ContainerId>> {
+    pub fn insert_direct_ros(
+        &mut self,
+        rows: Vec<Row>,
+        epoch: Epoch,
+    ) -> DbResult<Vec<ContainerId>> {
         for row in &rows {
             self.check_arity(row)?;
         }
@@ -293,9 +295,7 @@ impl ProjectionStore {
         }
         let mut created = Vec::with_capacity(groups.len());
         for ((pkey, lseg), mut group) in groups {
-            group.sort_by(|a, b| {
-                vdb_types::schema::compare_rows(&a.0, &b.0, &self.def.sort_keys)
-            });
+            group.sort_by(|a, b| vdb_types::schema::compare_rows(&a.0, &b.0, &self.def.sort_keys));
             let mut dv = DeleteVector::new();
             let physical_rows: Vec<Row> = group
                 .iter()
@@ -384,11 +384,7 @@ impl ProjectionStore {
             .values()
             .map(|c| ScanContainer {
                 container: c.clone(),
-                deletes: self
-                    .delete_vectors
-                    .get(&c.id)
-                    .cloned()
-                    .unwrap_or_default(),
+                deletes: self.delete_vectors.get(&c.id).cloned().unwrap_or_default(),
                 snapshot,
                 backend: self.backend.clone(),
             })
@@ -461,10 +457,7 @@ impl ProjectionStore {
                 continue;
             }
             for (col, b) in bytes.iter_mut().enumerate() {
-                *b += self
-                    .backend
-                    .file_size(&c.data_path(col))
-                    .unwrap_or(0)
+                *b += self.backend.file_size(&c.data_path(col)).unwrap_or(0)
                     + self.backend.file_size(&c.index_path(col)).unwrap_or(0);
             }
         }
@@ -474,11 +467,7 @@ impl ProjectionStore {
     /// Total visible row count at a snapshot (cheap: container row counts
     /// minus deletes; WOS visible rows).
     pub fn row_count_estimate(&self) -> u64 {
-        self.containers
-            .values()
-            .map(|c| c.row_count)
-            .sum::<u64>()
-            + self.wos.len() as u64
+        self.containers.values().map(|c| c.row_count).sum::<u64>() + self.wos.len() as u64
     }
 
     /// Fast bulk delete of one partition (§3.5): moveout any WOS rows, then
@@ -659,10 +648,7 @@ impl ProjectionStore {
 
     /// Replay late deletes gathered from a buddy: find each (row, commit
     /// epoch) pair without a delete mark and mark it. Returns marks applied.
-    pub fn apply_late_deletes(
-        &mut self,
-        items: &[(Row, Epoch, Epoch)],
-    ) -> DbResult<u64> {
+    pub fn apply_late_deletes(&mut self, items: &[(Row, Epoch, Epoch)]) -> DbResult<u64> {
         let mut applied = 0;
         for (row, commit, delete) in items {
             let mut target: Option<RowLocation> = None;
@@ -756,7 +742,8 @@ mod tests {
     #[test]
     fn wos_insert_then_moveout() {
         let mut s = store();
-        s.insert_wos(vec![row(1, 10), row(2, 20)], Epoch(1)).unwrap();
+        s.insert_wos(vec![row(1, 10), row(2, 20)], Epoch(1))
+            .unwrap();
         s.insert_wos(vec![row(3, 30)], Epoch(2)).unwrap();
         assert_eq!(s.wos_row_count(), 3);
         assert_eq!(s.container_count(), 0);
@@ -827,7 +814,8 @@ mod tests {
     #[test]
     fn wos_deletes_survive_moveout() {
         let mut s = store();
-        s.insert_wos(vec![row(1, 10), row(2, 20)], Epoch(1)).unwrap();
+        s.insert_wos(vec![row(1, 10), row(2, 20)], Epoch(1))
+            .unwrap();
         s.mark_deleted(RowLocation::Wos(0), Epoch(2)).unwrap();
         s.moveout(Epoch(2)).unwrap();
         assert_eq!(s.visible_rows(Epoch(1)).unwrap().len(), 2);
@@ -847,10 +835,7 @@ mod tests {
             .unwrap();
         // Two partitions (even/odd), one local segment each.
         assert_eq!(s.container_count(), 2);
-        let keys: Vec<Option<Value>> = s
-            .containers()
-            .map(|c| c.partition_key.clone())
-            .collect();
+        let keys: Vec<Option<Value>> = s.containers().map(|c| c.partition_key.clone()).collect();
         assert!(keys.contains(&Some(Value::Integer(0))));
         assert!(keys.contains(&Some(Value::Integer(1))));
     }
@@ -880,7 +865,10 @@ mod tests {
             .unwrap();
         let segs: std::collections::BTreeSet<u32> =
             s.containers().map(|c| c.local_segment).collect();
-        assert!(segs.len() > 1, "hash range should hit several local segments");
+        assert!(
+            segs.len() > 1,
+            "hash range should hit several local segments"
+        );
         assert_eq!(s.visible_rows(Epoch(1)).unwrap().len(), 300);
     }
 
@@ -937,7 +925,8 @@ mod tests {
     #[test]
     fn scan_container_visibility_fast_paths() {
         let mut s = store();
-        s.insert_direct_ros(vec![row(1, 1), row(2, 2)], Epoch(1)).unwrap();
+        s.insert_direct_ros(vec![row(1, 1), row(2, 2)], Epoch(1))
+            .unwrap();
         let scan = s.scan_snapshot(Epoch(1));
         let sc = &scan.containers[0];
         assert_eq!(sc.visible(s.backend().as_ref()).unwrap(), VisibleSet::All);

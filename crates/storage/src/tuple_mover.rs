@@ -59,7 +59,7 @@ pub struct MoveoutStats {
 }
 
 /// The asynchronous storage-maintenance service of §4 (driven synchronously
-/// here: callers invoke [`TupleMover::tick`] after loads or on a timer).
+/// here: callers invoke [`TupleMover::run_moveout`]/[`TupleMover::run_mergeout`] after loads or on a timer).
 #[derive(Debug, Clone, Default)]
 pub struct TupleMover {
     pub config: TupleMoverConfig,
@@ -258,8 +258,10 @@ mod tests {
             s.insert_direct_ros(vec![row(e as i64)], Epoch(e)).unwrap();
         }
         let ids: Vec<ContainerId> = s.containers().map(|c| c.id).collect();
-        s.mark_deleted(RowLocation::Ros(ids[0], 0), Epoch(5)).unwrap();
-        s.mark_deleted(RowLocation::Ros(ids[1], 0), Epoch(9)).unwrap();
+        s.mark_deleted(RowLocation::Ros(ids[0], 0), Epoch(5))
+            .unwrap();
+        s.mark_deleted(RowLocation::Ros(ids[1], 0), Epoch(9))
+            .unwrap();
         // AHM = 6: the epoch-5 delete is ancient (purged); epoch-9 is not.
         let stats = m.run_mergeout(&mut s, Epoch(6)).unwrap();
         assert_eq!(stats.rows_purged, 1);

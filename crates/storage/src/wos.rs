@@ -68,9 +68,7 @@ impl Wos {
         self.rows
             .iter()
             .enumerate()
-            .filter(|(i, wr)| {
-                wr.epoch <= snapshot && !self.deletes.is_deleted(*i as u64, snapshot)
-            })
+            .filter(|(i, wr)| wr.epoch <= snapshot && !self.deletes.is_deleted(*i as u64, snapshot))
             .map(|(_, wr)| wr.row.clone())
             .collect()
     }
@@ -110,11 +108,7 @@ impl Wos {
         }
         self.rows = kept_rows;
         self.deletes = kept_deletes;
-        self.approx_bytes = self
-            .rows
-            .iter()
-            .map(|wr| approx_row_bytes(&wr.row))
-            .sum();
+        self.approx_bytes = self.rows.iter().map(|wr| approx_row_bytes(&wr.row)).sum();
         moved
     }
 }
@@ -173,10 +167,7 @@ mod tests {
         let moved = wos.drain_up_to(Epoch(3));
         assert_eq!(
             moved,
-            vec![
-                (row(1), Epoch(1), Some(Epoch(4))),
-                (row(3), Epoch(2), None),
-            ]
+            vec![(row(1), Epoch(1), Some(Epoch(4))), (row(3), Epoch(2), None),]
         );
         assert_eq!(wos.len(), 1);
         // The kept row (was position 1) is now position 0, delete intact.

@@ -10,6 +10,8 @@
 //! application to storage are orchestrated by `vdb-core` (single node) and
 //! `vdb-cluster` (quorum commit without two-phase commit).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod epoch;
 pub mod locks;
 pub mod txn;

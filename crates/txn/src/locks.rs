@@ -53,7 +53,8 @@ impl LockMode {
         const NO: bool = false;
         const TABLE1: [[bool; 7]; 7] = [
             // granted:  S    I    SI   X    T    U    O
-            /* S  */ [YES, NO, NO, NO, YES, YES, NO],
+            /* S  */
+            [YES, NO, NO, NO, YES, YES, NO],
             /* I  */ [NO, YES, NO, NO, YES, YES, NO],
             /* SI */ [NO, NO, NO, NO, YES, YES, NO],
             /* X  */ [NO, NO, NO, NO, NO, YES, NO],
@@ -69,7 +70,8 @@ impl LockMode {
     pub fn convert_from(self, granted: LockMode) -> LockMode {
         const TABLE2: [[LockMode; 7]; 7] = [
             // granted:  S   I   SI  X  T   U   O
-            /* S  */ [S, SI, SI, X, S, S, O],
+            /* S  */
+            [S, SI, SI, X, S, S, O],
             /* I  */ [SI, I, SI, X, I, I, O],
             /* SI */ [SI, SI, SI, X, SI, SI, O],
             /* X  */ [X, X, X, X, X, X, O],
@@ -106,7 +108,11 @@ pub fn render_compatibility_table() -> String {
     for req in ALL_MODES {
         out.push_str(&format!("{:<18}", req.name()));
         for granted in ALL_MODES {
-            let cell = if req.compatible_with(granted) { "Yes" } else { "No" };
+            let cell = if req.compatible_with(granted) {
+                "Yes"
+            } else {
+                "No"
+            };
             out.push_str(&format!("{cell:<5}"));
         }
         out.push('\n');
@@ -270,7 +276,15 @@ mod tests {
     fn exclusive_blocks_everything_but_usage() {
         let lm = LockManager::new();
         lm.acquire(TxnId(1), "t", X).unwrap();
-        for (mode, ok) in [(S, false), (I, false), (SI, false), (X, false), (T, false), (U, true), (O, false)] {
+        for (mode, ok) in [
+            (S, false),
+            (I, false),
+            (SI, false),
+            (X, false),
+            (T, false),
+            (U, true),
+            (O, false),
+        ] {
             let r = lm.acquire(TxnId(2), "t", mode);
             assert_eq!(r.is_ok(), ok, "mode {mode} against held X");
             lm.release(TxnId(2), "t");
@@ -340,7 +354,12 @@ mod tests {
         assert!(t2.lines().count() == 8);
         // Spot checks against the printed tables.
         assert!(t1.lines().nth(1).unwrap().starts_with('S'));
-        assert!(t2.lines().nth(4).unwrap().split_whitespace().all(|c| c == "X" || c == "O"));
+        assert!(t2
+            .lines()
+            .nth(4)
+            .unwrap()
+            .split_whitespace()
+            .all(|c| c == "X" || c == "O"));
     }
 
     #[test]

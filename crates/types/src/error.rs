@@ -30,7 +30,11 @@ pub enum DbError {
     /// On-disk or in-memory serialized data failed to decode.
     Corrupt(String),
     /// Lock request could not be granted (conflict with a held mode).
-    LockConflict { table: String, requested: String, held: String },
+    LockConflict {
+        table: String,
+        requested: String,
+        held: String,
+    },
     /// The cluster lost quorum or the operation would violate K-safety.
     Cluster(String),
     /// Transaction-level error (e.g. commit of an aborted transaction).
@@ -61,7 +65,11 @@ impl fmt::Display for DbError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
-            DbError::LockConflict { table, requested, held } => write!(
+            DbError::LockConflict {
+                table,
+                requested,
+                held,
+            } => write!(
                 f,
                 "lock conflict on table {table}: requested {requested}, held {held}"
             ),

@@ -132,7 +132,10 @@ impl Func {
 pub enum Expr {
     /// Positional reference into the input row, with a display name carried
     /// along for EXPLAIN output.
-    Column { index: usize, name: String },
+    Column {
+        index: usize,
+        name: String,
+    },
     Literal(Value),
     Binary {
         op: BinOp,
@@ -372,9 +375,7 @@ impl Expr {
                     (UnOp::Neg, Value::Integer(i)) => Ok(Value::Integer(-i)),
                     (UnOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
                     (UnOp::Not, Value::Boolean(b)) => Ok(Value::Boolean(!b)),
-                    (op, v) => Err(DbError::Execution(format!(
-                        "cannot apply {op:?} to {v}"
-                    ))),
+                    (op, v) => Err(DbError::Execution(format!("cannot apply {op:?} to {v}"))),
                 }
             }
             Expr::Call { func, args } => {
@@ -513,7 +514,11 @@ pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> DbResult<Value> {
             Ok(Value::Varchar(format!("{a}{b}")))
         }
         (Value::Timestamp(a), Value::Integer(b)) if matches!(op, BinOp::Add | BinOp::Sub) => {
-            Ok(Value::Timestamp(if op == BinOp::Add { a + b } else { a - b }))
+            Ok(Value::Timestamp(if op == BinOp::Add {
+                a + b
+            } else {
+                a - b
+            }))
         }
         _ => {
             let (a, b) = match (l.as_f64(), r.as_f64()) {
@@ -832,7 +837,9 @@ mod tests {
     #[test]
     fn remap_columns() {
         let e = Expr::binary(BinOp::Add, Expr::col(2, "x"), Expr::col(5, "y"));
-        let mapped = e.remap_columns(&|i| if i == 2 { Some(0) } else { Some(1) }).unwrap();
+        let mapped = e
+            .remap_columns(&|i| if i == 2 { Some(0) } else { Some(1) })
+            .unwrap();
         assert_eq!(mapped.referenced_columns(), vec![0, 1]);
         assert!(e.remap_columns(&|_| None).is_none());
     }

@@ -7,6 +7,8 @@
 //! formats, calendar [`date`] arithmetic for `PARTITION BY` expressions, and
 //! the shared [`error::DbError`] type.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod codec;
 pub mod date;
 pub mod error;

@@ -230,12 +230,7 @@ mod tests {
     #[test]
     fn validate_enforces_not_null() {
         let s = sales();
-        let mut row = vec![
-            Value::Null,
-            Value::Null,
-            Value::Null,
-            Value::Null,
-        ];
+        let mut row = vec![Value::Null, Value::Null, Value::Null, Value::Null];
         assert!(matches!(
             s.validate_row(&mut row),
             Err(DbError::Constraint(_))

@@ -139,9 +139,7 @@ impl Value {
             Value::Null => feed(OFFSET, &[0]),
             // Integers and timestamps share a representation so that a
             // prejoin between INT and TIMESTAMP keys co-locates.
-            Value::Integer(v) | Value::Timestamp(v) => {
-                feed(feed(OFFSET, &[1]), &v.to_le_bytes())
-            }
+            Value::Integer(v) | Value::Timestamp(v) => feed(feed(OFFSET, &[1]), &v.to_le_bytes()),
             Value::Float(v) => {
                 // Hash floats by their integral value when exact so that
                 // 1.0 and 1 co-locate; otherwise by bits.
@@ -301,10 +299,7 @@ mod tests {
 
     #[test]
     fn numeric_cross_type_ordering() {
-        assert_eq!(
-            Value::Integer(2).cmp(&Value::Float(2.0)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Integer(2).cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Integer(2).cmp(&Value::Float(2.5)), Ordering::Less);
         assert_eq!(
             Value::Timestamp(100).cmp(&Value::Integer(99)),

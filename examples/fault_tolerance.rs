@@ -2,7 +2,7 @@
 //! loads during a node outage, incremental recovery, and the backup path.
 //!
 //! ```sh
-//! cargo run -p vdb-examples --bin fault_tolerance
+//! cargo run -p vdb_examples --example fault_tolerance
 //! ```
 
 use vdb_core::{Database, Value};

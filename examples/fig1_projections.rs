@@ -3,7 +3,7 @@
 //! sorted by cust, each with its own segmentation.
 //!
 //! ```sh
-//! cargo run -p vdb-examples --bin fig1_projections
+//! cargo run -p vdb_examples --example fig1_projections
 //! ```
 
 fn main() -> vdb_core::DbResult<()> {

@@ -3,7 +3,7 @@
 //! partition-pruned scan the layout enables.
 //!
 //! ```sh
-//! cargo run -p vdb-examples --bin fig2_storage_layout
+//! cargo run -p vdb_examples --example fig2_storage_layout
 //! ```
 
 fn main() -> vdb_core::DbResult<()> {

@@ -3,7 +3,7 @@
 //! parallel GroupBy at 1 vs 4 lanes.
 //!
 //! ```sh
-//! cargo run -p vdb-examples --bin fig3_parallel_plan
+//! cargo run -p vdb_examples --example fig3_parallel_plan
 //! ```
 
 fn main() -> vdb_core::DbResult<()> {

@@ -3,7 +3,7 @@
 //! reporting, and time-series queries with window functions.
 //!
 //! ```sh
-//! cargo run -p vdb-examples --bin meter_analytics
+//! cargo run -p vdb_examples --example meter_analytics
 //! ```
 
 use vdb_bench::workloads::meter;
@@ -11,9 +11,7 @@ use vdb_core::Database;
 
 fn main() -> vdb_core::DbResult<()> {
     let db = Database::single_node();
-    db.execute(
-        "CREATE TABLE meter_data (metric INT, meter INT, ts TIMESTAMP, value FLOAT)",
-    )?;
+    db.execute("CREATE TABLE meter_data (metric INT, meter INT, ts TIMESTAMP, value FLOAT)")?;
 
     // Let the Database Designer pick projections and encodings from a
     // sample + the workload (§6.3), instead of hand-writing DDL.

@@ -1,7 +1,7 @@
 //! Quickstart: create a table and projections, bulk load, query.
 //!
 //! ```sh
-//! cargo run -p vdb-examples --bin quickstart
+//! cargo run -p vdb_examples --example quickstart
 //! ```
 
 use vdb_core::{Database, Value};
@@ -31,9 +31,14 @@ fn main() -> vdb_core::DbResult<()> {
                 Value::Integer(i),
                 Value::Varchar(format!("cust{}", i % 100)),
                 Value::Float(f64::from((i % 500) as i32) / 10.0),
-                Value::Timestamp(
-                    vdb_types::date::timestamp_from_civil(2012, 1 + (i % 6) as u32, 15, 0, 0, 0),
-                ),
+                Value::Timestamp(vdb_types::date::timestamp_from_civil(
+                    2012,
+                    1 + (i % 6) as u32,
+                    15,
+                    0,
+                    0,
+                    0,
+                )),
             ]
         })
         .collect();

@@ -1,1 +1,3 @@
 //! Integration test package (tests live in `tests/`).
+
+#![deny(rustdoc::broken_intra_doc_links)]

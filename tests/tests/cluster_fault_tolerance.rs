@@ -7,7 +7,8 @@ use vdb_types::Row;
 
 fn db() -> Database {
     let db = Database::cluster_of(4, 1);
-    db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)").unwrap();
+    db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)")
+        .unwrap();
     db.execute(
         "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
          SEGMENTED BY HASH(id) ALL NODES",
@@ -98,13 +99,15 @@ fn adjacent_double_failure_loses_data_with_k1() {
 #[test]
 fn replicated_projections_survive_any_single_node() {
     let db = Database::cluster_of(3, 1);
-    db.execute("CREATE TABLE dim (k INT, name VARCHAR)").unwrap();
+    db.execute("CREATE TABLE dim (k INT, name VARCHAR)")
+        .unwrap();
     db.execute(
         "CREATE PROJECTION dim_super AS SELECT k, name FROM dim ORDER BY k \
          UNSEGMENTED ALL NODES",
     )
     .unwrap();
-    db.execute("INSERT INTO dim VALUES (1, 'a'), (2, 'b')").unwrap();
+    db.execute("INSERT INTO dim VALUES (1, 'a'), (2, 'b')")
+        .unwrap();
     for n in 0..3 {
         let db2 = &db;
         db2.cluster().fail_node(n);
@@ -133,7 +136,8 @@ fn ahm_freeze_preserves_history_for_recovery() {
             ..Default::default()
         },
     });
-    db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)").unwrap();
+    db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)")
+        .unwrap();
     db.execute(
         "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
          SEGMENTED BY HASH(id) ALL NODES",
@@ -142,7 +146,8 @@ fn ahm_freeze_preserves_history_for_recovery() {
     db.load("t", &rows(0, 100)).unwrap();
     db.cluster().fail_node(1);
     for batch in 0..5 {
-        db.load("t", &rows(100 + batch * 10, 110 + batch * 10)).unwrap();
+        db.load("t", &rows(100 + batch * 10, 110 + batch * 10))
+            .unwrap();
     }
     // Mergeouts while the node is down must not purge replay history.
     db.tuple_mover_tick().unwrap();

@@ -10,7 +10,11 @@ use vdb_types::Value;
 /// DBD-designed projection would store.
 fn auto_bytes(col: &[Value]) -> usize {
     let mut best = usize::MAX;
-    for enc in EncodingType::CONCRETE.iter().copied().chain([EncodingType::Auto]) {
+    for enc in EncodingType::CONCRETE
+        .iter()
+        .copied()
+        .chain([EncodingType::Auto])
+    {
         let mut w = ColumnWriter::new(enc);
         w.extend(col.iter().cloned());
         let (d, i) = w.finish();
@@ -28,13 +32,15 @@ fn table4a_ordering_holds() {
     let gz = vdb_compress::compress(text.as_bytes()).len();
     let mut sorted = ints.clone();
     sorted.sort_unstable();
-    let gz_sorted =
-        vdb_compress::compress(random_ints::as_text(&sorted).as_bytes()).len();
+    let gz_sorted = vdb_compress::compress(random_ints::as_text(&sorted).as_bytes()).len();
     let col: Vec<Value> = sorted.iter().map(|&v| Value::Integer(v)).collect();
     let vertica = auto_bytes(&col);
     assert!(gz < raw, "gzip-class compresses digit text");
     assert!(gz_sorted < gz, "sorting helps the byte compressor");
-    assert!(vertica < gz_sorted, "type-aware encoding beats byte compression");
+    assert!(
+        vertica < gz_sorted,
+        "type-aware encoding beats byte compression"
+    );
     // Paper: Vertica ≈ 0.6 B/row at 1M; allow generous slack at 100k.
     assert!(
         (vertica as f64) / 100_000.0 < 2.0,
@@ -111,10 +117,8 @@ fn table3_shape_vertica_wins() {
 #[test]
 fn product_grade_features_coexist() {
     let db = vdb_core::Database::single_node();
-    db.execute(
-        "CREATE TABLE everything (i INT, f FLOAT, s VARCHAR, b BOOLEAN, t TIMESTAMP)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE everything (i INT, f FLOAT, s VARCHAR, b BOOLEAN, t TIMESTAMP)")
+        .unwrap();
     db.execute(
         "CREATE PROJECTION everything_super AS SELECT i, f, s, b, t FROM everything \
          ORDER BY i SEGMENTED BY HASH(i) ALL NODES",
@@ -138,7 +142,8 @@ fn product_grade_features_coexist() {
             Value::Timestamp(2000),
         ]
     );
-    db.execute("DELETE FROM everything WHERE i IS NULL").unwrap();
+    db.execute("DELETE FROM everything WHERE i IS NULL")
+        .unwrap();
     assert_eq!(
         db.query("SELECT COUNT(*) FROM everything").unwrap()[0][0],
         Value::Integer(2)

@@ -10,10 +10,8 @@ fn sales_db(nodes: usize, k: usize) -> Database {
     } else {
         Database::cluster_of(nodes, k)
     };
-    db.execute(
-        "CREATE TABLE sales (id INT NOT NULL, region VARCHAR, amt FLOAT, ts TIMESTAMP)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE sales (id INT NOT NULL, region VARCHAR, amt FLOAT, ts TIMESTAMP)")
+        .unwrap();
     db.execute(
         "CREATE PROJECTION sales_super AS SELECT id, region, amt, ts FROM sales \
          ORDER BY ts, id SEGMENTED BY HASH(id) ALL NODES",
@@ -70,16 +68,15 @@ fn full_query_matrix_single_node_vs_cluster() {
 fn joins_and_star_queries() {
     let db = sales_db(3, 1);
     load_sales(&db, 2000);
-    db.execute("CREATE TABLE regions (name VARCHAR, zone INT)").unwrap();
+    db.execute("CREATE TABLE regions (name VARCHAR, zone INT)")
+        .unwrap();
     db.execute(
         "CREATE PROJECTION regions_super AS SELECT name, zone FROM regions \
          ORDER BY name UNSEGMENTED ALL NODES",
     )
     .unwrap();
-    db.execute(
-        "INSERT INTO regions VALUES ('east', 1), ('west', 2), ('north', 1), ('south', 2)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO regions VALUES ('east', 1), ('west', 2), ('north', 1), ('south', 2)")
+        .unwrap();
     let rows = db
         .query(
             "SELECT zone, COUNT(*), SUM(amt) FROM sales JOIN regions \
@@ -90,7 +87,8 @@ fn joins_and_star_queries() {
     assert_eq!(rows[0][1], Value::Integer(1000));
     assert_eq!(rows[1][1], Value::Integer(1000));
     // LEFT JOIN keeps unmatched dimension-less rows.
-    db.execute("DELETE FROM regions WHERE name = 'east'").unwrap();
+    db.execute("DELETE FROM regions WHERE name = 'east'")
+        .unwrap();
     let left = db
         .query(
             "SELECT id, region, zone FROM sales LEFT JOIN regions \
@@ -98,7 +96,10 @@ fn joins_and_star_queries() {
         )
         .unwrap();
     assert_eq!(left.len(), 4);
-    assert!(left.iter().any(|r| r[2].is_null()), "east rows get NULL zone");
+    assert!(
+        left.iter().any(|r| r[2].is_null()),
+        "east rows get NULL zone"
+    );
 }
 
 #[test]
@@ -107,10 +108,14 @@ fn dml_visibility_and_history() {
     load_sales(&db, 100);
     let before = db.cluster().epochs.read_committed_snapshot();
     db.execute("DELETE FROM sales WHERE id < 50").unwrap();
-    assert_eq!(db.query("SELECT COUNT(*) FROM sales").unwrap()[0][0], Value::Integer(50));
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM sales").unwrap()[0][0],
+        Value::Integer(50)
+    );
     // Historical snapshot still sees everything (epoch MVCC).
     assert_eq!(db.cluster().table_rows("sales", before).unwrap().len(), 100);
-    db.execute("UPDATE sales SET amt = 0.5 WHERE id = 60").unwrap();
+    db.execute("UPDATE sales SET amt = 0.5 WHERE id = 60")
+        .unwrap();
     let got = db.query("SELECT amt FROM sales WHERE id = 60").unwrap();
     assert_eq!(got[0][0], Value::Float(0.5));
 }
@@ -126,9 +131,13 @@ fn tuple_mover_does_not_change_results() {
         ))
         .unwrap();
     }
-    let before = db.query("SELECT region, SUM(amt) FROM sales GROUP BY region").unwrap();
+    let before = db
+        .query("SELECT region, SUM(amt) FROM sales GROUP BY region")
+        .unwrap();
     db.tuple_mover_tick().unwrap();
-    let after = db.query("SELECT region, SUM(amt) FROM sales GROUP BY region").unwrap();
+    let after = db
+        .query("SELECT region, SUM(amt) FROM sales GROUP BY region")
+        .unwrap();
     assert_eq!(before, after);
 }
 
@@ -177,7 +186,10 @@ fn error_paths_are_clean() {
     let db = sales_db(1, 0);
     assert!(db.execute("SELECT nope FROM sales").is_err());
     assert!(db.execute("SELECT * FROM missing_table").is_err());
-    assert!(db.execute("CREATE TABLE sales (x INT)").is_err(), "duplicate");
+    assert!(
+        db.execute("CREATE TABLE sales (x INT)").is_err(),
+        "duplicate"
+    );
     assert!(db.execute("INSERT INTO sales VALUES (1)").is_err(), "arity");
     assert!(db.execute("garbage statement").is_err());
     // NOT NULL enforcement through SQL.

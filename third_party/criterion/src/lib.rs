@@ -1,0 +1,293 @@
+//! Offline shim for the `criterion` crate: just enough API for the
+//! `vdb_bench` Criterion benches to compile and produce useful numbers.
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! handful of external crates the paper reproduction uses are vendored as
+//! minimal API-compatible implementations. This harness runs each routine a
+//! fixed number of iterations (the group's `sample_size`, else
+//! `CRITERION_SHIM_SAMPLES`, else 10) and reports mean wall-clock time per
+//! iteration — no warm-up, statistics, plots or HTML reports.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies a parameterised benchmark, e.g. `BenchmarkId::new("scan", 4)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// How a group's work scales, for throughput reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Per-iteration input sizing hint for [`Bencher::iter_batched`]. The shim
+/// runs every batch size the same way (one setup per measured iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to benchmark closures; measures the supplied routine.
+pub struct Bencher<'a> {
+    samples: u64,
+    result: &'a mut Duration,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        *self.result = start.elapsed();
+        *self.iters = self.samples;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        *self.result = total;
+        *self.iters = self.samples;
+    }
+}
+
+/// A named set of related benchmarks (mirrors criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; the shim happily runs fewer.
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        f(&mut Bencher {
+            samples: self.samples,
+            result: &mut elapsed,
+            iters: &mut iters,
+        });
+        self.report(&id.into_benchmark_name(), elapsed, iters);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        f(
+            &mut Bencher {
+                samples: self.samples,
+                result: &mut elapsed,
+                iters: &mut iters,
+            },
+            input,
+        );
+        self.report(&id.name, elapsed, iters);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, bench_name: &str, elapsed: Duration, iters: u64) {
+        let per_iter = elapsed.checked_div(iters.max(1) as u32).unwrap_or_default();
+        let mut line = format!(
+            "{}/{}: {:>12} /iter ({} iters)",
+            self.name,
+            bench_name,
+            format_duration(per_iter),
+            iters
+        );
+        if let Some(Throughput::Bytes(bytes)) = &self.throughput {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                let mibps = *bytes as f64 / secs / (1024.0 * 1024.0);
+                line.push_str(&format!("  {mibps:.1} MiB/s"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Anything `bench_function` accepts as a name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkName {
+    fn into_benchmark_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_benchmark_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_benchmark_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_benchmark_name(self) -> String {
+        self.name
+    }
+}
+
+/// The top-level benchmark driver (mirrors criterion's `Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.default_samples > 0 {
+            self.default_samples
+        } else {
+            std::env::var("CRITERION_SHIM_SAMPLES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10)
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_samples = (n as u64).max(1);
+        self
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group declared via [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function(BenchmarkId::new("sum_n", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("sum_input", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |n| (0..n).sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_all_shapes() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    criterion_group!(demo_group, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo_group();
+    }
+}

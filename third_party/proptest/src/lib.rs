@@ -1,0 +1,599 @@
+//! Offline shim for the `proptest` crate: the strategy/`proptest!` subset the
+//! workspace's property tests use, with deterministic generation and **no
+//! shrinking** (a failing case prints its inputs via the std `assert!`
+//! message instead of minimising them).
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! handful of external crates the paper reproduction uses are vendored as
+//! minimal API-compatible implementations. Supported surface:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, [`strategy::Just`], ranges
+//!   (`0i64..100`, `1u8..=20`, `-1e6f64..1e6`) and `&str` regex-subset
+//!   strategies (`"[a-z]{0,12}"`).
+//! * [`arbitrary::any`] for the primitive integers and `bool`.
+//! * [`collection::vec`] with `Range`/`RangeInclusive` size bounds.
+//! * [`proptest!`], [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], [`test_runner::ProptestConfig::with_cases`].
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod test_runner {
+    //! Deterministic RNG and run configuration.
+
+    /// Per-test configuration. Only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    use rand::{RngCore as _, SeedableRng as _};
+
+    /// Deterministic generator (wraps the vendored `rand` shim's `StdRng`,
+    /// as upstream proptest builds on `rand`): every run explores the same
+    /// cases, so CI failures reproduce locally.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// The seed used by the [`crate::proptest!`] runner. Override with
+        /// `PROPTEST_SHIM_SEED` to explore a different deterministic stream.
+        pub fn deterministic() -> TestRng {
+            let seed = std::env::var("PROPTEST_SHIM_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5DEE_CE66_D015_73B5);
+            TestRng::new(seed)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform over `range` (delegates to the `rand` shim's sampling).
+        pub fn sample_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+            rand::Rng::gen_range(&mut self.inner, range)
+        }
+
+        /// Uniform in `0..bound` (`bound > 0`).
+        pub fn below(&mut self, bound: usize) -> usize {
+            self.sample_range(0..bound)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type. Unlike real proptest
+    /// there is no value tree: generation is direct and shrink-free.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Derives a strategy by mapping generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.sample_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.sample_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.sample_range(self.clone())
+        }
+    }
+
+    /// Uniform choice between same-valued strategies ([`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    pub fn union<V>(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Boxes one `prop_oneof!` arm (guarantees the unsize coercion).
+    pub fn union_arm<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        /// Interprets the string as the regex subset the workspace's tests
+        /// use: literal chars, `[a-z0-9_]`-style classes, and `{n}` /
+        /// `{m,n}` / `?` / `*` / `+` quantifiers (unbounded capped at 8).
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation backing `&str` strategies.
+
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = match chars.next() {
+                            Some(']') => break,
+                            Some('\\') => chars.next().expect("escape in class"),
+                            Some(ch) => ch,
+                            None => panic!("unterminated class in pattern {pattern:?}"),
+                        };
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = match chars.next() {
+                                Some(']') | None => {
+                                    panic!("unterminated range in pattern {pattern:?}")
+                                }
+                                Some('\\') => chars.next().expect("escape in class"),
+                                Some(ch) => ch,
+                            };
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+                ch => Atom::Literal(ch),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for ch in chars.by_ref() {
+                        if ch == '}' {
+                            break;
+                        }
+                        spec.push(ch);
+                    }
+                    match spec.split_once(',') {
+                        None => {
+                            let n = spec.trim().parse().expect("bad {n}");
+                            (n, n)
+                        }
+                        Some((m, "")) => {
+                            let m: usize = m.trim().parse().expect("bad {m,}");
+                            (m, m.max(8))
+                        }
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad {m,n}"),
+                            n.trim().parse().expect("bad {m,n}"),
+                        ),
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u32 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                            .sum();
+                        let mut pick = rng.below(total as usize) as u32;
+                        for &(lo, hi) in ranges {
+                            let size = hi as u32 - lo as u32 + 1;
+                            if pick < size {
+                                out.push(char::from_u32(lo as u32 + pick).expect("valid char"));
+                                break;
+                            }
+                            pick -= size;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<i64>()`, `any::<bool>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count bounds accepted by [`vec()`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_inclusive - self.size.min + 1;
+            let len = self.size.min + rng.below(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with the given element strategy and length bounds.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     #[test]
+///     fn addition_commutes(a in -100i64..100, b in -100i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..config.cases {
+                let __case: u32 = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::union_arm($arm)),+])
+    };
+}
+
+/// Property assertion (the shim panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion (the shim panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion (the shim panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&v));
+            let u = (1u8..=20).generate(&mut rng);
+            assert!((1..=20).contains(&u));
+            let f = (-1e6f64..1e6).generate(&mut rng);
+            assert!((-1e6..1e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..500 {
+            let s = "[a-z]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[a-c]{1,3}".generate(&mut rng);
+            assert!((1..=3).contains(&t.len()));
+            assert!(t.chars().all(|c| ('a'..='c').contains(&c)));
+            let lit = "ab_c".generate(&mut rng);
+            assert_eq!(lit, "ab_c");
+            let q = "x[0-9]+".generate(&mut rng);
+            assert!(q.starts_with('x') && q.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(0i64), 1i64..2, (2i64..3).prop_map(|v| v)];
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let strat = prop::collection::vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::new(4);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro passes through doc comments and runs the body per case.
+        #[test]
+        fn macro_draws_all_args(a in 0i64..10, b in prop::collection::vec(0u8..4, 0..6)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(b.len() < 6);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+}
