@@ -12,7 +12,7 @@ use vdb_exec::operator::{collect_rows, Operator, ValuesOp};
 fn rle_batches() -> Vec<Batch> {
     (0..200)
         .map(|b| {
-            Batch::new(vec![ColumnSlice::Rle(
+            Batch::new(vec![ColumnSlice::rle(
                 (0..10)
                     .map(|r| (vdb_types::Value::Integer(b * 10 + r), 1000u32))
                     .collect(),

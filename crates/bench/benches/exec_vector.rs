@@ -1,0 +1,64 @@
+//! Typed vectors + selection vectors vs the pre-refactor row path:
+//! filter → group-by → SUM over plain and RLE-heavy batches.
+//!
+//! `typed_*` runs the vectorized FilterOp (selection vectors, native
+//! buffers) into the hash group-by's column accessors; `row_*` pivots every
+//! batch into `Vec<Value>` rows and evaluates per row, which is what the
+//! engine did before the typed vector layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vdb_bench::workloads::exec_vector::{
+    half_predicate, plain_batches, rle_batches, rle_expanded_batches, run_filter_groupby,
+    run_pipelined, run_row_baseline, typed_batches, GROUPS,
+};
+
+const ROWS: usize = 1_000_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_vector");
+    g.sample_size(10);
+    g.bench_function("typed_filter_groupby", |b| {
+        b.iter_batched(
+            || typed_batches(ROWS),
+            |batches| {
+                let groups = run_filter_groupby(batches, half_predicate(ROWS)).unwrap();
+                assert_eq!(groups, GROUPS as usize);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("row_filter_groupby", |b| {
+        b.iter_batched(
+            || plain_batches(ROWS),
+            |batches| {
+                let groups = run_row_baseline(batches, half_predicate(ROWS)).unwrap();
+                assert_eq!(groups, GROUPS as usize);
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("typed_rle_pipelined", |b| {
+        b.iter_batched(
+            || rle_batches(ROWS),
+            |batches| {
+                let (_, encoded) = run_pipelined(batches).unwrap();
+                assert_eq!(encoded, ROWS as u64, "all rows via run math");
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("row_rle_pipelined", |b| {
+        b.iter_batched(
+            || rle_expanded_batches(ROWS),
+            |batches| {
+                let (_, encoded) = run_pipelined(batches).unwrap();
+                assert_eq!(encoded, 0, "expanded input leaves no run math");
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

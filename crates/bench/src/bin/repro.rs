@@ -1,9 +1,12 @@
-//! `repro` — print the reproduction of every table and figure.
+//! `repro` — print the reproduction of every table and figure, and write
+//! `BENCH_repro.json` (section wall-clock timings + executor metrics) so
+//! the perf trajectory is tracked run over run.
 //!
-//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3] [--full]`
+//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector] [--full]`
 //! `--full` runs paper-scale inputs (minutes); default scales finish in
-//! seconds.
+//! seconds. The JSON lands in the current directory.
 
+use std::time::Instant;
 use vdb_bench::repro;
 
 fn main() {
@@ -15,28 +18,64 @@ fn main() {
     } else {
         (600_000, 1_000_000, 2_000_000, 200_000)
     };
-    let run = |name: &str, text: Result<String, vdb_types::DbError>| match text {
-        Ok(t) => println!("{t}"),
-        Err(e) => eprintln!("{name} failed: {e}"),
+    let vector_rows = if full { 4_000_000 } else { 1_000_000 };
+    let mut sections: Vec<(String, f64)> = Vec::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut run = |name: &str, f: &mut dyn FnMut() -> Result<String, vdb_types::DbError>| {
+        let t = Instant::now();
+        match f() {
+            Ok(text) => {
+                sections.push((name.to_string(), t.elapsed().as_secs_f64() * 1000.0));
+                println!("{text}");
+            }
+            Err(e) => eprintln!("{name} failed: {e}"),
+        }
     };
-    match what {
-        "table1" | "table2" => println!("{}", repro::table1_2()),
-        "table3" => run("table3", repro::table3(li_rows)),
-        "table4" => run("table4", repro::table4(ints, meter_rows)),
-        "fig1" => run("fig1", repro::figure1(fig_rows)),
-        "fig2" => run("fig2", repro::figure2(fig_rows / 20)),
-        "fig3" => run("fig3", repro::figure3(fig_rows * 5)),
-        "all" => {
-            println!("{}", repro::table1_2());
-            run("table3", repro::table3(li_rows));
-            run("table4", repro::table4(ints, meter_rows));
-            run("fig1", repro::figure1(fig_rows));
-            run("fig2", repro::figure2(fig_rows / 20));
-            run("fig3", repro::figure3(fig_rows * 5));
+    let wants = |name: &str| what == "all" || what == name;
+    let mut matched = false;
+    if what == "table1" || what == "table2" || what == "all" {
+        matched = true;
+        run("table1_2", &mut || Ok(repro::table1_2()));
+    }
+    if wants("table3") {
+        matched = true;
+        run("table3", &mut || repro::table3(li_rows));
+    }
+    if wants("table4") {
+        matched = true;
+        run("table4", &mut || repro::table4(ints, meter_rows));
+    }
+    if wants("fig1") {
+        matched = true;
+        run("fig1", &mut || repro::figure1(fig_rows));
+    }
+    if wants("fig2") {
+        matched = true;
+        run("fig2", &mut || repro::figure2(fig_rows / 20));
+    }
+    if wants("fig3") {
+        matched = true;
+        run("fig3", &mut || repro::figure3(fig_rows * 5));
+    }
+    if wants("vector") {
+        matched = true;
+        let t = Instant::now();
+        match repro::exec_vector(vector_rows) {
+            Ok((text, m)) => {
+                sections.push(("exec_vector".into(), t.elapsed().as_secs_f64() * 1000.0));
+                metrics.extend(m);
+                println!("{text}");
+            }
+            Err(e) => eprintln!("vector failed: {e}"),
         }
-        other => {
-            eprintln!("unknown target {other}; use all|table1|table3|table4|fig1|fig2|fig3");
-            std::process::exit(2);
-        }
+    }
+    if !matched {
+        eprintln!("unknown target {what}; use all|table1|table3|table4|fig1|fig2|fig3|vector");
+        std::process::exit(2);
+    }
+    let json = repro::bench_json(&sections, &metrics);
+    match std::fs::write("BENCH_repro.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_repro.json ({} sections)", sections.len()),
+        Err(e) => eprintln!("could not write BENCH_repro.json: {e}"),
     }
 }

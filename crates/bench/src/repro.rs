@@ -193,6 +193,107 @@ pub fn table4(n_ints: usize, meter_rows: usize) -> DbResult<String> {
     Ok(out)
 }
 
+/// Typed-vector executor micro-benchmark: filter → group-by → SUM over
+/// plain and RLE-heavy batches, typed/selection-vector path vs the
+/// pre-refactor row path. Returns the report plus machine-readable
+/// `(metric, value)` pairs for `BENCH_repro.json`.
+pub fn exec_vector(rows: usize) -> DbResult<(String, Vec<(String, f64)>)> {
+    use crate::workloads::exec_vector as wl;
+    // Each measurement consumes a freshly built input; batch construction
+    // happens before the clock starts so the timings compare only the
+    // pipelines.
+    let typed = wl::typed_batches(rows);
+    let t = Instant::now();
+    let groups = wl::run_filter_groupby(typed, wl::half_predicate(rows))?;
+    let typed_ms = t.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(groups, wl::GROUPS as usize);
+    let plain = wl::plain_batches(rows);
+    let t = Instant::now();
+    let groups = wl::run_row_baseline(plain, wl::half_predicate(rows))?;
+    let row_ms = t.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(groups, wl::GROUPS as usize);
+    let rle = wl::rle_batches(rows);
+    let t = Instant::now();
+    let (_, encoded) = wl::run_pipelined(rle)?;
+    let rle_typed_ms = t.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(encoded, rows as u64);
+    let rle_expanded = wl::rle_expanded_batches(rows);
+    let t = Instant::now();
+    let (_, encoded) = wl::run_pipelined(rle_expanded)?;
+    let rle_row_ms = t.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(encoded, 0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Typed-vector executor: filter→groupby→SUM ({rows} rows) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{:>12}{:>12}{:>10}",
+        "Pipeline", "row(ms)", "typed(ms)", "speedup"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{row_ms:>12.1}{typed_ms:>12.1}{:>10.2}",
+        "plain batches",
+        row_ms / typed_ms.max(0.001)
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{rle_row_ms:>12.1}{rle_typed_ms:>12.1}{:>10.2}",
+        "RLE batches (pipelined)",
+        rle_row_ms / rle_typed_ms.max(0.001)
+    );
+    let metrics = vec![
+        ("exec_vector_rows".to_string(), rows as f64),
+        ("exec_vector_row_ms".to_string(), row_ms),
+        ("exec_vector_typed_ms".to_string(), typed_ms),
+        (
+            "exec_vector_speedup".to_string(),
+            row_ms / typed_ms.max(0.001),
+        ),
+        ("exec_vector_rle_row_ms".to_string(), rle_row_ms),
+        ("exec_vector_rle_typed_ms".to_string(), rle_typed_ms),
+        (
+            "exec_vector_rle_speedup".to_string(),
+            rle_row_ms / rle_typed_ms.max(0.001),
+        ),
+    ];
+    Ok((out, metrics))
+}
+
+/// Render a flat `name → number` map plus per-section wall-clock timings as
+/// the `BENCH_repro.json` document (hand-rolled; no serializer dependency).
+pub fn bench_json(sections: &[(String, f64)], metrics: &[(String, f64)]) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut s = String::from("{\n  \"sections\": [\n");
+    for (i, (name, ms)) in sections.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{name}\", \"wall_ms\": {}}}{}",
+            num(*ms),
+            if i + 1 < sections.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"metrics\": {\n");
+    for (i, (name, v)) in metrics.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    \"{name}\": {}{}",
+            num(*v),
+            if i + 1 < metrics.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
 /// Meter-data generator parameters scaled to a row budget, preserving the
 /// paper's samples-per-series ratio.
 pub fn scaled_meter_config(target_rows: usize) -> meter::MeterConfig {

@@ -1,5 +1,6 @@
 //! Workload generators.
 
 pub mod cstore7;
+pub mod exec_vector;
 pub mod meter;
 pub mod random_ints;

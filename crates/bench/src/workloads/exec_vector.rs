@@ -1,0 +1,181 @@
+//! Workload for the typed-vector executor hot path: filter → group-by →
+//! SUM over plain and RLE-heavy batches, with a pre-refactor row-at-a-time
+//! baseline to measure the typed/selection-vector path against.
+
+use vdb_exec::aggregate::{AggCall, AggFunc, AggState};
+use vdb_exec::batch::{Batch, ColumnSlice};
+use vdb_exec::filter::FilterOp;
+use vdb_exec::groupby::{HashGroupByOp, PipelinedGroupByOp};
+use vdb_exec::operator::{collect_rows, Operator, ValuesOp};
+use vdb_exec::vector::{TypedVector, VectorData};
+use vdb_exec::MemoryBudget;
+use vdb_types::{BinOp, DbResult, Expr, Row, Value};
+
+/// Distinct groups in the generated data.
+pub const GROUPS: i64 = 100;
+
+const BATCH: usize = 1024;
+
+/// `(group, value)` rows: group cycles over [`GROUPS`], value counts up.
+fn row(i: i64) -> Row {
+    vec![Value::Integer(i % GROUPS), Value::Integer(i)]
+}
+
+/// Plain `Value` batches — the representation the pre-refactor engine ran
+/// on.
+pub fn plain_batches(rows: usize) -> Vec<Batch> {
+    (0..rows as i64)
+        .collect::<Vec<_>>()
+        .chunks(BATCH)
+        .map(|c| Batch::from_rows(c.iter().map(|&i| row(i)).collect()))
+        .collect()
+}
+
+/// The same data as typed vectors (native `i64` buffers).
+pub fn typed_batches(rows: usize) -> Vec<Batch> {
+    (0..rows as i64)
+        .collect::<Vec<_>>()
+        .chunks(BATCH)
+        .map(|c| {
+            let group: Vec<i64> = c.iter().map(|&i| i % GROUPS).collect();
+            let value: Vec<i64> = c.to_vec();
+            Batch::new(vec![
+                ColumnSlice::Typed(TypedVector::new(VectorData::Int64(group), None)),
+                ColumnSlice::Typed(TypedVector::new(VectorData::Int64(value), None)),
+            ])
+        })
+        .collect()
+}
+
+/// RLE-heavy batches: sorted group column as runs (one run per group per
+/// batch), plus a typed value column.
+pub fn rle_batches(rows: usize) -> Vec<Batch> {
+    let run_len = (BATCH / 4).max(1);
+    let mut out = Vec::new();
+    let mut produced = 0usize;
+    let mut g = 0i64;
+    while produced < rows {
+        let n = (rows - produced).min(BATCH);
+        let mut runs = Vec::new();
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(run_len);
+            runs.push((Value::Integer(g % GROUPS), take as u32));
+            g += 1;
+            left -= take;
+        }
+        let value: Vec<i64> = (produced as i64..(produced + n) as i64).collect();
+        out.push(Batch::new(vec![
+            ColumnSlice::rle(runs),
+            ColumnSlice::Typed(TypedVector::new(VectorData::Int64(value), None)),
+        ]));
+        produced += n;
+    }
+    out
+}
+
+/// [`rle_batches`] expanded to plain values (the baseline representation).
+pub fn rle_expanded_batches(rows: usize) -> Vec<Batch> {
+    rle_batches(rows)
+        .into_iter()
+        .map(|b| {
+            Batch::new(
+                b.columns
+                    .iter()
+                    .map(|c| ColumnSlice::Plain(c.to_values()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// `WHERE value >= rows/2` — keeps half the data.
+pub fn half_predicate(rows: usize) -> Expr {
+    Expr::binary(BinOp::Ge, Expr::col(1, "value"), Expr::int(rows as i64 / 2))
+}
+
+/// Typed path: vectorized FilterOp (selection vectors) into the hash
+/// group-by's column accessors. Returns the number of groups.
+pub fn run_filter_groupby(batches: Vec<Batch>, pred: Expr) -> DbResult<usize> {
+    let filter = FilterOp::new(Box::new(ValuesOp::new(batches)), pred);
+    let mut gb = HashGroupByOp::new(
+        Box::new(filter),
+        vec![0],
+        vec![
+            AggCall::new(AggFunc::CountStar, 0, "cnt"),
+            AggCall::new(AggFunc::Sum, 1, "sum"),
+        ],
+        MemoryBudget::unlimited(),
+    );
+    Ok(collect_rows(&mut gb)?.len())
+}
+
+/// Pre-refactor baseline: pivot every batch into rows, evaluate the
+/// predicate per row, rebuild row batches, and aggregate row-at-a-time —
+/// exactly what the engine did before typed vectors and selection vectors.
+pub fn run_row_baseline(batches: Vec<Batch>, pred: Expr) -> DbResult<usize> {
+    let mut table: std::collections::HashMap<Value, Vec<AggState>> =
+        std::collections::HashMap::new();
+    for batch in batches {
+        let mut kept: Vec<Row> = Vec::new();
+        for row in batch.into_rows() {
+            if pred.matches(&row)? {
+                kept.push(row);
+            }
+        }
+        for row in Batch::from_rows(kept).into_rows() {
+            let states = table.entry(row[0].clone()).or_insert_with(|| {
+                vec![
+                    AggState::new(AggFunc::CountStar),
+                    AggState::new(AggFunc::Sum),
+                ]
+            });
+            states[0].update(AggFunc::CountStar, &Value::Null)?;
+            states[1].update(AggFunc::Sum, &row[1])?;
+        }
+    }
+    Ok(table.len())
+}
+
+/// Pipelined (one-pass) aggregation over the sorted RLE group column:
+/// whole runs fold with one multiply. Returns `(groups, run_aggregated)`.
+pub fn run_pipelined(batches: Vec<Batch>) -> DbResult<(usize, u64)> {
+    let mut gb = PipelinedGroupByOp::new(
+        Box::new(ValuesOp::new(batches)),
+        vec![0],
+        vec![AggCall::new(AggFunc::CountStar, 0, "cnt")],
+    );
+    let mut groups = 0usize;
+    while let Some(b) = gb.next_batch()? {
+        groups += b.len();
+    }
+    Ok((groups, gb.run_aggregated_rows()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_and_baseline_agree() {
+        let rows = 10_000;
+        let t = run_filter_groupby(typed_batches(rows), half_predicate(rows)).unwrap();
+        let p = run_filter_groupby(plain_batches(rows), half_predicate(rows)).unwrap();
+        let b = run_row_baseline(plain_batches(rows), half_predicate(rows)).unwrap();
+        assert_eq!(t, GROUPS as usize);
+        assert_eq!(t, p);
+        assert_eq!(t, b);
+    }
+
+    #[test]
+    fn rle_pipeline_consumes_runs() {
+        let rows = 10_000;
+        let (groups, encoded) = run_pipelined(rle_batches(rows)).unwrap();
+        assert!(groups > 0);
+        assert_eq!(encoded, rows as u64, "every row via run math");
+        let (groups_expanded, encoded_expanded) =
+            run_pipelined(rle_expanded_batches(rows)).unwrap();
+        assert_eq!(groups, groups_expanded);
+        assert_eq!(encoded_expanded, 0);
+    }
+}

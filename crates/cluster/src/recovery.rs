@@ -173,8 +173,8 @@ impl Cluster {
         let up = self.node_up_mask();
         for (b, replica) in family.replicas.iter().enumerate() {
             if self.router().is_replicated(&family.def) {
-                for n in 0..self.n_nodes() {
-                    if up[n] {
+                for (n, &node_up) in up.iter().enumerate().take(self.n_nodes()) {
+                    if node_up {
                         self.node_engine(n).insert_projection_rows(
                             replica,
                             &table_rows,

@@ -252,12 +252,9 @@ pub fn workload_interest(schema: &TableSchema, workload: &[BoundQuery]) -> Workl
         let Some(t) = q.tables.iter().position(|qt| qt.table == schema.name) else {
             continue;
         };
-        let offset: usize = q
-            .tables
-            .iter()
-            .take(t)
-            .map(|qt| qt.table.len() * 0) // placeholder; offsets need schemas
-            .sum();
+        // Offsets of earlier FROM entries would need their schemas; the
+        // single-table restriction below keeps a zero offset correct.
+        let offset: usize = 0;
         // Without the other schemas we cannot compute global offsets for
         // multi-table queries; restrict global-column attribution to
         // single-table workloads and use per-table filters (local columns)

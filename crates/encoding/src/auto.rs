@@ -127,7 +127,7 @@ mod tests {
     fn sorted_low_cardinality_picks_rle() {
         let mut vals = Vec::new();
         for d in 0..4 {
-            vals.extend(std::iter::repeat(Value::Integer(d)).take(100));
+            vals.extend(std::iter::repeat_n(Value::Integer(d), 100));
         }
         assert_eq!(choose_encoding(&vals), EncodingType::Rle);
     }

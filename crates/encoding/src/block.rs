@@ -15,7 +15,7 @@
 
 use crate::{auto, block_dict, common_delta, delta_range, delta_value, plain, rle, EncodingType};
 use vdb_types::codec::{Reader, Writer};
-use vdb_types::{DbError, DbResult, Value};
+use vdb_types::{DataType, DbError, DbResult, Value};
 
 /// Result of decoding a block: either expanded values or RLE runs (for the
 /// encoded-execution path of §6.1).
@@ -127,51 +127,244 @@ fn resolve(values: &[Value], requested: EncodingType) -> EncodingType {
     }
 }
 
-/// Decode one block.
-pub fn decode_block(r: &mut Reader<'_>) -> DbResult<DecodedBlock> {
+/// A decoded block in type-native form: the decode-into-vector surface the
+/// execution engine's typed vectors are built from. Specialized codecs land
+/// in native buffers without constructing a `Value` per row; `nulls` is the
+/// on-disk null bitmap (bit set = NULL; values at null positions are
+/// padding).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NativeBlock {
+    /// Integer-family payload; `ty` is `Integer`, `Timestamp` or `Boolean`.
+    I64 {
+        ty: DataType,
+        values: Vec<i64>,
+        nulls: Option<Vec<u8>>,
+    },
+    F64 {
+        values: Vec<f64>,
+        nulls: Option<Vec<u8>>,
+    },
+    /// Dictionary-coded strings: per-row codes into `dict`.
+    Str {
+        dict: Vec<String>,
+        codes: Vec<u32>,
+        nulls: Option<Vec<u8>>,
+    },
+    /// RLE runs, kept first-class for encoded execution.
+    Runs(Vec<(Value, u32)>),
+    /// Fallback for mixed-type or plain blocks.
+    Values(Vec<Value>),
+}
+
+/// Is position `i` marked NULL in an on-disk null bitmap?
+pub fn bitmap_is_null(bitmap: &[u8], i: usize) -> bool {
+    bitmap[i / 8] & (1 << (i % 8)) != 0
+}
+
+impl NativeBlock {
+    /// Row count without expansion.
+    pub fn len(&self) -> usize {
+        match self {
+            NativeBlock::I64 { values, .. } => values.len(),
+            NativeBlock::F64 { values, .. } => values.len(),
+            NativeBlock::Str { codes, .. } => codes.len(),
+            NativeBlock::Runs(runs) => runs.iter().map(|(_, n)| *n as usize).sum(),
+            NativeBlock::Values(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand into the `Value`-level [`DecodedBlock`] form (compatibility
+    /// edge for positional fetches and the legacy decode path).
+    pub fn into_decoded(self) -> DecodedBlock {
+        fn expand<T>(
+            items: Vec<T>,
+            nulls: Option<Vec<u8>>,
+            mut make: impl FnMut(T) -> Value,
+        ) -> Vec<Value> {
+            match nulls {
+                None => items.into_iter().map(make).collect(),
+                Some(bitmap) => items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        if bitmap_is_null(&bitmap, i) {
+                            Value::Null
+                        } else {
+                            make(v)
+                        }
+                    })
+                    .collect(),
+            }
+        }
+        match self {
+            NativeBlock::I64 { ty, values, nulls } => {
+                DecodedBlock::Values(expand(values, nulls, |v| match ty {
+                    DataType::Timestamp => Value::Timestamp(v),
+                    DataType::Boolean => Value::Boolean(v != 0),
+                    _ => Value::Integer(v),
+                }))
+            }
+            NativeBlock::F64 { values, nulls } => {
+                DecodedBlock::Values(expand(values, nulls, Value::Float))
+            }
+            NativeBlock::Str { dict, codes, nulls } => {
+                DecodedBlock::Values(expand(codes, nulls, |c| {
+                    Value::Varchar(dict[c as usize].clone())
+                }))
+            }
+            NativeBlock::Runs(runs) => DecodedBlock::Runs(runs),
+            NativeBlock::Values(v) => DecodedBlock::Values(v),
+        }
+    }
+}
+
+/// Scatter `non_null` values into a full-length buffer, placing `default`
+/// at NULL positions.
+fn scatter<T: Clone>(
+    non_null: Vec<T>,
+    bitmap: &[u8],
+    count: usize,
+    default: T,
+) -> DbResult<Vec<T>> {
+    let mut out = Vec::with_capacity(count);
+    let mut it = non_null.into_iter();
+    for i in 0..count {
+        if bitmap_is_null(bitmap, i) {
+            out.push(default.clone());
+        } else {
+            out.push(
+                it.next()
+                    .ok_or_else(|| DbError::Corrupt("null bitmap / payload mismatch".into()))?,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Decode one block into native form (no per-row `Value` construction for
+/// the specialized codecs).
+pub fn decode_block_native(r: &mut Reader<'_>) -> DbResult<NativeBlock> {
     let encoding = EncodingType::from_tag(r.get_u8()?)?;
     let count = r.get_uvarint()? as usize;
     let has_nulls = r.get_u8()? != 0;
     match encoding {
-        EncodingType::Plain => Ok(DecodedBlock::Values(plain::decode(r, count)?)),
-        EncodingType::Rle => Ok(DecodedBlock::Runs(rle::decode_runs(r, count)?)),
+        EncodingType::Plain => Ok(NativeBlock::Values(plain::decode(r, count)?)),
+        EncodingType::Rle => Ok(NativeBlock::Runs(rle::decode_runs(r, count)?)),
         EncodingType::Auto => Err(DbError::Corrupt("Auto tag on disk".into())),
         specialized => {
             let (null_bitmap, non_null_count) = if has_nulls {
                 let bitmap = r.get_raw(count.div_ceil(8))?.to_vec();
-                let nulls = (0..count)
-                    .filter(|i| bitmap[i / 8] & (1 << (i % 8)) != 0)
-                    .count();
+                let nulls = (0..count).filter(|&i| bitmap_is_null(&bitmap, i)).count();
                 (Some(bitmap), count - nulls)
             } else {
                 (None, count)
             };
-            let non_null = match specialized {
-                EncodingType::DeltaValue => delta_value::decode(r, non_null_count)?,
-                EncodingType::BlockDict => block_dict::decode(r, non_null_count)?,
-                EncodingType::DeltaRange => delta_range::decode(r, non_null_count)?,
-                EncodingType::CommonDelta => common_delta::decode(r, non_null_count)?,
-                _ => unreachable!(),
+            let int_ty = |tag: u8| match tag {
+                1 => DataType::Timestamp,
+                2 => DataType::Boolean,
+                _ => DataType::Integer,
             };
-            match null_bitmap {
-                None => Ok(DecodedBlock::Values(non_null)),
-                Some(bitmap) => {
-                    let mut out = Vec::with_capacity(count);
-                    let mut it = non_null.into_iter();
-                    for i in 0..count {
-                        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
-                            out.push(Value::Null);
-                        } else {
-                            out.push(it.next().ok_or_else(|| {
-                                DbError::Corrupt("null bitmap / payload mismatch".into())
-                            })?);
-                        }
-                    }
-                    Ok(DecodedBlock::Values(out))
+            let finish_i64 = |ty: DataType, values: Vec<i64>| -> DbResult<NativeBlock> {
+                let (values, nulls) = match &null_bitmap {
+                    None => (values, None),
+                    Some(b) => (scatter(values, b, count, 0)?, null_bitmap.clone()),
+                };
+                Ok(NativeBlock::I64 { ty, values, nulls })
+            };
+            match specialized {
+                EncodingType::DeltaValue => {
+                    let (tag, values) = delta_value::decode_native(r, non_null_count)?;
+                    finish_i64(int_ty(tag), values)
                 }
+                EncodingType::CommonDelta => {
+                    let (tag, values) = common_delta::decode_native(r, non_null_count)?;
+                    finish_i64(int_ty(tag), values)
+                }
+                EncodingType::DeltaRange => match delta_range::decode_native(r, non_null_count)? {
+                    delta_range::NativeRange::I64(tag, values) => finish_i64(int_ty(tag), values),
+                    delta_range::NativeRange::F64(values) => {
+                        let (values, nulls) = match &null_bitmap {
+                            None => (values, None),
+                            Some(b) => (scatter(values, b, count, 0.0)?, null_bitmap.clone()),
+                        };
+                        Ok(NativeBlock::F64 { values, nulls })
+                    }
+                },
+                EncodingType::BlockDict => {
+                    let (dict, codes) = block_dict::decode_native(r, non_null_count)?;
+                    let (codes, nulls) = match &null_bitmap {
+                        None => (codes, None),
+                        Some(b) => (scatter(codes, b, count, 0)?, null_bitmap.clone()),
+                    };
+                    native_from_dict(dict, codes, nulls)
+                }
+                _ => unreachable!(),
             }
         }
     }
+}
+
+/// Lower a dictionary block into the tightest native form the dictionary's
+/// value type allows.
+fn native_from_dict(
+    dict: Vec<Value>,
+    codes: Vec<u32>,
+    nulls: Option<Vec<u8>>,
+) -> DbResult<NativeBlock> {
+    let uniform = dict
+        .first()
+        .and_then(Value::data_type)
+        .filter(|ty| dict.iter().all(|v| v.data_type() == Some(*ty)));
+    match uniform {
+        Some(DataType::Varchar) => {
+            let dict = dict
+                .into_iter()
+                .map(|v| match v {
+                    Value::Varchar(s) => s,
+                    _ => unreachable!(),
+                })
+                .collect();
+            Ok(NativeBlock::Str { dict, codes, nulls })
+        }
+        Some(ty @ (DataType::Integer | DataType::Timestamp | DataType::Boolean)) => {
+            let native: Vec<i64> = dict.iter().map(|v| v.as_i64().unwrap()).collect();
+            let values = codes.into_iter().map(|c| native[c as usize]).collect();
+            Ok(NativeBlock::I64 { ty, values, nulls })
+        }
+        Some(DataType::Float) => {
+            let native: Vec<f64> = dict.iter().map(|v| v.as_f64().unwrap()).collect();
+            let values = codes.into_iter().map(|c| native[c as usize]).collect();
+            Ok(NativeBlock::F64 { values, nulls })
+        }
+        // Mixed-type or all-NULL dictionary: fall back to expanded values.
+        None => {
+            let expand = |c: u32| dict[c as usize].clone();
+            let values = match &nulls {
+                None => codes.into_iter().map(expand).collect(),
+                Some(bitmap) => codes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        if bitmap_is_null(bitmap, i) {
+                            Value::Null
+                        } else {
+                            expand(c)
+                        }
+                    })
+                    .collect(),
+            };
+            Ok(NativeBlock::Values(values))
+        }
+    }
+}
+
+/// Decode one block to the `Value`-level form.
+pub fn decode_block(r: &mut Reader<'_>) -> DbResult<DecodedBlock> {
+    Ok(decode_block_native(r)?.into_decoded())
 }
 
 #[cfg(test)]

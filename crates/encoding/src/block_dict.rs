@@ -58,7 +58,9 @@ pub fn encode(values: &[Value], w: &mut Writer) -> DbResult<()> {
     Ok(())
 }
 
-pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+/// Decode into the dictionary plus per-row codes, without expanding values
+/// (the execution engine keeps dictionary-coded columns coded).
+pub fn decode_native(r: &mut Reader<'_>, count: usize) -> DbResult<(Vec<Value>, Vec<u32>)> {
     let dict_len = r.get_uvarint()? as usize;
     if dict_len > MAX_DICT {
         return Err(DbError::Corrupt("dictionary too large".into()));
@@ -70,17 +72,25 @@ pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
     let packed = r.get_bytes()?;
     let width = index_width(dict_len);
     let mut bits = BitReader::new(packed);
-    let mut out = Vec::with_capacity(count);
+    let mut codes = Vec::with_capacity(count);
     for _ in 0..count {
         let idx = bits
             .read_bits(width)
-            .map_err(|e| DbError::Corrupt(e.to_string()))? as usize;
-        let v = dict
-            .get(idx)
-            .ok_or_else(|| DbError::Corrupt("dictionary index out of range".into()))?;
-        out.push(v.clone());
+            .map_err(|e| DbError::Corrupt(e.to_string()))?;
+        if idx as usize >= dict_len {
+            return Err(DbError::Corrupt("dictionary index out of range".into()));
+        }
+        codes.push(idx as u32);
     }
-    Ok(out)
+    Ok((dict, codes))
+}
+
+pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+    let (dict, codes) = decode_native(r, count)?;
+    Ok(codes
+        .into_iter()
+        .map(|c| dict[c as usize].clone())
+        .collect())
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! fetches (tuple reconstruction "by fetching values with the same position
 //! from each column file").
 
-use crate::block::{decode_block, encode_block, DecodedBlock};
+use crate::block::{decode_block_native, encode_block, DecodedBlock, NativeBlock};
 use crate::position_index::{BlockMeta, PositionIndex};
 use crate::EncodingType;
 use vdb_types::codec::{Reader, Writer};
@@ -126,6 +126,13 @@ impl<'a> ColumnReader<'a> {
 
     /// Decode block `i` (runs stay runs for the encoded-execution path).
     pub fn read_block(&self, i: usize) -> DbResult<DecodedBlock> {
+        Ok(self.read_block_native(i)?.into_decoded())
+    }
+
+    /// Decode block `i` into type-native buffers (no per-row `Value`
+    /// construction for specialized codecs) — the scan operator's typed
+    /// vector fast path.
+    pub fn read_block_native(&self, i: usize) -> DbResult<NativeBlock> {
         let meta = self
             .index
             .blocks
@@ -136,7 +143,7 @@ impl<'a> ColumnReader<'a> {
         if end > self.data.len() {
             return Err(DbError::Corrupt("block extends past data file".into()));
         }
-        let block = decode_block(&mut Reader::new(&self.data[start..end]))?;
+        let block = decode_block_native(&mut Reader::new(&self.data[start..end]))?;
         if block.len() != meta.count as usize {
             return Err(DbError::Corrupt(format!(
                 "block {i} decoded {} rows, index says {}",
@@ -215,7 +222,7 @@ mod tests {
     fn positional_fetch_through_rle_runs() {
         let mut vals = Vec::new();
         for d in 0..5 {
-            vals.extend(std::iter::repeat(Value::Integer(d)).take(50));
+            vals.extend(std::iter::repeat_n(Value::Integer(d), 50));
         }
         let (data, index) = write_column(&vals, EncodingType::Rle);
         let r = ColumnReader::new(&data, &index);

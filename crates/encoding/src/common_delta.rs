@@ -118,7 +118,9 @@ pub fn encode(values: &[Value], w: &mut Writer) -> DbResult<()> {
     Ok(())
 }
 
-pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+/// Decode straight into a native `i64` buffer (no per-row `Value`
+/// construction); the returned tag is 0=Integer, 1=Timestamp.
+pub fn decode_native(r: &mut Reader<'_>, count: usize) -> DbResult<(u8, Vec<i64>)> {
     let tag = r.get_u8()?;
     if tag > 1 {
         return Err(DbError::Corrupt(format!("bad common-delta tag {tag}")));
@@ -150,13 +152,23 @@ pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
             .read(&mut bits)
             .map_err(|e| DbError::Corrupt(e.to_string()))?;
         acc = acc.wrapping_add(dict[idx]);
-        out.push(if tag == 0 {
-            Value::Integer(acc)
-        } else {
-            Value::Timestamp(acc)
-        });
+        out.push(acc);
     }
-    Ok(out)
+    Ok((tag, out))
+}
+
+pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+    let (tag, ints) = decode_native(r, count)?;
+    Ok(ints
+        .into_iter()
+        .map(|v| {
+            if tag == 0 {
+                Value::Integer(v)
+            } else {
+                Value::Timestamp(v)
+            }
+        })
+        .collect())
 }
 
 #[cfg(test)]

@@ -60,33 +60,46 @@ pub fn encode(values: &[Value], w: &mut Writer) -> DbResult<()> {
     Ok(())
 }
 
-pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+/// Native decode result: integral (tag 0=Integer, 1=Timestamp) or float.
+pub enum NativeRange {
+    I64(u8, Vec<i64>),
+    F64(Vec<f64>),
+}
+
+/// Decode straight into a native buffer (no per-row `Value` construction).
+pub fn decode_native(r: &mut Reader<'_>, count: usize) -> DbResult<NativeRange> {
     let tag = r.get_u8()?;
-    let mut out = Vec::with_capacity(count);
     match tag {
         2 => {
+            let mut out = Vec::with_capacity(count);
             let mut prev = 0u64;
             for _ in 0..count {
                 let bits = r.get_uvarint()? ^ prev;
                 prev = bits;
-                out.push(Value::Float(f64::from_bits(bits)));
+                out.push(f64::from_bits(bits));
             }
+            Ok(NativeRange::F64(out))
         }
         0 | 1 => {
+            let mut out = Vec::with_capacity(count);
             let mut prev = 0i64;
             for _ in 0..count {
                 let v = prev.wrapping_add(r.get_ivarint()?);
                 prev = v;
-                out.push(if tag == 0 {
-                    Value::Integer(v)
-                } else {
-                    Value::Timestamp(v)
-                });
+                out.push(v);
             }
+            Ok(NativeRange::I64(tag, out))
         }
-        t => return Err(DbError::Corrupt(format!("bad delta-range tag {t}"))),
+        t => Err(DbError::Corrupt(format!("bad delta-range tag {t}"))),
     }
-    Ok(out)
+}
+
+pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+    Ok(match decode_native(r, count)? {
+        NativeRange::F64(fs) => fs.into_iter().map(Value::Float).collect(),
+        NativeRange::I64(0, is) => is.into_iter().map(Value::Integer).collect(),
+        NativeRange::I64(_, is) => is.into_iter().map(Value::Timestamp).collect(),
+    })
 }
 
 #[cfg(test)]

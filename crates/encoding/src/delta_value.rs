@@ -48,22 +48,34 @@ pub fn encode(values: &[Value], w: &mut Writer) -> DbResult<()> {
     Ok(())
 }
 
-pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+/// Decode straight into a native `i64` buffer (no per-row `Value`
+/// construction); the returned tag is 0=Integer, 1=Timestamp, 2=Boolean.
+pub fn decode_native(r: &mut Reader<'_>, count: usize) -> DbResult<(u8, Vec<i64>)> {
     let tag = r.get_u8()?;
+    if tag > 2 {
+        return Err(DbError::Corrupt(format!("bad delta-value tag {tag}")));
+    }
     let min = r.get_ivarint()?;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let v = min
             .checked_add(r.get_uvarint()? as i64)
             .ok_or_else(|| DbError::Corrupt("delta-value overflow".into()))?;
-        out.push(match tag {
+        out.push(v);
+    }
+    Ok((tag, out))
+}
+
+pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+    let (tag, ints) = decode_native(r, count)?;
+    Ok(ints
+        .into_iter()
+        .map(|v| match tag {
             0 => Value::Integer(v),
             1 => Value::Timestamp(v),
-            2 => Value::Boolean(v != 0),
-            t => return Err(DbError::Corrupt(format!("bad delta-value tag {t}"))),
-        });
-    }
-    Ok(out)
+            _ => Value::Boolean(v != 0),
+        })
+        .collect())
 }
 
 #[cfg(test)]

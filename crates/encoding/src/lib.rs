@@ -37,7 +37,7 @@ pub mod position_index;
 pub mod rle;
 
 pub use auto::choose_encoding;
-pub use block::{decode_block, encode_block, DecodedBlock};
+pub use block::{decode_block, decode_block_native, encode_block, DecodedBlock, NativeBlock};
 pub use column::{ColumnReader, ColumnWriter, BLOCK_SIZE};
 pub use position_index::{BlockMeta, PositionIndex};
 

@@ -93,7 +93,7 @@ mod tests {
         // 10k sorted values over 5 distincts: RLE output is ~5 pairs.
         let mut vals = Vec::new();
         for d in 0..5 {
-            vals.extend(std::iter::repeat(Value::Integer(d)).take(2000));
+            vals.extend(std::iter::repeat_n(Value::Integer(d), 2000));
         }
         let mut w = Writer::new();
         encode(&vals, &mut w);

@@ -91,6 +91,44 @@ proptest! {
     }
 
     #[test]
+    fn native_decode_agrees_with_value_decode(values in arb_column(), enc_idx in 0usize..6) {
+        let enc = EncodingType::CONCRETE[enc_idx];
+        let mut w = Writer::new();
+        vdb_encoding::encode_block(&values, enc, &mut w);
+        let bytes = w.into_bytes();
+        let native = vdb_encoding::decode_block_native(&mut Reader::new(&bytes)).unwrap();
+        prop_assert_eq!(native.len(), values.len());
+        prop_assert_eq!(native.into_decoded().into_values(), values);
+    }
+
+    #[test]
+    fn integer_codecs_decode_to_native_buffers(
+        ints in prop::collection::vec((-10_000i64..10_000).prop_map(Value::Integer), 1..500),
+        enc_idx in 0usize..3,
+    ) {
+        // Delta-family codecs over pure integer blocks must land in native
+        // i64 buffers (no per-row Value) — the scan's typed fast path.
+        let enc = [
+            EncodingType::DeltaValue,
+            EncodingType::DeltaRange,
+            EncodingType::CommonDelta,
+        ][enc_idx];
+        let mut w = Writer::new();
+        let used = vdb_encoding::encode_block(&ints, enc, &mut w);
+        prop_assert_eq!(used, enc, "codec applicable to pure ints");
+        let bytes = w.into_bytes();
+        let native = vdb_encoding::decode_block_native(&mut Reader::new(&bytes)).unwrap();
+        match native {
+            vdb_encoding::NativeBlock::I64 { values, nulls, .. } => {
+                prop_assert!(nulls.is_none());
+                let expect: Vec<i64> = ints.iter().map(|v| v.as_i64().unwrap()).collect();
+                prop_assert_eq!(values, expect);
+            }
+            other => prop_assert!(false, "expected native i64 block, got {:?}", other),
+        }
+    }
+
+    #[test]
     fn compressor_round_trips_bytes(data in prop::collection::vec(any::<u8>(), 0..4000)) {
         let c = vdb_compress::compress(&data);
         prop_assert_eq!(vdb_compress::decompress(&c).unwrap(), data);

@@ -5,7 +5,7 @@
 //! GroupBys under a ParallelUnion, and distributed aggregation where
 //! per-node partials are merged after a Send/Recv.
 
-use vdb_types::{DbError, DbResult, Value};
+use vdb_types::{DataType, DbError, DbResult, Value};
 
 /// Aggregate function kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,6 +170,88 @@ impl AggState {
         Ok(())
     }
 
+    /// Fold one non-NULL native `i64` (the typed-vector fast path; no
+    /// `Value` is constructed except where a state must *store* one). `ty`
+    /// distinguishes `Integer`/`Timestamp`/`Boolean` payloads so stored
+    /// values and type errors match the row path exactly.
+    pub fn update_i64(&mut self, func: AggFunc, v: i64, ty: DataType) -> DbResult<()> {
+        // SUM of non-Integer integral types errors in the row path; take it
+        // for identical diagnostics.
+        if ty != DataType::Integer && matches!(self, AggState::SumInt(..) | AggState::SumFloat(..))
+        {
+            return self.update(func, &make_integral(ty, v));
+        }
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::CountDistinct(set) => {
+                set.insert(make_integral(ty, v));
+            }
+            AggState::SumInt(acc, seen) => {
+                *acc = acc.wrapping_add(v);
+                *seen = true;
+            }
+            AggState::SumFloat(acc, seen) => {
+                *acc += v as f64;
+                *seen = true;
+            }
+            AggState::Min(m) => {
+                let val = make_integral(ty, v);
+                if m.as_ref().is_none_or(|cur| &val < cur) {
+                    *m = Some(val);
+                }
+            }
+            AggState::Max(m) => {
+                let val = make_integral(ty, v);
+                if m.as_ref().is_none_or(|cur| &val > cur) {
+                    *m = Some(val);
+                }
+            }
+            AggState::Avg(sum, count) => {
+                if ty == DataType::Boolean {
+                    // Row path: as_f64 on Boolean is None → type error.
+                    return self.update(func, &Value::Boolean(v != 0));
+                }
+                *sum += v as f64;
+                *count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold one non-NULL native `f64` (typed-vector fast path).
+    pub fn update_f64(&mut self, _func: AggFunc, v: f64) -> DbResult<()> {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::CountDistinct(set) => {
+                set.insert(Value::Float(v));
+            }
+            AggState::SumInt(acc, _) => {
+                *self = AggState::SumFloat(*acc as f64 + v, true);
+            }
+            AggState::SumFloat(acc, seen) => {
+                *acc += v;
+                *seen = true;
+            }
+            AggState::Min(m) => {
+                let val = Value::Float(v);
+                if m.as_ref().is_none_or(|cur| &val < cur) {
+                    *m = Some(val);
+                }
+            }
+            AggState::Max(m) => {
+                let val = Value::Float(v);
+                if m.as_ref().is_none_or(|cur| &val > cur) {
+                    *m = Some(val);
+                }
+            }
+            AggState::Avg(sum, count) => {
+                *sum += v;
+                *count += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// Merge another partial state (prepass → final, node → coordinator).
     pub fn merge(&mut self, other: AggState) -> DbResult<()> {
         match (&mut *self, other) {
@@ -261,9 +343,60 @@ impl AggState {
     }
 }
 
+/// Construct the `Value` for a native integral payload.
+fn make_integral(ty: DataType, v: i64) -> Value {
+    match ty {
+        DataType::Timestamp => Value::Timestamp(v),
+        DataType::Boolean => Value::Boolean(v != 0),
+        _ => Value::Integer(v),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn typed_updates_match_value_updates() {
+        for func in [
+            AggFunc::Count,
+            AggFunc::CountDistinct,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
+            let mut typed = AggState::new(func);
+            let mut row = AggState::new(func);
+            for v in [5i64, -3, 5, 9] {
+                typed.update_i64(func, v, DataType::Integer).unwrap();
+                row.update(func, &Value::Integer(v)).unwrap();
+            }
+            assert_eq!(typed.clone().finish(), row.clone().finish(), "{func:?} i64");
+            let mut typed = AggState::new(func);
+            let mut row = AggState::new(func);
+            for v in [1.5f64, -0.25, 1.5] {
+                typed.update_f64(func, v).unwrap();
+                row.update(func, &Value::Float(v)).unwrap();
+            }
+            assert_eq!(typed.finish(), row.finish(), "{func:?} f64");
+        }
+    }
+
+    #[test]
+    fn typed_sum_of_timestamp_errors_like_row_path() {
+        let mut s = AggState::new(AggFunc::Sum);
+        assert!(s
+            .update_i64(AggFunc::Sum, 100, DataType::Timestamp)
+            .is_err());
+        // And AVG over timestamps works in both paths.
+        let mut a = AggState::new(AggFunc::Avg);
+        a.update_i64(AggFunc::Avg, 100, DataType::Timestamp)
+            .unwrap();
+        a.update_i64(AggFunc::Avg, 200, DataType::Timestamp)
+            .unwrap();
+        assert_eq!(a.finish(), Value::Float(150.0));
+    }
 
     #[test]
     fn count_ignores_nulls_count_star_does_not() {

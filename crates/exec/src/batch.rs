@@ -1,29 +1,85 @@
 //! Column-oriented row batches.
 //!
 //! The engine is vectorized: operators exchange [`Batch`]es of ~[`BATCH_SIZE`]
-//! rows rather than single tuples. A batch is column-major, and a column may
-//! arrive as unexpanded RLE runs straight off the storage layer — the §6.1
-//! "operate directly on encoded data" path. Operators that cannot exploit
-//! runs call [`Batch::rows`] to expand.
+//! rows rather than single tuples. A batch is column-major; a column arrives
+//! from the scan as a [`TypedVector`] (native buffers, §6.1's "operate
+//! directly on encoded data"), an [`RleVector`] (unexpanded runs), or plain
+//! `Value`s. Filters, SIP and visibility record survivors in a
+//! [`SelectionVector`] instead of materializing; operators that cannot
+//! exploit columns call [`Batch::rows`]/[`Batch::into_rows`] — the row-pivot
+//! compatibility edge — which applies the selection on the way out.
 
+use crate::vector::{RleVector, SelectionVector, TypedVector};
+use vdb_encoding::NativeBlock;
 use vdb_types::{Row, Value};
 
 /// Target rows per batch.
 pub const BATCH_SIZE: usize = 1024;
 
-/// One column of a batch: plain values or RLE runs.
+/// One column of a batch.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnSlice {
+    /// Expanded `Value`s (the compatibility representation).
     Plain(Vec<Value>),
-    /// `(value, run_length)` pairs; total run length equals the batch len.
-    Rle(Vec<(Value, u32)>),
+    /// Unexpanded RLE runs with cached prefix offsets.
+    Rle(RleVector),
+    /// Type-native buffers with a validity bitmap.
+    Typed(TypedVector),
 }
 
 impl ColumnSlice {
+    /// Construct an RLE column from `(value, run_length)` pairs.
+    pub fn rle(runs: Vec<(Value, u32)>) -> ColumnSlice {
+        ColumnSlice::Rle(RleVector::new(runs))
+    }
+
+    /// Lower a decoded storage block into a column slice: native buffers
+    /// stay native, runs stay runs, and homogeneous plain values are
+    /// promoted to a typed vector.
+    pub fn from_native(block: NativeBlock) -> ColumnSlice {
+        use crate::vector::{validity_from_null_bitmap, VectorData};
+        use vdb_types::DataType;
+        match block {
+            NativeBlock::I64 { ty, values, nulls } => {
+                let validity = validity_from_null_bitmap(nulls.as_deref(), values.len());
+                let data = match ty {
+                    DataType::Timestamp => VectorData::Timestamp(values),
+                    DataType::Boolean => VectorData::Bool(crate::vector::Bitmap::from_bools(
+                        values.iter().map(|&v| v != 0),
+                    )),
+                    _ => VectorData::Int64(values),
+                };
+                ColumnSlice::Typed(TypedVector::new(data, validity))
+            }
+            NativeBlock::F64 { values, nulls } => {
+                let validity = validity_from_null_bitmap(nulls.as_deref(), values.len());
+                ColumnSlice::Typed(TypedVector::new(VectorData::Float64(values), validity))
+            }
+            NativeBlock::Str { dict, codes, nulls } => {
+                let validity = validity_from_null_bitmap(nulls.as_deref(), codes.len());
+                // Intern positionally: interning dedups, so remap each
+                // on-disk dictionary position to its interned code (a
+                // corrupt block with duplicate entries must not shift
+                // codes or leave them dangling).
+                let mut interned = vdb_types::StringDictionary::new();
+                let remap: Vec<u32> = dict.into_iter().map(|s| interned.intern_owned(s)).collect();
+                let codes = codes.into_iter().map(|c| remap[c as usize]).collect();
+                let dict = std::sync::Arc::new(interned);
+                ColumnSlice::Typed(TypedVector::new(VectorData::Dict { dict, codes }, validity))
+            }
+            NativeBlock::Runs(runs) => ColumnSlice::Rle(RleVector::new(runs)),
+            NativeBlock::Values(values) => match TypedVector::from_owned_values(values) {
+                Ok(tv) => ColumnSlice::Typed(tv),
+                Err(values) => ColumnSlice::Plain(values),
+            },
+        }
+    }
+
     pub fn len(&self) -> usize {
         match self {
             ColumnSlice::Plain(v) => v.len(),
-            ColumnSlice::Rle(runs) => runs.iter().map(|(_, n)| *n as usize).sum(),
+            ColumnSlice::Rle(rv) => rv.len(),
+            ColumnSlice::Typed(tv) => tv.len(),
         }
     }
 
@@ -35,52 +91,70 @@ impl ColumnSlice {
         matches!(self, ColumnSlice::Rle(_))
     }
 
+    pub fn is_typed(&self) -> bool {
+        matches!(self, ColumnSlice::Typed(_))
+    }
+
     /// Expand to plain values (cloning run values).
     pub fn to_values(&self) -> Vec<Value> {
         match self {
             ColumnSlice::Plain(v) => v.clone(),
-            ColumnSlice::Rle(runs) => {
-                let mut out = Vec::with_capacity(self.len());
-                for (v, n) in runs {
-                    for _ in 0..*n {
-                        out.push(v.clone());
-                    }
-                }
-                out
-            }
+            ColumnSlice::Rle(rv) => rv.to_values(),
+            ColumnSlice::Typed(tv) => tv.to_values(),
         }
     }
 
-    /// Value at row index (O(1) for plain, O(runs) for RLE).
-    pub fn value_at(&self, i: usize) -> &Value {
+    /// Value at *physical* row index (O(1) for plain/typed, O(log runs)
+    /// for RLE).
+    pub fn value_at(&self, i: usize) -> Value {
         match self {
-            ColumnSlice::Plain(v) => &v[i],
-            ColumnSlice::Rle(runs) => {
-                let mut remaining = i;
-                for (v, n) in runs {
-                    if remaining < *n as usize {
-                        return v;
-                    }
-                    remaining -= *n as usize;
-                }
-                panic!("row {i} out of bounds for rle slice");
-            }
+            ColumnSlice::Plain(v) => v[i].clone(),
+            ColumnSlice::Rle(rv) => rv.value_at(i).clone(),
+            ColumnSlice::Typed(tv) => tv.value_at(i),
+        }
+    }
+
+    /// Gather values at sorted physical `indices`.
+    pub fn gather_values(&self, indices: &[u32]) -> Vec<Value> {
+        match self {
+            ColumnSlice::Plain(v) => indices.iter().map(|&i| v[i as usize].clone()).collect(),
+            ColumnSlice::Rle(rv) => rv.gather_values(indices),
+            ColumnSlice::Typed(tv) => tv.gather_values(indices),
+        }
+    }
+
+    /// Materialize the rows in `sel`, preserving the representation (runs
+    /// stay runs with shortened lengths, typed stays typed).
+    pub fn filter_sel(&self, sel: &SelectionVector) -> ColumnSlice {
+        match self {
+            ColumnSlice::Plain(v) => ColumnSlice::Plain(sel.iter().map(|i| v[i].clone()).collect()),
+            ColumnSlice::Rle(rv) => ColumnSlice::Rle(rv.filter(sel)),
+            ColumnSlice::Typed(tv) => ColumnSlice::Typed(tv.filter(sel)),
         }
     }
 }
 
-/// A column-major batch of rows.
+/// A column-major batch of rows with an optional selection vector.
+///
+/// `columns` hold *physical* rows; when `selection` is present only the
+/// listed positions are logically in the batch. [`Batch::len`] and all
+/// row-producing accessors honor the selection.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Batch {
     pub columns: Vec<ColumnSlice>,
-    len: usize,
+    physical_len: usize,
+    selection: Option<SelectionVector>,
 }
 
 impl Batch {
     pub fn new(columns: Vec<ColumnSlice>) -> Batch {
-        let len = columns.first().map_or(0, ColumnSlice::len);
-        debug_assert!(columns.iter().all(|c| c.len() == len));
-        Batch { columns, len }
+        let physical_len = columns.first().map_or(0, ColumnSlice::len);
+        debug_assert!(columns.iter().all(|c| c.len() == physical_len));
+        Batch {
+            columns,
+            physical_len,
+            selection: None,
+        }
     }
 
     pub fn from_rows(rows: Vec<Row>) -> Batch {
@@ -97,52 +171,122 @@ impl Batch {
         }
         Batch {
             columns: columns.into_iter().map(ColumnSlice::Plain).collect(),
-            len,
+            physical_len: len,
+            selection: None,
         }
     }
 
+    /// Logical row count (after selection).
     pub fn len(&self) -> usize {
-        self.len
+        match &self.selection {
+            Some(sel) => sel.len(),
+            None => self.physical_len,
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
+    }
+
+    /// Rows physically present in the columns (ignoring selection).
+    pub fn physical_len(&self) -> usize {
+        self.physical_len
     }
 
     pub fn arity(&self) -> usize {
         self.columns.len()
     }
 
-    /// Expand into row-major form.
+    /// The active selection, if any.
+    pub fn selection(&self) -> Option<&SelectionVector> {
+        self.selection.as_ref()
+    }
+
+    /// Replace the selection (positions are physical row indexes).
+    pub fn with_selection(mut self, sel: SelectionVector) -> Batch {
+        debug_assert!(sel
+            .indices()
+            .iter()
+            .all(|&i| (i as usize) < self.physical_len));
+        self.selection = Some(sel);
+        self
+    }
+
+    /// Physical index of logical row `i` (maps through the selection).
+    #[inline]
+    pub fn physical_index(&self, i: usize) -> usize {
+        match &self.selection {
+            Some(sel) => sel.get(i),
+            None => i,
+        }
+    }
+
+    /// Expand into row-major form (applies the selection).
     pub fn rows(&self) -> Vec<Row> {
-        let cols: Vec<Vec<Value>> = self.columns.iter().map(ColumnSlice::to_values).collect();
-        (0..self.len)
-            .map(|i| cols.iter().map(|c| c[i].clone()).collect())
-            .collect()
+        match &self.selection {
+            None => {
+                let cols: Vec<Vec<Value>> =
+                    self.columns.iter().map(ColumnSlice::to_values).collect();
+                (0..self.physical_len)
+                    .map(|i| cols.iter().map(|c| c[i].clone()).collect())
+                    .collect()
+            }
+            Some(sel) => {
+                let cols: Vec<Vec<Value>> = self
+                    .columns
+                    .iter()
+                    .map(|c| c.gather_values(sel.indices()))
+                    .collect();
+                (0..sel.len())
+                    .map(|i| cols.iter().map(|c| c[i].clone()).collect())
+                    .collect()
+            }
+        }
     }
 
     /// Expand into row-major form, consuming the batch (plain column
     /// values are *moved*, not cloned — the hot path for joins and
     /// aggregation over wide rows).
     pub fn into_rows(self) -> Vec<Row> {
-        let len = self.len;
-        let mut rows: Vec<Row> = (0..len)
-            .map(|_| Vec::with_capacity(self.columns.len()))
+        let Batch {
+            columns,
+            physical_len,
+            selection,
+        } = self;
+        if let Some(sel) = selection {
+            let mut rows: Vec<Row> = (0..sel.len())
+                .map(|_| Vec::with_capacity(columns.len()))
+                .collect();
+            for col in &columns {
+                let vals = col.gather_values(sel.indices());
+                for (row, v) in rows.iter_mut().zip(vals) {
+                    row.push(v);
+                }
+            }
+            return rows;
+        }
+        let mut rows: Vec<Row> = (0..physical_len)
+            .map(|_| Vec::with_capacity(columns.len()))
             .collect();
-        for col in self.columns {
+        for col in columns {
             match col {
                 ColumnSlice::Plain(values) => {
                     for (row, v) in rows.iter_mut().zip(values) {
                         row.push(v);
                     }
                 }
-                ColumnSlice::Rle(runs) => {
+                ColumnSlice::Rle(rv) => {
                     let mut i = 0usize;
-                    for (v, n) in runs {
-                        for _ in 0..n {
+                    for (v, n) in rv.runs() {
+                        for _ in 0..*n {
                             rows[i].push(v.clone());
                             i += 1;
                         }
+                    }
+                }
+                ColumnSlice::Typed(tv) => {
+                    for (i, row) in rows.iter_mut().enumerate() {
+                        row.push(tv.value_at(i));
                     }
                 }
             }
@@ -150,61 +294,79 @@ impl Batch {
         rows
     }
 
-    /// Row at index (clones).
+    /// Row at *logical* index (clones).
     pub fn row_at(&self, i: usize) -> Row {
-        self.columns.iter().map(|c| c.value_at(i).clone()).collect()
+        let p = self.physical_index(i);
+        self.columns.iter().map(|c| c.value_at(p)).collect()
     }
 
-    /// Keep only rows where `mask[i]`, consuming the batch (plain values
-    /// move instead of cloning — the scan's post-SIP/visibility path).
+    /// Keep only logical rows where `mask[i]` — zero-copy: the result
+    /// shares the columns and carries a refined [`SelectionVector`]; no
+    /// value is cloned and no run is expanded.
     pub fn into_filtered(self, mask: &[bool]) -> Batch {
-        debug_assert_eq!(mask.len(), self.len);
-        let kept = mask.iter().filter(|&&b| b).count();
-        let mut columns = Vec::with_capacity(self.columns.len());
-        for col in self.columns {
-            let vals = match col {
-                ColumnSlice::Plain(v) => v,
-                rle @ ColumnSlice::Rle(_) => rle.to_values(),
-            };
-            let mut out = Vec::with_capacity(kept);
-            for (v, &keep) in vals.into_iter().zip(mask) {
-                if keep {
-                    out.push(v);
-                }
-            }
-            columns.push(ColumnSlice::Plain(out));
+        debug_assert_eq!(mask.len(), self.len());
+        let sel = match &self.selection {
+            Some(sel) => sel.refine_by_mask(mask),
+            None => SelectionVector::from_mask(mask),
+        };
+        Batch {
+            columns: self.columns,
+            physical_len: self.physical_len,
+            selection: Some(sel),
         }
-        Batch { columns, len: kept }
     }
 
-    /// Keep only rows where `mask[i]` (expands RLE).
-    pub fn filter_by_mask(&self, mask: &[bool]) -> Batch {
-        debug_assert_eq!(mask.len(), self.len);
-        let kept = mask.iter().filter(|&&b| b).count();
-        let mut columns = Vec::with_capacity(self.columns.len());
-        for col in &self.columns {
-            let vals = col.to_values();
-            let mut out = Vec::with_capacity(kept);
-            for (v, &keep) in vals.into_iter().zip(mask) {
-                if keep {
-                    out.push(v);
-                }
-            }
-            columns.push(ColumnSlice::Plain(out));
+    /// Materialize the physical rows in `sel` into a new selection-free
+    /// batch, preserving each column's representation.
+    fn materialized(&self, sel: &SelectionVector) -> Batch {
+        Batch {
+            columns: self.columns.iter().map(|c| c.filter_sel(sel)).collect(),
+            physical_len: sel.len(),
+            selection: None,
         }
-        Batch { columns, len: kept }
+    }
+
+    /// Keep only logical rows where `mask[i]`, materializing new columns.
+    /// Representations are preserved: RLE runs survive with shortened
+    /// lengths instead of being expanded to plain values.
+    pub fn filter_by_mask(&self, mask: &[bool]) -> Batch {
+        debug_assert_eq!(mask.len(), self.len());
+        let sel = match &self.selection {
+            Some(sel) => sel.refine_by_mask(mask),
+            None => SelectionVector::from_mask(mask),
+        };
+        self.materialized(&sel)
+    }
+
+    /// Apply the selection (if any), materializing compact columns with
+    /// their representations preserved.
+    pub fn compact(self) -> Batch {
+        match &self.selection {
+            None => self,
+            Some(sel) => self.materialized(sel),
+        }
     }
 
     /// Approximate in-memory bytes (for memory budgeting).
     pub fn approx_bytes(&self) -> usize {
+        use crate::vector::VectorData;
         self.columns
             .iter()
             .map(|c| match c {
                 ColumnSlice::Plain(v) => v.iter().map(approx_value_bytes).sum::<usize>(),
-                ColumnSlice::Rle(runs) => runs
+                ColumnSlice::Rle(rv) => rv
+                    .runs()
                     .iter()
                     .map(|(v, _)| approx_value_bytes(v) + 4)
                     .sum::<usize>(),
+                ColumnSlice::Typed(tv) => match tv.data() {
+                    VectorData::Int64(v) | VectorData::Timestamp(v) => v.len() * 8,
+                    VectorData::Float64(v) => v.len() * 8,
+                    VectorData::Bool(b) => b.len().div_ceil(8),
+                    VectorData::Dict { dict, codes } => {
+                        codes.len() * 4 + dict.entries().iter().map(|s| 24 + s.len()).sum::<usize>()
+                    }
+                },
             })
             .sum()
     }
@@ -238,12 +400,12 @@ mod tests {
     #[test]
     fn rle_column_expansion_and_access() {
         let b = Batch::new(vec![
-            ColumnSlice::Rle(vec![(Value::Integer(7), 3), (Value::Integer(9), 2)]),
+            ColumnSlice::rle(vec![(Value::Integer(7), 3), (Value::Integer(9), 2)]),
             ColumnSlice::Plain((0..5).map(Value::Integer).collect()),
         ]);
         assert_eq!(b.len(), 5);
-        assert_eq!(b.columns[0].value_at(2), &Value::Integer(7));
-        assert_eq!(b.columns[0].value_at(3), &Value::Integer(9));
+        assert_eq!(b.columns[0].value_at(2), Value::Integer(7));
+        assert_eq!(b.columns[0].value_at(3), Value::Integer(9));
         assert_eq!(b.row_at(4), vec![Value::Integer(9), Value::Integer(4)]);
         assert!(b.columns[0].is_rle());
     }
@@ -260,6 +422,88 @@ mod tests {
                 vec![Value::Integer(0)],
                 vec![Value::Integer(2)],
                 vec![Value::Integer(4)]
+            ]
+        );
+    }
+
+    #[test]
+    fn filter_by_mask_preserves_rle_runs() {
+        let b = Batch::new(vec![ColumnSlice::rle(vec![
+            (Value::Integer(1), 3),
+            (Value::Integer(2), 3),
+        ])]);
+        // Drop one row of the first run and the entire second run.
+        let f = b.filter_by_mask(&[true, true, false, false, false, false]);
+        assert_eq!(f.len(), 2);
+        let ColumnSlice::Rle(rv) = &f.columns[0] else {
+            panic!("RLE must be preserved, got {:?}", f.columns[0]);
+        };
+        assert_eq!(rv.runs(), &[(Value::Integer(1), 2)]);
+    }
+
+    #[test]
+    fn into_filtered_is_zero_copy_selection() {
+        let b = Batch::from_rows((0..6).map(|i| vec![Value::Integer(i)]).collect());
+        let f = b.into_filtered(&[true, false, true, false, true, false]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.physical_len(), 6, "columns untouched");
+        assert!(f.selection().is_some());
+        assert_eq!(
+            f.rows(),
+            vec![
+                vec![Value::Integer(0)],
+                vec![Value::Integer(2)],
+                vec![Value::Integer(4)]
+            ]
+        );
+        // Selections compose.
+        let g = f.into_filtered(&[false, true, true]);
+        assert_eq!(
+            g.rows(),
+            vec![vec![Value::Integer(2)], vec![Value::Integer(4)]]
+        );
+        assert_eq!(g.row_at(1), vec![Value::Integer(4)]);
+        // Compaction materializes and drops the selection.
+        let c = g.compact();
+        assert_eq!(c.physical_len(), 2);
+        assert!(c.selection().is_none());
+        assert_eq!(
+            c.rows(),
+            vec![vec![Value::Integer(2)], vec![Value::Integer(4)]]
+        );
+    }
+
+    #[test]
+    fn typed_column_round_trips_through_rows() {
+        let tv =
+            TypedVector::from_values(&[Value::Integer(1), Value::Null, Value::Integer(3)]).unwrap();
+        let b = Batch::new(vec![ColumnSlice::Typed(tv)]);
+        assert_eq!(
+            b.rows(),
+            vec![
+                vec![Value::Integer(1)],
+                vec![Value::Null],
+                vec![Value::Integer(3)]
+            ]
+        );
+        assert_eq!(b.clone().into_rows(), b.rows());
+    }
+
+    #[test]
+    fn duplicate_dict_entries_remap_codes() {
+        // A (corrupt or redundant) block dictionary with duplicate entries
+        // must not shift or orphan codes when interning dedups it.
+        let col = ColumnSlice::from_native(NativeBlock::Str {
+            dict: vec!["a".into(), "a".into(), "b".into()],
+            codes: vec![0, 1, 2],
+            nulls: None,
+        });
+        assert_eq!(
+            col.to_values(),
+            vec![
+                Value::Varchar("a".into()),
+                Value::Varchar("a".into()),
+                Value::Varchar("b".into()),
             ]
         );
     }

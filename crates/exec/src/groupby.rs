@@ -22,10 +22,11 @@ use crate::aggregate::{AggCall, AggFunc, AggState};
 use crate::batch::{Batch, ColumnSlice, BATCH_SIZE};
 use crate::memory::MemoryBudget;
 use crate::operator::{BoxedOperator, Operator};
+use crate::vector::{Bitmap, SelectionVector, TypedVector, VectorData};
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
 use vdb_types::codec::{Reader, Writer};
-use vdb_types::{DbError, DbResult, Expr, Row, Value};
+use vdb_types::{DataType, DbError, DbResult, Expr, Row, Value};
 
 // ---------------------------------------------------------------------------
 // Hash GroupBy with spill partitions
@@ -51,31 +52,42 @@ impl GroupTable {
         }
     }
 
-    /// Get-or-insert the state vector for the row's key; `new_group` is set
-    /// when a fresh group was created (memory accounting).
-    fn state_for<'a>(
-        &'a mut self,
-        row: &[Value],
-        cols: &[usize],
+    /// Get-or-insert the state vector for an owned single-column key;
+    /// `new_group` is set when a fresh group was created (memory
+    /// accounting).
+    fn state_for_one(
+        &mut self,
+        key: Value,
         make: impl FnOnce() -> Vec<AggState>,
         new_group: &mut bool,
-    ) -> &'a mut Vec<AggState> {
-        match self {
-            GroupTable::One(m) => {
-                let k = &row[cols[0]];
-                if !m.contains_key(k) {
-                    *new_group = true;
-                    m.insert(k.clone(), make());
-                }
-                m.get_mut(&row[cols[0]]).unwrap()
+    ) -> &mut Vec<AggState> {
+        let GroupTable::One(m) = self else {
+            unreachable!("single-column table")
+        };
+        match m.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                *new_group = true;
+                e.insert(make())
             }
-            GroupTable::Many(m) => {
-                let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
-                if !m.contains_key(&key) {
-                    *new_group = true;
-                    m.insert(key.clone(), make());
-                }
-                m.get_mut(&key).unwrap()
+        }
+    }
+
+    /// Multi-column variant of [`GroupTable::state_for_one`].
+    fn state_for_many(
+        &mut self,
+        key: Vec<Value>,
+        make: impl FnOnce() -> Vec<AggState>,
+        new_group: &mut bool,
+    ) -> &mut Vec<AggState> {
+        let GroupTable::Many(m) = self else {
+            unreachable!("multi-column table")
+        };
+        match m.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                *new_group = true;
+                e.insert(make())
             }
         }
     }
@@ -125,7 +137,9 @@ impl HashGroupByOp {
     }
 
     /// Global-aggregate path: COUNT(*) consumes whole batches by length;
-    /// other aggregates fold per column without row materialization.
+    /// other aggregates fold per column — typed vectors natively, RLE by
+    /// whole runs (SUM over a run is one multiply), honoring the batch's
+    /// selection vector — without row materialization.
     fn consume_global(&mut self, batch: Batch) -> DbResult<()> {
         let states = self
             .global
@@ -138,22 +152,39 @@ impl HashGroupByOp {
             }
             return Ok(());
         }
+        let sel = batch.selection();
         for (a, s) in self.aggs.iter().zip(states.iter_mut()) {
             if a.func == AggFunc::CountStar {
                 s.update_n(AggFunc::CountStar, &Value::Null, n)?;
                 continue;
             }
             match &batch.columns[a.input] {
-                ColumnSlice::Plain(values) => {
-                    for v in values {
-                        s.update(a.func, v)?;
+                ColumnSlice::Plain(values) => match sel {
+                    None => {
+                        for v in values {
+                            s.update(a.func, v)?;
+                        }
                     }
-                }
-                ColumnSlice::Rle(runs) => {
+                    Some(sel) => {
+                        for i in sel.iter() {
+                            s.update(a.func, &values[i])?;
+                        }
+                    }
+                },
+                ColumnSlice::Rle(rv) => {
+                    let filtered;
+                    let runs = match sel {
+                        None => rv.runs(),
+                        Some(sel) => {
+                            filtered = rv.filter(sel);
+                            filtered.runs()
+                        }
+                    };
                     for (v, len) in runs {
                         s.update_n(a.func, v, u64::from(*len))?;
                     }
                 }
+                ColumnSlice::Typed(tv) => update_global_typed(s, a.func, tv, sel)?,
             }
         }
         Ok(())
@@ -227,24 +258,42 @@ impl HashGroupByOp {
                 self.consume_global(batch)?;
                 continue;
             }
-            for row in batch.into_rows() {
+            // Grouped path: iterate logical rows through column accessors —
+            // no row vector is ever materialized, and typed aggregate
+            // inputs fold natively.
+            let accessors: Vec<ColAccess<'_>> = self
+                .aggs
+                .iter()
+                .map(|a| ColAccess::new(&batch.columns, a))
+                .collect();
+            let single_key = self.group_columns.len() == 1;
+            let key_col = self.group_columns[0];
+            for li in 0..batch.len() {
+                let pi = batch.physical_index(li);
                 let mut new_group = false;
-                let states = table.state_for(
-                    &row,
-                    &self.group_columns,
-                    || self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                    &mut new_group,
-                );
+                let states = if single_key {
+                    table.state_for_one(
+                        batch.columns[key_col].value_at(pi),
+                        || self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                        &mut new_group,
+                    )
+                } else {
+                    let key: Vec<Value> = self
+                        .group_columns
+                        .iter()
+                        .map(|&c| batch.columns[c].value_at(pi))
+                        .collect();
+                    table.state_for_many(
+                        key,
+                        || self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                        &mut new_group,
+                    )
+                };
                 if new_group {
                     approx += per_group + 16 * self.group_columns.len();
                 }
-                for (a, s) in self.aggs.iter().zip(states.iter_mut()) {
-                    let v = if a.func == AggFunc::CountStar {
-                        &Value::Null
-                    } else {
-                        &row[a.input]
-                    };
-                    s.update(a.func, v)?;
+                for (acc, s) in accessors.iter().zip(states.iter_mut()) {
+                    acc.update(s, pi)?;
                 }
                 if self.budget.exceeded_by(approx) {
                     self.spill_table(&mut table)?;
@@ -327,6 +376,108 @@ impl HashGroupByOp {
         self.output.sort();
         Ok(())
     }
+}
+
+/// Per-aggregate view of an input column, letting the grouped hash path
+/// fold values straight from the column representation.
+struct ColAccess<'a> {
+    func: AggFunc,
+    kind: ColAccessKind<'a>,
+}
+
+enum ColAccessKind<'a> {
+    /// COUNT(*) touches no column.
+    CountStar,
+    /// Native integral buffer (`Integer`/`Timestamp`).
+    I64(&'a [i64], Option<&'a Bitmap>, DataType),
+    /// Native float buffer.
+    F64(&'a [f64], Option<&'a Bitmap>),
+    /// Plain values, folded by reference (no clone).
+    PlainRef(&'a [Value]),
+    /// Anything else (RLE, bool/dict vectors): point access.
+    Generic(&'a ColumnSlice),
+}
+
+impl<'a> ColAccess<'a> {
+    fn new(columns: &'a [ColumnSlice], a: &AggCall) -> ColAccess<'a> {
+        let kind = if a.func == AggFunc::CountStar {
+            ColAccessKind::CountStar
+        } else {
+            match &columns[a.input] {
+                ColumnSlice::Plain(values) => ColAccessKind::PlainRef(values),
+                ColumnSlice::Typed(tv) => match tv.data() {
+                    VectorData::Int64(xs) => {
+                        ColAccessKind::I64(xs, tv.validity(), DataType::Integer)
+                    }
+                    VectorData::Timestamp(xs) => {
+                        ColAccessKind::I64(xs, tv.validity(), DataType::Timestamp)
+                    }
+                    VectorData::Float64(xs) => ColAccessKind::F64(xs, tv.validity()),
+                    _ => ColAccessKind::Generic(&columns[a.input]),
+                },
+                other => ColAccessKind::Generic(other),
+            }
+        };
+        ColAccess { func: a.func, kind }
+    }
+
+    /// Fold physical row `pi` into `s`.
+    #[inline]
+    fn update(&self, s: &mut AggState, pi: usize) -> DbResult<()> {
+        match &self.kind {
+            ColAccessKind::CountStar => s.update(self.func, &Value::Null),
+            ColAccessKind::I64(xs, validity, ty) => {
+                if validity.is_none_or(|v| v.get(pi)) {
+                    s.update_i64(self.func, xs[pi], *ty)
+                } else {
+                    Ok(()) // NULL: every aggregate but COUNT(*) skips it
+                }
+            }
+            ColAccessKind::F64(xs, validity) => {
+                if validity.is_none_or(|v| v.get(pi)) {
+                    s.update_f64(self.func, xs[pi])
+                } else {
+                    Ok(())
+                }
+            }
+            ColAccessKind::PlainRef(values) => s.update(self.func, &values[pi]),
+            ColAccessKind::Generic(col) => s.update(self.func, &col.value_at(pi)),
+        }
+    }
+}
+
+/// Fold a whole typed vector (optionally through a selection) into one
+/// aggregate state — the global-aggregate typed fast path.
+fn update_global_typed(
+    s: &mut AggState,
+    func: AggFunc,
+    tv: &TypedVector,
+    sel: Option<&SelectionVector>,
+) -> DbResult<()> {
+    let mut fold = |i: usize| -> DbResult<()> {
+        if !tv.is_valid(i) {
+            return Ok(());
+        }
+        match tv.data() {
+            VectorData::Int64(xs) => s.update_i64(func, xs[i], DataType::Integer),
+            VectorData::Timestamp(xs) => s.update_i64(func, xs[i], DataType::Timestamp),
+            VectorData::Float64(xs) => s.update_f64(func, xs[i]),
+            _ => s.update(func, &tv.value_at(i)),
+        }
+    };
+    match sel {
+        None => {
+            for i in 0..tv.len() {
+                fold(i)?;
+            }
+        }
+        Some(sel) => {
+            for i in sel.iter() {
+                fold(i)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 fn finish_group(key: Vec<Value>, states: Vec<AggState>) -> Row {
@@ -535,8 +686,18 @@ impl PipelinedGroupByOp {
     fn consume_batch(&mut self, batch: &Batch) -> DbResult<()> {
         if self.run_fast_path(batch) {
             let gc = self.group_columns[0];
-            let ColumnSlice::Rle(runs) = &batch.columns[gc] else {
+            let ColumnSlice::Rle(rv) = &batch.columns[gc] else {
                 unreachable!()
+            };
+            // A selection (from a filter or visibility) shortens runs but
+            // never expands them.
+            let filtered;
+            let runs = match batch.selection() {
+                None => rv.runs(),
+                Some(sel) => {
+                    filtered = rv.filter(sel);
+                    filtered.runs()
+                }
             };
             for (v, n) in runs {
                 let key = vec![v.clone()];
@@ -915,7 +1076,7 @@ mod tests {
     #[test]
     fn pipelined_consumes_rle_runs_without_expansion() {
         // Feed RLE batches directly: 3 runs over one column.
-        let batch = Batch::new(vec![ColumnSlice::Rle(vec![
+        let batch = Batch::new(vec![ColumnSlice::rle(vec![
             (Value::Integer(1), 1000),
             (Value::Integer(2), 500),
             (Value::Integer(3), 1),
@@ -941,8 +1102,8 @@ mod tests {
     fn rle_run_spanning_batches_merges() {
         // The same group value continuing across batch boundaries must not
         // produce two output groups.
-        let b1 = Batch::new(vec![ColumnSlice::Rle(vec![(Value::Integer(7), 100)])]);
-        let b2 = Batch::new(vec![ColumnSlice::Rle(vec![(Value::Integer(7), 50)])]);
+        let b1 = Batch::new(vec![ColumnSlice::rle(vec![(Value::Integer(7), 100)])]);
+        let b2 = Batch::new(vec![ColumnSlice::rle(vec![(Value::Integer(7), 50)])]);
         let mut op = PipelinedGroupByOp::new(
             Box::new(crate::operator::ValuesOp::new(vec![b1, b2])),
             vec![0],

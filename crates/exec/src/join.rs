@@ -612,10 +612,7 @@ impl MergeJoinOp {
                     let rnull = rkey.iter().any(|v| v.is_null());
                     let ord = lkey.cmp(&rkey);
                     // NULL keys sort first and never match.
-                    if lnull
-                        || (ord == std::cmp::Ordering::Less && !rnull)
-                        || (ord == std::cmp::Ordering::Less && rnull)
-                    {
+                    if lnull || ord == std::cmp::Ordering::Less {
                         let group = self.take_left_group()?;
                         self.emit_left_unmatched(group);
                     } else if rnull || ord == std::cmp::Ordering::Greater {

@@ -15,12 +15,18 @@
 //! | Send/Recv (segment-aware, sortedness-retaining) | [`exchange`] |
 //! | StorageUnion / ParallelUnion (intra-node parallelism) | [`exchange`] |
 //!
-//! Operators can run "directly on encoded data": [`batch::ColumnSlice`]
-//! keeps RLE runs unexpanded from the scan through pipelined aggregation.
-//! Every stateful operator takes a [`memory::MemoryBudget`] and spills to
-//! the storage backend when it is exceeded (§6.1: "all operators are
-//! capable of handling arbitrary sized inputs ... by externalizing their
-//! buffers to disk").
+//! Operators run "directly on encoded data" (§6.1): the scan decodes
+//! storage blocks into [`vector::TypedVector`]s (native buffers + validity
+//! bitmaps, dictionary-coded strings) and [`vector::RleVector`]s
+//! (unexpanded runs); filters, SIP and delete-vector visibility mark
+//! survivors in a [`vector::SelectionVector`] instead of materializing; and
+//! aggregation consumes runs and native buffers without per-row `Value`
+//! construction. Row-pivoting operators (join, sort, exchange, analytic)
+//! cross the compatibility edge via [`batch::Batch::rows`] /
+//! [`batch::Batch::into_rows`]. Every stateful operator takes a
+//! [`memory::MemoryBudget`] and spills to the storage backend when it is
+//! exceeded (§6.1: "all operators are capable of handling arbitrary sized
+//! inputs ... by externalizing their buffers to disk").
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -37,6 +43,7 @@ pub mod plan;
 pub mod scan;
 pub mod sip;
 pub mod sort;
+pub mod vector;
 
 pub use aggregate::{AggCall, AggFunc};
 pub use batch::{Batch, ColumnSlice};
@@ -44,3 +51,4 @@ pub use memory::MemoryBudget;
 pub use operator::{collect_rows, BoxedOperator, Operator};
 pub use plan::{build_operator, ExecContext, JoinType, PhysicalPlan};
 pub use sip::SipFilter;
+pub use vector::{Bitmap, RleVector, SelectionVector, TypedVector, VectorData};

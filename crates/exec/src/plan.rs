@@ -135,10 +135,7 @@ impl ExecContext {
     }
 
     fn sip(&mut self, id: SipId) -> Arc<SipFilter> {
-        self.sip_filters
-            .entry(id)
-            .or_insert_with(SipFilter::new)
-            .clone()
+        self.sip_filters.entry(id).or_default().clone()
     }
 }
 

@@ -19,10 +19,10 @@
 use crate::batch::{Batch, ColumnSlice};
 use crate::operator::Operator;
 use crate::sip::SipFilter;
+use crate::vector::{SelectionVector, VectorData};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use vdb_encoding::block::DecodedBlock;
 use vdb_encoding::ColumnReader;
 use vdb_storage::store::{ScanContainer, VisibleSet};
 use vdb_storage::StorageBackend;
@@ -280,28 +280,27 @@ impl ScanOperator {
                 self.stats.lock().blocks_pruned += 1;
                 continue;
             }
-            // Decode the block for every output column.
+            // Decode the block for every output column — straight into
+            // typed vectors (native buffers) or RLE vectors; no per-row
+            // `Value` construction for specialized encodings.
             let meta0 = &cur.columns[0].1.blocks[bi];
             let block_start = meta0.start_position;
             let block_rows = meta0.count as usize;
             let mut slices = Vec::with_capacity(cur.columns.len());
             for (bytes, index) in &cur.columns {
                 let reader = ColumnReader::new(bytes, index);
-                let decoded = reader.read_block(bi)?;
-                slices.push(match decoded {
-                    DecodedBlock::Values(v) => ColumnSlice::Plain(v),
-                    DecodedBlock::Runs(r) => ColumnSlice::Rle(r),
-                });
+                slices.push(ColumnSlice::from_native(reader.read_block_native(bi)?));
             }
             self.stats.lock().rows_scanned += block_rows as u64;
             let mut batch = Batch::new(slices);
-            // Visibility mask for this block's position range.
+            // Visibility (epoch + delete vector) becomes a selection
+            // vector: invisible rows are skipped, never materialized out.
             if !matches!(cur.visible, VisibleSet::All) {
-                let mask: Vec<bool> = (0..block_rows)
-                    .map(|i| cur.visible.is_visible(block_start + i as u64))
+                let visible: Vec<u32> = (0..block_rows as u32)
+                    .filter(|&i| cur.visible.is_visible(block_start + u64::from(i)))
                     .collect();
-                if mask.iter().any(|&b| !b) {
-                    batch = batch.into_filtered(&mask);
+                if visible.len() < block_rows {
+                    batch = batch.with_selection(SelectionVector::new(visible));
                 }
             }
             let batch = self.apply_row_filters(batch)?;
@@ -312,77 +311,146 @@ impl ScanOperator {
         }
     }
 
-    /// 4+5: SIP filters then residual predicate.
+    /// 4+5: SIP filters then residual predicate. Both stages refine the
+    /// batch's selection vector — survivors are marked, not copied.
     fn apply_row_filters(&self, batch: Batch) -> DbResult<Batch> {
         let mut batch = batch;
         for binding in &self.sip {
             if !binding.filter.is_ready() || batch.is_empty() {
                 continue;
             }
-            let n = batch.len();
-            let mut mask = vec![true; n];
-            let mut dropped = 0u64;
-            if let [only] = binding.key_columns.as_slice() {
-                // Single-column fast path, run-aware for RLE keys.
-                match &batch.columns[*only] {
-                    crate::batch::ColumnSlice::Plain(values) => {
-                        for (i, v) in values.iter().enumerate() {
-                            if !binding.filter.might_contain_one(v) {
-                                mask[i] = false;
-                                dropped += 1;
-                            }
-                        }
-                    }
-                    crate::batch::ColumnSlice::Rle(runs) => {
-                        let mut i = 0usize;
-                        for (v, len) in runs {
-                            let keep = binding.filter.might_contain_one(v);
-                            if !keep {
-                                dropped += u64::from(*len);
-                            }
-                            for _ in 0..*len {
-                                mask[i] = keep;
-                                i += 1;
-                            }
-                        }
-                    }
-                }
-            } else {
-                let key_cols: Vec<Vec<Value>> = binding
-                    .key_columns
-                    .iter()
-                    .map(|&c| batch.columns[c].to_values())
-                    .collect();
-                for i in 0..n {
-                    let key: Vec<&Value> = key_cols.iter().map(|col| &col[i]).collect();
-                    if !binding.filter.might_contain(&key) {
-                        mask[i] = false;
-                        dropped += 1;
-                    }
-                }
-            }
+            let before = batch.len() as u64;
+            let sel = Self::sip_selection(binding, &batch);
+            let dropped = before - sel.len() as u64;
             if dropped > 0 {
                 self.stats.lock().rows_sip_filtered += dropped;
-                batch = batch.into_filtered(&mask);
+                batch = batch.with_selection(sel);
             }
         }
         if let Some(pred) = &self.predicate {
             if !batch.is_empty() {
-                let rows = batch.rows();
-                let mut mask = Vec::with_capacity(rows.len());
-                let mut all = true;
-                for row in &rows {
-                    let keep = pred.matches(row)?;
-                    all &= keep;
-                    mask.push(keep);
-                }
-                if !all {
-                    batch = batch.into_filtered(&mask);
+                // Vectorized evaluation over typed/RLE columns; row-wise
+                // fallback for predicates outside the vectorizable shape.
+                match crate::filter::eval_predicate_selection(&batch, pred) {
+                    Some(sel) => {
+                        if sel.len() < batch.len() {
+                            batch = batch.with_selection(sel);
+                        }
+                    }
+                    None => {
+                        let rows = batch.rows();
+                        let mut mask = Vec::with_capacity(rows.len());
+                        let mut all = true;
+                        for row in &rows {
+                            let keep = pred.matches(row)?;
+                            all &= keep;
+                            mask.push(keep);
+                        }
+                        if !all {
+                            batch = batch.into_filtered(&mask);
+                        }
+                    }
                 }
             }
         }
         self.stats.lock().rows_after_predicate += batch.len() as u64;
         Ok(batch)
+    }
+
+    /// Surviving physical positions after one SIP filter. Typed key
+    /// columns hash natively (no `Value` construction); dictionary-coded
+    /// keys probe once per distinct value; RLE keys probe once per run.
+    fn sip_selection(binding: &SipBinding, batch: &Batch) -> SelectionVector {
+        let cands: Vec<u32> = match batch.selection() {
+            Some(sel) => sel.indices().to_vec(),
+            None => (0..batch.physical_len() as u32).collect(),
+        };
+        let filter = binding.filter.as_ref();
+        if let [only] = binding.key_columns.as_slice() {
+            let kept: Vec<u32> = match &batch.columns[*only] {
+                ColumnSlice::Plain(values) => cands
+                    .into_iter()
+                    .filter(|&i| filter.might_contain_one(&values[i as usize]))
+                    .collect(),
+                ColumnSlice::Rle(rv) => {
+                    crate::filter::retain_by_run(rv, cands, |v| filter.might_contain_one(v))
+                }
+                ColumnSlice::Typed(tv) => {
+                    let null_ok = || filter.might_contain_one_hash(Value::hash64_null());
+                    match tv.data() {
+                        VectorData::Int64(xs) | VectorData::Timestamp(xs) => cands
+                            .into_iter()
+                            .filter(|&i| {
+                                let i = i as usize;
+                                if tv.is_valid(i) {
+                                    filter.might_contain_one_hash(Value::hash64_of_i64(xs[i]))
+                                } else {
+                                    null_ok()
+                                }
+                            })
+                            .collect(),
+                        VectorData::Float64(xs) => cands
+                            .into_iter()
+                            .filter(|&i| {
+                                let i = i as usize;
+                                if tv.is_valid(i) {
+                                    filter.might_contain_one_hash(Value::hash64_of_f64(xs[i]))
+                                } else {
+                                    null_ok()
+                                }
+                            })
+                            .collect(),
+                        VectorData::Bool(bits) => cands
+                            .into_iter()
+                            .filter(|&i| {
+                                let i = i as usize;
+                                if tv.is_valid(i) {
+                                    filter.might_contain_one_hash(Value::hash64_of_i64(i64::from(
+                                        bits.get(i),
+                                    )))
+                                } else {
+                                    null_ok()
+                                }
+                            })
+                            .collect(),
+                        VectorData::Dict { dict, codes } => {
+                            // One membership probe per *distinct* string.
+                            let keep: Vec<bool> = dict
+                                .entries()
+                                .iter()
+                                .map(|s| filter.might_contain_one_hash(Value::hash64_of_str(s)))
+                                .collect();
+                            cands
+                                .into_iter()
+                                .filter(|&i| {
+                                    let i = i as usize;
+                                    if tv.is_valid(i) {
+                                        keep[codes[i] as usize]
+                                    } else {
+                                        null_ok()
+                                    }
+                                })
+                                .collect()
+                        }
+                    }
+                }
+            };
+            return SelectionVector::new(kept);
+        }
+        // Multi-column keys: gather per candidate (cold path).
+        let kept: Vec<u32> = cands
+            .into_iter()
+            .filter(|&i| {
+                let key: Vec<Value> = binding
+                    .key_columns
+                    .iter()
+                    .map(|&c| batch.columns[c].value_at(i as usize))
+                    .collect();
+                let refs: Vec<&Value> = key.iter().collect();
+                filter.might_contain(&refs)
+            })
+            .collect();
+        SelectionVector::new(kept)
     }
 
     /// Project + filter the WOS rows.
@@ -569,6 +637,42 @@ mod tests {
             batch.columns[0].is_rle(),
             "sorted low-cardinality column should arrive as runs"
         );
+    }
+
+    #[test]
+    fn scan_emits_typed_vectors_for_integer_columns() {
+        // Integer projections decode into native i64 buffers (or RLE) —
+        // never per-row `Value`s — feeding the typed executor fast path.
+        let store = make_store(rows(2048));
+        let mut scan = scan_of(&store, None);
+        let batch = scan.next_batch().unwrap().unwrap();
+        for (i, col) in batch.columns.iter().enumerate() {
+            assert!(
+                !matches!(col, ColumnSlice::Plain(_)),
+                "column {i} of an integer projection arrived as plain values"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_scan_with_predicate_keeps_selection_not_copies() {
+        let store = make_store(rows(2048));
+        let pred = Expr::binary(BinOp::Ge, Expr::col(0, "a"), Expr::int(1000));
+        let mut scan = scan_of(&store, Some(pred));
+        let mut total = 0usize;
+        while let Some(batch) = scan.next_batch().unwrap() {
+            total += batch.len();
+            // The surviving batch still holds the full decoded block;
+            // the predicate only refined the selection.
+            if batch.len() < batch.physical_len() {
+                assert!(batch.selection().is_some());
+            }
+            assert!(batch
+                .columns
+                .iter()
+                .all(|c| !matches!(c, ColumnSlice::Plain(_))));
+        }
+        assert_eq!(total, 1048);
     }
 
     #[test]

@@ -30,9 +30,29 @@ impl SipFilter {
     pub fn key_hash(key: &[&Value]) -> u64 {
         let mut h: u64 = 0x51_7c_c1_b7_27_22_0a_95;
         for v in key {
-            h = h.rotate_left(23).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ v.hash64();
+            h = Self::fold(h, v.hash64());
         }
         h
+    }
+
+    #[inline]
+    fn fold(h: u64, value_hash: u64) -> u64 {
+        h.rotate_left(23).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ value_hash
+    }
+
+    /// `key_hash` of a single-column key given the value's
+    /// [`Value::hash64`] — lets typed vectors probe without constructing a
+    /// `Value` (pair with `Value::hash64_of_i64` and friends).
+    pub fn key_hash_of_one(value_hash: u64) -> u64 {
+        Self::fold(0x51_7c_c1_b7_27_22_0a_95, value_hash)
+    }
+
+    /// Single-column membership by precomputed `Value::hash64`.
+    pub fn might_contain_one_hash(&self, value_hash: u64) -> bool {
+        match self.keys.read().as_ref() {
+            None => true,
+            Some(set) => set.contains(&Self::key_hash_of_one(value_hash)),
+        }
     }
 
     /// Publish the build side's key set.
@@ -89,6 +109,20 @@ mod tests {
         assert!(f.might_contain(&[&Value::Integer(1)]));
         assert!(!f.might_contain(&[&Value::Integer(2)]));
         assert_eq!(f.key_count(), Some(2));
+    }
+
+    #[test]
+    fn hash_based_probe_agrees_with_value_probe() {
+        let f = SipFilter::new();
+        let mut keys = HashSet::new();
+        keys.insert(SipFilter::key_hash(&[&Value::Integer(5)]));
+        f.publish(keys);
+        assert!(f.might_contain_one_hash(Value::hash64_of_i64(5)));
+        assert!(!f.might_contain_one_hash(Value::hash64_of_i64(6)));
+        assert_eq!(
+            SipFilter::key_hash_of_one(Value::Integer(5).hash64()),
+            SipFilter::key_hash(&[&Value::Integer(5)])
+        );
     }
 
     #[test]

@@ -616,10 +616,8 @@ impl<'a> Planner<'a> {
                 (input, group_columns, agg_calls)
             } else {
                 // Project: group exprs then agg input exprs.
-                let mut exprs: Vec<Expr> = group_exprs
-                    .iter()
-                    .map(|e| remap(e))
-                    .collect::<DbResult<_>>()?;
+                let mut exprs: Vec<Expr> =
+                    group_exprs.iter().map(&remap).collect::<DbResult<_>>()?;
                 for a in &aggs {
                     exprs.push(match &a.input {
                         None => Expr::lit(Value::Integer(1)),

@@ -31,7 +31,7 @@ pub fn build_column_stats(sample: &[Value], total_rows: u64) -> ColumnStatsData 
         let mut d = 0u64;
         let mut prev: Option<&&Value> = None;
         for v in &non_null {
-            if prev != Some(&v) {
+            if prev != Some(v) {
                 d += 1;
             }
             prev = Some(v);
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn nulls_counted() {
         let mut sample = int_sample(100);
-        sample.extend(std::iter::repeat(Value::Null).take(100));
+        sample.extend(std::iter::repeat_n(Value::Null, 100));
         let s = build_column_stats(&sample, 2000);
         assert!(s.nulls > 800 && s.nulls < 1200, "nulls = {}", s.nulls);
     }

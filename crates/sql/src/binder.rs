@@ -414,7 +414,6 @@ fn bind_select(s: SelectStmt, schemas: &dyn SchemaProvider) -> DbResult<BoundQue
     for j in &s.joins {
         add_table(&j.table, &mut scope, &mut tables)?;
     }
-    drop(add_table);
 
     let n = tables.len();
     let mut table_filters: Vec<Option<Expr>> = vec![None; n];
@@ -767,10 +766,7 @@ fn bind_window(
     };
     Ok(WindowCall {
         func,
-        partition_by: partition_by
-            .iter()
-            .map(|e| col_of(e))
-            .collect::<DbResult<_>>()?,
+        partition_by: partition_by.iter().map(&col_of).collect::<DbResult<_>>()?,
         order_by: order_by
             .iter()
             .map(|(e, asc)| Ok((col_of(e)?, *asc)))

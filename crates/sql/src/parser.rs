@@ -320,15 +320,10 @@ impl Parser {
         let mut items = Vec::new();
         loop {
             let expr = self.expr()?;
-            let alias = if self.eat_kw("AS") {
-                Some(self.ident()?)
-            } else if matches!(self.peek(), Some(Token::Ident(s))
-                if !is_reserved(s))
-            {
-                Some(self.ident()?)
-            } else {
-                None
-            };
+            // `expr AS alias` or a bare non-reserved identifier alias.
+            let has_alias = self.eat_kw("AS")
+                || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s));
+            let alias = if has_alias { Some(self.ident()?) } else { None };
             items.push(SelectItem { expr, alias });
             if !self.eat_symbol(Sym::Comma) {
                 break;

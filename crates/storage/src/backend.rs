@@ -185,7 +185,8 @@ mod tests {
         backend.delete_file("proj/a/1.dat").unwrap();
         assert_eq!(backend.read_file("backup/1.dat").unwrap(), b"hello");
         assert!(backend.read_file("proj/a/1.dat").is_err());
-        assert!(backend.delete_file("nope").is_err() || true);
+        // Deleting a missing file may error or no-op depending on backend.
+        let _ = backend.delete_file("nope");
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! Table data is physically organized into **projections**: sorted subsets
 //! of a table's attributes ([`projection`]). Each projection's data lives in
-//! immutable **ROS containers** ([`ros`]) — a pair of files per column (data
-//! + position index) on a [`backend`] — plus an in-memory, unsorted,
+//! immutable **ROS containers** ([`ros`]) — a pair of files per column
+//! (data plus position index) on a [`backend`] — plus an in-memory, unsorted,
 //! unencoded **WOS** ([`wos`]) that buffers trickle loads. Deletes never
 //! modify storage: they append to **delete vectors** ([`delete_vector`]).
 //! The **tuple mover** ([`tuple_mover`]) runs moveout (WOS→ROS) and

@@ -103,7 +103,7 @@ impl ScanContainer {
         if !epoch_visible_all {
             let epochs = self.container.read_column(backend, self.epoch_column())?;
             for (i, e) in epochs.iter().enumerate() {
-                if e.as_i64().map_or(true, |v| Epoch(v as u64) > self.snapshot) {
+                if e.as_i64().is_none_or(|v| Epoch(v as u64) > self.snapshot) {
                     mask[i] = false;
                 }
             }
@@ -282,8 +282,8 @@ impl ProjectionStore {
             return Ok(Vec::new());
         }
         // Group key: (partition, local segment).
-        let mut groups: BTreeMap<(Option<Value>, u32), Vec<(Row, Epoch, Option<Epoch>)>> =
-            BTreeMap::new();
+        type RowHistory = Vec<(Row, Epoch, Option<Epoch>)>;
+        let mut groups: BTreeMap<(Option<Value>, u32), RowHistory> = BTreeMap::new();
         for (row, e, d) in rows {
             let pkey = match &self.partition {
                 Some(spec) => Some(spec.key_of(&row)?),

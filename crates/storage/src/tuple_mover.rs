@@ -105,10 +105,7 @@ impl TupleMover {
     /// are elided ("there is no way a user can query them").
     pub fn run_mergeout(&self, store: &mut ProjectionStore, ahm: Epoch) -> DbResult<MergeoutStats> {
         let mut stats = MergeoutStats::default();
-        loop {
-            let Some((victims, purge_estimate)) = self.pick_merge(store) else {
-                break;
-            };
+        while let Some((victims, purge_estimate)) = self.pick_merge(store) {
             // Gather the full history of all victims, dropping
             // ancient-deleted rows.
             let mut merged = Vec::new();
@@ -141,8 +138,8 @@ impl TupleMover {
     fn pick_merge(&self, store: &ProjectionStore) -> Option<(Vec<ContainerId>, u64)> {
         let backend = store.backend().clone();
         // (partition, local segment, stratum) → container ids + sizes.
-        let mut groups: BTreeMap<(Option<Value>, u32, u32), (Vec<ContainerId>, u64)> =
-            BTreeMap::new();
+        type Stratum = (Vec<ContainerId>, u64);
+        let mut groups: BTreeMap<(Option<Value>, u32, u32), Stratum> = BTreeMap::new();
         for c in store.containers() {
             let bytes = c.total_bytes(backend.as_ref());
             let stratum = self.stratum_of(bytes);

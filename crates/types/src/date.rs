@@ -77,7 +77,7 @@ pub fn year_month(ts: i64) -> i64 {
 /// Parse `YYYY-MM-DD` or `YYYY-MM-DD hh:mm:ss` into epoch seconds.
 pub fn parse_timestamp(text: &str) -> Option<i64> {
     let text = text.trim();
-    let (date_part, time_part) = match text.split_once(|c| c == ' ' || c == 'T') {
+    let (date_part, time_part) = match text.split_once([' ', 'T']) {
         Some((d, t)) => (d, Some(t)),
         None => (text, None),
     };

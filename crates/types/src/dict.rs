@@ -1,0 +1,102 @@
+//! String dictionaries shared by dictionary-coded column vectors.
+//!
+//! The execution engine keeps `VARCHAR` columns dictionary-coded (§6.1:
+//! operators "operate directly on encoded data"): a batch column is a
+//! `Vec<u32>` of codes plus an immutable [`StringDictionary`]. Comparisons
+//! against a literal then cost one dictionary probe per *distinct* value
+//! instead of one string compare per row, and copying a column copies no
+//! string bytes.
+
+use std::collections::HashMap;
+
+/// An append-only string interner: code ↔ string in insertion order.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StringDictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StringDictionary {
+    pub fn new() -> StringDictionary {
+        StringDictionary::default()
+    }
+
+    /// Build from a list of (not necessarily distinct) entries; codes follow
+    /// first-occurrence order.
+    pub fn from_entries(entries: impl IntoIterator<Item = String>) -> StringDictionary {
+        let mut d = StringDictionary::new();
+        for e in entries {
+            d.intern_owned(e);
+        }
+        d
+    }
+
+    /// Code for `s`, inserting it if unseen.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        self.intern_owned(s.to_string())
+    }
+
+    /// Like [`StringDictionary::intern`] but takes ownership (no copy on
+    /// first occurrence).
+    pub fn intern_owned(&mut self, s: String) -> u32 {
+        if let Some(&code) = self.index.get(&s) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.index.insert(s.clone(), code);
+        self.values.push(s);
+        code
+    }
+
+    /// Code for `s` if already present.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// String for a code (panics on an out-of-range code, which indicates
+    /// a corrupted vector).
+    pub fn get(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Entries in code order.
+    pub fn entries(&self) -> &[String] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_round_trips() {
+        let mut d = StringDictionary::new();
+        let a = d.intern("apple");
+        let b = d.intern("banana");
+        assert_eq!(d.intern("apple"), a, "re-intern returns the same code");
+        assert_ne!(a, b);
+        assert_eq!(d.get(a), "apple");
+        assert_eq!(d.lookup("banana"), Some(b));
+        assert_eq!(d.lookup("cherry"), None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn from_entries_dedups_in_first_occurrence_order() {
+        let d = StringDictionary::from_entries(["b", "a", "b", "c"].into_iter().map(String::from));
+        assert_eq!(d.entries(), ["b", "a", "c"]);
+        assert_eq!(d.lookup("b"), Some(0));
+    }
+}

@@ -11,12 +11,14 @@
 
 pub mod codec;
 pub mod date;
+pub mod dict;
 pub mod error;
 pub mod expr;
 pub mod ids;
 pub mod schema;
 pub mod value;
 
+pub use dict::StringDictionary;
 pub use error::{DbError, DbResult};
 pub use expr::{BinOp, Expr, Func, UnOp};
 pub use ids::{Epoch, NodeId, TxnId};

@@ -126,32 +126,43 @@ impl Value {
     /// nodes and across process restarts (required for the ring mapping of
     /// §3.6 to be stable).
     pub fn hash64(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        fn feed(mut h: u64, bytes: &[u8]) -> u64 {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(PRIME);
-            }
-            h
-        }
         match self {
-            Value::Null => feed(OFFSET, &[0]),
+            Value::Null => Value::hash64_null(),
             // Integers and timestamps share a representation so that a
             // prejoin between INT and TIMESTAMP keys co-locates.
-            Value::Integer(v) | Value::Timestamp(v) => feed(feed(OFFSET, &[1]), &v.to_le_bytes()),
-            Value::Float(v) => {
-                // Hash floats by their integral value when exact so that
-                // 1.0 and 1 co-locate; otherwise by bits.
-                if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
-                    feed(feed(OFFSET, &[1]), &(*v as i64).to_le_bytes())
-                } else {
-                    feed(feed(OFFSET, &[2]), &v.to_bits().to_le_bytes())
-                }
-            }
-            Value::Varchar(s) => feed(feed(OFFSET, &[3]), s.as_bytes()),
-            Value::Boolean(b) => feed(feed(OFFSET, &[1]), &i64::from(*b).to_le_bytes()),
+            Value::Integer(v) | Value::Timestamp(v) => Value::hash64_of_i64(*v),
+            Value::Float(v) => Value::hash64_of_f64(*v),
+            Value::Varchar(s) => Value::hash64_of_str(s),
+            Value::Boolean(b) => Value::hash64_of_i64(i64::from(*b)),
         }
+    }
+
+    /// [`Value::hash64`] of NULL without constructing a `Value`.
+    pub fn hash64_null() -> u64 {
+        hash_feed(HASH_OFFSET, &[0])
+    }
+
+    /// [`Value::hash64`] of an integral value (`Integer`, `Timestamp`, or
+    /// `Boolean` as 0/1) without constructing a `Value` — the typed-vector
+    /// hot path for SIP filters and hash keys.
+    pub fn hash64_of_i64(v: i64) -> u64 {
+        hash_feed(hash_feed(HASH_OFFSET, &[1]), &v.to_le_bytes())
+    }
+
+    /// [`Value::hash64`] of a float without constructing a `Value`.
+    /// Hashes by the integral value when exact so that 1.0 and 1 co-locate;
+    /// otherwise by bits.
+    pub fn hash64_of_f64(v: f64) -> u64 {
+        if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 {
+            Value::hash64_of_i64(v as i64)
+        } else {
+            hash_feed(hash_feed(HASH_OFFSET, &[2]), &v.to_bits().to_le_bytes())
+        }
+    }
+
+    /// [`Value::hash64`] of a string without constructing a `Value`.
+    pub fn hash64_of_str(s: &str) -> u64 {
+        hash_feed(hash_feed(HASH_OFFSET, &[3]), s.as_bytes())
     }
 
     /// Parse a textual field (as found in CSV bulk loads) into a value of
@@ -261,6 +272,19 @@ impl Ord for Value {
     }
 }
 
+const HASH_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const HASH_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a inner loop shared by [`Value::hash64`] and the typed no-`Value`
+/// variants.
+fn hash_feed(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(HASH_PRIME);
+    }
+    h
+}
+
 fn type_rank(v: &Value) -> u8 {
     match v {
         Value::Null => 0,
@@ -285,7 +309,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Integer(3),
             Value::Null,
             Value::Integer(-1),
@@ -317,6 +341,20 @@ mod tests {
         );
         // ints and equal-valued floats co-locate (prejoin key stability)
         assert_eq!(Value::Integer(7).hash64(), Value::Float(7.0).hash64());
+    }
+
+    #[test]
+    fn native_hash_helpers_agree_with_value_hash() {
+        assert_eq!(Value::hash64_of_i64(42), Value::Integer(42).hash64());
+        assert_eq!(Value::hash64_of_i64(42), Value::Timestamp(42).hash64());
+        assert_eq!(Value::hash64_of_i64(1), Value::Boolean(true).hash64());
+        assert_eq!(Value::hash64_of_f64(2.5), Value::Float(2.5).hash64());
+        assert_eq!(Value::hash64_of_f64(7.0), Value::Integer(7).hash64());
+        assert_eq!(
+            Value::hash64_of_str("x"),
+            Value::Varchar("x".into()).hash64()
+        );
+        assert_eq!(Value::hash64_null(), Value::Null.hash64());
     }
 
     #[test]

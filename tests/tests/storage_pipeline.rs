@@ -114,7 +114,7 @@ proptest! {
             got.sort();
             let mut want: Vec<Row> = model
                 .iter()
-                .filter(|(_, ce, de)| *ce <= e && de.map_or(true, |d| d > e))
+                .filter(|(_, ce, de)| *ce <= e && de.is_none_or(|d| d > e))
                 .map(|(r, _, _)| r.clone())
                 .collect();
             want.sort();

@@ -1,3 +1,4 @@
+#![allow(clippy::test_attr_in_doctest)]
 //! Offline shim for the `proptest` crate: the strategy/`proptest!` subset the
 //! workspace's property tests use, with deterministic generation and **no
 //! shrinking** (a failing case prints its inputs via the std `assert!`
@@ -111,6 +112,25 @@ pub mod strategy {
             (**self).generate(rng)
         }
     }
+
+    /// Tuples of strategies generate tuples of values (matching the real
+    /// proptest API).
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
 
     /// Always generates a clone of one value.
     #[derive(Debug, Clone)]
