@@ -2,12 +2,20 @@
 //! `BENCH_repro.json` (section wall-clock timings + executor metrics) so
 //! the perf trajectory is tracked run over run.
 //!
-//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector] [--full]`
+//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector|exec_parallel] [--full]`
 //! `--full` runs paper-scale inputs (minutes); default scales finish in
-//! seconds. The JSON lands in the current directory.
+//! seconds. The JSON lands in the current directory. Exits nonzero when
+//! any requested target fails (CI's bench-smoke gate relies on this).
 
 use std::time::Instant;
 use vdb_bench::repro;
+
+type TargetResult = Result<(String, Vec<(String, f64)>), vdb_types::DbError>;
+
+/// Lift a text-only harness into the `(report, metrics)` shape.
+fn plain(r: Result<String, vdb_types::DbError>) -> TargetResult {
+    r.map(|text| (text, Vec::new()))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,63 +27,70 @@ fn main() {
         (600_000, 1_000_000, 2_000_000, 200_000)
     };
     let vector_rows = if full { 4_000_000 } else { 1_000_000 };
+    let parallel_rows = if full { 4_000_000 } else { 1_000_000 };
     let mut sections: Vec<(String, f64)> = Vec::new();
     let mut metrics: Vec<(String, f64)> = Vec::new();
-    let mut run = |name: &str, f: &mut dyn FnMut() -> Result<String, vdb_types::DbError>| {
-        let t = Instant::now();
-        match f() {
-            Ok(text) => {
-                sections.push((name.to_string(), t.elapsed().as_secs_f64() * 1000.0));
-                println!("{text}");
-            }
-            Err(e) => eprintln!("{name} failed: {e}"),
-        }
-    };
-    let wants = |name: &str| what == "all" || what == name;
+    let mut failed = false;
     let mut matched = false;
-    if what == "table1" || what == "table2" || what == "all" {
-        matched = true;
-        run("table1_2", &mut || Ok(repro::table1_2()));
-    }
-    if wants("table3") {
-        matched = true;
-        run("table3", &mut || repro::table3(li_rows));
-    }
-    if wants("table4") {
-        matched = true;
-        run("table4", &mut || repro::table4(ints, meter_rows));
-    }
-    if wants("fig1") {
-        matched = true;
-        run("fig1", &mut || repro::figure1(fig_rows));
-    }
-    if wants("fig2") {
-        matched = true;
-        run("fig2", &mut || repro::figure2(fig_rows / 20));
-    }
-    if wants("fig3") {
-        matched = true;
-        run("fig3", &mut || repro::figure3(fig_rows * 5));
-    }
-    if wants("vector") {
-        matched = true;
-        let t = Instant::now();
-        match repro::exec_vector(vector_rows) {
-            Ok((text, m)) => {
-                sections.push(("exec_vector".into(), t.elapsed().as_secs_f64() * 1000.0));
-                metrics.extend(m);
-                println!("{text}");
+    {
+        let mut run = |name: &str, f: &mut dyn FnMut() -> TargetResult| {
+            matched = true;
+            let t = Instant::now();
+            match f() {
+                Ok((text, m)) => {
+                    sections.push((name.to_string(), t.elapsed().as_secs_f64() * 1000.0));
+                    metrics.extend(m);
+                    println!("{text}");
+                }
+                Err(e) => {
+                    failed = true;
+                    eprintln!("{name} failed: {e}");
+                }
             }
-            Err(e) => eprintln!("vector failed: {e}"),
+        };
+        let wants = |name: &str| what == "all" || what == name;
+        if what == "table1" || what == "table2" || what == "all" {
+            run("table1_2", &mut || plain(Ok(repro::table1_2())));
+        }
+        if wants("table3") {
+            run("table3", &mut || plain(repro::table3(li_rows)));
+        }
+        if wants("table4") {
+            run("table4", &mut || plain(repro::table4(ints, meter_rows)));
+        }
+        if wants("fig1") {
+            run("fig1", &mut || plain(repro::figure1(fig_rows)));
+        }
+        if wants("fig2") {
+            run("fig2", &mut || plain(repro::figure2(fig_rows / 20)));
+        }
+        if wants("fig3") {
+            run("fig3", &mut || plain(repro::figure3(fig_rows * 5)));
+        }
+        if wants("vector") {
+            run("exec_vector", &mut || repro::exec_vector(vector_rows));
+        }
+        if wants("exec_parallel") {
+            run("exec_parallel", &mut || repro::exec_parallel(parallel_rows));
         }
     }
     if !matched {
-        eprintln!("unknown target {what}; use all|table1|table3|table4|fig1|fig2|fig3|vector");
+        eprintln!(
+            "unknown target {what}; use all|table1|table3|table4|fig1|fig2|fig3|vector|exec_parallel"
+        );
         std::process::exit(2);
     }
     let json = repro::bench_json(&sections, &metrics);
     match std::fs::write("BENCH_repro.json", &json) {
         Ok(()) => eprintln!("wrote BENCH_repro.json ({} sections)", sections.len()),
-        Err(e) => eprintln!("could not write BENCH_repro.json: {e}"),
+        Err(e) => {
+            // CI's bench-smoke gate reads this file; a stale checked-in
+            // copy must not pass for a fresh run.
+            failed = true;
+            eprintln!("could not write BENCH_repro.json: {e}");
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

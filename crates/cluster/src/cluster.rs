@@ -760,10 +760,15 @@ impl Cluster {
                 let mut row_count = 0u64;
                 let mut column_bytes = vec![0u64; family.def.arity()];
                 let mut sample: Vec<Row> = Vec::new();
+                // Max per-node morsel count: the planner's parallel-scan
+                // DoP cap (each node executes its local plan, so the
+                // per-node container count is what bounds useful workers).
+                let mut scan_morsels = 1usize;
                 for n in self.up_nodes() {
                     let store = self.nodes[n].engine.projection(&family.replicas[0])?;
                     let s = store.read();
                     row_count += s.row_count_estimate();
+                    scan_morsels = scan_morsels.max(s.morsel_count());
                     for (i, b) in s.column_bytes().into_iter().enumerate() {
                         column_bytes[i] += b;
                     }
@@ -777,12 +782,10 @@ impl Cluster {
                 }
                 let mut def = family.def.clone();
                 def.name = fname.clone();
-                projections.push(ProjectionMeta::from_sample(
-                    def,
-                    row_count,
-                    column_bytes,
-                    &sample,
-                ));
+                projections.push(
+                    ProjectionMeta::from_sample(def, row_count, column_bytes, &sample)
+                        .with_scan_morsels(scan_morsels),
+                );
             }
             catalog.tables.insert(
                 tname.clone(),

@@ -3,6 +3,7 @@
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use vdb_cluster::{Cluster, ClusterConfig};
+use vdb_exec::parallel::ExecOptions;
 use vdb_optimizer::OptimizerCatalog;
 use vdb_sql::{BoundStatement, SchemaProvider};
 use vdb_types::{DbError, DbResult, Epoch, Row, TableSchema, Value};
@@ -11,6 +12,11 @@ use vdb_types::{DbError, DbResult, Epoch, Row, TableSchema, Value};
 #[derive(Debug, Clone, Default)]
 pub struct DatabaseConfig {
     pub cluster: ClusterConfig,
+    /// Executor thread budget per query (morsel-driven parallel scans).
+    /// Defaults to `VDB_EXEC_THREADS` or the host's available
+    /// parallelism; the planner clamps per scan to the projection's
+    /// container-morsel count.
+    pub exec: ExecOptions,
 }
 
 /// Result of a statement: column names plus rows (empty for DDL/DML, which
@@ -63,6 +69,8 @@ impl QueryResult {
 /// ```
 pub struct Database {
     cluster: Cluster,
+    /// Executor thread budget handed to the planner per query.
+    exec: ExecOptions,
     /// Catalog cache keyed by the epoch it was built at.
     catalog: RwLock<Option<(Epoch, OptimizerCatalog)>>,
 }
@@ -71,6 +79,7 @@ impl Database {
     pub fn new(config: DatabaseConfig) -> Database {
         Database {
             cluster: Cluster::new(config.cluster),
+            exec: config.exec,
             catalog: RwLock::new(None),
         }
     }
@@ -85,6 +94,7 @@ impl Database {
                 n_local_segments: 1,
                 ..Default::default()
             },
+            ..Default::default()
         })
     }
 
@@ -96,6 +106,21 @@ impl Database {
                 k_safety,
                 ..Default::default()
             },
+            ..Default::default()
+        })
+    }
+
+    /// Single-node database with an explicit executor thread budget
+    /// (overrides `VDB_EXEC_THREADS` / host parallelism).
+    pub fn single_node_with_threads(threads: usize) -> Database {
+        Database::new(DatabaseConfig {
+            cluster: ClusterConfig {
+                n_nodes: 1,
+                k_safety: 0,
+                n_local_segments: 1,
+                ..Default::default()
+            },
+            exec: ExecOptions::with_threads(threads),
         })
     }
 
@@ -204,7 +229,7 @@ impl Database {
             BoundStatement::Select(q) => {
                 let catalog = self.optimizer_catalog()?;
                 let live = self.live_projections();
-                let planned = vdb_optimizer::plan(&catalog, &q, live.as_ref())?;
+                let planned = vdb_optimizer::plan(&catalog, &q, live.as_ref(), &self.exec)?;
                 let snapshot = self.cluster.epochs.read_committed_snapshot();
                 let rows = self.cluster.execute(&planned, snapshot)?;
                 Ok(QueryResult {
@@ -216,7 +241,7 @@ impl Database {
             BoundStatement::Explain(q) => {
                 let catalog = self.optimizer_catalog()?;
                 let live = self.live_projections();
-                let planned = vdb_optimizer::plan(&catalog, &q, live.as_ref())?;
+                let planned = vdb_optimizer::plan(&catalog, &q, live.as_ref(), &self.exec)?;
                 let mut text = vdb_exec::plan::explain(&planned.local);
                 text.push_str(&format!(
                     "-- merge at initiator: {}\n-- table access: {:?}\n",
@@ -591,6 +616,42 @@ mod tests {
             .unwrap();
         // metric = 3 ⇔ i ≡ 3 (mod 5); those i values hit 10 distinct meters.
         assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn parallel_scan_group_by_end_to_end() {
+        // Several direct loads → several ROS containers → the planner
+        // picks a morsel-parallel plan; results must match the serial DB.
+        let parallel = Database::single_node_with_threads(4);
+        let serial = Database::single_node_with_threads(1);
+        for db in [&parallel, &serial] {
+            db.execute("CREATE TABLE t (g INT, v INT)").unwrap();
+            db.execute(
+                "CREATE PROJECTION t_super AS SELECT g, v FROM t ORDER BY v \
+                 SEGMENTED BY HASH(v) ALL NODES",
+            )
+            .unwrap();
+            for chunk in 0..6 {
+                let rows: Vec<Row> = (0..2000)
+                    .map(|i| {
+                        let i = chunk * 2000 + i;
+                        vec![Value::Integer(i % 7), Value::Integer(i)]
+                    })
+                    .collect();
+                db.load("t", &rows).unwrap();
+            }
+        }
+        let sql = "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t GROUP BY g ORDER BY g";
+        assert_eq!(parallel.query(sql).unwrap(), serial.query(sql).unwrap());
+        let explain = parallel.execute(&format!("EXPLAIN {sql}")).unwrap();
+        let text: String = explain.rows.iter().map(|r| format!("{}\n", r[0])).collect();
+        assert!(text.contains("ParallelScan t_super"), "{text}");
+        assert!(text.contains("partial GroupBy"), "{text}");
+        // Plain selects parallelize as order-preserving collects.
+        assert_eq!(
+            parallel.query("SELECT v FROM t WHERE v >= 11990").unwrap(),
+            serial.query("SELECT v FROM t WHERE v >= 11990").unwrap()
+        );
     }
 
     #[test]

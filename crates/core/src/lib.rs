@@ -18,4 +18,5 @@ pub use loader::{load_csv, LoadReport};
 
 // Re-exports for example/bench ergonomics.
 pub use vdb_cluster::{Cluster, ClusterConfig};
+pub use vdb_exec::parallel::ExecOptions;
 pub use vdb_types::{DataType, DbError, DbResult, Row, Value};

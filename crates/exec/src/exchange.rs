@@ -42,7 +42,7 @@ pub type ByteCounter = Arc<AtomicU64>;
 /// Drives to completion on first `next_batch` call and yields no rows
 /// itself (a sink); pair it with [`RecvOp`]s on the other end.
 pub struct SendOp {
-    input: Option<BoxedOperator>,
+    input: BoxedOperator,
     routing: Routing,
     senders: Vec<Sender<Batch>>,
     bytes_sent: ByteCounter,
@@ -56,7 +56,7 @@ impl SendOp {
         bytes_sent: ByteCounter,
     ) -> SendOp {
         SendOp {
-            input: Some(input),
+            input,
             routing,
             senders,
             bytes_sent,
@@ -64,12 +64,14 @@ impl SendOp {
     }
 
     /// Run the send loop to completion (blocking). Channels close when the
-    /// senders drop.
+    /// senders drop. Typically spawned on a router thread — keep the
+    /// `JoinHandle<DbResult<()>>` and join it (e.g. via
+    /// [`ParallelUnionOp::with_feeder`]) so a routing failure surfaces as
+    /// an error instead of a silently truncated stream.
     pub fn run(mut self) -> DbResult<()> {
-        let mut input = self.input.take().expect("run once");
         let n = self.senders.len();
         let mut buckets: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
-        while let Some(batch) = input.next_batch()? {
+        while let Some(batch) = self.input.next_batch()? {
             match &self.routing {
                 Routing::Broadcast => {
                     self.bytes_sent
@@ -242,11 +244,17 @@ impl Operator for MergingRecvOp {
 }
 
 /// Figure 3's ParallelUnion: each child pipeline runs on its own worker
-/// thread; batches are unioned in arrival order.
+/// thread; batches are unioned in arrival order. Worker failures travel
+/// through the channel; upstream feeder failures (e.g. the resegmenting
+/// router of [`parallel_segmented`]) travel through the feeder's join
+/// handle — both surface as `DbResult::Err` from [`Operator::next_batch`].
 pub struct ParallelUnionOp {
     children: Option<Vec<BoxedOperator>>,
     rx: Option<Receiver<DbResult<Batch>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// Upstream thread feeding the children (joined at end of stream so a
+    /// failed feed becomes an error instead of a truncated result).
+    feeder: Option<std::thread::JoinHandle<DbResult<()>>>,
 }
 
 impl ParallelUnionOp {
@@ -255,11 +263,26 @@ impl ParallelUnionOp {
             children: Some(children),
             rx: None,
             handles: Vec::new(),
+            feeder: None,
+        }
+    }
+
+    /// A ParallelUnion whose children are fed by `feeder` (the router
+    /// thread of the resegment pattern).
+    pub fn with_feeder(
+        children: Vec<BoxedOperator>,
+        feeder: std::thread::JoinHandle<DbResult<()>>,
+    ) -> ParallelUnionOp {
+        ParallelUnionOp {
+            feeder: Some(feeder),
+            ..ParallelUnionOp::new(children)
         }
     }
 
     fn start(&mut self) {
-        let children = self.children.take().expect("start once");
+        let Some(children) = self.children.take() else {
+            return;
+        };
         let (tx, rx) = bounded::<DbResult<Batch>>(children.len().max(2) * 2);
         for mut child in children {
             let tx = tx.clone();
@@ -280,6 +303,29 @@ impl ParallelUnionOp {
         }
         self.rx = Some(rx);
     }
+
+    /// Join every lane and the feeder, surfacing panics and feed errors.
+    fn finish(&mut self) -> DbResult<()> {
+        let mut result = Ok(());
+        for h in self.handles.drain(..) {
+            if h.join().is_err() {
+                result = Err(DbError::Execution(
+                    "parallel union worker thread panicked".into(),
+                ));
+            }
+        }
+        if let Some(f) = self.feeder.take() {
+            match f.join() {
+                Ok(fed) => result = result.and(fed),
+                Err(_) => {
+                    result = Err(DbError::Execution(
+                        "parallel union feeder thread panicked".into(),
+                    ))
+                }
+            }
+        }
+        result
+    }
 }
 
 impl Operator for ParallelUnionOp {
@@ -287,12 +333,14 @@ impl Operator for ParallelUnionOp {
         if self.rx.is_none() {
             self.start();
         }
-        match self.rx.as_ref().unwrap().recv() {
+        let recv = match &self.rx {
+            Some(rx) => rx.recv(),
+            None => return Ok(None),
+        };
+        match recv {
             Ok(res) => res.map(Some),
             Err(_) => {
-                for h in self.handles.drain(..) {
-                    let _ = h.join();
-                }
+                self.finish()?;
                 Ok(None)
             }
         }
@@ -355,15 +403,15 @@ pub fn parallel_segmented(
     }
     let bytes = Arc::new(AtomicU64::new(0));
     let send = SendOp::new(input, Routing::HashColumns(key_columns), senders, bytes);
-    // Router thread feeds the lanes.
-    std::thread::spawn(move || {
-        let _ = send.run();
-    });
+    // Router thread feeds the lanes; its result is joined by the union at
+    // end of stream, so a failed feed surfaces as `DbResult::Err` instead
+    // of a silently truncated result.
+    let feeder = std::thread::spawn(move || send.run());
     let children: Vec<BoxedOperator> = receivers
         .into_iter()
         .map(|rx| pipeline(Box::new(RecvOp::new(rx)) as BoxedOperator))
         .collect();
-    ParallelUnionOp::new(children)
+    ParallelUnionOp::with_feeder(children, feeder)
 }
 
 #[cfg(test)]
@@ -392,9 +440,10 @@ mod tests {
             vec![tx1, tx2],
             bytes.clone(),
         );
-        std::thread::spawn(move || send.run().unwrap());
+        let router = std::thread::spawn(move || send.run());
         let a = collect_rows(&mut RecvOp::new(rx1)).unwrap();
         let b = collect_rows(&mut RecvOp::new(rx2)).unwrap();
+        assert!(router.join().expect("no panic").is_ok());
         assert_eq!(a.len() + b.len(), 1000);
         assert!(bytes.load(Ordering::Relaxed) > 0, "bytes accounted");
         // No key appears in both lanes.
@@ -415,9 +464,10 @@ mod tests {
             vec![tx1, tx2],
             Arc::new(AtomicU64::new(0)),
         );
-        std::thread::spawn(move || send.run().unwrap());
+        let router = std::thread::spawn(move || send.run());
         assert_eq!(collect_rows(&mut RecvOp::new(rx1)).unwrap().len(), 100);
         assert_eq!(collect_rows(&mut RecvOp::new(rx2)).unwrap().len(), 100);
+        assert!(router.join().expect("no panic").is_ok());
     }
 
     #[test]
@@ -436,9 +486,10 @@ mod tests {
             vec![tx1, tx2],
             Arc::new(AtomicU64::new(0)),
         );
-        std::thread::spawn(move || send.run().unwrap());
+        let router = std::thread::spawn(move || send.run());
         let a = collect_rows(&mut RecvOp::new(rx1)).unwrap();
         let b = collect_rows(&mut RecvOp::new(rx2)).unwrap();
+        assert!(router.join().expect("no panic").is_ok());
         assert_eq!(a.len(), 1, "low half: only 0");
         assert_eq!(b.len(), 2, "high half: 2^63 and MAX");
     }
@@ -501,6 +552,38 @@ mod tests {
             }
         }
         assert!(saw_err);
+    }
+
+    #[test]
+    fn failed_router_surfaces_as_error_not_truncation() {
+        // Ring routing over a varchar column fails inside the router
+        // thread; the union must report Err, not a short result.
+        let rows: Vec<Row> = (0..100)
+            .map(|i| vec![Value::Varchar(format!("v{i}"))])
+            .collect();
+        let (tx, rx) = bounded(4);
+        let send = SendOp::new(
+            Box::new(ValuesOp::from_rows(rows)),
+            Routing::Ring(vdb_types::Expr::col(0, "k")),
+            vec![tx],
+            Arc::new(AtomicU64::new(0)),
+        );
+        let feeder = std::thread::spawn(move || send.run());
+        let mut op =
+            ParallelUnionOp::with_feeder(vec![Box::new(RecvOp::new(rx)) as BoxedOperator], feeder);
+        let mut saw_err = false;
+        loop {
+            match op.next_batch() {
+                Err(e) => {
+                    saw_err = true;
+                    assert!(e.to_string().contains("integral"), "{e}");
+                    break;
+                }
+                Ok(None) => break,
+                Ok(Some(_)) => {}
+            }
+        }
+        assert!(saw_err, "router failure must propagate");
     }
 
     #[test]

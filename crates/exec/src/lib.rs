@@ -14,6 +14,7 @@
 //! | Analytic (SQL-99 windowed aggregates) | [`analytic`] |
 //! | Send/Recv (segment-aware, sortedness-retaining) | [`exchange`] |
 //! | StorageUnion / ParallelUnion (intra-node parallelism) | [`exchange`] |
+//! | Morsel-driven parallel scan/aggregate/sort over ROS containers | [`parallel`] |
 //!
 //! Operators run "directly on encoded data" (§6.1): the scan decodes
 //! storage blocks into [`vector::TypedVector`]s (native buffers + validity
@@ -39,6 +40,7 @@ pub mod groupby;
 pub mod join;
 pub mod memory;
 pub mod operator;
+pub mod parallel;
 pub mod plan;
 pub mod scan;
 pub mod sip;
@@ -49,6 +51,7 @@ pub use aggregate::{AggCall, AggFunc};
 pub use batch::{Batch, ColumnSlice};
 pub use memory::MemoryBudget;
 pub use operator::{collect_rows, BoxedOperator, Operator};
+pub use parallel::{ExecOptions, ParallelStage};
 pub use plan::{build_operator, ExecContext, JoinType, PhysicalPlan};
 pub use sip::SipFilter;
 pub use vector::{Bitmap, RleVector, SelectionVector, TypedVector, VectorData};

@@ -1,0 +1,857 @@
+//! Morsel-driven parallel execution over ROS containers.
+//!
+//! §5 of the paper: "many operations, such as loading data or executing
+//! queries, are executed with multiple threads" — ROS containers are
+//! independently stored and independently readable, so a scan decomposes
+//! into **morsels** (one per container, plus the WOS tail) that a pool of
+//! workers pulls from a shared queue:
+//!
+//! ```text
+//!            ┌────────────── morsel queue (shared) ──────────────┐
+//!            │ ros1 │ ros2 │ ros3 │ ... │ rosN │ WOS tail        │
+//!            └──┬──────┬──────┬───────────────┬──────────────────┘
+//!        worker 0  worker 1  worker 2   ...   (pull on demand)
+//!   scan→visibility→SIP/predicate→[partial GroupBy | sort run | collect]
+//!            └──────┴──────┴───────────────┴───────┘
+//!                     single merge barrier
+//!          (merge hash tables | k-way merge runs | concat)
+//! ```
+//!
+//! Each worker runs the full scan pipeline — block decode into typed/RLE
+//! vectors, delete-vector visibility, SIP probes and predicate evaluation
+//! as selection vectors — plus an optional per-worker stage, entirely on
+//! its own data. Worker states meet exactly once, at the barrier:
+//!
+//! * [`ParallelStage::GroupBy`] — per-worker partial aggregation (own hash
+//!   table, no sharing); the barrier re-aggregates the partials.
+//! * [`ParallelStage::Sort`] — per-worker sorted runs; the barrier k-way
+//!   merges them.
+//! * [`ParallelStage::Collect`] — scan/filter only; per-morsel outputs are
+//!   concatenated **in morsel order**, so the result equals the serial
+//!   scan row for row.
+//!
+//! Workers never `unwrap()`: every failure travels through the worker's
+//! `DbResult` return value and the coordinator's `JoinHandle`, surfacing
+//! as `DbResult::Err` from the operator. `threads = 1` is the serial
+//! degenerate case — the pipeline runs inline on the calling thread.
+
+use crate::aggregate::AggCall;
+use crate::batch::{Batch, BATCH_SIZE};
+use crate::filter::ProjectOp;
+use crate::groupby::{two_phase_aggs, HashGroupByOp};
+use crate::memory::MemoryBudget;
+use crate::operator::{BoxedOperator, Operator, ValuesOp};
+use crate::scan::{ScanOperator, ScanStats, SipBinding};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use vdb_storage::store::ScanMorsel;
+use vdb_storage::StorageBackend;
+use vdb_types::schema::{compare_rows, SortKey};
+use vdb_types::{DbError, DbResult, Expr, Row};
+
+/// Environment knob overriding the executor's thread count (CI's
+/// thread-stress job runs the suite at 1 and at 2× the core count).
+pub const THREADS_ENV: &str = "VDB_EXEC_THREADS";
+
+/// Executor-wide tuning the query path plumbs from `Database` down to the
+/// planner (which picks a degree of parallelism per scan from it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Upper bound on worker threads per parallel operator. `1` = serial.
+    pub threads: usize,
+}
+
+impl ExecOptions {
+    /// Strictly serial execution (the `threads = 1` degenerate case).
+    pub fn serial() -> ExecOptions {
+        ExecOptions { threads: 1 }
+    }
+
+    pub fn with_threads(threads: usize) -> ExecOptions {
+        ExecOptions {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Resolve from `VDB_EXEC_THREADS`, falling back to the host's
+    /// available parallelism when unset (or unparseable). A set value is
+    /// clamped like [`ExecOptions::with_threads`], so `VDB_EXEC_THREADS=0`
+    /// means serial, not "pick for me".
+    pub fn from_env() -> ExecOptions {
+        match std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            Some(threads) => ExecOptions::with_threads(threads),
+            None => ExecOptions {
+                threads: std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            },
+        }
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions::from_env()
+    }
+}
+
+/// Scan parameters shared by every worker (cheap to clone: the backend and
+/// SIP filters are `Arc`s).
+#[derive(Clone)]
+pub struct ParallelScanSpec {
+    pub backend: Arc<dyn StorageBackend>,
+    /// Projection column indexes to output, in order.
+    pub output_columns: Vec<usize>,
+    /// Residual predicate over the output columns.
+    pub predicate: Option<Expr>,
+    /// Predicate over the single-value row `[partition_key]`.
+    pub partition_predicate: Option<Expr>,
+    pub sip: Vec<SipBinding>,
+}
+
+impl ParallelScanSpec {
+    pub fn new(backend: Arc<dyn StorageBackend>, output_columns: Vec<usize>) -> ParallelScanSpec {
+        ParallelScanSpec {
+            backend,
+            output_columns,
+            predicate: None,
+            partition_predicate: None,
+            sip: Vec::new(),
+        }
+    }
+
+    /// Open the scan pipeline for one morsel, folding counters into the
+    /// shared whole-scan stats.
+    fn open(&self, morsel: ScanMorsel, stats: &Arc<Mutex<ScanStats>>) -> ScanOperator {
+        ScanOperator::with_stats(
+            self.backend.clone(),
+            morsel.containers,
+            morsel.wos_rows,
+            self.output_columns.clone(),
+            self.predicate.clone(),
+            self.partition_predicate.clone(),
+            self.sip.clone(),
+            stats.clone(),
+        )
+    }
+}
+
+/// Per-worker stage between the scan and the merge barrier.
+#[derive(Debug, Clone)]
+pub enum ParallelStage {
+    /// Scan + filter only; outputs concatenate in morsel order (equal to
+    /// the serial scan). The barrier materializes the surviving batches —
+    /// unlike the serial scan, which streams — so this stage counts as
+    /// stateful for the §6.1 memory split; streaming morsel-ordered
+    /// emission is future work.
+    Collect,
+    /// Per-worker partial aggregation; hash tables merge at the barrier.
+    /// Non-decomposable aggregates (COUNT DISTINCT) parallelize the scan
+    /// and aggregate once at the barrier instead — that fallback buffers
+    /// the filtered scan output at the barrier (like a serial plan whose
+    /// results are collected), so the planner only emits parallel
+    /// group-bys for decomposable aggregates.
+    GroupBy {
+        group_columns: Vec<usize>,
+        aggs: Vec<AggCall>,
+    },
+    /// Per-worker sorted runs; the barrier k-way merges them. Rows that
+    /// compare equal on `keys` may interleave differently than a serial
+    /// (stable) sort.
+    Sort { keys: Vec<SortKey> },
+}
+
+/// Shared work queue: workers pull `(morsel index, morsel)` units until it
+/// drains, which balances skewed container sizes automatically. Morsels
+/// are dispensed heaviest-first (by [`ScanMorsel::rows`], the
+/// longest-processing-time heuristic) so a huge container isn't picked up
+/// last to run alone after every other worker has drained the queue; the
+/// index tag preserves each morsel's snapshot position for
+/// order-sensitive merges.
+pub struct MorselQueue {
+    morsels: Mutex<VecDeque<(usize, ScanMorsel)>>,
+}
+
+impl MorselQueue {
+    pub fn new(morsels: Vec<ScanMorsel>) -> MorselQueue {
+        let mut tagged: Vec<(usize, ScanMorsel)> = morsels.into_iter().enumerate().collect();
+        tagged.sort_by_key(|(_, m)| std::cmp::Reverse(m.rows));
+        MorselQueue {
+            morsels: Mutex::new(tagged.into()),
+        }
+    }
+
+    pub fn pop(&self) -> Option<(usize, ScanMorsel)> {
+        self.morsels.lock().pop_front()
+    }
+}
+
+/// Pull-model operator over the shared morsel queue: drains the current
+/// morsel's scan, then pops the next. One instance per worker; the queue is
+/// the only shared state.
+pub struct MorselScanOp {
+    queue: Arc<MorselQueue>,
+    spec: ParallelScanSpec,
+    stats: Arc<Mutex<ScanStats>>,
+    current: Option<ScanOperator>,
+}
+
+impl MorselScanOp {
+    pub fn new(
+        queue: Arc<MorselQueue>,
+        spec: ParallelScanSpec,
+        stats: Arc<Mutex<ScanStats>>,
+    ) -> MorselScanOp {
+        MorselScanOp {
+            queue,
+            spec,
+            stats,
+            current: None,
+        }
+    }
+}
+
+impl Operator for MorselScanOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        loop {
+            if let Some(scan) = &mut self.current {
+                if let Some(batch) = scan.next_batch()? {
+                    return Ok(Some(batch));
+                }
+                self.current = None;
+            }
+            match self.queue.pop() {
+                Some((_, morsel)) => self.current = Some(self.spec.open(morsel, &self.stats)),
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "MorselScan".into()
+    }
+}
+
+/// What one worker hands the barrier.
+enum WorkerOutput {
+    /// `(morsel index, its batches)` pairs for order-preserving concat.
+    Collected(Vec<(usize, Vec<Batch>)>),
+    /// Partial-aggregate rows (group columns first).
+    Partials(Vec<Row>),
+    /// One sorted run.
+    Run(Vec<Row>),
+}
+
+/// The resolved per-worker job (stage after aggregate decomposition).
+#[derive(Clone)]
+enum WorkerJob {
+    Collect,
+    GroupBy {
+        group_columns: Vec<usize>,
+        aggs: Vec<AggCall>,
+    },
+    Sort {
+        keys: Vec<SortKey>,
+    },
+}
+
+/// What the barrier does with the worker outputs.
+enum BarrierMerge {
+    Concat,
+    /// Re-aggregate rows with `aggs` grouped on `keys`, then optionally
+    /// project (AVG reconstitution).
+    GroupBy {
+        keys: Vec<usize>,
+        aggs: Vec<AggCall>,
+        project: Option<Vec<Expr>>,
+    },
+    KWayMerge {
+        keys: Vec<SortKey>,
+    },
+}
+
+/// The morsel-driven parallel table operator: scan → visibility →
+/// SIP/predicate → per-worker stage on `threads` workers, merged at one
+/// barrier. Blocking (the barrier makes it a plan zone boundary, like
+/// Sort); output then streams in [`BATCH_SIZE`] batches.
+pub struct ParallelScanOp {
+    pending: Option<Pending>,
+    output: std::vec::IntoIter<Batch>,
+    stats: Arc<Mutex<ScanStats>>,
+    threads_used: usize,
+}
+
+struct Pending {
+    spec: ParallelScanSpec,
+    stage: ParallelStage,
+    morsels: Vec<ScanMorsel>,
+    threads: usize,
+    budget: MemoryBudget,
+}
+
+impl ParallelScanOp {
+    pub fn new(
+        spec: ParallelScanSpec,
+        stage: ParallelStage,
+        morsels: Vec<ScanMorsel>,
+        threads: usize,
+        budget: MemoryBudget,
+    ) -> ParallelScanOp {
+        ParallelScanOp {
+            pending: Some(Pending {
+                spec,
+                stage,
+                morsels,
+                threads,
+                budget,
+            }),
+            output: Vec::new().into_iter(),
+            stats: Arc::new(Mutex::new(ScanStats::default())),
+            threads_used: 0,
+        }
+    }
+
+    /// Whole-scan stats handle (aggregated across all workers; inspect
+    /// after draining).
+    pub fn stats(&self) -> Arc<Mutex<ScanStats>> {
+        self.stats.clone()
+    }
+
+    /// Workers actually launched (after clamping to the morsel count);
+    /// 1 means the pipeline ran inline, with no threads spawned.
+    pub fn threads_used(&self) -> usize {
+        self.threads_used
+    }
+
+    fn run(&mut self, p: Pending) -> DbResult<()> {
+        let threads = p.threads.clamp(1, p.morsels.len().max(1));
+        self.threads_used = threads;
+        let (job, merge) = resolve_stage(p.stage)?;
+        let queue = Arc::new(MorselQueue::new(p.morsels));
+        // The operator's budget covers all its workers together: each
+        // worker's group-by/sort state gets an equal slice, so N lanes
+        // spill at the same total footprint the serial plan would.
+        let worker_budget = MemoryBudget::new(p.budget.bytes / threads);
+        let outputs: Vec<WorkerOutput> = if threads <= 1 {
+            // Serial degenerate case: same pipeline, calling thread, no
+            // spawn.
+            vec![run_worker(
+                &queue,
+                &p.spec,
+                &job,
+                worker_budget,
+                &self.stats,
+            )?]
+        } else {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let queue = queue.clone();
+                let spec = p.spec.clone();
+                let job = job.clone();
+                let stats = self.stats.clone();
+                let budget = worker_budget;
+                // The closure body is a plain `DbResult` return — worker
+                // errors come home through the JoinHandle, never a panic.
+                handles.push(std::thread::spawn(move || {
+                    run_worker(&queue, &spec, &job, budget, &stats)
+                }));
+            }
+            let mut outputs = Vec::with_capacity(threads);
+            let mut first_err: Option<DbError> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(out)) => outputs.push(out),
+                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                    Err(_) => {
+                        first_err = first_err.or_else(|| {
+                            Some(DbError::Execution(
+                                "parallel scan worker thread panicked".into(),
+                            ))
+                        })
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            outputs
+        };
+        self.output = merge_outputs(outputs, merge, p.budget)?.into_iter();
+        Ok(())
+    }
+}
+
+impl Operator for ParallelScanOp {
+    fn next_batch(&mut self) -> DbResult<Option<Batch>> {
+        if let Some(p) = self.pending.take() {
+            self.run(p)?;
+        }
+        Ok(self.output.next())
+    }
+
+    fn name(&self) -> String {
+        "ParallelScan".into()
+    }
+}
+
+/// Decompose the stage into the per-worker job and the barrier merge.
+fn resolve_stage(stage: ParallelStage) -> DbResult<(WorkerJob, BarrierMerge)> {
+    Ok(match stage {
+        ParallelStage::Collect => (WorkerJob::Collect, BarrierMerge::Concat),
+        ParallelStage::Sort { keys } => (
+            WorkerJob::Sort { keys: keys.clone() },
+            BarrierMerge::KWayMerge { keys },
+        ),
+        ParallelStage::GroupBy {
+            group_columns,
+            aggs,
+        } => match two_phase_aggs(group_columns.len(), &aggs) {
+            Some((partial, final_aggs, project)) => (
+                WorkerJob::GroupBy {
+                    group_columns: group_columns.clone(),
+                    aggs: partial,
+                },
+                BarrierMerge::GroupBy {
+                    keys: (0..group_columns.len()).collect(),
+                    aggs: final_aggs,
+                    project: Some(project),
+                },
+            ),
+            // Non-decomposable (COUNT DISTINCT): parallelize the scan only
+            // and aggregate once at the barrier.
+            None => (
+                WorkerJob::Collect,
+                BarrierMerge::GroupBy {
+                    keys: group_columns,
+                    aggs,
+                    project: None,
+                },
+            ),
+        },
+    })
+}
+
+/// One worker: pull morsels until the queue drains, applying the job.
+/// Plain `DbResult` all the way down — no `unwrap`/`expect`.
+fn run_worker(
+    queue: &Arc<MorselQueue>,
+    spec: &ParallelScanSpec,
+    job: &WorkerJob,
+    budget: MemoryBudget,
+    stats: &Arc<Mutex<ScanStats>>,
+) -> DbResult<WorkerOutput> {
+    match job {
+        WorkerJob::Collect => {
+            let mut out = Vec::new();
+            while let Some((idx, morsel)) = queue.pop() {
+                let mut scan = spec.open(morsel, stats);
+                let mut batches = Vec::new();
+                while let Some(b) = scan.next_batch()? {
+                    batches.push(b);
+                }
+                out.push((idx, batches));
+            }
+            Ok(WorkerOutput::Collected(out))
+        }
+        WorkerJob::GroupBy {
+            group_columns,
+            aggs,
+        } => {
+            // One hash table per worker across all its morsels ("partial
+            // aggregation per worker", not per morsel).
+            let source = MorselScanOp::new(queue.clone(), spec.clone(), stats.clone());
+            let mut gb = HashGroupByOp::new(
+                Box::new(source),
+                group_columns.clone(),
+                aggs.clone(),
+                budget,
+            );
+            Ok(WorkerOutput::Partials(crate::operator::collect_rows(
+                &mut gb,
+            )?))
+        }
+        WorkerJob::Sort { keys } => {
+            let source = MorselScanOp::new(queue.clone(), spec.clone(), stats.clone());
+            let mut sort = crate::sort::SortOp::new(Box::new(source), keys.clone(), budget);
+            Ok(WorkerOutput::Run(crate::operator::collect_rows(&mut sort)?))
+        }
+    }
+}
+
+/// The single barrier: merge per-worker states into the final batch stream.
+fn merge_outputs(
+    outputs: Vec<WorkerOutput>,
+    merge: BarrierMerge,
+    budget: MemoryBudget,
+) -> DbResult<Vec<Batch>> {
+    match merge {
+        BarrierMerge::Concat => {
+            let mut tagged: Vec<(usize, Vec<Batch>)> = Vec::new();
+            for out in outputs {
+                if let WorkerOutput::Collected(pairs) = out {
+                    tagged.extend(pairs);
+                }
+            }
+            // Morsel order == serial container order (+ WOS tail last).
+            tagged.sort_by_key(|&(idx, _)| idx);
+            Ok(tagged.into_iter().flat_map(|(_, b)| b).collect())
+        }
+        BarrierMerge::GroupBy {
+            keys,
+            aggs,
+            project,
+        } => {
+            let source: BoxedOperator = {
+                let mut batches: Vec<Batch> = Vec::new();
+                let mut rows: Vec<Row> = Vec::new();
+                for out in outputs {
+                    match out {
+                        WorkerOutput::Partials(r) => rows.extend(r),
+                        WorkerOutput::Collected(pairs) => {
+                            batches.extend(pairs.into_iter().flat_map(|(_, b)| b))
+                        }
+                        WorkerOutput::Run(r) => rows.extend(r),
+                    }
+                }
+                if batches.is_empty() {
+                    Box::new(ValuesOp::from_rows(rows))
+                } else {
+                    batches.extend(
+                        rows.chunks(BATCH_SIZE)
+                            .map(|c| Batch::from_rows(c.to_vec())),
+                    );
+                    Box::new(ValuesOp::new(batches))
+                }
+            };
+            let gb = HashGroupByOp::new(source, keys, aggs, budget);
+            let mut op: BoxedOperator = match project {
+                Some(exprs) => Box::new(ProjectOp::new(Box::new(gb), exprs)),
+                None => Box::new(gb),
+            };
+            drain(op.as_mut())
+        }
+        BarrierMerge::KWayMerge { keys } => {
+            let runs: Vec<Vec<Row>> = outputs
+                .into_iter()
+                .map(|out| match out {
+                    WorkerOutput::Run(r) => r,
+                    _ => Vec::new(),
+                })
+                .collect();
+            Ok(kway_merge(runs, &keys))
+        }
+    }
+}
+
+fn drain(op: &mut dyn Operator) -> DbResult<Vec<Batch>> {
+    let mut out = Vec::new();
+    while let Some(b) = op.next_batch()? {
+        out.push(b);
+    }
+    Ok(out)
+}
+
+/// K-way merge of per-worker sorted runs (ties broken by run index).
+fn kway_merge(runs: Vec<Vec<Row>>, keys: &[SortKey]) -> Vec<Batch> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut cursors: Vec<(std::vec::IntoIter<Row>, Option<Row>)> = runs
+        .into_iter()
+        .map(|r| {
+            let mut it = r.into_iter();
+            let head = it.next();
+            (it, head)
+        })
+        .collect();
+    let mut merged = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..cursors.len() {
+            let Some(candidate) = &cursors[i].1 else {
+                continue;
+            };
+            best = Some(match best {
+                None => i,
+                Some(j) => {
+                    let current = cursors[j].1.as_ref().map_or(candidate, |r| r);
+                    if compare_rows(candidate, current, keys) == std::cmp::Ordering::Less {
+                        i
+                    } else {
+                        j
+                    }
+                }
+            });
+        }
+        let Some(i) = best else { break };
+        let next = cursors[i].0.next();
+        if let Some(row) = std::mem::replace(&mut cursors[i].1, next) {
+            merged.push(row);
+        }
+    }
+    merged
+        .chunks(BATCH_SIZE)
+        .map(|c| Batch::from_rows(c.to_vec()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use crate::operator::collect_rows;
+    use vdb_storage::projection::ProjectionDef;
+    use vdb_storage::{MemBackend, ProjectionStore};
+    use vdb_types::{BinOp, ColumnDef, DataType, Epoch, TableSchema, Value};
+
+    /// `chunks` containers of `(g, v)` rows, `g = v % 13`, plus a small WOS
+    /// tail.
+    fn make_store(rows: i64, chunks: usize) -> ProjectionStore {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("g", DataType::Integer),
+                ColumnDef::new("v", DataType::Integer),
+            ],
+        );
+        let def = ProjectionDef::super_projection(&schema, "t_super", &[1], &[]);
+        let mut store = ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()));
+        let all: Vec<Row> = (0..rows)
+            .map(|i| vec![Value::Integer(i % 13), Value::Integer(i)])
+            .collect();
+        for chunk in all.chunks((rows as usize).div_ceil(chunks.max(1))) {
+            store.insert_direct_ros(chunk.to_vec(), Epoch(1)).unwrap();
+        }
+        store
+            .insert_wos(
+                vec![vec![Value::Integer(99), Value::Integer(rows)]],
+                Epoch(1),
+            )
+            .unwrap();
+        store
+    }
+
+    fn spec_of(store: &ProjectionStore) -> ParallelScanSpec {
+        ParallelScanSpec::new(store.backend().clone(), vec![0, 1])
+    }
+
+    fn morsels_of(store: &ProjectionStore) -> Vec<ScanMorsel> {
+        store.scan_snapshot(Epoch(1)).into_morsels()
+    }
+
+    fn serial_scan(store: &ProjectionStore) -> Vec<Row> {
+        let snap = store.scan_snapshot(Epoch(1));
+        let mut scan = ScanOperator::new(
+            store.backend().clone(),
+            snap.containers,
+            snap.wos_rows,
+            vec![0, 1],
+            None,
+            None,
+            vec![],
+        );
+        collect_rows(&mut scan).unwrap()
+    }
+
+    #[test]
+    fn collect_reproduces_serial_scan_order() {
+        let store = make_store(5000, 4);
+        let expected = serial_scan(&store);
+        for threads in [1, 2, 7] {
+            let mut op = ParallelScanOp::new(
+                spec_of(&store),
+                ParallelStage::Collect,
+                morsels_of(&store),
+                threads,
+                MemoryBudget::unlimited(),
+            );
+            let got = collect_rows(&mut op).unwrap();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_groupby_matches_serial() {
+        let store = make_store(20_000, 5);
+        let aggs = vec![
+            AggCall::new(AggFunc::CountStar, 0, "cnt"),
+            AggCall::new(AggFunc::Sum, 1, "sum"),
+            AggCall::new(AggFunc::Avg, 1, "avg"),
+            AggCall::new(AggFunc::Min, 1, "min"),
+            AggCall::new(AggFunc::Max, 1, "max"),
+        ];
+        let snap = store.scan_snapshot(Epoch(1));
+        let mut serial = HashGroupByOp::new(
+            Box::new(ScanOperator::new(
+                store.backend().clone(),
+                snap.containers,
+                snap.wos_rows,
+                vec![0, 1],
+                None,
+                None,
+                vec![],
+            )),
+            vec![0],
+            aggs.clone(),
+            MemoryBudget::unlimited(),
+        );
+        let expected = collect_rows(&mut serial).unwrap();
+        for threads in [1, 2, 7] {
+            let mut op = ParallelScanOp::new(
+                spec_of(&store),
+                ParallelStage::GroupBy {
+                    group_columns: vec![0],
+                    aggs: aggs.clone(),
+                },
+                morsels_of(&store),
+                threads,
+                MemoryBudget::unlimited(),
+            );
+            let got = collect_rows(&mut op).unwrap();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn count_distinct_falls_back_to_barrier_aggregation() {
+        let store = make_store(3000, 3);
+        let aggs = vec![AggCall::new(AggFunc::CountDistinct, 1, "d")];
+        let mut op = ParallelScanOp::new(
+            spec_of(&store),
+            ParallelStage::GroupBy {
+                group_columns: vec![0],
+                aggs,
+            },
+            morsels_of(&store),
+            4,
+            MemoryBudget::unlimited(),
+        );
+        let got = collect_rows(&mut op).unwrap();
+        assert_eq!(got.len(), 14, "13 cyclic groups + the WOS group");
+    }
+
+    #[test]
+    fn parallel_sort_merges_runs() {
+        let store = make_store(8000, 4);
+        let keys = vec![SortKey::asc(0), SortKey::desc(1)];
+        for threads in [1, 3] {
+            let mut op = ParallelScanOp::new(
+                spec_of(&store),
+                ParallelStage::Sort { keys: keys.clone() },
+                morsels_of(&store),
+                threads,
+                MemoryBudget::unlimited(),
+            );
+            let got = collect_rows(&mut op).unwrap();
+            assert_eq!(got.len(), 8001);
+            assert!(got
+                .windows(2)
+                .all(|w| compare_rows(&w[0], &w[1], &keys) != std::cmp::Ordering::Greater));
+        }
+    }
+
+    #[test]
+    fn predicate_and_stats_shared_across_workers() {
+        let store = make_store(10_000, 5);
+        let mut spec = spec_of(&store);
+        spec.predicate = Some(Expr::binary(BinOp::Ge, Expr::col(1, "v"), Expr::int(5000)));
+        let mut op = ParallelScanOp::new(
+            spec,
+            ParallelStage::Collect,
+            morsels_of(&store),
+            4,
+            MemoryBudget::unlimited(),
+        );
+        let stats = op.stats();
+        let got = collect_rows(&mut op).unwrap();
+        assert_eq!(got.len(), 5001, "5000..9999 plus the WOS row");
+        let s = stats.lock().clone();
+        assert_eq!(s.containers_total, 5);
+        assert!(s.rows_scanned >= 5001);
+        assert!(op.threads_used() > 1);
+    }
+
+    #[test]
+    fn worker_errors_surface_as_dbresult() {
+        let store = make_store(2000, 4);
+        let mut spec = spec_of(&store);
+        // Type error at eval time: v + 'x' fails inside the workers.
+        spec.predicate = Some(Expr::binary(
+            BinOp::Add,
+            Expr::col(1, "v"),
+            Expr::lit(Value::Varchar("x".into())),
+        ));
+        let mut op = ParallelScanOp::new(
+            spec,
+            ParallelStage::Collect,
+            morsels_of(&store),
+            4,
+            MemoryBudget::unlimited(),
+        );
+        let err = collect_rows(&mut op);
+        assert!(err.is_err(), "worker failure must propagate: {err:?}");
+    }
+
+    #[test]
+    fn threads_clamp_to_morsel_count() {
+        let store = make_store(100, 1);
+        let mut op = ParallelScanOp::new(
+            spec_of(&store),
+            ParallelStage::Collect,
+            morsels_of(&store),
+            64,
+            MemoryBudget::unlimited(),
+        );
+        let got = collect_rows(&mut op).unwrap();
+        assert_eq!(got.len(), 101);
+        assert_eq!(op.threads_used(), 2, "1 container + WOS tail = 2 morsels");
+    }
+
+    #[test]
+    fn morsel_queue_dispenses_heaviest_first() {
+        let store = make_store(100, 1);
+        let snap = store.scan_snapshot(Epoch(1));
+        let template = snap.into_morsels().remove(0);
+        let weighted = |rows: u64| ScanMorsel {
+            rows,
+            ..template.clone()
+        };
+        let queue = MorselQueue::new(vec![weighted(1), weighted(5), weighted(3)]);
+        let order: Vec<(usize, u64)> = std::iter::from_fn(|| queue.pop())
+            .map(|(idx, m)| (idx, m.rows))
+            .collect();
+        assert_eq!(order, vec![(1, 5), (2, 3), (0, 1)], "LPT with index tags");
+    }
+
+    #[test]
+    fn worker_budget_splits_across_lanes() {
+        // A budget that fits one serial hash table but not four workers'
+        // worth each: the split budget forces spills, results stay exact.
+        let store = make_store(20_000, 5);
+        let aggs = vec![
+            AggCall::new(AggFunc::CountStar, 0, "cnt"),
+            AggCall::new(AggFunc::Sum, 1, "sum"),
+        ];
+        let mut op = ParallelScanOp::new(
+            spec_of(&store),
+            ParallelStage::GroupBy {
+                group_columns: vec![1], // v is unique: 20k groups
+                aggs: aggs.clone(),
+            },
+            morsels_of(&store),
+            4,
+            MemoryBudget::new(256 * 1024),
+        );
+        let got = collect_rows(&mut op).unwrap();
+        assert_eq!(got.len(), 20_001, "unique v groups + WOS row");
+    }
+
+    #[test]
+    fn exec_options_env_round_trip() {
+        assert_eq!(ExecOptions::serial().threads, 1);
+        assert_eq!(ExecOptions::with_threads(0).threads, 1);
+        assert!(ExecOptions::from_env().threads >= 1);
+    }
+}

@@ -15,6 +15,8 @@ pub use crate::join::JoinType;
 use crate::join::{HashJoinOp, MergeJoinOp};
 use crate::memory::{MemoryBudget, ResourcePolicy};
 use crate::operator::{BoxedOperator, ValuesOp};
+pub use crate::parallel::ParallelStage;
+use crate::parallel::{ParallelScanOp, ParallelScanSpec};
 use crate::scan::{ScanOperator, SipBinding};
 use crate::sip::SipFilter;
 use crate::sort::{LimitOp, SortOp};
@@ -43,6 +45,20 @@ pub enum PhysicalPlan {
         partition_predicate: Option<Expr>,
         /// `(sip id, key columns of the scan output)`.
         sip: Vec<(SipId, Vec<usize>)>,
+    },
+    /// Morsel-driven parallel scan: `threads` workers pull container
+    /// morsels from a shared queue, run scan → visibility → SIP/predicate
+    /// (plus the per-worker `stage`) independently, and merge at a single
+    /// barrier. `threads = 1` (or a single-morsel snapshot) degenerates to
+    /// the serial pipeline.
+    ParallelScan {
+        projection: String,
+        output_columns: Vec<usize>,
+        predicate: Option<Expr>,
+        partition_predicate: Option<Expr>,
+        sip: Vec<(SipId, Vec<usize>)>,
+        stage: ParallelStage,
+        threads: usize,
     },
     /// Literal rows (DML sources, replan inputs, tests).
     Values { rows: Vec<Row>, arity: usize },
@@ -143,6 +159,9 @@ impl ExecContext {
 fn stateful_count(plan: &PhysicalPlan) -> usize {
     match plan {
         PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => 0,
+        // Per-worker aggregation/sort state plus the barrier; Collect
+        // holds the materialized scan output until downstream drains it.
+        PhysicalPlan::ParallelScan { .. } => 1,
         PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::Project { input, .. }
         | PhysicalPlan::Limit { input, .. } => stateful_count(input),
@@ -198,6 +217,42 @@ fn build_inner(
                 predicate.clone(),
                 partition_predicate.clone(),
                 bindings,
+            ))
+        }
+        PhysicalPlan::ParallelScan {
+            projection,
+            output_columns,
+            predicate,
+            partition_predicate,
+            sip,
+            stage,
+            threads,
+        } => {
+            let bindings: Vec<SipBinding> = sip
+                .iter()
+                .map(|(id, cols)| SipBinding {
+                    filter: ctx.sip(*id),
+                    key_columns: cols.clone(),
+                })
+                .collect();
+            let snap = ctx
+                .snapshots
+                .get(projection)
+                .ok_or_else(|| DbError::Plan(format!("no snapshot for projection {projection}")))?;
+            let morsels = snap.clone().into_morsels();
+            let spec = ParallelScanSpec {
+                backend: ctx.backend.clone(),
+                output_columns: output_columns.clone(),
+                predicate: predicate.clone(),
+                partition_predicate: partition_predicate.clone(),
+                sip: bindings,
+            };
+            Box::new(ParallelScanOp::new(
+                spec,
+                stage.clone(),
+                morsels,
+                *threads,
+                budget,
             ))
         }
         PhysicalPlan::Values { rows, .. } => Box::new(ValuesOp::from_rows(rows.clone())),
@@ -396,6 +451,34 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             }
             s
         }
+        PhysicalPlan::ParallelScan {
+            projection,
+            output_columns,
+            predicate,
+            stage,
+            threads,
+            sip,
+            ..
+        } => {
+            let mut s = format!("ParallelScan {projection} cols={output_columns:?}");
+            if let Some(p) = predicate {
+                s.push_str(&format!(" filter=({p})"));
+            }
+            if !sip.is_empty() {
+                s.push_str(&format!(" [SIP x{}]", sip.len()));
+            }
+            s.push_str(&match stage {
+                ParallelStage::Collect => format!(" [morsels -> {threads} threads]"),
+                ParallelStage::GroupBy { group_columns, .. } => format!(
+                    " [morsels -> {threads} threads, partial GroupBy keys={group_columns:?}, merge barrier]"
+                ),
+                ParallelStage::Sort { keys } => format!(
+                    " [morsels -> {threads} threads, sort runs ({} keys), k-way merge]",
+                    keys.len()
+                ),
+            });
+            s
+        }
         PhysicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
         PhysicalPlan::Filter { predicate, .. } => format!("Filter ({predicate})"),
         PhysicalPlan::Project { exprs, .. } => {
@@ -464,7 +547,9 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
     out.push_str(&line);
     out.push('\n');
     match plan {
-        PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => {}
+        PhysicalPlan::Scan { .. }
+        | PhysicalPlan::ParallelScan { .. }
+        | PhysicalPlan::Values { .. } => {}
         PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::Project { input, .. }
         | PhysicalPlan::HashGroupBy { input, .. }

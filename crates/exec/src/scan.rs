@@ -174,11 +174,34 @@ impl ScanOperator {
         partition_predicate: Option<Expr>,
         sip: Vec<SipBinding>,
     ) -> ScanOperator {
+        Self::with_stats(
+            backend,
+            containers,
+            wos_rows,
+            output_columns,
+            predicate,
+            partition_predicate,
+            sip,
+            Arc::new(Mutex::new(ScanStats::default())),
+        )
+    }
+
+    /// Like [`ScanOperator::new`] but folding counters into an external
+    /// [`ScanStats`] handle — morsel-parallel scans share one handle across
+    /// every worker so pruning/SIP telemetry stays whole-scan accurate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_stats(
+        backend: Arc<dyn StorageBackend>,
+        containers: Vec<ScanContainer>,
+        wos_rows: Vec<Row>,
+        output_columns: Vec<usize>,
+        predicate: Option<Expr>,
+        partition_predicate: Option<Expr>,
+        sip: Vec<SipBinding>,
+        stats: Arc<Mutex<ScanStats>>,
+    ) -> ScanOperator {
         let bounds = predicate.as_ref().map(extract_bounds).unwrap_or_default();
-        let stats = Arc::new(Mutex::new(ScanStats {
-            containers_total: containers.len(),
-            ..ScanStats::default()
-        }));
+        stats.lock().containers_total += containers.len();
         ScanOperator {
             backend,
             containers: containers.into(),
@@ -241,7 +264,13 @@ impl ScanOperator {
                     .read_column_bytes(sc.backend.as_ref(), proj_col)?;
                 columns.push((bytes, sc.container.indexes[proj_col].clone()));
             }
-            let num_blocks = columns.first().map_or(0, |(_, idx)| idx.blocks.len());
+            // Blocks are row-aligned across columns, so the container-level
+            // count (the intra-morsel work granularity) applies to all.
+            let num_blocks = if columns.is_empty() {
+                0
+            } else {
+                sc.container.block_count()
+            };
             self.stats.lock().blocks_total += num_blocks;
             self.current = Some(ContainerCursor {
                 columns,

@@ -20,6 +20,11 @@ pub struct ProjectionMeta {
     pub column_bytes: Vec<u64>,
     /// Per projection column.
     pub stats: Vec<ColumnStats>,
+    /// Scan morsels a single node's snapshot of this projection yields
+    /// (max across nodes): ROS containers plus the WOS tail. The planner
+    /// caps a parallel scan's degree of parallelism at this — more workers
+    /// than independently stored containers cannot help.
+    pub scan_morsels: usize,
 }
 
 impl ProjectionMeta {
@@ -42,7 +47,14 @@ impl ProjectionMeta {
             row_count,
             column_bytes,
             stats,
+            scan_morsels: 1,
         }
+    }
+
+    /// Record the container-level morsel count storage reported.
+    pub fn with_scan_morsels(mut self, morsels: usize) -> ProjectionMeta {
+        self.scan_morsels = morsels.max(1);
+        self
     }
 }
 

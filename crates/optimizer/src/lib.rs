@@ -39,3 +39,4 @@ pub use catalog::{ColumnStats, OptimizerCatalog, ProjectionMeta, TableMeta};
 pub use plan_out::{MergeSpec, PlannedQuery, TableAccess};
 pub use planner::plan;
 pub use query::{BoundQuery, JoinEdge, OrderItem, QueryTable, WindowCall};
+pub use vdb_exec::parallel::ExecOptions;

@@ -17,17 +17,23 @@ use crate::stats::predicate_selectivity;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use vdb_exec::aggregate::AggCall;
 use vdb_exec::groupby::two_phase_aggs;
+use vdb_exec::parallel::{ExecOptions, ParallelStage};
 use vdb_exec::plan::{JoinType, PhysicalPlan};
 use vdb_storage::projection::Segmentation;
 use vdb_types::schema::SortKey;
 use vdb_types::{DbError, DbResult, Expr, Func, Value};
 
 /// Plan a bound query. `live_projections`: projections currently available
-/// (None = all); node-down replans pass the surviving set (§6.2).
+/// (None = all); node-down replans pass the surviving set (§6.2). `exec`
+/// bounds the degree of parallelism the plan may use per scan — the
+/// planner picks the actual DoP per projection from its container-level
+/// morsel count ([`ProjectionMeta::scan_morsels`]), and
+/// [`ExecOptions::serial`] keeps every plan single-threaded.
 pub fn plan(
     catalog: &OptimizerCatalog,
     query: &BoundQuery,
     live_projections: Option<&HashSet<String>>,
+    exec: &ExecOptions,
 ) -> DbResult<PlannedQuery> {
     let mut query = query.clone();
     crate::rewrite::rewrite(&mut query);
@@ -35,6 +41,7 @@ pub fn plan(
         catalog,
         query,
         live: live_projections,
+        exec: *exec,
     }
     .run()
 }
@@ -43,6 +50,7 @@ struct Planner<'a> {
     catalog: &'a OptimizerCatalog,
     query: BoundQuery,
     live: Option<&'a HashSet<String>>,
+    exec: ExecOptions,
 }
 
 /// Per-table scan decision.
@@ -122,6 +130,7 @@ impl<'a> Planner<'a> {
         } else {
             self.plan_plain(plan, &global_pos)?
         };
+        let local = self.parallelize(local);
 
         Ok(PlannedQuery {
             local,
@@ -130,6 +139,105 @@ impl<'a> Planner<'a> {
             table_access,
             single_node,
         })
+    }
+
+    /// Degree of parallelism for one projection's scan: bounded by
+    /// [`ExecOptions::threads`] and by the projection's container-level
+    /// morsel count — workers beyond the number of independently stored
+    /// containers would idle.
+    fn scan_dop(&self, projection: &str) -> usize {
+        let morsels = self
+            .catalog
+            .tables
+            .values()
+            .flat_map(|t| &t.projections)
+            .find(|p| p.def.name == projection)
+            .map_or(1, |p| p.scan_morsels);
+        self.exec.threads.min(morsels).max(1)
+    }
+
+    /// Rewrite serial scan shapes into morsel-parallel ones where the DoP
+    /// is > 1. Conservative by design: only single-table shapes whose
+    /// barrier semantics exactly reproduce the serial result are touched —
+    /// a hash GroupBy directly over a scan becomes per-worker partial
+    /// aggregation + merge barrier, and a bare scan (under
+    /// Project/Filter) becomes a parallel collect whose morsel-ordered
+    /// concat equals the serial scan row for row. Pipelined (sort-order)
+    /// aggregation, joins and LIMIT-bounded scans stay serial; `threads=1`
+    /// leaves every plan untouched.
+    fn parallelize(&self, plan: PhysicalPlan) -> PhysicalPlan {
+        if self.exec.threads <= 1 {
+            return plan;
+        }
+        match plan {
+            PhysicalPlan::HashGroupBy {
+                input,
+                group_columns,
+                aggs,
+            } => match *input {
+                // Decomposable aggregates only: non-decomposable ones
+                // (COUNT DISTINCT) would fall back to buffering the whole
+                // filtered scan at the runtime barrier, so they keep the
+                // serial streaming group-by.
+                PhysicalPlan::Scan {
+                    projection,
+                    output_columns,
+                    predicate,
+                    partition_predicate,
+                    sip,
+                } if self.scan_dop(&projection) > 1
+                    && two_phase_aggs(group_columns.len(), &aggs).is_some() =>
+                {
+                    let threads = self.scan_dop(&projection);
+                    PhysicalPlan::ParallelScan {
+                        projection,
+                        output_columns,
+                        predicate,
+                        partition_predicate,
+                        sip,
+                        stage: ParallelStage::GroupBy {
+                            group_columns,
+                            aggs,
+                        },
+                        threads,
+                    }
+                }
+                other => PhysicalPlan::HashGroupBy {
+                    input: Box::new(self.parallelize(other)),
+                    group_columns,
+                    aggs,
+                },
+            },
+            PhysicalPlan::Scan {
+                projection,
+                output_columns,
+                predicate,
+                partition_predicate,
+                sip,
+            } if self.scan_dop(&projection) > 1 => {
+                let threads = self.scan_dop(&projection);
+                PhysicalPlan::ParallelScan {
+                    projection,
+                    output_columns,
+                    predicate,
+                    partition_predicate,
+                    sip,
+                    stage: ParallelStage::Collect,
+                    threads,
+                }
+            }
+            PhysicalPlan::Project { input, exprs } => PhysicalPlan::Project {
+                input: Box::new(self.parallelize(*input)),
+                exprs,
+            },
+            PhysicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+                input: Box::new(self.parallelize(*input)),
+                predicate,
+            },
+            // Everything else (joins, pipelined group-by, sorts, limits —
+            // a parallel scan under LIMIT would over-scan) stays serial.
+            other => other,
+        }
     }
 
     fn offsets(&self, metas: &[&TableMeta]) -> Vec<usize> {
@@ -1003,7 +1111,7 @@ impl<'a> Planner<'a> {
             self.plan_plain(scan, &global_pos)?
         };
         Ok(PlannedQuery {
-            local,
+            local: self.parallelize(local),
             merge,
             output_names: self.query.output_names(),
             table_access: vec![(def.name.clone(), TableAccess::Local)],
@@ -1243,7 +1351,7 @@ mod tests {
 
     #[test]
     fn plans_star_join_with_sip_on_fact_scan() {
-        let planned = plan(&catalog(), &join_query(), None).unwrap();
+        let planned = plan(&catalog(), &join_query(), None, &ExecOptions::serial()).unwrap();
         let text = vdb_exec::plan::explain(&planned.local);
         assert!(text.contains("HashJoin INNER"), "{text}");
         assert!(text.contains("[builds SIP]"), "{text}");
@@ -1277,7 +1385,7 @@ mod tests {
             }],
             ..Default::default()
         };
-        let planned = plan(&catalog(), &q, None).unwrap();
+        let planned = plan(&catalog(), &q, None, &ExecOptions::serial()).unwrap();
         let text = vdb_exec::plan::explain(&planned.local);
         assert!(text.contains("GroupByPipelined"), "{text}");
     }
@@ -1299,7 +1407,7 @@ mod tests {
             }],
             ..Default::default()
         };
-        let planned = plan(&catalog(), &q, None).unwrap();
+        let planned = plan(&catalog(), &q, None, &ExecOptions::serial()).unwrap();
         let text = vdb_exec::plan::explain(&planned.local);
         assert!(text.contains("GroupByHash"), "{text}");
     }
@@ -1307,7 +1415,12 @@ mod tests {
     #[test]
     fn node_down_replan_fails_without_live_projection() {
         let live: HashSet<String> = HashSet::from(["dim_super".to_string()]);
-        let err = plan(&catalog(), &join_query(), Some(&live));
+        let err = plan(
+            &catalog(),
+            &join_query(),
+            Some(&live),
+            &ExecOptions::serial(),
+        );
         assert!(matches!(err, Err(DbError::Plan(_))));
     }
 
@@ -1324,7 +1437,7 @@ mod tests {
             &sample_rows(1000, 4),
         ));
         let live: HashSet<String> = HashSet::from(["dim_super".to_string(), "fact_b1".to_string()]);
-        let planned = plan(&cat, &join_query(), Some(&live)).unwrap();
+        let planned = plan(&cat, &join_query(), Some(&live), &ExecOptions::serial()).unwrap();
         assert!(planned.table_access.iter().any(|(p, _)| p == "fact_b1"));
     }
 
@@ -1334,7 +1447,7 @@ mod tests {
         // Make dim segmented on name_code (not the join key).
         let dim = cat.tables.get_mut("dim").unwrap();
         dim.projections[0].def.segmentation = Segmentation::hash_of(&[(1, "name_code")]);
-        let planned = plan(&cat, &join_query(), None).unwrap();
+        let planned = plan(&cat, &join_query(), None, &ExecOptions::serial()).unwrap();
         let dim_access = planned
             .table_access
             .iter()
@@ -1351,7 +1464,7 @@ mod tests {
         dim.projections[0].def.segmentation = Segmentation::hash_of(&[(0, "id")]);
         let fact = cat.tables.get_mut("fact").unwrap();
         fact.projections[0].def.segmentation = Segmentation::hash_of(&[(1, "dim_id")]);
-        let planned = plan(&cat, &join_query(), None).unwrap();
+        let planned = plan(&cat, &join_query(), None, &ExecOptions::serial()).unwrap();
         assert!(planned
             .table_access
             .iter()
@@ -1382,6 +1495,145 @@ mod tests {
         assert!(!pred.matches(&[Value::Integer(201_206)]).unwrap());
     }
 
+    /// The unsorted single-table GROUP BY from `unsorted_groupby_uses_hash`.
+    fn hash_groupby_query() -> BoundQuery {
+        BoundQuery {
+            tables: vec![QueryTable {
+                table: "fact".into(),
+                alias: "f".into(),
+            }],
+            table_filters: vec![None],
+            select: vec![(Expr::col(2, "amount"), "amount".into())],
+            group_by: vec![Expr::col(2, "amount")],
+            aggregates: vec![AggItem {
+                func: AggFunc::CountStar,
+                input: None,
+                output_name: "cnt".into(),
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn multi_container_groupby_parallelizes() {
+        let mut cat = catalog();
+        cat.tables.get_mut("fact").unwrap().projections[0].scan_morsels = 8;
+        let planned = plan(
+            &cat,
+            &hash_groupby_query(),
+            None,
+            &ExecOptions::with_threads(4),
+        )
+        .unwrap();
+        let text = vdb_exec::plan::explain(&planned.local);
+        assert!(text.contains("ParallelScan fact_super"), "{text}");
+        assert!(text.contains("4 threads, partial GroupBy"), "{text}");
+        assert!(text.contains("merge barrier"), "{text}");
+    }
+
+    #[test]
+    fn dop_clamps_to_container_morsel_count() {
+        let mut cat = catalog();
+        cat.tables.get_mut("fact").unwrap().projections[0].scan_morsels = 2;
+        let planned = plan(
+            &cat,
+            &hash_groupby_query(),
+            None,
+            &ExecOptions::with_threads(16),
+        )
+        .unwrap();
+        let text = vdb_exec::plan::explain(&planned.local);
+        assert!(text.contains("2 threads"), "{text}");
+    }
+
+    #[test]
+    fn single_container_projection_stays_serial() {
+        // from_sample defaults to one morsel: nothing to parallelize over.
+        let planned = plan(
+            &catalog(),
+            &hash_groupby_query(),
+            None,
+            &ExecOptions::with_threads(8),
+        )
+        .unwrap();
+        let text = vdb_exec::plan::explain(&planned.local);
+        assert!(!text.contains("ParallelScan"), "{text}");
+        assert!(text.contains("GroupByHash"), "{text}");
+    }
+
+    #[test]
+    fn sorted_groupby_keeps_pipelined_even_with_threads() {
+        // GROUP BY ts rides the projection sort order; morsel parallelism
+        // would break the one-pass aggregation, so it stays serial.
+        let mut cat = catalog();
+        cat.tables.get_mut("fact").unwrap().projections[0].scan_morsels = 8;
+        let q = BoundQuery {
+            tables: vec![QueryTable {
+                table: "fact".into(),
+                alias: "f".into(),
+            }],
+            table_filters: vec![None],
+            select: vec![(Expr::col(3, "ts"), "ts".into())],
+            group_by: vec![Expr::col(3, "ts")],
+            aggregates: vec![AggItem {
+                func: AggFunc::CountStar,
+                input: None,
+                output_name: "cnt".into(),
+            }],
+            ..Default::default()
+        };
+        let planned = plan(&cat, &q, None, &ExecOptions::with_threads(4)).unwrap();
+        let text = vdb_exec::plan::explain(&planned.local);
+        assert!(text.contains("GroupByPipelined"), "{text}");
+        assert!(!text.contains("ParallelScan"), "{text}");
+    }
+
+    #[test]
+    fn plain_select_parallelizes_the_scan_collect() {
+        let mut cat = catalog();
+        cat.tables.get_mut("fact").unwrap().projections[0].scan_morsels = 8;
+        let q = BoundQuery {
+            tables: vec![QueryTable {
+                table: "fact".into(),
+                alias: "f".into(),
+            }],
+            table_filters: vec![Some(Expr::binary(
+                BinOp::Gt,
+                Expr::col(2, "amount"),
+                Expr::int(50),
+            ))],
+            select: vec![(Expr::col(0, "id"), "id".into())],
+            ..Default::default()
+        };
+        let planned = plan(&cat, &q, None, &ExecOptions::with_threads(4)).unwrap();
+        let text = vdb_exec::plan::explain(&planned.local);
+        assert!(text.contains("ParallelScan fact_super"), "{text}");
+        assert!(text.contains("[morsels -> 4 threads]"), "{text}");
+        assert!(text.contains("filter=((amount > 50))"), "{text}");
+    }
+
+    #[test]
+    fn limit_bounded_scan_stays_serial() {
+        // LIMIT without ORDER BY applies locally; a parallel collect would
+        // scan everything before limiting, so the planner keeps it serial.
+        let mut cat = catalog();
+        cat.tables.get_mut("fact").unwrap().projections[0].scan_morsels = 8;
+        let q = BoundQuery {
+            tables: vec![QueryTable {
+                table: "fact".into(),
+                alias: "f".into(),
+            }],
+            table_filters: vec![None],
+            select: vec![(Expr::col(0, "id"), "id".into())],
+            limit: Some(5),
+            ..Default::default()
+        };
+        let planned = plan(&cat, &q, None, &ExecOptions::with_threads(4)).unwrap();
+        let text = vdb_exec::plan::explain(&planned.local);
+        assert!(!text.contains("ParallelScan"), "{text}");
+        assert!(text.contains("Limit 5"), "{text}");
+    }
+
     #[test]
     fn count_distinct_ships_raw_rows() {
         let q = BoundQuery {
@@ -1399,7 +1651,7 @@ mod tests {
             }],
             ..Default::default()
         };
-        let planned = plan(&catalog(), &q, None).unwrap();
+        let planned = plan(&catalog(), &q, None, &ExecOptions::serial()).unwrap();
         let text = vdb_exec::plan::explain(&planned.local);
         assert!(
             !text.contains("GroupBy"),

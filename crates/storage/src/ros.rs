@@ -251,6 +251,13 @@ impl RosContainer {
         self.indexes.get(col)?.column_min_max()
     }
 
+    /// Number of 1024-row storage blocks per column — the work granularity
+    /// inside one scan morsel (a morsel is one container; workers stream it
+    /// block by block).
+    pub fn block_count(&self) -> usize {
+        self.indexes.first().map_or(0, |idx| idx.blocks.len())
+    }
+
     /// Serialize container metadata.
     pub fn encode_meta(&self) -> Vec<u8> {
         let mut w = Writer::new();

@@ -137,6 +137,54 @@ impl SnapshotScan {
     pub fn total_ros_rows(&self) -> u64 {
         self.containers.iter().map(|c| c.container.row_count).sum()
     }
+
+    /// How many morsels [`SnapshotScan::into_morsels`] would produce.
+    pub fn morsel_count(&self) -> usize {
+        self.containers.len() + usize::from(!self.wos_rows.is_empty())
+    }
+
+    /// Split into independently scannable units of parallel work: one
+    /// morsel per ROS container (containers are written independently and
+    /// carry their own delete vectors and position indexes, so they never
+    /// share scan state) plus one for the WOS tail. Morsels keep the
+    /// snapshot's container order so that concatenating per-morsel scan
+    /// output in morsel order reproduces the serial scan exactly.
+    pub fn into_morsels(self) -> Vec<ScanMorsel> {
+        let mut out: Vec<ScanMorsel> = self
+            .containers
+            .into_iter()
+            .map(|sc| {
+                let rows = sc.container.row_count;
+                ScanMorsel {
+                    containers: vec![sc],
+                    wos_rows: Vec::new(),
+                    rows,
+                }
+            })
+            .collect();
+        if !self.wos_rows.is_empty() {
+            let rows = self.wos_rows.len() as u64;
+            out.push(ScanMorsel {
+                containers: Vec::new(),
+                wos_rows: self.wos_rows,
+                rows,
+            });
+        }
+        out
+    }
+}
+
+/// One unit of parallel scan work handed to an execution worker: a subset
+/// of a snapshot's containers, or the WOS tail. Produced by
+/// [`SnapshotScan::into_morsels`]; consumed by the executor's morsel queue.
+#[derive(Debug, Clone)]
+pub struct ScanMorsel {
+    pub containers: Vec<ScanContainer>,
+    /// Visible WOS rows (projection-shaped); non-empty only for the tail
+    /// morsel.
+    pub wos_rows: Vec<Row>,
+    /// Rows covered before visibility/predicates — the scheduling weight.
+    pub rows: u64,
 }
 
 /// WOS + ROS + delete vectors for one projection on one node.
@@ -202,6 +250,13 @@ impl ProjectionStore {
 
     pub fn container_count(&self) -> usize {
         self.containers.len()
+    }
+
+    /// How many scan morsels a snapshot of this store yields right now —
+    /// the storage-side input to the planner's degree-of-parallelism
+    /// choice (one morsel per container, plus the WOS tail).
+    pub fn morsel_count(&self) -> usize {
+        self.containers.len() + usize::from(!self.wos.is_empty())
     }
 
     pub fn containers(&self) -> impl Iterator<Item = &RosContainer> {

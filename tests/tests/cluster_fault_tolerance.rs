@@ -135,6 +135,7 @@ fn ahm_freeze_preserves_history_for_recovery() {
             history_retention: 1,
             ..Default::default()
         },
+        ..Default::default()
     });
     db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)")
         .unwrap();
