@@ -2,7 +2,7 @@
 //! `BENCH_repro.json` (section wall-clock timings + executor metrics) so
 //! the perf trajectory is tracked run over run.
 //!
-//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector|exec_parallel] [--full]`
+//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector|exec_parallel|exec_parallel_join] [--full]`
 //! `--full` runs paper-scale inputs (minutes); default scales finish in
 //! seconds. The JSON lands in the current directory. Exits nonzero when
 //! any requested target fails (CI's bench-smoke gate relies on this).
@@ -73,10 +73,16 @@ fn main() {
         if wants("exec_parallel") {
             run("exec_parallel", &mut || repro::exec_parallel(parallel_rows));
         }
+        if wants("exec_parallel_join") {
+            run("exec_parallel_join", &mut || {
+                repro::exec_parallel_join(parallel_rows)
+            });
+        }
     }
     if !matched {
         eprintln!(
-            "unknown target {what}; use all|table1|table3|table4|fig1|fig2|fig3|vector|exec_parallel"
+            "unknown target {what}; use all|table1|table3|table4|fig1|fig2|fig3|vector|\
+             exec_parallel|exec_parallel_join"
         );
         std::process::exit(2);
     }

@@ -272,7 +272,7 @@ pub fn exec_parallel(rows: usize) -> DbResult<(String, Vec<(String, f64)>)> {
     let store = wl::build_store(rows, CONTAINERS)?;
     // Correctness first: every lane count must reproduce the serial rows.
     let (serial_rows, _) = wl::run_serial(&store)?;
-    for lanes in [2usize, 4] {
+    for lanes in [1usize, 2, 4] {
         let (par_rows, _) = wl::run_parallel(&store, lanes)?;
         if par_rows != serial_rows {
             return Err(vdb_types::DbError::Execution(format!(
@@ -328,6 +328,97 @@ pub fn exec_parallel(rows: usize) -> DbResult<(String, Vec<(String, f64)>)> {
             "note: single-CPU host — lanes cannot overlap, so the speedup shows \
              the subsystem's overhead floor; on multi-core hardware the lanes \
              scale with cores (per-worker partial aggregation is independent)."
+        );
+    }
+    Ok((out, metrics))
+}
+
+/// Morsel-parallel partitioned hash join: a 16-container fact store joined
+/// to a 4-container dimension store through the serial hash join and
+/// through [`vdb_exec::parallel_join::ParallelHashJoinOp`] at 1/2/4 lanes,
+/// recording total and build/probe speedup-vs-lanes. Results are asserted
+/// identical across paths before anything is timed.
+pub fn exec_parallel_join(rows: usize) -> DbResult<(String, Vec<(String, f64)>)> {
+    use crate::workloads::exec_parallel_join as wl;
+    const FACT_CONTAINERS: usize = 16;
+    const DIM_CONTAINERS: usize = 4;
+    let fact = wl::build_fact(rows, FACT_CONTAINERS)?;
+    let dim = wl::build_dim(DIM_CONTAINERS)?;
+    // Correctness first: every timed lane count — including the inline
+    // 1-lane path — must reproduce the serial rows, order included
+    // (morsel-ordered concat + seq-sorted build lists).
+    let (serial_rows, _) = wl::run_serial(&fact, &dim)?;
+    for lanes in [1usize, 2, 4] {
+        let (par_rows, _, _) = wl::run_parallel(&fact, &dim, lanes)?;
+        if par_rows != serial_rows {
+            return Err(vdb_types::DbError::Execution(format!(
+                "parallel hash join at {lanes} lanes diverged from serial"
+            )));
+        }
+    }
+    // Interleaved best-of-2 per configuration: serial and parallel runs
+    // alternate within each trial, so allocator/page-cache drift across
+    // the repro run cannot systematically bias one side.
+    let mut serial_ms = f64::INFINITY;
+    let mut lane_times: Vec<(usize, f64, (f64, f64))> = [1usize, 2, 4]
+        .iter()
+        .map(|&l| (l, f64::INFINITY, (0.0, 0.0)))
+        .collect();
+    for _ in 0..2 {
+        let (_, ms) = wl::run_serial(&fact, &dim)?;
+        serial_ms = serial_ms.min(ms);
+        for entry in lane_times.iter_mut() {
+            let (_, ms, phases) = wl::run_parallel(&fact, &dim, entry.0)?;
+            if ms < entry.1 {
+                entry.1 = ms;
+                entry.2 = phases;
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Morsel-parallel hash join: {rows}-row fact ({FACT_CONTAINERS} containers) ⋈ \
+         {}-row dim ({DIM_CONTAINERS} containers), {cores} core{} ==",
+        wl::DIM_KEYS,
+        if cores == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(
+        out,
+        "{:<22}{:>12}{:>12}{:>12}{:>10}",
+        "Configuration", "ms", "build(ms)", "probe(ms)", "speedup"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22}{serial_ms:>12.1}{:>12}{:>12}{:>10.2}",
+        "serial hash join", "-", "-", 1.0
+    );
+    let mut metrics = vec![
+        ("exec_parallel_join_rows".to_string(), rows as f64),
+        ("exec_parallel_join_cores".to_string(), cores as f64),
+        ("exec_parallel_join_serial_ms".to_string(), serial_ms),
+    ];
+    for (lanes, ms, (build_ms, probe_ms)) in &lane_times {
+        let speedup = serial_ms / ms.max(0.001);
+        let _ = writeln!(
+            out,
+            "{:<22}{ms:>12.1}{build_ms:>12.1}{probe_ms:>12.1}{speedup:>10.2}",
+            format!("{lanes} lane(s)")
+        );
+        metrics.push((format!("exec_parallel_join_ms_{lanes}"), *ms));
+        metrics.push((format!("exec_parallel_join_build_ms_{lanes}"), *build_ms));
+        metrics.push((format!("exec_parallel_join_probe_ms_{lanes}"), *probe_ms));
+        metrics.push((format!("exec_parallel_join_speedup_{lanes}"), speedup));
+    }
+    if cores == 1 {
+        let _ = writeln!(
+            out,
+            "note: single-CPU host — lanes cannot overlap, so the speedup shows \
+             the subsystem's overhead floor; on multi-core hardware the \
+             partitioned build and typed probe scale with cores."
         );
     }
     Ok((out, metrics))
@@ -684,6 +775,24 @@ mod tests {
         assert_eq!(get("exec_parallel_rows"), 60_000.0);
         assert!(get("exec_parallel_serial_ms") > 0.0);
         assert!(get("exec_parallel_speedup_4") > 0.0);
+    }
+
+    #[test]
+    fn exec_parallel_join_reports_speedups() {
+        let (out, metrics) = exec_parallel_join(40_000).unwrap();
+        assert!(out.contains("serial hash join"), "{out}");
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("exec_parallel_join_rows"), 40_000.0);
+        assert!(get("exec_parallel_join_serial_ms") > 0.0);
+        assert!(get("exec_parallel_join_speedup_4") > 0.0);
+        assert!(get("exec_parallel_join_build_ms_4") >= 0.0);
+        assert!(get("exec_parallel_join_probe_ms_4") >= 0.0);
     }
 
     #[test]

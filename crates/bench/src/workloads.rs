@@ -2,6 +2,7 @@
 
 pub mod cstore7;
 pub mod exec_parallel;
+pub mod exec_parallel_join;
 pub mod exec_vector;
 pub mod meter;
 pub mod random_ints;

@@ -128,6 +128,13 @@ impl Database {
         &self.cluster
     }
 
+    /// The executor thread budget every query is planned with (the planner
+    /// clamps per scan — and per parallel-join side — to the projection's
+    /// container-morsel count).
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec
+    }
+
     fn invalidate_catalog(&self) {
         *self.catalog.write() = None;
     }
@@ -652,6 +659,51 @@ mod tests {
             parallel.query("SELECT v FROM t WHERE v >= 11990").unwrap(),
             serial.query("SELECT v FROM t WHERE v >= 11990").unwrap()
         );
+    }
+
+    #[test]
+    fn parallel_hash_join_end_to_end() {
+        // Multi-container fact + dim: the planner rewrites the join to the
+        // morsel-parallel partitioned hash join; results must match the
+        // serial database exactly, and the SIP coupling must survive.
+        let parallel = Database::single_node_with_threads(4);
+        let serial = Database::single_node_with_threads(1);
+        assert_eq!(parallel.exec_options().threads, 4);
+        for db in [&parallel, &serial] {
+            db.execute("CREATE TABLE f (k INT, v INT)").unwrap();
+            db.execute(
+                "CREATE PROJECTION f_super AS SELECT k, v FROM f ORDER BY v \
+                 SEGMENTED BY HASH(v) ALL NODES",
+            )
+            .unwrap();
+            db.execute("CREATE TABLE d (k INT, w INT)").unwrap();
+            db.execute(
+                "CREATE PROJECTION d_super AS SELECT k, w FROM d ORDER BY k \
+                 UNSEGMENTED ALL NODES",
+            )
+            .unwrap();
+            for chunk in 0..5 {
+                let rows: Vec<Row> = (0..2000)
+                    .map(|i| {
+                        let i = chunk * 2000 + i;
+                        vec![Value::Integer(i % 97), Value::Integer(i)]
+                    })
+                    .collect();
+                db.load("f", &rows).unwrap();
+            }
+            let dims: Vec<Row> = (0..50)
+                .map(|i| vec![Value::Integer(i), Value::Integer(i * 10)])
+                .collect();
+            db.load("d", &dims).unwrap();
+        }
+        let sql = "SELECT d.w, COUNT(*), SUM(f.v) FROM f JOIN d ON f.k = d.k \
+                   GROUP BY d.w ORDER BY d.w";
+        assert_eq!(parallel.query(sql).unwrap(), serial.query(sql).unwrap());
+        let explain = parallel.execute(&format!("EXPLAIN {sql}")).unwrap();
+        let text: String = explain.rows.iter().map(|r| format!("{}\n", r[0])).collect();
+        assert!(text.contains("ParallelHashJoin INNER"), "{text}");
+        assert!(text.contains("[builds SIP]"), "{text}");
+        assert!(text.contains("[SIP x1]"), "{text}");
     }
 
     #[test]

@@ -134,6 +134,23 @@ impl ColumnSlice {
     }
 }
 
+/// Chunk rows into batches of `chunk` rows, *moving* each chunk (no row is
+/// cloned). Shared by `ValuesOp::from_rows` and the parallel join's output
+/// batching — callers hand over ownership of what can be a fully
+/// materialized operator input.
+pub(crate) fn rows_into_batches(rows: Vec<Row>, chunk: usize) -> Vec<Batch> {
+    let mut batches = Vec::with_capacity(rows.len().div_ceil(chunk).max(1));
+    let mut it = rows.into_iter();
+    loop {
+        let piece: Vec<Row> = it.by_ref().take(chunk).collect();
+        if piece.is_empty() {
+            break;
+        }
+        batches.push(Batch::from_rows(piece));
+    }
+    batches
+}
+
 /// A column-major batch of rows with an optional selection vector.
 ///
 /// `columns` hold *physical* rows; when `selection` is present only the

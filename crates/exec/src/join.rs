@@ -53,7 +53,9 @@ impl JoinType {
     }
 }
 
-fn key_of(row: &[Value], cols: &[usize]) -> Option<Vec<Value>> {
+/// Join key of `row` over `cols`, or `None` when any key column is NULL
+/// (SQL: NULL keys never match). Shared with the parallel hash join.
+pub(crate) fn key_of(row: &[Value], cols: &[usize]) -> Option<Vec<Value>> {
     let mut key = Vec::with_capacity(cols.len());
     for &c in cols {
         let v = &row[c];
@@ -246,7 +248,10 @@ impl HashJoinOp {
     }
 
     /// Sort-merge fallback: external-sort both sides by key columns, then
-    /// run the generic sorted-merge with identical semantics.
+    /// run the generic sorted-merge with identical semantics. The drained
+    /// build rows are *moved* into the fallback source (`ValuesOp` batches
+    /// them without cloning) — the build side already blew its memory
+    /// budget, so duplicating it here would double the peak.
     fn build_fallback(&mut self, right_rows: Vec<Row>) -> DbResult<()> {
         let left = self.left.take().expect("fallback before probe");
         let right_op: BoxedOperator = Box::new(ValuesOp::from_rows(right_rows));
@@ -805,6 +810,71 @@ mod tests {
         let rows = collect_rows(&mut op).unwrap();
         assert!(op.switched_to_merge(), "tiny budget must trigger fallback");
         assert_eq!(rows.len(), 10_000, "every right row matches one left key");
+    }
+
+    /// Regression test for the sort-merge fallback over *unsorted* inputs:
+    /// the overflowed build rows are moved (not cloned) into the fallback's
+    /// `ValuesOp`, and the external sort + merge must still produce the
+    /// same multiset of rows as the in-memory hash join, for inner and
+    /// outer flavors, with NULL keys in play.
+    #[test]
+    fn sort_merge_fallback_matches_hash_join_on_unsorted_inputs() {
+        // Deliberately unsorted, with duplicate and NULL keys.
+        let mk_left: Vec<Row> = (0..600)
+            .map(|i: i64| {
+                let k = (i * 7919) % 37;
+                vec![
+                    if k == 5 {
+                        Value::Null
+                    } else {
+                        Value::Integer(k)
+                    },
+                    Value::Integer(i),
+                ]
+            })
+            .collect();
+        let mk_right: Vec<Row> = (0..900)
+            .map(|i: i64| {
+                let k = (i * 104_729) % 41;
+                vec![
+                    if k == 7 {
+                        Value::Null
+                    } else {
+                        Value::Integer(k)
+                    },
+                    Value::Integer(-i),
+                ]
+            })
+            .collect();
+        for jt in [
+            JoinType::Inner,
+            JoinType::LeftOuter,
+            JoinType::RightOuter,
+            JoinType::FullOuter,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            let run = |budget: MemoryBudget| {
+                let mut op = HashJoinOp::new(
+                    Box::new(ValuesOp::from_rows(mk_left.clone())),
+                    Box::new(ValuesOp::from_rows(mk_right.clone())),
+                    vec![0],
+                    vec![0],
+                    jt,
+                    budget,
+                    None,
+                );
+                let mut rows = collect_rows(&mut op).unwrap();
+                let switched = op.switched_to_merge();
+                rows.sort();
+                (rows, switched)
+            };
+            let (expected, s1) = run(MemoryBudget::unlimited());
+            let (got, s2) = run(MemoryBudget::new(2 * 1024));
+            assert!(!s1, "unlimited budget must not fall back");
+            assert!(s2, "tiny budget must fall back to sort-merge");
+            assert_eq!(got, expected, "flavor {}", jt.name());
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | Send/Recv (segment-aware, sortedness-retaining) | [`exchange`] |
 //! | StorageUnion / ParallelUnion (intra-node parallelism) | [`exchange`] |
 //! | Morsel-driven parallel scan/aggregate/sort over ROS containers | [`parallel`] |
+//! | Morsel-parallel partitioned hash join (typed probe, SIP at barrier) | [`parallel_join`] |
 //!
 //! Operators run "directly on encoded data" (§6.1): the scan decodes
 //! storage blocks into [`vector::TypedVector`]s (native buffers + validity
@@ -41,6 +42,7 @@ pub mod join;
 pub mod memory;
 pub mod operator;
 pub mod parallel;
+pub mod parallel_join;
 pub mod plan;
 pub mod scan;
 pub mod sip;
@@ -52,6 +54,7 @@ pub use batch::{Batch, ColumnSlice};
 pub use memory::MemoryBudget;
 pub use operator::{collect_rows, BoxedOperator, Operator};
 pub use parallel::{ExecOptions, ParallelStage};
+pub use parallel_join::{ParallelHashJoinOp, ParallelJoinSpec};
 pub use plan::{build_operator, ExecContext, JoinType, PhysicalPlan};
 pub use sip::SipFilter;
 pub use vector::{Bitmap, RleVector, SelectionVector, TypedVector, VectorData};

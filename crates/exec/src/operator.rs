@@ -43,11 +43,12 @@ impl ValuesOp {
     }
 
     pub fn from_rows(rows: Vec<Row>) -> ValuesOp {
-        let batches = rows
-            .chunks(crate::batch::BATCH_SIZE)
-            .map(|c| Batch::from_rows(c.to_vec()))
-            .collect();
-        ValuesOp::new(batches)
+        // Chunks are moved, not cloned — cloning here doubled peak memory
+        // on the hash join's sort-merge fallback.
+        ValuesOp::new(crate::batch::rows_into_batches(
+            rows,
+            crate::batch::BATCH_SIZE,
+        ))
     }
 }
 

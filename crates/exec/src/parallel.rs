@@ -126,7 +126,7 @@ impl ParallelScanSpec {
 
     /// Open the scan pipeline for one morsel, folding counters into the
     /// shared whole-scan stats.
-    fn open(&self, morsel: ScanMorsel, stats: &Arc<Mutex<ScanStats>>) -> ScanOperator {
+    pub(crate) fn open(&self, morsel: ScanMorsel, stats: &Arc<Mutex<ScanStats>>) -> ScanOperator {
         ScanOperator::with_stats(
             self.backend.clone(),
             morsel.containers,

@@ -17,12 +17,13 @@ use crate::memory::{MemoryBudget, ResourcePolicy};
 use crate::operator::{BoxedOperator, ValuesOp};
 pub use crate::parallel::ParallelStage;
 use crate::parallel::{ParallelScanOp, ParallelScanSpec};
+use crate::parallel_join::{ParallelHashJoinOp, ParallelJoinSpec};
 use crate::scan::{ScanOperator, SipBinding};
 use crate::sip::SipFilter;
 use crate::sort::{LimitOp, SortOp};
 use std::collections::HashMap;
 use std::sync::Arc;
-use vdb_storage::store::SnapshotScan;
+use vdb_storage::store::{ScanMorsel, SnapshotScan};
 use vdb_storage::StorageBackend;
 use vdb_types::schema::SortKey;
 use vdb_types::{DbError, DbResult, Expr, Row};
@@ -85,6 +86,26 @@ pub enum PhysicalPlan {
         left_keys: Vec<usize>,
         right_keys: Vec<usize>,
         join_type: JoinType,
+    },
+    /// Morsel-parallel partitioned hash join over two projection scans:
+    /// `build_threads` workers hash-partition the build (right) side from
+    /// its morsel queue, the barrier merges partitions and publishes the
+    /// SIP filter, then `probe_threads` workers probe typed key columns
+    /// directly from the probe (left) side's morsel queue. Both children
+    /// must be [`PhysicalPlan::Scan`] nodes; `threads = 1` shapes stay on
+    /// the serial [`PhysicalPlan::HashJoin`].
+    ParallelHashJoin {
+        /// Probe side (must be a `Scan`).
+        left: Box<PhysicalPlan>,
+        /// Build side (must be a `Scan`).
+        right: Box<PhysicalPlan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        join_type: JoinType,
+        /// SIP filter this join publishes at the build barrier.
+        sip: Option<SipId>,
+        probe_threads: usize,
+        build_threads: usize,
     },
     HashGroupBy {
         input: Box<PhysicalPlan>,
@@ -166,7 +187,8 @@ fn stateful_count(plan: &PhysicalPlan) -> usize {
         | PhysicalPlan::Project { input, .. }
         | PhysicalPlan::Limit { input, .. } => stateful_count(input),
         PhysicalPlan::HashJoin { left, right, .. }
-        | PhysicalPlan::MergeJoin { left, right, .. } => {
+        | PhysicalPlan::MergeJoin { left, right, .. }
+        | PhysicalPlan::ParallelHashJoin { left, right, .. } => {
             1 + stateful_count(left) + stateful_count(right)
         }
         PhysicalPlan::HashGroupBy { input, .. }
@@ -302,6 +324,35 @@ fn build_inner(
             right_keys.clone(),
             *join_type,
         )),
+        PhysicalPlan::ParallelHashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            sip,
+            probe_threads,
+            build_threads,
+        } => {
+            let sip_filter = sip.map(|id| ctx.sip(id));
+            let (build, build_morsels) = parallel_scan_parts(right, ctx)?;
+            let (probe, probe_morsels) = parallel_scan_parts(left, ctx)?;
+            Box::new(ParallelHashJoinOp::new(
+                ParallelJoinSpec {
+                    probe,
+                    probe_morsels,
+                    probe_threads: *probe_threads,
+                    build,
+                    build_morsels,
+                    build_threads: *build_threads,
+                    left_keys: left_keys.clone(),
+                    right_keys: right_keys.clone(),
+                    join_type: *join_type,
+                    sip: sip_filter,
+                },
+                budget,
+            ))
+        }
         PhysicalPlan::HashGroupBy {
             input,
             group_columns,
@@ -401,6 +452,48 @@ fn build_inner(
             Box::new(UnionOp::new(children))
         }
     })
+}
+
+/// Resolve one side of a [`PhysicalPlan::ParallelHashJoin`] — the morsel
+/// framework scans projections directly, so the child must be a `Scan`.
+fn parallel_scan_parts(
+    plan: &PhysicalPlan,
+    ctx: &mut ExecContext,
+) -> DbResult<(ParallelScanSpec, Vec<ScanMorsel>)> {
+    let PhysicalPlan::Scan {
+        projection,
+        output_columns,
+        predicate,
+        partition_predicate,
+        sip,
+    } = plan
+    else {
+        return Err(DbError::Plan(
+            "parallel hash join requires Scan inputs on both sides".into(),
+        ));
+    };
+    let bindings: Vec<SipBinding> = sip
+        .iter()
+        .map(|(id, cols)| SipBinding {
+            filter: ctx.sip(*id),
+            key_columns: cols.clone(),
+        })
+        .collect();
+    let snap = ctx
+        .snapshots
+        .get(projection)
+        .ok_or_else(|| DbError::Plan(format!("no snapshot for projection {projection}")))?;
+    let morsels = snap.clone().into_morsels();
+    Ok((
+        ParallelScanSpec {
+            backend: ctx.backend.clone(),
+            output_columns: output_columns.clone(),
+            predicate: predicate.clone(),
+            partition_predicate: partition_predicate.clone(),
+            sip: bindings,
+        },
+        morsels,
+    ))
 }
 
 /// Execute a plan to completion on one node, returning all rows.
@@ -505,6 +598,21 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
             "MergeJoin {} on {left_keys:?}={right_keys:?}",
             join_type.name()
         ),
+        PhysicalPlan::ParallelHashJoin {
+            join_type,
+            left_keys,
+            right_keys,
+            sip,
+            probe_threads,
+            build_threads,
+            ..
+        } => format!(
+            "ParallelHashJoin {} on {left_keys:?}={right_keys:?} \
+             [build: {build_threads} workers/{build_threads} partitions, \
+             probe: {probe_threads} workers]{}",
+            join_type.name(),
+            if sip.is_some() { " [builds SIP]" } else { "" }
+        ),
         PhysicalPlan::HashGroupBy {
             group_columns,
             aggs,
@@ -560,7 +668,8 @@ fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
         | PhysicalPlan::Limit { input, .. }
         | PhysicalPlan::Analytic { input, .. } => render(input, depth + 1, out),
         PhysicalPlan::HashJoin { left, right, .. }
-        | PhysicalPlan::MergeJoin { left, right, .. } => {
+        | PhysicalPlan::MergeJoin { left, right, .. }
+        | PhysicalPlan::ParallelHashJoin { left, right, .. } => {
             render(left, depth + 1, out);
             render(right, depth + 1, out);
         }
@@ -714,5 +823,93 @@ mod tests {
         let mut ctx = ExecContext::new(Arc::new(MemBackend::new()));
         let err = execute_collect(&scan_plan(None), &mut ctx);
         assert!(matches!(err, Err(DbError::Plan(_))));
+    }
+
+    /// Multi-container self-join fixture: rows land in several ROS
+    /// containers so the parallel join has real morsels on both sides.
+    fn join_ctx(rows: i64, chunks: usize) -> ExecContext {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Integer),
+                ColumnDef::new("b", DataType::Integer),
+            ],
+        );
+        let def = ProjectionDef::super_projection(&schema, "t_super", &[0], &[]);
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemBackend::new());
+        let mut store = ProjectionStore::new(def, None, 1, backend.clone());
+        let all: Vec<Row> = (0..rows)
+            .map(|i| vec![Value::Integer(i % 50), Value::Integer(i)])
+            .collect();
+        for chunk in all.chunks((rows as usize).div_ceil(chunks)) {
+            store.insert_direct_ros(chunk.to_vec(), Epoch(1)).unwrap();
+        }
+        let mut ctx = ExecContext::new(backend);
+        ctx.snapshots
+            .insert("t_super".into(), store.scan_snapshot(Epoch(1)));
+        ctx
+    }
+
+    #[test]
+    fn parallel_hash_join_plan_matches_serial_with_sip() {
+        let probe_scan = PhysicalPlan::Scan {
+            projection: "t_super".into(),
+            output_columns: vec![0, 1],
+            predicate: None,
+            partition_predicate: None,
+            sip: vec![(0, vec![0])],
+        };
+        let build_scan = PhysicalPlan::Scan {
+            projection: "t_super".into(),
+            output_columns: vec![0, 1],
+            predicate: Some(Expr::binary(BinOp::Gt, Expr::col(1, "b"), Expr::int(3970))),
+            partition_predicate: None,
+            sip: vec![],
+        };
+        let serial = PhysicalPlan::HashJoin {
+            left: Box::new(probe_scan.clone()),
+            right: Box::new(build_scan.clone()),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+            sip: Some(0),
+        };
+        let parallel = PhysicalPlan::ParallelHashJoin {
+            left: Box::new(probe_scan),
+            right: Box::new(build_scan),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+            sip: Some(0),
+            probe_threads: 4,
+            build_threads: 2,
+        };
+        let expected = execute_collect(&serial, &mut join_ctx(4000, 4)).unwrap();
+        let got = execute_collect(&parallel, &mut join_ctx(4000, 4)).unwrap();
+        assert_eq!(got, expected);
+        let text = explain(&parallel);
+        assert!(text.contains("ParallelHashJoin INNER"), "{text}");
+        assert!(text.contains("[builds SIP]"), "{text}");
+        assert!(text.contains("probe: 4 workers"), "{text}");
+        assert!(text.contains("[SIP x1]"), "{text}");
+    }
+
+    #[test]
+    fn parallel_hash_join_rejects_non_scan_children() {
+        let plan = PhysicalPlan::ParallelHashJoin {
+            left: Box::new(PhysicalPlan::Values {
+                rows: vec![vec![Value::Integer(1)]],
+                arity: 1,
+            }),
+            right: Box::new(scan_plan(None)),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+            sip: None,
+            probe_threads: 2,
+            build_threads: 2,
+        };
+        let err = execute_collect(&plan, &mut join_ctx(100, 1));
+        assert!(matches!(err, Err(DbError::Plan(_))), "{err:?}");
     }
 }

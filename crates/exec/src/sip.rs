@@ -60,6 +60,13 @@ impl SipFilter {
         *self.keys.write() = Some(keys);
     }
 
+    /// Publish from an iterator of precomputed [`SipFilter::key_hash`]
+    /// values (the parallel join's merge barrier streams per-partition key
+    /// hashes without materializing an intermediate set per partition).
+    pub fn publish_iter(&self, keys: impl IntoIterator<Item = u64>) {
+        self.publish(keys.into_iter().collect());
+    }
+
     pub fn is_ready(&self) -> bool {
         self.keys.read().is_some()
     }

@@ -255,6 +255,22 @@ impl TypedVector {
         }
     }
 
+    /// [`Value::hash64`] of row `i` computed natively — no `Value` is
+    /// constructed. NULL rows hash as [`Value::hash64_null`]. Used by the
+    /// SIP probes and the parallel hash join's typed probe path.
+    #[inline]
+    pub fn hash64_at(&self, i: usize) -> u64 {
+        if !self.is_valid(i) {
+            return Value::hash64_null();
+        }
+        match &self.data {
+            VectorData::Int64(v) | VectorData::Timestamp(v) => Value::hash64_of_i64(v[i]),
+            VectorData::Float64(v) => Value::hash64_of_f64(v[i]),
+            VectorData::Bool(b) => Value::hash64_of_i64(i64::from(b.get(i))),
+            VectorData::Dict { dict, codes } => Value::hash64_of_str(dict.get(codes[i])),
+        }
+    }
+
     /// Value at row `i` (constructs a `Value`; the compatibility edge).
     pub fn value_at(&self, i: usize) -> Value {
         if !self.is_valid(i) {

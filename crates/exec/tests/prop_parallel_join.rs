@@ -1,0 +1,209 @@
+//! Property tests for the morsel-parallel partitioned hash join: the
+//! parallel plan must produce results identical to the serial
+//! `HashJoinOp` plan across lane counts {1, 2, 7, `VDB_EXEC_THREADS`},
+//! inner and left-outer (plus semi/anti) join flavors, NULL join keys,
+//! plain/RLE/dict-encoded key columns, delete vectors on both sides, and
+//! WOS tails on both sides.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vdb_exec::parallel::ExecOptions;
+use vdb_exec::plan::{execute_collect, ExecContext, JoinType, PhysicalPlan};
+use vdb_storage::projection::ProjectionDef;
+use vdb_storage::{MemBackend, ProjectionStore};
+use vdb_types::{ColumnDef, DataType, Epoch, Row, TableSchema, Value};
+
+const PROBE: &str = "t_probe";
+const BUILD: &str = "t_build";
+
+/// `(k, s)` pairs; the row index becomes the unique `v` column.
+fn arb_items(max: usize) -> impl Strategy<Value = Vec<(Option<i64>, Option<String>)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![Just(None), (0i64..6).prop_map(Some)],
+            prop_oneof![Just(None), "[a-c]{0,2}".prop_map(Some)],
+        ),
+        1..max,
+    )
+}
+
+/// Build one store with `chunks` ROS containers, a WOS tail, and a
+/// pseudo-random subset of rows deleted at epoch 2. Sorting by `k` makes
+/// the integer key column arrive as RLE runs; sorting by `v` keeps it
+/// typed. The varchar key always decodes through the dictionary path.
+fn build_store(
+    name: &str,
+    items: &[(Option<i64>, Option<String>)],
+    chunks: usize,
+    sort_by_k: bool,
+    seed: u64,
+) -> ProjectionStore {
+    let schema = TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("k", DataType::Integer),
+            ColumnDef::new("v", DataType::Integer),
+            ColumnDef::new("s", DataType::Varchar),
+        ],
+    );
+    let sort = if sort_by_k { [0usize] } else { [1usize] };
+    let def = ProjectionDef::super_projection(&schema, name, &sort, &[]);
+    let mut store = ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()));
+    let rows: Vec<Row> = items
+        .iter()
+        .enumerate()
+        .map(|(i, (k, s))| {
+            vec![
+                k.map_or(Value::Null, Value::Integer),
+                Value::Integer(i as i64),
+                s.clone().map_or(Value::Null, Value::Varchar),
+            ]
+        })
+        .collect();
+    let per = rows.len().div_ceil(chunks.max(1));
+    for chunk in rows.chunks(per.max(1)) {
+        store.insert_direct_ros(chunk.to_vec(), Epoch(1)).unwrap();
+    }
+    store
+        .insert_wos(
+            vec![
+                vec![Value::Integer(3), Value::Integer(100_000), Value::Null],
+                vec![
+                    Value::Null,
+                    Value::Integer(100_001),
+                    Value::Varchar("b".into()),
+                ],
+            ],
+            Epoch(2),
+        )
+        .unwrap();
+    // Delete ~1/6 of the ROS rows via delete vectors.
+    let locations: Vec<_> = store
+        .visible_rows_with_locations(Epoch(1))
+        .unwrap()
+        .into_iter()
+        .map(|(loc, _)| loc)
+        .collect();
+    for (i, loc) in locations.into_iter().enumerate() {
+        let h = (seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left(17);
+        if h.is_multiple_of(6) {
+            store.mark_deleted(loc, Epoch(2)).unwrap();
+        }
+    }
+    store
+}
+
+fn ctx_of(probe: &ProjectionStore, build: &ProjectionStore) -> ExecContext {
+    let mut ctx = ExecContext::new(probe.backend().clone());
+    ctx.snapshots
+        .insert(PROBE.into(), probe.scan_snapshot(Epoch(2)));
+    ctx.snapshots
+        .insert(BUILD.into(), build.scan_snapshot(Epoch(2)));
+    ctx
+}
+
+fn scan_plan(projection: &str, sip: Vec<(usize, Vec<usize>)>) -> PhysicalPlan {
+    PhysicalPlan::Scan {
+        projection: projection.into(),
+        output_columns: vec![0, 1, 2],
+        predicate: None,
+        partition_predicate: None,
+        sip,
+    }
+}
+
+fn lane_counts() -> Vec<usize> {
+    vec![1, 2, 7, ExecOptions::from_env().threads]
+}
+
+fn check_flavor(
+    probe: &ProjectionStore,
+    build: &ProjectionStore,
+    key_col: usize,
+    jt: JoinType,
+    with_sip: bool,
+) {
+    // SIP is only sound for flavors that drop non-matching probe rows.
+    let sip_ok = with_sip && matches!(jt, JoinType::Inner | JoinType::Semi);
+    let probe_sip = if sip_ok {
+        vec![(0usize, vec![key_col])]
+    } else {
+        vec![]
+    };
+    let sip_id = if sip_ok { Some(0) } else { None };
+    let serial = PhysicalPlan::HashJoin {
+        left: Box::new(scan_plan(PROBE, probe_sip.clone())),
+        right: Box::new(scan_plan(BUILD, vec![])),
+        left_keys: vec![key_col],
+        right_keys: vec![key_col],
+        join_type: jt,
+        sip: sip_id,
+    };
+    let expected = execute_collect(&serial, &mut ctx_of(probe, build)).unwrap();
+    for threads in lane_counts() {
+        let parallel = PhysicalPlan::ParallelHashJoin {
+            left: Box::new(scan_plan(PROBE, probe_sip.clone())),
+            right: Box::new(scan_plan(BUILD, vec![])),
+            left_keys: vec![key_col],
+            right_keys: vec![key_col],
+            join_type: jt,
+            sip: sip_id,
+            probe_threads: threads,
+            build_threads: threads,
+        };
+        let got = execute_collect(&parallel, &mut ctx_of(probe, build)).unwrap();
+        prop_assert_eq!(
+            &got,
+            &expected,
+            "flavor {} key_col {} threads {}",
+            jt.name(),
+            key_col,
+            threads
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Inner and left-outer joins on the integer key (typed or RLE
+    /// depending on the sort order) equal serial across lane counts.
+    #[test]
+    fn parallel_join_equals_serial_int_keys(
+        probe_items in arb_items(200),
+        build_items in arb_items(80),
+        probe_chunks in 1usize..6,
+        build_chunks in 1usize..4,
+        sort_probe_by_k in any::<bool>(),
+        sort_build_by_k in any::<bool>(),
+        seed in any::<u64>(),
+        with_sip in any::<bool>(),
+    ) {
+        let probe = build_store(PROBE, &probe_items, probe_chunks, sort_probe_by_k, seed);
+        let build = build_store(BUILD, &build_items, build_chunks, sort_build_by_k, seed ^ 0xDEAD_BEEF);
+        for jt in [JoinType::Inner, JoinType::LeftOuter] {
+            check_flavor(&probe, &build, 0, jt, with_sip);
+        }
+    }
+
+    /// The dictionary-coded varchar key exercises the per-distinct-code
+    /// probe path; semi/anti ride along on the integer key.
+    #[test]
+    fn parallel_join_equals_serial_dict_keys_and_semi_anti(
+        probe_items in arb_items(150),
+        build_items in arb_items(60),
+        probe_chunks in 1usize..5,
+        build_chunks in 1usize..3,
+        sort_probe_by_k in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let probe = build_store(PROBE, &probe_items, probe_chunks, sort_probe_by_k, seed);
+        let build = build_store(BUILD, &build_items, build_chunks, !sort_probe_by_k, seed ^ 0xBEEF);
+        for jt in [JoinType::Inner, JoinType::LeftOuter] {
+            check_flavor(&probe, &build, 2, jt, false);
+        }
+        for jt in [JoinType::Semi, JoinType::Anti] {
+            check_flavor(&probe, &build, 0, jt, true);
+        }
+    }
+}

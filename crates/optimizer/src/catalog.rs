@@ -86,6 +86,17 @@ impl OptimizerCatalog {
     pub fn table(&self, name: &str) -> Option<&TableMeta> {
         self.tables.get(name)
     }
+
+    /// Container-level morsel count recorded for a projection (1 when the
+    /// projection is unknown). The planner caps every parallel scan's —
+    /// and parallel join side's — degree of parallelism at this.
+    pub fn scan_morsels(&self, projection: &str) -> usize {
+        self.tables
+            .values()
+            .flat_map(|t| &t.projections)
+            .find(|p| p.def.name == projection)
+            .map_or(1, |p| p.scan_morsels)
+    }
 }
 
 #[cfg(test)]

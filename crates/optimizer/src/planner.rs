@@ -146,14 +146,10 @@ impl<'a> Planner<'a> {
     /// morsel count — workers beyond the number of independently stored
     /// containers would idle.
     fn scan_dop(&self, projection: &str) -> usize {
-        let morsels = self
-            .catalog
-            .tables
-            .values()
-            .flat_map(|t| &t.projections)
-            .find(|p| p.def.name == projection)
-            .map_or(1, |p| p.scan_morsels);
-        self.exec.threads.min(morsels).max(1)
+        self.exec
+            .threads
+            .min(self.catalog.scan_morsels(projection))
+            .max(1)
     }
 
     /// Rewrite serial scan shapes into morsel-parallel ones where the DoP
@@ -234,9 +230,81 @@ impl<'a> Planner<'a> {
                 input: Box::new(self.parallelize(*input)),
                 predicate,
             },
-            // Everything else (joins, pipelined group-by, sorts, limits —
-            // a parallel scan under LIMIT would over-scan) stays serial.
+            plan @ PhysicalPlan::HashJoin { .. } => self.parallelize_join(plan),
+            // Everything else (pipelined group-by, sorts, limits — a
+            // parallel scan under LIMIT would over-scan) stays serial.
             other => other,
+        }
+    }
+
+    /// Rewrite `HashJoin{Scan, Scan}` shapes into morsel-parallel
+    /// partitioned hash joins. The probe-side DoP comes from the probe
+    /// projection's container morsel count (like `ParallelScan`), the
+    /// build-side DoP from the build projection's; a probe DoP of 1 keeps
+    /// the serial operator. Left-deep join trees recurse down the probe
+    /// spine, so the innermost (fact ⋈ first dimension) join — the hot
+    /// one — parallelizes while outer joins keep the serial pull pipeline.
+    /// RIGHT/FULL OUTER need build-side matched flags and stay serial.
+    fn parallelize_join(&self, plan: PhysicalPlan) -> PhysicalPlan {
+        match plan {
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                join_type,
+                sip,
+            } => {
+                let left = Box::new(self.parallelize_join(*left));
+                self.try_parallel_join(left, right, left_keys, right_keys, join_type, sip)
+            }
+            other => other,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_parallel_join(
+        &self,
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        join_type: JoinType,
+        sip: Option<usize>,
+    ) -> PhysicalPlan {
+        let probe_dop = match left.as_ref() {
+            PhysicalPlan::Scan { projection, .. } => self.scan_dop(projection),
+            _ => 1,
+        };
+        let flavor_ok = matches!(
+            join_type,
+            JoinType::Inner | JoinType::LeftOuter | JoinType::Semi | JoinType::Anti
+        );
+        if flavor_ok && probe_dop > 1 {
+            if let PhysicalPlan::Scan {
+                projection: build_projection,
+                ..
+            } = right.as_ref()
+            {
+                return PhysicalPlan::ParallelHashJoin {
+                    build_threads: self.scan_dop(build_projection),
+                    probe_threads: probe_dop,
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                    join_type,
+                    sip,
+                };
+            }
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            sip,
         }
     }
 
@@ -1632,6 +1700,53 @@ mod tests {
         let text = vdb_exec::plan::explain(&planned.local);
         assert!(!text.contains("ParallelScan"), "{text}");
         assert!(text.contains("Limit 5"), "{text}");
+    }
+
+    #[test]
+    fn multi_morsel_star_join_parallelizes_with_sip() {
+        let mut cat = catalog();
+        cat.tables.get_mut("fact").unwrap().projections[0].scan_morsels = 8;
+        cat.tables.get_mut("dim").unwrap().projections[0].scan_morsels = 3;
+        let planned = plan(&cat, &join_query(), None, &ExecOptions::with_threads(4)).unwrap();
+        let text = vdb_exec::plan::explain(&planned.local);
+        assert!(text.contains("ParallelHashJoin INNER"), "{text}");
+        assert!(text.contains("probe: 4 workers"), "{text}");
+        assert!(text.contains("build: 3 workers"), "{text}");
+        assert!(text.contains("[builds SIP]"), "{text}");
+        // The probe-side fact scan still consumes the SIP filter.
+        assert!(text.contains("Scan fact_super"), "{text}");
+        assert!(text.contains("[SIP x1]"), "{text}");
+    }
+
+    #[test]
+    fn single_morsel_fact_join_stays_serial() {
+        // Default catalog: one morsel per projection → nothing to pull in
+        // parallel, the serial hash join remains.
+        let planned = plan(
+            &catalog(),
+            &join_query(),
+            None,
+            &ExecOptions::with_threads(8),
+        )
+        .unwrap();
+        let text = vdb_exec::plan::explain(&planned.local);
+        assert!(!text.contains("ParallelHashJoin"), "{text}");
+        assert!(text.contains("HashJoin INNER"), "{text}");
+    }
+
+    #[test]
+    fn right_outer_join_stays_serial() {
+        let mut cat = catalog();
+        cat.tables.get_mut("fact").unwrap().projections[0].scan_morsels = 8;
+        let mut q = join_query();
+        // fact RIGHT OUTER JOIN dim: needs build-side matched flags. Drop
+        // the fact filter so the outer→inner rewrite cannot simplify it.
+        q.joins[0].join_type = JoinType::RightOuter;
+        q.table_filters[0] = None;
+        let planned = plan(&cat, &q, None, &ExecOptions::with_threads(4)).unwrap();
+        let text = vdb_exec::plan::explain(&planned.local);
+        assert!(!text.contains("ParallelHashJoin"), "{text}");
+        assert!(text.contains("HashJoin RIGHT OUTER"), "{text}");
     }
 
     #[test]
