@@ -2,7 +2,7 @@
 //! `BENCH_repro.json` (section wall-clock timings + executor metrics) so
 //! the perf trajectory is tracked run over run.
 //!
-//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector|exec_parallel|exec_parallel_join] [--full]`
+//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector|exec_expr|exec_parallel|exec_parallel_join] [--full]`
 //! `--full` runs paper-scale inputs (minutes); default scales finish in
 //! seconds. The JSON lands in the current directory. Exits nonzero when
 //! any requested target fails (CI's bench-smoke gate relies on this).
@@ -70,6 +70,9 @@ fn main() {
         if wants("vector") {
             run("exec_vector", &mut || repro::exec_vector(vector_rows));
         }
+        if wants("exec_expr") {
+            run("exec_expr", &mut || repro::exec_expr(vector_rows));
+        }
         if wants("exec_parallel") {
             run("exec_parallel", &mut || repro::exec_parallel(parallel_rows));
         }
@@ -82,7 +85,7 @@ fn main() {
     if !matched {
         eprintln!(
             "unknown target {what}; use all|table1|table3|table4|fig1|fig2|fig3|vector|\
-             exec_parallel|exec_parallel_join"
+             exec_expr|exec_parallel|exec_parallel_join"
         );
         std::process::exit(2);
     }

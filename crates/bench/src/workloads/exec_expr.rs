@@ -1,0 +1,247 @@
+//! Workload for the vectorized expression engine: a scan with an
+//! arithmetic + CASE projection and a disjunctive filter, driven through
+//! the columnar FilterOp → ProjectOp pipeline and through a pre-refactor
+//! row-at-a-time baseline (pivot every batch, `Expr::matches` /
+//! `Expr::eval` per row). A second variant feeds an RLE category column to
+//! measure the per-run short-circuit.
+
+use vdb_exec::batch::{Batch, ColumnSlice};
+use vdb_exec::filter::{FilterOp, ProjectOp};
+use vdb_exec::operator::{Operator, ValuesOp};
+use vdb_exec::vector::{TypedVector, VectorData};
+use vdb_types::{BinOp, DbResult, Expr, Value};
+
+const BATCH: usize = 1024;
+
+/// Distinct categories in the RLE variant.
+pub const CATEGORIES: i64 = 50;
+
+/// Typed batches: `a` counts up, `b` cycles mod 1000, `f` is a float.
+pub fn typed_batches(rows: usize) -> Vec<Batch> {
+    (0..rows as i64)
+        .collect::<Vec<_>>()
+        .chunks(BATCH)
+        .map(|c| {
+            let a: Vec<i64> = c.to_vec();
+            let b: Vec<i64> = c.iter().map(|&i| (i * 7) % 1000).collect();
+            let f: Vec<f64> = c.iter().map(|&i| (i % 977) as f64).collect();
+            Batch::new(vec![
+                ColumnSlice::Typed(TypedVector::new(VectorData::Int64(a), None)),
+                ColumnSlice::Typed(TypedVector::new(VectorData::Int64(b), None)),
+                ColumnSlice::Typed(TypedVector::new(VectorData::Float64(f), None)),
+            ])
+        })
+        .collect()
+}
+
+/// The same data as plain `Value` columns (the baseline representation).
+pub fn plain_batches(rows: usize) -> Vec<Batch> {
+    typed_batches(rows)
+        .into_iter()
+        .map(|b| {
+            Batch::new(
+                b.columns
+                    .iter()
+                    .map(|c| ColumnSlice::Plain(c.to_values()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Disjunctive filter: `a < rows/4 OR b >= 900`.
+pub fn filter_pred(rows: usize) -> Expr {
+    Expr::or(
+        Expr::binary(BinOp::Lt, Expr::col(0, "a"), Expr::int(rows as i64 / 4)),
+        Expr::binary(BinOp::Ge, Expr::col(1, "b"), Expr::int(900)),
+    )
+}
+
+/// Select list: arithmetic, CASE, and float math.
+pub fn project_exprs() -> Vec<Expr> {
+    vec![
+        Expr::binary(
+            BinOp::Add,
+            Expr::col(0, "a"),
+            Expr::binary(BinOp::Mul, Expr::col(1, "b"), Expr::int(2)),
+        ),
+        Expr::case(
+            vec![(
+                Expr::binary(BinOp::Ge, Expr::col(1, "b"), Expr::int(500)),
+                Expr::binary(BinOp::Mul, Expr::col(0, "a"), Expr::int(2)),
+            )],
+            Some(Expr::binary(BinOp::Add, Expr::col(0, "a"), Expr::int(1))),
+        ),
+        Expr::binary(BinOp::Mul, Expr::col(2, "f"), Expr::lit(Value::Float(0.5))),
+    ]
+}
+
+/// RLE batches: a category column in long runs plus a typed value column.
+pub fn rle_batches(rows: usize) -> Vec<Batch> {
+    let run_len = 512usize;
+    let mut out = Vec::new();
+    let mut produced = 0usize;
+    let mut cat = 0i64;
+    while produced < rows {
+        let n = (rows - produced).min(BATCH * 4);
+        let mut runs = Vec::new();
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(run_len);
+            runs.push((Value::Integer(cat % CATEGORIES), take as u32));
+            cat += 1;
+            left -= take;
+        }
+        let value: Vec<i64> = (produced as i64..(produced + n) as i64).collect();
+        out.push(Batch::new(vec![
+            ColumnSlice::rle(runs),
+            ColumnSlice::Typed(TypedVector::new(VectorData::Int64(value), None)),
+        ]));
+        produced += n;
+    }
+    out
+}
+
+/// [`rle_batches`] expanded to plain values.
+pub fn rle_expanded_batches(rows: usize) -> Vec<Batch> {
+    rle_batches(rows)
+        .into_iter()
+        .map(|b| {
+            Batch::new(
+                b.columns
+                    .iter()
+                    .map(|c| ColumnSlice::Plain(c.to_values()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// RLE-variant filter: `cat = 7 OR cat >= 40` (per-run tests).
+pub fn rle_pred() -> Expr {
+    Expr::or(
+        Expr::eq(Expr::col(0, "cat"), Expr::int(7)),
+        Expr::binary(BinOp::Ge, Expr::col(0, "cat"), Expr::int(40)),
+    )
+}
+
+/// RLE-variant projection: a single-column CASE (evaluates once per run)
+/// plus native arithmetic on the value column.
+pub fn rle_exprs() -> Vec<Expr> {
+    vec![
+        Expr::case(
+            vec![(
+                Expr::binary(BinOp::Ge, Expr::col(0, "cat"), Expr::int(40)),
+                Expr::binary(BinOp::Mul, Expr::col(0, "cat"), Expr::int(100)),
+            )],
+            Some(Expr::col(0, "cat")),
+        ),
+        Expr::binary(BinOp::Add, Expr::col(1, "v"), Expr::int(1)),
+    ]
+}
+
+/// Result fingerprint: survivor count plus a sampled checksum (every 101st
+/// output row, all columns) so the paths are checked for agreement without
+/// the checksum dominating the timing.
+#[derive(Debug, PartialEq)]
+pub struct Fingerprint {
+    pub rows: u64,
+    pub checksum: i64,
+}
+
+fn fold(checksum: &mut i64, v: &Value) {
+    let bits = match v {
+        Value::Integer(x) | Value::Timestamp(x) => *x,
+        Value::Float(f) => f.to_bits() as i64,
+        Value::Boolean(b) => i64::from(*b),
+        Value::Varchar(s) => s.len() as i64,
+        Value::Null => -1,
+    };
+    *checksum = checksum.wrapping_mul(31).wrapping_add(bits);
+}
+
+/// Columnar pipeline: FilterOp (vectorized predicate) → ProjectOp
+/// (expression engine) → batch drain. Also returns how many row pivots
+/// the pipeline performed on this thread (expected: zero).
+pub fn run_vectorized(
+    batches: Vec<Batch>,
+    pred: Expr,
+    exprs: Vec<Expr>,
+) -> DbResult<(Fingerprint, u64)> {
+    let pivots_before = vdb_exec::row_pivot_count();
+    let filter = FilterOp::new(Box::new(ValuesOp::new(batches)), pred);
+    let mut project = ProjectOp::new(Box::new(filter), exprs);
+    let mut fp = Fingerprint {
+        rows: 0,
+        checksum: 0,
+    };
+    let mut next_sample = 0u64;
+    while let Some(batch) = project.next_batch()? {
+        let n = batch.len() as u64;
+        // Sample via column accessors — no pivot.
+        while next_sample < fp.rows + n {
+            let li = (next_sample - fp.rows) as usize;
+            let pi = batch.physical_index(li);
+            for col in &batch.columns {
+                fold(&mut fp.checksum, &col.value_at(pi));
+            }
+            next_sample += 101;
+        }
+        fp.rows += n;
+    }
+    Ok((fp, vdb_exec::row_pivot_count() - pivots_before))
+}
+
+/// Pre-refactor baseline: pivot each batch to rows, evaluate the predicate
+/// and every select-list expression per row.
+pub fn run_row_path(batches: Vec<Batch>, pred: Expr, exprs: Vec<Expr>) -> DbResult<Fingerprint> {
+    let mut fp = Fingerprint {
+        rows: 0,
+        checksum: 0,
+    };
+    let mut next_sample = 0u64;
+    for batch in batches {
+        for row in batch.into_rows() {
+            if !pred.matches(&row)? {
+                continue;
+            }
+            let mut projected = Vec::with_capacity(exprs.len());
+            for e in &exprs {
+                projected.push(e.eval(&row)?);
+            }
+            if fp.rows == next_sample {
+                for v in &projected {
+                    fold(&mut fp.checksum, v);
+                }
+                next_sample += 101;
+            }
+            fp.rows += 1;
+        }
+    }
+    Ok(fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectorized_and_row_paths_agree() {
+        let rows = 20_000;
+        let (v, pivots) =
+            run_vectorized(typed_batches(rows), filter_pred(rows), project_exprs()).unwrap();
+        let r = run_row_path(plain_batches(rows), filter_pred(rows), project_exprs()).unwrap();
+        assert_eq!(v, r);
+        assert!(v.rows > 0);
+        assert_eq!(pivots, 0, "columnar pipeline must not pivot");
+    }
+
+    #[test]
+    fn rle_variant_agrees_and_stays_pivot_free() {
+        let rows = 20_000;
+        let (v, pivots) = run_vectorized(rle_batches(rows), rle_pred(), rle_exprs()).unwrap();
+        let r = run_row_path(rle_expanded_batches(rows), rle_pred(), rle_exprs()).unwrap();
+        assert_eq!(v, r);
+        assert_eq!(pivots, 0);
+    }
+}

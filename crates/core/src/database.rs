@@ -1,4 +1,10 @@
 //! The `Database` facade: SQL in, rows out.
+//!
+//! This is the executor's *row-pivot edge*: plans run columnar end to end
+//! (typed vectors, selection vectors, vectorized expression evaluation —
+//! see `vdb_exec::expr_vec`), and batches are expanded into `Vec<Row>`
+//! results only when they leave the engine here, via
+//! `vdb_exec::collect_rows` / `Batch::into_rows`.
 
 use parking_lot::RwLock;
 use std::collections::HashSet;
@@ -704,6 +710,51 @@ mod tests {
         assert!(text.contains("ParallelHashJoin INNER"), "{text}");
         assert!(text.contains("[builds SIP]"), "{text}");
         assert!(text.contains("[SIP x1]"), "{text}");
+    }
+
+    #[test]
+    fn vectorized_expressions_sql_end_to_end() {
+        // Arithmetic + CASE in the select list and a disjunctive WHERE:
+        // the whole pipeline runs through the vectorized expression engine
+        // (row-wise eval only as error fallback); results must match a
+        // hand computation.
+        let db = db_with_sales();
+        let rows: Vec<Row> = (0..200)
+            .map(|i| {
+                vec![
+                    Value::Integer(i),
+                    Value::Varchar(if i % 3 == 0 { "e" } else { "w" }.into()),
+                    Value::Float(i as f64),
+                    Value::Timestamp(i * 100),
+                ]
+            })
+            .collect();
+        db.load("sales", &rows).unwrap();
+        let got = db
+            .query(
+                "SELECT id, id * 2 + 1, \
+                 CASE WHEN amt >= 150 THEN 'hot' WHEN region = 'e' THEN 'east' ELSE 'cold' END \
+                 FROM sales WHERE region = 'e' OR amt > 180 ORDER BY id",
+            )
+            .unwrap();
+        let expect: Vec<Row> = (0..200)
+            .filter(|&i| i % 3 == 0 || i as f64 > 180.0)
+            .map(|i| {
+                let label = if i >= 150 {
+                    "hot"
+                } else if i % 3 == 0 {
+                    "east"
+                } else {
+                    "cold"
+                };
+                vec![
+                    Value::Integer(i),
+                    Value::Integer(i * 2 + 1),
+                    Value::Varchar(label.into()),
+                ]
+            })
+            .collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -10,11 +10,37 @@
 //! compatibility edge — which applies the selection on the way out.
 
 use crate::vector::{RleVector, SelectionVector, TypedVector};
+use std::cell::Cell;
 use vdb_encoding::NativeBlock;
 use vdb_types::{Row, Value};
 
 /// Target rows per batch.
 pub const BATCH_SIZE: usize = 1024;
+
+thread_local! {
+    /// Per-thread count of row pivots ([`Batch::rows`] /
+    /// [`Batch::into_rows`] calls). The executor's goal is that a typed
+    /// scan→filter→project→group-by pipeline performs **zero** pivots
+    /// until the `Database` result edge; this counter lets tests (and the
+    /// repro bench) assert it on the driving thread.
+    static ROW_PIVOTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Row pivots performed by the *current thread* so far.
+pub fn row_pivot_count() -> u64 {
+    ROW_PIVOTS.with(Cell::get)
+}
+
+#[inline]
+fn note_pivot() {
+    // Debugging aid: `VDB_TRACE_PIVOTS=1` prints a backtrace per pivot so
+    // a stray pivot inside a supposedly columnar pipeline is easy to find.
+    static TRACE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *TRACE.get_or_init(|| std::env::var_os("VDB_TRACE_PIVOTS").is_some()) {
+        eprintln!("pivot at:\n{}", std::backtrace::Backtrace::force_capture());
+    }
+    ROW_PIVOTS.with(|c| c.set(c.get() + 1));
+}
 
 /// One column of a batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +177,72 @@ pub(crate) fn rows_into_batches(rows: Vec<Row>, chunk: usize) -> Vec<Batch> {
     batches
 }
 
+/// Assemble a hash-join output batch without pivoting a probe row:
+/// probe-side columns are gathered at the match positions (`probe_idx` —
+/// non-decreasing physical indices, duplicated per multi-match), and the
+/// matched build-side rows are transposed into output columns, with NULL
+/// padding for outer-join misses (`None` entries). Shared by the serial
+/// and morsel-parallel hash joins.
+pub(crate) fn gather_join_output(
+    probe: &Batch,
+    probe_idx: &[u32],
+    build_side: Vec<Option<Row>>,
+    right_arity: usize,
+) -> Batch {
+    debug_assert_eq!(probe_idx.len(), build_side.len());
+    let mut columns: Vec<ColumnSlice> = probe
+        .columns
+        .iter()
+        .map(|c| ColumnSlice::Plain(c.gather_values(probe_idx)))
+        .collect();
+    let mut right_cols: Vec<Vec<Value>> = (0..right_arity)
+        .map(|_| Vec::with_capacity(build_side.len()))
+        .collect();
+    for entry in build_side {
+        match entry {
+            Some(row) => {
+                for (c, v) in row.into_iter().enumerate() {
+                    right_cols[c].push(v);
+                }
+            }
+            None => {
+                for col in right_cols.iter_mut() {
+                    col.push(Value::Null);
+                }
+            }
+        }
+    }
+    columns.extend(right_cols.into_iter().map(ColumnSlice::Plain));
+    Batch::new(columns)
+}
+
+/// Build a batch from rows an operator materialized internally (group-by
+/// results, sorted output, unmatched-build emission), promoting each
+/// homogeneous column to a [`TypedVector`] so downstream operators keep the
+/// typed fast paths. Values are *moved* (rows are consumed column by
+/// column), so this costs one transpose, not a copy.
+pub(crate) fn typed_batch_from_rows(rows: Vec<Row>) -> Batch {
+    if rows.is_empty() {
+        return Batch::default();
+    }
+    let arity = rows[0].len();
+    let len = rows.len();
+    let mut cols: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(len)).collect();
+    for row in rows {
+        for (c, v) in row.into_iter().enumerate() {
+            cols[c].push(v);
+        }
+    }
+    let columns = cols
+        .into_iter()
+        .map(|values| match TypedVector::from_owned_values(values) {
+            Ok(tv) => ColumnSlice::Typed(tv),
+            Err(values) => ColumnSlice::Plain(values),
+        })
+        .collect();
+    Batch::new(columns)
+}
+
 /// A column-major batch of rows with an optional selection vector.
 ///
 /// `columns` hold *physical* rows; when `selection` is present only the
@@ -240,6 +332,7 @@ impl Batch {
 
     /// Expand into row-major form (applies the selection).
     pub fn rows(&self) -> Vec<Row> {
+        note_pivot();
         match &self.selection {
             None => {
                 let cols: Vec<Vec<Value>> =
@@ -265,6 +358,7 @@ impl Batch {
     /// values are *moved*, not cloned — the hot path for joins and
     /// aggregation over wide rows).
     pub fn into_rows(self) -> Vec<Row> {
+        note_pivot();
         let Batch {
             columns,
             physical_len,
@@ -334,8 +428,9 @@ impl Batch {
     }
 
     /// Materialize the physical rows in `sel` into a new selection-free
-    /// batch, preserving each column's representation.
-    fn materialized(&self, sel: &SelectionVector) -> Batch {
+    /// batch, preserving each column's representation (the exchange router
+    /// uses this to slice per-lane sub-batches).
+    pub(crate) fn materialized(&self, sel: &SelectionVector) -> Batch {
         Batch {
             columns: self.columns.iter().map(|c| c.filter_sel(sel)).collect(),
             physical_len: sel.len(),

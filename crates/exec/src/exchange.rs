@@ -14,7 +14,7 @@
 //!   its own thread (alike values co-located, so per-lane GroupBys compute
 //!   complete groups), and unions the results.
 
-use crate::batch::{Batch, BATCH_SIZE};
+use crate::batch::{Batch, ColumnSlice, BATCH_SIZE};
 use crate::operator::{BoxedOperator, Operator};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,10 +68,18 @@ impl SendOp {
     /// `JoinHandle<DbResult<()>>` and join it (e.g. via
     /// [`ParallelUnionOp::with_feeder`]) so a routing failure surfaces as
     /// an error instead of a silently truncated stream.
+    ///
+    /// Routing is columnar: the per-row lane is computed from column
+    /// accessors (typed key columns hash natively via
+    /// [`crate::vector::TypedVector::hash64_at`]; the ring expression
+    /// evaluates through the vectorized engine) and each lane receives a
+    /// column-sliced sub-batch — no row is pivoted in the router.
     pub fn run(mut self) -> DbResult<()> {
         let n = self.senders.len();
-        let mut buckets: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
         while let Some(batch) = self.input.next_batch()? {
+            if batch.is_empty() {
+                continue;
+            }
             match &self.routing {
                 Routing::Broadcast => {
                     self.bytes_sent
@@ -81,42 +89,55 @@ impl SendOp {
                     }
                 }
                 Routing::HashColumns(cols) => {
-                    for row in batch.into_rows() {
-                        let mut h = 0u64;
-                        for &c in cols {
-                            h = h.rotate_left(21) ^ row[c].hash64();
-                        }
-                        buckets[(h % n as u64) as usize].push(row);
-                    }
-                    self.flush_buckets(&mut buckets, false)?;
+                    let lanes: Vec<usize> = (0..batch.len())
+                        .map(|li| {
+                            let pi = batch.physical_index(li);
+                            let mut h = 0u64;
+                            for &c in cols {
+                                let hv = match &batch.columns[c] {
+                                    ColumnSlice::Typed(tv) => tv.hash64_at(pi),
+                                    other => other.value_at(pi).hash64(),
+                                };
+                                h = h.rotate_left(21) ^ hv;
+                            }
+                            (h % n as u64) as usize
+                        })
+                        .collect();
+                    self.send_lanes(&batch, &lanes)?;
                 }
                 Routing::Ring(expr) => {
-                    for row in batch.into_rows() {
-                        let v = expr.eval(&row)?;
-                        let ring = v.as_i64().ok_or_else(|| {
+                    let ring_col = crate::expr_vec::eval_expr_column(&batch, expr)?;
+                    let mut lanes = Vec::with_capacity(batch.len());
+                    for i in 0..ring_col.len() {
+                        let ring = ring_col.value_at(i).as_i64().ok_or_else(|| {
                             DbError::Execution("ring expression must be integral".into())
                         })? as u64;
-                        let dest = ((ring as u128 * n as u128) >> 64) as usize;
-                        buckets[dest].push(row);
+                        lanes.push(((ring as u128 * n as u128) >> 64) as usize);
                     }
-                    self.flush_buckets(&mut buckets, false)?;
+                    self.send_lanes(&batch, &lanes)?;
                 }
             }
         }
-        let mut buckets_final = buckets;
-        self.flush_buckets(&mut buckets_final, true)?;
         Ok(())
     }
 
-    fn flush_buckets(&self, buckets: &mut [Vec<Row>], force: bool) -> DbResult<()> {
-        for (i, bucket) in buckets.iter_mut().enumerate() {
-            if bucket.is_empty() || (!force && bucket.len() < BATCH_SIZE) {
+    /// Send each lane its slice of the batch (`lanes` is aligned with the
+    /// batch's logical rows). One pass buckets physical row positions per
+    /// lane (O(rows + lanes)); slices are materialized with their column
+    /// representations preserved — RLE runs shorten, typed buffers gather.
+    fn send_lanes(&self, batch: &Batch, lanes: &[usize]) -> DbResult<()> {
+        let mut per_lane: Vec<Vec<u32>> = vec![Vec::new(); self.senders.len()];
+        for (li, &lane) in lanes.iter().enumerate() {
+            per_lane[lane].push(batch.physical_index(li) as u32);
+        }
+        for (lane, idx) in per_lane.into_iter().enumerate() {
+            if idx.is_empty() {
                 continue;
             }
-            let batch = Batch::from_rows(std::mem::take(bucket));
+            let piece = batch.materialized(&crate::vector::SelectionVector::new(idx));
             self.bytes_sent
-                .fetch_add(batch.approx_bytes() as u64, Ordering::Relaxed);
-            self.senders[i].send(batch).map_err(closed)?;
+                .fetch_add(piece.approx_bytes() as u64, Ordering::Relaxed);
+            self.senders[lane].send(piece).map_err(closed)?;
         }
         Ok(())
     }

@@ -1,0 +1,1596 @@
+//! Vectorized expression evaluation (§6.1 ExprEval, MonetDB/X100 style).
+//!
+//! A [`VectorizedExpr`] evaluates a bound [`Expr`] tree column-at-a-time
+//! over a [`Batch`]'s [`ColumnSlice`]s: each tree node runs a typed kernel
+//! over the batch's *domain* (the physical rows selected by the batch's
+//! [`SelectionVector`], or all rows) and produces an intermediate vector in
+//! native form — `Vec<i64>` / `Vec<f64>` buffers with validity bitmaps,
+//! dictionary codes for strings, a tri-state byte vector for booleans.
+//! Rows are never materialized.
+//!
+//! Short-circuits and folds:
+//!
+//! * **Constant folding** — a column-free (sub)tree evaluates once per
+//!   batch and broadcasts; a constant projection output is emitted as a
+//!   single-run RLE column.
+//! * **RLE runs** — an expression over exactly one column that arrives
+//!   run-length-encoded evaluates once per *run* and emits RLE output with
+//!   the same run structure.
+//! * **Dictionary codes** — an expression over exactly one
+//!   dictionary-coded string column evaluates once per *distinct code*
+//!   present in the domain.
+//! * **Boolean logic via domain combination** — `AND`/`OR` evaluate the
+//!   right side only over the rows the left side did not decide, and
+//!   `CASE` evaluates each branch value only over the rows whose condition
+//!   selected it, exactly mirroring row-wise short-circuit semantics
+//!   (including *which* rows can raise evaluation errors).
+//!
+//! Nodes with no native kernel (scalar function calls, mixed-type
+//! arithmetic, heterogeneous `Plain` columns) fall back to per-row
+//! evaluation of that node only — child results stay vectorized, and no
+//! full row is ever pivoted. Semantics are bit-for-bit those of
+//! [`Expr::eval`]; `prop_expr_vec` asserts the equivalence property.
+
+use crate::batch::{Batch, ColumnSlice};
+use crate::vector::{Bitmap, RleVector, SelectionVector, TypedVector, VectorData};
+use std::sync::Arc;
+use vdb_types::expr::{cast_value, eval_binary, eval_func};
+use vdb_types::{BinOp, DataType, DbError, DbResult, Expr, Func, StringDictionary, UnOp, Value};
+
+/// Tri-state boolean: SQL three-valued logic, one byte per row.
+const T_FALSE: u8 = 0;
+const T_TRUE: u8 = 1;
+const T_NULL: u8 = 2;
+
+/// An intermediate column: the result of evaluating one expression node
+/// over the current domain. All variants except `Const` are aligned with
+/// the domain (`vals.len() == domain.len()`).
+enum VCol {
+    /// The same value for every domain row (literal or folded subtree).
+    Const(Value),
+    /// Native integral buffer; `ts` distinguishes TIMESTAMP from INTEGER.
+    I64 {
+        vals: Vec<i64>,
+        valid: Option<Bitmap>,
+        ts: bool,
+    },
+    F64 {
+        vals: Vec<f64>,
+        valid: Option<Bitmap>,
+    },
+    /// Three-valued boolean result.
+    Bool(Vec<u8>),
+    /// Dictionary-coded strings.
+    Str {
+        dict: Arc<StringDictionary>,
+        codes: Vec<u32>,
+        valid: Option<Bitmap>,
+    },
+    /// Unspecialized values (mixed-type columns, fallback results).
+    Plain(Vec<Value>),
+}
+
+impl VCol {
+    /// Value at domain position `i` (constructs a `Value`; used by the
+    /// generic fallback kernels and result scattering).
+    fn value_of(&self, i: usize) -> Value {
+        match self {
+            VCol::Const(v) => v.clone(),
+            VCol::I64 { vals, valid, ts } => {
+                if bit(valid, i) {
+                    if *ts {
+                        Value::Timestamp(vals[i])
+                    } else {
+                        Value::Integer(vals[i])
+                    }
+                } else {
+                    Value::Null
+                }
+            }
+            VCol::F64 { vals, valid } => {
+                if bit(valid, i) {
+                    Value::Float(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            VCol::Bool(t) => match t[i] {
+                T_NULL => Value::Null,
+                b => Value::Boolean(b == T_TRUE),
+            },
+            VCol::Str { dict, codes, valid } => {
+                if bit(valid, i) {
+                    Value::Varchar(dict.get(codes[i]).to_string())
+                } else {
+                    Value::Null
+                }
+            }
+            VCol::Plain(values) => values[i].clone(),
+        }
+    }
+}
+
+#[inline]
+fn bit(valid: &Option<Bitmap>, i: usize) -> bool {
+    valid.as_ref().is_none_or(|b| b.get(i))
+}
+
+/// AND of two validity bitmaps.
+fn merge_valid(a: &Option<Bitmap>, b: &Option<Bitmap>, n: usize) -> Option<Bitmap> {
+    match (a, b) {
+        (None, None) => None,
+        _ => Some(Bitmap::from_bools((0..n).map(|i| bit(a, i) && bit(b, i)))),
+    }
+}
+
+/// Promote materialized values to a native vector when homogeneous.
+fn promote_plain(values: Vec<Value>) -> VCol {
+    match TypedVector::from_owned_values(values) {
+        Ok(tv) => {
+            let (data, valid) = tv.into_parts();
+            match data {
+                VectorData::Int64(vals) => VCol::I64 {
+                    vals,
+                    valid,
+                    ts: false,
+                },
+                VectorData::Timestamp(vals) => VCol::I64 {
+                    vals,
+                    valid,
+                    ts: true,
+                },
+                VectorData::Float64(vals) => VCol::F64 { vals, valid },
+                VectorData::Bool(bits) => VCol::Bool(
+                    (0..bits.len())
+                        .map(|i| {
+                            if !bit(&valid, i) {
+                                T_NULL
+                            } else if bits.get(i) {
+                                T_TRUE
+                            } else {
+                                T_FALSE
+                            }
+                        })
+                        .collect(),
+                ),
+                VectorData::Dict { dict, codes } => VCol::Str { dict, codes, valid },
+            }
+        }
+        Err(values) => VCol::Plain(values),
+    }
+}
+
+/// Convert an evaluation result into a batch column of `n` rows.
+fn vcol_to_slice(vc: VCol, n: usize) -> ColumnSlice {
+    match vc {
+        // Constant output stays encoded: one RLE run covers the batch.
+        VCol::Const(v) => ColumnSlice::Rle(RleVector::new(if n == 0 {
+            Vec::new()
+        } else {
+            vec![(v, u32::try_from(n).expect("batch fits u32 rows"))]
+        })),
+        VCol::I64 { vals, valid, ts } => {
+            let data = if ts {
+                VectorData::Timestamp(vals)
+            } else {
+                VectorData::Int64(vals)
+            };
+            ColumnSlice::Typed(TypedVector::new(data, valid))
+        }
+        VCol::F64 { vals, valid } => {
+            ColumnSlice::Typed(TypedVector::new(VectorData::Float64(vals), valid))
+        }
+        VCol::Bool(t) => {
+            let valid = t
+                .contains(&T_NULL)
+                .then(|| Bitmap::from_bools(t.iter().map(|&b| b != T_NULL)));
+            let bits = Bitmap::from_bools(t.iter().map(|&b| b == T_TRUE));
+            ColumnSlice::Typed(TypedVector::new(VectorData::Bool(bits), valid))
+        }
+        VCol::Str { dict, codes, valid } => {
+            ColumnSlice::Typed(TypedVector::new(VectorData::Dict { dict, codes }, valid))
+        }
+        VCol::Plain(values) => match TypedVector::from_owned_values(values) {
+            Ok(tv) => ColumnSlice::Typed(tv),
+            Err(values) => ColumnSlice::Plain(values),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled expression
+// ---------------------------------------------------------------------------
+
+/// A compiled vectorized expression: the tree plus the per-batch dispatch
+/// decisions (constant fold, single-column RLE/dict short-circuits)
+/// resolved once at construction instead of once per batch.
+pub struct VectorizedExpr {
+    expr: Expr,
+    /// The whole tree is column-free: evaluate once per batch.
+    is_const: bool,
+    /// Exactly one column feeds the tree: candidates for the per-run /
+    /// per-distinct-code short-circuits.
+    single_col: Option<usize>,
+}
+
+impl VectorizedExpr {
+    pub fn new(expr: Expr) -> VectorizedExpr {
+        let refs = expr.referenced_columns();
+        VectorizedExpr {
+            is_const: refs.is_empty(),
+            single_col: match refs.as_slice() {
+                [c] => Some(*c),
+                _ => None,
+            },
+            expr,
+        }
+    }
+
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Evaluate over the batch's logical rows, producing one output column
+    /// of `batch.len()` values (the batch's selection, if any, is applied
+    /// during evaluation — the result carries no selection).
+    pub fn eval_column(&self, batch: &Batch) -> DbResult<ColumnSlice> {
+        let n = batch.len();
+        if n == 0 {
+            return Ok(ColumnSlice::Plain(Vec::new()));
+        }
+        if self.is_const {
+            return Ok(vcol_to_slice(VCol::Const(self.expr.eval(&[])?), n));
+        }
+        if let Some(c) = self.single_col {
+            if c < batch.arity() {
+                match &batch.columns[c] {
+                    ColumnSlice::Rle(rv) => return self.eval_rle_runs(rv, batch.selection(), c),
+                    ColumnSlice::Typed(tv) => {
+                        if let VectorData::Dict { dict, codes } = tv.data() {
+                            return self.eval_dict_codes(tv, dict, codes, batch, c);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let domain = domain_of(batch);
+        let vc = eval(&self.expr, &batch.columns, &domain)?;
+        Ok(vcol_to_slice(vc, n))
+    }
+
+    /// Evaluate as a predicate: the physical rows (a subset of the batch's
+    /// selection) where the expression is `TRUE` — SQL semantics, so NULL
+    /// and non-boolean results do not select.
+    pub fn eval_selection(&self, batch: &Batch) -> DbResult<SelectionVector> {
+        let domain = domain_of(batch);
+        if domain.is_empty() {
+            return Ok(SelectionVector::default());
+        }
+        if self.is_const {
+            return Ok(if self.expr.eval(&[])?.is_true() {
+                SelectionVector::new(domain)
+            } else {
+                SelectionVector::default()
+            });
+        }
+        // Per-run predicate: one evaluation per run — lazily, so runs the
+        // batch's selection has fully excluded are never evaluated (they
+        // could raise errors row-wise evaluation would never see).
+        if let Some(c) = self.single_col {
+            if let Some(ColumnSlice::Rle(rv)) = batch.columns.get(c) {
+                let mut row = vec![Value::Null; c + 1];
+                let mut decisions: Vec<Option<bool>> = vec![None; rv.runs().len()];
+                let mut ri = 0usize;
+                let mut kept = Vec::with_capacity(domain.len());
+                for i in domain {
+                    while rv.run_start(ri + 1) <= i as usize {
+                        ri += 1;
+                    }
+                    let keep = match decisions[ri] {
+                        Some(k) => k,
+                        None => {
+                            row[c] = rv.runs()[ri].0.clone();
+                            let k = self.expr.matches(&row)?;
+                            decisions[ri] = Some(k);
+                            k
+                        }
+                    };
+                    if keep {
+                        kept.push(i);
+                    }
+                }
+                return Ok(SelectionVector::new(kept));
+            }
+        }
+        let vc = eval(&self.expr, &batch.columns, &domain)?;
+        let kept: Vec<u32> = domain
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, &phys)| {
+                let t = match &vc {
+                    VCol::Bool(t) => t[pos] == T_TRUE,
+                    VCol::Const(v) => v.is_true(),
+                    VCol::Plain(values) => values[pos].is_true(),
+                    _ => false, // non-boolean predicate result: never true
+                };
+                t.then_some(phys)
+            })
+            .collect();
+        Ok(SelectionVector::new(kept))
+    }
+
+    /// Single-RLE-column short-circuit: evaluate once per run, emit RLE.
+    fn eval_rle_runs(
+        &self,
+        rv: &RleVector,
+        sel: Option<&SelectionVector>,
+        c: usize,
+    ) -> DbResult<ColumnSlice> {
+        let filtered;
+        let runs = match sel {
+            None => rv.runs(),
+            Some(sel) => {
+                filtered = rv.filter(sel);
+                filtered.runs()
+            }
+        };
+        let mut row = vec![Value::Null; c + 1];
+        let mut out = Vec::with_capacity(runs.len());
+        for (v, len) in runs {
+            row[c] = v.clone();
+            out.push((self.expr.eval(&row)?, *len));
+        }
+        Ok(ColumnSlice::Rle(RleVector::new(out)))
+    }
+
+    /// Single-dict-column short-circuit: evaluate once per distinct code
+    /// present in the domain (plus once for NULL if any row is NULL).
+    fn eval_dict_codes(
+        &self,
+        tv: &TypedVector,
+        dict: &Arc<StringDictionary>,
+        codes: &[u32],
+        batch: &Batch,
+        c: usize,
+    ) -> DbResult<ColumnSlice> {
+        let domain = domain_of(batch);
+        let mut used = vec![false; dict.len()];
+        let mut any_null = false;
+        for &i in &domain {
+            if tv.is_valid(i as usize) {
+                used[codes[i as usize] as usize] = true;
+            } else {
+                any_null = true;
+            }
+        }
+        let mut row = vec![Value::Null; c + 1];
+        let mut per_code: Vec<Option<Value>> = vec![None; dict.len()];
+        for (code, used) in used.iter().enumerate() {
+            if *used {
+                row[c] = Value::Varchar(dict.get(code as u32).to_string());
+                per_code[code] = Some(self.expr.eval(&row)?);
+            }
+        }
+        let null_result = if any_null {
+            row[c] = Value::Null;
+            Some(self.expr.eval(&row)?)
+        } else {
+            None
+        };
+        let out: Vec<Value> = domain
+            .iter()
+            .map(|&i| {
+                let i = i as usize;
+                if tv.is_valid(i) {
+                    per_code[codes[i] as usize].clone().expect("code evaluated")
+                } else {
+                    null_result.clone().expect("null evaluated")
+                }
+            })
+            .collect();
+        Ok(vcol_to_slice(promote_plain(out), domain.len()))
+    }
+}
+
+/// The batch's evaluation domain: selected physical rows, or all rows.
+fn domain_of(batch: &Batch) -> Vec<u32> {
+    match batch.selection() {
+        Some(sel) => sel.indices().to_vec(),
+        None => (0..batch.physical_len() as u32).collect(),
+    }
+}
+
+/// Evaluate an expression over a batch's logical rows (compiles on the
+/// fly; operators that evaluate repeatedly should hold a [`VectorizedExpr`]).
+pub fn eval_expr_column(batch: &Batch, expr: &Expr) -> DbResult<ColumnSlice> {
+    VectorizedExpr::new(expr.clone()).eval_column(batch)
+}
+
+/// Evaluate a predicate over a batch, returning the selected physical rows.
+pub fn eval_predicate(batch: &Batch, pred: &Expr) -> DbResult<SelectionVector> {
+    VectorizedExpr::new(pred.clone()).eval_selection(batch)
+}
+
+// ---------------------------------------------------------------------------
+// Node evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluate one node over `domain` (physical row indexes, ascending).
+fn eval(expr: &Expr, cols: &[ColumnSlice], domain: &[u32]) -> DbResult<VCol> {
+    let n = domain.len();
+    if n == 0 {
+        return Ok(VCol::Plain(Vec::new()));
+    }
+    // Fold column-free subtrees: one evaluation, broadcast to the domain.
+    if expr.is_constant() {
+        return Ok(VCol::Const(expr.eval(&[])?));
+    }
+    match expr {
+        Expr::Literal(v) => Ok(VCol::Const(v.clone())),
+        Expr::Column { index, name } => {
+            let col = cols.get(*index).ok_or_else(|| {
+                DbError::Execution(format!(
+                    "column {name} (index {index}) out of bounds for batch of arity {}",
+                    cols.len()
+                ))
+            })?;
+            Ok(load_column(col, domain))
+        }
+        Expr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => {
+            eval_logic(*op, left, right, cols, domain)
+        }
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            let l = eval(left, cols, domain)?;
+            let r = eval(right, cols, domain)?;
+            Ok(VCol::Bool(cmp_kernel(*op, &l, &r, n)))
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval(left, cols, domain)?;
+            let r = eval(right, cols, domain)?;
+            match arith_kernel(*op, &l, &r, n) {
+                Some(res) => res,
+                // Varchar concat, boolean operands, mixed plain columns:
+                // per-row scalar kernel with exact row-wise semantics.
+                None => generic_rows(n, |i| eval_binary(*op, &l.value_of(i), &r.value_of(i))),
+            }
+        }
+        Expr::Unary { op, input } => {
+            let v = eval(input, cols, domain)?;
+            match (op, &v) {
+                (
+                    UnOp::Neg,
+                    VCol::I64 {
+                        vals,
+                        valid,
+                        ts: false,
+                    },
+                ) => Ok(VCol::I64 {
+                    vals: vals.iter().map(|&x| x.wrapping_neg()).collect(),
+                    valid: valid.clone(),
+                    ts: false,
+                }),
+                (UnOp::Neg, VCol::F64 { vals, valid }) => Ok(VCol::F64 {
+                    vals: vals.iter().map(|&x| -x).collect(),
+                    valid: valid.clone(),
+                }),
+                (UnOp::Not, VCol::Bool(t)) => Ok(VCol::Bool(
+                    t.iter()
+                        .map(|&b| match b {
+                            T_TRUE => T_FALSE,
+                            T_FALSE => T_TRUE,
+                            other => other,
+                        })
+                        .collect(),
+                )),
+                _ => generic_rows(n, |i| match (op, v.value_of(i)) {
+                    (_, Value::Null) => Ok(Value::Null),
+                    (UnOp::Neg, Value::Integer(x)) => Ok(Value::Integer(-x)),
+                    (UnOp::Neg, Value::Float(x)) => Ok(Value::Float(-x)),
+                    (UnOp::Not, Value::Boolean(b)) => Ok(Value::Boolean(!b)),
+                    (op, v) => Err(DbError::Execution(format!("cannot apply {op:?} to {v}"))),
+                }),
+            }
+        }
+        Expr::IsNull { input, negated } => {
+            let v = eval(input, cols, domain)?;
+            Ok(VCol::Bool(
+                (0..n)
+                    .map(|i| {
+                        let is_null = match &v {
+                            VCol::Const(c) => c.is_null(),
+                            VCol::I64 { valid, .. }
+                            | VCol::F64 { valid, .. }
+                            | VCol::Str { valid, .. } => !bit(valid, i),
+                            VCol::Bool(t) => t[i] == T_NULL,
+                            VCol::Plain(values) => values[i].is_null(),
+                        };
+                        if is_null != *negated {
+                            T_TRUE
+                        } else {
+                            T_FALSE
+                        }
+                    })
+                    .collect(),
+            ))
+        }
+        Expr::InList {
+            input,
+            list,
+            negated,
+        } => {
+            let v = eval(input, cols, domain)?;
+            Ok(VCol::Bool(in_list_kernel(&v, list, *negated, n)))
+        }
+        Expr::Between { input, low, high } => {
+            let v = eval(input, cols, domain)?;
+            let lo = eval(low, cols, domain)?;
+            let hi = eval(high, cols, domain)?;
+            Ok(VCol::Bool(
+                (0..n)
+                    .map(|i| {
+                        let (a, l, h) = (v.value_of(i), lo.value_of(i), hi.value_of(i));
+                        if a.is_null() || l.is_null() || h.is_null() {
+                            T_NULL
+                        } else if a >= l && a <= h {
+                            T_TRUE
+                        } else {
+                            T_FALSE
+                        }
+                    })
+                    .collect(),
+            ))
+        }
+        Expr::Case {
+            branches,
+            otherwise,
+        } => eval_case(branches, otherwise.as_deref(), cols, domain),
+        Expr::Cast { input, to } => {
+            let v = eval(input, cols, domain)?;
+            match (&v, to) {
+                (VCol::I64 { vals, valid, .. }, DataType::Float) => Ok(VCol::F64 {
+                    vals: vals.iter().map(|&x| x as f64).collect(),
+                    valid: valid.clone(),
+                }),
+                (VCol::I64 { vals, valid, .. }, DataType::Integer) => Ok(VCol::I64 {
+                    vals: vals.clone(),
+                    valid: valid.clone(),
+                    ts: false,
+                }),
+                (
+                    VCol::I64 {
+                        vals,
+                        valid,
+                        ts: false,
+                    },
+                    DataType::Timestamp,
+                ) => Ok(VCol::I64 {
+                    vals: vals.clone(),
+                    valid: valid.clone(),
+                    ts: true,
+                }),
+                (VCol::F64 { vals, valid }, DataType::Integer) => Ok(VCol::I64 {
+                    vals: vals.iter().map(|&x| x as i64).collect(),
+                    valid: valid.clone(),
+                    ts: false,
+                }),
+                (VCol::F64 { .. }, DataType::Float) => Ok(v),
+                _ => generic_rows(n, |i| cast_value(v.value_of(i), *to)),
+            }
+        }
+        Expr::Call { func, args } => eval_call(*func, args, cols, domain),
+    }
+}
+
+/// Gather one input column into an intermediate vector. The full-domain
+/// case clones native buffers wholesale (memcpy) instead of gathering.
+fn load_column(col: &ColumnSlice, domain: &[u32]) -> VCol {
+    let full = domain.len() == col.len();
+    match col {
+        ColumnSlice::Typed(tv) => {
+            let gather_valid = || -> Option<Bitmap> {
+                tv.validity()
+                    .map(|v| if full { v.clone() } else { v.gather(domain) })
+            };
+            match tv.data() {
+                VectorData::Int64(xs) | VectorData::Timestamp(xs) => VCol::I64 {
+                    vals: if full {
+                        xs.clone()
+                    } else {
+                        domain.iter().map(|&i| xs[i as usize]).collect()
+                    },
+                    valid: gather_valid(),
+                    ts: matches!(tv.data(), VectorData::Timestamp(_)),
+                },
+                VectorData::Float64(xs) => VCol::F64 {
+                    vals: if full {
+                        xs.clone()
+                    } else {
+                        domain.iter().map(|&i| xs[i as usize]).collect()
+                    },
+                    valid: gather_valid(),
+                },
+                VectorData::Bool(bits) => VCol::Bool(
+                    domain
+                        .iter()
+                        .map(|&i| {
+                            let i = i as usize;
+                            if !tv.is_valid(i) {
+                                T_NULL
+                            } else if bits.get(i) {
+                                T_TRUE
+                            } else {
+                                T_FALSE
+                            }
+                        })
+                        .collect(),
+                ),
+                VectorData::Dict { dict, codes } => VCol::Str {
+                    dict: dict.clone(),
+                    codes: if full {
+                        codes.clone()
+                    } else {
+                        domain.iter().map(|&i| codes[i as usize]).collect()
+                    },
+                    valid: gather_valid(),
+                },
+            }
+        }
+        // RLE and plain columns gather values and promote when homogeneous
+        // so downstream kernels still run natively.
+        ColumnSlice::Rle(rv) => promote_plain(rv.gather_values(domain)),
+        ColumnSlice::Plain(values) => promote_plain(if full {
+            values.clone()
+        } else {
+            domain.iter().map(|&i| values[i as usize].clone()).collect()
+        }),
+    }
+}
+
+fn generic_rows(n: usize, mut f: impl FnMut(usize) -> DbResult<Value>) -> DbResult<VCol> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(f(i)?);
+    }
+    Ok(promote_plain(out))
+}
+
+/// Convert a result to tri-state booleans with `AND`/`OR` operand
+/// semantics: non-boolean non-NULL values are a type error (mirroring
+/// row-wise `bool3`).
+fn to_tri(vc: &VCol, n: usize) -> DbResult<Vec<u8>> {
+    let type_err = |found: &Value| DbError::TypeMismatch {
+        expected: "BOOLEAN".into(),
+        found: found.to_string(),
+    };
+    match vc {
+        VCol::Bool(t) => Ok(t.clone()),
+        VCol::Const(Value::Null) => Ok(vec![T_NULL; n]),
+        VCol::Const(Value::Boolean(b)) => Ok(vec![if *b { T_TRUE } else { T_FALSE }; n]),
+        VCol::Const(other) => Err(type_err(other)),
+        other => (0..n)
+            .map(|i| match other.value_of(i) {
+                Value::Null => Ok(T_NULL),
+                Value::Boolean(true) => Ok(T_TRUE),
+                Value::Boolean(false) => Ok(T_FALSE),
+                v => Err(type_err(&v)),
+            })
+            .collect(),
+    }
+}
+
+/// Kleene `AND`/`OR` with short-circuit domains: the right side is only
+/// evaluated over rows the left side did not decide, so rows that would
+/// not evaluate the right side row-wise cannot raise errors here either.
+fn eval_logic(
+    op: BinOp,
+    left: &Expr,
+    right: &Expr,
+    cols: &[ColumnSlice],
+    domain: &[u32],
+) -> DbResult<VCol> {
+    let n = domain.len();
+    let l = eval(left, cols, domain)?;
+    let lt = to_tri(&l, n)?;
+    let decisive = if op == BinOp::And { T_FALSE } else { T_TRUE };
+    let need: Vec<usize> = (0..n).filter(|&i| lt[i] != decisive).collect();
+    if need.is_empty() {
+        return Ok(VCol::Bool(lt));
+    }
+    let sub: Vec<u32> = need.iter().map(|&i| domain[i]).collect();
+    let r = eval(right, cols, &sub)?;
+    let rt = to_tri(&r, sub.len())?;
+    let mut out = lt;
+    for (j, &i) in need.iter().enumerate() {
+        let (a, b) = (out[i], rt[j]);
+        out[i] = match op {
+            BinOp::And => match (a, b) {
+                (T_FALSE, _) | (_, T_FALSE) => T_FALSE,
+                (T_TRUE, T_TRUE) => T_TRUE,
+                _ => T_NULL,
+            },
+            _ => match (a, b) {
+                (T_TRUE, _) | (_, T_TRUE) => T_TRUE,
+                (T_FALSE, T_FALSE) => T_FALSE,
+                _ => T_NULL,
+            },
+        };
+    }
+    Ok(VCol::Bool(out))
+}
+
+/// CASE: each branch's value expression is evaluated only over the rows
+/// its condition selected; conditions see only rows no earlier branch took
+/// (row-wise `is_true` semantics — NULL and non-boolean fall through).
+fn eval_case(
+    branches: &[(Expr, Expr)],
+    otherwise: Option<&Expr>,
+    cols: &[ColumnSlice],
+    domain: &[u32],
+) -> DbResult<VCol> {
+    let n = domain.len();
+    let mut out: Vec<Value> = vec![Value::Null; n];
+    let mut rem_phys: Vec<u32> = domain.to_vec();
+    let mut rem_pos: Vec<u32> = (0..n as u32).collect();
+    for (cond, val) in branches {
+        if rem_phys.is_empty() {
+            break;
+        }
+        let c = eval(cond, cols, &rem_phys)?;
+        let mut take_phys = Vec::new();
+        let mut take_pos = Vec::new();
+        let mut next_phys = Vec::new();
+        let mut next_pos = Vec::new();
+        for (j, (&phys, &pos)) in rem_phys.iter().zip(&rem_pos).enumerate() {
+            let taken = match &c {
+                VCol::Bool(t) => t[j] == T_TRUE,
+                VCol::Const(v) => v.is_true(),
+                other => other.value_of(j).is_true(),
+            };
+            if taken {
+                take_phys.push(phys);
+                take_pos.push(pos);
+            } else {
+                next_phys.push(phys);
+                next_pos.push(pos);
+            }
+        }
+        if !take_phys.is_empty() {
+            let v = eval(val, cols, &take_phys)?;
+            for (j, &pos) in take_pos.iter().enumerate() {
+                out[pos as usize] = v.value_of(j);
+            }
+        }
+        rem_phys = next_phys;
+        rem_pos = next_pos;
+    }
+    if let Some(e) = otherwise {
+        if !rem_phys.is_empty() {
+            let v = eval(e, cols, &rem_phys)?;
+            for (j, &pos) in rem_pos.iter().enumerate() {
+                out[pos as usize] = v.value_of(j);
+            }
+        }
+    }
+    Ok(promote_plain(out))
+}
+
+// ---------------------------------------------------------------------------
+// Comparison kernel
+// ---------------------------------------------------------------------------
+
+fn ord_matches(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinOp::Eq => ord == Equal,
+        BinOp::Ne => ord != Equal,
+        BinOp::Lt => ord == Less,
+        BinOp::Le => ord != Greater,
+        BinOp::Gt => ord == Greater,
+        BinOp::Ge => ord != Less,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Numeric operand view for the comparison kernel. Booleans are *not*
+/// viewed numerically: `Value::cmp` compares `Boolean` by numeric value
+/// against `Integer` only — against `Float`/`Timestamp`/`Varchar` it
+/// falls back to the fixed type rank — so boolean operands take the
+/// generic per-row path, which delegates to `Value::cmp` directly.
+enum CmpView<'a> {
+    I64C(i64),
+    F64C(f64),
+    I64S(&'a [i64], &'a Option<Bitmap>),
+    F64S(&'a [f64], &'a Option<Bitmap>),
+}
+
+fn cmp_view(vc: &VCol) -> Option<CmpView<'_>> {
+    match vc {
+        VCol::Const(Value::Integer(v) | Value::Timestamp(v)) => Some(CmpView::I64C(*v)),
+        VCol::Const(Value::Float(f)) => Some(CmpView::F64C(*f)),
+        VCol::I64 { vals, valid, .. } => Some(CmpView::I64S(vals, valid)),
+        VCol::F64 { vals, valid } => Some(CmpView::F64S(vals, valid)),
+        _ => None,
+    }
+}
+
+fn cmp_kernel(op: BinOp, l: &VCol, r: &VCol, n: usize) -> Vec<u8> {
+    let tri = |b: bool| if b { T_TRUE } else { T_FALSE };
+    // Numeric fast paths: integer-family compares by i64, anything
+    // involving floats by IEEE total order — exactly `Value::cmp`.
+    if let (Some(lv), Some(rv)) = (cmp_view(l), cmp_view(r)) {
+        let valid_at = |v: &CmpView<'_>, i: usize| match v {
+            CmpView::I64C(_) | CmpView::F64C(_) => true,
+            CmpView::I64S(_, valid) | CmpView::F64S(_, valid) => bit(valid, i),
+        };
+        let both_int = matches!(lv, CmpView::I64C(_) | CmpView::I64S(..))
+            && matches!(rv, CmpView::I64C(_) | CmpView::I64S(..));
+        return (0..n)
+            .map(|i| {
+                if !valid_at(&lv, i) || !valid_at(&rv, i) {
+                    return T_NULL;
+                }
+                let ord = if both_int {
+                    let a = match &lv {
+                        CmpView::I64C(v) => *v,
+                        CmpView::I64S(vals, _) => vals[i],
+                        _ => unreachable!(),
+                    };
+                    let b = match &rv {
+                        CmpView::I64C(v) => *v,
+                        CmpView::I64S(vals, _) => vals[i],
+                        _ => unreachable!(),
+                    };
+                    a.cmp(&b)
+                } else {
+                    let a = match &lv {
+                        CmpView::I64C(v) => *v as f64,
+                        CmpView::F64C(v) => *v,
+                        CmpView::I64S(vals, _) => vals[i] as f64,
+                        CmpView::F64S(vals, _) => vals[i],
+                    };
+                    let b = match &rv {
+                        CmpView::I64C(v) => *v as f64,
+                        CmpView::F64C(v) => *v,
+                        CmpView::I64S(vals, _) => vals[i] as f64,
+                        CmpView::F64S(vals, _) => vals[i],
+                    };
+                    a.total_cmp(&b)
+                };
+                tri(ord_matches(op, ord))
+            })
+            .collect();
+    }
+    // Dictionary column vs string literal: one compare per distinct value.
+    if let (VCol::Str { dict, codes, valid }, VCol::Const(Value::Varchar(s))) = (l, r) {
+        let keep: Vec<u8> = dict
+            .entries()
+            .iter()
+            .map(|e| tri(ord_matches(op, e.as_str().cmp(s.as_str()))))
+            .collect();
+        return (0..n)
+            .map(|i| {
+                if bit(valid, i) {
+                    keep[codes[i] as usize]
+                } else {
+                    T_NULL
+                }
+            })
+            .collect();
+    }
+    if let (VCol::Const(Value::Varchar(s)), VCol::Str { dict, codes, valid }) = (l, r) {
+        let keep: Vec<u8> = dict
+            .entries()
+            .iter()
+            .map(|e| tri(ord_matches(op, s.as_str().cmp(e.as_str()))))
+            .collect();
+        return (0..n)
+            .map(|i| {
+                if bit(valid, i) {
+                    keep[codes[i] as usize]
+                } else {
+                    T_NULL
+                }
+            })
+            .collect();
+    }
+    // Generic: `Value::cmp` per row with SQL NULL propagation.
+    (0..n)
+        .map(|i| {
+            let (a, b) = (l.value_of(i), r.value_of(i));
+            if a.is_null() || b.is_null() {
+                T_NULL
+            } else {
+                tri(ord_matches(op, a.cmp(&b)))
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic kernel
+// ---------------------------------------------------------------------------
+
+/// Numeric operand view for arithmetic (booleans and strings excluded —
+/// they take the generic scalar path so type errors match row-wise).
+enum NumView<'a> {
+    IntC(i64),
+    TsC(i64),
+    F64C(f64),
+    IntS(&'a [i64], &'a Option<Bitmap>),
+    TsS(&'a [i64], &'a Option<Bitmap>),
+    F64S(&'a [f64], &'a Option<Bitmap>),
+}
+
+impl NumView<'_> {
+    fn valid(&self, i: usize) -> bool {
+        match self {
+            NumView::IntC(_) | NumView::TsC(_) | NumView::F64C(_) => true,
+            NumView::IntS(_, v) | NumView::TsS(_, v) | NumView::F64S(_, v) => bit(v, i),
+        }
+    }
+
+    fn i64_at(&self, i: usize) -> i64 {
+        match self {
+            NumView::IntC(v) | NumView::TsC(v) => *v,
+            NumView::IntS(vals, _) | NumView::TsS(vals, _) => vals[i],
+            NumView::F64S(..) | NumView::F64C(_) => unreachable!("integer path"),
+        }
+    }
+
+    fn f64_at(&self, i: usize) -> f64 {
+        match self {
+            NumView::IntC(v) | NumView::TsC(v) => *v as f64,
+            NumView::IntS(vals, _) | NumView::TsS(vals, _) => vals[i] as f64,
+            NumView::F64C(v) => *v,
+            NumView::F64S(vals, _) => vals[i],
+        }
+    }
+
+    fn is_int(&self) -> bool {
+        matches!(self, NumView::IntC(_) | NumView::IntS(..))
+    }
+
+    fn is_ts(&self) -> bool {
+        matches!(self, NumView::TsC(_) | NumView::TsS(..))
+    }
+
+    fn validity(&self) -> &Option<Bitmap> {
+        match self {
+            NumView::IntS(_, v) | NumView::TsS(_, v) | NumView::F64S(_, v) => v,
+            _ => &None,
+        }
+    }
+}
+
+fn num_view(vc: &VCol) -> Option<NumView<'_>> {
+    match vc {
+        VCol::Const(Value::Integer(v)) => Some(NumView::IntC(*v)),
+        VCol::Const(Value::Timestamp(v)) => Some(NumView::TsC(*v)),
+        VCol::Const(Value::Float(f)) => Some(NumView::F64C(*f)),
+        VCol::I64 {
+            vals,
+            valid,
+            ts: false,
+        } => Some(NumView::IntS(vals, valid)),
+        VCol::I64 {
+            vals,
+            valid,
+            ts: true,
+        } => Some(NumView::TsS(vals, valid)),
+        VCol::F64 { vals, valid } => Some(NumView::F64S(vals, valid)),
+        _ => None,
+    }
+}
+
+/// Native arithmetic over numeric operands; `None` when an operand is not
+/// numeric (caller falls back to the per-row scalar kernel). Matches
+/// [`eval_binary`]: INTEGER⟨op⟩INTEGER stays integer, TIMESTAMP±INTEGER
+/// stays timestamp, every other combination computes in f64.
+fn arith_kernel(op: BinOp, l: &VCol, r: &VCol, n: usize) -> Option<DbResult<VCol>> {
+    let lv = num_view(l)?;
+    let rv = num_view(r)?;
+    let valid = merge_valid(lv.validity(), rv.validity(), n);
+    if lv.is_int() && rv.is_int() {
+        let mut vals = Vec::with_capacity(n);
+        for i in 0..n {
+            let ok = lv.valid(i) && rv.valid(i);
+            if !ok {
+                vals.push(0);
+                continue;
+            }
+            let (a, b) = (lv.i64_at(i), rv.i64_at(i));
+            vals.push(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div | BinOp::Mod => {
+                    if b == 0 {
+                        return Some(Err(DbError::Execution("division by zero".into())));
+                    }
+                    if op == BinOp::Div {
+                        a / b
+                    } else {
+                        a % b
+                    }
+                }
+                _ => unreachable!("arithmetic op"),
+            });
+        }
+        return Some(Ok(VCol::I64 {
+            vals,
+            valid,
+            ts: false,
+        }));
+    }
+    if lv.is_ts() && rv.is_int() && matches!(op, BinOp::Add | BinOp::Sub) {
+        let vals = (0..n)
+            .map(|i| {
+                if !(lv.valid(i) && rv.valid(i)) {
+                    return 0;
+                }
+                let (a, b) = (lv.i64_at(i), rv.i64_at(i));
+                if op == BinOp::Add {
+                    a.wrapping_add(b)
+                } else {
+                    a.wrapping_sub(b)
+                }
+            })
+            .collect();
+        return Some(Ok(VCol::I64 {
+            vals,
+            valid,
+            ts: true,
+        }));
+    }
+    // Everything else numeric runs in f64 (row-wise `as_f64` path).
+    let mut vals = Vec::with_capacity(n);
+    for i in 0..n {
+        if !(lv.valid(i) && rv.valid(i)) {
+            vals.push(0.0);
+            continue;
+        }
+        let (a, b) = (lv.f64_at(i), rv.f64_at(i));
+        vals.push(match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => {
+                if b == 0.0 {
+                    return Some(Err(DbError::Execution("division by zero".into())));
+                }
+                a / b
+            }
+            BinOp::Mod => a % b,
+            _ => unreachable!("arithmetic op"),
+        });
+    }
+    Some(Ok(VCol::F64 { vals, valid }))
+}
+
+// ---------------------------------------------------------------------------
+// IN-list kernel
+// ---------------------------------------------------------------------------
+
+/// The integral membership sets for an IN list probed by an `i64`-family
+/// column: a hash set of exactly-equal integral values plus a float
+/// residue to compare by `total_cmp` per row. `ts` is the column's
+/// TIMESTAMP-ness: `Value::cmp` grants `Boolean` numeric equality against
+/// `Integer` only, so boolean list items join the set only for non-ts
+/// columns. Shared with the filter layer's conjunct vectorizer so the
+/// cross-type equality rules live in one place.
+pub(crate) fn in_list_int_sets(
+    list: &[Value],
+    ts: bool,
+) -> (std::collections::HashSet<i64>, Vec<f64>) {
+    let mut ints = std::collections::HashSet::new();
+    let mut floats = Vec::new();
+    for item in list {
+        match item {
+            Value::Integer(x) | Value::Timestamp(x) => {
+                ints.insert(*x);
+            }
+            Value::Boolean(b) if !ts => {
+                ints.insert(i64::from(*b));
+            }
+            Value::Float(f) => floats.push(*f),
+            _ => {} // strings, NULL, bool-vs-timestamp: never equal
+        }
+    }
+    (ints, floats)
+}
+
+/// Does integral value `x` belong to the sets from [`in_list_int_sets`]?
+#[inline]
+pub(crate) fn in_list_int_found(
+    x: i64,
+    ints: &std::collections::HashSet<i64>,
+    floats: &[f64],
+) -> bool {
+    ints.contains(&x)
+        || floats
+            .iter()
+            .any(|f| (x as f64).total_cmp(f) == std::cmp::Ordering::Equal)
+}
+
+/// Per-dictionary-entry IN membership (one test per distinct string).
+pub(crate) fn in_list_dict_keep(dict: &StringDictionary, list: &[Value]) -> Vec<bool> {
+    dict.entries()
+        .iter()
+        .map(|e| list.iter().any(|x| x.as_str() == Some(e.as_str())))
+        .collect()
+}
+
+/// Membership with `Value` equality semantics (numeric cross-type equality
+/// included). Integer inputs test a hash set of the integral list values
+/// plus a float residue compared by `total_cmp`; dictionary inputs test
+/// once per distinct code.
+fn in_list_kernel(v: &VCol, list: &[Value], negated: bool, n: usize) -> Vec<u8> {
+    let tri = |found: bool| {
+        if found != negated {
+            T_TRUE
+        } else {
+            T_FALSE
+        }
+    };
+    match v {
+        VCol::I64 { vals, valid, ts } => {
+            let (ints, floats) = in_list_int_sets(list, *ts);
+            (0..n)
+                .map(|i| {
+                    if !bit(valid, i) {
+                        return T_NULL;
+                    }
+                    tri(in_list_int_found(vals[i], &ints, &floats))
+                })
+                .collect()
+        }
+        VCol::F64 { vals, valid } => {
+            let nums: Vec<f64> = list.iter().filter_map(Value::as_f64).collect();
+            (0..n)
+                .map(|i| {
+                    if !bit(valid, i) {
+                        return T_NULL;
+                    }
+                    let x = vals[i];
+                    tri(nums
+                        .iter()
+                        .any(|f| x.total_cmp(f) == std::cmp::Ordering::Equal))
+                })
+                .collect()
+        }
+        VCol::Str { dict, codes, valid } => {
+            let keep = in_list_dict_keep(dict, list);
+            (0..n)
+                .map(|i| {
+                    if !bit(valid, i) {
+                        T_NULL
+                    } else {
+                        tri(keep[codes[i] as usize])
+                    }
+                })
+                .collect()
+        }
+        other => (0..n)
+            .map(|i| {
+                let x = other.value_of(i);
+                if x.is_null() {
+                    T_NULL
+                } else {
+                    tri(list.iter().any(|item| item == &x))
+                }
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function-call kernels
+// ---------------------------------------------------------------------------
+
+fn eval_call(func: Func, args: &[Expr], cols: &[ColumnSlice], domain: &[u32]) -> DbResult<VCol> {
+    let n = domain.len();
+    let vargs: Vec<VCol> = args
+        .iter()
+        .map(|a| eval(a, cols, domain))
+        .collect::<DbResult<Vec<_>>>()?;
+    // Native date-part extraction and ABS over integral buffers.
+    if let [VCol::I64 { vals, valid, ts }] = vargs.as_slice() {
+        match func {
+            Func::ExtractYear | Func::ExtractMonth | Func::ExtractDay | Func::YearMonth => {
+                let vals = vals
+                    .iter()
+                    .map(|&t| match func {
+                        Func::ExtractYear => vdb_types::date::year(t),
+                        Func::ExtractMonth => vdb_types::date::month(t),
+                        Func::ExtractDay => vdb_types::date::day(t),
+                        _ => vdb_types::date::year_month(t),
+                    })
+                    .collect();
+                return Ok(VCol::I64 {
+                    vals,
+                    valid: valid.clone(),
+                    ts: false,
+                });
+            }
+            Func::Abs if !ts => {
+                return Ok(VCol::I64 {
+                    vals: vals.iter().map(|&x| x.abs()).collect(),
+                    valid: valid.clone(),
+                    ts: false,
+                });
+            }
+            _ => {}
+        }
+    }
+    if let ([VCol::F64 { vals, valid }], Func::Abs) = (vargs.as_slice(), func) {
+        return Ok(VCol::F64 {
+            vals: vals.iter().map(|&x| x.abs()).collect(),
+            valid: valid.clone(),
+        });
+    }
+    // String functions over dictionary codes: once per distinct value.
+    if let ([VCol::Str { dict, codes, valid }], Func::Length | Func::Lower | Func::Upper) =
+        (vargs.as_slice(), func)
+    {
+        let per_code: Vec<Value> = dict
+            .entries()
+            .iter()
+            .map(|e| match func {
+                Func::Length => Value::Integer(e.chars().count() as i64),
+                Func::Lower => Value::Varchar(e.to_lowercase()),
+                _ => Value::Varchar(e.to_uppercase()),
+            })
+            .collect();
+        let out: Vec<Value> = (0..n)
+            .map(|i| {
+                if bit(valid, i) {
+                    per_code[codes[i] as usize].clone()
+                } else {
+                    Value::Null
+                }
+            })
+            .collect();
+        return Ok(promote_plain(out));
+    }
+    // Generic scalar call: per-row argument assembly, shared kernels.
+    let mut row_args = vec![Value::Null; vargs.len()];
+    generic_rows(n, |i| {
+        for (slot, a) in row_args.iter_mut().zip(&vargs) {
+            *slot = a.value_of(i);
+        }
+        eval_func(func, &row_args)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_types::date;
+
+    fn typed(values: &[Value]) -> ColumnSlice {
+        ColumnSlice::Typed(TypedVector::from_values(values).expect("homogeneous"))
+    }
+
+    fn ints(xs: &[i64]) -> ColumnSlice {
+        typed(&xs.iter().copied().map(Value::Integer).collect::<Vec<_>>())
+    }
+
+    /// Row-wise reference over the batch's logical rows.
+    fn reference(batch: &Batch, e: &Expr) -> Vec<Value> {
+        batch.rows().iter().map(|r| e.eval(r).unwrap()).collect()
+    }
+
+    fn assert_agrees(batch: &Batch, e: &Expr) {
+        let col = eval_expr_column(batch, e).unwrap();
+        assert_eq!(col.to_values(), reference(batch, e), "expr {e}");
+    }
+
+    #[test]
+    fn native_arithmetic_with_nulls() {
+        let batch = Batch::new(vec![
+            typed(&[Value::Integer(1), Value::Null, Value::Integer(3)]),
+            typed(&[Value::Integer(10), Value::Integer(20), Value::Null]),
+        ]);
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul] {
+            assert_agrees(
+                &batch,
+                &Expr::binary(op, Expr::col(0, "a"), Expr::col(1, "b")),
+            );
+            assert_agrees(&batch, &Expr::binary(op, Expr::col(0, "a"), Expr::int(7)));
+        }
+        let col = eval_expr_column(
+            &batch,
+            &Expr::binary(BinOp::Add, Expr::col(0, "a"), Expr::col(1, "b")),
+        )
+        .unwrap();
+        assert!(col.is_typed(), "native output");
+    }
+
+    #[test]
+    fn float_and_mixed_arithmetic() {
+        let batch = Batch::new(vec![
+            typed(&[Value::Float(1.5), Value::Float(-2.0), Value::Null]),
+            ints(&[2, 3, 4]),
+        ]);
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Sub] {
+            assert_agrees(
+                &batch,
+                &Expr::binary(op, Expr::col(0, "f"), Expr::col(1, "i")),
+            );
+        }
+        assert_agrees(
+            &batch,
+            &Expr::binary(BinOp::Div, Expr::col(0, "f"), Expr::lit(Value::Float(2.0))),
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors_only_when_a_row_hits_it() {
+        let batch = Batch::new(vec![ints(&[1, 2, 3])]);
+        let div = Expr::binary(BinOp::Div, Expr::int(10), Expr::col(0, "a"));
+        assert_agrees(&batch, &div);
+        let zero = Batch::new(vec![ints(&[1, 0])]);
+        assert!(eval_expr_column(&zero, &div).is_err());
+        // Guarded by CASE: the zero row never evaluates the division.
+        let guarded = Expr::case(
+            vec![(
+                Expr::binary(BinOp::Ne, Expr::col(0, "a"), Expr::int(0)),
+                div.clone(),
+            )],
+            Some(Expr::int(-1)),
+        );
+        assert_agrees(&zero, &guarded);
+    }
+
+    #[test]
+    fn case_and_boolean_logic_match_row_semantics() {
+        let batch = Batch::new(vec![
+            typed(&[
+                Value::Integer(1),
+                Value::Integer(5),
+                Value::Null,
+                Value::Integer(9),
+            ]),
+            typed(&[
+                Value::Varchar("a".into()),
+                Value::Varchar("b".into()),
+                Value::Varchar("a".into()),
+                Value::Null,
+            ]),
+        ]);
+        let case = Expr::case(
+            vec![
+                (
+                    Expr::binary(BinOp::Gt, Expr::col(0, "a"), Expr::int(4)),
+                    Expr::lit(Value::Varchar("big".into())),
+                ),
+                (
+                    Expr::eq(Expr::col(1, "s"), Expr::lit(Value::Varchar("a".into()))),
+                    Expr::lit(Value::Varchar("is-a".into())),
+                ),
+            ],
+            Some(Expr::lit(Value::Varchar("other".into()))),
+        );
+        assert_agrees(&batch, &case);
+        let logic = Expr::or(
+            Expr::and(
+                Expr::binary(BinOp::Ge, Expr::col(0, "a"), Expr::int(5)),
+                Expr::binary(BinOp::Lt, Expr::col(0, "a"), Expr::int(9)),
+            ),
+            Expr::eq(Expr::col(1, "s"), Expr::lit(Value::Varchar("a".into()))),
+        );
+        assert_agrees(&batch, &logic);
+    }
+
+    #[test]
+    fn constant_projection_emits_single_run_rle() {
+        let batch = Batch::new(vec![ints(&[1, 2, 3, 4])]);
+        let col = eval_expr_column(
+            &batch,
+            &Expr::binary(BinOp::Mul, Expr::int(6), Expr::int(7)),
+        )
+        .unwrap();
+        let ColumnSlice::Rle(rv) = &col else {
+            panic!("constant must stay encoded, got {col:?}");
+        };
+        assert_eq!(rv.runs(), &[(Value::Integer(42), 4)]);
+    }
+
+    #[test]
+    fn rle_input_evaluates_per_run() {
+        let batch = Batch::new(vec![ColumnSlice::rle(vec![
+            (Value::Integer(2), 500),
+            (Value::Integer(3), 250),
+            (Value::Null, 3),
+        ])]);
+        let e = Expr::binary(BinOp::Mul, Expr::col(0, "a"), Expr::int(10));
+        let col = eval_expr_column(&batch, &e).unwrap();
+        let ColumnSlice::Rle(rv) = &col else {
+            panic!("RLE in, RLE out; got {col:?}");
+        };
+        assert_eq!(
+            rv.runs(),
+            &[
+                (Value::Integer(20), 500),
+                (Value::Integer(30), 250),
+                (Value::Null, 3),
+            ]
+        );
+        // And through a selection the runs shorten but stay runs.
+        let mask: Vec<bool> = (0..753).map(|i| i < 650).collect();
+        let filtered = batch.into_filtered(&mask);
+        let col = eval_expr_column(&filtered, &e).unwrap();
+        assert_eq!(col.len(), 650);
+        assert!(col.is_rle());
+    }
+
+    #[test]
+    fn dict_input_evaluates_per_distinct_code() {
+        let values: Vec<Value> = (0..100)
+            .map(|i| {
+                if i % 10 == 0 {
+                    Value::Null
+                } else {
+                    Value::Varchar(format!("s{}", i % 3))
+                }
+            })
+            .collect();
+        let batch = Batch::new(vec![typed(&values)]);
+        let e = Expr::call(Func::Upper, vec![Expr::col(0, "s")]);
+        assert_agrees(&batch, &e);
+        let e = Expr::call(Func::Length, vec![Expr::col(0, "s")]);
+        assert_agrees(&batch, &e);
+    }
+
+    #[test]
+    fn in_between_isnull_cast_agree() {
+        let batch = Batch::new(vec![
+            typed(&[
+                Value::Integer(1),
+                Value::Null,
+                Value::Integer(5),
+                Value::Integer(7),
+            ]),
+            typed(&[
+                Value::Float(1.0),
+                Value::Float(5.5),
+                Value::Null,
+                Value::Float(7.0),
+            ]),
+        ]);
+        assert_agrees(
+            &batch,
+            &Expr::in_list(
+                Expr::col(0, "a"),
+                vec![
+                    Value::Integer(5),
+                    Value::Float(7.0),
+                    Value::Varchar("x".into()),
+                ],
+                false,
+            ),
+        );
+        assert_agrees(
+            &batch,
+            &Expr::in_list(
+                Expr::col(1, "f"),
+                vec![Value::Integer(1), Value::Float(5.5)],
+                true,
+            ),
+        );
+        assert_agrees(
+            &batch,
+            &Expr::between(Expr::col(0, "a"), Expr::int(2), Expr::int(6)),
+        );
+        assert_agrees(&batch, &Expr::is_null(Expr::col(1, "f"), false));
+        assert_agrees(&batch, &Expr::is_null(Expr::col(0, "a"), true));
+        assert_agrees(
+            &batch,
+            &Expr::Cast {
+                input: Box::new(Expr::col(0, "a")),
+                to: DataType::Float,
+            },
+        );
+        assert_agrees(
+            &batch,
+            &Expr::Cast {
+                input: Box::new(Expr::col(1, "f")),
+                to: DataType::Integer,
+            },
+        );
+    }
+
+    #[test]
+    fn date_extraction_native() {
+        let ts = date::timestamp_from_civil(2012, 5, 17, 10, 30, 0);
+        let batch = Batch::new(vec![typed(&[Value::Timestamp(ts), Value::Null])]);
+        for f in [
+            Func::ExtractYear,
+            Func::ExtractMonth,
+            Func::ExtractDay,
+            Func::YearMonth,
+        ] {
+            assert_agrees(&batch, &Expr::call(f, vec![Expr::col(0, "ts")]));
+        }
+    }
+
+    #[test]
+    fn boolean_literals_compare_by_rank_outside_the_integer_family() {
+        // `Value::cmp` treats Boolean numerically against Integer only;
+        // against Float and Timestamp it falls back to the type rank. The
+        // kernels must agree with row-wise evaluation on all three.
+        let batch = Batch::new(vec![
+            typed(&[Value::Float(0.5), Value::Float(1.5)]),
+            typed(&[Value::Timestamp(0), Value::Timestamp(1)]),
+            ints(&[0, 1]),
+        ]);
+        for col in 0..3 {
+            for op in [BinOp::Lt, BinOp::Eq, BinOp::Ge] {
+                assert_agrees(
+                    &batch,
+                    &Expr::binary(op, Expr::col(col, "c"), Expr::lit(Value::Boolean(true))),
+                );
+            }
+            assert_agrees(
+                &batch,
+                &Expr::in_list(Expr::col(col, "c"), vec![Value::Boolean(true)], false),
+            );
+        }
+    }
+
+    #[test]
+    fn rle_predicate_skips_selection_excluded_runs() {
+        // A run the selection removed entirely must never be evaluated:
+        // the cat=0 run would divide by zero, but no surviving row
+        // touches it (mirroring row-wise evaluation exactly).
+        let batch = Batch::new(vec![ColumnSlice::rle(vec![
+            (Value::Integer(0), 4),
+            (Value::Integer(2), 4),
+        ])]);
+        let mask: Vec<bool> = (0..8).map(|i| i >= 4).collect();
+        let filtered = batch.into_filtered(&mask);
+        let pred = Expr::binary(
+            BinOp::Gt,
+            Expr::binary(BinOp::Div, Expr::int(100), Expr::col(0, "cat")),
+            Expr::int(3),
+        );
+        let sel = eval_predicate(&filtered, &pred).expect("excluded run never evaluated");
+        assert_eq!(sel.indices(), &[4, 5, 6, 7]);
+        // With the zero run selected, the error must surface.
+        let full = Batch::new(vec![ColumnSlice::rle(vec![
+            (Value::Integer(0), 2),
+            (Value::Integer(2), 2),
+        ])]);
+        assert!(eval_predicate(&full, &pred).is_err());
+    }
+
+    #[test]
+    fn predicate_selection_respects_existing_selection() {
+        let batch = Batch::new(vec![ints(&[0, 1, 2, 3, 4, 5, 6, 7])])
+            .with_selection(SelectionVector::new(vec![1, 3, 5, 7]));
+        let pred = Expr::or(
+            Expr::binary(BinOp::Lt, Expr::col(0, "a"), Expr::int(3)),
+            Expr::binary(BinOp::Gt, Expr::col(0, "a"), Expr::int(6)),
+        );
+        let sel = eval_predicate(&batch, &pred).unwrap();
+        assert_eq!(sel.indices(), &[1, 7]);
+    }
+
+    #[test]
+    fn timestamp_plus_integer_stays_timestamp() {
+        let batch = Batch::new(vec![typed(&[Value::Timestamp(100), Value::Timestamp(200)])]);
+        let e = Expr::binary(BinOp::Add, Expr::col(0, "ts"), Expr::int(50));
+        let col = eval_expr_column(&batch, &e).unwrap();
+        assert_eq!(
+            col.to_values(),
+            vec![Value::Timestamp(150), Value::Timestamp(250)]
+        );
+        assert_agrees(&batch, &e);
+        // Multiplying a timestamp falls into the float path, like row-wise.
+        assert_agrees(
+            &batch,
+            &Expr::binary(BinOp::Mul, Expr::col(0, "ts"), Expr::int(2)),
+        );
+    }
+}

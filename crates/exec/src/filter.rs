@@ -1,15 +1,22 @@
 //! ExprEval (§6.1 #4) and Filter: predicate application and expression
 //! projection over batches.
 //!
-//! [`FilterOp`] first tries the *vectorized* path: simple conjunctions of
-//! `column ⟨cmp⟩ literal` (and `BETWEEN` / `IS NULL`) are evaluated
-//! column-at-a-time against typed vectors, RLE runs (one test per run), and
-//! dictionary-coded strings (one test per distinct value) — survivors are
-//! recorded in a [`SelectionVector`] with no row materialization. Anything
-//! the vectorizer does not understand falls back to row-wise evaluation,
-//! the compatibility edge.
+//! [`FilterOp`] first tries the hand-specialized conjunct/disjunct path:
+//! AND/OR combinations of `column ⟨cmp⟩ literal`, `BETWEEN`, `IS NULL` and
+//! `IN (literal list)` are evaluated column-at-a-time against typed
+//! vectors, RLE runs (one test per run), and dictionary-coded strings (one
+//! test per distinct value) — survivors are recorded in a
+//! [`SelectionVector`] with no row materialization. Predicates outside
+//! that shape (computed operands, CASE, function calls, ...) are handed to
+//! the vectorized expression engine ([`crate::expr_vec`]); row-wise
+//! evaluation survives only as the error-reporting fallback.
+//!
+//! [`ProjectOp`] evaluates its select-list through the same engine,
+//! emitting computed [`ColumnSlice`]s — the executor pipeline stays
+//! columnar end to end.
 
 use crate::batch::{Batch, ColumnSlice};
+use crate::expr_vec::{self, VectorizedExpr};
 use crate::operator::{BoxedOperator, Operator};
 use crate::vector::{SelectionVector, VectorData};
 use std::cmp::Ordering;
@@ -47,6 +54,22 @@ enum Conjunct<'a> {
         col: usize,
         negated: bool,
     },
+    /// `col [NOT] IN (literal list)`.
+    In {
+        col: usize,
+        list: &'a [Value],
+        negated: bool,
+    },
+}
+
+impl Conjunct<'_> {
+    fn col(&self) -> usize {
+        match self {
+            Conjunct::Cmp { col, .. } | Conjunct::IsNull { col, .. } | Conjunct::In { col, .. } => {
+                *col
+            }
+        }
+    }
 }
 
 /// Flatten a predicate into vectorizable conjuncts; `false` when any part
@@ -112,44 +135,140 @@ fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<Conjunct<'a>>) -> bool {
             }
             _ => false,
         },
+        Expr::InList {
+            input,
+            list,
+            negated,
+        } => match input.as_ref() {
+            Expr::Column { index, .. } => {
+                out.push(Conjunct::In {
+                    col: *index,
+                    list,
+                    negated: *negated,
+                });
+                true
+            }
+            _ => false,
+        },
         _ => false,
     }
 }
 
-/// Evaluate `pred` column-at-a-time over the batch's candidate rows.
-/// Returns the surviving *physical* positions (a subset of the batch's
-/// current selection), or `None` when the predicate or column/literal type
-/// combination is outside the vectorizable shape — callers then fall back
-/// to row-wise evaluation.
-pub fn eval_predicate_selection(batch: &Batch, pred: &Expr) -> Option<SelectionVector> {
-    let mut conjs = Vec::new();
-    if !collect_conjuncts(pred, &mut conjs) {
-        return None;
-    }
-    for c in &conjs {
-        let col = match c {
-            Conjunct::Cmp { col, .. } | Conjunct::IsNull { col, .. } => *col,
-        };
-        if col >= batch.arity() {
-            return None;
+/// Flatten the top-level `OR` tree into its disjunct groups.
+fn split_disjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => {
+            split_disjuncts(left, out);
+            split_disjuncts(right, out);
         }
+        other => out.push(other),
     }
-    let mut cands: Vec<u32> = match batch.selection() {
+}
+
+/// Evaluate `pred` column-at-a-time over the batch's candidate rows,
+/// returning the surviving *physical* positions (a subset of the batch's
+/// current selection).
+///
+/// The hand-specialized path covers `OR` disjunctions of `AND` conjunct
+/// groups over `col ⟨cmp⟩ literal`, `BETWEEN`, `IS [NOT] NULL` and
+/// `col [NOT] IN (literal list)`. Everything else delegates to the
+/// vectorized expression engine ([`crate::expr_vec`]), so computed
+/// operands, CASE predicates and function calls also evaluate without row
+/// materialization. `None` is returned only when evaluation *fails* (the
+/// row-wise fallback then reproduces and reports the error).
+pub fn eval_predicate_selection(batch: &Batch, pred: &Expr) -> Option<SelectionVector> {
+    let cands: Vec<u32> = match batch.selection() {
         Some(sel) => sel.indices().to_vec(),
         None => (0..batch.physical_len() as u32).collect(),
     };
-    for c in &conjs {
-        cands = match c {
-            Conjunct::IsNull { col, negated } => {
-                filter_is_null(&batch.columns[*col], *negated, cands)
+    let mut groups = Vec::new();
+    split_disjuncts(pred, &mut groups);
+    if let Some(sel) = eval_disjunct_groups(batch, &groups, &cands) {
+        return Some(sel);
+    }
+    expr_vec::eval_predicate(batch, pred).ok()
+}
+
+/// Specialized disjunction evaluation: each group refines the shared
+/// candidate set independently; survivors are the (sorted, deduplicated)
+/// union. `None` when any group is outside the specialized shape.
+fn eval_disjunct_groups(batch: &Batch, groups: &[&Expr], cands: &[u32]) -> Option<SelectionVector> {
+    let mut survivors: Vec<u32> = Vec::new();
+    for (gi, group) in groups.iter().enumerate() {
+        let mut conjs = Vec::new();
+        if !collect_conjuncts(group, &mut conjs) {
+            return None;
+        }
+        if conjs.iter().any(|c| c.col() >= batch.arity()) {
+            return None;
+        }
+        let mut group_cands = cands.to_vec();
+        for c in &conjs {
+            group_cands = match c {
+                Conjunct::IsNull { col, negated } => {
+                    filter_is_null(&batch.columns[*col], *negated, group_cands)
+                }
+                Conjunct::Cmp { col, op, lit } => {
+                    filter_cmp(&batch.columns[*col], *op, lit, group_cands)?
+                }
+                Conjunct::In { col, list, negated } => {
+                    filter_in(&batch.columns[*col], list, *negated, group_cands)?
+                }
+            };
+            if group_cands.is_empty() {
+                break;
             }
-            Conjunct::Cmp { col, op, lit } => filter_cmp(&batch.columns[*col], *op, lit, cands)?,
-        };
-        if cands.is_empty() {
-            break;
+        }
+        if gi == 0 {
+            survivors = group_cands;
+        } else {
+            survivors = merge_sorted(survivors, group_cands);
         }
     }
-    Some(SelectionVector::new(cands))
+    Some(SelectionVector::new(survivors))
+}
+
+/// Union of two sorted position lists, deduplicated.
+fn merge_sorted(a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x <= y {
+                    i += 1;
+                    if x == y {
+                        j += 1;
+                    }
+                    x
+                } else {
+                    j += 1;
+                    y
+                }
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => break,
+        };
+        out.push(next);
+    }
+    out
 }
 
 fn filter_is_null(col: &ColumnSlice, negated: bool, cands: Vec<u32>) -> Vec<u32> {
@@ -265,6 +384,93 @@ fn filter_cmp(col: &ColumnSlice, op: BinOp, lit: &Value, cands: Vec<u32>) -> Opt
     }
 }
 
+/// Retain candidates where `col [NOT] IN (list)` holds. NULL inputs never
+/// match (SQL: `NULL IN (...)` is NULL), regardless of negation. Typed
+/// columns test natively: integral columns probe a hash set (plus a float
+/// residue compared by `total_cmp` for cross-type equality), dictionary
+/// columns test once per distinct value, RLE once per run.
+fn filter_in(
+    col: &ColumnSlice,
+    list: &[Value],
+    negated: bool,
+    cands: Vec<u32>,
+) -> Option<Vec<u32>> {
+    let value_found = |v: &Value| list.iter().any(|x| x == v);
+    match col {
+        ColumnSlice::Plain(values) => Some(
+            cands
+                .into_iter()
+                .filter(|&i| {
+                    let v = &values[i as usize];
+                    !v.is_null() && (value_found(v) != negated)
+                })
+                .collect(),
+        ),
+        ColumnSlice::Rle(rv) => Some(retain_by_run(rv, cands, |v| {
+            !v.is_null() && (value_found(v) != negated)
+        })),
+        ColumnSlice::Typed(tv) => {
+            let valid = |i: u32| tv.is_valid(i as usize);
+            match tv.data() {
+                // The cross-type equality rules (integral hash set,
+                // float residue, boolean-vs-integer only) are shared with
+                // the expression engine's IN kernel.
+                VectorData::Int64(xs) | VectorData::Timestamp(xs) => {
+                    let ts = matches!(tv.data(), VectorData::Timestamp(_));
+                    let (ints, floats) = expr_vec::in_list_int_sets(list, ts);
+                    Some(
+                        cands
+                            .into_iter()
+                            .filter(|&i| {
+                                valid(i)
+                                    && (expr_vec::in_list_int_found(xs[i as usize], &ints, &floats)
+                                        != negated)
+                            })
+                            .collect(),
+                    )
+                }
+                VectorData::Float64(xs) => {
+                    let nums: Vec<f64> = list.iter().filter_map(Value::as_f64).collect();
+                    Some(
+                        cands
+                            .into_iter()
+                            .filter(|&i| {
+                                if !valid(i) {
+                                    return false;
+                                }
+                                let x = xs[i as usize];
+                                let found = nums.iter().any(|f| x.total_cmp(f) == Ordering::Equal);
+                                found != negated
+                            })
+                            .collect(),
+                    )
+                }
+                VectorData::Dict { dict, codes } => {
+                    let keep: Vec<bool> = expr_vec::in_list_dict_keep(dict, list)
+                        .into_iter()
+                        .map(|found| found != negated)
+                        .collect();
+                    Some(
+                        cands
+                            .into_iter()
+                            .filter(|&i| valid(i) && keep[codes[i as usize] as usize])
+                            .collect(),
+                    )
+                }
+                VectorData::Bool(bits) => Some(
+                    cands
+                        .into_iter()
+                        .filter(|&i| {
+                            valid(i)
+                                && (value_found(&Value::Boolean(bits.get(i as usize))) != negated)
+                        })
+                        .collect(),
+                ),
+            }
+        }
+    }
+}
+
 /// Applies a predicate, keeping matching rows (used for HAVING and for
 /// residual predicates that could not be pushed into a Scan).
 pub struct FilterOp {
@@ -317,23 +523,29 @@ impl Operator for FilterOp {
     }
 }
 
-/// Evaluates a list of expressions per input row (ExprEval): projection,
-/// computed columns, select-list expressions.
+/// Evaluates a list of expressions over each input batch (ExprEval):
+/// projection, computed columns, select-list expressions. Expressions are
+/// compiled once into [`VectorizedExpr`]s and evaluated column-at-a-time —
+/// the output batch is assembled from computed [`ColumnSlice`]s with no
+/// row pivot.
 pub struct ProjectOp {
     input: BoxedOperator,
-    exprs: Vec<Expr>,
+    exprs: Vec<VectorizedExpr>,
 }
 
 impl ProjectOp {
     pub fn new(input: BoxedOperator, exprs: Vec<Expr>) -> ProjectOp {
-        ProjectOp { input, exprs }
+        ProjectOp {
+            input,
+            exprs: exprs.into_iter().map(VectorizedExpr::new).collect(),
+        }
     }
 
     /// Column indexes when every expression is a bare column reference.
     fn column_only(&self) -> Option<Vec<usize>> {
         self.exprs
             .iter()
-            .map(|e| match e {
+            .map(|e| match e.expr() {
                 Expr::Column { index, .. } => Some(*index),
                 _ => None,
             })
@@ -359,22 +571,20 @@ impl Operator for ProjectOp {
                         return Ok(Some(out));
                     }
                 }
-                let rows = batch.into_rows();
-                let mut out = Vec::with_capacity(rows.len());
-                for row in &rows {
-                    let mut projected = Vec::with_capacity(self.exprs.len());
-                    for e in &self.exprs {
-                        projected.push(e.eval(row)?);
-                    }
-                    out.push(projected);
-                }
-                Ok(Some(Batch::from_rows(out)))
+                // Vectorized expression evaluation: one computed column
+                // per expression, batch selection applied during eval.
+                let columns = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.eval_column(&batch))
+                    .collect::<DbResult<Vec<_>>>()?;
+                Ok(Some(Batch::new(columns)))
             }
         }
     }
 
     fn name(&self) -> String {
-        let list: Vec<String> = self.exprs.iter().map(|e| e.to_string()).collect();
+        let list: Vec<String> = self.exprs.iter().map(|e| e.expr().to_string()).collect();
         format!("ExprEval({})", list.join(", "))
     }
 }
@@ -480,18 +690,108 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_predicates_fall_back() {
-        let batch = Batch::from_rows(vec![vec![Value::Integer(1)]]);
-        // OR is not vectorized.
+    fn or_and_in_predicates_vectorize() {
+        let col = TypedVector::from_values(
+            &(0..100)
+                .map(|i| {
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Integer(i)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let strs = TypedVector::from_values(
+            &(0..100)
+                .map(|i| Value::Varchar(format!("s{}", i % 5)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let batch = Batch::new(vec![ColumnSlice::Typed(col), ColumnSlice::Typed(strs)]);
+        let rows = batch.rows();
+        let preds = vec![
+            // OR of conjunct groups.
+            Expr::or(
+                Expr::binary(BinOp::Lt, Expr::col(0, "a"), Expr::int(10)),
+                Expr::and(
+                    Expr::binary(BinOp::Ge, Expr::col(0, "a"), Expr::int(90)),
+                    Expr::binary(BinOp::Ne, Expr::col(0, "a"), Expr::int(95)),
+                ),
+            ),
+            // IN / NOT IN over int and dict columns.
+            Expr::in_list(
+                Expr::col(0, "a"),
+                vec![Value::Integer(3), Value::Integer(97), Value::Float(50.0)],
+                false,
+            ),
+            Expr::in_list(
+                Expr::col(1, "s"),
+                vec![Value::Varchar("s1".into()), Value::Varchar("s4".into())],
+                true,
+            ),
+            // Disjunction mixing IN with IS NULL.
+            Expr::or(
+                Expr::in_list(Expr::col(1, "s"), vec![Value::Varchar("s0".into())], false),
+                Expr::is_null(Expr::col(0, "a"), false),
+            ),
+        ];
+        for pred in preds {
+            let sel = eval_predicate_selection(&batch, &pred)
+                .unwrap_or_else(|| panic!("{pred} should vectorize"));
+            let expect: Vec<u32> = rows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| pred.matches(r).unwrap().then_some(i as u32))
+                .collect();
+            assert_eq!(sel.indices(), expect.as_slice(), "pred {pred}");
+        }
+    }
+
+    #[test]
+    fn computed_operand_predicates_use_the_engine() {
+        // `a + b > 25` has no column-vs-literal shape; the expression
+        // engine evaluates it without row materialization.
+        let batch = Batch::new(vec![
+            ColumnSlice::Typed(
+                TypedVector::from_values(&(0..50).map(Value::Integer).collect::<Vec<_>>()).unwrap(),
+            ),
+            ColumnSlice::Typed(
+                TypedVector::from_values(
+                    &(0..50).map(|i| Value::Integer(i * 2)).collect::<Vec<_>>(),
+                )
+                .unwrap(),
+            ),
+        ]);
         let pred = Expr::binary(
-            BinOp::Or,
-            Expr::eq(Expr::col(0, "a"), Expr::int(1)),
-            Expr::eq(Expr::col(0, "a"), Expr::int(2)),
+            BinOp::Gt,
+            Expr::binary(BinOp::Add, Expr::col(0, "a"), Expr::col(1, "b")),
+            Expr::int(25),
+        );
+        let sel = eval_predicate_selection(&batch, &pred).expect("engine path");
+        let expect: Vec<u32> = batch
+            .rows()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| pred.matches(r).unwrap().then_some(i as u32))
+            .collect();
+        assert_eq!(sel.indices(), expect.as_slice());
+    }
+
+    #[test]
+    fn erroring_predicates_fall_back_to_row_path() {
+        // Dividing by a zero column value errors; the vectorized path
+        // declines (None) and FilterOp's row fallback surfaces the error.
+        let batch = Batch::from_rows(vec![vec![Value::Integer(1), Value::Integer(0)]]);
+        let pred = Expr::binary(
+            BinOp::Gt,
+            Expr::binary(BinOp::Div, Expr::col(0, "a"), Expr::col(1, "b")),
+            Expr::int(0),
         );
         assert!(eval_predicate_selection(&batch, &pred).is_none());
-        // But the operator still answers correctly via the row path.
         let mut op = FilterOp::new(Box::new(ValuesOp::new(vec![batch])), pred);
-        assert_eq!(collect_rows(&mut op).unwrap().len(), 1);
+        assert!(op.next_batch().is_err(), "division by zero must surface");
     }
 
     #[test]

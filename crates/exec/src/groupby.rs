@@ -499,7 +499,9 @@ impl Operator for HashGroupByOp {
         let end = (self.emitted + BATCH_SIZE).min(self.output.len());
         let rows: Vec<Row> = self.output[self.emitted..end].to_vec();
         self.emitted = end;
-        Ok(Some(Batch::from_rows(rows)))
+        // Finished groups go back out as typed columns so downstream
+        // operators (projection, sort, HAVING) stay on the native paths.
+        Ok(Some(crate::batch::typed_batch_from_rows(rows)))
     }
 
     fn name(&self) -> String {
@@ -642,14 +644,14 @@ impl PipelinedGroupByOp {
         }
         let (_, states) = self.current.as_mut().unwrap();
         match row_values {
-            RunOrRow::Row(row) => {
+            RunOrRow::Row { value_of } => {
                 for (a, s) in self.aggs.iter().zip(states.iter_mut()) {
                     let v = if a.func == AggFunc::CountStar {
-                        &Value::Null
+                        Value::Null
                     } else {
-                        &row[a.input]
+                        value_of(a.input)
                     };
-                    s.update(a.func, v)?;
+                    s.update(a.func, &v)?;
                 }
             }
             RunOrRow::Run { value_of, n } => {
@@ -712,16 +714,32 @@ impl PipelinedGroupByOp {
             }
             return Ok(());
         }
-        for row in batch.rows() {
-            let key: Vec<Value> = self.group_columns.iter().map(|&c| row[c].clone()).collect();
-            self.update_group(key, RunOrRow::Row(&row))?;
+        // Columnar path: walk logical rows through column accessors — the
+        // group key and each aggregate input construct one `Value` per
+        // row, never a full row vector.
+        for li in 0..batch.len() {
+            let pi = batch.physical_index(li);
+            let key: Vec<Value> = self
+                .group_columns
+                .iter()
+                .map(|&c| batch.columns[c].value_at(pi))
+                .collect();
+            let value_of = |c: usize| batch.columns[c].value_at(pi);
+            self.update_group(
+                key,
+                RunOrRow::Row {
+                    value_of: &value_of,
+                },
+            )?;
         }
         Ok(())
     }
 }
 
 enum RunOrRow<'a> {
-    Row(&'a [Value]),
+    Row {
+        value_of: &'a dyn Fn(usize) -> Value,
+    },
     Run {
         value_of: &'a dyn Fn(usize) -> Value,
         n: u32,
@@ -733,7 +751,7 @@ impl Operator for PipelinedGroupByOp {
         loop {
             if self.pending.len() >= BATCH_SIZE || (self.done && !self.pending.is_empty()) {
                 let rows = std::mem::take(&mut self.pending);
-                return Ok(Some(Batch::from_rows(rows)));
+                return Ok(Some(crate::batch::typed_batch_from_rows(rows)));
             }
             if self.done {
                 return Ok(None);
@@ -815,16 +833,22 @@ impl PrepassGroupByOp {
     }
 
     /// A row passed through unaggregated, converted to partial layout.
-    fn passthrough_row(&mut self, row: &[Value]) -> DbResult<()> {
-        let mut out: Vec<Value> = self.group_columns.iter().map(|&c| row[c].clone()).collect();
+    /// `key` is the already-gathered group key; `agg_value` yields each
+    /// aggregate's input (column accessor — no row is materialized).
+    fn passthrough_row(
+        &mut self,
+        key: Vec<Value>,
+        agg_value: &dyn Fn(usize) -> Value,
+    ) -> DbResult<()> {
+        let mut out = key;
         for a in &self.aggs {
             let mut s = AggState::new(a.func);
             let v = if a.func == AggFunc::CountStar {
-                &Value::Null
+                Value::Null
             } else {
-                &row[a.input]
+                agg_value(a.input)
             };
-            s.update(a.func, v)?;
+            s.update(a.func, &v)?;
             out.push(partial_value(s));
         }
         self.pending.push(out);
@@ -846,7 +870,7 @@ impl Operator for PrepassGroupByOp {
             if !self.pending.is_empty() {
                 let take = self.pending.len().min(BATCH_SIZE);
                 let rows: Vec<Row> = self.pending.drain(..take).collect();
-                return Ok(Some(Batch::from_rows(rows)));
+                return Ok(Some(crate::batch::typed_batch_from_rows(rows)));
             }
             if self.done {
                 return Ok(None);
@@ -857,14 +881,21 @@ impl Operator for PrepassGroupByOp {
                     self.done = true;
                 }
                 Some(batch) => {
-                    for row in batch.into_rows() {
+                    // Columnar consume: group keys and aggregate inputs
+                    // come from column accessors, not pivoted rows.
+                    for li in 0..batch.len() {
+                        let pi = batch.physical_index(li);
                         self.rows_in += 1;
+                        let key: Vec<Value> = self
+                            .group_columns
+                            .iter()
+                            .map(|&c| batch.columns[c].value_at(pi))
+                            .collect();
+                        let agg_value = |c: usize| batch.columns[c].value_at(pi);
                         if self.disabled {
-                            self.passthrough_row(&row)?;
+                            self.passthrough_row(key, &agg_value)?;
                             continue;
                         }
-                        let key: Vec<Value> =
-                            self.group_columns.iter().map(|&c| row[c].clone()).collect();
                         if !self.table.contains_key(&key) && self.table.len() >= self.max_groups {
                             // Table full: emit current contents and start
                             // afresh with the next input (§6.1).
@@ -873,7 +904,7 @@ impl Operator for PrepassGroupByOp {
                             // stop paying the hashing cost.
                             if self.rows_in > 4096 && self.rows_out * 10 > self.rows_in * 9 {
                                 self.disabled = true;
-                                self.passthrough_row(&row)?;
+                                self.passthrough_row(key, &agg_value)?;
                                 continue;
                             }
                         }
@@ -882,11 +913,11 @@ impl Operator for PrepassGroupByOp {
                         });
                         for (a, s) in self.aggs.iter().zip(states.iter_mut()) {
                             let v = if a.func == AggFunc::CountStar {
-                                &Value::Null
+                                Value::Null
                             } else {
-                                &row[a.input]
+                                agg_value(a.input)
                             };
-                            s.update(a.func, v)?;
+                            s.update(a.func, &v)?;
                         }
                     }
                 }

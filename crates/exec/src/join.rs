@@ -19,7 +19,7 @@ use crate::memory::MemoryBudget;
 use crate::operator::{BoxedOperator, Operator, ValuesOp};
 use crate::sip::SipFilter;
 use crate::sort::SortOp;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use vdb_types::schema::SortKey;
 use vdb_types::{DbResult, Row, Value};
@@ -101,21 +101,19 @@ impl BuildTable {
         }
     }
 
-    /// Probe by key columns of `row` without allocating; `None` on NULL
-    /// keys or misses.
-    fn probe_mut(&mut self, row: &[Value], cols: &[usize]) -> Option<&mut (Vec<Row>, bool)> {
+    /// Probe a single-column key (caller has already rejected NULLs).
+    fn probe_one_mut(&mut self, v: &Value) -> Option<&mut (Vec<Row>, bool)> {
         match self {
-            BuildTable::One(m) => {
-                let v = &row[cols[0]];
-                if v.is_null() {
-                    return None;
-                }
-                m.get_mut(v)
-            }
-            BuildTable::Many(m) => {
-                let key = key_of(row, cols)?;
-                m.get_mut(&key)
-            }
+            BuildTable::One(m) => m.get_mut(v),
+            BuildTable::Many(_) => unreachable!("single-column table"),
+        }
+    }
+
+    /// Probe a multi-column key (caller has already rejected NULLs).
+    fn probe_many_mut(&mut self, key: &[Value]) -> Option<&mut (Vec<Row>, bool)> {
+        match self {
+            BuildTable::Many(m) => m.get_mut(key),
+            BuildTable::One(_) => unreachable!("multi-column table"),
         }
     }
 
@@ -159,7 +157,8 @@ pub struct HashJoinOp {
     null_build_rows: Vec<Row>,
     right_arity: usize,
     left_arity: usize,
-    pending: Vec<Row>,
+    /// Assembled output batches awaiting emission.
+    ready: VecDeque<Batch>,
     state: JoinState,
     /// Filled when the build overflowed and we switched algorithms.
     fallback: Option<BoxedOperator>,
@@ -197,7 +196,7 @@ impl HashJoinOp {
             null_build_rows: Vec::new(),
             right_arity: 0,
             left_arity: 0,
-            pending: Vec::new(),
+            ready: VecDeque::new(),
             state: JoinState::Building,
             fallback: None,
             switched_to_merge: false,
@@ -276,75 +275,94 @@ impl HashJoinOp {
         Ok(())
     }
 
-    fn null_right(&self) -> Vec<Value> {
-        vec![Value::Null; self.right_arity]
-    }
-
+    /// Probe one batch columnar: keys come from column accessors (one
+    /// `Value` per row, never a pivoted row); SEMI/ANTI refine the batch
+    /// with a match selection (zero-copy, representation preserved); the
+    /// emitting flavors gather probe-side columns at the match positions
+    /// and transpose the matched build rows — no `rows()`/`from_rows`
+    /// pivot anywhere on the probe path.
     fn probe_batch(&mut self, batch: Batch) -> DbResult<()> {
         self.left_arity = batch.arity();
-        for row in batch.into_rows() {
-            let hit = self.table.probe_mut(&row, &self.left_keys);
-            match self.join_type {
-                JoinType::Inner => {
-                    if let Some((matches, _)) = hit {
-                        for m in matches.iter() {
-                            let mut out = row.clone();
-                            out.extend(m.iter().cloned());
-                            self.pending.push(out);
-                        }
-                    }
-                }
-                JoinType::LeftOuter => match hit {
-                    Some((matches, _)) => {
-                        for m in matches.iter() {
-                            let mut out = row.clone();
-                            out.extend(m.iter().cloned());
-                            self.pending.push(out);
-                        }
-                    }
-                    None => {
-                        let mut out = row.clone();
-                        out.extend(self.null_right());
-                        self.pending.push(out);
-                    }
-                },
-                JoinType::RightOuter | JoinType::FullOuter => {
-                    if let Some((matches, matched)) = hit {
+        let n = batch.len();
+        if matches!(self.join_type, JoinType::Semi | JoinType::Anti) {
+            let semi = self.join_type == JoinType::Semi;
+            let mut mask = Vec::with_capacity(n);
+            let mut any = false;
+            for li in 0..n {
+                let pi = batch.physical_index(li);
+                let keep =
+                    probe_hit(&mut self.table, &self.left_keys, &batch, pi).is_some() == semi;
+                any |= keep;
+                mask.push(keep);
+            }
+            if any {
+                self.ready.push_back(batch.into_filtered(&mask));
+            }
+            return Ok(());
+        }
+        // Emitting flavors: collect (probe physical index, build row) match
+        // pairs in probe order, then assemble columns via gather.
+        let mut probe_idx: Vec<u32> = Vec::new();
+        let mut build_side: Vec<Option<Row>> = Vec::new();
+        for li in 0..n {
+            let pi = batch.physical_index(li);
+            match (
+                self.join_type,
+                probe_hit(&mut self.table, &self.left_keys, &batch, pi),
+            ) {
+                (_, Some((matches, matched))) => {
+                    if matches!(self.join_type, JoinType::RightOuter | JoinType::FullOuter) {
                         *matched = true;
-                        for m in matches.iter() {
-                            let mut out = row.clone();
-                            out.extend(m.iter().cloned());
-                            self.pending.push(out);
-                        }
-                    } else if self.join_type == JoinType::FullOuter {
-                        let mut out = row.clone();
-                        out.extend(self.null_right());
-                        self.pending.push(out);
+                    }
+                    for m in matches.iter() {
+                        probe_idx.push(pi as u32);
+                        build_side.push(Some(m.clone()));
                     }
                 }
-                JoinType::Semi => {
-                    if hit.is_some() {
-                        self.pending.push(row.clone());
-                    }
+                (JoinType::LeftOuter | JoinType::FullOuter, None) => {
+                    probe_idx.push(pi as u32);
+                    build_side.push(None);
                 }
-                JoinType::Anti => {
-                    if hit.is_none() {
-                        self.pending.push(row.clone());
-                    }
-                }
+                _ => {}
             }
         }
+        if probe_idx.is_empty() {
+            return Ok(());
+        }
+        self.ready.push_back(crate::batch::gather_join_output(
+            &batch,
+            &probe_idx,
+            build_side,
+            self.right_arity,
+        ));
         Ok(())
     }
+}
 
-    fn take_pending(&mut self) -> Option<Batch> {
-        if self.pending.is_empty() {
+/// Build-table hit for the probe row at physical index `pi`, with NULL
+/// keys never matching. Key values come from column accessors — one
+/// `Value` per key column, never a pivoted row.
+fn probe_hit<'t>(
+    table: &'t mut BuildTable,
+    keys: &[usize],
+    batch: &Batch,
+    pi: usize,
+) -> Option<&'t mut (Vec<Row>, bool)> {
+    if let [c] = keys {
+        let v = batch.columns[*c].value_at(pi);
+        if v.is_null() {
             return None;
         }
-        let take = self.pending.len().min(BATCH_SIZE * 4);
-        let rows: Vec<Row> = self.pending.drain(..take).collect();
-        Some(Batch::from_rows(rows))
+        return table.probe_one_mut(&v);
     }
+    let key: Option<Vec<Value>> = keys
+        .iter()
+        .map(|&c| {
+            let v = batch.columns[c].value_at(pi);
+            (!v.is_null()).then_some(v)
+        })
+        .collect();
+    key.and_then(|k| table.probe_many_mut(&k))
 }
 
 impl Operator for HashJoinOp {
@@ -356,7 +374,7 @@ impl Operator for HashJoinOp {
             return fb.next_batch();
         }
         loop {
-            if let Some(batch) = self.take_pending() {
+            if let Some(batch) = self.ready.pop_front() {
                 return Ok(Some(batch));
             }
             match &mut self.state {
@@ -397,7 +415,7 @@ impl Operator for HashJoinOp {
                     if rows.is_empty() {
                         self.state = JoinState::Done;
                     } else {
-                        return Ok(Some(Batch::from_rows(rows)));
+                        return Ok(Some(crate::batch::typed_batch_from_rows(rows)));
                     }
                 }
                 JoinState::Done => return Ok(None),

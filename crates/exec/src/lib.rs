@@ -9,7 +9,7 @@
 //! | Scan (predicate pushdown, SMA/partition/block pruning, SIP) | [`scan`] |
 //! | GroupBy (hash, pipelined one-pass, L1-sized prepass) | [`groupby`] |
 //! | Join (hash + merge, externalizing, all flavors, SIP build) | [`join`] |
-//! | ExprEval | [`filter`] |
+//! | ExprEval (vectorized expression engine + Filter/Project) | [`expr_vec`], [`filter`] |
 //! | Sort (externalizing) + Limit | [`sort`] |
 //! | Analytic (SQL-99 windowed aggregates) | [`analytic`] |
 //! | Send/Recv (segment-aware, sortedness-retaining) | [`exchange`] |
@@ -21,14 +21,21 @@
 //! storage blocks into [`vector::TypedVector`]s (native buffers + validity
 //! bitmaps, dictionary-coded strings) and [`vector::RleVector`]s
 //! (unexpanded runs); filters, SIP and delete-vector visibility mark
-//! survivors in a [`vector::SelectionVector`] instead of materializing; and
-//! aggregation consumes runs and native buffers without per-row `Value`
-//! construction. Row-pivoting operators (join, sort, exchange, analytic)
-//! cross the compatibility edge via [`batch::Batch::rows`] /
-//! [`batch::Batch::into_rows`]. Every stateful operator takes a
-//! [`memory::MemoryBudget`] and spills to the storage backend when it is
-//! exceeded (§6.1: "all operators are capable of handling arbitrary sized
-//! inputs ... by externalizing their buffers to disk").
+//! survivors in a [`vector::SelectionVector`] instead of materializing;
+//! scalar expressions evaluate through the vectorized engine
+//! ([`expr_vec`]: native kernels, constant folding, per-run and
+//! per-dictionary-code short-circuits, CASE/boolean logic via domain
+//! combination); joins probe keys through column accessors and gather
+//! their output columns; and aggregation consumes runs and native buffers
+//! without per-row `Value` construction. The row pivot
+//! ([`batch::Batch::rows`] / [`batch::Batch::into_rows`]) happens at the
+//! end of a finished pipeline ([`operator::collect_rows`], the `Database`
+//! result facade) — a typed scan→filter→project→group-by plan performs
+//! zero pivots, observable via [`batch::row_pivot_count`]. Every stateful
+//! operator takes a [`memory::MemoryBudget`] and spills to the storage
+//! backend when it is exceeded (§6.1: "all operators are capable of
+//! handling arbitrary sized inputs ... by externalizing their buffers to
+//! disk").
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -36,6 +43,7 @@ pub mod aggregate;
 pub mod analytic;
 pub mod batch;
 pub mod exchange;
+pub mod expr_vec;
 pub mod filter;
 pub mod groupby;
 pub mod join;
@@ -50,7 +58,8 @@ pub mod sort;
 pub mod vector;
 
 pub use aggregate::{AggCall, AggFunc};
-pub use batch::{Batch, ColumnSlice};
+pub use batch::{row_pivot_count, Batch, ColumnSlice};
+pub use expr_vec::VectorizedExpr;
 pub use memory::MemoryBudget;
 pub use operator::{collect_rows, BoxedOperator, Operator};
 pub use parallel::{ExecOptions, ParallelStage};

@@ -20,11 +20,14 @@ pub trait Operator: Send {
 
 pub type BoxedOperator = Box<dyn Operator>;
 
-/// Drain an operator into row-major form (tests, DML application, facade).
+/// Drain an operator into row-major form (tests, DML application, and the
+/// `Database` result facade — the single place a finished pipeline pivots
+/// to rows). Batches are consumed via [`Batch::into_rows`] so plain column
+/// values *move* instead of being cloned and then dropped.
 pub fn collect_rows(op: &mut dyn Operator) -> DbResult<Vec<Row>> {
     let mut out = Vec::new();
     while let Some(batch) = op.next_batch()? {
-        out.extend(batch.rows());
+        out.extend(batch.into_rows());
     }
     Ok(out)
 }

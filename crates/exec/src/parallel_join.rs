@@ -33,9 +33,10 @@
 //!   [`crate::vector::TypedVector`] key columns natively: i64/f64 keys hash
 //!   via `Value::hash64_of_*` without constructing a `Value` per row,
 //!   dictionary-coded keys probe once per distinct code, RLE keys once per
-//!   run. Matches become a [`crate::vector::SelectionVector`] refinement of
-//!   the batch; rows pivot via `into_rows` only for the survivors that
-//!   actually join.
+//!   run. SEMI/ANTI matches become a [`crate::vector::SelectionVector`]
+//!   refinement of the batch (zero-copy); the emitting flavors gather
+//!   probe-side columns at the match positions and transpose the matched
+//!   build rows — no row pivot anywhere on the probe path.
 //! * **Memory.** The operator's budget covers the whole build side. If the
 //!   build exceeds it, the operator falls back to the serial [`HashJoinOp`]
 //!   over the same morsels, which externalizes to sort-merge (§6.1
@@ -43,7 +44,7 @@
 //! * **Failures.** Workers return `DbResult` through their `JoinHandle`s —
 //!   no `unwrap` on worker threads; `threads = 1` runs inline.
 
-use crate::batch::{Batch, BATCH_SIZE};
+use crate::batch::Batch;
 use crate::join::{key_of, HashJoinOp, JoinType};
 use crate::memory::MemoryBudget;
 use crate::operator::{BoxedOperator, Operator};
@@ -544,7 +545,7 @@ fn run_probe_worker(
     let mut out = Vec::new();
     while let Some((idx, morsel)) = queue.pop() {
         let mut scan = spec.open(morsel, stats);
-        let mut pending: Vec<Row> = Vec::new();
+        let mut pending: Vec<Batch> = Vec::new();
         while let Some(batch) = scan.next_batch()? {
             if batch.is_empty() {
                 continue;
@@ -558,7 +559,7 @@ fn run_probe_worker(
                 &mut pending,
             );
         }
-        out.push((idx, rows_to_batches(pending)));
+        out.push((idx, pending));
     }
     Ok(out)
 }
@@ -667,65 +668,71 @@ fn probe_hits<'t>(
         .collect()
 }
 
-/// Probe one batch and append the joined rows. Inner/Semi/Anti refine the
-/// batch with a match selection (via [`Batch::into_filtered`]) and pivot
-/// only the survivors; LeftOuter pivots every probe row (each is emitted).
+/// Probe one batch and append the joined output batches. SEMI/ANTI refine
+/// the batch with a match selection (zero-copy via
+/// [`Batch::into_filtered`], column representations preserved); INNER and
+/// LEFT OUTER gather probe-side columns at the match positions and
+/// transpose the matched build rows into output columns — the probe path
+/// performs no row pivot.
 fn probe_batch(
     batch: Batch,
     tables: &BuildTables,
     left_keys: &[usize],
     join_type: JoinType,
     right_arity: usize,
-    out: &mut Vec<Row>,
+    out: &mut Vec<Batch>,
 ) {
     let hits = probe_hits(&batch, tables, left_keys);
     debug_assert_eq!(hits.len(), batch.len());
     match join_type {
-        JoinType::Inner => {
-            let mask: Vec<bool> = hits.iter().map(Option::is_some).collect();
-            let matched: Vec<&Vec<Row>> = hits.into_iter().flatten().collect();
-            let rows = batch.into_filtered(&mask).into_rows();
-            for (row, matches) in rows.into_iter().zip(matched) {
-                for m in matches {
-                    let mut o = row.clone();
-                    o.extend(m.iter().cloned());
-                    out.push(o);
-                }
-            }
-        }
         JoinType::Semi => {
             let mask: Vec<bool> = hits.iter().map(Option::is_some).collect();
-            out.extend(batch.into_filtered(&mask).into_rows());
+            if mask.iter().any(|&b| b) {
+                out.push(batch.into_filtered(&mask));
+            }
         }
         JoinType::Anti => {
             let mask: Vec<bool> = hits.iter().map(Option::is_none).collect();
-            out.extend(batch.into_filtered(&mask).into_rows());
+            if mask.iter().any(|&b| b) {
+                out.push(batch.into_filtered(&mask));
+            }
         }
-        // LEFT OUTER (the only other flavor the operator accepts).
+        // INNER and LEFT OUTER (the only other flavors the operator
+        // accepts) emit probe⊕build columns.
         _ => {
-            for (row, hit) in batch.into_rows().into_iter().zip(hits) {
+            let left_outer = join_type == JoinType::LeftOuter;
+            let phys: Vec<u32> = match batch.selection() {
+                Some(sel) => sel.indices().to_vec(),
+                None => (0..batch.physical_len() as u32).collect(),
+            };
+            let mut probe_idx: Vec<u32> = Vec::new();
+            let mut build_side: Vec<Option<Row>> = Vec::new();
+            for (&pi, hit) in phys.iter().zip(hits) {
                 match hit {
                     Some(matches) => {
                         for m in matches {
-                            let mut o = row.clone();
-                            o.extend(m.iter().cloned());
-                            out.push(o);
+                            probe_idx.push(pi);
+                            build_side.push(Some(m.clone()));
                         }
                     }
-                    None => {
-                        let mut o = row;
-                        o.extend(std::iter::repeat_n(Value::Null, right_arity));
-                        out.push(o);
+                    None if left_outer => {
+                        probe_idx.push(pi);
+                        build_side.push(None);
                     }
+                    None => {}
                 }
             }
+            if probe_idx.is_empty() {
+                return;
+            }
+            out.push(crate::batch::gather_join_output(
+                &batch,
+                &probe_idx,
+                build_side,
+                right_arity,
+            ));
         }
     }
-}
-
-/// Chunk rows into output batches without cloning (moves each chunk).
-fn rows_to_batches(rows: Vec<Row>) -> Vec<Batch> {
-    crate::batch::rows_into_batches(rows, BATCH_SIZE * 4)
 }
 
 #[cfg(test)]

@@ -737,6 +737,67 @@ mod tests {
     }
 
     #[test]
+    fn typed_pipeline_performs_zero_row_pivots() {
+        // Acceptance gate for the columnar operator protocol: a typed
+        // scan → Filter (disjunctive) → ExprEval (arithmetic + CASE) →
+        // GroupBy pipeline must run without a single `rows()`/`into_rows()`
+        // pivot — the row pivot happens only at the Database result edge.
+        let rows: Vec<Row> = (0..4000)
+            .map(|i| vec![Value::Integer(i), Value::Integer(i % 10)])
+            .collect();
+        let mut ctx = ctx_with_store(rows);
+        let plan = PhysicalPlan::HashGroupBy {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(scan_plan(None)),
+                    predicate: Expr::or(
+                        Expr::binary(BinOp::Lt, Expr::col(0, "a"), Expr::int(2000)),
+                        Expr::binary(BinOp::Ge, Expr::col(0, "a"), Expr::int(3500)),
+                    ),
+                }),
+                exprs: vec![
+                    Expr::col(1, "g"),
+                    Expr::case(
+                        vec![(
+                            Expr::binary(BinOp::Ge, Expr::col(0, "a"), Expr::int(3500)),
+                            Expr::binary(BinOp::Mul, Expr::col(0, "a"), Expr::int(2)),
+                        )],
+                        Some(Expr::col(0, "a")),
+                    ),
+                ],
+            }),
+            group_columns: vec![0],
+            aggs: vec![
+                AggCall::new(AggFunc::CountStar, 0, "cnt"),
+                AggCall::new(AggFunc::Sum, 1, "sum"),
+            ],
+        };
+        let mut op = build_operator(&plan, &mut ctx).unwrap();
+        let before = crate::batch::row_pivot_count();
+        let mut groups = 0usize;
+        let mut batches = Vec::new();
+        while let Some(b) = op.next_batch().unwrap() {
+            groups += b.len();
+            batches.push(b);
+        }
+        assert_eq!(
+            crate::batch::row_pivot_count() - before,
+            0,
+            "pipeline must not pivot rows"
+        );
+        assert_eq!(groups, 10);
+        // The facade edge is the one and only pivot.
+        let rows: Vec<Row> = batches.into_iter().flat_map(Batch::into_rows).collect();
+        assert!(crate::batch::row_pivot_count() > before);
+        let count: i64 = rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        assert_eq!(count, 2500, "2000 + 500 survivors");
+        let total: i64 = rows.iter().map(|r| r[2].as_i64().unwrap()).sum();
+        // Survivors: 0..2000 (value a) and 3500..4000 (value 2a).
+        let expect: i64 = (0..2000).sum::<i64>() + (3500..4000).map(|a| 2 * a).sum::<i64>();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
     fn sip_wired_between_join_and_scan() {
         let rows: Vec<Row> = (0..100)
             .map(|i| vec![Value::Integer(i), Value::Integer(i)])

@@ -94,7 +94,7 @@ impl Operator for SortOp {
             if rows.is_empty() {
                 return Ok(None);
             }
-            return Ok(Some(Batch::from_rows(rows)));
+            return Ok(Some(crate::batch::typed_batch_from_rows(rows)));
         }
         if self.emitted >= self.output.len() {
             return Ok(None);
@@ -102,7 +102,8 @@ impl Operator for SortOp {
         let end = (self.emitted + BATCH_SIZE).min(self.output.len());
         let rows = self.output[self.emitted..end].to_vec();
         self.emitted = end;
-        Ok(Some(Batch::from_rows(rows)))
+        // Sorted output leaves the zone boundary as typed columns.
+        Ok(Some(crate::batch::typed_batch_from_rows(rows)))
     }
 
     fn name(&self) -> String {
@@ -247,20 +248,21 @@ impl Operator for LimitOp {
             let Some(batch) = self.input.next_batch()? else {
                 return Ok(None);
             };
-            let mut rows = batch.rows();
-            if self.skip > 0 {
-                let drop = self.skip.min(rows.len());
-                rows.drain(..drop);
-                self.skip -= drop;
-            }
-            if rows.is_empty() {
+            let n = batch.len();
+            let drop = self.skip.min(n);
+            let take = (n - drop).min(self.remaining);
+            self.skip -= drop;
+            if take == 0 {
                 continue;
             }
-            if rows.len() > self.remaining {
-                rows.truncate(self.remaining);
+            self.remaining -= take;
+            if drop == 0 && take == n {
+                return Ok(Some(batch));
             }
-            self.remaining -= rows.len();
-            return Ok(Some(Batch::from_rows(rows)));
+            // Zero-copy: refine the batch's selection to the kept window
+            // instead of pivoting and truncating rows.
+            let mask: Vec<bool> = (0..n).map(|i| i >= drop && i < drop + take).collect();
+            return Ok(Some(batch.into_filtered(&mask)));
         }
         Ok(None)
     }

@@ -218,6 +218,12 @@ impl TypedVector {
         &self.data
     }
 
+    /// Decompose into the native payload and validity bitmap (used by the
+    /// vectorized expression engine to move buffers without cloning).
+    pub fn into_parts(self) -> (VectorData, Option<Bitmap>) {
+        (self.data, self.validity)
+    }
+
     pub fn validity(&self) -> Option<&Bitmap> {
         self.validity.as_ref()
     }

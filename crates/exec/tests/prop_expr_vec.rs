@@ -1,0 +1,303 @@
+//! Property test: vectorized expression evaluation ≡ row-wise `Expr::eval`.
+//!
+//! Random expression trees (arithmetic, comparisons, Kleene AND/OR/NOT,
+//! CASE, IN lists, BETWEEN, IS NULL, CAST, scalar calls) are evaluated over
+//! random batches — integer columns in plain/typed/RLE representation,
+//! float and boolean typed columns, dictionary-coded strings, NULLs mixed
+//! in, with and without a selection vector — through
+//! `vdb_exec::expr_vec` and compared value-for-value against per-row
+//! `Expr::eval`. When the row path errors (type mismatches are easy to
+//! generate), the vectorized path must error too: the engine's
+//! short-circuit domains mirror exactly which (node, row) pairs row-wise
+//! evaluation touches.
+
+use proptest::prelude::*;
+use vdb_exec::batch::{Batch, ColumnSlice};
+use vdb_exec::expr_vec;
+use vdb_exec::filter::eval_predicate_selection;
+use vdb_exec::vector::TypedVector;
+use vdb_types::{BinOp, DataType, Expr, Func, UnOp, Value};
+
+/// Cheap deterministic generator for structural choices.
+struct Xor(u64);
+
+impl Xor {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn int(&mut self) -> i64 {
+        (self.next() % 41) as i64 - 20
+    }
+}
+
+/// A random *value* expression (depth-bounded). Column types: 0 = int,
+/// 1 = float, 2 = varchar (dict), 3 = bool.
+fn gen_value(r: &mut Xor, depth: usize) -> Expr {
+    if depth == 0 {
+        return match r.below(6) {
+            0 => Expr::col(0, "a"),
+            1 => Expr::col(1, "f"),
+            2 => Expr::col(2, "s"),
+            3 => Expr::int(r.int()),
+            4 => Expr::lit(Value::Float(r.int() as f64 / 2.0)),
+            _ => Expr::lit(Value::Null),
+        };
+    }
+    match r.below(8) {
+        0..=2 => {
+            let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div][r.below(4) as usize];
+            Expr::binary(op, gen_value(r, depth - 1), gen_value(r, depth - 1))
+        }
+        3 => Expr::case(
+            vec![(gen_bool(r, depth - 1), gen_value(r, depth - 1))],
+            (r.below(2) == 0).then(|| gen_value(r, depth - 1)),
+        ),
+        4 => Expr::Cast {
+            input: Box::new(gen_value(r, depth - 1)),
+            to: [DataType::Integer, DataType::Float, DataType::Varchar][r.below(3) as usize],
+        },
+        5 => Expr::Unary {
+            op: UnOp::Neg,
+            input: Box::new(gen_value(r, depth - 1)),
+        },
+        6 => Expr::call(
+            [Func::Abs, Func::Length, Func::Upper, Func::Greatest][r.below(4) as usize],
+            vec![gen_value(r, depth - 1)],
+        ),
+        _ => gen_value(r, 0),
+    }
+}
+
+/// A random *boolean* expression (depth-bounded).
+fn gen_bool(r: &mut Xor, depth: usize) -> Expr {
+    if depth == 0 {
+        return match r.below(3) {
+            0 => Expr::col(3, "b"),
+            1 => Expr::lit(Value::Boolean(r.below(2) == 0)),
+            _ => Expr::is_null(Expr::col(r.below(4) as usize, "c"), r.below(2) == 0),
+        };
+    }
+    match r.below(8) {
+        0..=2 => {
+            let ops = [
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+            ];
+            Expr::binary(
+                ops[r.below(6) as usize],
+                gen_value(r, depth - 1),
+                gen_value(r, depth - 1),
+            )
+        }
+        3 => Expr::and(gen_bool(r, depth - 1), gen_bool(r, depth - 1)),
+        4 => Expr::or(gen_bool(r, depth - 1), gen_bool(r, depth - 1)),
+        5 => Expr::negated(gen_bool(r, depth - 1)),
+        6 => Expr::in_list(
+            if r.below(2) == 0 {
+                Expr::col(0, "a")
+            } else {
+                Expr::col(2, "s")
+            },
+            vec![
+                Value::Integer(r.int()),
+                Value::Varchar(format!("s{}", r.below(4))),
+                Value::Float(r.int() as f64),
+                Value::Boolean(r.below(2) == 0),
+            ],
+            r.below(2) == 0,
+        ),
+        _ => Expr::between(
+            Expr::col(0, "a"),
+            Expr::int(r.int().min(0)),
+            Expr::int(r.int().max(0)),
+        ),
+    }
+}
+
+/// Build the 4-column test batch; `rep` picks the first column's
+/// representation (0 plain, 1 typed int, 2 RLE runs, 3 typed timestamp).
+fn build_batch(
+    ints: &[Option<i64>],
+    floats: &[Option<f64>],
+    strs: &[Option<u8>],
+    bools: &[Option<bool>],
+    rep: u8,
+) -> Batch {
+    let n = ints.len();
+    let int_vals: Vec<Value> = ints
+        .iter()
+        .map(|v| {
+            v.map_or(
+                Value::Null,
+                if rep == 3 {
+                    Value::Timestamp
+                } else {
+                    Value::Integer
+                },
+            )
+        })
+        .collect();
+    let int_col = match rep {
+        0 => ColumnSlice::Plain(int_vals),
+        1 | 3 => match TypedVector::from_values(&int_vals) {
+            Some(tv) => ColumnSlice::Typed(tv),
+            None => ColumnSlice::Plain(int_vals),
+        },
+        _ => {
+            // Sort into runs: adjacent equal values collapse.
+            let mut sorted = int_vals.clone();
+            sorted.sort();
+            let mut runs: Vec<(Value, u32)> = Vec::new();
+            for v in sorted {
+                match runs.last_mut() {
+                    Some((rv, n)) if *rv == v => *n += 1,
+                    _ => runs.push((v, 1)),
+                }
+            }
+            ColumnSlice::rle(runs)
+        }
+    };
+    let float_col = {
+        let vals: Vec<Value> = floats
+            .iter()
+            .take(n)
+            .map(|v| v.map_or(Value::Null, Value::Float))
+            .collect();
+        match TypedVector::from_values(&vals) {
+            Some(tv) => ColumnSlice::Typed(tv),
+            None => ColumnSlice::Plain(vals),
+        }
+    };
+    let str_col = {
+        let vals: Vec<Value> = strs
+            .iter()
+            .take(n)
+            .map(|v| v.map_or(Value::Null, |c| Value::Varchar(format!("s{}", c % 5))))
+            .collect();
+        match TypedVector::from_values(&vals) {
+            Some(tv) => ColumnSlice::Typed(tv),
+            None => ColumnSlice::Plain(vals),
+        }
+    };
+    let bool_col = {
+        let vals: Vec<Value> = bools
+            .iter()
+            .take(n)
+            .map(|v| v.map_or(Value::Null, Value::Boolean))
+            .collect();
+        match TypedVector::from_values(&vals) {
+            Some(tv) => ColumnSlice::Typed(tv),
+            None => ColumnSlice::Plain(vals),
+        }
+    };
+    Batch::new(vec![int_col, float_col, str_col, bool_col])
+}
+
+/// NULL roughly a quarter of the time, `Some(inner)` otherwise.
+fn opt<T: Clone + 'static>(
+    inner: impl Strategy<Value = T> + 'static,
+) -> impl Strategy<Value = Option<T>> {
+    (0u8..4, inner).prop_map(|(pick, v)| (pick > 0).then_some(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn prop_expr_vec_matches_row_eval(
+        ints in prop::collection::vec(opt(-20i64..20), 8..80),
+        floats in prop::collection::vec(opt(-40i64..40), 80),
+        strs in prop::collection::vec(opt(0u8..5), 80),
+        bools in prop::collection::vec(opt(any::<bool>()), 80),
+        rep in 0u8..4,
+        expr_seed in any::<u64>(),
+        sel_seed in any::<u64>(),
+        want_bool in any::<bool>(),
+    ) {
+        let floats: Vec<Option<f64>> = floats.iter().map(|v| v.map(|x| x as f64 / 2.0)).collect();
+        let batch = build_batch(&ints, &floats, &strs, &bools, rep);
+        // Optionally refine with a selection vector.
+        let batch = if sel_seed & 1 == 1 {
+            let mask: Vec<bool> = (0..batch.len())
+                .map(|i| (sel_seed >> (i % 61)) & 2 != 0 || i == 0)
+                .collect();
+            batch.into_filtered(&mask)
+        } else {
+            batch
+        };
+        let mut r = Xor(expr_seed | 1);
+        let depth = 1 + (expr_seed % 3) as usize;
+        let expr = if want_bool {
+            gen_bool(&mut r, depth)
+        } else {
+            gen_value(&mut r, depth)
+        };
+        // Row-wise reference over the logical rows.
+        let rows = batch.rows();
+        let reference: Result<Vec<Value>, _> =
+            rows.iter().map(|row| expr.eval(row)).collect();
+        let got = expr_vec::eval_expr_column(&batch, &expr);
+        match (reference, got) {
+            (Ok(expect), Ok(col)) => {
+                prop_assert_eq!(col.len(), expect.len(), "expr {}", &expr);
+                prop_assert_eq!(col.to_values(), expect, "expr {}", &expr);
+            }
+            (Err(_), Err(_)) => {} // both error — semantics agree
+            (Ok(expect), Err(e)) => {
+                panic!("vectorized errored ({e}) where row path produced {expect:?} for {expr}");
+            }
+            (Err(e), Ok(_)) => {
+                panic!("vectorized succeeded where row path errored ({e}) for {expr}");
+            }
+        }
+        // Predicate form: the filter-layer selection must match row-wise
+        // `matches` exactly (engine or specialized conjunct path).
+        let row_sel: Result<Vec<u32>, _> = rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, row)| match expr.matches(row) {
+                Ok(true) => Some(Ok(i as u32)),
+                Ok(false) => None,
+                Err(e) => Some(Err(e)),
+            })
+            .collect();
+        match (row_sel, eval_predicate_selection(&batch, &expr)) {
+            (Ok(expect), Some(sel)) => {
+                // Positions are physical; map through the batch selection.
+                let logical: Vec<u32> = sel
+                    .indices()
+                    .iter()
+                    .map(|&p| match batch.selection() {
+                        Some(bsel) => bsel
+                            .indices()
+                            .iter()
+                            .position(|&q| q == p)
+                            .expect("subset of batch selection")
+                            as u32,
+                        None => p,
+                    })
+                    .collect();
+                prop_assert_eq!(logical, expect, "pred {}", &expr);
+            }
+            (Err(_), None) => {} // evaluation error: falls back to row path
+            (Ok(_), None) => panic!("predicate {expr} should vectorize"),
+            (Err(e), Some(_)) => {
+                panic!("vectorized predicate selection succeeded where row path errored ({e}) for {expr}");
+            }
+        }
+    }
+}

@@ -4,12 +4,91 @@
 
 use crate::query::BoundQuery;
 use vdb_exec::plan::JoinType;
-use vdb_types::{BinOp, Expr};
+use vdb_types::{BinOp, Expr, Value};
 
 /// Apply all rewrites in place.
 pub fn rewrite(q: &mut BoundQuery) {
     outer_to_inner(q);
     transitive_predicates(q);
+    or_chains_to_in_lists(q);
+}
+
+/// Rewrite `c = v1 OR c = v2 OR ...` chains (same column, all
+/// equality-vs-literal, `IN` disjuncts included) into `c IN (v1, v2, ...)`
+/// across every predicate slot the planner emits. The executor's
+/// vectorizer then sees a single IN conjunct — one hash-set membership
+/// test per row (or one per distinct dictionary code) instead of an
+/// OR-combined selection per disjunct — keeping planner-produced
+/// predicates in vectorizable form.
+pub fn or_chains_to_in_lists(q: &mut BoundQuery) {
+    for slot in q.table_filters.iter_mut().flatten() {
+        *slot = fold_or_to_in(slot.clone());
+    }
+    for pred in &mut q.residual_filters {
+        *pred = fold_or_to_in(pred.clone());
+    }
+    if let Some(h) = &mut q.having {
+        *h = fold_or_to_in(h.clone());
+    }
+}
+
+/// One disjunct's `(column index, display name, values)` when it is an
+/// equality or IN against literals.
+fn eq_disjunct(e: &Expr) -> Option<(usize, String, Vec<Value>)> {
+    match e {
+        Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } => match (left.as_ref(), right.as_ref()) {
+            (Expr::Column { index, name }, Expr::Literal(v))
+            | (Expr::Literal(v), Expr::Column { index, name }) => {
+                Some((*index, name.clone(), vec![v.clone()]))
+            }
+            _ => None,
+        },
+        Expr::InList {
+            input,
+            list,
+            negated: false,
+        } => match input.as_ref() {
+            Expr::Column { index, name } => Some((*index, name.clone(), list.clone())),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Bottom-up fold of OR chains into IN lists wherever every disjunct is an
+/// equality (or IN) on the same column.
+fn fold_or_to_in(e: Expr) -> Expr {
+    match e {
+        Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => {
+            let left = fold_or_to_in(*left);
+            let right = fold_or_to_in(*right);
+            if let (Some((lc, name, mut lv)), Some((rc, _, rv))) =
+                (eq_disjunct(&left), eq_disjunct(&right))
+            {
+                if lc == rc {
+                    for v in rv {
+                        if !lv.contains(&v) {
+                            lv.push(v);
+                        }
+                    }
+                    return Expr::in_list(Expr::col(lc, name), lv, false);
+                }
+            }
+            Expr::or(left, right)
+        }
+        Expr::Binary { op, left, right } => {
+            Expr::binary(op, fold_or_to_in(*left), fold_or_to_in(*right))
+        }
+        other => other,
+    }
 }
 
 /// A LEFT (RIGHT) outer join whose nullable side carries a null-rejecting
@@ -177,6 +256,50 @@ mod tests {
         rewrite(&mut q);
         let after = q.table_filters[0].clone().unwrap().split_conjuncts().len();
         assert_eq!(before, after, "second pass adds nothing");
+    }
+
+    #[test]
+    fn or_chain_folds_to_in_list() {
+        use vdb_types::Value;
+        let mut q = two_table_query(JoinType::Inner);
+        // (k = 1 OR k = 2) OR k IN (2, 3) → k IN (1, 2, 3).
+        q.table_filters[0] = Some(Expr::or(
+            Expr::or(
+                Expr::eq(Expr::col(2, "k"), Expr::int(1)),
+                Expr::eq(Expr::int(2), Expr::col(2, "k")),
+            ),
+            Expr::in_list(
+                Expr::col(2, "k"),
+                vec![Value::Integer(2), Value::Integer(3)],
+                false,
+            ),
+        ));
+        rewrite(&mut q);
+        let Some(Expr::InList {
+            input,
+            list,
+            negated: false,
+        }) = &q.table_filters[0]
+        else {
+            panic!("expected IN list, got {:?}", q.table_filters[0]);
+        };
+        assert!(matches!(input.as_ref(), Expr::Column { index: 2, .. }));
+        assert_eq!(
+            list,
+            &vec![Value::Integer(1), Value::Integer(2), Value::Integer(3)]
+        );
+    }
+
+    #[test]
+    fn mixed_column_or_stays_or() {
+        let mut q = two_table_query(JoinType::Inner);
+        let pred = Expr::or(
+            Expr::eq(Expr::col(2, "a"), Expr::int(1)),
+            Expr::eq(Expr::col(3, "b"), Expr::int(2)),
+        );
+        q.table_filters[0] = Some(pred.clone());
+        rewrite(&mut q);
+        assert_eq!(q.table_filters[0], Some(pred));
     }
 
     #[test]

@@ -209,8 +209,59 @@ impl Expr {
         Expr::binary(BinOp::And, left, right)
     }
 
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::binary(BinOp::Or, left, right)
+    }
+
+    /// Logical negation (named to avoid clashing with `std::ops::Not`).
+    pub fn negated(input: Expr) -> Expr {
+        Expr::Unary {
+            op: UnOp::Not,
+            input: Box::new(input),
+        }
+    }
+
+    pub fn in_list(input: Expr, list: Vec<Value>, negated: bool) -> Expr {
+        Expr::InList {
+            input: Box::new(input),
+            list,
+            negated,
+        }
+    }
+
+    pub fn between(input: Expr, low: Expr, high: Expr) -> Expr {
+        Expr::Between {
+            input: Box::new(input),
+            low: Box::new(low),
+            high: Box::new(high),
+        }
+    }
+
+    pub fn is_null(input: Expr, negated: bool) -> Expr {
+        Expr::IsNull {
+            input: Box::new(input),
+            negated,
+        }
+    }
+
+    pub fn case(branches: Vec<(Expr, Expr)>, otherwise: Option<Expr>) -> Expr {
+        Expr::Case {
+            branches,
+            otherwise: otherwise.map(Box::new),
+        }
+    }
+
     pub fn call(func: Func, args: Vec<Expr>) -> Expr {
         Expr::Call { func, args }
+    }
+
+    /// True when the expression references no input column — it evaluates
+    /// to the same value for every row, so vectorized evaluation can fold
+    /// it once per batch instead of once per row.
+    pub fn is_constant(&self) -> bool {
+        let mut any = false;
+        self.visit_columns(&mut |_| any = true);
+        !any
     }
 
     /// Conjoin a list of predicates (`None` for an empty list).
@@ -548,7 +599,10 @@ pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> DbResult<Value> {
     }
 }
 
-fn eval_func(func: Func, args: &[Value]) -> DbResult<Value> {
+/// Evaluate a scalar function call over already-evaluated arguments. Public
+/// so the vectorized expression engine can share the scalar kernels without
+/// materializing rows.
+pub fn eval_func(func: Func, args: &[Value]) -> DbResult<Value> {
     let arg_err = |want: &str| {
         Err(DbError::Execution(format!(
             "{} expects {want}, got {} args",
@@ -642,7 +696,9 @@ fn eval_func(func: Func, args: &[Value]) -> DbResult<Value> {
     }
 }
 
-fn cast_value(v: Value, to: DataType) -> DbResult<Value> {
+/// SQL CAST semantics for one value (NULL casts to NULL). Public for the
+/// vectorized expression engine.
+pub fn cast_value(v: Value, to: DataType) -> DbResult<Value> {
     if v.is_null() {
         return Ok(Value::Null);
     }
