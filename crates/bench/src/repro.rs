@@ -539,6 +539,51 @@ pub fn exec_parallel_join(rows: usize) -> DbResult<(String, Vec<(String, f64)>)>
     Ok((out, metrics))
 }
 
+/// Torture smoke: a short trickle-load run (writers + tuple mover + query
+/// fire, see `vdb_tests::torture`) that must finish with zero
+/// snapshot-isolation violations, reporting sustained ingest throughput
+/// and query tail latency under concurrent ingest.
+pub fn torture(secs: f64) -> DbResult<(String, Vec<(String, f64)>)> {
+    let config = vdb_tests::torture::TortureConfig {
+        secs,
+        ..vdb_tests::torture::TortureConfig::from_env()
+    };
+    let report = vdb_tests::torture::run(&config);
+    if !report.violations.is_empty() {
+        return Err(vdb_types::DbError::Execution(format!(
+            "torture run found {} snapshot-isolation violations; first: {}",
+            report.violations.len(),
+            report.violations[0]
+        )));
+    }
+    let mut out = String::from("== Torture: concurrent ingest under query fire ==\n");
+    let _ = writeln!(
+        out,
+        "{:.1}s, {} writers / {} readers: {} commits ({} rows in, {} deletes), \
+         {} queries, 0 violations",
+        report.elapsed_secs,
+        config.writers,
+        config.readers,
+        report.commits,
+        report.rows_ingested,
+        report.deletes,
+        report.queries
+    );
+    let _ = writeln!(
+        out,
+        "ingest {:.0} rows/s, query p99 {:.2} ms under ingest",
+        report.ingest_rows_per_sec, report.query_p99_ms
+    );
+    let metrics = vec![
+        (
+            "ingest_rows_per_sec".to_string(),
+            report.ingest_rows_per_sec,
+        ),
+        ("query_p99_under_ingest_ms".to_string(), report.query_p99_ms),
+    ];
+    Ok((out, metrics))
+}
+
 /// Render a flat `name → number` map plus per-section wall-clock timings as
 /// the `BENCH_repro.json` document (hand-rolled; no serializer dependency).
 pub fn bench_json(sections: &[(String, f64)], metrics: &[(String, f64)]) -> String {

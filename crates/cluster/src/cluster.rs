@@ -27,6 +27,11 @@ pub struct ClusterConfig {
     /// AHM retention policy in epochs (§5.1).
     pub history_retention: u64,
     pub tuple_mover: TupleMoverConfig,
+    /// When set, each node's storage lives on disk under
+    /// `<data_root>/node<i>` and DML commits persist an epoch marker,
+    /// making the cluster recoverable across process restarts (§5.1).
+    /// `None` keeps everything in memory.
+    pub data_root: Option<std::path::PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -37,6 +42,7 @@ impl Default for ClusterConfig {
             n_local_segments: 3,
             history_retention: u64::MAX,
             tuple_mover: TupleMoverConfig::default(),
+            data_root: None,
         }
     }
 }
@@ -78,14 +84,25 @@ pub struct Cluster {
 
 impl Cluster {
     pub fn new(config: ClusterConfig) -> Cluster {
+        Cluster::try_new(config).expect("cluster construction failed")
+    }
+
+    /// Fallible construction — only durable clusters (`data_root` set) can
+    /// actually fail, on filesystem errors creating node directories.
+    pub fn try_new(config: ClusterConfig) -> DbResult<Cluster> {
         let epochs = Arc::new(EpochManager::new(config.history_retention));
-        let nodes = (0..config.n_nodes)
-            .map(|i| Node {
+        let mut nodes = Vec::with_capacity(config.n_nodes);
+        for i in 0..config.n_nodes {
+            let backend: Arc<dyn vdb_storage::StorageBackend> = match &config.data_root {
+                Some(root) => Arc::new(vdb_storage::FsBackend::new(root.join(format!("node{i}")))?),
+                None => Arc::new(MemBackend::new()),
+            };
+            nodes.push(Node {
                 id: NodeId(i as u32),
-                engine: StorageEngine::new(Arc::new(MemBackend::new()), config.n_local_segments),
-            })
-            .collect();
-        Cluster {
+                engine: StorageEngine::new(backend, config.n_local_segments),
+            });
+        }
+        Ok(Cluster {
             applied: RwLock::new(vec![Epoch::ZERO; config.n_nodes]),
             router: RingRouter::new(config.n_nodes),
             up: RwLock::new(vec![true; config.n_nodes]),
@@ -96,7 +113,7 @@ impl Cluster {
             mover: TupleMover::new(config.tuple_mover.clone()),
             nodes,
             config,
-        }
+        })
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -320,7 +337,9 @@ impl Cluster {
         let txn = self.txns.begin(Isolation::ReadCommitted);
         self.txns.lock(&txn, table, LockMode::I)?;
         let epoch = self.txns.pending_commit_epoch();
-        let result = self.apply_load(table, rows, epoch, direct_ros);
+        let result = self
+            .apply_load(table, rows, epoch, direct_ros)
+            .and_then(|()| self.persist_commit_marker(epoch));
         match result {
             Ok(()) => {
                 self.txns.commit(&txn, true)?;
@@ -408,6 +427,23 @@ impl Cluster {
         let txn = self.txns.begin(Isolation::ReadCommitted);
         self.txns.lock(&txn, table, LockMode::X)?;
         let epoch = self.txns.pending_commit_epoch();
+        let result = self
+            .apply_delete(table, predicate, epoch)
+            .and_then(|deleted| self.persist_commit_marker(epoch).map(|()| deleted));
+        match result {
+            Ok(deleted_primary) => {
+                self.txns.commit(&txn, true)?;
+                self.record_applied(epoch);
+                Ok((epoch, deleted_primary))
+            }
+            Err(e) => {
+                self.txns.rollback(&txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_delete(&self, table: &str, predicate: Option<&Expr>, epoch: Epoch) -> DbResult<u64> {
         let snapshot = epoch.prev();
         let mut deleted_primary = 0u64;
         let families: Vec<Family> = self
@@ -421,46 +457,42 @@ impl Cluster {
             for (b, replica) in family.replicas.iter().enumerate() {
                 for n in self.up_nodes() {
                     let store = self.nodes[n].engine.projection(replica)?;
-                    let (locations, def) = {
-                        let s = store.read();
-                        let def = s.def().clone();
-                        let pred = match predicate {
-                            None => None,
-                            Some(p) => Some(
-                                p.remap_columns(&|c| def.projection_column_of(c))
-                                    .ok_or_else(|| {
-                                        DbError::Plan(format!(
+                    // Hold the write lock across scan AND mark: a
+                    // concurrent moveout re-bases WOS positions on drain,
+                    // so row locations must not go stale in between.
+                    let mut s = store.write();
+                    let def = s.def().clone();
+                    let pred = match predicate {
+                        None => None,
+                        Some(p) => Some(
+                            p.remap_columns(&|c| def.projection_column_of(c))
+                                .ok_or_else(|| {
+                                    DbError::Plan(format!(
                                         "DELETE predicate not coverable by projection {replica}"
                                     ))
-                                    })?,
-                            ),
-                        };
-                        let mut locs = Vec::new();
-                        for (loc, row) in s.visible_rows_with_locations(snapshot)? {
-                            let keep = match &pred {
-                                None => true,
-                                Some(p) => p.matches(&row)?,
-                            };
-                            if keep {
-                                locs.push(loc);
-                            }
-                        }
-                        (locs, def)
+                                })?,
+                        ),
                     };
-                    let _ = def;
+                    let mut locations = Vec::new();
+                    for (loc, row) in s.visible_rows_with_locations(snapshot)? {
+                        let keep = match &pred {
+                            None => true,
+                            Some(p) => p.matches(&row)?,
+                        };
+                        if keep {
+                            locations.push(loc);
+                        }
+                    }
                     if b == 0 {
                         deleted_primary += locations.len() as u64;
                     }
-                    let mut s = store.write();
                     for loc in locations {
                         s.mark_deleted(loc, epoch)?;
                     }
                 }
             }
         }
-        self.txns.commit(&txn, true)?;
-        self.record_applied(epoch);
-        Ok((epoch, deleted_primary))
+        Ok(deleted_primary)
     }
 
     /// UPDATE = DELETE + INSERT of modified rows (§3.7.1). Sets are
@@ -503,13 +535,25 @@ impl Cluster {
         let txn = self.txns.begin(Isolation::ReadCommitted);
         self.txns.lock(&txn, table, LockMode::O)?;
         let epoch = self.txns.pending_commit_epoch();
-        let mut dropped = 0;
-        for n in self.up_nodes() {
-            dropped += self.nodes[n].engine.drop_partition(table, key, epoch)?;
+        let apply = || -> DbResult<usize> {
+            let mut dropped = 0;
+            for n in self.up_nodes() {
+                dropped += self.nodes[n].engine.drop_partition(table, key, epoch)?;
+            }
+            self.persist_commit_marker(epoch)?;
+            Ok(dropped)
+        };
+        match apply() {
+            Ok(dropped) => {
+                self.txns.commit(&txn, true)?;
+                self.record_applied(epoch);
+                Ok(dropped)
+            }
+            Err(e) => {
+                self.txns.rollback(&txn);
+                Err(e)
+            }
         }
-        self.txns.commit(&txn, true)?;
-        self.record_applied(epoch);
-        Ok(dropped)
     }
 
     /// All visible rows of a table (via the first covering family) — used
@@ -813,6 +857,53 @@ impl Cluster {
                 let mut s = store.write();
                 self.mover.run_moveout(&mut s, epoch, force_moveout)?;
                 self.mover.run_mergeout(&mut s, ahm)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // durability (§5.1)
+    // ------------------------------------------------------------------
+
+    /// Durably record that `epoch` committed: an 8-byte marker file written
+    /// to every up node's backend. The marker is THE commit point for
+    /// recovery — applied writes whose epoch exceeds the marker are
+    /// truncated away on reopen. Fires the `commit.before_marker` fault
+    /// point so crash tests can exercise exactly that window.
+    fn persist_commit_marker(&self, epoch: Epoch) -> DbResult<()> {
+        vdb_storage::fault::fire(vdb_storage::fault::COMMIT_BEFORE_MARKER)?;
+        for n in self.up_nodes() {
+            self.nodes[n]
+                .engine
+                .backend()
+                .write_file("commit.marker", &epoch.0.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Highest durably committed epoch across all nodes (max of the commit
+    /// markers; `Epoch::ZERO` on a fresh cluster).
+    pub fn last_durable_epoch(&self) -> Epoch {
+        let mut max = Epoch::ZERO;
+        for n in &self.nodes {
+            if let Ok(bytes) = n.engine.backend().read_file("commit.marker") {
+                if let Ok(arr) = <[u8; 8]>::try_from(bytes.as_slice()) {
+                    max = max.max(Epoch(u64::from_le_bytes(arr)));
+                }
+            }
+        }
+        max
+    }
+
+    /// Recovery truncation: discard every effect stamped after `epoch` on
+    /// every node (a crashed commit applied writes but never reached its
+    /// marker). Also re-checkpoints each WOS so the redo log converges.
+    pub fn truncate_all_after(&self, epoch: Epoch) -> DbResult<()> {
+        for n in &self.nodes {
+            for pname in n.engine.projection_names() {
+                let store = n.engine.projection(&pname)?;
+                store.write().truncate_after(epoch)?;
             }
         }
         Ok(())

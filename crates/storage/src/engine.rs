@@ -138,12 +138,15 @@ impl StorageEngine {
                 Some(PartitionSpec::new(remapped))
             }
         };
-        let store = ProjectionStore::new(
+        // `open` attaches to durable state when the backend already holds
+        // this projection's manifest (database reopen replaying the DDL
+        // log); on a fresh backend it is identical to `new`.
+        let store = ProjectionStore::open(
             def.clone(),
             partition,
             self.n_local_segments,
             self.backend.clone(),
-        );
+        )?;
         self.by_table
             .write()
             .entry(def.anchor_table.clone())

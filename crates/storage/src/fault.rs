@@ -1,0 +1,140 @@
+//! Deterministic fault injection for crash-recovery testing.
+//!
+//! A process-wide registry of named *fault points*. Durability-sensitive
+//! code paths call [`fire`] at the instant between "work done" and "work
+//! committed"; if a test armed that point, `fire` returns an error that
+//! aborts the operation mid-flight. Under the simulated-crash model this is
+//! the moral equivalent of `kill -9`: the backends write whole files (never
+//! torn), so on-disk state after a fired fault is exactly what a real crash
+//! at that instant would leave behind. The *in-memory* store state may be
+//! inconsistent after a fault fires — the test must drop the database and
+//! reopen it from disk, which is precisely the recovery path being
+//! exercised.
+//!
+//! Points are armed programmatically ([`arm`]) or through the
+//! `VDB_FAULT_POINTS` environment variable (a comma-separated list, read
+//! once at first use). Firing is one-shot: a point disarms itself as it
+//! fires, so the subsequent reopen/replay runs clean.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use vdb_types::{DbError, DbResult};
+
+/// Moveout wrote the new ROS containers but neither the WOS checkpoint nor
+/// the manifest exists yet: recovery must come back pre-moveout, with the
+/// orphaned containers garbage-collected.
+pub const MOVEOUT_BEFORE_MANIFEST: &str = "moveout.before_manifest";
+/// Moveout wrote containers *and* the WOS checkpoint record, but the
+/// manifest still points at the old state: the stale checkpoint must be
+/// ignored on replay (its containers never became visible).
+pub const MOVEOUT_BEFORE_WOS_TRUNCATE: &str = "moveout.before_wos_truncate";
+/// Mergeout wrote the merged container but the manifest still lists the
+/// victims: recovery must come back pre-merge.
+pub const MERGEOUT_BEFORE_MANIFEST: &str = "mergeout.before_manifest";
+/// Mergeout committed the manifest but victim files are not yet reclaimed:
+/// recovery must GC them and serve the merged container.
+pub const MERGEOUT_BEFORE_CLEANUP: &str = "mergeout.before_cleanup";
+/// The tuple mover picked mergeout victims but wrote nothing yet.
+pub const MERGEOUT_AFTER_PICK: &str = "mergeout.after_pick";
+/// A DML transaction applied its writes but the commit marker is not on
+/// disk: recovery must truncate the epoch away (uncommitted rows vanish).
+pub const COMMIT_BEFORE_MARKER: &str = "commit.before_marker";
+/// The WOS is about to drain for moveout; nothing has happened yet.
+pub const WOS_BEFORE_DRAIN: &str = "wos.before_drain";
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<BTreeSet<String>> {
+    static REG: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    REG.get_or_init(|| {
+        let mut set = BTreeSet::new();
+        if let Ok(list) = std::env::var("VDB_FAULT_POINTS") {
+            for p in list.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                set.insert(p.to_string());
+            }
+        }
+        if !set.is_empty() {
+            ANY_ARMED.store(true, Ordering::Release);
+        }
+        Mutex::new(set)
+    })
+}
+
+/// Arm a fault point: the next [`fire`] call naming it returns an error.
+pub fn arm(point: &str) {
+    registry().lock().insert(point.to_string());
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm every armed point (test teardown).
+pub fn disarm_all() {
+    registry().lock().clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// Currently armed points, sorted.
+pub fn armed() -> Vec<String> {
+    registry().lock().iter().cloned().collect()
+}
+
+/// Crash site marker: returns `Err` exactly once if `point` is armed,
+/// disarming it in the process; a no-op (and nearly free) otherwise.
+pub fn fire(point: &str) -> DbResult<()> {
+    let reg = registry();
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let mut set = reg.lock();
+    if set.remove(point) {
+        if set.is_empty() {
+            ANY_ARMED.store(false, Ordering::Release);
+        }
+        Err(DbError::Execution(format!("fault injected: {point}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Whether an error came from an injected fault (as opposed to a real bug).
+pub fn is_fault(err: &DbError) -> bool {
+    matches!(err, DbError::Execution(m) if m.starts_with("fault injected: "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests use point names no production path fires, because the
+    // registry is process-global and the crate's other unit tests run
+    // moveout/mergeout concurrently. They also serialize against each other
+    // (disarm_all would otherwise clear a sibling's armed point).
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn fire_is_one_shot() {
+        let _guard = SERIAL.lock().unwrap();
+        arm("test.fault.one_shot");
+        let err = fire("test.fault.one_shot").unwrap_err();
+        assert!(is_fault(&err), "{err}");
+        assert!(fire("test.fault.one_shot").is_ok(), "disarmed after firing");
+    }
+
+    #[test]
+    fn unarmed_points_are_noops() {
+        assert!(fire("test.fault.never_armed").is_ok());
+        assert!(!is_fault(&DbError::Execution("other".into())));
+    }
+
+    #[test]
+    fn disarm_all_clears() {
+        let _guard = SERIAL.lock().unwrap();
+        arm("test.fault.a");
+        arm("test.fault.b");
+        assert!(armed().iter().any(|p| p == "test.fault.a"));
+        disarm_all();
+        assert!(fire("test.fault.a").is_ok());
+        assert!(fire("test.fault.b").is_ok());
+    }
+}

@@ -10,15 +10,22 @@
 //! strata-based mergeout, preserving `PARTITION BY` ([`partition`]) and
 //! local-segment boundaries. A node's projections are collected in a
 //! [`engine::StorageEngine`].
+//!
+//! Durability (§5.1): the volatile WOS is backed by a per-projection
+//! **redo log** ([`redo`]), the live container set by a per-projection
+//! manifest committed with whole-file writes, and crash windows are
+//! testable through deterministic **fault injection** ([`fault`]).
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod backend;
 pub mod delete_vector;
 pub mod engine;
+pub mod fault;
 pub mod layout;
 pub mod partition;
 pub mod projection;
+pub mod redo;
 pub mod ros;
 pub mod store;
 pub mod tuple_mover;
@@ -28,6 +35,7 @@ pub use backend::{FsBackend, MemBackend, StorageBackend};
 pub use delete_vector::DeleteVector;
 pub use engine::StorageEngine;
 pub use projection::{ProjectionDef, Segmentation};
+pub use redo::{RedoLog, RedoRecord};
 pub use ros::{ContainerId, RosContainer};
-pub use store::{ProjectionStore, RowLocation, SnapshotScan};
+pub use store::{ContainerPin, ProjectionStore, RowLocation, SnapshotScan};
 pub use tuple_mover::{TupleMover, TupleMoverConfig};

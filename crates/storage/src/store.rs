@@ -11,13 +11,17 @@
 
 use crate::backend::StorageBackend;
 use crate::delete_vector::DeleteVector;
+use crate::fault;
 use crate::partition::PartitionSpec;
 use crate::projection::ProjectionDef;
+use crate::redo::{RedoLog, RedoRecord};
 use crate::ros::{ContainerId, RosContainer};
 use crate::wos::Wos;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vdb_encoding::EncodingType;
+use vdb_types::codec::{Reader, Writer};
 use vdb_types::{DbError, DbResult, Epoch, Row, Value};
 
 /// Where a row physically lives (for delete targeting).
@@ -56,6 +60,53 @@ impl VisibleSet {
     }
 }
 
+/// Keeps a removed container's files alive until its last holder drops.
+///
+/// Mergeout and partition drops remove a container from the catalog
+/// immediately, but in-flight scans may still hold a [`ScanContainer`]
+/// clone referencing its files. Each live container owns one pin; scans
+/// clone the `Arc`. Removal *dooms* the pin instead of deleting files —
+/// the files are reclaimed when the last `Arc` drops, so a concurrent
+/// reader never loses a container mid-scan.
+pub struct ContainerPin {
+    backend: Arc<dyn StorageBackend>,
+    dir_prefix: String,
+    doomed: AtomicBool,
+}
+
+impl ContainerPin {
+    fn new(backend: Arc<dyn StorageBackend>, projection: &str, id: ContainerId) -> ContainerPin {
+        ContainerPin {
+            backend,
+            dir_prefix: format!("{projection}/{id}/"),
+            doomed: AtomicBool::new(false),
+        }
+    }
+
+    fn doom(&self) {
+        self.doomed.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for ContainerPin {
+    fn drop(&mut self) {
+        if *self.doomed.get_mut() {
+            for f in self.backend.list_files(&self.dir_prefix) {
+                let _ = self.backend.delete_file(&f);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ContainerPin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContainerPin")
+            .field("dir", &self.dir_prefix)
+            .field("doomed", &self.doomed)
+            .finish()
+    }
+}
+
 /// One container plus its delete vector, pinned to a snapshot epoch — the
 /// unit handed to the scan operator. Carries the owning node's backend so
 /// a scan can mix containers sourced from several nodes (buddy-projection
@@ -66,6 +117,9 @@ pub struct ScanContainer {
     pub deletes: DeleteVector,
     pub snapshot: Epoch,
     pub backend: Arc<dyn StorageBackend>,
+    /// Holds the container's files alive if the tuple mover retires it
+    /// while this scan is in flight.
+    pub pin: Option<Arc<ContainerPin>>,
 }
 
 impl std::fmt::Debug for ScanContainer {
@@ -199,8 +253,16 @@ pub struct ProjectionStore {
     wos: Wos,
     containers: BTreeMap<ContainerId, RosContainer>,
     delete_vectors: BTreeMap<ContainerId, DeleteVector>,
+    pins: BTreeMap<ContainerId, Arc<ContainerPin>>,
     next_container: u64,
+    /// WOS durability (§5.1): every WOS mutation is logged; moveout
+    /// checkpoints and truncates.
+    redo: RedoLog,
+    /// Redo sequence the durable WOS starts at (the committed checkpoint).
+    wos_start_seq: u64,
 }
+
+const MANIFEST_VERSION: u64 = 1;
 
 impl ProjectionStore {
     pub fn new(
@@ -215,6 +277,7 @@ impl ProjectionStore {
         physical.column_names.push("__epoch".into());
         physical.column_types.push(vdb_types::DataType::Integer);
         physical.encodings.push(EncodingType::Auto);
+        let redo = RedoLog::new(&def.name);
         ProjectionStore {
             def,
             physical,
@@ -224,7 +287,116 @@ impl ProjectionStore {
             wos: Wos::new(),
             containers: BTreeMap::new(),
             delete_vectors: BTreeMap::new(),
+            pins: BTreeMap::new(),
             next_container: 1,
+            redo,
+            wos_start_seq: 0,
+        }
+    }
+
+    /// Open a projection store, attaching to durable state when the backend
+    /// holds a manifest (the reopen path) and starting fresh otherwise.
+    ///
+    /// Attach re-reads container metadata and delete vectors for every
+    /// manifest-listed container, garbage-collects container directories a
+    /// crashed moveout/mergeout left orphaned, and rebuilds the WOS by
+    /// replaying the redo log from the committed checkpoint.
+    pub fn open(
+        def: ProjectionDef,
+        partition: Option<PartitionSpec>,
+        n_local_segments: u32,
+        backend: Arc<dyn StorageBackend>,
+    ) -> DbResult<ProjectionStore> {
+        let mut store = Self::new(def, partition, n_local_segments, backend);
+        let Ok(bytes) = store.backend.read_file(&store.manifest_path()) else {
+            return Ok(store); // fresh projection
+        };
+        let mut r = Reader::new(&bytes);
+        let version = r.get_uvarint()?;
+        if version != MANIFEST_VERSION {
+            return Err(DbError::Corrupt(format!(
+                "projection {} manifest version {version}",
+                store.def.name
+            )));
+        }
+        store.next_container = r.get_uvarint()?;
+        store.wos_start_seq = r.get_uvarint()?;
+        let n = r.get_uvarint()?;
+        let mut live = BTreeSet::new();
+        for _ in 0..n {
+            live.insert(ContainerId(r.get_uvarint()?));
+        }
+        for &id in &live {
+            let meta = store
+                .backend
+                .read_file(&format!("{}/{}/container.meta", store.def.name, id))?;
+            let container = RosContainer::decode_meta(&meta)?;
+            let dv = match store
+                .backend
+                .read_file(&format!("{}/{}/deletes.dv", store.def.name, id))
+            {
+                Ok(b) => DeleteVector::decode(&b)?,
+                Err(_) => DeleteVector::new(),
+            };
+            store.pins.insert(
+                id,
+                Arc::new(ContainerPin::new(
+                    store.backend.clone(),
+                    &store.def.name,
+                    id,
+                )),
+            );
+            store.containers.insert(id, container);
+            store.delete_vectors.insert(id, dv);
+        }
+        store.gc_orphans(&live);
+        let (wos, redo) =
+            RedoLog::replay(store.backend.as_ref(), &store.def.name, store.wos_start_seq)?;
+        store.wos = wos;
+        store.redo = redo;
+        store
+            .redo
+            .gc_before(store.backend.as_ref(), store.wos_start_seq);
+        Ok(store)
+    }
+
+    fn manifest_path(&self) -> String {
+        format!("{}/manifest", self.def.name)
+    }
+
+    /// Persist the durable catalog: live container ids, the container id
+    /// allocator and the redo checkpoint sequence. A single whole-file
+    /// rewrite, so under the simulated-crash model this is the atomic
+    /// commit point for every container-set or WOS-truncation change.
+    fn save_manifest(&self) -> DbResult<()> {
+        let mut w = Writer::new();
+        w.put_uvarint(MANIFEST_VERSION);
+        w.put_uvarint(self.next_container);
+        w.put_uvarint(self.wos_start_seq);
+        w.put_uvarint(self.containers.len() as u64);
+        for id in self.containers.keys() {
+            w.put_uvarint(id.0);
+        }
+        self.backend
+            .write_file(&self.manifest_path(), &w.into_bytes())
+    }
+
+    /// Delete files of container directories the manifest does not list —
+    /// debris from operations that crashed between writing containers and
+    /// committing the manifest. Without this, reopen would eventually
+    /// re-allocate an orphan's id and inherit its stale files.
+    fn gc_orphans(&self, live: &BTreeSet<ContainerId>) {
+        for file in self.backend.list_files(&format!("{}/", self.def.name)) {
+            let rel = &file[self.def.name.len() + 1..];
+            let Some((dir, _)) = rel.split_once('/') else {
+                continue; // the manifest itself
+            };
+            let Some(id) = dir.strip_prefix("ros").and_then(|s| s.parse::<u64>().ok()) else {
+                continue; // redo/ and anything non-container
+            };
+            if !live.contains(&ContainerId(id)) {
+                let _ = self.backend.delete_file(&file);
+            }
         }
     }
 
@@ -287,10 +459,21 @@ impl ProjectionStore {
         id
     }
 
-    /// Insert projection-shaped rows at `epoch`, buffered in the WOS.
+    /// Insert projection-shaped rows at `epoch`, buffered in the WOS. The
+    /// batch is logged to the redo log first (the WOS itself is volatile,
+    /// §5.1).
     pub fn insert_wos(&mut self, rows: Vec<Row>, epoch: Epoch) -> DbResult<()> {
+        for row in &rows {
+            self.check_arity(row)?;
+        }
+        self.redo.append(
+            self.backend.as_ref(),
+            &RedoRecord::Insert {
+                epoch,
+                rows: rows.clone(),
+            },
+        )?;
         for row in rows {
-            self.check_arity(&row)?;
             self.wos.insert(row, epoch);
         }
         Ok(())
@@ -309,7 +492,9 @@ impl ProjectionStore {
         }
         let augmented: Vec<(Row, Epoch, Option<Epoch>)> =
             rows.into_iter().map(|r| (r, epoch, None)).collect();
-        self.write_containers(augmented, epoch)
+        let created = self.write_containers(augmented, epoch)?;
+        self.save_manifest()?;
+        Ok(created)
     }
 
     fn check_arity(&self, row: &Row) -> DbResult<()> {
@@ -374,6 +559,10 @@ impl ProjectionStore {
                 pkey,
                 lseg,
             )?;
+            self.pins.insert(
+                id,
+                Arc::new(ContainerPin::new(self.backend.clone(), &self.def.name, id)),
+            );
             self.containers.insert(id, container);
             if !dv.is_empty() {
                 self.persist_delete_vector(id, &dv)?;
@@ -393,13 +582,34 @@ impl ProjectionStore {
 
     /// Moveout (§4): move WOS rows committed at or before `up_to` into new
     /// ROS containers. Returns created container ids.
+    ///
+    /// Durable protocol: write containers → checkpoint the surviving WOS →
+    /// commit both by rewriting the manifest. A crash anywhere before the
+    /// manifest write recovers to the pre-moveout state (orphan containers
+    /// and the uncommitted checkpoint are ignored on reopen); after it, to
+    /// the post-moveout state. Fault points mark the two crash windows.
     pub fn moveout(&mut self, up_to: Epoch) -> DbResult<Vec<ContainerId>> {
-        let moved = self.wos.drain_up_to(up_to);
+        let moved = self.wos.drain_up_to(up_to)?;
         if moved.is_empty() {
             return Ok(Vec::new());
         }
         let max_epoch = moved.iter().map(|(_, e, _)| *e).max().unwrap();
-        self.write_containers(moved, max_epoch)
+        let created = self.write_containers(moved, max_epoch)?;
+        fault::fire(fault::MOVEOUT_BEFORE_MANIFEST)?;
+        let image: Vec<(Row, Epoch, Option<Epoch>)> = self
+            .wos
+            .all_rows()
+            .map(|(_, wr, d)| (wr.row.clone(), wr.epoch, d))
+            .collect();
+        let ckpt = self.redo.append(
+            self.backend.as_ref(),
+            &RedoRecord::Checkpoint { rows: image },
+        )?;
+        fault::fire(fault::MOVEOUT_BEFORE_WOS_TRUNCATE)?;
+        self.wos_start_seq = ckpt;
+        self.save_manifest()?;
+        self.redo.gc_before(self.backend.as_ref(), ckpt);
+        Ok(created)
     }
 
     /// Mark a row deleted (§3.7.1). UPDATE = delete + insert at exec level.
@@ -411,6 +621,13 @@ impl ProjectionStore {
                         "WOS position {pos} out of range"
                     )));
                 }
+                self.redo.append(
+                    self.backend.as_ref(),
+                    &RedoRecord::DeleteWos {
+                        position: pos,
+                        epoch,
+                    },
+                )?;
                 self.wos.mark_deleted(pos, epoch);
                 Ok(())
             }
@@ -442,6 +659,7 @@ impl ProjectionStore {
                 deletes: self.delete_vectors.get(&c.id).cloned().unwrap_or_default(),
                 snapshot,
                 backend: self.backend.clone(),
+                pin: self.pins.get(&c.id).cloned(),
             })
             .collect();
         SnapshotScan {
@@ -526,7 +744,7 @@ impl ProjectionStore {
     }
 
     /// Fast bulk delete of one partition (§3.5): moveout any WOS rows, then
-    /// delete the files of every container with the given partition key.
+    /// retire every container with the given partition key.
     pub fn drop_partition(&mut self, key: &Value, current: Epoch) -> DbResult<usize> {
         self.moveout(current)?;
         let victims: Vec<ContainerId> = self
@@ -536,27 +754,25 @@ impl ProjectionStore {
             .map(|c| c.id)
             .collect();
         for id in &victims {
-            let c = self.containers.remove(id).unwrap();
-            c.delete_files(self.backend.as_ref())?;
-            self.delete_vectors.remove(id);
-            let _ = self
-                .backend
-                .delete_file(&format!("{}/{}/deletes.dv", self.def.name, id));
+            self.remove_container(*id);
+        }
+        if !victims.is_empty() {
+            self.save_manifest()?;
         }
         Ok(victims.len())
     }
 
-    /// Remove a container from the catalog and backend (mergeout input
-    /// reclamation).
-    pub(crate) fn remove_container(&mut self, id: ContainerId) -> DbResult<()> {
-        if let Some(c) = self.containers.remove(&id) {
-            c.delete_files(self.backend.as_ref())?;
+    /// Drop a container from the catalog. File reclamation is deferred to
+    /// the last pin holder — an in-flight scan keeps the files alive.
+    /// Callers changing the durable container set must follow up with a
+    /// manifest save.
+    pub(crate) fn remove_container(&mut self, id: ContainerId) {
+        if self.containers.remove(&id).is_some() {
             self.delete_vectors.remove(&id);
-            let _ = self
-                .backend
-                .delete_file(&format!("{}/{}/deletes.dv", self.def.name, id));
+            if let Some(pin) = self.pins.remove(&id) {
+                pin.doom();
+            }
         }
-        Ok(())
     }
 
     /// Read a container's rows together with per-row `(epoch, delete)`
@@ -586,6 +802,14 @@ impl ProjectionStore {
     }
 
     /// Replace a set of containers with newly-merged history (tuple mover).
+    ///
+    /// Durable protocol: write the merged containers, then commit by
+    /// rewriting the manifest with the victims dropped, then reclaim victim
+    /// files. Crashing before the manifest recovers pre-merge (the merged
+    /// containers are orphans); after it, post-merge (leftover victim files
+    /// are GC'd on reopen). Note a fault fired *before* the manifest leaves
+    /// the in-memory catalog holding both victims and merged rows — callers
+    /// must treat any error here as a crash and reopen from disk.
     pub(crate) fn replace_containers(
         &mut self,
         victims: &[ContainerId],
@@ -593,8 +817,17 @@ impl ProjectionStore {
         commit_epoch: Epoch,
     ) -> DbResult<Vec<ContainerId>> {
         let created = self.write_containers(merged, commit_epoch)?;
+        fault::fire(fault::MERGEOUT_BEFORE_MANIFEST)?;
         for id in victims {
-            self.remove_container(*id)?;
+            self.containers.remove(id);
+            self.delete_vectors.remove(id);
+        }
+        self.save_manifest()?;
+        fault::fire(fault::MERGEOUT_BEFORE_CLEANUP)?;
+        for id in victims {
+            if let Some(pin) = self.pins.remove(id) {
+                pin.doom();
+            }
         }
         Ok(created)
     }
@@ -609,7 +842,7 @@ impl ProjectionStore {
     /// `epoch` are undone.
     pub fn truncate_after(&mut self, epoch: Epoch) -> DbResult<()> {
         // WOS: drop rows after epoch, undo later deletes.
-        let kept = self.wos.drain_up_to(Epoch(u64::MAX));
+        let kept = self.wos.drain_up_to(Epoch(u64::MAX))?;
         let mut new_wos = Wos::new();
         for (row, e, d) in kept {
             if e <= epoch {
@@ -637,11 +870,25 @@ impl ProjectionStore {
                 .filter(|(_, e, _)| *e <= epoch)
                 .map(|(r, e, d)| (r, e, d.filter(|de| *de <= epoch)))
                 .collect();
-            self.remove_container(id)?;
+            self.remove_container(id);
             if !filtered.is_empty() {
                 self.write_containers(filtered, epoch)?;
             }
         }
+        // Durable commit of the truncation: checkpoint the rebuilt WOS and
+        // rewrite the manifest in one step.
+        let image: Vec<(Row, Epoch, Option<Epoch>)> = self
+            .wos
+            .all_rows()
+            .map(|(_, wr, d)| (wr.row.clone(), wr.epoch, d))
+            .collect();
+        let ckpt = self.redo.append(
+            self.backend.as_ref(),
+            &RedoRecord::Checkpoint { rows: image },
+        )?;
+        self.wos_start_seq = ckpt;
+        self.save_manifest()?;
+        self.redo.gc_before(self.backend.as_ref(), ckpt);
         Ok(())
     }
 
@@ -734,6 +981,12 @@ impl ProjectionStore {
 
     /// Drop all WOS contents (simulated node crash: "data that exists only
     /// in the WOS is lost in the event of a node failure", §5.1).
+    ///
+    /// This models a *volatile* WOS for the cluster-level fail/recover
+    /// tests and deliberately leaves the redo log untouched: those tests
+    /// never reopen the store from disk, and the buddy-replay recovery that
+    /// follows ends in [`ProjectionStore::truncate_after`], which rewrites
+    /// the checkpoint and re-converges durable state.
     pub fn lose_wos(&mut self) {
         self.wos = Wos::new();
     }
@@ -745,7 +998,7 @@ impl ProjectionStore {
         }
         let max_epoch = rows.iter().map(|(_, e, _)| *e).max().unwrap();
         self.write_containers(rows, max_epoch)?;
-        Ok(())
+        self.save_manifest()
     }
 
     /// Last Good Epoch (§5.1): everything at or below this epoch is safely
@@ -975,6 +1228,58 @@ mod tests {
         assert!(n > 0);
         let backend = s.backend().clone();
         assert!(!backend.list_files("backup/snap1/").is_empty());
+    }
+
+    #[test]
+    fn reopen_attaches_durable_state() {
+        let backend: Arc<MemBackend> = Arc::new(MemBackend::new());
+        let def = ProjectionDef::super_projection(&schema(), "sales_super", &[0], &[0]);
+        let mut s = ProjectionStore::new(def.clone(), None, 3, backend.clone());
+        s.insert_wos(vec![row(1, 10), row(2, 20)], Epoch(1))
+            .unwrap();
+        s.moveout(Epoch(1)).unwrap();
+        s.insert_wos(vec![row(3, 30)], Epoch(2)).unwrap();
+        s.mark_deleted(RowLocation::Wos(0), Epoch(3)).unwrap();
+        drop(s);
+        let s2 = ProjectionStore::open(def, None, 3, backend).unwrap();
+        let mut rows = s2.visible_rows(Epoch(2)).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![row(1, 10), row(2, 20), row(3, 30)]);
+        assert_eq!(
+            s2.visible_rows(Epoch(3)).unwrap().len(),
+            2,
+            "replayed WOS delete respected"
+        );
+        assert_eq!(s2.wos_row_count(), 1, "moved-out rows not resurrected");
+    }
+
+    #[test]
+    fn open_without_manifest_is_fresh() {
+        let def = ProjectionDef::super_projection(&schema(), "sales_super", &[0], &[0]);
+        let s = ProjectionStore::open(def, None, 3, Arc::new(MemBackend::new())).unwrap();
+        assert_eq!(s.container_count(), 0);
+        assert_eq!(s.wos_row_count(), 0);
+    }
+
+    #[test]
+    fn inflight_scan_survives_container_removal() {
+        let mut s = flat_store();
+        s.insert_direct_ros(vec![row(1, 1), row(2, 2)], Epoch(1))
+            .unwrap();
+        let id = s.containers().next().unwrap().id;
+        let scan = s.scan_snapshot(Epoch(1));
+        s.remove_container(id);
+        // The in-flight scan pins the files: reads still work.
+        let sc = &scan.containers[0];
+        assert_eq!(
+            sc.container.read_rows(s.backend().as_ref()).unwrap().len(),
+            2
+        );
+        let prefix = format!("sales_flat/{id}/");
+        assert!(!s.backend().list_files(&prefix).is_empty());
+        // Last pin dropped → files reclaimed.
+        drop(scan);
+        assert!(s.backend().list_files(&prefix).is_empty());
     }
 
     #[test]

@@ -106,6 +106,9 @@ impl TupleMover {
     pub fn run_mergeout(&self, store: &mut ProjectionStore, ahm: Epoch) -> DbResult<MergeoutStats> {
         let mut stats = MergeoutStats::default();
         while let Some((victims, purge_estimate)) = self.pick_merge(store) {
+            // Crash site: victims chosen, nothing written yet — recovery is
+            // trivially the pre-merge state.
+            crate::fault::fire(crate::fault::MERGEOUT_AFTER_PICK)?;
             // Gather the full history of all victims, dropping
             // ancient-deleted rows.
             let mut merged = Vec::new();

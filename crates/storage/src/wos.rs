@@ -10,7 +10,7 @@
 //! orientation (the engineering-simplicity choice it landed on).
 
 use crate::delete_vector::DeleteVector;
-use vdb_types::{Epoch, Row, Value};
+use vdb_types::{DbResult, Epoch, Row, Value};
 
 /// One buffered row with its commit epoch.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,7 +91,8 @@ impl Wos {
     /// Drain rows committed at or before `up_to` for moveout. Returns
     /// `(row, commit_epoch, delete_epoch)` triples; remaining rows keep
     /// fresh positions and their delete marks are re-based.
-    pub fn drain_up_to(&mut self, up_to: Epoch) -> Vec<(Row, Epoch, Option<Epoch>)> {
+    pub fn drain_up_to(&mut self, up_to: Epoch) -> DbResult<Vec<(Row, Epoch, Option<Epoch>)>> {
+        crate::fault::fire(crate::fault::WOS_BEFORE_DRAIN)?;
         let mut moved = Vec::new();
         let mut kept_rows = Vec::new();
         let mut kept_deletes = DeleteVector::new();
@@ -109,7 +110,7 @@ impl Wos {
         self.rows = kept_rows;
         self.deletes = kept_deletes;
         self.approx_bytes = self.rows.iter().map(|wr| approx_row_bytes(&wr.row)).sum();
-        moved
+        Ok(moved)
     }
 }
 
@@ -164,7 +165,7 @@ mod tests {
         wos.insert(row(3), Epoch(2));
         wos.mark_deleted(0, Epoch(4)); // deleted row still moves out
         wos.mark_deleted(1, Epoch(6)); // delete on kept row must re-base
-        let moved = wos.drain_up_to(Epoch(3));
+        let moved = wos.drain_up_to(Epoch(3)).unwrap();
         assert_eq!(
             moved,
             vec![(row(1), Epoch(1), Some(Epoch(4))), (row(3), Epoch(2), None),]

@@ -79,6 +79,13 @@ impl EpochManager {
         commit
     }
 
+    /// Restore the epoch clock on database reopen: the next DML commit
+    /// stamps `current`. Recovery sets this to one past the last durably
+    /// committed epoch read back from the commit markers (§5.1).
+    pub fn restore_current(&self, current: Epoch) {
+        self.state.lock().current = current;
+    }
+
     /// Ancient History Mark: history at or before this epoch may be purged.
     pub fn ahm(&self) -> Epoch {
         self.state.lock().ahm

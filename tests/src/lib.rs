@@ -1,3 +1,7 @@
-//! Integration test package (tests live in `tests/`).
+//! Integration test package (tests live in `tests/`), plus the
+//! trickle-load [`torture`] harness consumed by the suites, the bench
+//! repro binary and the fault-tolerance example.
 
 #![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod torture;

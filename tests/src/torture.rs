@@ -1,0 +1,813 @@
+//! Trickle-load torture harness (§3.7, §5.1).
+//!
+//! Streams randomized WOS inserts and deletes from writer threads while the
+//! tuple mover runs on its own cadence and reader threads issue generated
+//! SQL — scans, filtered aggregates, multi-way joins, HAVING — asserting
+//! snapshot-isolation invariants against a shadow model:
+//!
+//! * a reader's epoch snapshot never sees uncommitted rows,
+//! * committed rows never disappear from a snapshot that should see them,
+//! * aggregate totals reconcile exactly with the shadow at that epoch.
+//!
+//! The shadow keeps, per commit epoch, the cumulative per-group
+//! `(COUNT, SUM(v))` state; a query that executed at snapshot `E` must
+//! match the shadow entry with the greatest epoch `≤ E`, no matter how the
+//! query raced concurrent commits or tuple-mover activity.
+//!
+//! [`kill_and_recover`] drives the other half of the story: build committed
+//! state, arm one of the durability fault points
+//! ([`vdb_storage::fault`]), crash mid-operation, reopen, and verify that
+//! exactly the committed rows survive.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use vdb_core::{Database, QueryResult, Value};
+use vdb_storage::fault;
+use vdb_types::{Epoch, Expr, Row};
+
+/// Distinct `grp` values in the torture table (and rows in each dimension).
+pub const N_GRPS: usize = 8;
+
+/// Harness knobs. `Default` is sized for a quick local run;
+/// [`TortureConfig::from_env`] honours the CI environment variables.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// Wall-clock duration of the concurrent phase.
+    pub secs: f64,
+    /// Writer threads streaming inserts/deletes into the WOS.
+    pub writers: usize,
+    /// Reader threads issuing generated SQL.
+    pub readers: usize,
+    /// Tuple-mover cadence (forced moveout + threshold mergeout).
+    pub mover_interval_ms: u64,
+    /// Rows per trickle-insert commit.
+    pub batch_rows: usize,
+    /// Seed for all randomized decisions (workload is deterministic modulo
+    /// thread scheduling).
+    pub seed: u64,
+    /// `Some(dir)` runs against a durable on-disk database (the directory
+    /// is wiped first); `None` runs in memory.
+    pub data_root: Option<PathBuf>,
+}
+
+impl Default for TortureConfig {
+    fn default() -> TortureConfig {
+        TortureConfig {
+            secs: 2.0,
+            writers: 2,
+            readers: 2,
+            mover_interval_ms: 25,
+            batch_rows: 16,
+            seed: 0xC0FFEE,
+            data_root: None,
+        }
+    }
+}
+
+impl TortureConfig {
+    /// Defaults overridden by `VDB_TORTURE_SECS`, `VDB_TORTURE_WRITERS`,
+    /// `VDB_TORTURE_READERS`.
+    pub fn from_env() -> TortureConfig {
+        let mut c = TortureConfig::default();
+        if let Some(secs) = env_parse::<f64>("VDB_TORTURE_SECS") {
+            c.secs = secs;
+        }
+        if let Some(w) = env_parse::<usize>("VDB_TORTURE_WRITERS") {
+            c.writers = w.max(1);
+        }
+        if let Some(r) = env_parse::<usize>("VDB_TORTURE_READERS") {
+            c.readers = r.max(1);
+        }
+        c
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok().and_then(|v| v.parse().ok())
+}
+
+/// What a torture run did and whether the invariants held.
+#[derive(Debug)]
+pub struct TortureReport {
+    pub rows_ingested: u64,
+    pub deletes: u64,
+    pub commits: u64,
+    pub queries: u64,
+    pub elapsed_secs: f64,
+    pub ingest_rows_per_sec: f64,
+    pub query_p99_ms: f64,
+    /// Invariant violations (empty = clean run). Capped at 64 entries.
+    pub violations: Vec<String>,
+    /// The committed table contents at shutdown per the shadow model,
+    /// `(id, grp, v)` sorted by id — what a reopen must reproduce exactly.
+    pub expected_rows: Vec<(i64, i64, i64)>,
+}
+
+/// Cumulative per-group aggregate state after some commit.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct GrpAgg {
+    count: i64,
+    sum: i64,
+}
+
+/// The shadow model. Writers mutate it under lock *around* each DML commit,
+/// so the per-epoch aggregate history is exact.
+struct Shadow {
+    /// id → (grp, v) for live committed rows.
+    live: HashMap<i64, (i64, i64)>,
+    /// Sampling pool of live ids (swap_remove on delete).
+    ids: Vec<i64>,
+    /// Commit epoch → cumulative per-group state visible at snapshots ≥ it.
+    by_epoch: BTreeMap<u64, Vec<GrpAgg>>,
+    /// Highest epoch recorded; readers wait for this to reach their
+    /// snapshot before judging results.
+    max_epoch: u64,
+    next_id: i64,
+}
+
+impl Shadow {
+    fn new(baseline_epoch: u64) -> Shadow {
+        let zeros = vec![GrpAgg::default(); N_GRPS];
+        let mut by_epoch = BTreeMap::new();
+        by_epoch.insert(0, zeros.clone());
+        // Schema-setup commits (dimension loads) happen before any writer
+        // runs; the table is still empty at that snapshot.
+        by_epoch.insert(baseline_epoch, zeros);
+        Shadow {
+            live: HashMap::new(),
+            ids: Vec::new(),
+            by_epoch,
+            max_epoch: baseline_epoch,
+            next_id: 0,
+        }
+    }
+
+    /// Record the post-commit state for `epoch` by applying `mutate` to the
+    /// latest state.
+    fn record(&mut self, epoch: Epoch, mutate: impl FnOnce(&mut Vec<GrpAgg>)) {
+        let mut state = self
+            .by_epoch
+            .values()
+            .next_back()
+            .cloned()
+            .expect("shadow has a baseline entry");
+        mutate(&mut state);
+        self.by_epoch.insert(epoch.0, state);
+        self.max_epoch = self.max_epoch.max(epoch.0);
+    }
+
+    fn state_at(&self, snapshot: Epoch) -> Vec<GrpAgg> {
+        self.by_epoch
+            .range(..=snapshot.0)
+            .next_back()
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| vec![GrpAgg::default(); N_GRPS])
+    }
+}
+
+struct Counters {
+    rows_ingested: AtomicU64,
+    deletes: AtomicU64,
+    commits: AtomicU64,
+    queries: AtomicU64,
+}
+
+fn violate(violations: &Mutex<Vec<String>>, msg: String) {
+    let mut v = violations.lock().unwrap();
+    if v.len() < 64 {
+        v.push(msg);
+    }
+}
+
+fn setup_schema(db: &Database) {
+    db.execute("CREATE TABLE t (id INT, grp INT, v INT)")
+        .unwrap();
+    db.execute(
+        "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
+         SEGMENTED BY HASH(id) ALL NODES",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE d (grp INT, name VARCHAR)")
+        .unwrap();
+    db.execute(
+        "CREATE PROJECTION d_super AS SELECT grp, name FROM d ORDER BY grp \
+         UNSEGMENTED ALL NODES",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE d2 (grp INT, region VARCHAR)")
+        .unwrap();
+    db.execute(
+        "CREATE PROJECTION d2_super AS SELECT grp, region FROM d2 ORDER BY grp \
+         UNSEGMENTED ALL NODES",
+    )
+    .unwrap();
+    let dims: Vec<Row> = (0..N_GRPS as i64)
+        .map(|k| vec![Value::Integer(k), Value::Varchar(format!("g{k}"))])
+        .collect();
+    db.load("d", &dims).unwrap();
+    let regions: Vec<Row> = (0..N_GRPS as i64)
+        .map(|k| vec![Value::Integer(k), Value::Varchar(format!("r{}", k % 2))])
+        .collect();
+    db.load("d2", &regions).unwrap();
+}
+
+/// Run the torture workload. Panics only on harness/setup bugs; engine
+/// misbehaviour is reported through [`TortureReport::violations`].
+pub fn run(config: &TortureConfig) -> TortureReport {
+    let db = Arc::new(match &config.data_root {
+        Some(root) => {
+            let _ = std::fs::remove_dir_all(root);
+            Database::open(root).expect("open durable torture database")
+        }
+        None => Database::single_node(),
+    });
+    setup_schema(&db);
+    let baseline = db.cluster().epochs.read_committed_snapshot();
+    let shadow = Arc::new(Mutex::new(Shadow::new(baseline.0)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(Counters {
+        rows_ingested: AtomicU64::new(0),
+        deletes: AtomicU64::new(0),
+        commits: AtomicU64::new(0),
+        queries: AtomicU64::new(0),
+    });
+    let violations = Arc::new(Mutex::new(Vec::new()));
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..config.writers {
+        let (db, shadow, stop, counters, violations) = (
+            db.clone(),
+            shadow.clone(),
+            stop.clone(),
+            counters.clone(),
+            violations.clone(),
+        );
+        let (seed, batch_rows) = (config.seed.wrapping_add(w as u64), config.batch_rows);
+        handles.push(std::thread::spawn(move || {
+            writer_loop(
+                &db,
+                &shadow,
+                &stop,
+                &counters,
+                &violations,
+                seed,
+                batch_rows,
+            );
+            Vec::new()
+        }));
+    }
+    for r in 0..config.readers {
+        let (db, shadow, stop, counters, violations) = (
+            db.clone(),
+            shadow.clone(),
+            stop.clone(),
+            counters.clone(),
+            violations.clone(),
+        );
+        let seed = config.seed.wrapping_add(1000 + r as u64);
+        handles.push(std::thread::spawn(move || {
+            reader_loop(&db, &shadow, &stop, &counters, &violations, seed)
+        }));
+    }
+    {
+        let (db, stop, violations) = (db.clone(), stop.clone(), violations.clone());
+        let interval = config.mover_interval_ms;
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(interval));
+                if let Err(e) = db.tuple_mover_tick() {
+                    if !fault::is_fault(&e) {
+                        violate(&violations, format!("tuple mover tick failed: {e}"));
+                    }
+                }
+            }
+            Vec::new()
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs_f64(config.secs));
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies: Vec<Duration> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("torture thread panicked"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Final reconciliation: the quiesced table must equal the shadow's live
+    // set exactly, row for row.
+    let sh = shadow.lock().unwrap();
+    let mut expected_rows: Vec<(i64, i64, i64)> =
+        sh.live.iter().map(|(&id, &(g, v))| (id, g, v)).collect();
+    expected_rows.sort_unstable();
+    drop(sh);
+    match db.query("SELECT id, grp, v FROM t ORDER BY id") {
+        Err(e) => violate(&violations, format!("final scan failed: {e}")),
+        Ok(rows) => {
+            let got: Vec<(i64, i64, i64)> = rows
+                .iter()
+                .map(|r| {
+                    (
+                        r[0].as_i64().unwrap_or(i64::MIN),
+                        r[1].as_i64().unwrap_or(i64::MIN),
+                        r[2].as_i64().unwrap_or(i64::MIN),
+                    )
+                })
+                .collect();
+            if got != expected_rows {
+                violate(
+                    &violations,
+                    format!(
+                        "final table state diverged from shadow: {} rows vs {} expected",
+                        got.len(),
+                        expected_rows.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    latencies.sort_unstable();
+    let query_p99_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        let idx = ((latencies.len() - 1) as f64 * 0.99) as usize;
+        latencies[idx].as_secs_f64() * 1e3
+    };
+    let rows_ingested = counters.rows_ingested.load(Ordering::Relaxed);
+    TortureReport {
+        rows_ingested,
+        deletes: counters.deletes.load(Ordering::Relaxed),
+        commits: counters.commits.load(Ordering::Relaxed),
+        queries: counters.queries.load(Ordering::Relaxed),
+        elapsed_secs: elapsed,
+        ingest_rows_per_sec: rows_ingested as f64 / elapsed.max(1e-9),
+        query_p99_ms,
+        violations: Arc::try_unwrap(violations)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_else(|arc| arc.lock().unwrap().clone()),
+        expected_rows,
+    }
+}
+
+fn writer_loop(
+    db: &Database,
+    shadow: &Mutex<Shadow>,
+    stop: &AtomicBool,
+    counters: &Counters,
+    violations: &Mutex<Vec<String>>,
+    seed: u64,
+    batch_rows: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    while !stop.load(Ordering::Relaxed) {
+        // The shadow lock is held across the DML call AND the bookkeeping:
+        // commits are serialized, so the per-epoch history is exact.
+        let mut sh = shadow.lock().unwrap();
+        if !sh.ids.is_empty() && rng.gen_bool(0.3) {
+            let idx = rng.gen_range(0..sh.ids.len());
+            let id = sh.ids[idx];
+            let pred = Expr::eq(Expr::col(0, "id"), Expr::int(id));
+            match db.cluster().delete("t", Some(&pred)) {
+                Ok((epoch, n)) => {
+                    if n != 1 {
+                        violate(
+                            violations,
+                            format!("DELETE id={id} matched {n} rows (expected 1)"),
+                        );
+                    }
+                    sh.ids.swap_remove(idx);
+                    let (grp, v) = sh.live.remove(&id).expect("shadow row");
+                    sh.record(epoch, |state| {
+                        state[grp as usize].count -= 1;
+                        state[grp as usize].sum -= v;
+                    });
+                    counters.deletes.fetch_add(1, Ordering::Relaxed);
+                    counters.commits.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => violate(violations, format!("DELETE id={id} failed: {e}")),
+            }
+        } else {
+            let mut rows = Vec::with_capacity(batch_rows);
+            let mut adds = Vec::with_capacity(batch_rows);
+            for _ in 0..batch_rows {
+                let id = sh.next_id;
+                sh.next_id += 1;
+                let grp = rng.gen_range(0..N_GRPS as i64);
+                let v = rng.gen_range(0..1000i64);
+                rows.push(vec![
+                    Value::Integer(id),
+                    Value::Integer(grp),
+                    Value::Integer(v),
+                ]);
+                adds.push((id, grp, v));
+            }
+            match db.load_wos("t", &rows) {
+                Ok(epoch) => {
+                    for &(id, grp, v) in &adds {
+                        sh.live.insert(id, (grp, v));
+                        sh.ids.push(id);
+                    }
+                    sh.record(epoch, |state| {
+                        for &(_, grp, v) in &adds {
+                            state[grp as usize].count += 1;
+                            state[grp as usize].sum += v;
+                        }
+                    });
+                    counters
+                        .rows_ingested
+                        .fetch_add(batch_rows as u64, Ordering::Relaxed);
+                    counters.commits.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => violate(violations, format!("trickle INSERT failed: {e}")),
+            }
+        }
+        drop(sh);
+        std::thread::yield_now();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum QueryKind {
+    Total,
+    PerGrp,
+    Filtered(i64),
+    Join,
+    Having(i64),
+}
+
+fn reader_loop(
+    db: &Database,
+    shadow: &Mutex<Shadow>,
+    stop: &AtomicBool,
+    counters: &Counters,
+    violations: &Mutex<Vec<String>>,
+    seed: u64,
+) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latencies = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let kind = match rng.gen_range(0..5u32) {
+            0 => QueryKind::Total,
+            1 => QueryKind::PerGrp,
+            2 => QueryKind::Filtered(rng.gen_range(0..N_GRPS as i64)),
+            3 => QueryKind::Join,
+            _ => QueryKind::Having(rng.gen_range(0..50_000i64)),
+        };
+        let sql = match kind {
+            QueryKind::Total => "SELECT COUNT(*), SUM(v) FROM t".to_string(),
+            QueryKind::PerGrp => {
+                "SELECT grp, COUNT(*), SUM(v) FROM t GROUP BY grp ORDER BY grp".to_string()
+            }
+            QueryKind::Filtered(k) => {
+                format!("SELECT COUNT(*), SUM(v) FROM t WHERE grp = {k}")
+            }
+            QueryKind::Join => "SELECT d.name, COUNT(*), SUM(t.v) FROM t \
+                 JOIN d ON t.grp = d.grp JOIN d2 ON t.grp = d2.grp \
+                 GROUP BY d.name ORDER BY d.name"
+                .to_string(),
+            QueryKind::Having(x) => {
+                format!("SELECT grp, SUM(v) FROM t GROUP BY grp HAVING SUM(v) >= {x} ORDER BY grp")
+            }
+        };
+        let t0 = Instant::now();
+        match db.query_snapshot(&sql) {
+            Err(e) => violate(violations, format!("query failed: {sql}: {e}")),
+            Ok((snapshot, result)) => {
+                latencies.push(t0.elapsed());
+                counters.queries.fetch_add(1, Ordering::Relaxed);
+                match wait_for_state(shadow, snapshot) {
+                    None => violate(
+                        violations,
+                        format!(
+                            "snapshot {snapshot} never appeared in the shadow \
+                             (query saw an uncommitted epoch?): {sql}"
+                        ),
+                    ),
+                    Some(state) => check_result(kind, &state, &result, snapshot, &sql, violations),
+                }
+            }
+        }
+    }
+    latencies
+}
+
+/// Wait (bounded) until every commit ≤ `snapshot` is recorded, then return
+/// the shadow state at that snapshot. A query's snapshot is always a
+/// committed epoch, so the only gap is the instant between a writer's
+/// commit and its bookkeeping — both under the shadow lock.
+fn wait_for_state(shadow: &Mutex<Shadow>, snapshot: Epoch) -> Option<Vec<GrpAgg>> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        {
+            let sh = shadow.lock().unwrap();
+            if sh.max_epoch >= snapshot.0 {
+                return Some(sh.state_at(snapshot));
+            }
+        }
+        if Instant::now() > deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn num_is(v: &Value, want: i64) -> bool {
+    match v {
+        Value::Integer(i) => *i == want,
+        Value::Float(f) => *f == want as f64,
+        Value::Null => want == 0,
+        _ => false,
+    }
+}
+
+fn check_result(
+    kind: QueryKind,
+    state: &[GrpAgg],
+    result: &QueryResult,
+    snapshot: Epoch,
+    sql: &str,
+    violations: &Mutex<Vec<String>>,
+) {
+    let total_count: i64 = state.iter().map(|g| g.count).sum();
+    let total_sum: i64 = state.iter().map(|g| g.sum).sum();
+    let fail = |detail: String| {
+        violate(
+            violations,
+            format!(
+                "snapshot {snapshot}: {detail} [{sql}] got {:?}",
+                result.rows
+            ),
+        );
+    };
+    // Expected (label, count, sum) rows for the grouped query shapes, in
+    // grp order (group labels g0..g7 sort identically).
+    let grouped: Vec<(i64, i64, i64)> = state
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.count > 0)
+        .map(|(k, g)| (k as i64, g.count, g.sum))
+        .collect();
+    match kind {
+        QueryKind::Total => {
+            if result.rows.len() != 1
+                || !num_is(&result.rows[0][0], total_count)
+                || !num_is(&result.rows[0][1], total_sum)
+            {
+                fail(format!("expected COUNT={total_count} SUM={total_sum}"));
+            }
+        }
+        QueryKind::Filtered(k) => {
+            let g = &state[k as usize];
+            let empty_ok = g.count == 0 && result.rows.is_empty();
+            if !empty_ok
+                && (result.rows.len() != 1
+                    || !num_is(&result.rows[0][0], g.count)
+                    || !num_is(&result.rows[0][1], g.sum))
+            {
+                fail(format!("grp {k}: expected COUNT={} SUM={}", g.count, g.sum));
+            }
+        }
+        QueryKind::PerGrp | QueryKind::Join => {
+            let ok = result.rows.len() == grouped.len()
+                && result.rows.iter().zip(&grouped).all(|(row, &(k, c, s))| {
+                    let label_ok = match kind {
+                        QueryKind::Join => row[0] == Value::Varchar(format!("g{k}")),
+                        _ => num_is(&row[0], k),
+                    };
+                    label_ok && num_is(&row[1], c) && num_is(&row[2], s)
+                });
+            if !ok {
+                fail(format!("expected per-group state {grouped:?}"));
+            }
+        }
+        QueryKind::Having(x) => {
+            let expect: Vec<(i64, i64)> = grouped
+                .iter()
+                .filter(|&&(_, _, s)| s >= x)
+                .map(|&(k, _, s)| (k, s))
+                .collect();
+            let ok = result.rows.len() == expect.len()
+                && result
+                    .rows
+                    .iter()
+                    .zip(&expect)
+                    .all(|(row, &(k, s))| num_is(&row[0], k) && num_is(&row[1], s));
+            if !ok {
+                fail(format!("expected HAVING(≥{x}) rows {expect:?}"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// kill-and-recover
+// ---------------------------------------------------------------------
+
+/// Every production fault point, in pipeline order — the set
+/// [`kill_and_recover`] is expected to survive.
+pub const FAULT_POINTS: &[&str] = &[
+    fault::WOS_BEFORE_DRAIN,
+    fault::MOVEOUT_BEFORE_MANIFEST,
+    fault::MOVEOUT_BEFORE_WOS_TRUNCATE,
+    fault::MERGEOUT_AFTER_PICK,
+    fault::MERGEOUT_BEFORE_MANIFEST,
+    fault::MERGEOUT_BEFORE_CLEANUP,
+    fault::COMMIT_BEFORE_MARKER,
+];
+
+/// Build committed state in a durable database under `root`, arm `point`,
+/// crash mid-operation (the returned fault error + dropping the handle is
+/// the simulated `kill -9`), reopen, and verify that exactly the committed
+/// rows survived — no committed row lost, no uncommitted row visible.
+pub fn kill_and_recover(root: &Path, point: &str) -> Result<(), String> {
+    fault::disarm_all();
+    let _ = std::fs::remove_dir_all(root);
+    let fmt = |e: &dyn std::fmt::Display| format!("[{point}] {e}");
+    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    db.execute("CREATE TABLE t (id INT, grp INT, v INT)")
+        .map_err(|e| fmt(&e))?;
+    db.execute(
+        "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
+         SEGMENTED BY HASH(id) ALL NODES",
+    )
+    .map_err(|e| fmt(&e))?;
+
+    // Committed workload. Four direct-ROS loads stock a mergeout stratum
+    // up to the merge threshold without running the tuple mover (the
+    // armed tick below must find the merge still pending); the trailing
+    // trickle load leaves committed rows in the WOS so the drain/moveout
+    // points have work.
+    let mut expected: Vec<(i64, i64, i64)> = Vec::new();
+    let mut next_id = 0i64;
+    let batch = |next_id: &mut i64, n: i64| -> Vec<Row> {
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                let id = *next_id + i;
+                vec![
+                    Value::Integer(id),
+                    Value::Integer(id % N_GRPS as i64),
+                    Value::Integer(id * 7 % 1000),
+                ]
+            })
+            .collect();
+        *next_id += n;
+        rows
+    };
+    for _ in 0..4 {
+        let rows = batch(&mut next_id, 25);
+        for r in &rows {
+            expected.push((
+                r[0].as_i64().unwrap(),
+                r[1].as_i64().unwrap(),
+                r[2].as_i64().unwrap(),
+            ));
+        }
+        db.load("t", &rows).map_err(|e| fmt(&e))?;
+    }
+    let pred = Expr::eq(Expr::col(0, "id"), Expr::int(3));
+    let (_, n) = db.cluster().delete("t", Some(&pred)).map_err(|e| fmt(&e))?;
+    if n != 1 {
+        return Err(format!("[{point}] setup delete matched {n} rows"));
+    }
+    expected.retain(|&(id, _, _)| id != 3);
+    let wos_rows = batch(&mut next_id, 5);
+    for r in &wos_rows {
+        expected.push((
+            r[0].as_i64().unwrap(),
+            r[1].as_i64().unwrap(),
+            r[2].as_i64().unwrap(),
+        ));
+    }
+    db.load_wos("t", &wos_rows).map_err(|e| fmt(&e))?;
+    expected.sort_unstable();
+
+    // Arm and trigger. `commit.before_marker` crashes an *uncommitted*
+    // trickle load (whose rows must vanish on recovery); every other point
+    // crashes inside the tuple mover.
+    fault::arm(point);
+    let outcome = if point == fault::COMMIT_BEFORE_MARKER {
+        let doomed = batch(&mut next_id, 5);
+        db.load_wos("t", &doomed).map(|_| ())
+    } else {
+        db.tuple_mover_tick()
+    };
+    match outcome {
+        Err(e) if fault::is_fault(&e) => {}
+        Err(e) => {
+            fault::disarm_all();
+            return Err(format!("[{point}] unexpected non-fault error: {e}"));
+        }
+        Ok(()) => {
+            fault::disarm_all();
+            return Err(format!("[{point}] fault point never fired"));
+        }
+    }
+    drop(db); // the kill: in-memory state (incl. the volatile WOS) is gone
+
+    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    let got: Vec<(i64, i64, i64)> = db
+        .query("SELECT id, grp, v FROM t ORDER BY id")
+        .map_err(|e| fmt(&e))?
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_i64().unwrap(),
+                r[1].as_i64().unwrap(),
+                r[2].as_i64().unwrap(),
+            )
+        })
+        .collect();
+    if got != expected {
+        return Err(format!(
+            "[{point}] recovery mismatch: {} rows recovered, {} expected; \
+             first diff at {:?}",
+            got.len(),
+            expected.len(),
+            got.iter().zip(&expected).find(|(a, b)| a != b),
+        ));
+    }
+    // The recovered database must accept new commits.
+    db.load_wos("t", &batch(&mut next_id, 1))
+        .map_err(|e| fmt(&e))?;
+    let count = db
+        .execute("SELECT COUNT(*) FROM t")
+        .map_err(|e| fmt(&e))?
+        .scalar()
+        .and_then(Value::as_i64);
+    if count != Some(expected.len() as i64 + 1) {
+        return Err(format!("[{point}] post-recovery insert lost: {count:?}"));
+    }
+    Ok(())
+}
+
+/// Scripted kill-and-recover walkthrough shared by
+/// `examples/fault_tolerance.rs` and the integration suite: returns the
+/// narration lines it printed-worthy, panicking if recovery misbehaves.
+pub fn kill_and_recover_demo(root: &Path) -> Vec<String> {
+    let mut lines = Vec::new();
+    fault::disarm_all();
+    let _ = std::fs::remove_dir_all(root);
+    let db = Database::open(root).unwrap();
+    db.execute("CREATE TABLE t (id INT, grp INT, v INT)")
+        .unwrap();
+    db.execute(
+        "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
+         SEGMENTED BY HASH(id) ALL NODES",
+    )
+    .unwrap();
+    let rows: Vec<Row> = (0..300i64)
+        .map(|i| {
+            vec![
+                Value::Integer(i),
+                Value::Integer(i % N_GRPS as i64),
+                Value::Integer(i),
+            ]
+        })
+        .collect();
+    db.load_wos("t", &rows[..200]).unwrap();
+    db.tuple_mover_tick().unwrap(); // 200 rows now in a ROS container
+    db.load_wos("t", &rows[200..]).unwrap(); // 100 committed rows in the WOS
+    let (_, deleted) = db
+        .cluster()
+        .delete("t", Some(&Expr::eq(Expr::col(0, "id"), Expr::int(42))))
+        .unwrap();
+    assert_eq!(deleted, 1);
+    let committed = 299i64;
+    lines.push(format!(
+        "committed {committed} rows (200 moved to ROS, 99 in the WOS redo log, 1 deleted)"
+    ));
+
+    fault::arm(fault::MOVEOUT_BEFORE_WOS_TRUNCATE);
+    let err = db.tuple_mover_tick().unwrap_err();
+    assert!(fault::is_fault(&err), "{err}");
+    lines.push(format!("kill -9 mid-moveout: {err}"));
+    drop(db);
+
+    let db = Database::open(root).unwrap();
+    let count = db
+        .execute("SELECT COUNT(*) FROM t")
+        .unwrap()
+        .scalar()
+        .and_then(Value::as_i64)
+        .unwrap();
+    assert_eq!(count, committed, "recovery lost or resurrected rows");
+    lines.push(format!(
+        "reopened: manifest attach + redo replay recovered all {count} committed rows"
+    ));
+    db.execute("INSERT INTO t VALUES (1000, 0, 0)").unwrap();
+    let count = db
+        .execute("SELECT COUNT(*) FROM t")
+        .unwrap()
+        .scalar()
+        .and_then(Value::as_i64)
+        .unwrap();
+    assert_eq!(count, committed + 1);
+    lines.push("recovered database accepts new commits".to_string());
+    lines
+}

@@ -2,8 +2,18 @@
 //! buddy-sourced queries, recovery, refresh and backup — the §5.2/§5.3
 //! behaviours exercised through the public facade.
 
+use std::sync::Mutex;
 use vdb_core::{Database, Value};
 use vdb_types::Row;
+
+// The fault-injection registry is process-global, so the kill-and-recover
+// demo (which arms a fault point) must not overlap with other tests that
+// drive the tuple mover.
+static FAULT_SERIAL: Mutex<()> = Mutex::new(());
+
+fn fault_serial() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn db() -> Database {
     let db = Database::cluster_of(4, 1);
@@ -126,8 +136,29 @@ fn backup_links_every_projection_file() {
     assert_eq!(total(&db), 500);
 }
 
+/// The fault_tolerance example's kill-and-recover walkthrough, asserted:
+/// a fault fires mid-moveout, the database is dropped ("killed") and
+/// reopened, and every committed row survives.
+#[test]
+fn kill_and_recover_demo_recovers_all_commits() {
+    let _guard = fault_serial();
+    let root = std::env::temp_dir().join(format!("vdb_ft_demo_test_{}", std::process::id()));
+    let lines = vdb_tests::torture::kill_and_recover_demo(&root);
+    let _ = std::fs::remove_dir_all(&root);
+    let expect = |needle: &str| {
+        assert!(
+            lines.iter().any(|l| l.contains(needle)),
+            "demo narration missing {needle:?}:\n{lines:#?}"
+        );
+    };
+    expect("kill -9 mid-moveout");
+    expect("recovered all 299 committed rows");
+    expect("recovered database accepts new commits");
+}
+
 #[test]
 fn ahm_freeze_preserves_history_for_recovery() {
+    let _guard = fault_serial();
     let db = Database::new(vdb_core::database::DatabaseConfig {
         cluster: vdb_core::ClusterConfig {
             n_nodes: 3,

@@ -122,6 +122,72 @@ proptest! {
         }
     }
 
+    /// Tuple-mover equivalence: the same DML workload applied to a store
+    /// with interleaved moveout/mergeout activity and to a store with NO
+    /// tuple-mover activity at all must yield identical query results at
+    /// every epoch — physical reorganization is invisible to snapshots.
+    #[test]
+    fn prop_tuple_mover(ops in prop::collection::vec(arb_op(), 1..30)) {
+        let mover = TupleMover::new(TupleMoverConfig {
+            strata_base_bytes: 512,
+            strata_factor: 4,
+            merge_threshold: 3,
+            ..Default::default()
+        });
+        let mut moved = store();
+        let mut still = store();
+        let mut epoch = 1u64;
+        let mut next_id = 0i64;
+        for op in &ops {
+            match op {
+                Op::LoadWos(n) | Op::LoadRos(n) => {
+                    let rows: Vec<Row> = (0..*n as i64)
+                        .map(|k| vec![Value::Integer(next_id + k), Value::Integer(k)])
+                        .collect();
+                    next_id += *n as i64;
+                    if matches!(op, Op::LoadWos(_)) {
+                        moved.insert_wos(rows.clone(), Epoch(epoch)).unwrap();
+                        still.insert_wos(rows, Epoch(epoch)).unwrap();
+                    } else {
+                        moved.insert_direct_ros(rows.clone(), Epoch(epoch)).unwrap();
+                        still.insert_direct_ros(rows, Epoch(epoch)).unwrap();
+                    }
+                    epoch += 1;
+                }
+                Op::Delete(sel) => {
+                    let target = i64::from(*sel % 7);
+                    for s in [&mut moved, &mut still] {
+                        let victims: Vec<RowLocation> = s
+                            .visible_rows_with_locations(Epoch(epoch - 1))
+                            .unwrap()
+                            .into_iter()
+                            .filter(|(_, r)| r[0].as_i64().unwrap() % 7 == target)
+                            .map(|(loc, _)| loc)
+                            .collect();
+                        for loc in victims {
+                            s.mark_deleted(loc, Epoch(epoch)).unwrap();
+                        }
+                    }
+                    epoch += 1;
+                }
+                // Tuple-mover activity only on one side.
+                Op::Moveout => {
+                    moved.moveout(Epoch(epoch - 1)).unwrap();
+                }
+                Op::Mergeout => {
+                    mover.run_mergeout(&mut moved, Epoch::ZERO).unwrap();
+                }
+            }
+        }
+        for e in 0..epoch {
+            let mut a = moved.visible_rows(Epoch(e)).unwrap();
+            let mut b = still.visible_rows(Epoch(e)).unwrap();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "epoch {} diverged after tuple-mover activity", e);
+        }
+    }
+
     /// AHM purge: after mergeout with an AHM, snapshots at or after the AHM
     /// are unchanged (older history may legitimately disappear).
     #[test]
@@ -167,4 +233,67 @@ proptest! {
             prop_assert_eq!(&v, &reference[i], "post-AHM snapshot {} changed", e);
         }
     }
+}
+
+/// Regression: a row deleted at epoch E must stay visible to a snapshot at
+/// E-1 and disappear exactly at E — in the WOS, after the delete mark is
+/// carried through moveout, and after mergeout rewrites the delete vector.
+#[test]
+fn delete_vector_respects_epoch_boundary() {
+    let mover = TupleMover::new(TupleMoverConfig {
+        strata_base_bytes: 128,
+        merge_threshold: 2,
+        ..Default::default()
+    });
+    let mut s = store();
+    let rows: Vec<Row> = (0..4i64)
+        .map(|i| vec![Value::Integer(i), Value::Integer(i * 10)])
+        .collect();
+    // Half the rows land in the WOS, half directly in ROS containers, so
+    // the delete at epoch 3 exercises both DVWOS and DVROS paths.
+    s.insert_wos(rows[..2].to_vec(), Epoch(1)).unwrap();
+    s.insert_direct_ros(rows[2..].to_vec(), Epoch(2)).unwrap();
+
+    let delete_epoch = 3u64;
+    let victims: Vec<RowLocation> = s
+        .visible_rows_with_locations(Epoch(delete_epoch - 1))
+        .unwrap()
+        .into_iter()
+        .filter(|(_, r)| r[0].as_i64().unwrap() % 2 == 1)
+        .map(|(loc, _)| loc)
+        .collect();
+    assert_eq!(victims.len(), 2);
+    for loc in victims {
+        s.mark_deleted(loc, Epoch(delete_epoch)).unwrap();
+    }
+
+    let ids_at = |s: &ProjectionStore, e: u64| -> Vec<i64> {
+        let mut ids: Vec<i64> = s
+            .visible_rows(Epoch(e))
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        ids.sort();
+        ids
+    };
+    let check = |s: &ProjectionStore, stage: &str| {
+        assert_eq!(
+            ids_at(s, delete_epoch - 1),
+            vec![0, 1, 2, 3],
+            "{stage}: deleted rows must remain visible at epoch E-1"
+        );
+        assert_eq!(
+            ids_at(s, delete_epoch),
+            vec![0, 2],
+            "{stage}: delete must take effect exactly at epoch E"
+        );
+    };
+    check(&s, "wos-resident");
+
+    s.moveout(Epoch(delete_epoch)).unwrap();
+    check(&s, "post-moveout");
+
+    mover.run_mergeout(&mut s, Epoch::ZERO).unwrap();
+    check(&s, "post-mergeout");
 }

@@ -1,0 +1,108 @@
+//! Trickle-load torture suite: concurrent ingest under query fire with
+//! snapshot-isolation checking, durable-reopen verification, and
+//! kill-and-recover drills at every durability fault point.
+//!
+//! CI runs this with `VDB_TORTURE_SECS=10` (see `torture-smoke` in
+//! `.github/workflows/ci.yml`); locally it defaults to a ~2 s run.
+
+use std::sync::Mutex;
+use vdb_core::{Database, Value};
+use vdb_tests::torture::{self, TortureConfig, FAULT_POINTS};
+
+// The fault registry is process-global and tests in one binary run on
+// parallel threads, so everything here serializes. Poisoning is ignored:
+// a failed sibling shouldn't cascade into PoisonError noise.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vdb_torture_{tag}_{}", std::process::id()))
+}
+
+#[test]
+fn torture_in_memory_no_violations() {
+    let _guard = serial();
+    let config = TortureConfig::from_env();
+    let report = torture::run(&config);
+    assert!(
+        report.violations.is_empty(),
+        "snapshot-isolation violations:\n{:#?}",
+        report.violations
+    );
+    assert!(report.commits > 0, "writers never committed");
+    assert!(report.queries > 0, "readers never ran");
+    assert!(report.rows_ingested > 0);
+    eprintln!(
+        "torture(mem): {:.1}s, {} commits ({} rows, {} deletes), {} queries, \
+         {:.0} rows/s ingest, p99 {:.2} ms",
+        report.elapsed_secs,
+        report.commits,
+        report.rows_ingested,
+        report.deletes,
+        report.queries,
+        report.ingest_rows_per_sec,
+        report.query_p99_ms
+    );
+}
+
+#[test]
+fn torture_durable_survives_reopen() {
+    let _guard = serial();
+    let root = temp_root("durable");
+    let mut config = TortureConfig::from_env();
+    // The durable phase is filesystem-bound; a shorter window still turns
+    // over plenty of redo/manifest churn. The long CI soak is in-memory.
+    config.secs = config.secs.min(4.0);
+    config.data_root = Some(root.clone());
+    let report = torture::run(&config);
+    assert!(
+        report.violations.is_empty(),
+        "violations during durable torture:\n{:#?}",
+        report.violations
+    );
+    assert!(report.commits > 0);
+
+    // Kill (drop) happened when `run` returned; reopen and demand exactly
+    // the committed rows back.
+    let db = Database::open(&root).unwrap();
+    let got: Vec<(i64, i64, i64)> = db
+        .query("SELECT id, grp, v FROM t ORDER BY id")
+        .unwrap()
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_i64().unwrap(),
+                r[1].as_i64().unwrap(),
+                r[2].as_i64().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        got,
+        report.expected_rows,
+        "reopen lost or resurrected rows ({} recovered, {} expected)",
+        got.len(),
+        report.expected_rows.len()
+    );
+    // And the epoch clock restarted past everything recovered.
+    db.execute("INSERT INTO t VALUES (-1, 0, 0)").unwrap();
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM t").unwrap().scalar(),
+        Some(&Value::Integer(report.expected_rows.len() as i64 + 1))
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn kill_and_recover_at_every_fault_point() {
+    let _guard = serial();
+    let root = temp_root("kill");
+    for point in FAULT_POINTS {
+        torture::kill_and_recover(&root, point).unwrap_or_else(|e| panic!("{e}"));
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
