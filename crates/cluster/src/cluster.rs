@@ -2,7 +2,7 @@
 //! distributed query execution and maintenance.
 
 use crate::segmentation::RingRouter;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use vdb_exec::plan::{execute_collect, ExecContext};
@@ -80,6 +80,16 @@ pub struct Cluster {
     /// entry freezes at its failure point and drives recovery's truncation
     /// (its effective Last Good Epoch).
     applied: RwLock<Vec<Epoch>>,
+    /// Serializes commit-epoch stamping, apply, and the commit-marker
+    /// write across DML transactions. Table locks alone don't: I-locks
+    /// are self-compatible (Table 1), and writers on *different* tables
+    /// share the node-level marker. Without this, two transactions could
+    /// stamp the same pending epoch E, one could persist marker=E while
+    /// the other is mid-apply, and a crash would recover the second
+    /// transaction's partial writes as committed. Held only after the
+    /// table lock is granted, so lock ordering is table lock → commit
+    /// lock everywhere and the mutex cannot deadlock.
+    pub(crate) commit_serial: Mutex<()>,
 }
 
 impl Cluster {
@@ -103,6 +113,7 @@ impl Cluster {
             });
         }
         Ok(Cluster {
+            commit_serial: Mutex::new(()),
             applied: RwLock::new(vec![Epoch::ZERO; config.n_nodes]),
             router: RingRouter::new(config.n_nodes),
             up: RwLock::new(vec![true; config.n_nodes]),
@@ -336,6 +347,11 @@ impl Cluster {
         }
         let txn = self.txns.begin(Isolation::ReadCommitted);
         self.txns.lock(&txn, table, LockMode::I)?;
+        // Stamping the epoch inside the commit mutex gives this
+        // transaction a commit epoch no concurrent DML shares, so the
+        // marker written below never vouches for another transaction's
+        // in-flight writes.
+        let _commit = self.commit_serial.lock();
         let epoch = self.txns.pending_commit_epoch();
         let result = self
             .apply_load(table, rows, epoch, direct_ros)
@@ -426,6 +442,8 @@ impl Cluster {
         self.check_writable()?;
         let txn = self.txns.begin(Isolation::ReadCommitted);
         self.txns.lock(&txn, table, LockMode::X)?;
+        // See `commit_serial`: writers on other tables share the marker.
+        let _commit = self.commit_serial.lock();
         let epoch = self.txns.pending_commit_epoch();
         let result = self
             .apply_delete(table, predicate, epoch)
@@ -534,6 +552,8 @@ impl Cluster {
         self.check_writable()?;
         let txn = self.txns.begin(Isolation::ReadCommitted);
         self.txns.lock(&txn, table, LockMode::O)?;
+        // See `commit_serial`: writers on other tables share the marker.
+        let _commit = self.commit_serial.lock();
         let epoch = self.txns.pending_commit_epoch();
         let apply = || -> DbResult<usize> {
             let mut dropped = 0;
@@ -641,7 +661,9 @@ impl Cluster {
                     continue;
                 }
                 let store = self.nodes[n].engine.projection(&family.replicas[0])?;
-                out.push((n, store.read().scan_snapshot(snapshot)));
+                let s = store.read();
+                s.ensure_usable()?;
+                out.push((n, s.scan_snapshot(snapshot)));
             }
             return Ok(out);
         }
@@ -657,7 +679,10 @@ impl Cluster {
                     continue;
                 }
                 let store = self.nodes[n].engine.projection(replica)?;
-                let snap = store.read().scan_snapshot(snapshot);
+                let guard = store.read();
+                guard.ensure_usable()?;
+                let snap = guard.scan_snapshot(snapshot);
+                drop(guard);
                 combined = Some(match combined {
                     None => snap,
                     Some(mut acc) => {
@@ -690,7 +715,9 @@ impl Cluster {
                 .first()
                 .ok_or_else(|| DbError::Cluster("no up nodes".into()))?;
             let store = self.nodes[n].engine.projection(&family.replicas[0])?;
-            return Ok(store.read().scan_snapshot(snapshot));
+            let s = store.read();
+            s.ensure_usable()?;
+            return Ok(s.scan_snapshot(snapshot));
         }
         for (_, snap) in self.family_snapshot_per_node(family, snapshot)? {
             acc.containers.extend(snap.containers);
@@ -1174,5 +1201,40 @@ mod tests {
         let snapshot = c.epochs.read_committed_snapshot();
         let total: usize = c.table_rows("sales", snapshot).unwrap().len();
         assert_eq!(total, (0..6).map(|i| 20 + i as usize).sum::<usize>());
+    }
+
+    #[test]
+    fn concurrent_loads_commit_at_distinct_epochs() {
+        // I-locks are self-compatible, so only the commit mutex keeps two
+        // in-flight loads from stamping the same pending epoch — which
+        // would let one transaction's marker vouch for the other's
+        // partial writes after a crash.
+        let c = std::sync::Arc::new(make_cluster(2, 0));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut epochs = Vec::new();
+                for i in 0..10 {
+                    let row = vec![
+                        Value::Integer(t * 100 + i),
+                        Value::Integer(0),
+                        Value::Integer(0),
+                    ];
+                    epochs.push(c.load("sales", &[row], false).unwrap());
+                }
+                epochs
+            }));
+        }
+        let mut all: Vec<Epoch> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let total = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), total, "two DML transactions shared an epoch");
+        let snapshot = c.epochs.read_committed_snapshot();
+        assert_eq!(c.table_rows("sales", snapshot).unwrap().len(), 40);
     }
 }

@@ -169,6 +169,9 @@ impl Cluster {
         // refresh; the table is small enough to copy in one step here).
         let txn = self.txns.begin(Isolation::ReadCommitted);
         self.txns.lock(&txn, &family.table, LockMode::S)?;
+        // Refresh stamps and commits a DML epoch like any writer, so it
+        // serializes with them (see `Cluster::commit_serial`).
+        let _commit = self.commit_serial.lock();
         let epoch = self.txns.pending_commit_epoch();
         let up = self.node_up_mask();
         for (b, replica) in family.replicas.iter().enumerate() {

@@ -10,10 +10,16 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use vdb_types::{DbError, DbResult};
 
-/// Abstract flat file store. Paths are slash-separated logical names;
-/// containers never overwrite files (the storage system is append-only at
-/// file granularity), so there is no partial-write handling.
+/// Abstract flat file store. Paths are slash-separated logical names.
+///
+/// The durability protocol (manifest rewrites, commit markers, redo
+/// records, the DDL log) treats every write as a whole-file atomic commit
+/// point: after a crash, a file either holds its complete new contents or
+/// whatever was there before — never a torn mix. Implementations must
+/// uphold that; [`FsBackend`] does so with write-temp → fsync → rename →
+/// fsync-directory.
 pub trait StorageBackend: Send + Sync {
+    /// Atomically replace (or create) `path` with `bytes`.
     fn write_file(&self, path: &str, bytes: &[u8]) -> DbResult<()>;
     fn read_file(&self, path: &str) -> DbResult<Vec<u8>>;
     fn delete_file(&self, path: &str) -> DbResult<()>;
@@ -112,12 +118,47 @@ impl FsBackend {
 
 impl StorageBackend for FsBackend {
     fn write_file(&self, path: &str, bytes: &[u8]) -> DbResult<()> {
+        use std::io::Write;
+
         let full = self.resolve(path)?;
-        if let Some(parent) = full.parent() {
-            std::fs::create_dir_all(parent)?;
+        let parent = full
+            .parent()
+            .ok_or_else(|| DbError::Io(format!("no parent directory for {path}")))?
+            .to_path_buf();
+        std::fs::create_dir_all(&parent)?;
+
+        // Write-temp → fsync → rename → fsync-directory, so a kill -9 or
+        // power loss leaves either the old file or the new one, never a
+        // torn mix. Every manifest/marker/redo commit point relies on
+        // this. The temp name carries pid + a counter so concurrent
+        // writers to the same path can't clobber each other's temp file.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let base = full
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let tmp = parent.join(format!(
+            ".{base}.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let result = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, &full)?;
+            // The rename is only durable once the directory entry is; on
+            // platforms where directories can't be fsynced this is
+            // best-effort.
+            if let Ok(dir) = std::fs::File::open(&parent) {
+                let _ = dir.sync_all();
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
         }
-        std::fs::write(full, bytes)?;
-        Ok(())
+        Ok(result?)
     }
 
     fn read_file(&self, path: &str) -> DbResult<Vec<u8>> {
@@ -148,7 +189,15 @@ impl StorageBackend for FsBackend {
         }
         let mut out = Vec::new();
         walk(&self.root, &self.root, &mut out);
-        out.retain(|p| p.starts_with(prefix));
+        // Hide temp files a crash mid-write_file may have stranded: they
+        // are debris, not logical files, and must not confuse recovery.
+        out.retain(|p| {
+            p.starts_with(prefix)
+                && !p
+                    .rsplit('/')
+                    .next()
+                    .is_some_and(|name| name.starts_with('.') && name.contains(".tmp."))
+        });
         out.sort();
         out
     }
@@ -199,6 +248,21 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("vdb-fs-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         exercise(&FsBackend::new(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_backend_overwrite_is_clean() {
+        let dir = std::env::temp_dir().join(format!("vdb-fs-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = FsBackend::new(&dir).unwrap();
+        b.write_file("p/manifest", b"v1").unwrap();
+        b.write_file("p/manifest", b"version two, longer").unwrap();
+        assert_eq!(b.read_file("p/manifest").unwrap(), b"version two, longer");
+        // No temp debris visible, and a stranded temp file from a
+        // simulated crash stays hidden from logical listings.
+        std::fs::write(dir.join("p/.manifest.tmp.999.0"), b"torn").unwrap();
+        assert_eq!(b.list_files("p/"), vec!["p/manifest".to_string()]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

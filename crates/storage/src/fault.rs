@@ -43,6 +43,18 @@ pub const MERGEOUT_AFTER_PICK: &str = "mergeout.after_pick";
 pub const COMMIT_BEFORE_MARKER: &str = "commit.before_marker";
 /// The WOS is about to drain for moveout; nothing has happened yet.
 pub const WOS_BEFORE_DRAIN: &str = "wos.before_drain";
+/// Drop-partition detached its victims from the in-memory catalog but the
+/// manifest still lists them (and their files are untouched): recovery
+/// must come back with the partition intact.
+pub const DROP_PARTITION_BEFORE_MANIFEST: &str = "drop_partition.before_manifest";
+/// Drop-partition committed the manifest but victim files are not yet
+/// reclaimed: recovery must GC the orphans and serve the surviving
+/// partitions.
+pub const DROP_PARTITION_BEFORE_CLEANUP: &str = "drop_partition.before_cleanup";
+/// Truncation rewrote containers but neither the WOS checkpoint nor the
+/// manifest is durable: recovery must find the pre-truncation state
+/// intact (victim files still on disk, rewrites orphaned).
+pub const TRUNCATE_BEFORE_MANIFEST: &str = "truncate.before_manifest";
 
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);
 

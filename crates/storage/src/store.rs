@@ -260,6 +260,12 @@ pub struct ProjectionStore {
     redo: RedoLog,
     /// Redo sequence the durable WOS starts at (the committed checkpoint).
     wos_start_seq: u64,
+    /// Set when a multi-step durable operation (moveout, mergeout,
+    /// truncation, partition drop) failed partway, leaving the in-memory
+    /// state out of sync with disk. Every subsequent operation refuses to
+    /// run until the store is reopened from durable state — serving from
+    /// the divergent image would leak uncommitted rows to readers.
+    poisoned: Option<String>,
 }
 
 const MANIFEST_VERSION: u64 = 1;
@@ -291,6 +297,26 @@ impl ProjectionStore {
             next_container: 1,
             redo,
             wos_start_seq: 0,
+            poisoned: None,
+        }
+    }
+
+    /// Refuse to operate on a store whose in-memory state diverged from
+    /// disk. The only way out is to drop the store and reattach via
+    /// [`ProjectionStore::open`] — exactly what crash recovery does.
+    pub fn ensure_usable(&self) -> DbResult<()> {
+        match &self.poisoned {
+            None => Ok(()),
+            Some(why) => Err(DbError::Corrupt(format!(
+                "projection {} needs reopen: {why}",
+                self.def.name
+            ))),
+        }
+    }
+
+    fn poison(&mut self, op: &str, err: &DbError) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(format!("{op} failed partway ({err})"));
         }
     }
 
@@ -309,7 +335,14 @@ impl ProjectionStore {
     ) -> DbResult<ProjectionStore> {
         let mut store = Self::new(def, partition, n_local_segments, backend);
         let Ok(bytes) = store.backend.read_file(&store.manifest_path()) else {
-            return Ok(store); // fresh projection
+            // No manifest yet — nothing ever reached the ROS. WOS inserts
+            // may still have redo records (a moveout has to run before the
+            // first manifest exists), so replay them: an insert-only
+            // projection must survive reopen too.
+            let (wos, redo) = RedoLog::replay(store.backend.as_ref(), &store.def.name, 0)?;
+            store.wos = wos;
+            store.redo = redo;
+            return Ok(store);
         };
         let mut r = Reader::new(&bytes);
         let version = r.get_uvarint()?;
@@ -463,6 +496,7 @@ impl ProjectionStore {
     /// batch is logged to the redo log first (the WOS itself is volatile,
     /// §5.1).
     pub fn insert_wos(&mut self, rows: Vec<Row>, epoch: Epoch) -> DbResult<()> {
+        self.ensure_usable()?;
         for row in &rows {
             self.check_arity(row)?;
         }
@@ -487,14 +521,19 @@ impl ProjectionStore {
         rows: Vec<Row>,
         epoch: Epoch,
     ) -> DbResult<Vec<ContainerId>> {
+        self.ensure_usable()?;
         for row in &rows {
             self.check_arity(row)?;
         }
         let augmented: Vec<(Row, Epoch, Option<Epoch>)> =
             rows.into_iter().map(|r| (r, epoch, None)).collect();
-        let created = self.write_containers(augmented, epoch)?;
-        self.save_manifest()?;
-        Ok(created)
+        let result = self
+            .write_containers(augmented, epoch)
+            .and_then(|created| self.save_manifest().map(|()| created));
+        if let Err(e) = &result {
+            self.poison("direct load", e);
+        }
+        result
     }
 
     fn check_arity(&self, row: &Row) -> DbResult<()> {
@@ -550,7 +589,12 @@ impl ProjectionStore {
                 })
                 .collect();
             let id = self.alloc_container();
-            let container = RosContainer::write(
+            // Stage the group's files fully before touching the catalog, so
+            // a failed write leaves only orphan files (GC'd on reopen). A
+            // failure once earlier groups are catalog-visible is a
+            // different story: the catalog is ahead of the manifest, so the
+            // store must poison itself until reopened.
+            let staged = RosContainer::write(
                 self.backend.as_ref(),
                 &self.physical,
                 id,
@@ -558,15 +602,27 @@ impl ProjectionStore {
                 commit_epoch,
                 pkey,
                 lseg,
-            )?;
+            )
+            .and_then(|container| {
+                if !dv.is_empty() {
+                    self.persist_delete_vector(id, &dv)?;
+                }
+                Ok(container)
+            });
+            let container = match staged {
+                Ok(c) => c,
+                Err(e) => {
+                    if !created.is_empty() {
+                        self.poison("container write", &e);
+                    }
+                    return Err(e);
+                }
+            };
             self.pins.insert(
                 id,
                 Arc::new(ContainerPin::new(self.backend.clone(), &self.def.name, id)),
             );
             self.containers.insert(id, container);
-            if !dv.is_empty() {
-                self.persist_delete_vector(id, &dv)?;
-            }
             self.delete_vectors.insert(id, dv);
             created.push(id);
         }
@@ -589,10 +645,27 @@ impl ProjectionStore {
     /// and the uncommitted checkpoint are ignored on reopen); after it, to
     /// the post-moveout state. Fault points mark the two crash windows.
     pub fn moveout(&mut self, up_to: Epoch) -> DbResult<Vec<ContainerId>> {
+        self.ensure_usable()?;
         let moved = self.wos.drain_up_to(up_to)?;
         if moved.is_empty() {
             return Ok(Vec::new());
         }
+        // The drain already mutated the in-memory WOS; any failure from
+        // here on leaves memory ahead of disk, so the store poisons
+        // itself and demands a reopen.
+        match self.moveout_drained(moved) {
+            Ok(created) => Ok(created),
+            Err(e) => {
+                self.poison("moveout", &e);
+                Err(e)
+            }
+        }
+    }
+
+    fn moveout_drained(
+        &mut self,
+        moved: Vec<(Row, Epoch, Option<Epoch>)>,
+    ) -> DbResult<Vec<ContainerId>> {
         let max_epoch = moved.iter().map(|(_, e, _)| *e).max().unwrap();
         let created = self.write_containers(moved, max_epoch)?;
         fault::fire(fault::MOVEOUT_BEFORE_MANIFEST)?;
@@ -614,6 +687,7 @@ impl ProjectionStore {
 
     /// Mark a row deleted (§3.7.1). UPDATE = delete + insert at exec level.
     pub fn mark_deleted(&mut self, loc: RowLocation, epoch: Epoch) -> DbResult<()> {
+        self.ensure_usable()?;
         match loc {
             RowLocation::Wos(pos) => {
                 if pos >= self.wos.len() as u64 {
@@ -641,10 +715,14 @@ impl ProjectionStore {
                         "position {pos} out of range for {id}"
                     )));
                 }
-                let dv = self.delete_vectors.entry(id).or_default();
+                // Persist before mutating memory: a failed write then
+                // leaves the in-memory vector untouched instead of
+                // serving a delete that never reached disk.
+                let mut dv = self.delete_vectors.get(&id).cloned().unwrap_or_default();
                 dv.mark(pos, epoch);
-                let dv = dv.clone();
-                self.persist_delete_vector(id, &dv)
+                self.persist_delete_vector(id, &dv)?;
+                self.delete_vectors.insert(id, dv);
+                Ok(())
             }
         }
     }
@@ -672,6 +750,7 @@ impl ProjectionStore {
     /// stripped), in no particular order. Recovery, refresh and tests use
     /// this; queries go through the execution engine's scan instead.
     pub fn visible_rows(&self, snapshot: Epoch) -> DbResult<Vec<Row>> {
+        self.ensure_usable()?;
         let scan = self.scan_snapshot(snapshot);
         let mut out = Vec::new();
         for sc in &scan.containers {
@@ -697,6 +776,7 @@ impl ProjectionStore {
         &self,
         snapshot: Epoch,
     ) -> DbResult<Vec<(RowLocation, Row)>> {
+        self.ensure_usable()?;
         let scan = self.scan_snapshot(snapshot);
         let mut out = Vec::new();
         for sc in &scan.containers {
@@ -745,7 +825,13 @@ impl ProjectionStore {
 
     /// Fast bulk delete of one partition (§3.5): moveout any WOS rows, then
     /// retire every container with the given partition key.
+    ///
+    /// Uses the same durable protocol as mergeout: detach the victims from
+    /// the catalog, commit by rewriting the manifest, and only then doom
+    /// the pins — the manifest must never list a container whose files a
+    /// crash-interrupted delete already reclaimed.
     pub fn drop_partition(&mut self, key: &Value, current: Epoch) -> DbResult<usize> {
+        self.ensure_usable()?;
         self.moveout(current)?;
         let victims: Vec<ContainerId> = self
             .containers
@@ -753,25 +839,63 @@ impl ProjectionStore {
             .filter(|c| c.partition_key.as_ref() == Some(key))
             .map(|c| c.id)
             .collect();
-        for id in &victims {
-            self.remove_container(*id);
+        if victims.is_empty() {
+            return Ok(0);
         }
-        if !victims.is_empty() {
-            self.save_manifest()?;
+        match self.commit_removal(
+            &victims,
+            fault::DROP_PARTITION_BEFORE_MANIFEST,
+            fault::DROP_PARTITION_BEFORE_CLEANUP,
+        ) {
+            Ok(()) => Ok(victims.len()),
+            Err(e) => {
+                self.poison("drop partition", &e);
+                Err(e)
+            }
         }
-        Ok(victims.len())
+    }
+
+    /// Durably retire a set of containers: detach them from the catalog,
+    /// commit via the manifest rewrite, then doom the pins so files are
+    /// reclaimed once in-flight scans let go. The two fault points bracket
+    /// the manifest write — the single atomic commit step.
+    fn commit_removal(
+        &mut self,
+        victims: &[ContainerId],
+        before_manifest: &str,
+        before_cleanup: &str,
+    ) -> DbResult<()> {
+        fault::fire(before_manifest)?;
+        let pins: Vec<Arc<ContainerPin>> = victims
+            .iter()
+            .filter_map(|id| self.detach_container(*id))
+            .collect();
+        self.save_manifest()?;
+        fault::fire(before_cleanup)?;
+        for pin in pins {
+            pin.doom();
+        }
+        Ok(())
+    }
+
+    /// Remove a container from the catalog and hand back its (undoomed)
+    /// pin. Callers commit the removal with a manifest save and only then
+    /// doom the pin — dooming first would let a crash delete files the
+    /// manifest still references.
+    fn detach_container(&mut self, id: ContainerId) -> Option<Arc<ContainerPin>> {
+        self.containers.remove(&id)?;
+        self.delete_vectors.remove(&id);
+        self.pins.remove(&id)
     }
 
     /// Drop a container from the catalog. File reclamation is deferred to
     /// the last pin holder — an in-flight scan keeps the files alive.
     /// Callers changing the durable container set must follow up with a
     /// manifest save.
+    #[cfg(test)]
     pub(crate) fn remove_container(&mut self, id: ContainerId) {
-        if self.containers.remove(&id).is_some() {
-            self.delete_vectors.remove(&id);
-            if let Some(pin) = self.pins.remove(&id) {
-                pin.doom();
-            }
+        if let Some(pin) = self.detach_container(id) {
+            pin.doom();
         }
     }
 
@@ -807,29 +931,28 @@ impl ProjectionStore {
     /// rewriting the manifest with the victims dropped, then reclaim victim
     /// files. Crashing before the manifest recovers pre-merge (the merged
     /// containers are orphans); after it, post-merge (leftover victim files
-    /// are GC'd on reopen). Note a fault fired *before* the manifest leaves
-    /// the in-memory catalog holding both victims and merged rows — callers
-    /// must treat any error here as a crash and reopen from disk.
+    /// are GC'd on reopen). An error after the merged containers became
+    /// catalog-visible poisons the store — the in-memory image is ahead of
+    /// the manifest and only a reopen reconverges them.
     pub(crate) fn replace_containers(
         &mut self,
         victims: &[ContainerId],
         merged: Vec<(Row, Epoch, Option<Epoch>)>,
         commit_epoch: Epoch,
     ) -> DbResult<Vec<ContainerId>> {
+        self.ensure_usable()?;
         let created = self.write_containers(merged, commit_epoch)?;
-        fault::fire(fault::MERGEOUT_BEFORE_MANIFEST)?;
-        for id in victims {
-            self.containers.remove(id);
-            self.delete_vectors.remove(id);
-        }
-        self.save_manifest()?;
-        fault::fire(fault::MERGEOUT_BEFORE_CLEANUP)?;
-        for id in victims {
-            if let Some(pin) = self.pins.remove(id) {
-                pin.doom();
+        match self.commit_removal(
+            victims,
+            fault::MERGEOUT_BEFORE_MANIFEST,
+            fault::MERGEOUT_BEFORE_CLEANUP,
+        ) {
+            Ok(()) => Ok(created),
+            Err(e) => {
+                self.poison("mergeout", &e);
+                Err(e)
             }
         }
-        Ok(created)
     }
 
     pub(crate) fn delete_vector_of(&self, id: ContainerId) -> DeleteVector {
@@ -841,6 +964,17 @@ impl ProjectionStore {
     /// committed after `epoch` disappear; delete marks stamped after
     /// `epoch` are undone.
     pub fn truncate_after(&mut self, epoch: Epoch) -> DbResult<()> {
+        self.ensure_usable()?;
+        match self.truncate_after_inner(epoch) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poison("truncate", &e);
+                Err(e)
+            }
+        }
+    }
+
+    fn truncate_after_inner(&mut self, epoch: Epoch) -> DbResult<()> {
         // WOS: drop rows after epoch, undo later deletes.
         let kept = self.wos.drain_up_to(Epoch(u64::MAX))?;
         let mut new_wos = Wos::new();
@@ -856,6 +990,10 @@ impl ProjectionStore {
         }
         self.wos = new_wos;
         // ROS: rewrite containers that contain post-epoch rows or deletes.
+        // Victims are detached but their dooms wait until the manifest
+        // commits — before that, their files are the only durable copy of
+        // the surviving rows.
+        let mut detached: Vec<Arc<ContainerPin>> = Vec::new();
         let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
         for id in ids {
             let hist = self.container_history(id)?;
@@ -870,13 +1008,15 @@ impl ProjectionStore {
                 .filter(|(_, e, _)| *e <= epoch)
                 .map(|(r, e, d)| (r, e, d.filter(|de| *de <= epoch)))
                 .collect();
-            self.remove_container(id);
+            detached.extend(self.detach_container(id));
             if !filtered.is_empty() {
                 self.write_containers(filtered, epoch)?;
             }
         }
+        fault::fire(fault::TRUNCATE_BEFORE_MANIFEST)?;
         // Durable commit of the truncation: checkpoint the rebuilt WOS and
-        // rewrite the manifest in one step.
+        // rewrite the manifest in one step; only then reclaim the
+        // rewritten containers' files.
         let image: Vec<(Row, Epoch, Option<Epoch>)> = self
             .wos
             .all_rows()
@@ -888,6 +1028,9 @@ impl ProjectionStore {
         )?;
         self.wos_start_seq = ckpt;
         self.save_manifest()?;
+        for pin in detached {
+            pin.doom();
+        }
         self.redo.gc_before(self.backend.as_ref(), ckpt);
         Ok(())
     }
@@ -901,6 +1044,7 @@ impl ProjectionStore {
         from: Epoch,
         to: Epoch,
     ) -> DbResult<Vec<(Row, Epoch, Option<Epoch>)>> {
+        self.ensure_usable()?;
         let mut out = Vec::new();
         let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
         for id in ids {
@@ -927,6 +1071,7 @@ impl ProjectionStore {
         from: Epoch,
         to: Epoch,
     ) -> DbResult<Vec<(Row, Epoch, Epoch)>> {
+        self.ensure_usable()?;
         let mut out = Vec::new();
         let ids: Vec<ContainerId> = self.containers.keys().copied().collect();
         for id in ids {
@@ -951,6 +1096,7 @@ impl ProjectionStore {
     /// Replay late deletes gathered from a buddy: find each (row, commit
     /// epoch) pair without a delete mark and mark it. Returns marks applied.
     pub fn apply_late_deletes(&mut self, items: &[(Row, Epoch, Epoch)]) -> DbResult<u64> {
+        self.ensure_usable()?;
         let mut applied = 0;
         for (row, commit, delete) in items {
             let mut target: Option<RowLocation> = None;
@@ -993,12 +1139,17 @@ impl ProjectionStore {
 
     /// Apply copied history (recovery's historical/current phases).
     pub fn apply_history(&mut self, rows: Vec<(Row, Epoch, Option<Epoch>)>) -> DbResult<()> {
+        self.ensure_usable()?;
         if rows.is_empty() {
             return Ok(());
         }
         let max_epoch = rows.iter().map(|(_, e, _)| *e).max().unwrap();
         self.write_containers(rows, max_epoch)?;
-        self.save_manifest()
+        if let Err(e) = self.save_manifest() {
+            self.poison("history apply", &e);
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Last Good Epoch (§5.1): everything at or below this epoch is safely

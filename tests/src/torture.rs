@@ -619,6 +619,9 @@ pub const FAULT_POINTS: &[&str] = &[
     fault::MERGEOUT_BEFORE_MANIFEST,
     fault::MERGEOUT_BEFORE_CLEANUP,
     fault::COMMIT_BEFORE_MARKER,
+    fault::DROP_PARTITION_BEFORE_MANIFEST,
+    fault::DROP_PARTITION_BEFORE_CLEANUP,
+    fault::TRUNCATE_BEFORE_MANIFEST,
 ];
 
 /// Build committed state in a durable database under `root`, arm `point`,
@@ -626,6 +629,14 @@ pub const FAULT_POINTS: &[&str] = &[
 /// the simulated `kill -9`), reopen, and verify that exactly the committed
 /// rows survived — no committed row lost, no uncommitted row visible.
 pub fn kill_and_recover(root: &Path, point: &str) -> Result<(), String> {
+    if point == fault::DROP_PARTITION_BEFORE_MANIFEST
+        || point == fault::DROP_PARTITION_BEFORE_CLEANUP
+    {
+        return kill_and_recover_drop_partition(root, point);
+    }
+    if point == fault::TRUNCATE_BEFORE_MANIFEST {
+        return kill_and_recover_truncate(root);
+    }
     fault::disarm_all();
     let _ = std::fs::remove_dir_all(root);
     let fmt = |e: &dyn std::fmt::Display| format!("[{point}] {e}");
@@ -741,6 +752,190 @@ pub fn kill_and_recover(root: &Path, point: &str) -> Result<(), String> {
         .scalar()
         .and_then(Value::as_i64);
     if count != Some(expected.len() as i64 + 1) {
+        return Err(format!("[{point}] post-recovery insert lost: {count:?}"));
+    }
+    Ok(())
+}
+
+/// Drill for the two `ALTER TABLE ... DROP PARTITION` crash windows.
+/// Crashing before the manifest rewrite must recover the partition intact;
+/// crashing after it (before file cleanup) must recover with the partition
+/// gone and its orphaned files garbage-collected. Either way, the live
+/// handle is poisoned after the fault and must refuse to serve until the
+/// reopen.
+fn kill_and_recover_drop_partition(root: &Path, point: &str) -> Result<(), String> {
+    fault::disarm_all();
+    let _ = std::fs::remove_dir_all(root);
+    let fmt = |e: &dyn std::fmt::Display| format!("[{point}] {e}");
+    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    db.execute("CREATE TABLE t (id INT, grp INT, v INT) PARTITION BY grp")
+        .map_err(|e| fmt(&e))?;
+    db.execute(
+        "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
+         SEGMENTED BY HASH(id) ALL NODES",
+    )
+    .map_err(|e| fmt(&e))?;
+    let rows: Vec<Row> = (0..60i64)
+        .map(|i| {
+            vec![
+                Value::Integer(i),
+                Value::Integer(i % 3),
+                Value::Integer(i * 7 % 1000),
+            ]
+        })
+        .collect();
+    db.load("t", &rows).map_err(|e| fmt(&e))?;
+    let mut expected: Vec<(i64, i64, i64)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_i64().unwrap(),
+                r[1].as_i64().unwrap(),
+                r[2].as_i64().unwrap(),
+            )
+        })
+        .collect();
+    expected.sort_unstable();
+
+    fault::arm(point);
+    match db.execute("ALTER TABLE t DROP PARTITION 1") {
+        Err(e) if fault::is_fault(&e) => {}
+        Err(e) => {
+            fault::disarm_all();
+            return Err(format!("[{point}] unexpected non-fault error: {e}"));
+        }
+        Ok(_) => {
+            fault::disarm_all();
+            return Err(format!("[{point}] fault point never fired"));
+        }
+    }
+    // The store diverged from disk mid-operation; the poisoned handle must
+    // refuse to serve rather than expose a half-dropped image.
+    if db.query("SELECT COUNT(*) FROM t").is_ok() {
+        return Err(format!(
+            "[{point}] poisoned store served a query after a mid-drop crash"
+        ));
+    }
+    drop(db); // the kill
+
+    if point == fault::DROP_PARTITION_BEFORE_CLEANUP {
+        // Manifest committed before the crash: the drop is durable.
+        expected.retain(|&(_, grp, _)| grp != 1);
+    }
+    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    let got: Vec<(i64, i64, i64)> = db
+        .query("SELECT id, grp, v FROM t ORDER BY id")
+        .map_err(|e| fmt(&e))?
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_i64().unwrap(),
+                r[1].as_i64().unwrap(),
+                r[2].as_i64().unwrap(),
+            )
+        })
+        .collect();
+    if got != expected {
+        return Err(format!(
+            "[{point}] recovery mismatch: {} rows recovered, {} expected",
+            got.len(),
+            expected.len()
+        ));
+    }
+    // The recovered database keeps working, including a clean retry of the
+    // same partition drop.
+    db.execute("ALTER TABLE t DROP PARTITION 2")
+        .map_err(|e| fmt(&e))?;
+    expected.retain(|&(_, grp, _)| grp != 2);
+    let count = db
+        .execute("SELECT COUNT(*) FROM t")
+        .map_err(|e| fmt(&e))?
+        .scalar()
+        .and_then(Value::as_i64);
+    if count != Some(expected.len() as i64) {
+        return Err(format!("[{point}] post-recovery drop wrong: {count:?}"));
+    }
+    Ok(())
+}
+
+/// Drill for a crash *during recovery itself*: the reopen's
+/// truncate-after-marker pass dies before its manifest commit, and the
+/// next reopen must still converge to exactly the committed rows —
+/// recovery is idempotent.
+fn kill_and_recover_truncate(root: &Path) -> Result<(), String> {
+    let point = fault::TRUNCATE_BEFORE_MANIFEST;
+    fault::disarm_all();
+    let _ = std::fs::remove_dir_all(root);
+    let fmt = |e: &dyn std::fmt::Display| format!("[{point}] {e}");
+    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    db.execute("CREATE TABLE t (id INT, grp INT, v INT)")
+        .map_err(|e| fmt(&e))?;
+    db.execute(
+        "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
+         SEGMENTED BY HASH(id) ALL NODES",
+    )
+    .map_err(|e| fmt(&e))?;
+    let rows: Vec<Row> = (0..40i64)
+        .map(|i| {
+            vec![
+                Value::Integer(i),
+                Value::Integer(i % N_GRPS as i64),
+                Value::Integer(i),
+            ]
+        })
+        .collect();
+    db.load("t", &rows[..30]).map_err(|e| fmt(&e))?;
+    db.load_wos("t", &rows[30..]).map_err(|e| fmt(&e))?;
+    // Crash an uncommitted trickle load so the next recovery has post-marker
+    // effects to truncate.
+    fault::arm(fault::COMMIT_BEFORE_MARKER);
+    let doomed: Vec<Row> = (100..105i64)
+        .map(|i| vec![Value::Integer(i), Value::Integer(0), Value::Integer(0)])
+        .collect();
+    match db.load_wos("t", &doomed) {
+        Err(e) if fault::is_fault(&e) => {}
+        other => {
+            fault::disarm_all();
+            return Err(format!("[{point}] setup crash failed: {other:?}"));
+        }
+    }
+    drop(db);
+
+    // First reopen: recovery's truncation crashes before its manifest
+    // commit.
+    fault::arm(point);
+    match Database::open(root) {
+        Err(e) if fault::is_fault(&e) => {}
+        Err(e) => {
+            fault::disarm_all();
+            return Err(format!("[{point}] unexpected non-fault error: {e}"));
+        }
+        Ok(_) => {
+            fault::disarm_all();
+            return Err(format!("[{point}] fault point never fired"));
+        }
+    }
+
+    // Second reopen: clean recovery to exactly the committed rows.
+    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    let count = db
+        .execute("SELECT COUNT(*) FROM t")
+        .map_err(|e| fmt(&e))?
+        .scalar()
+        .and_then(Value::as_i64);
+    if count != Some(40) {
+        return Err(format!(
+            "[{point}] recovery-of-recovery mismatch: {count:?} rows, 40 expected"
+        ));
+    }
+    db.execute("INSERT INTO t VALUES (1000, 0, 0)")
+        .map_err(|e| fmt(&e))?;
+    let count = db
+        .execute("SELECT COUNT(*) FROM t")
+        .map_err(|e| fmt(&e))?
+        .scalar()
+        .and_then(Value::as_i64);
+    if count != Some(41) {
         return Err(format!("[{point}] post-recovery insert lost: {count:?}"));
     }
     Ok(())

@@ -106,3 +106,54 @@ fn kill_and_recover_at_every_fault_point() {
     }
     let _ = std::fs::remove_dir_all(&root);
 }
+
+#[test]
+fn poisoned_store_refuses_service_until_reopen() {
+    let _guard = serial();
+    let root = temp_root("poison");
+    let _ = std::fs::remove_dir_all(&root);
+    let db = Database::open(&root).unwrap();
+    db.execute("CREATE TABLE t (id INT, grp INT, v INT)")
+        .unwrap();
+    db.execute(
+        "CREATE PROJECTION t_super AS SELECT id, grp, v FROM t ORDER BY id \
+         SEGMENTED BY HASH(id) ALL NODES",
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..50i64)
+        .map(|i| vec![Value::Integer(i), Value::Integer(i % 4), Value::Integer(i)])
+        .collect();
+    db.load_wos("t", &rows).unwrap();
+
+    // A moveout that dies after draining the WOS leaves memory ahead of
+    // disk; the store must refuse to serve that image instead of leaking
+    // rows whose durability was never committed.
+    vdb_storage::fault::arm(vdb_storage::fault::MOVEOUT_BEFORE_MANIFEST);
+    let err = db.tuple_mover_tick().unwrap_err();
+    assert!(vdb_storage::fault::is_fault(&err), "{err}");
+    let refused = db.query("SELECT COUNT(*) FROM t").unwrap_err();
+    assert!(
+        refused.to_string().contains("needs reopen"),
+        "expected poisoned-store refusal, got: {refused}"
+    );
+    assert!(
+        db.execute("INSERT INTO t VALUES (999, 0, 0)").is_err(),
+        "poisoned store accepted a write"
+    );
+    drop(db);
+
+    // Reopen = the sanctioned recovery path: all 50 committed rows back,
+    // store serving again.
+    let db = Database::open(&root).unwrap();
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM t").unwrap().scalar(),
+        Some(&Value::Integer(50))
+    );
+    db.execute("INSERT INTO t VALUES (999, 0, 0)").unwrap();
+    assert_eq!(
+        db.execute("SELECT COUNT(*) FROM t").unwrap().scalar(),
+        Some(&Value::Integer(51))
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&root);
+}
