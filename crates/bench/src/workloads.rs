@@ -1,6 +1,7 @@
 //! Workload generators.
 
 pub mod cstore7;
+pub mod exec_compressed;
 pub mod exec_expr;
 pub mod exec_parallel;
 pub mod exec_parallel_join;

@@ -1,0 +1,246 @@
+//! Compressed-domain execution workload (§6.1): the three places the
+//! engine now operates on encoded data instead of materialized values.
+//!
+//! * **Dictionary-code group-by** — a `HashGroupByOp` over a dict-coded
+//!   string key aggregates per distinct *code* and materializes each key
+//!   string once per output group, vs the same data with the key column
+//!   pre-materialized to plain `Value::Varchar`s.
+//! * **Selection-pushdown scan** — a narrow range predicate over the sort
+//!   column of a multi-container store: SMA block pruning plus
+//!   selection-aware decode vs a full scan of the same store.
+//! * **Codec footprint** — FOR/bit-pack over a small-range integer column
+//!   and delta-of-delta over an almost-regular timestamp column, sized
+//!   against Plain.
+
+use std::sync::Arc;
+use std::time::Instant;
+use vdb_encoding::{ColumnWriter, EncodingType};
+use vdb_exec::aggregate::{AggCall, AggFunc};
+use vdb_exec::batch::{Batch, ColumnSlice};
+use vdb_exec::groupby::HashGroupByOp;
+use vdb_exec::operator::{collect_rows, ValuesOp};
+use vdb_exec::scan::{ScanOperator, ScanStats};
+use vdb_exec::vector::{TypedVector, VectorData};
+use vdb_exec::MemoryBudget;
+use vdb_storage::projection::ProjectionDef;
+use vdb_storage::{MemBackend, ProjectionStore};
+use vdb_types::{
+    BinOp, ColumnDef, DataType, DbResult, Epoch, Expr, Row, StringDictionary, TableSchema, Value,
+};
+
+/// Distinct string keys in the group-by data.
+pub const KEYS: usize = 32;
+
+const BATCH: usize = 1024;
+
+fn key_name(k: usize) -> String {
+    format!("sku-{k:04}-{:08}-warehouse-east", k.wrapping_mul(7919))
+}
+
+fn key_at(i: usize) -> usize {
+    i.wrapping_mul(7) % KEYS
+}
+
+/// `(key, value)` batches with the key column dictionary-coded — the
+/// representation an encoded scan hands the group-by.
+pub fn dict_batches(rows: usize) -> Vec<Batch> {
+    let mut dict = StringDictionary::new();
+    for k in 0..KEYS {
+        dict.intern_owned(key_name(k));
+    }
+    let dict = Arc::new(dict);
+    let mut out = Vec::new();
+    let mut produced = 0usize;
+    while produced < rows {
+        let n = (rows - produced).min(BATCH);
+        let codes: Vec<u32> = (produced..produced + n).map(|i| key_at(i) as u32).collect();
+        let value: Vec<i64> = (produced as i64..(produced + n) as i64).collect();
+        out.push(Batch::new(vec![
+            ColumnSlice::Typed(TypedVector::new(
+                VectorData::Dict {
+                    dict: dict.clone(),
+                    codes,
+                },
+                None,
+            )),
+            ColumnSlice::Typed(TypedVector::new(VectorData::Int64(value), None)),
+        ]));
+        produced += n;
+    }
+    out
+}
+
+/// The same data with the key column pre-materialized to plain strings —
+/// what the group-by consumed before compressed-domain execution.
+pub fn plain_batches(rows: usize) -> Vec<Batch> {
+    let mut out = Vec::new();
+    let mut produced = 0usize;
+    while produced < rows {
+        let n = (rows - produced).min(BATCH);
+        let keys: Vec<Value> = (produced..produced + n)
+            .map(|i| Value::Varchar(key_name(key_at(i))))
+            .collect();
+        let value: Vec<i64> = (produced as i64..(produced + n) as i64).collect();
+        out.push(Batch::new(vec![
+            ColumnSlice::Plain(keys),
+            ColumnSlice::Typed(TypedVector::new(VectorData::Int64(value), None)),
+        ]));
+        produced += n;
+    }
+    out
+}
+
+/// Group by the key column; sorted output so representations compare.
+pub fn run_groupby(batches: Vec<Batch>) -> DbResult<Vec<Row>> {
+    let mut gb = HashGroupByOp::new(
+        Box::new(ValuesOp::new(batches)),
+        vec![0],
+        vec![
+            AggCall::new(AggFunc::CountStar, 0, "cnt"),
+            AggCall::new(AggFunc::Sum, 1, "sum"),
+        ],
+        MemoryBudget::unlimited(),
+    );
+    let mut rows = collect_rows(&mut gb)?;
+    rows.sort();
+    Ok(rows)
+}
+
+/// `(ts, v, tag)` rows sorted by `ts` over `containers` ROS containers:
+/// the shape where SMA pruning + selection-pushdown decode pay off.
+pub fn build_scan_store(rows: usize, containers: usize) -> DbResult<ProjectionStore> {
+    let schema = TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("ts", DataType::Integer),
+            ColumnDef::new("v", DataType::Integer),
+            ColumnDef::new("tag", DataType::Varchar),
+        ],
+    );
+    let def = ProjectionDef::super_projection(&schema, "t_comp", &[0], &[]);
+    let mut store = ProjectionStore::new(def, None, 1, Arc::new(MemBackend::new()));
+    let per = rows.div_ceil(containers.max(1));
+    let mut produced = 0usize;
+    while produced < rows {
+        let n = (rows - produced).min(per);
+        let chunk: Vec<Row> = (produced..produced + n)
+            .map(|i| {
+                vec![
+                    Value::Integer(i as i64),
+                    Value::Integer((i as i64).wrapping_mul(2_654_435_761) % 1_000_000),
+                    Value::Varchar(format!("tag{}", i % 8)),
+                ]
+            })
+            .collect();
+        store.insert_direct_ros(chunk, Epoch(1))?;
+        produced += n;
+    }
+    Ok(store)
+}
+
+/// `lo <= ts <= lo + width - 1` on the sort column.
+pub fn narrow_predicate(lo: i64, width: i64) -> Expr {
+    Expr::and(
+        Expr::binary(BinOp::Ge, Expr::col(0, "ts"), Expr::int(lo)),
+        Expr::binary(BinOp::Le, Expr::col(0, "ts"), Expr::int(lo + width - 1)),
+    )
+}
+
+/// Scan all three columns; returns `(rows out, ms, stats)`.
+pub fn run_scan(
+    store: &ProjectionStore,
+    predicate: Option<Expr>,
+) -> DbResult<(usize, f64, ScanStats)> {
+    let snap = store.scan_snapshot(Epoch(1));
+    let t = Instant::now();
+    let mut scan = ScanOperator::new(
+        store.backend().clone(),
+        snap.containers,
+        snap.wos_rows,
+        vec![0, 1, 2],
+        predicate,
+        None,
+        vec![],
+    );
+    let stats = scan.stats();
+    let n = collect_rows(&mut scan)?.len();
+    let ms = t.elapsed().as_secs_f64() * 1000.0;
+    let s = stats.lock().clone();
+    Ok((n, ms, s))
+}
+
+/// Small-range integers on a large base: FOR/bit-pack territory (a handful
+/// of bits per row where Plain pays full varints).
+pub fn for_column(rows: usize) -> Vec<Value> {
+    (0..rows)
+        .map(|i| Value::Integer(1_000_000_000 + (i as i64).wrapping_mul(2_654_435_761) % 4096))
+        .collect()
+}
+
+/// Almost-regular timestamps: the second derivative is tiny, so
+/// delta-of-delta packs rows into a few bits each.
+pub fn dod_column(rows: usize) -> Vec<Value> {
+    (0..rows as i64)
+        .map(|i| Value::Integer(1_330_000_000 + i * 60 + (i % 7) - 3))
+        .collect()
+}
+
+/// Encoded bytes (data + position index) of one column under `enc`,
+/// asserting the codec actually applied (no silent Plain fallback).
+pub fn encoded_bytes(values: &[Value], enc: EncodingType) -> DbResult<usize> {
+    let mut w = ColumnWriter::new(enc);
+    w.extend(values.iter().cloned());
+    let (data, index) = w.finish();
+    if enc != EncodingType::Plain {
+        for b in &index.blocks {
+            if b.encoding != enc {
+                return Err(vdb_types::DbError::Execution(format!(
+                    "codec {} fell back to {} on the benchmark column",
+                    enc.name(),
+                    b.encoding.name()
+                )));
+            }
+        }
+    }
+    Ok(data.len() + index.encode().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dict_and_plain_groupby_agree() {
+        let d = run_groupby(dict_batches(20_000)).unwrap();
+        let p = run_groupby(plain_batches(20_000)).unwrap();
+        assert_eq!(d.len(), KEYS);
+        assert_eq!(d, p);
+    }
+
+    #[test]
+    fn narrow_scan_prunes_and_skips_decode() {
+        let store = build_scan_store(40_000, 4).unwrap();
+        let (all, _, full) = run_scan(&store, None).unwrap();
+        assert_eq!(all, 40_000);
+        assert_eq!(full.rows_scanned, 40_000);
+        let (n, _, s) = run_scan(&store, Some(narrow_predicate(20_000, 1000))).unwrap();
+        assert_eq!(n, 1000);
+        assert!(s.containers_pruned_minmax >= 2, "{s:?}");
+        assert!(s.blocks_pruned > 0, "{s:?}");
+        assert!(s.rows_decode_skipped > 0, "{s:?}");
+        assert!(s.rows_scanned < 4000, "{s:?}");
+    }
+
+    #[test]
+    fn codec_footprints_halve_plain() {
+        for (col, enc) in [
+            (for_column(20_000), EncodingType::ForBitPack),
+            (dod_column(20_000), EncodingType::DeltaDelta),
+        ] {
+            let packed = encoded_bytes(&col, enc).unwrap();
+            let plain = encoded_bytes(&col, EncodingType::Plain).unwrap();
+            let ratio = packed as f64 / plain as f64;
+            assert!(ratio <= 0.5, "{}: ratio {ratio}", enc.name());
+        }
+    }
+}

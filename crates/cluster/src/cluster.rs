@@ -830,6 +830,7 @@ impl Cluster {
                 }
                 let mut row_count = 0u64;
                 let mut column_bytes = vec![0u64; family.def.arity()];
+                let mut column_encodings: Vec<Vec<(String, u64)>> = Vec::new();
                 let mut sample: Vec<Row> = Vec::new();
                 // Max per-node morsel count: the planner's parallel-scan
                 // DoP cap (each node executes its local plan, so the
@@ -843,6 +844,17 @@ impl Cluster {
                     for (i, b) in s.column_bytes().into_iter().enumerate() {
                         column_bytes[i] += b;
                     }
+                    for (i, encs) in s.column_encodings().into_iter().enumerate() {
+                        if column_encodings.len() <= i {
+                            column_encodings.resize(i + 1, Vec::new());
+                        }
+                        for (name, rows) in encs {
+                            match column_encodings[i].iter_mut().find(|(n, _)| *n == name) {
+                                Some((_, r)) => *r += rows,
+                                None => column_encodings[i].push((name, rows)),
+                            }
+                        }
+                    }
                     if sample.len() < 1000 {
                         let rows = s.visible_rows(snapshot)?;
                         sample.extend(rows.into_iter().take(1000 - sample.len()));
@@ -855,7 +867,8 @@ impl Cluster {
                 def.name = fname.clone();
                 projections.push(
                     ProjectionMeta::from_sample(def, row_count, column_bytes, &sample)
-                        .with_scan_morsels(scan_morsels),
+                        .with_scan_morsels(scan_morsels)
+                        .with_column_encodings(column_encodings),
                 );
             }
             catalog.tables.insert(
@@ -1159,6 +1172,15 @@ mod tests {
         assert_eq!(p.def.name, "sales_super");
         assert!(p.column_bytes.iter().sum::<u64>() > 0);
         assert!(p.stats[0].distinct > 100);
+        // Observed encodings flow from the position indexes into the
+        // catalog: every column reports at least one concrete codec, and
+        // the per-column row totals cover every ROS row.
+        assert_eq!(p.column_encodings.len(), p.def.arity());
+        for col in p.column_encodings.iter() {
+            assert!(!col.is_empty());
+            assert!(col.iter().map(|(_, r)| r).sum::<u64>() > 0);
+        }
+        assert!(p.dominant_encoding(0).is_some());
     }
 
     #[test]

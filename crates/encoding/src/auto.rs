@@ -10,7 +10,9 @@
 //! the Database Designer's storage-optimization phase uses (§6.3), whose
 //! encoding choices the paper notes users essentially never override.
 
-use crate::{block_dict, common_delta, delta_range, delta_value, rle, EncodingType};
+use crate::{
+    block_dict, common_delta, delta_delta, delta_range, delta_value, for_bitpack, rle, EncodingType,
+};
 use vdb_types::codec::Writer;
 use vdb_types::Value;
 
@@ -73,9 +75,19 @@ pub fn choose_encoding(values: &[Value]) -> EncodingType {
         if common_delta::profitable(&non_null) {
             return EncodingType::CommonDelta;
         }
+        // Stable-delta sequences whose deltas do not repeat (drift,
+        // acceleration) → delta-of-delta buckets.
+        if delta_delta::profitable(&non_null) {
+            return EncodingType::DeltaDelta;
+        }
         // Few-valued unsorted → per-block dictionary.
         if p.distinct * 16 <= p.count && block_dict::applicable(&non_null) {
             return EncodingType::BlockDict;
+        }
+        // Offsets that fill their bit width uniformly → fixed-stride
+        // frame-of-reference packing (also unlocks random-access decode).
+        if for_bitpack::profitable(&non_null) {
+            return EncodingType::ForBitPack;
         }
         // Many-valued unsorted integers → delta from block min.
         if delta_value::applicable(&non_null) {
@@ -139,7 +151,9 @@ mod tests {
     }
 
     #[test]
-    fn many_valued_unsorted_ints_pick_delta_value() {
+    fn many_valued_uniform_ints_pick_for_bitpack() {
+        // Uniform offsets fill their 20-bit width: fixed-stride packing
+        // beats per-value varints.
         let mut x = 17u64;
         let vals: Vec<Value> = (0..1000)
             .map(|_| {
@@ -149,7 +163,41 @@ mod tests {
                 Value::Integer((x % 1_000_000) as i64)
             })
             .collect();
+        assert_eq!(choose_encoding(&vals), EncodingType::ForBitPack);
+    }
+
+    #[test]
+    fn skewed_ints_with_outliers_pick_delta_value() {
+        // Tiny offsets with rare huge outliers: one outlier widens every
+        // fixed-stride slot, but only its own varint.
+        let mut x = 5u64;
+        let vals: Vec<Value> = (0..1000)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if i % 97 == 0 {
+                    Value::Integer((x % 1_000_000_000_000) as i64)
+                } else {
+                    Value::Integer((x % 500) as i64)
+                }
+            })
+            .collect();
         assert_eq!(choose_encoding(&vals), EncodingType::DeltaValue);
+    }
+
+    #[test]
+    fn drifting_timestamps_pick_delta_delta() {
+        // Delta grows every row (never repeats → common-delta dictionary
+        // cannot amortize) but the second-order difference is constant.
+        let mut acc = 1_600_000_000i64;
+        let vals: Vec<Value> = (0..1000)
+            .map(|i| {
+                acc += 300 + i;
+                Value::Timestamp(acc)
+            })
+            .collect();
+        assert_eq!(choose_encoding(&vals), EncodingType::DeltaDelta);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! NULLs natively (a NULL run is a perfectly good run), so they skip the
 //! bitmap, keeping the common sorted-leading-column path allocation-free.
 
-use crate::{auto, block_dict, common_delta, delta_range, delta_value, plain, rle, EncodingType};
+use crate::{
+    auto, block_dict, common_delta, delta_delta, delta_range, delta_value, for_bitpack, plain, rle,
+    EncodingType,
+};
 use vdb_types::codec::{Reader, Writer};
 use vdb_types::{DataType, DbError, DbResult, Value};
 
@@ -75,7 +78,9 @@ pub fn encode_block(values: &[Value], requested: EncodingType, w: &mut Writer) -
         EncodingType::DeltaValue
         | EncodingType::BlockDict
         | EncodingType::DeltaRange
-        | EncodingType::CommonDelta => {
+        | EncodingType::CommonDelta
+        | EncodingType::ForBitPack
+        | EncodingType::DeltaDelta => {
             let has_nulls = values.iter().any(Value::is_null);
             w.put_u8(u8::from(has_nulls));
             let storage: Vec<Value>;
@@ -97,6 +102,8 @@ pub fn encode_block(values: &[Value], requested: EncodingType, w: &mut Writer) -
                 EncodingType::BlockDict => block_dict::encode(non_null, w),
                 EncodingType::DeltaRange => delta_range::encode(non_null, w),
                 EncodingType::CommonDelta => common_delta::encode(non_null, w),
+                EncodingType::ForBitPack => for_bitpack::encode(non_null, w),
+                EncodingType::DeltaDelta => delta_delta::encode(non_null, w),
                 _ => unreachable!(),
             };
             debug_assert!(r.is_ok(), "resolve() guaranteed applicability");
@@ -116,6 +123,8 @@ fn resolve(values: &[Value], requested: EncodingType) -> EncodingType {
             EncodingType::BlockDict => block_dict::applicable(&non_null),
             EncodingType::DeltaRange => delta_range::applicable(&non_null),
             EncodingType::CommonDelta => common_delta::applicable(&non_null),
+            EncodingType::ForBitPack => for_bitpack::applicable(&non_null),
+            EncodingType::DeltaDelta => delta_delta::applicable(&non_null),
             _ => true,
         }
     };
@@ -248,59 +257,118 @@ fn scatter<T: Clone>(
 /// Decode one block into native form (no per-row `Value` construction for
 /// the specialized codecs).
 pub fn decode_block_native(r: &mut Reader<'_>) -> DbResult<NativeBlock> {
+    Ok(decode_block_native_selected(r, None)?.0)
+}
+
+/// Selection-pushdown decode (§6.1 late materialization): decode only what
+/// the selection `sel` (sorted row indexes within the block) can observe.
+///
+/// The contract: the returned block always has the block's full row count,
+/// but positions **outside** the selection hold unspecified padding — the
+/// caller must only inspect selected positions. Serial codecs stop after
+/// the last selected row; the fixed-stride frame-of-reference codec decodes
+/// exactly the selected slots. The second return value counts the rows
+/// whose decode work was skipped.
+pub fn decode_block_native_selected(
+    r: &mut Reader<'_>,
+    sel: Option<&[u32]>,
+) -> DbResult<(NativeBlock, u64)> {
     let encoding = EncodingType::from_tag(r.get_u8()?)?;
     let count = r.get_uvarint()? as usize;
     let has_nulls = r.get_u8()? != 0;
+    // Serial codecs must decode every row up to (and including) the last
+    // selected one; everything after is padding.
+    let needed = match sel {
+        Some(s) => s.last().map_or(0, |&m| m as usize + 1).min(count),
+        None => count,
+    };
+    let tail_skipped = (count - needed) as u64;
     match encoding {
-        EncodingType::Plain => Ok(NativeBlock::Values(plain::decode(r, count)?)),
-        EncodingType::Rle => Ok(NativeBlock::Runs(rle::decode_runs(r, count)?)),
+        EncodingType::Plain => {
+            let mut vals = plain::decode(r, needed)?;
+            vals.resize(count, Value::Null);
+            Ok((NativeBlock::Values(vals), tail_skipped))
+        }
+        // Runs are already the compressed form — decoding them is O(runs),
+        // so there is nothing worth skipping.
+        EncodingType::Rle => Ok((NativeBlock::Runs(rle::decode_runs(r, count)?), 0)),
         EncodingType::Auto => Err(DbError::Corrupt("Auto tag on disk".into())),
         specialized => {
-            let (null_bitmap, non_null_count) = if has_nulls {
+            let (null_bitmap, non_null_needed) = if has_nulls {
                 let bitmap = r.get_raw(count.div_ceil(8))?.to_vec();
-                let nulls = (0..count).filter(|&i| bitmap_is_null(&bitmap, i)).count();
-                (Some(bitmap), count - nulls)
+                let non_null = (0..needed).filter(|&i| !bitmap_is_null(&bitmap, i)).count();
+                (Some(bitmap), non_null)
             } else {
-                (None, count)
+                (None, needed)
             };
             let int_ty = |tag: u8| match tag {
                 1 => DataType::Timestamp,
                 2 => DataType::Boolean,
                 _ => DataType::Integer,
             };
+            // Scatter the decoded prefix over null positions, then pad the
+            // unneeded tail.
             let finish_i64 = |ty: DataType, values: Vec<i64>| -> DbResult<NativeBlock> {
-                let (values, nulls) = match &null_bitmap {
+                let (mut values, nulls) = match &null_bitmap {
                     None => (values, None),
-                    Some(b) => (scatter(values, b, count, 0)?, null_bitmap.clone()),
+                    Some(b) => (scatter(values, b, needed, 0)?, null_bitmap.clone()),
                 };
+                values.resize(count, 0);
                 Ok(NativeBlock::I64 { ty, values, nulls })
             };
             match specialized {
                 EncodingType::DeltaValue => {
-                    let (tag, values) = delta_value::decode_native(r, non_null_count)?;
-                    finish_i64(int_ty(tag), values)
+                    let (tag, values) = delta_value::decode_native(r, non_null_needed)?;
+                    Ok((finish_i64(int_ty(tag), values)?, tail_skipped))
                 }
                 EncodingType::CommonDelta => {
-                    let (tag, values) = common_delta::decode_native(r, non_null_count)?;
-                    finish_i64(int_ty(tag), values)
+                    let (tag, values) = common_delta::decode_native(r, non_null_needed)?;
+                    Ok((finish_i64(int_ty(tag), values)?, tail_skipped))
                 }
-                EncodingType::DeltaRange => match delta_range::decode_native(r, non_null_count)? {
-                    delta_range::NativeRange::I64(tag, values) => finish_i64(int_ty(tag), values),
+                EncodingType::DeltaDelta => {
+                    let (tag, values) = delta_delta::decode_native(r, non_null_needed)?;
+                    Ok((finish_i64(int_ty(tag), values)?, tail_skipped))
+                }
+                EncodingType::ForBitPack => match (sel, &null_bitmap) {
+                    // Fixed stride + no nulls: slot index == row index, so
+                    // decode exactly the selected rows.
+                    (Some(s), None) => {
+                        let (tag, values) = for_bitpack::decode_native_selected(r, count, s)?;
+                        Ok((
+                            NativeBlock::I64 {
+                                ty: int_ty(tag),
+                                values,
+                                nulls: None,
+                            },
+                            (count - s.len()) as u64,
+                        ))
+                    }
+                    _ => {
+                        let (tag, values) = for_bitpack::decode_native(r, non_null_needed)?;
+                        Ok((finish_i64(int_ty(tag), values)?, tail_skipped))
+                    }
+                },
+                EncodingType::DeltaRange => match delta_range::decode_native(r, non_null_needed)? {
+                    delta_range::NativeRange::I64(tag, values) => {
+                        Ok((finish_i64(int_ty(tag), values)?, tail_skipped))
+                    }
                     delta_range::NativeRange::F64(values) => {
-                        let (values, nulls) = match &null_bitmap {
+                        let (mut values, nulls) = match &null_bitmap {
                             None => (values, None),
-                            Some(b) => (scatter(values, b, count, 0.0)?, null_bitmap.clone()),
+                            Some(b) => (scatter(values, b, needed, 0.0)?, null_bitmap.clone()),
                         };
-                        Ok(NativeBlock::F64 { values, nulls })
+                        values.resize(count, 0.0);
+                        Ok((NativeBlock::F64 { values, nulls }, tail_skipped))
                     }
                 },
                 EncodingType::BlockDict => {
-                    let (dict, codes) = block_dict::decode_native(r, non_null_count)?;
-                    let (codes, nulls) = match &null_bitmap {
+                    let (dict, codes) = block_dict::decode_native(r, non_null_needed)?;
+                    let (mut codes, nulls) = match &null_bitmap {
                         None => (codes, None),
-                        Some(b) => (scatter(codes, b, count, 0)?, null_bitmap.clone()),
+                        Some(b) => (scatter(codes, b, needed, 0)?, null_bitmap.clone()),
                     };
-                    native_from_dict(dict, codes, nulls)
+                    codes.resize(count, 0);
+                    Ok((native_from_dict(dict, codes, nulls)?, tail_skipped))
                 }
                 _ => unreachable!(),
             }

@@ -7,7 +7,7 @@
 //! fetches (tuple reconstruction "by fetching values with the same position
 //! from each column file").
 
-use crate::block::{decode_block_native, encode_block, DecodedBlock, NativeBlock};
+use crate::block::{decode_block_native_selected, encode_block, DecodedBlock, NativeBlock};
 use crate::position_index::{BlockMeta, PositionIndex};
 use crate::EncodingType;
 use vdb_types::codec::{Reader, Writer};
@@ -65,6 +65,7 @@ impl ColumnWriter {
         let byte_offset = self.data.len() as u64;
         let used = encode_block(&values, self.encoding, &mut self.data);
         let (min, max) = min_max_non_null(&values);
+        let null_count = values.iter().filter(|v| v.is_null()).count() as u32;
         self.index.blocks.push(BlockMeta {
             start_position: self.rows_written,
             count: values.len() as u32,
@@ -73,6 +74,7 @@ impl ColumnWriter {
             encoding: used,
             min,
             max,
+            null_count,
         });
         self.rows_written += values.len() as u64;
         self.pending = Vec::with_capacity(self.block_size);
@@ -133,6 +135,19 @@ impl<'a> ColumnReader<'a> {
     /// construction for specialized codecs) — the scan operator's typed
     /// vector fast path.
     pub fn read_block_native(&self, i: usize) -> DbResult<NativeBlock> {
+        Ok(self.read_block_native_selected(i, None)?.0)
+    }
+
+    /// Selection-pushdown decode of block `i`: only the rows listed in
+    /// `sel` (sorted indexes within the block) are guaranteed to be
+    /// materialized; positions outside the selection hold unspecified
+    /// padding. Returns the block plus the number of rows whose decode was
+    /// skipped.
+    pub fn read_block_native_selected(
+        &self,
+        i: usize,
+        sel: Option<&[u32]>,
+    ) -> DbResult<(NativeBlock, u64)> {
         let meta = self
             .index
             .blocks
@@ -143,7 +158,8 @@ impl<'a> ColumnReader<'a> {
         if end > self.data.len() {
             return Err(DbError::Corrupt("block extends past data file".into()));
         }
-        let block = decode_block_native(&mut Reader::new(&self.data[start..end]))?;
+        let (block, skipped) =
+            decode_block_native_selected(&mut Reader::new(&self.data[start..end]), sel)?;
         if block.len() != meta.count as usize {
             return Err(DbError::Corrupt(format!(
                 "block {i} decoded {} rows, index says {}",
@@ -151,7 +167,7 @@ impl<'a> ColumnReader<'a> {
                 meta.count
             )));
         }
-        Ok(block)
+        Ok((block, skipped))
     }
 
     /// Decode the whole column to values.

@@ -1,0 +1,288 @@
+//! Frame-of-reference + bit-packing for integer-based columns.
+//!
+//! Every value is stored as `value - block_min` in exactly `width` bits,
+//! where `width` is the fewest bits that hold the largest offset in the
+//! block. Unlike the varint-based Delta Value scheme (§3.4.1 type 3) the
+//! payload has *fixed stride*, so a selection can decode exactly the rows
+//! it needs — the random-access half of the selection-pushdown decode
+//! contract ([`decode_native_selected`]).
+
+use vdb_types::codec::{Reader, Writer};
+use vdb_types::{DbError, DbResult, Value};
+
+/// Type tag preserved so decode restores the original value variant.
+fn type_tag(values: &[Value]) -> Option<u8> {
+    let mut tag = None;
+    for v in values {
+        let t = match v {
+            Value::Integer(_) => 0u8,
+            Value::Timestamp(_) => 1,
+            Value::Boolean(_) => 2,
+            _ => return None,
+        };
+        match tag {
+            None => tag = Some(t),
+            Some(prev) if prev == t => {}
+            _ => return None,
+        }
+    }
+    tag.or(Some(0))
+}
+
+/// True when every value is integral of a single variant.
+pub fn applicable(values: &[Value]) -> bool {
+    type_tag(values).is_some()
+}
+
+/// Frame minimum and the bit width of the widest offset from it.
+fn frame_of(ints: &[i64]) -> (i64, u32) {
+    let min = ints.iter().copied().min().unwrap_or(0);
+    let max = ints.iter().copied().max().unwrap_or(0);
+    let range = max.wrapping_sub(min) as u64;
+    (min, 64 - range.leading_zeros())
+}
+
+fn uvarint_len(v: u64) -> usize {
+    (64 - v.leading_zeros()).max(1).div_ceil(7) as usize
+}
+
+/// Auto-picker gate: fixed-width packing must beat the Delta Value varint
+/// payload by ≥10% on the same block; uniform offsets near the width
+/// boundary win, skewed offsets with rare outliers lose (one outlier
+/// inflates every row's stride but only its own varint).
+pub fn profitable(values: &[Value]) -> bool {
+    if values.len() < 8 || type_tag(values).is_none() {
+        return false;
+    }
+    let ints: Vec<i64> = values.iter().map(|v| v.as_i64().unwrap()).collect();
+    let (min, width) = frame_of(&ints);
+    let packed = (ints.len() * width as usize).div_ceil(8) + 12;
+    let varint: usize = ints
+        .iter()
+        .map(|&v| uvarint_len(v.wrapping_sub(min) as u64))
+        .sum::<usize>()
+        + 12;
+    packed * 10 <= varint * 9
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+pub fn encode(values: &[Value], w: &mut Writer) -> DbResult<()> {
+    let tag = type_tag(values).ok_or_else(|| {
+        DbError::Execution("for-bitpack encoding requires a single integral type".into())
+    })?;
+    let ints: Vec<i64> = values.iter().map(|v| v.as_i64().unwrap()).collect();
+    let (min, width) = frame_of(&ints);
+    w.put_u8(tag);
+    w.put_ivarint(min);
+    w.put_u8(width as u8);
+    // Fixed-stride payload, LSB-first within and across bytes.
+    let mut packed = vec![0u8; (ints.len() * width as usize).div_ceil(8)];
+    for (i, &v) in ints.iter().enumerate() {
+        put_packed(&mut packed, i, width, v.wrapping_sub(min) as u64);
+    }
+    w.put_bytes(&packed);
+    Ok(())
+}
+
+fn put_packed(buf: &mut [u8], idx: usize, width: u32, v: u64) {
+    let mut bit = idx * width as usize;
+    let mut rest = v & mask(width);
+    let mut left = width;
+    while left > 0 {
+        let byte = bit / 8;
+        let shift = (bit % 8) as u32;
+        let take = (8 - shift).min(left);
+        buf[byte] |= ((rest & mask(take)) as u8) << shift;
+        rest >>= take;
+        bit += take as usize;
+        left -= take;
+    }
+}
+
+/// Read the fixed-stride slot `idx` of `width` bits from `buf`; the caller
+/// has validated `buf` holds `(idx + 1) * width` bits.
+fn get_packed(buf: &[u8], idx: usize, width: u32) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let bit = idx * width as usize;
+    let byte = bit / 8;
+    let shift = bit % 8;
+    let span = (shift + width as usize).div_ceil(8);
+    let mut window = 0u128;
+    for (k, &b) in buf[byte..byte + span].iter().enumerate() {
+        window |= u128::from(b) << (8 * k);
+    }
+    ((window >> shift) as u64) & mask(width)
+}
+
+/// Header + validated payload slice for `count` packed slots.
+fn read_header<'a>(r: &mut Reader<'a>, count: usize) -> DbResult<(u8, i64, u32, &'a [u8])> {
+    let tag = r.get_u8()?;
+    if tag > 2 {
+        return Err(DbError::Corrupt(format!("bad for-bitpack tag {tag}")));
+    }
+    let min = r.get_ivarint()?;
+    let width = u32::from(r.get_u8()?);
+    if width > 64 {
+        return Err(DbError::Corrupt(format!("bad for-bitpack width {width}")));
+    }
+    let packed = r.get_bytes()?;
+    if packed.len() * 8 < count * width as usize {
+        return Err(DbError::Corrupt("for-bitpack payload truncated".into()));
+    }
+    Ok((tag, min, width, packed))
+}
+
+/// Decode straight into a native `i64` buffer; the returned tag is
+/// 0=Integer, 1=Timestamp, 2=Boolean.
+pub fn decode_native(r: &mut Reader<'_>, count: usize) -> DbResult<(u8, Vec<i64>)> {
+    let (tag, min, width, packed) = read_header(r, count)?;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(min.wrapping_add(get_packed(packed, i, width) as i64));
+    }
+    Ok((tag, out))
+}
+
+/// Selection-pushdown decode: materialize only the slots listed in `sel`
+/// (sorted indexes into the block's value sequence) into a full-length
+/// buffer. Unselected slots hold the frame minimum as padding — per the
+/// selection-pushdown contract the caller never inspects them.
+pub fn decode_native_selected(
+    r: &mut Reader<'_>,
+    count: usize,
+    sel: &[u32],
+) -> DbResult<(u8, Vec<i64>)> {
+    let (tag, min, width, packed) = read_header(r, count)?;
+    let mut out = vec![min; count];
+    for &p in sel {
+        let p = p as usize;
+        if p >= count {
+            return Err(DbError::Corrupt("selection past block end".into()));
+        }
+        out[p] = min.wrapping_add(get_packed(packed, p, width) as i64);
+    }
+    Ok((tag, out))
+}
+
+pub fn decode(r: &mut Reader<'_>, count: usize) -> DbResult<Vec<Value>> {
+    let (tag, ints) = decode_native(r, count)?;
+    Ok(ints
+        .into_iter()
+        .map(|v| match tag {
+            0 => Value::Integer(v),
+            1 => Value::Timestamp(v),
+            _ => Value::Boolean(v != 0),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(vals: &[Value]) {
+        let mut w = Writer::new();
+        encode(vals, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(
+            decode(&mut Reader::new(&bytes), vals.len()).unwrap(),
+            vals,
+            "{} values",
+            vals.len()
+        );
+    }
+
+    #[test]
+    fn round_trip_various_widths() {
+        round_trip(&[]);
+        round_trip(&[Value::Integer(42)]);
+        round_trip(
+            &(0..300)
+                .map(|i| Value::Integer(i * 3 % 101))
+                .collect::<Vec<_>>(),
+        );
+        round_trip(&[Value::Integer(i64::MIN), Value::Integer(i64::MAX)]);
+        round_trip(&(0..50).map(|_| Value::Integer(7)).collect::<Vec<_>>());
+        round_trip(&[Value::Timestamp(1_000_000), Value::Timestamp(999_983)]);
+        round_trip(&[Value::Boolean(true), Value::Boolean(false)]);
+    }
+
+    #[test]
+    fn selected_decode_matches_full_decode_on_selected_slots() {
+        let vals: Vec<Value> = (0..500)
+            .map(|i| Value::Integer(1_000_000 + (i * 7919) % 4096))
+            .collect();
+        let mut w = Writer::new();
+        encode(&vals, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let (_, full) = decode_native(&mut Reader::new(&bytes), 500).unwrap();
+        let sel: Vec<u32> = (0..500).step_by(13).map(|i| i as u32).collect();
+        let (_, picked) = decode_native_selected(&mut Reader::new(&bytes), 500, &sel).unwrap();
+        for &p in &sel {
+            assert_eq!(picked[p as usize], full[p as usize], "slot {p}");
+        }
+    }
+
+    #[test]
+    fn clustered_values_beat_plain() {
+        let base = 1_000_000_000_000i64;
+        let vals: Vec<Value> = (0..1000)
+            .map(|i| Value::Integer(base + (i * 37) % 10_000))
+            .collect();
+        let mut fw = Writer::new();
+        encode(&vals, &mut fw).unwrap();
+        let mut pw = Writer::new();
+        crate::plain::encode(&vals, &mut pw);
+        assert!(
+            fw.len() * 2 < pw.len(),
+            "for-bitpack {} vs plain {}",
+            fw.len(),
+            pw.len()
+        );
+    }
+
+    #[test]
+    fn profitability_prefers_uniform_offsets_over_outliers() {
+        // Uniform 20-bit offsets: fixed width beats varints.
+        let mut x = 17u64;
+        let uniform: Vec<Value> = (0..1000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                Value::Integer((x % 1_000_000) as i64)
+            })
+            .collect();
+        assert!(profitable(&uniform));
+        // Tiny offsets with rare huge outliers: the outlier widens every
+        // row's stride, varints only its own.
+        let skewed: Vec<Value> = (0..1000)
+            .map(|i| {
+                if i % 97 == 0 {
+                    Value::Integer(1_000_000_000_000)
+                } else {
+                    Value::Integer(i % 100)
+                }
+            })
+            .collect();
+        assert!(!profitable(&skewed));
+    }
+
+    #[test]
+    fn rejects_floats_and_mixed() {
+        assert!(!applicable(&[Value::Float(1.0)]));
+        assert!(!applicable(&[Value::Integer(1), Value::Timestamp(2)]));
+        assert!(!applicable(&[Value::Integer(1), Value::Null]));
+        let mut w = Writer::new();
+        assert!(encode(&[Value::Varchar("x".into())], &mut w).is_err());
+    }
+}

@@ -30,14 +30,19 @@ pub mod block;
 pub mod block_dict;
 pub mod column;
 pub mod common_delta;
+pub mod delta_delta;
 pub mod delta_range;
 pub mod delta_value;
+pub mod for_bitpack;
 pub mod plain;
 pub mod position_index;
 pub mod rle;
 
 pub use auto::choose_encoding;
-pub use block::{decode_block, decode_block_native, encode_block, DecodedBlock, NativeBlock};
+pub use block::{
+    decode_block, decode_block_native, decode_block_native_selected, encode_block, DecodedBlock,
+    NativeBlock,
+};
 pub use column::{ColumnReader, ColumnWriter, BLOCK_SIZE};
 pub use position_index::{BlockMeta, PositionIndex};
 
@@ -56,6 +61,10 @@ pub enum EncodingType {
     BlockDict,
     DeltaRange,
     CommonDelta,
+    /// Frame-of-reference + fixed-width bit-packing for integers.
+    ForBitPack,
+    /// Delta-of-delta with variable-width buckets for timestamp-like data.
+    DeltaDelta,
 }
 
 impl EncodingType {
@@ -68,6 +77,8 @@ impl EncodingType {
             EncodingType::BlockDict => 4,
             EncodingType::DeltaRange => 5,
             EncodingType::CommonDelta => 6,
+            EncodingType::ForBitPack => 7,
+            EncodingType::DeltaDelta => 8,
         }
     }
 
@@ -80,19 +91,23 @@ impl EncodingType {
             4 => EncodingType::BlockDict,
             5 => EncodingType::DeltaRange,
             6 => EncodingType::CommonDelta,
+            7 => EncodingType::ForBitPack,
+            8 => EncodingType::DeltaDelta,
             t => return Err(DbError::Corrupt(format!("unknown encoding tag {t}"))),
         })
     }
 
     /// All concrete (non-Auto) encodings, in trial order for the Database
     /// Designer's empirical storage-optimization phase (§6.3).
-    pub const CONCRETE: [EncodingType; 6] = [
+    pub const CONCRETE: [EncodingType; 8] = [
         EncodingType::Plain,
         EncodingType::Rle,
         EncodingType::DeltaValue,
         EncodingType::BlockDict,
         EncodingType::DeltaRange,
         EncodingType::CommonDelta,
+        EncodingType::ForBitPack,
+        EncodingType::DeltaDelta,
     ];
 
     pub fn name(self) -> &'static str {
@@ -104,6 +119,8 @@ impl EncodingType {
             EncodingType::BlockDict => "BLOCKDICT",
             EncodingType::DeltaRange => "DELTARANGE",
             EncodingType::CommonDelta => "COMMONDELTA",
+            EncodingType::ForBitPack => "FORBITPACK",
+            EncodingType::DeltaDelta => "DELTADELTA",
         }
     }
 
@@ -116,6 +133,8 @@ impl EncodingType {
             "BLOCKDICT" | "BLOCK_DICT" => EncodingType::BlockDict,
             "DELTARANGE" | "DELTA_RANGE" => EncodingType::DeltaRange,
             "COMMONDELTA" | "COMMON_DELTA" => EncodingType::CommonDelta,
+            "FORBITPACK" | "FOR_BITPACK" => EncodingType::ForBitPack,
+            "DELTADELTA" | "DELTA_DELTA" => EncodingType::DeltaDelta,
             _ => return None,
         })
     }

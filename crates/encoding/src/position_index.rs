@@ -32,6 +32,9 @@ pub struct BlockMeta {
     pub min: Value,
     /// Maximum value in the block (NULLs excluded; Null if all-null).
     pub max: Value,
+    /// Number of NULL rows in the block, so IS NULL / IS NOT NULL
+    /// predicates can prune whole blocks without decoding them.
+    pub null_count: u32,
 }
 
 impl BlockMeta {
@@ -53,6 +56,16 @@ impl BlockMeta {
             }
         }
         true
+    }
+
+    /// Can any row of this block satisfy `IS NULL`?
+    pub fn might_contain_null(&self) -> bool {
+        self.null_count > 0
+    }
+
+    /// Can any row of this block satisfy `IS NOT NULL`?
+    pub fn might_contain_non_null(&self) -> bool {
+        self.null_count < self.count
     }
 }
 
@@ -111,6 +124,7 @@ impl PositionIndex {
             w.put_u8(b.encoding.tag());
             w.put_value(&b.min);
             w.put_value(&b.max);
+            w.put_uvarint(u64::from(b.null_count));
         }
         w.into_bytes()
     }
@@ -128,6 +142,7 @@ impl PositionIndex {
                 encoding: EncodingType::from_tag(r.get_u8()?)?,
                 min: r.get_value()?,
                 max: r.get_value()?,
+                null_count: r.get_uvarint()? as u32,
             });
         }
         if !r.is_empty() {
@@ -150,6 +165,7 @@ mod tests {
             encoding: EncodingType::Plain,
             min: Value::Integer(min),
             max: Value::Integer(max),
+            null_count: 0,
         }
     }
 
@@ -185,9 +201,25 @@ mod tests {
         let b = BlockMeta {
             min: Value::Null,
             max: Value::Null,
+            null_count: 10,
             ..meta(0, 10, 0, 0)
         };
         assert!(!b.might_contain_range(None, None));
+        assert!(b.might_contain_null());
+        assert!(!b.might_contain_non_null());
+    }
+
+    #[test]
+    fn null_count_pruning() {
+        let b = meta(0, 100, 1, 9);
+        assert!(!b.might_contain_null());
+        assert!(b.might_contain_non_null());
+        let mixed = BlockMeta {
+            null_count: 40,
+            ..meta(0, 100, 1, 9)
+        };
+        assert!(mixed.might_contain_null());
+        assert!(mixed.might_contain_non_null());
     }
 
     #[test]

@@ -40,7 +40,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn every_encoding_round_trips(values in arb_column(), enc_idx in 0usize..6) {
+    fn every_encoding_round_trips(values in arb_column(), enc_idx in 0usize..8) {
         let enc = EncodingType::CONCRETE[enc_idx];
         let mut w = Writer::new();
         vdb_encoding::encode_block(&values, enc, &mut w);
@@ -91,7 +91,7 @@ proptest! {
     }
 
     #[test]
-    fn native_decode_agrees_with_value_decode(values in arb_column(), enc_idx in 0usize..6) {
+    fn native_decode_agrees_with_value_decode(values in arb_column(), enc_idx in 0usize..8) {
         let enc = EncodingType::CONCRETE[enc_idx];
         let mut w = Writer::new();
         vdb_encoding::encode_block(&values, enc, &mut w);
@@ -104,7 +104,7 @@ proptest! {
     #[test]
     fn integer_codecs_decode_to_native_buffers(
         ints in prop::collection::vec((-10_000i64..10_000).prop_map(Value::Integer), 1..500),
-        enc_idx in 0usize..3,
+        enc_idx in 0usize..5,
     ) {
         // Delta-family codecs over pure integer blocks must land in native
         // i64 buffers (no per-row Value) — the scan's typed fast path.
@@ -112,6 +112,8 @@ proptest! {
             EncodingType::DeltaValue,
             EncodingType::DeltaRange,
             EncodingType::CommonDelta,
+            EncodingType::ForBitPack,
+            EncodingType::DeltaDelta,
         ][enc_idx];
         let mut w = Writer::new();
         let used = vdb_encoding::encode_block(&ints, enc, &mut w);
@@ -132,5 +134,71 @@ proptest! {
     fn compressor_round_trips_bytes(data in prop::collection::vec(any::<u8>(), 0..4000)) {
         let c = vdb_compress::compress(&data);
         prop_assert_eq!(vdb_compress::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn selected_decode_agrees_with_full_decode(
+        values in arb_column(),
+        enc_idx in 0usize..8,
+        stride in 1usize..7,
+        offset in 0usize..7,
+    ) {
+        // Selection-pushdown contract: every *selected* position must match
+        // the full decode; unselected positions are unspecified padding.
+        let enc = EncodingType::CONCRETE[enc_idx];
+        let mut w = Writer::new();
+        vdb_encoding::encode_block(&values, enc, &mut w);
+        let bytes = w.into_bytes();
+        let full = vdb_encoding::decode_block_native(&mut Reader::new(&bytes))
+            .unwrap()
+            .into_decoded()
+            .into_values();
+        let sel: Vec<u32> = (offset..values.len()).step_by(stride).map(|i| i as u32).collect();
+        let (native, skipped) =
+            vdb_encoding::decode_block_native_selected(&mut Reader::new(&bytes), Some(&sel))
+                .unwrap();
+        prop_assert_eq!(native.len(), values.len());
+        prop_assert!(skipped as usize <= values.len());
+        let picked = native.into_decoded().into_values();
+        for &p in &sel {
+            prop_assert_eq!(&picked[p as usize], &full[p as usize], "position {}", p);
+        }
+    }
+
+    #[test]
+    fn new_codecs_round_trip_integral_blocks_with_nulls(
+        raw in prop::collection::vec(
+            prop_oneof![Just(Value::Null), (-5_000_000i64..5_000_000).prop_map(Value::Integer)],
+            0..500
+        ),
+        enc_idx in 0usize..2,
+    ) {
+        // FOR/bit-pack and delta-of-delta must round-trip ≡ plain decode
+        // over NULL-bearing integer blocks (NULLs ride the block bitmap).
+        let enc = [EncodingType::ForBitPack, EncodingType::DeltaDelta][enc_idx];
+        let mut w = Writer::new();
+        let used = vdb_encoding::encode_block(&raw, enc, &mut w);
+        prop_assert_eq!(used, enc);
+        let bytes = w.into_bytes();
+        let mut pw = Writer::new();
+        vdb_encoding::encode_block(&raw, EncodingType::Plain, &mut pw);
+        let pbytes = pw.into_bytes();
+        let decoded = vdb_encoding::decode_block(&mut Reader::new(&bytes)).unwrap().into_values();
+        let plain = vdb_encoding::decode_block(&mut Reader::new(&pbytes)).unwrap().into_values();
+        prop_assert_eq!(decoded, plain);
+    }
+
+    #[test]
+    fn trial_winner_never_loses_to_plain(values in arb_column()) {
+        // The Database Designer's empirical pick must never choose a codec
+        // that loses to Plain on its own trial size.
+        let (winner, sizes) = vdb_encoding::auto::choose_by_trial(&values);
+        let winner_size = sizes.iter().find(|(e, _)| *e == winner).unwrap().1;
+        let plain_size = sizes
+            .iter()
+            .find(|(e, _)| *e == EncodingType::Plain)
+            .unwrap()
+            .1;
+        prop_assert!(winner_size <= plain_size);
     }
 }

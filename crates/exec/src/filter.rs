@@ -304,7 +304,12 @@ pub(crate) fn retain_by_run(
         .collect()
 }
 
-fn filter_cmp(col: &ColumnSlice, op: BinOp, lit: &Value, cands: Vec<u32>) -> Option<Vec<u32>> {
+pub(crate) fn filter_cmp(
+    col: &ColumnSlice,
+    op: BinOp,
+    lit: &Value,
+    cands: Vec<u32>,
+) -> Option<Vec<u32>> {
     if lit.is_null() {
         // `x ⟨cmp⟩ NULL` is NULL — never true.
         return Some(Vec::new());

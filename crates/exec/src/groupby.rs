@@ -268,6 +268,98 @@ impl HashGroupByOp {
                 .collect();
             let single_key = self.group_columns.len() == 1;
             let key_col = self.group_columns[0];
+            // Compressed-domain fast paths for single-column keys: the hot
+            // loop never constructs (or hashes) a key `Value` per row.
+            if single_key {
+                match &batch.columns[key_col] {
+                    // Dictionary-coded keys aggregate per *code* into a
+                    // code-indexed local table; each distinct key's string
+                    // is materialized once per batch at merge time.
+                    ColumnSlice::Typed(tv) => {
+                        if let VectorData::Dict { dict, codes } = tv.data() {
+                            let mut local: Vec<Option<Vec<AggState>>> =
+                                (0..dict.len()).map(|_| None).collect();
+                            let mut null_partial: Option<Vec<AggState>> = None;
+                            for li in 0..batch.len() {
+                                let pi = batch.physical_index(li);
+                                let slot = if tv.is_valid(pi) {
+                                    &mut local[codes[pi] as usize]
+                                } else {
+                                    &mut null_partial
+                                };
+                                let states = slot.get_or_insert_with(|| {
+                                    self.aggs.iter().map(|a| AggState::new(a.func)).collect()
+                                });
+                                for (acc, s) in accessors.iter().zip(states.iter_mut()) {
+                                    acc.update(s, pi)?;
+                                }
+                            }
+                            let merged = local
+                                .into_iter()
+                                .enumerate()
+                                .filter_map(|(code, p)| {
+                                    p.map(|p| {
+                                        (Value::Varchar(dict.get(code as u32).to_string()), p)
+                                    })
+                                })
+                                .chain(null_partial.map(|p| (Value::Null, p)));
+                            for (key, partial) in merged {
+                                let mut new_group = false;
+                                let states = table.state_for_one(key, Vec::new, &mut new_group);
+                                if new_group {
+                                    *states = partial;
+                                    approx += per_group + 16;
+                                } else {
+                                    for (e, s) in states.iter_mut().zip(partial) {
+                                        e.merge(s)?;
+                                    }
+                                }
+                                if self.budget.exceeded_by(approx) {
+                                    self.spill_table(&mut table)?;
+                                    approx = 0;
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                    // RLE keys probe the table once per *run*, not per row.
+                    ColumnSlice::Rle(rv) => {
+                        let filtered;
+                        let runs = match batch.selection() {
+                            None => rv.runs(),
+                            Some(sel) => {
+                                filtered = rv.filter(sel);
+                                filtered.runs()
+                            }
+                        };
+                        let mut li = 0usize;
+                        for (v, n) in runs {
+                            let mut new_group = false;
+                            let states = table.state_for_one(
+                                v.clone(),
+                                || self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                                &mut new_group,
+                            );
+                            if new_group {
+                                approx += per_group + 16;
+                            }
+                            for _ in 0..*n {
+                                let pi = batch.physical_index(li);
+                                li += 1;
+                                for (acc, s) in accessors.iter().zip(states.iter_mut()) {
+                                    acc.update(s, pi)?;
+                                }
+                            }
+                            if self.budget.exceeded_by(approx) {
+                                self.spill_table(&mut table)?;
+                                approx = 0;
+                            }
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
             for li in 0..batch.len() {
                 let pi = batch.physical_index(li);
                 let mut new_group = false;
@@ -1193,6 +1285,101 @@ mod tests {
         let out = collect_rows(&mut prepass).unwrap();
         assert!(prepass.is_disabled(), "adaptive shutoff should trigger");
         assert_eq!(out.len(), 20_000);
+    }
+
+    #[test]
+    fn dict_coded_keys_match_plain_keys() {
+        // Dictionary-coded group keys (with NULLs and a selection) must
+        // produce exactly the groups the plain value path produces.
+        let n = 4000usize;
+        let keys: Vec<Value> = (0..n)
+            .map(|i| {
+                if i % 17 == 0 {
+                    Value::Null
+                } else {
+                    Value::Varchar(format!("k{}", i % 7))
+                }
+            })
+            .collect();
+        let vals: Vec<Value> = (0..n).map(|i| Value::Integer(i as i64)).collect();
+        let aggs = vec![
+            AggCall::new(AggFunc::CountStar, 0, "cnt"),
+            AggCall::new(AggFunc::Sum, 1, "sum"),
+            AggCall::new(AggFunc::Min, 1, "min"),
+        ];
+        let sel = SelectionVector::new((0..n as u32).filter(|i| i % 3 != 0).collect());
+        let dict_batch = Batch::new(vec![
+            ColumnSlice::Typed(TypedVector::from_values(&keys).unwrap()),
+            ColumnSlice::Typed(TypedVector::from_values(&vals).unwrap()),
+        ])
+        .with_selection(sel.clone());
+        assert!(matches!(
+            &dict_batch.columns[0],
+            ColumnSlice::Typed(tv) if matches!(tv.data(), VectorData::Dict { .. })
+        ));
+        let plain_batch = Batch::new(vec![ColumnSlice::Plain(keys), ColumnSlice::Plain(vals)])
+            .with_selection(sel);
+        let mut fast = HashGroupByOp::new(
+            Box::new(ValuesOp::new(vec![dict_batch])),
+            vec![0],
+            aggs.clone(),
+            MemoryBudget::unlimited(),
+        );
+        let mut reference = HashGroupByOp::new(
+            Box::new(ValuesOp::new(vec![plain_batch])),
+            vec![0],
+            aggs,
+            MemoryBudget::unlimited(),
+        );
+        assert_eq!(
+            collect_rows(&mut fast).unwrap(),
+            collect_rows(&mut reference).unwrap()
+        );
+    }
+
+    #[test]
+    fn rle_keys_match_plain_keys_in_hash_groupby() {
+        let runs = vec![
+            (Value::Integer(1), 1000u32),
+            (Value::Integer(2), 500),
+            (Value::Integer(1), 250),
+            (Value::Null, 10),
+        ];
+        let expanded: Vec<Value> = runs
+            .iter()
+            .flat_map(|(v, n)| std::iter::repeat_n(v.clone(), *n as usize))
+            .collect();
+        let vals: Vec<Value> = (0..expanded.len())
+            .map(|i| Value::Integer(i as i64))
+            .collect();
+        let aggs = vec![
+            AggCall::new(AggFunc::CountStar, 0, "cnt"),
+            AggCall::new(AggFunc::Sum, 1, "sum"),
+        ];
+        let rle_batch = Batch::new(vec![
+            ColumnSlice::rle(runs),
+            ColumnSlice::Typed(TypedVector::from_values(&vals).unwrap()),
+        ]);
+        let plain_batch = Batch::new(vec![
+            ColumnSlice::Plain(expanded),
+            ColumnSlice::Typed(TypedVector::from_values(&vals).unwrap()),
+        ]);
+        let mut fast = HashGroupByOp::new(
+            Box::new(ValuesOp::new(vec![rle_batch])),
+            vec![0],
+            aggs.clone(),
+            MemoryBudget::unlimited(),
+        );
+        let mut reference = HashGroupByOp::new(
+            Box::new(ValuesOp::new(vec![plain_batch])),
+            vec![0],
+            aggs,
+            MemoryBudget::unlimited(),
+        );
+        assert_eq!(
+            collect_rows(&mut fast).unwrap(),
+            collect_rows(&mut reference).unwrap()
+        );
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! projection-sort-order fast path the optimizer prefers for co-sorted
 //! projections).
 
-use crate::batch::{Batch, BATCH_SIZE};
+use crate::batch::{Batch, ColumnSlice, BATCH_SIZE};
 use crate::memory::MemoryBudget;
 use crate::operator::{BoxedOperator, Operator, ValuesOp};
 use crate::sip::SipFilter;
 use crate::sort::SortOp;
+use crate::vector::{TypedVector, VectorData};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use vdb_types::schema::SortKey;
@@ -284,14 +285,20 @@ impl HashJoinOp {
     fn probe_batch(&mut self, batch: Batch) -> DbResult<()> {
         self.left_arity = batch.arity();
         let n = batch.len();
+        // Dictionary-coded probe keys test the build table once per
+        // *distinct* value; the per-row loop then indexes the memoized
+        // verdict by code and never hashes a code with no build match.
+        let prep = ProbeKeys::new(&self.table, &self.left_keys, &batch);
         if matches!(self.join_type, JoinType::Semi | JoinType::Anti) {
             let semi = self.join_type == JoinType::Semi;
             let mut mask = Vec::with_capacity(n);
             let mut any = false;
             for li in 0..n {
                 let pi = batch.physical_index(li);
-                let keep =
-                    probe_hit(&mut self.table, &self.left_keys, &batch, pi).is_some() == semi;
+                let keep = prep
+                    .hit(&mut self.table, &self.left_keys, &batch, pi)
+                    .is_some()
+                    == semi;
                 any |= keep;
                 mask.push(keep);
             }
@@ -308,7 +315,7 @@ impl HashJoinOp {
             let pi = batch.physical_index(li);
             match (
                 self.join_type,
-                probe_hit(&mut self.table, &self.left_keys, &batch, pi),
+                prep.hit(&mut self.table, &self.left_keys, &batch, pi),
             ) {
                 (_, Some((matches, matched))) => {
                     if matches!(self.join_type, JoinType::RightOuter | JoinType::FullOuter) {
@@ -336,6 +343,63 @@ impl HashJoinOp {
             self.right_arity,
         ));
         Ok(())
+    }
+}
+
+/// Per-batch probe-key preparation: dictionary-coded single-column keys
+/// materialize each distinct value once and remember whether the build
+/// table contains it, so the per-row probe is a code-indexed lookup (no
+/// `Value` construction, and no hash at all for non-matching codes).
+enum ProbeKeys<'a> {
+    DictOne {
+        tv: &'a TypedVector,
+        codes: &'a [u32],
+        /// Indexed by dict code; `Some` only when the build table has it.
+        keys: Vec<Option<Value>>,
+    },
+    Generic,
+}
+
+impl<'a> ProbeKeys<'a> {
+    fn new(table: &BuildTable, keys: &[usize], batch: &'a Batch) -> ProbeKeys<'a> {
+        if let ([c], BuildTable::One(m)) = (keys, table) {
+            if let ColumnSlice::Typed(tv) = &batch.columns[*c] {
+                if let VectorData::Dict { dict, codes } = tv.data() {
+                    let keys = dict
+                        .entries()
+                        .iter()
+                        .map(|s| {
+                            let v = Value::Varchar(s.clone());
+                            m.contains_key(&v).then_some(v)
+                        })
+                        .collect();
+                    return ProbeKeys::DictOne { tv, codes, keys };
+                }
+            }
+        }
+        ProbeKeys::Generic
+    }
+
+    /// Build-table hit for the probe row at physical index `pi`.
+    fn hit<'t>(
+        &self,
+        table: &'t mut BuildTable,
+        key_cols: &[usize],
+        batch: &Batch,
+        pi: usize,
+    ) -> Option<&'t mut (Vec<Row>, bool)> {
+        match self {
+            ProbeKeys::DictOne { tv, codes, keys } => {
+                if !tv.is_valid(pi) {
+                    return None; // NULL keys never match
+                }
+                match &keys[codes[pi] as usize] {
+                    Some(v) => table.probe_one_mut(v),
+                    None => None,
+                }
+            }
+            ProbeKeys::Generic => probe_hit(table, key_cols, batch, pi),
+        }
     }
 }
 
@@ -731,6 +795,73 @@ mod tests {
         let mut rows = collect_rows(&mut op).unwrap();
         rows.sort();
         rows
+    }
+
+    #[test]
+    fn dict_coded_probe_matches_plain_probe() {
+        // Dictionary-coded probe keys (with NULLs and a selection) must
+        // join identically to the same keys as plain values, across every
+        // flavor the probe loop serves.
+        use crate::vector::SelectionVector;
+        let n = 2000usize;
+        let keys: Vec<Value> = (0..n)
+            .map(|i| {
+                if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Varchar(format!("k{}", i % 11))
+                }
+            })
+            .collect();
+        let payload: Vec<Value> = (0..n).map(|i| Value::Integer(i as i64)).collect();
+        let sel = SelectionVector::new((0..n as u32).filter(|i| i % 2 == 0).collect());
+        let build_rows: Vec<Row> = (0..5)
+            .map(|i| vec![Value::Varchar(format!("k{i}")), Value::Integer(i)])
+            .collect();
+        for jt in [
+            JoinType::Inner,
+            JoinType::LeftOuter,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            let dict_batch = Batch::new(vec![
+                ColumnSlice::Typed(TypedVector::from_values(&keys).unwrap()),
+                ColumnSlice::Typed(TypedVector::from_values(&payload).unwrap()),
+            ])
+            .with_selection(sel.clone());
+            assert!(matches!(
+                &dict_batch.columns[0],
+                ColumnSlice::Typed(tv) if matches!(tv.data(), VectorData::Dict { .. })
+            ));
+            let plain_batch = Batch::new(vec![
+                ColumnSlice::Plain(keys.clone()),
+                ColumnSlice::Plain(payload.clone()),
+            ])
+            .with_selection(sel.clone());
+            let mut fast = HashJoinOp::new(
+                Box::new(ValuesOp::new(vec![dict_batch])),
+                Box::new(ValuesOp::from_rows(build_rows.clone())),
+                vec![0],
+                vec![0],
+                jt,
+                MemoryBudget::unlimited(),
+                None,
+            );
+            let mut reference = HashJoinOp::new(
+                Box::new(ValuesOp::new(vec![plain_batch])),
+                Box::new(ValuesOp::from_rows(build_rows.clone())),
+                vec![0],
+                vec![0],
+                jt,
+                MemoryBudget::unlimited(),
+                None,
+            );
+            let mut f = collect_rows(&mut fast).unwrap();
+            let mut r = collect_rows(&mut reference).unwrap();
+            f.sort();
+            r.sort();
+            assert_eq!(f, r, "join type {jt:?}");
+        }
     }
 
     #[test]

@@ -225,6 +225,30 @@ impl ParallelHashJoinOp {
         self.build_threads_used = build_threads;
         self.probe_threads_used = probe_threads;
 
+        // Degenerate DoP 1 on both sides: hash-partitioning, the merge
+        // barrier, and materialized probe output buy nothing without
+        // parallelism — they only add copies over the serial operator.
+        // Delegate to the serial hash join over the same morsels (identical
+        // output order, streaming probe, same SIP publication point). This
+        // is a plan-shape decision, not an overflow, so `switched_to_serial`
+        // stays false.
+        if build_threads <= 1 && probe_threads <= 1 {
+            let t = Instant::now();
+            let left = serial_scan_over(&spec.probe, spec.probe_morsels, &self.probe_stats);
+            let right = serial_scan_over(&spec.build, spec.build_morsels, &self.build_stats);
+            self.fallback = Some(Box::new(HashJoinOp::new(
+                Box::new(left),
+                Box::new(right),
+                spec.left_keys,
+                spec.right_keys,
+                spec.join_type,
+                budget,
+                spec.sip,
+            )));
+            self.build_ms = t.elapsed().as_secs_f64() * 1000.0;
+            return Ok(());
+        }
+
         // ---- Phase 1: partitioned parallel build --------------------------
         let t = Instant::now();
         let queue = Arc::new(MorselQueue::new(spec.build_morsels.clone()));
@@ -964,6 +988,28 @@ mod tests {
         assert_eq!(op.threads_used(), (2, 2));
         let (build_ms, probe_ms) = op.phase_ms();
         assert!(build_ms >= 0.0 && probe_ms >= 0.0);
+    }
+
+    #[test]
+    fn single_lane_delegates_to_serial_inline() {
+        let probe = make_store("probe", 1500, 3, 17, true);
+        let build = make_store("build", 90, 2, 17, true);
+        for jt in [
+            JoinType::Inner,
+            JoinType::LeftOuter,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            let expected = serial_join(&probe, &build, jt, MemoryBudget::unlimited());
+            let mut op = parallel_join_op(&probe, &build, jt, 1, None);
+            let got = collect_rows(&mut op).unwrap();
+            assert_eq!(got, expected, "flavor {}", jt.name());
+            assert_eq!(op.threads_used(), (1, 1));
+            assert!(
+                !op.switched_to_serial(),
+                "DoP-1 delegation is a plan shape, not a budget overflow"
+            );
+        }
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct ScanStats {
     pub rows_scanned: u64,
     pub rows_after_predicate: u64,
     pub rows_sip_filtered: u64,
+    /// Row-decodes skipped by selection-pushdown decode, summed across
+    /// columns: visibility masks and sorted-column bounds restrict what
+    /// gets *decoded*, not just which blocks are read.
+    pub rows_decode_skipped: u64,
 }
 
 /// Inclusive bounds extracted from predicate conjuncts, used for SMA
@@ -130,6 +134,51 @@ pub fn extract_bounds(pred: &Expr) -> Vec<ColumnBounds> {
     out
 }
 
+/// Refine candidate positions with a bounded column's decoded values:
+/// exact per-row application of `low ≤ col ≤ high` (typed columns compare
+/// natively, RLE once per run). The bounds are necessary conditions of the
+/// scan predicate, so dropping failures early is sound; an unsupported
+/// column/literal pairing leaves the candidates untouched.
+fn refine_by_bounds(col: &ColumnSlice, b: &ColumnBounds, mut cands: Vec<u32>) -> Vec<u32> {
+    if let Some(lo) = &b.low {
+        if let Some(kept) = crate::filter::filter_cmp(col, BinOp::Ge, lo, cands.clone()) {
+            cands = kept;
+        }
+    }
+    if let Some(hi) = &b.high {
+        if let Some(kept) = crate::filter::filter_cmp(col, BinOp::Le, hi, cands.clone()) {
+            cands = kept;
+        }
+    }
+    cands
+}
+
+/// A `col IS [NOT] NULL` conjunct, used for null-count pruning: the block
+/// metadata's null count tells whether any row can satisfy the test
+/// without decoding the block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NullTest {
+    pub column: usize,
+    pub negated: bool,
+}
+
+/// Extract `col IS [NOT] NULL` conjuncts from `pred` (column indexes are
+/// in the predicate's own frame).
+pub fn extract_null_tests(pred: &Expr) -> Vec<NullTest> {
+    let mut out = Vec::new();
+    for conj in pred.clone().split_conjuncts() {
+        if let Expr::IsNull { input, negated } = &conj {
+            if let Expr::Column { index, .. } = input.as_ref() {
+                out.push(NullTest {
+                    column: *index,
+                    negated: *negated,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// The Scan operator over one projection's snapshot on one node.
 pub struct ScanOperator {
     /// Default backend (containers carry their own, so cross-node container
@@ -144,6 +193,8 @@ pub struct ScanOperator {
     predicate: Option<Expr>,
     /// Bounds for pruning, with `column` = output column index.
     bounds: Vec<ColumnBounds>,
+    /// `IS [NOT] NULL` conjuncts for null-count pruning, same frame.
+    null_tests: Vec<NullTest>,
     /// Predicate over the 1-column row `[partition_key]`.
     partition_predicate: Option<Expr>,
     sip: Vec<SipBinding>,
@@ -201,6 +252,10 @@ impl ScanOperator {
         stats: Arc<Mutex<ScanStats>>,
     ) -> ScanOperator {
         let bounds = predicate.as_ref().map(extract_bounds).unwrap_or_default();
+        let null_tests = predicate
+            .as_ref()
+            .map(extract_null_tests)
+            .unwrap_or_default();
         stats.lock().containers_total += containers.len();
         ScanOperator {
             backend,
@@ -208,6 +263,7 @@ impl ScanOperator {
             output_columns,
             predicate,
             bounds,
+            null_tests,
             partition_predicate,
             sip,
             wos_rows: Some(wos_rows),
@@ -242,6 +298,24 @@ impl ScanOperator {
                     if b.low.as_ref().is_some_and(|lo| &max < lo)
                         || b.high.as_ref().is_some_and(|hi| &min > hi)
                     {
+                        pruned = true;
+                        break;
+                    }
+                }
+            }
+            // 2b. Null-count pruning: an `IS [NOT] NULL` conjunct no block
+            // can satisfy prunes the whole container.
+            if !pruned {
+                for t in &self.null_tests {
+                    let proj_col = self.output_columns[t.column];
+                    let possible = sc.container.indexes[proj_col].blocks.iter().any(|b| {
+                        if t.negated {
+                            b.might_contain_non_null()
+                        } else {
+                            b.might_contain_null()
+                        }
+                    });
+                    if !possible {
                         pruned = true;
                         break;
                     }
@@ -296,7 +370,7 @@ impl ScanOperator {
             }
             let bi = cur.next_block;
             cur.next_block += 1;
-            // 3. Block-level pruning on bounded columns.
+            // 3. Block-level pruning on bounded columns and null tests.
             let mut skip = false;
             for b in &self.bounds {
                 let meta = &cur.columns[b.column].1.blocks[bi];
@@ -305,32 +379,99 @@ impl ScanOperator {
                     break;
                 }
             }
+            for t in &self.null_tests {
+                if skip {
+                    break;
+                }
+                let meta = &cur.columns[t.column].1.blocks[bi];
+                skip = if t.negated {
+                    !meta.might_contain_non_null()
+                } else {
+                    !meta.might_contain_null()
+                };
+            }
             if skip {
                 self.stats.lock().blocks_pruned += 1;
                 continue;
             }
-            // Decode the block for every output column — straight into
-            // typed vectors (native buffers) or RLE vectors; no per-row
-            // `Value` construction for specialized encodings.
             let meta0 = &cur.columns[0].1.blocks[bi];
             let block_start = meta0.start_position;
             let block_rows = meta0.count as usize;
-            let mut slices = Vec::with_capacity(cur.columns.len());
-            for (bytes, index) in &cur.columns {
-                let reader = ColumnReader::new(bytes, index);
-                slices.push(ColumnSlice::from_native(reader.read_block_native(bi)?));
-            }
-            self.stats.lock().rows_scanned += block_rows as u64;
-            let mut batch = Batch::new(slices);
             // Visibility (epoch + delete vector) becomes a selection
-            // vector: invisible rows are skipped, never materialized out.
-            if !matches!(cur.visible, VisibleSet::All) {
+            // vector *before* decode: invisible rows restrict what gets
+            // decoded, not just what gets emitted.
+            let mut sel: Option<Vec<u32>> = if matches!(cur.visible, VisibleSet::All) {
+                None
+            } else {
                 let visible: Vec<u32> = (0..block_rows as u32)
                     .filter(|&i| cur.visible.is_visible(block_start + u64::from(i)))
                     .collect();
                 if visible.len() < block_rows {
-                    batch = batch.with_selection(SelectionVector::new(visible));
+                    Some(visible)
+                } else {
+                    None
                 }
+            };
+            // Decode bounded columns first and refine the selection with
+            // their exact bounds, so rows the bounds rule out are never
+            // decoded in the remaining columns. Then decode the rest under
+            // the final selection — straight into typed vectors (native
+            // buffers) or RLE vectors; no per-row `Value` construction for
+            // specialized encodings.
+            let ncols = cur.columns.len();
+            let mut slices: Vec<Option<ColumnSlice>> = (0..ncols).map(|_| None).collect();
+            let mut skipped = 0u64;
+            for b in &self.bounds {
+                if slices[b.column].is_some() {
+                    continue;
+                }
+                let (bytes, index) = &cur.columns[b.column];
+                let reader = ColumnReader::new(bytes, index);
+                let (native, sk) = reader.read_block_native_selected(bi, sel.as_deref())?;
+                skipped += sk;
+                let slice = ColumnSlice::from_native(native);
+                let cands: Vec<u32> = match &sel {
+                    Some(s) => s.clone(),
+                    None => (0..block_rows as u32).collect(),
+                };
+                let refined = refine_by_bounds(&slice, b, cands);
+                sel = if refined.len() < block_rows {
+                    Some(refined)
+                } else {
+                    None
+                };
+                slices[b.column] = Some(slice);
+                if sel.as_ref().is_some_and(|s| s.is_empty()) {
+                    break;
+                }
+            }
+            if sel.as_ref().is_some_and(|s| s.is_empty()) {
+                // Bounds eliminated every row: the remaining columns are
+                // never decoded at all.
+                let undecoded = slices.iter().filter(|s| s.is_none()).count() as u64;
+                let mut st = self.stats.lock();
+                st.rows_scanned += block_rows as u64;
+                st.rows_decode_skipped += skipped + undecoded * block_rows as u64;
+                continue;
+            }
+            for (ci, slot) in slices.iter_mut().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let (bytes, index) = &cur.columns[ci];
+                let reader = ColumnReader::new(bytes, index);
+                let (native, sk) = reader.read_block_native_selected(bi, sel.as_deref())?;
+                skipped += sk;
+                *slot = Some(ColumnSlice::from_native(native));
+            }
+            {
+                let mut st = self.stats.lock();
+                st.rows_scanned += block_rows as u64;
+                st.rows_decode_skipped += skipped;
+            }
+            let mut batch = Batch::new(slices.into_iter().map(Option::unwrap).collect());
+            if let Some(visible) = sel {
+                batch = batch.with_selection(SelectionVector::new(visible));
             }
             let batch = self.apply_row_filters(batch)?;
             if batch.is_empty() {
@@ -611,6 +752,69 @@ mod tests {
         let s = stats.lock().clone();
         assert!(s.blocks_pruned >= 2, "pruned {} blocks", s.blocks_pruned);
         assert!(s.rows_scanned < 3000, "scanned {}", s.rows_scanned);
+    }
+
+    #[test]
+    fn selection_pushdown_skips_decode_of_unbounded_columns() {
+        // `a BETWEEN 2100 AND 2150` survives only in the last block; the
+        // bound column decodes first, its exact bounds shrink the
+        // selection, and column b's decode stops at the last survivor.
+        let store = make_store(rows(3000));
+        let pred = Expr::Between {
+            input: Box::new(Expr::col(0, "a")),
+            low: Box::new(Expr::int(2100)),
+            high: Box::new(Expr::int(2150)),
+        };
+        let mut scan = scan_of(&store, Some(pred));
+        let stats = scan.stats();
+        let got = collect_rows(&mut scan).unwrap();
+        assert_eq!(got.len(), 51);
+        let s = stats.lock().clone();
+        assert!(s.blocks_pruned >= 2, "pruned {} blocks", s.blocks_pruned);
+        assert!(
+            s.rows_decode_skipped > 500,
+            "decode-skipped {} rows",
+            s.rows_decode_skipped
+        );
+    }
+
+    #[test]
+    fn null_count_prunes_is_null_scans() {
+        // No NULLs anywhere: an IS NULL predicate prunes every container
+        // from its null counts alone — nothing is decoded.
+        let store = make_store(rows(3000));
+        let pred = Expr::is_null(Expr::col(1, "b"), false);
+        let mut scan = scan_of(&store, Some(pred));
+        let stats = scan.stats();
+        let got = collect_rows(&mut scan).unwrap();
+        assert!(got.is_empty());
+        let s = stats.lock().clone();
+        assert_eq!(s.containers_pruned_minmax, 1);
+        assert_eq!(s.rows_scanned, 0);
+    }
+
+    #[test]
+    fn null_count_prunes_all_null_blocks_for_is_not_null() {
+        // Column b: NULL for the first 2048 rows, set afterwards. The two
+        // all-null blocks prune; the mixed block survives.
+        let data: Vec<Row> = (0..3000)
+            .map(|i| {
+                let b = if i < 2048 {
+                    Value::Null
+                } else {
+                    Value::Integer(i)
+                };
+                vec![Value::Integer(i), b]
+            })
+            .collect();
+        let store = make_store(data);
+        let pred = Expr::is_null(Expr::col(1, "b"), true);
+        let mut scan = scan_of(&store, Some(pred));
+        let stats = scan.stats();
+        let got = collect_rows(&mut scan).unwrap();
+        assert_eq!(got.len(), 952);
+        let s = stats.lock().clone();
+        assert_eq!(s.blocks_pruned, 2, "two all-null blocks pruned");
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub struct ProjectionMeta {
     pub column_bytes: Vec<u64>,
     /// Per projection column.
     pub stats: Vec<ColumnStats>,
+    /// Observed concrete encodings per projection column: `(encoding name,
+    /// rows)` as reported by storage's position indexes. Empty when the
+    /// projection has no ROS data (or the catalog was built from a sample
+    /// only). The Database Designer reads this to compare what `Auto`
+    /// actually chose against its trial-encoding pick (§6.3).
+    pub column_encodings: Vec<Vec<(String, u64)>>,
     /// Scan morsels a single node's snapshot of this projection yields
     /// (max across nodes): ROS containers plus the WOS tail. The planner
     /// caps a parallel scan's degree of parallelism at this — more workers
@@ -47,6 +53,7 @@ impl ProjectionMeta {
             row_count,
             column_bytes,
             stats,
+            column_encodings: Vec::new(),
             scan_morsels: 1,
         }
     }
@@ -55,6 +62,21 @@ impl ProjectionMeta {
     pub fn with_scan_morsels(mut self, morsels: usize) -> ProjectionMeta {
         self.scan_morsels = morsels.max(1);
         self
+    }
+
+    /// Record the observed per-column encodings storage reported.
+    pub fn with_column_encodings(mut self, encodings: Vec<Vec<(String, u64)>>) -> ProjectionMeta {
+        self.column_encodings = encodings;
+        self
+    }
+
+    /// The encoding covering the most rows of column `col`, if known.
+    pub fn dominant_encoding(&self, col: usize) -> Option<&str> {
+        self.column_encodings
+            .get(col)?
+            .iter()
+            .max_by_key(|(_, rows)| *rows)
+            .map(|(name, _)| name.as_str())
     }
 }
 
@@ -121,5 +143,20 @@ mod tests {
         assert_eq!(meta.stats.len(), 2);
         assert_eq!(meta.stats[0].rows, 10_000);
         assert!(meta.stats[1].distinct < meta.stats[0].distinct);
+    }
+
+    #[test]
+    fn observed_encodings_expose_dominant_codec() {
+        let schema = TableSchema::new("t", vec![ColumnDef::new("a", DataType::Integer)]);
+        let def = ProjectionDef::super_projection(&schema, "t_super", &[0], &[0]);
+        let meta = ProjectionMeta::from_sample(def, 100, vec![80], &[]);
+        assert_eq!(meta.dominant_encoding(0), None);
+        let meta = meta.with_column_encodings(vec![vec![
+            ("PLAIN".into(), 100),
+            ("DELTADELTA".into(), 3000),
+            ("RLE".into(), 40),
+        ]]);
+        assert_eq!(meta.dominant_encoding(0), Some("DELTADELTA"));
+        assert_eq!(meta.dominant_encoding(1), None);
     }
 }

@@ -817,6 +817,32 @@ impl ProjectionStore {
         bytes
     }
 
+    /// Observed concrete encodings per projection column: `(encoding name,
+    /// rows)` pairs summed over every ROS block's position-index entry.
+    /// This is the Database Designer feedback loop (§6.3): what `Auto`
+    /// actually picked on real data, surfaced to the optimizer catalog so
+    /// encoding choices are inspectable and re-designable.
+    pub fn column_encodings(&self) -> Vec<Vec<(String, u64)>> {
+        let mut per_col: Vec<std::collections::BTreeMap<&'static str, u64>> =
+            vec![std::collections::BTreeMap::new(); self.def.arity()];
+        for c in self.containers.values() {
+            if c.grouped {
+                continue;
+            }
+            for (col, counts) in per_col.iter_mut().enumerate() {
+                if let Some(idx) = c.indexes.get(col) {
+                    for b in &idx.blocks {
+                        *counts.entry(b.encoding.name()).or_insert(0) += u64::from(b.count);
+                    }
+                }
+            }
+        }
+        per_col
+            .into_iter()
+            .map(|m| m.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+            .collect()
+    }
+
     /// Total visible row count at a snapshot (cheap: container row counts
     /// minus deletes; WOS visible rows).
     pub fn row_count_estimate(&self) -> u64 {
