@@ -715,6 +715,99 @@ pub fn torture(secs: f64) -> DbResult<(String, Vec<(String, f64)>)> {
     Ok((out, metrics))
 }
 
+/// Serving-layer smoke: concurrent sessions firing a fixed mix (parallel
+/// group-by, selective filter, parallel hash join) at one
+/// [`vdb_core::serve::Server`] — plan cache, admission control and the
+/// shared morsel pool all in the loop. Served results are asserted equal
+/// to direct `Database` execution before anything is timed; the metrics
+/// feed CI's serve-smoke gate (p99 bounded at 8 sessions, cache hit rate,
+/// pool-reuse counters).
+pub fn serve(rows: usize) -> DbResult<(String, Vec<(String, f64)>)> {
+    use crate::workloads::serve as wl;
+    const CHUNKS: usize = 8;
+    let db = wl::build_db(rows, CHUNKS)?;
+    let mix = wl::query_mix();
+    // Correctness first: the served path must reproduce direct execution.
+    let expected: Vec<Vec<vdb_types::Row>> = mix
+        .iter()
+        .map(|q| db.query(q))
+        .collect::<DbResult<Vec<_>>>()?;
+    let server = vdb_core::serve::Server::with_defaults(db.clone());
+    {
+        let session = server.session();
+        for (q, want) in mix.iter().zip(&expected) {
+            let got = session.query(q)?;
+            if &got != want {
+                return Err(vdb_types::DbError::Execution(format!(
+                    "served result diverged from direct execution for: {q}"
+                )));
+            }
+        }
+    }
+    let pool = vdb_exec::pool::shared();
+    let pool_before = pool.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Serving layer: sessions × (parallel group-by, filter, parallel join) \
+         over {rows} rows in {CHUNKS} containers ({} pool workers) ==",
+        pool.workers()
+    );
+    let _ = writeln!(
+        out,
+        "{:<12}{:>12}{:>12}{:>12}{:>12}",
+        "Sessions", "statements", "qps", "p50 ms", "p99 ms"
+    );
+    let mut metrics: Vec<(String, f64)> = vec![
+        ("serve_rows".to_string(), rows as f64),
+        ("serve_pool_workers".to_string(), pool.workers() as f64),
+    ];
+    for sessions in [1usize, 8, 64] {
+        // Roughly constant statement budget per phase, so the 64-session
+        // phase measures contention, not a larger workload.
+        let per_session = (960 / sessions).max(6);
+        let phase = wl::run_phase(&server, &mix, sessions, per_session)?;
+        let _ = writeln!(
+            out,
+            "{sessions:<12}{:>12}{:>12.0}{:>12.2}{:>12.2}",
+            phase.statements, phase.qps, phase.p50_ms, phase.p99_ms
+        );
+        metrics.push((format!("serve_qps_{sessions}"), phase.qps));
+        metrics.push((format!("serve_p50_ms_{sessions}"), phase.p50_ms));
+        metrics.push((format!("serve_p99_ms_{sessions}"), phase.p99_ms));
+    }
+    let stats = server.stats();
+    let pool_after = pool.stats();
+    let task_sets = (pool_after.task_sets - pool_before.task_sets) as f64;
+    let worker_tasks = (pool_after.tasks_by_workers - pool_before.tasks_by_workers) as f64;
+    let spawned = (pool_after.workers_spawned - pool_before.workers_spawned) as f64;
+    let _ = writeln!(
+        out,
+        "plan cache: {:.3} hit rate ({} hits / {} misses, {} invalidations); \
+         admission: {} admitted, {} queue rejections",
+        stats.cache_hit_rate(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_invalidations,
+        stats.admitted,
+        stats.queue_rejections
+    );
+    let _ = writeln!(
+        out,
+        "shared pool: {task_sets:.0} task sets, {worker_tasks:.0} worker-run tasks, \
+         {spawned:.0} threads spawned during the run (persistent workers reused)"
+    );
+    metrics.push((
+        "serve_plan_cache_hit_rate".to_string(),
+        stats.cache_hit_rate(),
+    ));
+    metrics.push(("serve_admitted".to_string(), stats.admitted as f64));
+    metrics.push(("serve_pool_task_sets".to_string(), task_sets));
+    metrics.push(("serve_pool_tasks_by_workers".to_string(), worker_tasks));
+    metrics.push(("serve_pool_workers_spawned".to_string(), spawned));
+    Ok((out, metrics))
+}
+
 /// Render a flat `name → number` map plus per-section wall-clock timings as
 /// the `BENCH_repro.json` document (hand-rolled; no serializer dependency).
 pub fn bench_json(sections: &[(String, f64)], metrics: &[(String, f64)]) -> String {

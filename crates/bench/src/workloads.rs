@@ -8,3 +8,4 @@ pub mod exec_parallel_join;
 pub mod exec_vector;
 pub mod meter;
 pub mod random_ints;
+pub mod serve;

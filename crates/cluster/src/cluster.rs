@@ -579,6 +579,19 @@ impl Cluster {
     /// All visible rows of a table (via the first covering family) — used
     /// by UPDATE and recovery tooling, not the query path.
     pub fn table_rows(&self, table: &str, snapshot: Epoch) -> DbResult<Vec<Row>> {
+        self.table_rows_excluding(table, snapshot, None)
+    }
+
+    /// [`Cluster::table_rows`] with one family excluded as a source.
+    /// Refresh MUST exclude the projection being populated: family lookup
+    /// is map-ordered, so a freshly created identity-ordered projection
+    /// could otherwise be chosen as its own (empty) refresh source.
+    pub fn table_rows_excluding(
+        &self,
+        table: &str,
+        snapshot: Epoch,
+        exclude_family: Option<&str>,
+    ) -> DbResult<Vec<Row>> {
         let (schema, _) = self
             .tables
             .read()
@@ -588,17 +601,17 @@ impl Cluster {
         // Prefer an identity-ordered super projection (the canonical super);
         // any covering projection works as a fallback.
         let fams = self.families.read();
+        let eligible = |f: &&Family| {
+            f.table == table
+                && f.def.prejoin.is_empty()
+                && Some(f.def.name.as_str()) != exclude_family
+        };
         let family = fams
             .values()
-            .find(|f| {
-                f.table == table
-                    && f.def.prejoin.is_empty()
-                    && f.def.columns == (0..schema.arity()).collect::<Vec<_>>()
-            })
+            .find(|f| eligible(f) && f.def.columns == (0..schema.arity()).collect::<Vec<_>>())
             .or_else(|| {
-                fams.values().find(|f| {
-                    f.table == table && f.def.is_super(schema.arity()) && f.def.prejoin.is_empty()
-                })
+                fams.values()
+                    .find(|f| eligible(f) && f.def.is_super(schema.arity()))
             })
             .cloned()
             .ok_or_else(|| DbError::Plan(format!("no super projection on {table}")))?;

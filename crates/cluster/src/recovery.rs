@@ -164,7 +164,8 @@ impl Cluster {
             .family(family_name)
             .ok_or_else(|| DbError::NotFound(format!("projection {family_name}")))?;
         let snapshot = self.epochs.read_committed_snapshot();
-        let table_rows = self.table_rows(&family.table, snapshot)?;
+        // Never read the refresh target as its own source (it is empty).
+        let table_rows = self.table_rows_excluding(&family.table, snapshot, Some(family_name))?;
         // Current phase under a Shared lock (simplified single-phase
         // refresh; the table is small enough to copy in one step here).
         let txn = self.txns.begin(Isolation::ReadCommitted);

@@ -79,6 +79,13 @@ pub struct Database {
     exec: ExecOptions,
     /// Catalog cache keyed by the epoch it was built at.
     catalog: RwLock<Option<(Epoch, OptimizerCatalog)>>,
+    /// Monotone counter bumped by every DDL-shaped catalog change
+    /// (CREATE/DROP TABLE/PROJECTION, designer installs). Cached physical
+    /// plans stamp the version they were planned under and are discarded
+    /// when it moves — unlike the epoch-keyed catalog cache above, plain
+    /// DML does NOT bump this, so plans survive inserts/deletes (they are
+    /// templates; every execution re-snapshots its containers).
+    ddl_version: std::sync::atomic::AtomicU64,
     /// Durable databases append every successful DDL statement here so
     /// reopen can rebuild the catalog before reattaching storage.
     ddl_log: Option<std::path::PathBuf>,
@@ -90,6 +97,7 @@ impl Database {
             cluster: Cluster::new(config.cluster),
             exec: config.exec,
             catalog: RwLock::new(None),
+            ddl_version: std::sync::atomic::AtomicU64::new(0),
             ddl_log: None,
         }
     }
@@ -138,6 +146,7 @@ impl Database {
             cluster: Cluster::try_new(config.cluster)?,
             exec: config.exec,
             catalog: RwLock::new(None),
+            ddl_version: std::sync::atomic::AtomicU64::new(0),
             ddl_log: Some(ddl_path),
         };
         if let Some(text) = existing_ddl {
@@ -296,6 +305,68 @@ impl Database {
         *self.catalog.write() = None;
     }
 
+    /// Record a DDL-shaped catalog change (see the `ddl_version` field).
+    /// Called *after* the cluster mutation lands, so a plan stamped before
+    /// the bump can never have observed the new catalog.
+    fn bump_ddl_version(&self) {
+        self.ddl_version
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Current DDL/catalog version for plan-cache revalidation: a cached
+    /// plan is valid iff the version it was stamped with (read *before*
+    /// planning) still equals this.
+    pub fn ddl_version(&self) -> u64 {
+        self.ddl_version.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// May physical plans be cached right now? Plans bake in a projection
+    /// choice; with nodes down the planner restricts itself to projections
+    /// that are still fully live, so those degraded plans must not be
+    /// cached (nor should cached healthy plans be served — the caller
+    /// bypasses the cache entirely while degraded).
+    pub fn can_cache_plans(&self) -> bool {
+        self.cluster.up_nodes().len() == self.cluster.n_nodes()
+    }
+
+    /// Parse + bind one statement against the current catalog (the serving
+    /// layer's entry point; [`Database::execute`] composes this with
+    /// [`Database::execute_bound`]).
+    pub fn compile(&self, sql: &str) -> DbResult<BoundStatement> {
+        vdb_sql::compile(
+            sql,
+            &Schemas {
+                cluster: &self.cluster,
+            },
+        )
+    }
+
+    /// Plan a bound SELECT into a reusable physical-plan template. The
+    /// plan holds no epoch or container state — every
+    /// [`Database::execute_planned`] re-snapshots — so it stays valid
+    /// across DML; DDL invalidation is the caller's job via
+    /// [`Database::ddl_version`] stamping.
+    pub fn plan_select(
+        &self,
+        q: &vdb_optimizer::BoundQuery,
+    ) -> DbResult<vdb_optimizer::PlannedQuery> {
+        let catalog = self.optimizer_catalog()?;
+        let live = self.live_projections();
+        vdb_optimizer::plan(&catalog, q, live.as_ref(), &self.exec)
+    }
+
+    /// Execute a previously planned SELECT at a fresh read-committed
+    /// snapshot.
+    pub fn execute_planned(&self, planned: &vdb_optimizer::PlannedQuery) -> DbResult<QueryResult> {
+        let snapshot = self.cluster.epochs.read_committed_snapshot();
+        let rows = self.cluster.execute(planned, snapshot)?;
+        Ok(QueryResult {
+            columns: planned.output_names.clone(),
+            tag: format!("SELECT {}", rows.len()),
+            rows,
+        })
+    }
+
     /// Current optimizer catalog (rebuilt when the epoch moved).
     pub fn optimizer_catalog(&self) -> DbResult<OptimizerCatalog> {
         let epoch = self.cluster.epochs.current();
@@ -311,12 +382,7 @@ impl Database {
 
     /// Execute one SQL statement.
     pub fn execute(&self, sql: &str) -> DbResult<QueryResult> {
-        let stmt = vdb_sql::compile(
-            sql,
-            &Schemas {
-                cluster: &self.cluster,
-            },
-        )?;
+        let stmt = self.compile(sql)?;
         let is_ddl = matches!(
             stmt,
             BoundStatement::CreateTable { .. }
@@ -343,6 +409,7 @@ impl Database {
             } => {
                 self.cluster.create_table(schema, partition_by)?;
                 self.invalidate_catalog();
+                self.bump_ddl_version();
                 Ok(QueryResult::tag("CREATE TABLE"))
             }
             BoundStatement::CreateProjection { def } => {
@@ -351,9 +418,10 @@ impl Database {
                 // (refresh, §5.2).
                 if self
                     .cluster
-                    .table_rows(
+                    .table_rows_excluding(
                         &def.anchor_table,
                         self.cluster.epochs.read_committed_snapshot(),
+                        Some(&def.name),
                     )
                     .map(|r| !r.is_empty())
                     .unwrap_or(false)
@@ -361,16 +429,19 @@ impl Database {
                     self.cluster.refresh_projection(&def.name)?;
                 }
                 self.invalidate_catalog();
+                self.bump_ddl_version();
                 Ok(QueryResult::tag("CREATE PROJECTION"))
             }
             BoundStatement::DropTable(name) => {
                 self.cluster.drop_table(&name)?;
                 self.invalidate_catalog();
+                self.bump_ddl_version();
                 Ok(QueryResult::tag("DROP TABLE"))
             }
             BoundStatement::DropProjection(name) => {
                 self.cluster.drop_projection(&name)?;
                 self.invalidate_catalog();
+                self.bump_ddl_version();
                 Ok(QueryResult::tag("DROP PROJECTION"))
             }
             BoundStatement::Insert { table, rows } => {
@@ -537,6 +608,7 @@ impl Database {
             rationales.push(format!("{}: {}", d.def.name, d.rationale));
         }
         self.invalidate_catalog();
+        self.bump_ddl_version();
         Ok(rationales)
     }
 

@@ -12,9 +12,11 @@
 
 pub mod database;
 pub mod loader;
+pub mod serve;
 
 pub use database::{Database, DatabaseConfig, QueryResult};
 pub use loader::{load_csv, LoadReport};
+pub use serve::{ServeConfig, Server, ServerStats, Session};
 
 // Re-exports for example/bench ergonomics.
 pub use vdb_cluster::{Cluster, ClusterConfig};

@@ -1,0 +1,122 @@
+//! Property test for the serving layer: N concurrent sessions hammering
+//! one [`vdb_core::serve::Server`] must produce exactly the answers a
+//! single serial session produces, across shared-pool sizes {1, 2, 7}
+//! (DoP-1 inline fast path, small pool, oversubscribed pool), with the
+//! plan cache and admission gate in the loop.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vdb_core::serve::Server;
+use vdb_core::{Database, Row, Value};
+
+/// `(g, v)` rows; low-cardinality `g` gives group-by queries real groups.
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec(((0i64..5), (-50i64..50)), 1..120)
+}
+
+fn build_db(rows: &[(i64, i64)]) -> Arc<Database> {
+    let db = Arc::new(Database::single_node());
+    db.execute("CREATE TABLE t (g INT, v INT)").unwrap();
+    db.execute(
+        "CREATE PROJECTION t_super AS SELECT g, v FROM t ORDER BY v \
+         SEGMENTED BY HASH(v) ALL NODES",
+    )
+    .unwrap();
+    let table: Vec<Row> = rows
+        .iter()
+        .map(|(g, v)| vec![Value::Integer(*g), Value::Integer(*v)])
+        .collect();
+    db.load("t", &table).unwrap();
+    db
+}
+
+/// Deterministic query mix: aggregates, filters and sorts, fully ordered
+/// so results compare row-for-row. Literals vary with `k` so the plan
+/// cache sees both repeats (hits) and fresh statements (misses).
+fn query_mix(cutoffs: &[i64]) -> Vec<String> {
+    let mut queries = vec![
+        "SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g ORDER BY g".to_string(),
+        "SELECT COUNT(*) FROM t".to_string(),
+        "SELECT g, v FROM t ORDER BY v, g LIMIT 20".to_string(),
+    ];
+    for k in cutoffs {
+        queries.push(format!("SELECT v FROM t WHERE v < {k} ORDER BY v"));
+        queries.push(format!(
+            "SELECT g, MIN(v), MAX(v) FROM t WHERE v <> {k} GROUP BY g ORDER BY g"
+        ));
+    }
+    queries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn concurrent_sessions_match_serial(
+        rows in arb_rows(),
+        cutoffs in prop::collection::vec(-40i64..40, 1..4),
+    ) {
+        let db = build_db(&rows);
+        let queries = Arc::new(query_mix(&cutoffs));
+
+        // Serial ground truth straight through the Database (no cache, no
+        // admission, no pool contention beyond one query at a time).
+        let expected: Arc<Vec<Vec<Row>>> = Arc::new(
+            queries.iter().map(|q| db.query(q).unwrap()).collect(),
+        );
+
+        let pool = vdb_exec::pool::shared();
+        let original_workers = pool.workers();
+        for pool_size in [1usize, 2, 7] {
+            pool.resize(pool_size);
+            let server = Server::with_defaults(db.clone());
+            const SESSIONS: usize = 4;
+            std::thread::scope(|scope| {
+                for s in 0..SESSIONS {
+                    let server = server.clone();
+                    let queries = queries.clone();
+                    let expected = expected.clone();
+                    scope.spawn(move || {
+                        let mut session = server.session();
+                        // Each session walks the mix at a different phase so
+                        // distinct plans are in flight simultaneously.
+                        for i in 0..queries.len() {
+                            let qi = (i + s) % queries.len();
+                            let got = session.query(&queries[qi]).unwrap();
+                            assert_eq!(
+                                got, expected[qi],
+                                "pool={pool_size} session={s} query={:?}",
+                                queries[qi]
+                            );
+                        }
+                        // Prepared path: same statement, parameterized.
+                        session
+                            .prepare("cut", "SELECT v FROM t WHERE v < ? ORDER BY v")
+                            .unwrap();
+                        for k in [-10i64, 0, 25] {
+                            let got = session
+                                .execute_prepared("cut", &[Value::Integer(k)])
+                                .unwrap()
+                                .rows;
+                            let want = server
+                                .database()
+                                .query(&format!("SELECT v FROM t WHERE v < {k} ORDER BY v"))
+                                .unwrap();
+                            assert_eq!(got, want, "pool={pool_size} session={s} cut={k}");
+                        }
+                    });
+                }
+            });
+            let stats = server.stats();
+            // 4 sessions × same mix: all but the first execution of each
+            // statement must hit the cache.
+            prop_assert!(
+                stats.cache_hits > 0,
+                "pool={pool_size}: expected cache hits, got {stats:?}"
+            );
+            prop_assert_eq!(stats.queue_rejections, 0);
+            prop_assert_eq!(stats.queue_timeouts, 0);
+        }
+        pool.resize(original_workers);
+    }
+}

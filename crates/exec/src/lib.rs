@@ -52,6 +52,7 @@ pub mod operator;
 pub mod parallel;
 pub mod parallel_join;
 pub mod plan;
+pub mod pool;
 pub mod scan;
 pub mod sip;
 pub mod sort;

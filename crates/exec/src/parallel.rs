@@ -30,10 +30,14 @@
 //!   concatenated **in morsel order**, so the result equals the serial
 //!   scan row for row.
 //!
-//! Workers never `unwrap()`: every failure travels through the worker's
-//! `DbResult` return value and the coordinator's `JoinHandle`, surfacing
-//! as `DbResult::Err` from the operator. `threads = 1` is the serial
-//! degenerate case — the pipeline runs inline on the calling thread.
+//! Worker lanes are tasks on the process-wide shared pool
+//! ([`crate::pool`]) — N concurrent queries multiplex one set of
+//! persistent workers instead of each spawning their own. Workers never
+//! `unwrap()`: every failure travels through the worker's `DbResult`
+//! return value and the task set's result slots, surfacing as
+//! `DbResult::Err` from the operator. `threads = 1` is the serial
+//! degenerate case — the pipeline runs inline on the calling thread, no
+//! pool round-trip.
 
 use crate::aggregate::AggCall;
 use crate::batch::{Batch, BATCH_SIZE};
@@ -48,10 +52,12 @@ use std::sync::Arc;
 use vdb_storage::store::ScanMorsel;
 use vdb_storage::StorageBackend;
 use vdb_types::schema::{compare_rows, SortKey};
-use vdb_types::{DbError, DbResult, Expr, Row};
+use vdb_types::{DbResult, Expr, Row};
 
-/// Environment knob overriding the executor's thread count (CI's
-/// thread-stress job runs the suite at 1 and at 2× the core count).
+/// Environment knob overriding the executor's per-operator lane count
+/// (CI's thread-stress job runs the suite at 1 and at 2× the core count).
+/// Also the fallback size for the shared worker pool ([`crate::pool`])
+/// when `VDB_POOL_WORKERS` is unset.
 pub const THREADS_ENV: &str = "VDB_EXEC_THREADS";
 
 /// Executor-wide tuning the query path plumbs from `Database` down to the
@@ -74,10 +80,12 @@ impl ExecOptions {
         }
     }
 
-    /// Resolve from `VDB_EXEC_THREADS`, falling back to the host's
-    /// available parallelism when unset (or unparseable). A set value is
-    /// clamped like [`ExecOptions::with_threads`], so `VDB_EXEC_THREADS=0`
-    /// means serial, not "pick for me".
+    /// Resolve from `VDB_EXEC_THREADS`, falling back to the shared worker
+    /// pool's capacity when unset (or unparseable) — the planner's degree
+    /// of parallelism tracks the pool all queries actually multiplex, not
+    /// the raw core count. A set value is clamped like
+    /// [`ExecOptions::with_threads`], so `VDB_EXEC_THREADS=0` means
+    /// serial, not "pick for me".
     pub fn from_env() -> ExecOptions {
         match std::env::var(THREADS_ENV)
             .ok()
@@ -85,9 +93,7 @@ impl ExecOptions {
         {
             Some(threads) => ExecOptions::with_threads(threads),
             None => ExecOptions {
-                threads: std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1),
+                threads: crate::pool::shared().workers(),
             },
         }
     }
@@ -347,38 +353,22 @@ impl ParallelScanOp {
                 &self.stats,
             )?]
         } else {
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                let queue = queue.clone();
-                let spec = p.spec.clone();
-                let job = job.clone();
-                let stats = self.stats.clone();
-                let budget = worker_budget;
-                // The closure body is a plain `DbResult` return — worker
-                // errors come home through the JoinHandle, never a panic.
-                handles.push(std::thread::spawn(move || {
-                    run_worker(&queue, &spec, &job, budget, &stats)
-                }));
-            }
-            let mut outputs = Vec::with_capacity(threads);
-            let mut first_err: Option<DbError> = None;
-            for h in handles {
-                match h.join() {
-                    Ok(Ok(out)) => outputs.push(out),
-                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                    Err(_) => {
-                        first_err = first_err.or_else(|| {
-                            Some(DbError::Execution(
-                                "parallel scan worker thread panicked".into(),
-                            ))
-                        })
-                    }
-                }
-            }
-            if let Some(e) = first_err {
-                return Err(e);
-            }
-            outputs
+            // Lanes come from the shared process-wide pool ([`crate::pool`])
+            // — no per-query thread spawning. Each job is one worker lane
+            // pulling from the shared morsel queue; errors come home
+            // through the task set's result slots, never a panic.
+            let jobs: Vec<crate::pool::Job<WorkerOutput>> = (0..threads)
+                .map(|_| {
+                    let queue = queue.clone();
+                    let spec = p.spec.clone();
+                    let job = job.clone();
+                    let stats = self.stats.clone();
+                    let budget = worker_budget;
+                    Box::new(move || run_worker(&queue, &spec, &job, budget, &stats))
+                        as crate::pool::Job<WorkerOutput>
+                })
+                .collect();
+            crate::pool::shared().run_tasks(jobs, "parallel scan worker")?
         };
         self.output = merge_outputs(outputs, merge, p.budget)?.into_iter();
         Ok(())

@@ -41,8 +41,10 @@
 //!   build exceeds it, the operator falls back to the serial [`HashJoinOp`]
 //!   over the same morsels, which externalizes to sort-merge (§6.1
 //!   algorithm switching).
-//! * **Failures.** Workers return `DbResult` through their `JoinHandle`s —
-//!   no `unwrap` on worker threads; `threads = 1` runs inline.
+//! * **Failures.** Worker lanes are tasks on the shared process-wide pool
+//!   ([`crate::pool`]; no per-query thread spawning) and return `DbResult`
+//!   through the task set's result slots — no `unwrap` on worker lanes;
+//!   `threads = 1` runs inline.
 
 use crate::batch::Batch;
 use crate::join::{key_of, HashJoinOp, JoinType};
@@ -86,6 +88,9 @@ pub struct ParallelJoinSpec {
 /// key hash, key, row)`. The sequence encodes `(morsel index, row within
 /// morsel)` so the barrier can restore serial build-insertion order.
 type BuildEntry = (u64, u64, Vec<Value>, Row);
+/// A probe worker's output: joined batches tagged by probe-morsel index,
+/// concatenated in morsel order at the probe barrier.
+type ProbeOutput = Vec<(usize, Vec<Batch>)>;
 
 /// Merged build side: one table per partition, specialized like the serial
 /// [`HashJoinOp`] for the dominant single-column-key case.
@@ -266,28 +271,29 @@ impl ParallelHashJoinOp {
                 &self.build_stats,
             )?]
         } else {
-            let mut handles = Vec::with_capacity(build_threads);
-            for _ in 0..build_threads {
-                let queue = queue.clone();
-                let bspec = spec.build.clone();
-                let keys = spec.right_keys.clone();
-                let used = used_bytes.clone();
-                let overflow = overflow.clone();
-                let stats = self.build_stats.clone();
-                handles.push(std::thread::spawn(move || {
-                    run_build_worker(
-                        &queue,
-                        &bspec,
-                        &keys,
-                        build_threads,
-                        budget,
-                        &used,
-                        &overflow,
-                        &stats,
-                    )
-                }));
-            }
-            join_workers(handles, "parallel join build worker")?
+            let jobs: Vec<crate::pool::Job<Vec<Vec<BuildEntry>>>> = (0..build_threads)
+                .map(|_| {
+                    let queue = queue.clone();
+                    let bspec = spec.build.clone();
+                    let keys = spec.right_keys.clone();
+                    let used = used_bytes.clone();
+                    let overflow = overflow.clone();
+                    let stats = self.build_stats.clone();
+                    Box::new(move || {
+                        run_build_worker(
+                            &queue,
+                            &bspec,
+                            &keys,
+                            build_threads,
+                            budget,
+                            &used,
+                            &overflow,
+                            &stats,
+                        )
+                    }) as crate::pool::Job<Vec<Vec<BuildEntry>>>
+                })
+                .collect();
+            crate::pool::shared().run_tasks(jobs, "parallel join build worker")?
         };
         if overflow.load(Ordering::Relaxed) {
             // Budget exceeded: hand both sides to the serial hash join,
@@ -322,20 +328,14 @@ impl ParallelHashJoinOp {
                 .map(|p| merge_partition(p, single_key))
                 .collect()
         } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = parts
-                    .into_iter()
-                    .map(|p| s.spawn(move || merge_partition(p, single_key)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join().map_err(|_| {
-                            DbError::Execution("parallel join merge worker panicked".into())
-                        })
-                    })
-                    .collect::<DbResult<Vec<_>>>()
-            })?
+            let jobs: Vec<crate::pool::Job<(PartitionTable, Vec<u64>)>> = parts
+                .into_iter()
+                .map(|p| {
+                    Box::new(move || Ok(merge_partition(p, single_key)))
+                        as crate::pool::Job<(PartitionTable, Vec<u64>)>
+                })
+                .collect();
+            crate::pool::shared().run_tasks(jobs, "parallel join merge worker")?
         };
         if let Some(sip) = &spec.sip {
             sip.publish_iter(merged.iter().flat_map(|(_, hashes)| hashes.iter().copied()));
@@ -368,7 +368,7 @@ impl ParallelHashJoinOp {
         let right_arity = spec.build.output_columns.len();
         let tables = Arc::new(tables);
         let queue = Arc::new(MorselQueue::new(spec.probe_morsels));
-        let outputs: Vec<Vec<(usize, Vec<Batch>)>> = if probe_threads <= 1 {
+        let outputs: Vec<ProbeOutput> = if probe_threads <= 1 {
             vec![run_probe_worker(
                 &queue,
                 &spec.probe,
@@ -379,19 +379,20 @@ impl ParallelHashJoinOp {
                 &self.probe_stats,
             )?]
         } else {
-            let mut handles = Vec::with_capacity(probe_threads);
-            for _ in 0..probe_threads {
-                let queue = queue.clone();
-                let pspec = spec.probe.clone();
-                let tables = tables.clone();
-                let keys = spec.left_keys.clone();
-                let jt = spec.join_type;
-                let stats = self.probe_stats.clone();
-                handles.push(std::thread::spawn(move || {
-                    run_probe_worker(&queue, &pspec, &tables, &keys, jt, right_arity, &stats)
-                }));
-            }
-            join_workers(handles, "parallel join probe worker")?
+            let jobs: Vec<crate::pool::Job<ProbeOutput>> = (0..probe_threads)
+                .map(|_| {
+                    let queue = queue.clone();
+                    let pspec = spec.probe.clone();
+                    let tables = tables.clone();
+                    let keys = spec.left_keys.clone();
+                    let jt = spec.join_type;
+                    let stats = self.probe_stats.clone();
+                    Box::new(move || {
+                        run_probe_worker(&queue, &pspec, &tables, &keys, jt, right_arity, &stats)
+                    }) as crate::pool::Job<ProbeOutput>
+                })
+                .collect();
+            crate::pool::shared().run_tasks(jobs, "parallel join probe worker")?
         };
         // Probe barrier: morsel-ordered concat equals the serial probe.
         let mut tagged: Vec<(usize, Vec<Batch>)> = outputs.into_iter().flatten().collect();
@@ -419,30 +420,6 @@ impl Operator for ParallelHashJoinOp {
 
     fn name(&self) -> String {
         format!("ParallelHashJoin({})", self.join_type.name())
-    }
-}
-
-/// Collect worker results, surfacing the first error (or panic) as
-/// `DbResult::Err` — mirrors [`crate::parallel`]'s coordinator.
-fn join_workers<T>(
-    handles: Vec<std::thread::JoinHandle<DbResult<T>>>,
-    what: &str,
-) -> DbResult<Vec<T>> {
-    let mut outputs = Vec::with_capacity(handles.len());
-    let mut first_err: Option<DbError> = None;
-    for h in handles {
-        match h.join() {
-            Ok(Ok(out)) => outputs.push(out),
-            Ok(Err(e)) => first_err = first_err.or(Some(e)),
-            Err(_) => {
-                first_err =
-                    first_err.or_else(|| Some(DbError::Execution(format!("{what} panicked"))))
-            }
-        }
-    }
-    match first_err {
-        Some(e) => Err(e),
-        None => Ok(outputs),
     }
 }
 

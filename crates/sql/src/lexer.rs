@@ -31,6 +31,10 @@ pub enum Sym {
     Gt,
     Ge,
     Dot,
+    /// `?` — a prepared-statement parameter placeholder. The parser
+    /// rejects it; [`crate::normalize()`] substitutes bound parameter values
+    /// before the text reaches the parser.
+    Question,
 }
 
 impl Token {
@@ -93,6 +97,10 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
             }
             '.' => {
                 out.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Symbol(Sym::Question));
                 i += 1;
             }
             '=' => {

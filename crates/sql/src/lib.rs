@@ -17,9 +17,11 @@
 pub mod ast;
 pub mod binder;
 pub mod lexer;
+pub mod normalize;
 pub mod parser;
 
 pub use binder::{bind, BoundStatement, SchemaProvider};
+pub use normalize::{normalize, NormalizedSql};
 pub use parser::parse_statement;
 
 use vdb_types::DbResult;

@@ -1,0 +1,277 @@
+//! SQL normalization for plan-cache keying and prepared statements.
+//!
+//! The serving layer caches bound + physical plans keyed on SQL text, but
+//! raw text is a terrible key: `SELECT  A` and `select a -- hi` are the
+//! same query. This module canonicalizes a statement through the lexer:
+//!
+//! * whitespace and comments vanish (tokens are re-rendered one-space
+//!   separated),
+//! * identifiers fold to lowercase (the binder resolves every name
+//!   case-insensitively, so this cannot alias distinct queries — only
+//!   result-column *labels* lose their original case on a cache hit),
+//! * literals (`42`, `1.5`, `'x'`) are lifted out into a parameter vector
+//!   and replaced by `?` slots, and explicit `?` placeholders become
+//!   *unbound* slots a prepared statement fills at execute time.
+//!
+//! The canonical [`NormalizedSql::template`] identifies the statement
+//! *shape*; the plan-cache key is template **plus** rendered parameter
+//! values ([`NormalizedSql::cache_key`]), because a physical plan embeds
+//! its literal constants (predicates are constant-folded during binding) —
+//! `... WHERE v > 10` and `... WHERE v > 20` must not share a plan.
+//! Parameterization still pays twice: repeated statements hit regardless
+//! of formatting, and prepared statements reuse one parsed template across
+//! bindings.
+
+use crate::lexer::{lex, Sym, Token};
+use vdb_types::{DbError, DbResult, Value};
+
+/// A statement canonicalized by [`normalize`]: literal-free text segments
+/// with parameter slots between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedSql {
+    /// Canonical text fragments; slots sit between consecutive segments
+    /// (`segments.len() == slots.len() + 1`).
+    segments: Vec<String>,
+    /// One entry per slot, in text order. `Some` = a literal lifted from
+    /// the original text; `None` = an explicit `?` awaiting a binding.
+    slots: Vec<Option<Value>>,
+}
+
+impl NormalizedSql {
+    /// The canonical statement shape: segments joined with `?` slots.
+    /// Identical for any formatting / literal choice of the same query.
+    pub fn template(&self) -> String {
+        self.segments.join(" ? ").trim().to_string()
+    }
+
+    /// Number of explicit `?` placeholders (unbound slots).
+    pub fn placeholder_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// First canonical token (lowercased), for statement-kind dispatch
+    /// ("select", "insert", "explain", ...). Empty string for empty input.
+    pub fn leading_word(&self) -> &str {
+        self.segments
+            .first()
+            .map(|s| s.split(' ').next().unwrap_or(""))
+            .unwrap_or("")
+    }
+
+    /// Bind `params` to the unbound slots (in order) and render the full
+    /// executable SQL text. Errors if the parameter count mismatches or a
+    /// value cannot be rendered as a SQL literal.
+    pub fn render(&self, params: &[Value]) -> DbResult<String> {
+        let want = self.placeholder_count();
+        if params.len() != want {
+            return Err(DbError::Binder(format!(
+                "statement has {want} parameter placeholder(s), got {} value(s)",
+                params.len()
+            )));
+        }
+        let mut next_param = params.iter();
+        let mut out = String::with_capacity(self.segments.iter().map(String::len).sum());
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                let value = match &self.slots[i - 1] {
+                    Some(v) => v,
+                    None => next_param.next().expect("placeholder count checked"),
+                };
+                out.push(' ');
+                out.push_str(&render_literal(value)?);
+                out.push(' ');
+            }
+            out.push_str(seg);
+        }
+        Ok(out.trim().to_string())
+    }
+
+    /// The plan-cache key: template ⊕ every slot's bound value. Two
+    /// statements share a key iff they compile to the same plan.
+    pub fn cache_key(&self, params: &[Value]) -> DbResult<String> {
+        let want = self.placeholder_count();
+        if params.len() != want {
+            return Err(DbError::Binder(format!(
+                "statement has {want} parameter placeholder(s), got {} value(s)",
+                params.len()
+            )));
+        }
+        let mut next_param = params.iter();
+        let mut key = self.template();
+        for slot in &self.slots {
+            let value = match slot {
+                Some(v) => v,
+                None => next_param.next().expect("placeholder count checked"),
+            };
+            key.push('\u{1}');
+            key.push_str(&render_literal(value)?);
+        }
+        Ok(key)
+    }
+}
+
+/// Canonicalize one SQL statement (see the module docs for the rules).
+pub fn normalize(sql: &str) -> DbResult<NormalizedSql> {
+    let tokens = lex(sql)?;
+    let mut segments = vec![String::new()];
+    let mut slots = Vec::new();
+    let push = |segments: &mut Vec<String>, text: &str| {
+        let seg = segments.last_mut().expect("segments never empty");
+        if !seg.is_empty() {
+            seg.push(' ');
+        }
+        seg.push_str(text);
+    };
+    for t in &tokens {
+        match t {
+            Token::Integer(v) => {
+                slots.push(Some(Value::Integer(*v)));
+                segments.push(String::new());
+            }
+            Token::Float(v) => {
+                slots.push(Some(Value::Float(*v)));
+                segments.push(String::new());
+            }
+            Token::Str(s) => {
+                slots.push(Some(Value::Varchar(s.clone())));
+                segments.push(String::new());
+            }
+            Token::Symbol(Sym::Question) => {
+                slots.push(None);
+                segments.push(String::new());
+            }
+            Token::Ident(s) => push(&mut segments, &render_ident(s)),
+            Token::Symbol(sym) => push(&mut segments, sym_text(*sym)),
+        }
+    }
+    Ok(NormalizedSql { segments, slots })
+}
+
+/// Lowercase plain identifiers; re-quote anything that needs it so the
+/// rendered text lexes back to the same identifier.
+fn render_ident(s: &str) -> String {
+    let plain = !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if plain {
+        s.to_ascii_lowercase()
+    } else {
+        format!("\"{s}\"")
+    }
+}
+
+/// Render a parameter/literal value back into SQL literal text that lexes
+/// to the same [`Value`].
+pub fn render_literal(value: &Value) -> DbResult<String> {
+    Ok(match value {
+        Value::Null => "NULL".to_string(),
+        Value::Integer(v) => v.to_string(),
+        Value::Float(v) => {
+            if !v.is_finite() {
+                return Err(DbError::Binder(format!(
+                    "cannot render non-finite float parameter {v} as a SQL literal"
+                )));
+            }
+            // `{:?}` round-trips f64 and always includes `.` or `e`.
+            format!("{v:?}")
+        }
+        Value::Varchar(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Boolean(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Timestamp(_) => {
+            return Err(DbError::Binder(
+                "timestamp parameters are not supported; pass an integer epoch".into(),
+            ))
+        }
+    })
+}
+
+fn sym_text(sym: Sym) -> &'static str {
+    match sym {
+        Sym::LParen => "(",
+        Sym::RParen => ")",
+        Sym::Comma => ",",
+        Sym::Semicolon => ";",
+        Sym::Star => "*",
+        Sym::Plus => "+",
+        Sym::Minus => "-",
+        Sym::Slash => "/",
+        Sym::Percent => "%",
+        Sym::Eq => "=",
+        Sym::Ne => "<>",
+        Sym::Lt => "<",
+        Sym::Le => "<=",
+        Sym::Gt => ">",
+        Sym::Ge => ">=",
+        Sym::Dot => ".",
+        Sym::Question => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_and_case_do_not_change_the_template() {
+        let a = normalize("SELECT  G, sum(V)  FROM T -- comment\n WHERE v > 10").unwrap();
+        let b = normalize("select g, SUM(v) from t where V > 10").unwrap();
+        assert_eq!(a.template(), b.template());
+        assert_eq!(a.cache_key(&[]).unwrap(), b.cache_key(&[]).unwrap());
+    }
+
+    #[test]
+    fn different_literals_share_a_template_but_not_a_key() {
+        let a = normalize("select * from t where v > 10").unwrap();
+        let b = normalize("select * from t where v > 20").unwrap();
+        assert_eq!(a.template(), b.template());
+        assert_ne!(a.cache_key(&[]).unwrap(), b.cache_key(&[]).unwrap());
+    }
+
+    #[test]
+    fn placeholders_bind_in_order_and_render_executable_sql() {
+        let n = normalize("select * from t where g = ? and v > ?").unwrap();
+        assert_eq!(n.placeholder_count(), 2);
+        let sql = n
+            .render(&[Value::Varchar("x'y".into()), Value::Integer(7)])
+            .unwrap();
+        assert_eq!(sql, "select * from t where g = 'x''y' and v > 7");
+        // Bound text must normalize back to the same template.
+        assert_eq!(normalize(&sql).unwrap().template(), n.template());
+    }
+
+    #[test]
+    fn param_count_mismatch_is_a_binder_error() {
+        let n = normalize("select * from t where v = ?").unwrap();
+        assert!(matches!(n.render(&[]), Err(DbError::Binder(_))));
+        assert!(matches!(
+            n.render(&[Value::Integer(1), Value::Integer(2)]),
+            Err(DbError::Binder(_))
+        ));
+    }
+
+    #[test]
+    fn literal_render_round_trips_through_the_lexer() {
+        for (v, text) in [
+            (Value::Integer(-42), "-42"),
+            (Value::Float(1.5), "1.5"),
+            (Value::Float(1e300), "1e300"),
+            (Value::Varchar("it's".into()), "'it''s'"),
+            (Value::Null, "NULL"),
+            (Value::Boolean(true), "TRUE"),
+        ] {
+            assert_eq!(render_literal(&v).unwrap(), text);
+            assert!(lex(text).is_ok(), "{text} must lex");
+        }
+        assert!(render_literal(&Value::Float(f64::NAN)).is_err());
+        assert!(render_literal(&Value::Timestamp(0)).is_err());
+    }
+
+    #[test]
+    fn quoted_and_odd_identifiers_requote() {
+        let n = normalize("select \"Weird Col\" from t").unwrap();
+        assert_eq!(n.template(), "select \"Weird Col\" from t");
+        assert_eq!(n.leading_word(), "select");
+    }
+}
