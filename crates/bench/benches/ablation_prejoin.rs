@@ -4,11 +4,11 @@
 //! scan vs hash join) and load cost (prejoin denormalization at load).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use vdb_core::Database;
+use vdb_core::Engine;
 use vdb_types::{Row, Value};
 
-fn setup(with_prejoin: bool, n: i64) -> Database {
-    let db = Database::single_node();
+fn setup(with_prejoin: bool, n: i64) -> Engine {
+    let db = Engine::builder().open().unwrap();
     db.execute("CREATE TABLE dim (id INT, grp INT)").unwrap();
     db.execute(
         "CREATE PROJECTION dim_super AS SELECT id, grp FROM dim ORDER BY id \

@@ -2,11 +2,11 @@
 //! narrow (cust, price) projection vs forced through the super projection.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use vdb_core::Database;
+use vdb_core::Engine;
 use vdb_types::Value;
 
-fn setup(narrow: bool) -> Database {
-    let db = Database::single_node();
+fn setup(narrow: bool) -> Engine {
+    let db = Engine::builder().open().unwrap();
     db.execute("CREATE TABLE sales (sale_id INT, cust VARCHAR, price FLOAT, date TIMESTAMP)")
         .unwrap();
     db.execute(

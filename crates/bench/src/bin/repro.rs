@@ -2,7 +2,7 @@
 //! `BENCH_repro.json` (section wall-clock timings + executor metrics) so
 //! the perf trajectory is tracked run over run.
 //!
-//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector|exec_expr|exec_parallel|exec_parallel_join|exec_compressed|torture|serve] [--full]`
+//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector|exec_expr|exec_parallel|exec_parallel_join|exec_compressed|cluster|torture|serve] [--full]`
 //! `--full` runs paper-scale inputs (minutes); default scales finish in
 //! seconds. The JSON lands in the current directory. Exits nonzero when
 //! any requested target fails (CI's bench-smoke gate relies on this).
@@ -86,6 +86,10 @@ fn main() {
                 repro::exec_compressed(vector_rows)
             });
         }
+        if wants("cluster") {
+            let cluster_rows = if full { 1_000_000 } else { 120_000 };
+            run("cluster", &mut || repro::cluster(cluster_rows));
+        }
         if wants("torture") {
             let torture_secs = if full { 10.0 } else { 2.0 };
             run("torture", &mut || repro::torture(torture_secs));
@@ -98,7 +102,7 @@ fn main() {
     if !matched {
         eprintln!(
             "unknown target {what}; use all|table1|table3|table4|fig1|fig2|fig3|vector|\
-             exec_expr|exec_parallel|exec_parallel_join|exec_compressed|torture|serve"
+             exec_expr|exec_parallel|exec_parallel_join|exec_compressed|cluster|torture|serve"
         );
         std::process::exit(2);
     }

@@ -1,5 +1,6 @@
 //! Workload generators.
 
+pub mod cluster;
 pub mod cstore7;
 pub mod exec_compressed;
 pub mod exec_expr;

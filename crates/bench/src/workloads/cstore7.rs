@@ -13,7 +13,7 @@
 //! `vdb-cstore`.
 
 use rand::{Rng, SeedableRng};
-use vdb_core::Database;
+use vdb_core::Engine;
 use vdb_cstore::{collect, CStoreDb, CStoreGroupBy, CStoreHashJoin};
 use vdb_exec::aggregate::{AggCall, AggFunc};
 use vdb_types::{BinOp, ColumnDef, DataType, DbResult, Expr, Row, TableSchema, Value};
@@ -109,8 +109,8 @@ pub fn constants() -> QueryConstants {
 }
 
 /// Install schema + projections and bulk load the Vertica-side database.
-pub fn setup_vertica(lineitems: &[Row], orders: &[Row]) -> DbResult<Database> {
-    let db = Database::single_node();
+pub fn setup_vertica(lineitems: &[Row], orders: &[Row]) -> DbResult<Engine> {
+    let db = Engine::builder().open()?;
     db.execute(
         "CREATE TABLE lineitem (l_orderkey INT, l_suppkey INT, l_shipdate TIMESTAMP, \
          l_extendedprice FLOAT, l_returnflag VARCHAR)",

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 use vdb_core::serve::Server;
-use vdb_core::{Database, Row, Value};
+use vdb_core::{Engine, Row, Value};
 use vdb_types::{DbError, DbResult};
 
 /// Statement mix: a morsel-parallel group-by over a multi-container fact
@@ -28,8 +28,8 @@ pub fn query_mix() -> Vec<String> {
 /// database is pinned to 4 exec lanes so the parallel operators submit
 /// task sets to the shared pool even on single-core hosts (the pool's
 /// caller-runs draining keeps that correct at any worker count).
-pub fn build_db(rows: usize, chunks: usize) -> DbResult<Arc<Database>> {
-    let db = Arc::new(Database::single_node_with_threads(4));
+pub fn build_db(rows: usize, chunks: usize) -> DbResult<Engine> {
+    let db = Engine::builder().threads(4).open()?;
     db.execute("CREATE TABLE f (g INT, k INT, v INT)")?;
     db.execute(
         "CREATE PROJECTION f_super AS SELECT g, k, v FROM f ORDER BY v \

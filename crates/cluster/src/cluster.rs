@@ -14,7 +14,7 @@ use vdb_storage::store::SnapshotScan;
 use vdb_storage::{MemBackend, StorageEngine, TupleMover, TupleMoverConfig};
 use vdb_txn::txn::Isolation;
 use vdb_txn::{EpochManager, LockMode, TransactionManager};
-use vdb_types::{DbError, DbResult, Epoch, Expr, NodeId, Row, TableSchema, Value};
+use vdb_types::{DbError, DbResult, Epoch, Expr, Func, NodeId, Row, TableSchema, Value};
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -90,6 +90,12 @@ pub struct Cluster {
     /// table lock is granted, so lock ordering is table lock → commit
     /// lock everywhere and the mutex cannot deadlock.
     pub(crate) commit_serial: Mutex<()>,
+    /// Shutdown flags of in-flight exchanges. `fail_node` sets every live
+    /// flag so routers blocked on a channel whose consumer died drain and
+    /// join cleanly; the aborted query retries against buddy replicas.
+    exchange_aborts: Mutex<Vec<std::sync::Weak<std::sync::atomic::AtomicBool>>>,
+    /// Bytes shipped through exchange resegmentation (network accounting).
+    exchange_bytes: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Cluster {
@@ -114,6 +120,8 @@ impl Cluster {
         }
         Ok(Cluster {
             commit_serial: Mutex::new(()),
+            exchange_aborts: Mutex::new(Vec::new()),
+            exchange_bytes: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             applied: RwLock::new(vec![Epoch::ZERO; config.n_nodes]),
             router: RingRouter::new(config.n_nodes),
             up: RwLock::new(vec![true; config.n_nodes]),
@@ -199,6 +207,29 @@ impl Cluster {
                 store.write().lose_wos();
             }
         }
+        // Wake every in-flight exchange: a router blocked sending to the
+        // dead node's consumer would otherwise never return. Routers see
+        // the flag, drain, and join with a retryable error.
+        for weak in self.exchange_aborts.lock().drain(..) {
+            if let Some(flag) = weak.upgrade() {
+                flag.store(true, std::sync::atomic::Ordering::Release);
+            }
+        }
+    }
+
+    /// Create a shutdown flag wired to `fail_node` for one exchange run.
+    fn register_exchange(&self) -> vdb_exec::exchange::ShutdownFlag {
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut reg = self.exchange_aborts.lock();
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(&flag));
+        flag
+    }
+
+    /// Total bytes shipped through exchange resegmentation so far.
+    pub fn exchange_bytes_sent(&self) -> u64 {
+        self.exchange_bytes
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------------
@@ -329,8 +360,8 @@ impl Cluster {
 
     fn check_writable(&self) -> DbResult<()> {
         if !self.is_available() {
-            return Err(DbError::Cluster(
-                "cluster is unavailable (quorum or K-safety lost)".into(),
+            return Err(DbError::Unavailable(
+                "quorum or K-safety data coverage lost".into(),
             ));
         }
         Ok(())
@@ -726,7 +757,7 @@ impl Cluster {
             let n = *self
                 .up_nodes()
                 .first()
-                .ok_or_else(|| DbError::Cluster("no up nodes".into()))?;
+                .ok_or_else(|| DbError::Unavailable("no up nodes".into()))?;
             let store = self.nodes[n].engine.projection(&family.replicas[0])?;
             let s = store.read();
             s.ensure_usable()?;
@@ -763,20 +794,50 @@ impl Cluster {
             .collect()
     }
 
-    /// Execute a planned query at a snapshot. Each participating node runs
-    /// the local plan on a worker thread; the initiator merges.
+    /// Execute a planned query at a snapshot, retrying against buddy
+    /// replicas when a node dies mid-query: the failed attempt surfaces a
+    /// retryable error, the dead node is ejected, and snapshots re-resolve
+    /// so the surviving buddies cover its ring positions (§5.2).
     pub fn execute(&self, planned: &PlannedQuery, snapshot: Epoch) -> DbResult<Vec<Row>> {
+        let mut attempts = 0usize;
+        loop {
+            let err = match self.execute_once(planned, snapshot) {
+                Ok(rows) => return Ok(rows),
+                Err(e) => e,
+            };
+            attempts += 1;
+            if attempts > self.nodes.len() || !err.is_retryable() {
+                return Err(err);
+            }
+            // A worker reported a node death: eject it so the retry
+            // re-resolves buddy-aware snapshots without it.
+            if let DbError::NodeDown { node, .. } = &err {
+                if self.is_up(*node) {
+                    self.fail_node(*node);
+                }
+            }
+            if !self.is_available() {
+                return Err(DbError::Unavailable(format!(
+                    "query cannot be retried after node loss: {err}"
+                )));
+            }
+        }
+    }
+
+    /// One distributed execution attempt against the current up-mask.
+    fn execute_once(&self, planned: &PlannedQuery, snapshot: Epoch) -> DbResult<Vec<Row>> {
         if !self.has_quorum() {
-            return Err(DbError::Cluster("cluster lost quorum".into()));
+            return Err(DbError::Unavailable("cluster lost quorum".into()));
         }
         let families = self.families.read().clone();
-        // Resolve every scanned family's per-node or broadcast snapshot.
+        // Resolve every scanned family's per-node, broadcast, or
+        // resegmented snapshot.
         let mut per_node_snapshots: HashMap<usize, HashMap<String, SnapshotScan>> = HashMap::new();
         let participants: Vec<usize> = if planned.single_node {
             vec![*self
                 .up_nodes()
                 .first()
-                .ok_or_else(|| DbError::Cluster("no up nodes".into()))?]
+                .ok_or_else(|| DbError::Unavailable("no up nodes".into()))?]
         } else {
             self.up_nodes()
         };
@@ -802,33 +863,150 @@ impl Cluster {
                             .insert(fname.clone(), union.clone());
                     }
                 }
+                TableAccess::Resegment { keys } => {
+                    for (n, rows) in self.resegment_rows(family, snapshot, keys)? {
+                        per_node_snapshots.entry(n).or_default().insert(
+                            fname.clone(),
+                            SnapshotScan {
+                                containers: vec![],
+                                wos_rows: rows,
+                            },
+                        );
+                    }
+                }
             }
         }
-        // Run local plans in parallel (one thread per node).
+        // Run local plans as jobs on the shared worker pool. The
+        // `cluster.exec.node<i>` fault points let tests kill a node at the
+        // worst moment: mid-query, after its snapshots resolved.
         let local_plan = Arc::new(planned.local.clone());
-        let mut handles = Vec::new();
+        let mut jobs: Vec<vdb_exec::pool::Job<Vec<Row>>> = Vec::with_capacity(participants.len());
         for &n in &participants {
             let snaps = per_node_snapshots.remove(&n).unwrap_or_default();
             let backend = self.nodes[n].engine.backend().clone();
             let plan = local_plan.clone();
-            handles.push(std::thread::spawn(move || -> DbResult<Vec<Row>> {
+            jobs.push(Box::new(move || -> DbResult<Vec<Row>> {
+                if vdb_storage::fault::fire(&format!("cluster.exec.node{n}")).is_err() {
+                    return Err(DbError::NodeDown {
+                        node: n,
+                        detail: "node died while executing its local plan".into(),
+                    });
+                }
                 let mut ctx = ExecContext::new(backend);
                 ctx.snapshots = snaps;
                 execute_collect(&plan, &mut ctx)
             }));
         }
-        let mut union_rows = Vec::new();
-        for h in handles {
-            let rows = h
-                .join()
-                .map_err(|_| DbError::Execution("node worker panicked".into()))??;
-            union_rows.extend(rows);
-        }
+        let node_rows = vdb_exec::pool::shared().run_tasks(jobs, "cluster local plan")?;
+        let union_rows: Vec<Row> = node_rows.into_iter().flatten().collect();
         // Merge at the initiator.
         let arity = union_arity(&planned.merge, &union_rows);
         let merge_plan = planned.merge_plan(union_rows, arity);
         let mut ctx = ExecContext::new(self.nodes[participants[0]].engine.backend().clone());
         execute_collect(&merge_plan, &mut ctx)
+    }
+
+    /// Ship one family's rows through the exchange, re-segmented on `keys`
+    /// (TABLE column indexes): every up node's buddy-aware local scan feeds
+    /// a ring-routing Send, and each ring position's lane is delivered to
+    /// the node currently designated to read the anchor side's rows for
+    /// that position — so the downstream join stays node-local.
+    fn resegment_rows(
+        &self,
+        family: &Family,
+        snapshot: Epoch,
+        keys: &[usize],
+    ) -> DbResult<Vec<(usize, Vec<Row>)>> {
+        let n_nodes = self.nodes.len();
+        let up = self.up.read().clone();
+        // Keys arrive as table columns; route on their projection positions.
+        let positions: Vec<usize> = keys
+            .iter()
+            .map(|k| {
+                family
+                    .def
+                    .columns
+                    .iter()
+                    .position(|tc| tc == k)
+                    .ok_or_else(|| {
+                        DbError::Plan(format!(
+                            "resegment key column {k} not stored by projection {}",
+                            family.def.name
+                        ))
+                    })
+            })
+            .collect::<DbResult<_>>()?;
+        let hash = Expr::call(
+            Func::Hash,
+            positions.iter().map(|&p| Expr::col(p, "seg")).collect(),
+        );
+        // Ring position -> the node reading the anchor's rows for it under
+        // the current up-mask (primary holder, else the first live buddy).
+        let max_buddy = self.config.k_safety;
+        let reading_node: Vec<usize> = (0..n_nodes)
+            .map(|r| {
+                (0..=max_buddy)
+                    .map(|b| (r + b) % n_nodes)
+                    .find(|&node| up[node])
+                    .ok_or_else(|| {
+                        DbError::Unavailable(format!("ring position {r} has no live replica"))
+                    })
+            })
+            .collect::<DbResult<_>>()?;
+        // One lane per ring position; every source node's router sends into
+        // all of them (the senders are MPSC clones).
+        let mut senders = Vec::with_capacity(n_nodes);
+        let mut receivers = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (tx, rx) = crossbeam::channel::bounded::<vdb_exec::Batch>(4);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut routers = Vec::new();
+        for (_, snap) in self.family_snapshot_per_node(family, snapshot)? {
+            let rows = snapshot_rows(&snap)?;
+            if rows.is_empty() {
+                continue;
+            }
+            let send = vdb_exec::exchange::SendOp::new(
+                Box::new(vdb_exec::operator::ValuesOp::from_rows(rows)),
+                vdb_exec::exchange::Routing::Ring(hash.clone()),
+                senders.clone(),
+                self.exchange_bytes.clone(),
+            )
+            .with_shutdown(self.register_exchange());
+            routers.push(std::thread::spawn(move || send.run()));
+        }
+        drop(senders);
+        // Multiplexed drain: a blocking per-lane drain could deadlock with
+        // a router wedged on a full lane we are not reading yet, so poll
+        // every lane until all routers finished and the lanes ran dry.
+        let mut per_node: Vec<Vec<Row>> = vec![Vec::new(); n_nodes];
+        loop {
+            let mut drained = false;
+            for (r, rx) in receivers.iter().enumerate() {
+                while let Some(batch) = rx.try_recv() {
+                    per_node[reading_node[r]].extend(batch.into_rows());
+                    drained = true;
+                }
+            }
+            if !drained {
+                if routers.iter().all(|h| h.is_finished()) {
+                    break; // final sweep saw dry lanes with no router left
+                }
+                std::thread::yield_now();
+            }
+        }
+        for h in routers {
+            h.join()
+                .map_err(|_| DbError::Execution("exchange router panicked".into()))??;
+        }
+        Ok(up
+            .iter()
+            .enumerate()
+            .filter(|&(_, &isup)| isup)
+            .map(|(n, _)| (n, std::mem::take(&mut per_node[n])))
+            .collect())
     }
 
     /// Build the optimizer catalog from live storage (sampled stats).
@@ -1027,6 +1205,26 @@ impl Cluster {
             self.epochs.freeze_ahm(false);
         }
     }
+}
+
+/// Materialize a snapshot (visible container rows + the WOS tail) into
+/// projection-shaped rows — the local scan feeding an exchange Send.
+fn snapshot_rows(snap: &SnapshotScan) -> DbResult<Vec<Row>> {
+    let mut out = snap.wos_rows.clone();
+    for sc in &snap.containers {
+        let visible = sc.visible(sc.backend.as_ref())?;
+        if matches!(visible, vdb_storage::store::VisibleSet::None) {
+            continue;
+        }
+        let rows = sc.container.read_rows(sc.backend.as_ref())?;
+        for (i, mut row) in rows.into_iter().enumerate() {
+            if visible.is_visible(i as u64) {
+                row.pop(); // trailing epoch column
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn union_arity(merge: &MergeSpec, rows: &[Row]) -> usize {

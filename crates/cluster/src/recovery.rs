@@ -107,7 +107,7 @@ impl Cluster {
             // Copy from any live node's replica.
             let src = (0..n_nodes)
                 .find(|&m| up[m] && m != node)
-                .ok_or_else(|| DbError::Cluster("no live source for recovery".into()))?;
+                .ok_or_else(|| DbError::RecoveryFailed("no live source replica".into()))?;
             let store = self.node_engine(src).projection(&family.replicas[0])?;
             let s = store.read();
             return Ok(ReplaySet {

@@ -50,7 +50,9 @@ impl QueryResult {
     }
 }
 
-/// The database: a cluster plus SQL/plan caching glue.
+/// The database: a cluster plus SQL/plan caching glue. Construct one
+/// through [`crate::Engine::builder`] (the engine derefs to its database);
+/// [`Database::new`] remains the low-level explicit-config entry point.
 ///
 /// # Examples
 ///
@@ -58,9 +60,9 @@ impl QueryResult {
 /// SQL→optimizer→executor→storage pipeline on one node:
 ///
 /// ```
-/// use vdb_core::{Database, Value};
+/// use vdb_core::{Engine, Value};
 ///
-/// let db = Database::single_node();
+/// let db = Engine::builder().open().unwrap();
 /// db.execute("CREATE TABLE t (id INT, name VARCHAR)").unwrap();
 /// db.execute("CREATE PROJECTION t_super AS SELECT id, name FROM t ORDER BY id")
 ///     .unwrap();
@@ -111,8 +113,9 @@ impl Database {
     /// marker, and any effects stamped after that marker — writes applied
     /// by a transaction that crashed before its marker — are truncated
     /// away. See `ARCHITECTURE.md` ("Durability and crash recovery").
+    #[deprecated(since = "0.2.0", note = "use Engine::builder().data_dir(root).open()")]
     pub fn open(root: impl AsRef<std::path::Path>) -> DbResult<Database> {
-        Database::open_with_config(
+        Database::open_at(
             root,
             DatabaseConfig {
                 cluster: ClusterConfig {
@@ -126,9 +129,22 @@ impl Database {
         )
     }
 
-    /// [`Database::open`] with explicit cluster/executor configuration.
+    /// Durable open with explicit cluster/executor configuration.
     /// `config.cluster.data_root` is overwritten with `root`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::builder().data_dir(root) with topology knobs"
+    )]
     pub fn open_with_config(
+        root: impl AsRef<std::path::Path>,
+        config: DatabaseConfig,
+    ) -> DbResult<Database> {
+        Database::open_at(root, config)
+    }
+
+    /// [`Database::new`] rooted at `root` for durability (the engine
+    /// builder's durable path; `config.cluster.data_root` is overwritten).
+    pub(crate) fn open_at(
         root: impl AsRef<std::path::Path>,
         mut config: DatabaseConfig,
     ) -> DbResult<Database> {
@@ -252,6 +268,7 @@ impl Database {
 
     /// Single-node, no-buddy database (laptop mode; what the Table 3 and
     /// Table 4 experiments use).
+    #[deprecated(since = "0.2.0", note = "use Engine::builder().open()")]
     pub fn single_node() -> Database {
         Database::new(DatabaseConfig {
             cluster: ClusterConfig {
@@ -265,6 +282,10 @@ impl Database {
     }
 
     /// A K-safe multi-node cluster.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::builder().nodes(n).k_safety(k).open()"
+    )]
     pub fn cluster_of(n_nodes: usize, k_safety: usize) -> Database {
         Database::new(DatabaseConfig {
             cluster: ClusterConfig {
@@ -278,6 +299,7 @@ impl Database {
 
     /// Single-node database with an explicit executor thread budget
     /// (overrides `VDB_EXEC_THREADS` / host parallelism).
+    #[deprecated(since = "0.2.0", note = "use Engine::builder().threads(t).open()")]
     pub fn single_node_with_threads(threads: usize) -> Database {
         Database::new(DatabaseConfig {
             cluster: ClusterConfig {
@@ -477,8 +499,37 @@ impl Database {
                 let live = self.live_projections();
                 let planned = vdb_optimizer::plan(&catalog, &q, live.as_ref(), &self.exec)?;
                 let mut text = vdb_exec::plan::explain(&planned.local);
+                // Distribution section: where each table's rows come from,
+                // which nodes run the local plan, and how partials merge.
+                let cluster = self.cluster();
+                let up = cluster.up_nodes().len();
+                let n = cluster.n_nodes();
+                if planned.single_node {
+                    text.push_str(&format!(
+                        "-- single node (all projections replicated), initiator of {up}/{n} up\n"
+                    ));
+                } else {
+                    text.push_str(&format!(
+                        "-- distributed over {up}/{n} up nodes, k-safety={}\n",
+                        cluster.config.k_safety
+                    ));
+                }
+                for (proj, access) in &planned.table_access {
+                    let how = match access {
+                        vdb_optimizer::TableAccess::Local => {
+                            "local segments (buddy-aware)".to_string()
+                        }
+                        vdb_optimizer::TableAccess::Broadcast => {
+                            "gather + broadcast to all nodes".to_string()
+                        }
+                        vdb_optimizer::TableAccess::Resegment { keys } => {
+                            format!("resegment through exchange on hash(cols {keys:?}) -> ring")
+                        }
+                    };
+                    text.push_str(&format!("--   {proj}: {how}\n"));
+                }
                 text.push_str(&format!(
-                    "-- merge at initiator: {}\n-- table access: {:?}\n",
+                    "-- merge at initiator: {}\n",
                     match &planned.merge {
                         vdb_optimizer::MergeSpec::Concat { .. } => "concat".to_string(),
                         vdb_optimizer::MergeSpec::ReAggregate { .. } =>
@@ -486,7 +537,6 @@ impl Database {
                         vdb_optimizer::MergeSpec::WindowThenProject { .. } =>
                             "apply windows".to_string(),
                     },
-                    planned.table_access
                 ));
                 Ok(QueryResult {
                     columns: vec!["QUERY PLAN".into()],
@@ -659,8 +709,8 @@ impl SchemaProvider for Schemas<'_> {
 mod tests {
     use super::*;
 
-    fn db_with_sales() -> Database {
-        let db = Database::single_node();
+    fn db_with_sales() -> crate::Engine {
+        let db = crate::Engine::builder().open().unwrap();
         db.execute("CREATE TABLE sales (id INT, region VARCHAR, amt FLOAT, ts TIMESTAMP)")
             .unwrap();
         db.execute(
@@ -788,7 +838,7 @@ mod tests {
 
     #[test]
     fn multinode_query_with_failure_and_recovery() {
-        let db = Database::cluster_of(3, 1);
+        let db = crate::Engine::builder().nodes(3).open().unwrap();
         db.execute("CREATE TABLE t (id INT, v INT)").unwrap();
         db.execute(
             "CREATE PROJECTION t_super AS SELECT id, v FROM t ORDER BY id \
@@ -853,7 +903,7 @@ mod tests {
 
     #[test]
     fn partition_pruning_and_drop_partition() {
-        let db = Database::single_node();
+        let db = crate::Engine::builder().open().unwrap();
         db.execute("CREATE TABLE events (id INT, ts TIMESTAMP) PARTITION BY YEAR_MONTH(ts)")
             .unwrap();
         db.execute(
@@ -881,7 +931,7 @@ mod tests {
 
     #[test]
     fn designer_installs_projections() {
-        let db = Database::single_node();
+        let db = crate::Engine::builder().open().unwrap();
         db.execute("CREATE TABLE m (metric INT, meter INT, ts TIMESTAMP, value FLOAT)")
             .unwrap();
         let sample: Vec<Row> = (0..500)
@@ -916,8 +966,8 @@ mod tests {
     fn parallel_scan_group_by_end_to_end() {
         // Several direct loads → several ROS containers → the planner
         // picks a morsel-parallel plan; results must match the serial DB.
-        let parallel = Database::single_node_with_threads(4);
-        let serial = Database::single_node_with_threads(1);
+        let parallel = crate::Engine::builder().threads(4).open().unwrap();
+        let serial = crate::Engine::builder().threads(1).open().unwrap();
         for db in [&parallel, &serial] {
             db.execute("CREATE TABLE t (g INT, v INT)").unwrap();
             db.execute(
@@ -953,8 +1003,8 @@ mod tests {
         // Multi-container fact + dim: the planner rewrites the join to the
         // morsel-parallel partitioned hash join; results must match the
         // serial database exactly, and the SIP coupling must survive.
-        let parallel = Database::single_node_with_threads(4);
-        let serial = Database::single_node_with_threads(1);
+        let parallel = crate::Engine::builder().threads(4).open().unwrap();
+        let serial = crate::Engine::builder().threads(1).open().unwrap();
         assert_eq!(parallel.exec_options().threads, 4);
         for db in [&parallel, &serial] {
             db.execute("CREATE TABLE f (k INT, v INT)").unwrap();
@@ -1043,7 +1093,7 @@ mod tests {
         let root = std::env::temp_dir().join(format!("vdb_open_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         {
-            let db = Database::open(&root).unwrap();
+            let db = crate::Engine::builder().data_dir(&root).open().unwrap();
             db.execute("CREATE TABLE t (id INT, v INT)").unwrap();
             db.execute(
                 "CREATE PROJECTION t_super AS SELECT id, v FROM t ORDER BY id \
@@ -1059,7 +1109,7 @@ mod tests {
             db.load("t", &bulk).unwrap();
             db.execute("DELETE FROM t WHERE id = 1").unwrap();
         }
-        let db = Database::open(&root).unwrap();
+        let db = crate::Engine::builder().data_dir(&root).open().unwrap();
         assert_eq!(
             db.query("SELECT id, v FROM t ORDER BY id").unwrap(),
             vec![
@@ -1083,7 +1133,7 @@ mod tests {
         let root = std::env::temp_dir().join(format!("vdb_ddlwal_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         {
-            let db = Database::open(&root).unwrap();
+            let db = crate::Engine::builder().data_dir(&root).open().unwrap();
             db.execute("CREATE TABLE t (id INT, v INT)").unwrap();
             // Write-ahead logging records the statement even though it
             // fails (duplicate table); replay must skip it.
@@ -1105,7 +1155,7 @@ mod tests {
                 .unwrap();
             write!(f, "CREATE TAB").unwrap();
         }
-        let db = Database::open(&root).unwrap();
+        let db = crate::Engine::builder().data_dir(&root).open().unwrap();
         assert_eq!(
             db.query("SELECT id, v FROM t").unwrap(),
             vec![vec![Value::Integer(1), Value::Integer(10)]]
@@ -1114,7 +1164,7 @@ mod tests {
         // second reopen still skips only the debris.
         db.execute("CREATE TABLE u (x INT)").unwrap();
         drop(db);
-        let db = Database::open(&root).unwrap();
+        let db = crate::Engine::builder().data_dir(&root).open().unwrap();
         db.execute(
             "CREATE PROJECTION u_super AS SELECT x FROM u ORDER BY x \
              SEGMENTED BY HASH(x) ALL NODES",

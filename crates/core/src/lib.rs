@@ -11,10 +11,12 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod database;
+pub mod engine;
 pub mod loader;
 pub mod serve;
 
 pub use database::{Database, DatabaseConfig, QueryResult};
+pub use engine::{Engine, EngineBuilder};
 pub use loader::{load_csv, LoadReport};
 pub use serve::{ServeConfig, Server, ServerStats, Session};
 

@@ -72,8 +72,8 @@ pub fn load_csv(db: &Database, table: &str, csv: &str) -> DbResult<LoadReport> {
 mod tests {
     use super::*;
 
-    fn db() -> Database {
-        let db = Database::single_node();
+    fn db() -> crate::Engine {
+        let db = crate::Engine::builder().open().unwrap();
         db.execute("CREATE TABLE t (id INT NOT NULL, name VARCHAR, amt FLOAT)")
             .unwrap();
         db.execute(

@@ -182,10 +182,10 @@ impl AdmissionGate {
         }
         if s.waiting >= self.max_queue {
             counters.queue_rejections.fetch_add(1, Ordering::Relaxed);
-            return Err(DbError::Execution(format!(
-                "admission queue full: {} running, {} waiting",
-                s.running, s.waiting
-            )));
+            return Err(DbError::AdmissionQueueFull {
+                running: s.running,
+                waiting: s.waiting,
+            });
         }
         s.waiting += 1;
         let deadline = Instant::now() + self.queue_timeout;
@@ -200,10 +200,9 @@ impl AdmissionGate {
             if now >= deadline {
                 s.waiting -= 1;
                 counters.queue_timeouts.fetch_add(1, Ordering::Relaxed);
-                return Err(DbError::Execution(format!(
-                    "admission timed out after {:?} waiting for a query slot",
-                    self.queue_timeout
-                )));
+                return Err(DbError::AdmissionTimeout {
+                    waited_ms: self.queue_timeout.as_millis() as u64,
+                });
             }
             let (guard, _) = self
                 .freed
@@ -313,7 +312,8 @@ pub struct Server {
 }
 
 impl Server {
-    pub fn new(db: Arc<Database>, config: ServeConfig) -> Arc<Server> {
+    /// Assemble the serving layer (the engine builder's serve path).
+    pub(crate) fn build(db: Arc<Database>, config: ServeConfig) -> Arc<Server> {
         let gate = Arc::new(AdmissionGate::new(
             config.max_concurrent,
             config.max_queue,
@@ -328,9 +328,18 @@ impl Server {
         })
     }
 
+    #[deprecated(since = "0.2.0", note = "use Engine::builder().serve(config).open()")]
+    pub fn new(db: Arc<Database>, config: ServeConfig) -> Arc<Server> {
+        Server::build(db, config)
+    }
+
     /// Serving defaults over a fresh handle to `db`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::builder().open() and engine.server()"
+    )]
     pub fn with_defaults(db: Arc<Database>) -> Arc<Server> {
-        Server::new(db, ServeConfig::default())
+        Server::build(db, ServeConfig::default())
     }
 
     /// Open a new session. Sessions are independent: each carries its own
@@ -387,11 +396,9 @@ impl Server {
                 if outcome.is_none() {
                     self.counters.query_timeouts.fetch_add(1, Ordering::Relaxed);
                 }
-                outcome.unwrap_or_else(|| {
-                    Err(DbError::Execution(format!(
-                        "query timed out after {deadline:?} (still completing in the background)"
-                    )))
-                })
+                outcome.unwrap_or(Err(DbError::QueryTimeout {
+                    deadline_ms: deadline.as_millis() as u64,
+                }))
             }
         }
     }
@@ -507,16 +514,14 @@ fn run_statement(server: &Arc<Server>, work: Statement) -> DbResult<QueryResult>
 /// # Examples
 ///
 /// ```
-/// use std::sync::Arc;
-/// use vdb_core::{Database, Value};
-/// use vdb_core::serve::Server;
+/// use vdb_core::{Engine, Value};
 ///
-/// let db = Arc::new(Database::single_node());
-/// db.execute("CREATE TABLE t (id INT, v INT)").unwrap();
-/// db.execute("CREATE PROJECTION t_super AS SELECT id, v FROM t ORDER BY id").unwrap();
-/// db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+/// let engine = Engine::builder().open().unwrap();
+/// engine.execute("CREATE TABLE t (id INT, v INT)").unwrap();
+/// engine.execute("CREATE PROJECTION t_super AS SELECT id, v FROM t ORDER BY id").unwrap();
+/// engine.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
 ///
-/// let server = Server::with_defaults(db);
+/// let server = engine.server();
 /// let mut session = server.session();
 /// session.prepare("get", "SELECT v FROM t WHERE id = ?").unwrap();
 /// let rows = session
@@ -589,7 +594,7 @@ mod tests {
     use super::*;
 
     fn served_db() -> Arc<Database> {
-        let db = Arc::new(Database::single_node());
+        let db = crate::Engine::builder().open().unwrap().database().clone();
         db.execute("CREATE TABLE t (g INT, v INT)").unwrap();
         db.execute(
             "CREATE PROJECTION t_super AS SELECT g, v FROM t ORDER BY v \
@@ -605,7 +610,7 @@ mod tests {
 
     #[test]
     fn sessions_share_the_plan_cache() {
-        let server = Server::with_defaults(served_db());
+        let server = Server::build(served_db(), ServeConfig::default());
         let s1 = server.session();
         let s2 = server.session();
         let sql = "SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY g";
@@ -623,7 +628,7 @@ mod tests {
 
     #[test]
     fn different_literals_do_not_share_plans() {
-        let server = Server::with_defaults(served_db());
+        let server = Server::build(served_db(), ServeConfig::default());
         let s = server.session();
         assert_eq!(s.query("SELECT v FROM t WHERE v = 3").unwrap().len(), 1);
         assert_eq!(s.query("SELECT v FROM t WHERE v = 4").unwrap().len(), 1);
@@ -639,7 +644,7 @@ mod tests {
 
     #[test]
     fn plan_cache_survives_dml_but_not_ddl() {
-        let server = Server::with_defaults(served_db());
+        let server = Server::build(served_db(), ServeConfig::default());
         let s = server.session();
         let sql = "SELECT COUNT(*) FROM t";
         assert_eq!(
@@ -678,7 +683,7 @@ mod tests {
 
     #[test]
     fn prepared_statements_bind_params_and_hit_the_cache() {
-        let server = Server::with_defaults(served_db());
+        let server = Server::build(served_db(), ServeConfig::default());
         let mut s = server.session();
         s.prepare("by_v", "SELECT g FROM t WHERE v = ?").unwrap();
         assert_eq!(
@@ -711,7 +716,9 @@ mod tests {
         let held = gate.acquire(&counters).unwrap();
         // max_queue = 0: no waiting allowed — immediate rejection.
         match gate.acquire(&counters) {
-            Err(DbError::Execution(msg)) => assert!(msg.contains("queue full"), "{msg}"),
+            Err(e @ DbError::AdmissionQueueFull { running: 1, .. }) => {
+                assert!(e.is_retryable(), "queue pressure is transient: {e}");
+            }
             other => panic!("expected queue-full error, got {other:?}"),
         }
         drop(held);
@@ -723,8 +730,8 @@ mod tests {
         let _held = gate.acquire(&counters).unwrap();
         let started = Instant::now();
         match gate.acquire(&counters) {
-            Err(DbError::Execution(msg)) => {
-                assert!(msg.contains("timed out"), "{msg}");
+            Err(e @ DbError::AdmissionTimeout { waited_ms: 20 }) => {
+                assert!(e.is_retryable(), "queue timeout is transient: {e}");
                 assert!(started.elapsed() >= Duration::from_millis(20));
             }
             other => panic!("expected queue-timeout error, got {other:?}"),
@@ -785,7 +792,7 @@ mod tests {
     #[test]
     fn query_timeout_surfaces_as_an_error_not_a_hang() {
         let db = served_db();
-        let server = Server::new(
+        let server = Server::build(
             db,
             ServeConfig {
                 query_timeout: Some(Duration::from_secs(30)),
@@ -804,7 +811,7 @@ mod tests {
     #[test]
     fn lru_evicts_the_coldest_plan() {
         let db = served_db();
-        let server = Server::new(
+        let server = Server::build(
             db,
             ServeConfig {
                 plan_cache_capacity: 2,
@@ -827,7 +834,7 @@ mod tests {
 
     #[test]
     fn non_selects_bypass_the_cache() {
-        let server = Server::with_defaults(served_db());
+        let server = Server::build(served_db(), ServeConfig::default());
         let s = server.session();
         s.execute("INSERT INTO t VALUES (1, 2000)").unwrap();
         s.execute("EXPLAIN SELECT COUNT(*) FROM t").unwrap();
@@ -838,7 +845,12 @@ mod tests {
 
     #[test]
     fn degraded_cluster_bypasses_the_plan_cache() {
-        let db = Arc::new(Database::cluster_of(3, 1));
+        let db = crate::Engine::builder()
+            .nodes(3)
+            .open()
+            .unwrap()
+            .database()
+            .clone();
         db.execute("CREATE TABLE t (id INT, v INT)").unwrap();
         db.execute(
             "CREATE PROJECTION t_super AS SELECT id, v FROM t ORDER BY id \
@@ -849,7 +861,7 @@ mod tests {
             .map(|i| vec![Value::Integer(i), Value::Integer(i % 5)])
             .collect();
         db.load("t", &rows).unwrap();
-        let server = Server::with_defaults(db.clone());
+        let server = Server::build(db.clone(), ServeConfig::default());
         let s = server.session();
         let sql = "SELECT COUNT(*) FROM t";
         assert_eq!(s.execute(sql).unwrap().scalar(), Some(&Value::Integer(100)));

@@ -6,16 +6,15 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use vdb_core::serve::Server;
-use vdb_core::{Database, Row, Value};
+use vdb_core::{Engine, Row, Value};
 
 /// `(g, v)` rows; low-cardinality `g` gives group-by queries real groups.
 fn arb_rows() -> impl Strategy<Value = Vec<(i64, i64)>> {
     prop::collection::vec(((0i64..5), (-50i64..50)), 1..120)
 }
 
-fn build_db(rows: &[(i64, i64)]) -> Arc<Database> {
-    let db = Arc::new(Database::single_node());
+fn build_db(rows: &[(i64, i64)]) -> Engine {
+    let db = Engine::builder().open().unwrap();
     db.execute("CREATE TABLE t (g INT, v INT)").unwrap();
     db.execute(
         "CREATE PROJECTION t_super AS SELECT g, v FROM t ORDER BY v \
@@ -69,7 +68,7 @@ proptest! {
         let original_workers = pool.workers();
         for pool_size in [1usize, 2, 7] {
             pool.resize(pool_size);
-            let server = Server::with_defaults(db.clone());
+            let server = db.server().clone();
             const SESSIONS: usize = 4;
             std::thread::scope(|scope| {
                 for s in 0..SESSIONS {

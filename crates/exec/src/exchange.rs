@@ -16,8 +16,8 @@
 
 use crate::batch::{Batch, ColumnSlice, BATCH_SIZE};
 use crate::operator::{BoxedOperator, Operator};
-use crossbeam::channel::{bounded, Receiver, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use vdb_types::schema::{compare_rows, SortKey};
 use vdb_types::{DbError, DbResult, Row};
@@ -38,6 +38,13 @@ pub enum Routing {
 /// Shared byte counter for network accounting.
 pub type ByteCounter = Arc<AtomicU64>;
 
+/// Cooperative abort signal for an exchange. The cluster sets it when a
+/// downstream node is declared dead; routers observe it instead of blocking
+/// forever on a channel the dead node's consumer will never drain, so
+/// exchange workers drain and join cleanly and the query can be retried
+/// against buddy replicas.
+pub type ShutdownFlag = Arc<AtomicBool>;
+
 /// Pulls from a child and pushes batches to N channels by routing rule.
 /// Drives to completion on first `next_batch` call and yields no rows
 /// itself (a sink); pair it with [`RecvOp`]s on the other end.
@@ -46,6 +53,7 @@ pub struct SendOp {
     routing: Routing,
     senders: Vec<Sender<Batch>>,
     bytes_sent: ByteCounter,
+    shutdown: Option<ShutdownFlag>,
 }
 
 impl SendOp {
@@ -60,6 +68,46 @@ impl SendOp {
             routing,
             senders,
             bytes_sent,
+            shutdown: None,
+        }
+    }
+
+    /// Attach a shutdown flag: once set, the router stops pulling input and
+    /// every in-flight send aborts with a retryable [`DbError::Unavailable`]
+    /// instead of blocking on a full channel whose consumer died.
+    pub fn with_shutdown(mut self, flag: ShutdownFlag) -> SendOp {
+        self.shutdown = Some(flag);
+        self
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Deliver one batch to one lane. Without a shutdown flag this is the
+    /// plain blocking send; with one, the send polls so a declared-dead
+    /// downstream can't wedge the router on a full channel.
+    fn deliver(&self, lane: usize, piece: Batch) -> DbResult<()> {
+        let Some(flag) = &self.shutdown else {
+            return self.senders[lane].send(piece).map_err(closed);
+        };
+        let mut msg = piece;
+        loop {
+            if flag.load(Ordering::Acquire) {
+                return Err(aborted());
+            }
+            match self.senders[lane].try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(closed(crossbeam::channel::SendError(())))
+                }
+                Err(TrySendError::Full(m)) => {
+                    msg = m;
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+            }
         }
     }
 
@@ -77,6 +125,9 @@ impl SendOp {
     pub fn run(mut self) -> DbResult<()> {
         let n = self.senders.len();
         while let Some(batch) = self.input.next_batch()? {
+            if self.shutting_down() {
+                return Err(aborted());
+            }
             if batch.is_empty() {
                 continue;
             }
@@ -84,8 +135,8 @@ impl SendOp {
                 Routing::Broadcast => {
                     self.bytes_sent
                         .fetch_add((batch.approx_bytes() * n) as u64, Ordering::Relaxed);
-                    for s in &self.senders {
-                        s.send(batch.clone()).map_err(closed)?;
+                    for lane in 0..n {
+                        self.deliver(lane, batch.clone())?;
                     }
                 }
                 Routing::HashColumns(cols) => {
@@ -137,7 +188,7 @@ impl SendOp {
             let piece = batch.materialized(&crate::vector::SelectionVector::new(idx));
             self.bytes_sent
                 .fetch_add(piece.approx_bytes() as u64, Ordering::Relaxed);
-            self.senders[lane].send(piece).map_err(closed)?;
+            self.deliver(lane, piece)?;
         }
         Ok(())
     }
@@ -145,6 +196,10 @@ impl SendOp {
 
 fn closed<T>(_: crossbeam::channel::SendError<T>) -> DbError {
     DbError::Execution("receiver hung up (node ejected?)".into())
+}
+
+fn aborted() -> DbError {
+    DbError::Unavailable("exchange shut down: downstream node declared dead".into())
 }
 
 /// Receives batches from one channel.
@@ -513,6 +568,54 @@ mod tests {
         assert!(router.join().expect("no panic").is_ok());
         assert_eq!(a.len(), 1, "low half: only 0");
         assert_eq!(b.len(), 2, "high half: 2^63 and MAX");
+    }
+
+    #[test]
+    fn shutdown_flag_unblocks_router_stuck_on_full_channel() {
+        // A one-slot channel whose consumer never drains: the dead-node
+        // scenario. Without the flag the router would block in send()
+        // forever; with it, the router drains and joins with a retryable
+        // Unavailable error.
+        let (tx, rx) = bounded(1);
+        let flag: ShutdownFlag = Arc::new(AtomicBool::new(false));
+        let send = SendOp::new(
+            Box::new(ValuesOp::from_rows(rows(5000))),
+            Routing::Broadcast,
+            vec![tx],
+            Arc::new(AtomicU64::new(0)),
+        )
+        .with_shutdown(flag.clone());
+        let router = std::thread::spawn(move || send.run());
+        // Let the router wedge on the full channel, then declare the
+        // downstream dead.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        flag.store(true, Ordering::Release);
+        let got = router.join().expect("router joins instead of hanging");
+        match got {
+            Err(e @ DbError::Unavailable(_)) => {
+                assert!(e.is_retryable(), "exchange abort must be retryable: {e}")
+            }
+            other => panic!("expected Unavailable from aborted exchange, got {other:?}"),
+        }
+        drop(rx);
+    }
+
+    #[test]
+    fn shutdown_flag_clear_leaves_routing_intact() {
+        let (tx1, rx1) = bounded(64);
+        let (tx2, rx2) = bounded(64);
+        let send = SendOp::new(
+            Box::new(ValuesOp::from_rows(rows(1000))),
+            Routing::HashColumns(vec![0]),
+            vec![tx1, tx2],
+            Arc::new(AtomicU64::new(0)),
+        )
+        .with_shutdown(Arc::new(AtomicBool::new(false)));
+        let router = std::thread::spawn(move || send.run());
+        let a = collect_rows(&mut RecvOp::new(rx1)).unwrap();
+        let b = collect_rows(&mut RecvOp::new(rx2)).unwrap();
+        assert!(router.join().expect("no panic").is_ok());
+        assert_eq!(a.len() + b.len(), 1000);
     }
 
     #[test]

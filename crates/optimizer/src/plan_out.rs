@@ -15,6 +15,13 @@ pub enum TableAccess {
     /// Gather the table's rows from every node and broadcast to all nodes
     /// before running the local plan (non-co-located build side).
     Broadcast,
+    /// Re-segment the table's rows through the exchange on the given TABLE
+    /// column indexes (the dim side's join keys). Legal when the other side
+    /// of an inner-join edge is hash-segmented on exactly its join columns:
+    /// routing dim rows by `hash(keys)` over the same ring lands each row on
+    /// the node that stores its matching anchor rows, so the join stays
+    /// node-local without shipping the whole table everywhere.
+    Resegment { keys: Vec<usize> },
 }
 
 /// How per-node result streams combine into the final answer.

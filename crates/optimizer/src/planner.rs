@@ -684,22 +684,40 @@ impl<'a> Planner<'a> {
                     TableAccess::Local
                 } else {
                     // Co-located if both ends of the edge hash-segment on
-                    // exactly the join key columns.
-                    let co_located = self.query.joins.iter().any(|e| {
+                    // exactly the join key columns. Failing that, an inner
+                    // edge whose other side IS segmented on its join keys
+                    // can re-segment this table through the exchange
+                    // instead of broadcasting it everywhere.
+                    let mut co_located = false;
+                    let mut resegment: Option<Vec<usize>> = None;
+                    for e in &self.query.joins {
                         let (dim, dim_cols, other, other_cols) = if e.left_table == t {
                             (t, &e.left_columns, e.right_table, &e.right_columns)
                         } else if e.right_table == t {
                             (t, &e.right_columns, e.left_table, &e.left_columns)
                         } else {
-                            return false;
+                            continue;
                         };
                         let dim_seg = scans[dim].seg_columns.as_deref();
                         let other_seg = scans[other].seg_columns.as_deref();
-                        matches_cols(dim_seg, dim_cols)
+                        if matches_cols(dim_seg, dim_cols)
                             && (scans[other].replicated || matches_cols(other_seg, other_cols))
-                    });
+                        {
+                            co_located = true;
+                            break;
+                        }
+                        if e.join_type == JoinType::Inner
+                            && !scans[other].replicated
+                            && matches_cols(other_seg, other_cols)
+                            && resegment.is_none()
+                        {
+                            resegment = Some(dim_cols.clone());
+                        }
+                    }
                     if co_located {
                         TableAccess::Local
+                    } else if let Some(keys) = resegment {
+                        TableAccess::Resegment { keys }
                     } else {
                         TableAccess::Broadcast
                     }
@@ -1516,6 +1534,40 @@ mod tests {
         let dim = cat.tables.get_mut("dim").unwrap();
         dim.projections[0].def.segmentation = Segmentation::hash_of(&[(1, "name_code")]);
         let planned = plan(&cat, &join_query(), None, &ExecOptions::serial()).unwrap();
+        let dim_access = planned
+            .table_access
+            .iter()
+            .find(|(p, _)| p == "dim_super")
+            .unwrap();
+        assert_eq!(dim_access.1, TableAccess::Broadcast);
+    }
+
+    #[test]
+    fn dim_resegments_when_fact_is_segmented_on_join_keys() {
+        let mut cat = catalog();
+        // dim segmented on name_code (not the join key) but fact segmented
+        // on dim_id (exactly its join key): dim rows can be re-routed by
+        // hash(dim.id) to land next to their matching fact rows.
+        let dim = cat.tables.get_mut("dim").unwrap();
+        dim.projections[0].def.segmentation = Segmentation::hash_of(&[(1, "name_code")]);
+        let fact = cat.tables.get_mut("fact").unwrap();
+        fact.projections[0].def.segmentation = Segmentation::hash_of(&[(1, "dim_id")]);
+        let planned = plan(&cat, &join_query(), None, &ExecOptions::serial()).unwrap();
+        let dim_access = planned
+            .table_access
+            .iter()
+            .find(|(p, _)| p == "dim_super")
+            .unwrap();
+        assert_eq!(
+            dim_access.1,
+            TableAccess::Resegment { keys: vec![0] },
+            "dim join key is table column 0 (id)"
+        );
+        // Outer joins must not resegment: unmatched dim rows would emit on
+        // one node only by luck of routing — keep the conservative broadcast.
+        let mut q = join_query();
+        q.joins[0].join_type = JoinType::LeftOuter;
+        let planned = plan(&cat, &q, None, &ExecOptions::serial()).unwrap();
         let dim_access = planned
             .table_access
             .iter()

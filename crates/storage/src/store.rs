@@ -307,8 +307,8 @@ impl ProjectionStore {
     pub fn ensure_usable(&self) -> DbResult<()> {
         match &self.poisoned {
             None => Ok(()),
-            Some(why) => Err(DbError::Corrupt(format!(
-                "projection {} needs reopen: {why}",
+            Some(why) => Err(DbError::NeedsReopen(format!(
+                "projection {}: {why}",
                 self.def.name
             ))),
         }

@@ -43,12 +43,50 @@ pub enum DbError {
     Io(String),
     /// Constraint violation such as loading a row that fails the schema.
     Constraint(String),
+    /// Admission control rejected the statement outright: the wait queue is
+    /// at capacity. Transient — retry once in-flight statements drain.
+    AdmissionQueueFull { running: usize, waiting: usize },
+    /// The statement waited its full admission-queue timeout without an
+    /// execution slot freeing up. Transient.
+    AdmissionTimeout { waited_ms: u64 },
+    /// The statement exceeded its per-query deadline (it may still complete
+    /// in the background; its slot releases when it truly finishes).
+    QueryTimeout { deadline_ms: u64 },
+    /// A store mutation failed mid-flight and the in-memory state can no
+    /// longer be trusted: the database must be reopened from disk. Fatal
+    /// for this process instance — retrying without a reopen cannot help.
+    NeedsReopen(String),
+    /// A specific node died (or was declared dead) while serving this
+    /// operation. Transient: buddy projections can cover the ring position
+    /// once the cluster reroutes, so the operation is safe to retry.
+    NodeDown { node: usize, detail: String },
+    /// The cluster cannot serve the operation right now (quorum or
+    /// K-safety data coverage lost). Transient if nodes recover.
+    Unavailable(String),
+    /// Node recovery itself failed (no live buddy source, replay error).
+    RecoveryFailed(String),
 }
 
 impl DbError {
     /// Helper for I/O conversions that keeps call sites terse.
     pub fn io(e: std::io::Error) -> Self {
         DbError::Io(e.to_string())
+    }
+
+    /// Whether retrying the same operation can plausibly succeed without
+    /// operator intervention: admission pressure drains, lock conflicts
+    /// resolve, dead nodes get rerouted around or recovered. Errors like
+    /// parse/plan/corrupt/needs-reopen are deterministic — retrying the
+    /// identical call cannot change the outcome.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DbError::AdmissionQueueFull { .. }
+                | DbError::AdmissionTimeout { .. }
+                | DbError::LockConflict { .. }
+                | DbError::NodeDown { .. }
+                | DbError::Unavailable(_)
+        )
     }
 }
 
@@ -77,6 +115,24 @@ impl fmt::Display for DbError {
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
             DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::AdmissionQueueFull { running, waiting } => write!(
+                f,
+                "admission queue full: {running} running, {waiting} waiting"
+            ),
+            DbError::AdmissionTimeout { waited_ms } => write!(
+                f,
+                "admission timed out after {waited_ms}ms waiting for a query slot"
+            ),
+            DbError::QueryTimeout { deadline_ms } => write!(
+                f,
+                "query timed out after {deadline_ms}ms (still completing in the background)"
+            ),
+            DbError::NeedsReopen(m) => write!(f, "store needs reopen: {m}"),
+            DbError::NodeDown { node, detail } => {
+                write!(f, "node {node} is down: {detail}")
+            }
+            DbError::Unavailable(m) => write!(f, "cluster unavailable: {m}"),
+            DbError::RecoveryFailed(m) => write!(f, "recovery failed: {m}"),
         }
     }
 }
@@ -122,5 +178,40 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(DbError::Parse("x".into()), DbError::Parse("x".into()));
         assert_ne!(DbError::Parse("x".into()), DbError::Binder("x".into()));
+    }
+
+    #[test]
+    fn retryability_separates_transient_from_fatal() {
+        let transient = [
+            DbError::AdmissionQueueFull {
+                running: 4,
+                waiting: 16,
+            },
+            DbError::AdmissionTimeout { waited_ms: 250 },
+            DbError::NodeDown {
+                node: 2,
+                detail: "killed mid-query".into(),
+            },
+            DbError::Unavailable("quorum lost".into()),
+            DbError::LockConflict {
+                table: "t".into(),
+                requested: "X".into(),
+                held: "S".into(),
+            },
+        ];
+        for e in &transient {
+            assert!(e.is_retryable(), "{e} should be retryable");
+        }
+        let fatal = [
+            DbError::NeedsReopen("poisoned mid-moveout".into()),
+            DbError::QueryTimeout { deadline_ms: 100 },
+            DbError::RecoveryFailed("no live buddy".into()),
+            DbError::Parse("nope".into()),
+            DbError::Corrupt("bad block".into()),
+            DbError::Execution("divide by zero".into()),
+        ];
+        for e in &fatal {
+            assert!(!e.is_retryable(), "{e} should not be retryable");
+        }
     }
 }

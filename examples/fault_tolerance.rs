@@ -6,7 +6,7 @@
 //! cargo run -p vdb_examples --example fault_tolerance
 //! ```
 
-use vdb_core::{Database, Value};
+use vdb_core::{Engine, Value};
 
 fn main() -> vdb_core::DbResult<()> {
     // §5.1: crash durability. The demo streams commits into a durable
@@ -22,7 +22,7 @@ fn main() -> vdb_core::DbResult<()> {
 
     // §5.2–5.3: node failures in a K-safe cluster.
     println!("\n=== node failure and recovery (§5.2) ===");
-    let db = Database::cluster_of(3, 1);
+    let db = Engine::builder().nodes(3).k_safety(1).open()?;
     db.execute("CREATE TABLE events (id INT, kind INT)")?;
     db.execute(
         "CREATE PROJECTION events_super AS SELECT id, kind FROM events ORDER BY id \
@@ -33,7 +33,7 @@ fn main() -> vdb_core::DbResult<()> {
         .collect();
     db.load("events", &rows)?;
 
-    let count = |db: &Database| -> i64 {
+    let count = |db: &Engine| -> i64 {
         db.query("SELECT kind, COUNT(*) FROM events GROUP BY kind")
             .unwrap()
             .iter()

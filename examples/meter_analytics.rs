@@ -7,10 +7,10 @@
 //! ```
 
 use vdb_bench::workloads::meter;
-use vdb_core::Database;
+use vdb_core::Engine;
 
 fn main() -> vdb_core::DbResult<()> {
-    let db = Database::single_node();
+    let db = Engine::builder().open()?;
     db.execute("CREATE TABLE meter_data (metric INT, meter INT, ts TIMESTAMP, value FLOAT)")?;
 
     // Let the Database Designer pick projections and encodings from a

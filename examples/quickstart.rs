@@ -4,11 +4,11 @@
 //! cargo run -p vdb_examples --example quickstart
 //! ```
 
-use vdb_core::{Database, Value};
+use vdb_core::{Engine, Value};
 
 fn main() -> vdb_core::DbResult<()> {
     // A 3-node, K=1 cluster: every segmented projection keeps a buddy.
-    let db = Database::cluster_of(3, 1);
+    let db = Engine::builder().nodes(3).k_safety(1).open()?;
 
     db.execute(
         "CREATE TABLE sales (

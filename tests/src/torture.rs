@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use vdb_core::{Database, QueryResult, Value};
+use vdb_core::{Database, Engine, QueryResult, Value};
 use vdb_storage::fault;
 use vdb_types::{Epoch, Expr, Row};
 
@@ -222,9 +222,14 @@ pub fn run(config: &TortureConfig) -> TortureReport {
     let db = Arc::new(match &config.data_root {
         Some(root) => {
             let _ = std::fs::remove_dir_all(root);
-            Database::open(root).expect("open durable torture database")
+            Engine::builder()
+                .data_dir(root)
+                .open()
+                .expect("open durable torture database")
         }
-        None => Database::single_node(),
+        None => Engine::builder()
+            .open()
+            .expect("open in-memory torture database"),
     });
     setup_schema(&db);
     let baseline = db.cluster().epochs.read_committed_snapshot();
@@ -640,7 +645,10 @@ pub fn kill_and_recover(root: &Path, point: &str) -> Result<(), String> {
     fault::disarm_all();
     let _ = std::fs::remove_dir_all(root);
     let fmt = |e: &dyn std::fmt::Display| format!("[{point}] {e}");
-    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    let db = Engine::builder()
+        .data_dir(root)
+        .open()
+        .map_err(|e| fmt(&e))?;
     db.execute("CREATE TABLE t (id INT, grp INT, v INT)")
         .map_err(|e| fmt(&e))?;
     db.execute(
@@ -721,7 +729,10 @@ pub fn kill_and_recover(root: &Path, point: &str) -> Result<(), String> {
     }
     drop(db); // the kill: in-memory state (incl. the volatile WOS) is gone
 
-    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    let db = Engine::builder()
+        .data_dir(root)
+        .open()
+        .map_err(|e| fmt(&e))?;
     let got: Vec<(i64, i64, i64)> = db
         .query("SELECT id, grp, v FROM t ORDER BY id")
         .map_err(|e| fmt(&e))?
@@ -767,7 +778,10 @@ fn kill_and_recover_drop_partition(root: &Path, point: &str) -> Result<(), Strin
     fault::disarm_all();
     let _ = std::fs::remove_dir_all(root);
     let fmt = |e: &dyn std::fmt::Display| format!("[{point}] {e}");
-    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    let db = Engine::builder()
+        .data_dir(root)
+        .open()
+        .map_err(|e| fmt(&e))?;
     db.execute("CREATE TABLE t (id INT, grp INT, v INT) PARTITION BY grp")
         .map_err(|e| fmt(&e))?;
     db.execute(
@@ -822,7 +836,10 @@ fn kill_and_recover_drop_partition(root: &Path, point: &str) -> Result<(), Strin
         // Manifest committed before the crash: the drop is durable.
         expected.retain(|&(_, grp, _)| grp != 1);
     }
-    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    let db = Engine::builder()
+        .data_dir(root)
+        .open()
+        .map_err(|e| fmt(&e))?;
     let got: Vec<(i64, i64, i64)> = db
         .query("SELECT id, grp, v FROM t ORDER BY id")
         .map_err(|e| fmt(&e))?
@@ -867,7 +884,10 @@ fn kill_and_recover_truncate(root: &Path) -> Result<(), String> {
     fault::disarm_all();
     let _ = std::fs::remove_dir_all(root);
     let fmt = |e: &dyn std::fmt::Display| format!("[{point}] {e}");
-    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    let db = Engine::builder()
+        .data_dir(root)
+        .open()
+        .map_err(|e| fmt(&e))?;
     db.execute("CREATE TABLE t (id INT, grp INT, v INT)")
         .map_err(|e| fmt(&e))?;
     db.execute(
@@ -904,7 +924,7 @@ fn kill_and_recover_truncate(root: &Path) -> Result<(), String> {
     // First reopen: recovery's truncation crashes before its manifest
     // commit.
     fault::arm(point);
-    match Database::open(root) {
+    match Engine::builder().data_dir(root).open() {
         Err(e) if fault::is_fault(&e) => {}
         Err(e) => {
             fault::disarm_all();
@@ -917,7 +937,10 @@ fn kill_and_recover_truncate(root: &Path) -> Result<(), String> {
     }
 
     // Second reopen: clean recovery to exactly the committed rows.
-    let db = Database::open(root).map_err(|e| fmt(&e))?;
+    let db = Engine::builder()
+        .data_dir(root)
+        .open()
+        .map_err(|e| fmt(&e))?;
     let count = db
         .execute("SELECT COUNT(*) FROM t")
         .map_err(|e| fmt(&e))?
@@ -948,7 +971,7 @@ pub fn kill_and_recover_demo(root: &Path) -> Vec<String> {
     let mut lines = Vec::new();
     fault::disarm_all();
     let _ = std::fs::remove_dir_all(root);
-    let db = Database::open(root).unwrap();
+    let db = Engine::builder().data_dir(root).open().unwrap();
     db.execute("CREATE TABLE t (id INT, grp INT, v INT)")
         .unwrap();
     db.execute(
@@ -984,7 +1007,7 @@ pub fn kill_and_recover_demo(root: &Path) -> Vec<String> {
     lines.push(format!("kill -9 mid-moveout: {err}"));
     drop(db);
 
-    let db = Database::open(root).unwrap();
+    let db = Engine::builder().data_dir(root).open().unwrap();
     let count = db
         .execute("SELECT COUNT(*) FROM t")
         .unwrap()

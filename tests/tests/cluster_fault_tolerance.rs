@@ -3,7 +3,7 @@
 //! behaviours exercised through the public facade.
 
 use std::sync::Mutex;
-use vdb_core::{Database, Value};
+use vdb_core::{Engine, Value};
 use vdb_types::Row;
 
 // The fault-injection registry is process-global, so the kill-and-recover
@@ -15,8 +15,8 @@ fn fault_serial() -> std::sync::MutexGuard<'static, ()> {
     FAULT_SERIAL.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-fn db() -> Database {
-    let db = Database::cluster_of(4, 1);
+fn db() -> Engine {
+    let db = Engine::builder().nodes(4).k_safety(1).open().unwrap();
     db.execute("CREATE TABLE t (id INT, grp INT, v FLOAT)")
         .unwrap();
     db.execute(
@@ -39,7 +39,7 @@ fn rows(lo: i64, hi: i64) -> Vec<Row> {
         .collect()
 }
 
-fn total(db: &Database) -> i64 {
+fn total(db: &vdb_core::Database) -> i64 {
     db.query("SELECT grp, COUNT(*) FROM t GROUP BY grp")
         .unwrap()
         .iter()
@@ -108,7 +108,7 @@ fn adjacent_double_failure_loses_data_with_k1() {
 
 #[test]
 fn replicated_projections_survive_any_single_node() {
-    let db = Database::cluster_of(3, 1);
+    let db = Engine::builder().nodes(3).k_safety(1).open().unwrap();
     db.execute("CREATE TABLE dim (k INT, name VARCHAR)")
         .unwrap();
     db.execute(
@@ -159,7 +159,7 @@ fn kill_and_recover_demo_recovers_all_commits() {
 #[test]
 fn ahm_freeze_preserves_history_for_recovery() {
     let _guard = fault_serial();
-    let db = Database::new(vdb_core::database::DatabaseConfig {
+    let db = vdb_core::Database::new(vdb_core::database::DatabaseConfig {
         cluster: vdb_core::ClusterConfig {
             n_nodes: 3,
             k_safety: 1,

@@ -116,7 +116,7 @@ fn table3_shape_vertica_wins() {
 /// exercised in one pass.
 #[test]
 fn product_grade_features_coexist() {
-    let db = vdb_core::Database::single_node();
+    let db = vdb_core::Engine::builder().open().unwrap();
     db.execute("CREATE TABLE everything (i INT, f FLOAT, s VARCHAR, b BOOLEAN, t TIMESTAMP)")
         .unwrap();
     db.execute(

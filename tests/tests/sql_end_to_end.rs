@@ -1,14 +1,14 @@
 //! End-to-end SQL integration tests spanning every crate: parser → binder
 //! → optimizer → cluster → exec → storage → encodings.
 
-use vdb_core::{Database, Value};
+use vdb_core::{Engine, Value};
 use vdb_types::Row;
 
-fn sales_db(nodes: usize, k: usize) -> Database {
+fn sales_db(nodes: usize, k: usize) -> Engine {
     let db = if nodes == 1 {
-        Database::single_node()
+        Engine::builder().open().unwrap()
     } else {
-        Database::cluster_of(nodes, k)
+        Engine::builder().nodes(nodes).k_safety(k).open().unwrap()
     };
     db.execute("CREATE TABLE sales (id INT NOT NULL, region VARCHAR, amt FLOAT, ts TIMESTAMP)")
         .unwrap();
@@ -20,7 +20,7 @@ fn sales_db(nodes: usize, k: usize) -> Database {
     db
 }
 
-fn load_sales(db: &Database, n: i64) {
+fn load_sales(db: &Engine, n: i64) {
     let regions = ["east", "west", "north", "south"];
     let rows: Vec<Row> = (0..n)
         .map(|i| {

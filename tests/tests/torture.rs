@@ -6,7 +6,7 @@
 //! `.github/workflows/ci.yml`); locally it defaults to a ~2 s run.
 
 use std::sync::Mutex;
-use vdb_core::{Database, Value};
+use vdb_core::{Engine, Value};
 use vdb_tests::torture::{self, TortureConfig, FAULT_POINTS};
 
 // The fault registry is process-global and tests in one binary run on
@@ -67,7 +67,7 @@ fn torture_durable_survives_reopen() {
 
     // Kill (drop) happened when `run` returned; reopen and demand exactly
     // the committed rows back.
-    let db = Database::open(&root).unwrap();
+    let db = Engine::builder().data_dir(&root).open().unwrap();
     let got: Vec<(i64, i64, i64)> = db
         .query("SELECT id, grp, v FROM t ORDER BY id")
         .unwrap()
@@ -112,7 +112,7 @@ fn poisoned_store_refuses_service_until_reopen() {
     let _guard = serial();
     let root = temp_root("poison");
     let _ = std::fs::remove_dir_all(&root);
-    let db = Database::open(&root).unwrap();
+    let db = Engine::builder().data_dir(&root).open().unwrap();
     db.execute("CREATE TABLE t (id INT, grp INT, v INT)")
         .unwrap();
     db.execute(
@@ -144,7 +144,7 @@ fn poisoned_store_refuses_service_until_reopen() {
 
     // Reopen = the sanctioned recovery path: all 50 committed rows back,
     // store serving again.
-    let db = Database::open(&root).unwrap();
+    let db = Engine::builder().data_dir(&root).open().unwrap();
     assert_eq!(
         db.execute("SELECT COUNT(*) FROM t").unwrap().scalar(),
         Some(&Value::Integer(50))

@@ -42,10 +42,30 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`], mirroring
+    /// `crossbeam_channel::TrySendError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message comes back unsent.
+        Full(T),
+        /// The receiver hung up; the message comes back unsent.
+        Disconnected(T),
+    }
+
     impl<T> Sender<T> {
         /// Blocks while the channel is full; errors once the receiver drops.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             self.0.send(msg).map_err(|e| SendError(e.0))
+        }
+
+        /// Non-blocking send: `Full` when the channel is at capacity,
+        /// `Disconnected` when the receiver dropped. Lets routers bail out
+        /// of a stalled exchange instead of blocking forever.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg).map_err(|e| match e {
+                std::sync::mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                std::sync::mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            })
         }
     }
 
@@ -94,6 +114,15 @@ pub mod channel {
             let (tx, rx) = bounded(1);
             drop(rx);
             assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn try_send_distinguishes_full_from_disconnected() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            drop(rx);
+            assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
         }
 
         #[test]

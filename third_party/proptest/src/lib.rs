@@ -401,6 +401,48 @@ pub mod arbitrary {
     }
 }
 
+pub mod option {
+    //! `Option` strategies, mirroring `proptest::option`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`of()`] / [`weighted()`].
+    pub struct OptionStrategy<S> {
+        probability_some: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.sample_range(0.0..1.0) < self.probability_some {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` and `None` with equal weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+
+    /// `Some` with the given probability, `None` otherwise.
+    pub fn weighted<S: Strategy>(probability_some: f64, inner: S) -> OptionStrategy<S> {
+        assert!(
+            (0.0..=1.0).contains(&probability_some),
+            "probability out of range"
+        );
+        OptionStrategy {
+            probability_some,
+            inner,
+        }
+    }
+}
+
 pub mod collection {
     //! Collection strategies.
 
