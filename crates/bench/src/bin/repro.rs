@@ -2,7 +2,7 @@
 //! `BENCH_repro.json` (section wall-clock timings + executor metrics) so
 //! the perf trajectory is tracked run over run.
 //!
-//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector|exec_expr|exec_parallel|exec_parallel_join|exec_compressed|cluster|torture|serve] [--full]`
+//! Usage: `repro [all|table1|table3|table4|fig1|fig2|fig3|vector|exec_expr|exec_parallel|exec_parallel_join|exec_compressed|cluster|torture|serve|design] [--full]`
 //! `--full` runs paper-scale inputs (minutes); default scales finish in
 //! seconds. The JSON lands in the current directory. Exits nonzero when
 //! any requested target fails (CI's bench-smoke gate relies on this).
@@ -98,11 +98,15 @@ fn main() {
             let serve_rows = if full { 400_000 } else { 80_000 };
             run("serve", &mut || repro::serve(serve_rows));
         }
+        if wants("design") {
+            run("design", &mut || repro::design(fig_rows));
+        }
     }
     if !matched {
         eprintln!(
             "unknown target {what}; use all|table1|table3|table4|fig1|fig2|fig3|vector|\
-             exec_expr|exec_parallel|exec_parallel_join|exec_compressed|cluster|torture|serve"
+             exec_expr|exec_parallel|exec_parallel_join|exec_compressed|cluster|torture|serve|\
+             design"
         );
         std::process::exit(2);
     }

@@ -32,6 +32,13 @@ pub struct ClusterConfig {
     /// making the cluster recoverable across process restarts (§5.1).
     /// `None` keeps everything in memory.
     pub data_root: Option<std::path::PathBuf>,
+    /// Per-node WOS memory budget in bytes (§3.7 back-pressure). After a
+    /// WOS-path commit, any up node whose total WOS footprint (across all
+    /// its projection stores) exceeds this triggers an immediate forced
+    /// moveout, spilling the WOS into sorted, encoded ROS instead of
+    /// growing without bound. `None` = unbounded (moveout happens only on
+    /// the tuple mover's own schedule).
+    pub wos_budget_bytes: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -43,6 +50,7 @@ impl Default for ClusterConfig {
             history_retention: u64::MAX,
             tuple_mover: TupleMoverConfig::default(),
             data_root: None,
+            wos_budget_bytes: None,
         }
     }
 }
@@ -391,11 +399,48 @@ impl Cluster {
             Ok(()) => {
                 self.txns.commit(&txn, true)?;
                 self.record_applied(epoch);
+                if !direct_ros {
+                    self.enforce_wos_budgets();
+                }
                 Ok(epoch)
             }
             Err(e) => {
                 self.txns.rollback(&txn);
                 Err(e)
+            }
+        }
+    }
+
+    /// Total WOS bytes across all of `node`'s projection stores.
+    pub fn node_wos_bytes(&self, node: usize) -> usize {
+        let engine = &self.nodes[node].engine;
+        engine
+            .projection_names()
+            .iter()
+            .filter_map(|name| engine.projection(name).ok())
+            .map(|store| store.read().wos_bytes())
+            .sum()
+    }
+
+    /// §3.7 back-pressure: force a moveout on every up node whose WOS
+    /// footprint exceeds [`ClusterConfig::wos_budget_bytes`]. Runs after
+    /// the commit completes (outside the table lock and commit mutex), so
+    /// it never extends the writer's critical section. Best-effort: the
+    /// rows are already durably committed, so a moveout error must not
+    /// fail the load that triggered it — the next tick retries.
+    fn enforce_wos_budgets(&self) {
+        let Some(budget) = self.config.wos_budget_bytes else {
+            return;
+        };
+        let epoch = self.epochs.read_committed_snapshot();
+        for n in self.up_nodes() {
+            if self.node_wos_bytes(n) <= budget {
+                continue;
+            }
+            for pname in self.nodes[n].engine.projection_names() {
+                if let Ok(store) = self.nodes[n].engine.projection(&pname) {
+                    let _ = self.mover.run_moveout(&mut store.write(), epoch, true);
+                }
             }
         }
     }
@@ -679,6 +724,38 @@ impl Cluster {
             }));
             if self.router.is_replicated(&family.def) {
                 break; // one node suffices for replicated data
+            }
+        }
+        Ok(out)
+    }
+
+    /// Visible rows one family currently holds (buddy-aware), in the
+    /// family's projected column shape. Used by refresh to subtract rows
+    /// that already fanned out into a freshly created projection.
+    pub(crate) fn family_projected_rows(
+        &self,
+        family: &Family,
+        snapshot: Epoch,
+    ) -> DbResult<Vec<Row>> {
+        let snaps = self.family_snapshot_per_node(family, snapshot)?;
+        let mut out = Vec::new();
+        for (_, snap) in snaps {
+            for sc in &snap.containers {
+                let visible = sc.visible(sc.backend.as_ref())?;
+                if matches!(visible, vdb_storage::store::VisibleSet::None) {
+                    continue;
+                }
+                let rows = sc.container.read_rows(sc.backend.as_ref())?;
+                for (i, mut row) in rows.into_iter().enumerate() {
+                    if visible.is_visible(i as u64) {
+                        row.pop(); // trailing epoch column
+                        out.push(row);
+                    }
+                }
+            }
+            out.extend(snap.wos_rows);
+            if self.router.is_replicated(&family.def) {
+                break;
             }
         }
         Ok(out)
@@ -1434,6 +1511,57 @@ mod tests {
         let snapshot = c.epochs.read_committed_snapshot();
         let total: usize = c.table_rows("sales", snapshot).unwrap().len();
         assert_eq!(total, (0..6).map(|i| 20 + i as usize).sum::<usize>());
+    }
+
+    #[test]
+    fn over_budget_wos_triggers_forced_moveout() {
+        // §3.7 back-pressure: with a per-node WOS budget configured, a
+        // WOS-path load that pushes a node past the budget triggers a
+        // forced moveout immediately — the node's WOS drains without
+        // waiting for a tuple-mover tick.
+        let make = |budget: Option<usize>| -> Cluster {
+            let c = Cluster::new(ClusterConfig {
+                n_nodes: 2,
+                k_safety: 0,
+                n_local_segments: 1,
+                wos_budget_bytes: budget,
+                ..Default::default()
+            });
+            c.create_table(sales_schema(), None).unwrap();
+            c.create_projection(ProjectionDef::super_projection(
+                &sales_schema(),
+                "sales_super",
+                &[0],
+                &[0],
+            ))
+            .unwrap();
+            c
+        };
+
+        // Unbounded control: repeated WOS loads pile up in memory.
+        let free = make(None);
+        for _ in 0..4 {
+            free.load("sales", &rows(200), false).unwrap();
+        }
+        let unbounded: usize = (0..2).map(|n| free.node_wos_bytes(n)).sum();
+        assert!(unbounded > 0, "WOS loads stay in WOS without a budget");
+
+        // Budgeted: same traffic, WOS snaps back under the cap after
+        // every over-budget commit.
+        let budget = unbounded / 8;
+        let capped = make(Some(budget));
+        for _ in 0..4 {
+            capped.load("sales", &rows(200), false).unwrap();
+            for n in 0..2 {
+                assert!(
+                    capped.node_wos_bytes(n) <= budget,
+                    "node {n} over budget after enforcement"
+                );
+            }
+        }
+        // Nothing lost: the moved-out rows are all visible.
+        let snapshot = capped.epochs.read_committed_snapshot();
+        assert_eq!(capped.table_rows("sales", snapshot).unwrap().len(), 800);
     }
 
     #[test]

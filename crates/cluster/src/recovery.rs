@@ -9,7 +9,7 @@
 //! a log of past system activity", recovery is incremental DML replay, not
 //! log shipping.
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, Family};
 use vdb_txn::txn::Isolation;
 use vdb_txn::LockMode;
 use vdb_types::{DbError, DbResult, Epoch, Row};
@@ -163,16 +163,54 @@ impl Cluster {
         let family = self
             .family(family_name)
             .ok_or_else(|| DbError::NotFound(format!("projection {family_name}")))?;
-        let snapshot = self.epochs.read_committed_snapshot();
-        // Never read the refresh target as its own source (it is empty).
-        let table_rows = self.table_rows_excluding(&family.table, snapshot, Some(family_name))?;
         // Current phase under a Shared lock (simplified single-phase
         // refresh; the table is small enough to copy in one step here).
+        // The lock comes FIRST: the snapshot and both row sets below must
+        // be stable against concurrent commits.
         let txn = self.txns.begin(Isolation::ReadCommitted);
-        self.txns.lock(&txn, &family.table, LockMode::S)?;
+        if let Err(e) = self.txns.lock(&txn, &family.table, LockMode::S) {
+            self.txns.rollback(&txn);
+            return Err(e);
+        }
+        // Locks release only at commit/rollback, so a mid-refresh error
+        // must roll back or the S lock would block ingest forever.
+        let copied = self.refresh_locked(&family, family_name, &txn);
+        if copied.is_err() {
+            self.txns.rollback(&txn);
+        }
+        copied
+    }
+
+    fn refresh_locked(
+        &self,
+        family: &Family,
+        family_name: &str,
+        txn: &vdb_txn::Transaction,
+    ) -> DbResult<u64> {
         // Refresh stamps and commits a DML epoch like any writer, so it
         // serializes with them (see `Cluster::commit_serial`).
         let _commit = self.commit_serial.lock();
+        let snapshot = self.epochs.read_committed_snapshot();
+        // Never read the refresh target as its own source (it is empty).
+        let all_rows = self.table_rows_excluding(&family.table, snapshot, Some(family_name))?;
+        // Loads committed between the family's registration and this
+        // refresh already fanned out into it; copying them again would
+        // duplicate rows. Subtract the target's current visible multiset
+        // (compared in the projected shape).
+        let mut have: std::collections::BTreeMap<Row, u64> = std::collections::BTreeMap::new();
+        for prow in self.family_projected_rows(family, snapshot)? {
+            *have.entry(prow).or_insert(0) += 1;
+        }
+        let mut table_rows = Vec::with_capacity(all_rows.len());
+        for row in all_rows {
+            if let Some(n) = have.get_mut(&family.def.project_row(&row)?) {
+                if *n > 0 {
+                    *n -= 1;
+                    continue;
+                }
+            }
+            table_rows.push(row);
+        }
         let epoch = self.txns.pending_commit_epoch();
         let up = self.node_up_mask();
         for (b, replica) in family.replicas.iter().enumerate() {
@@ -204,7 +242,7 @@ impl Cluster {
                 }
             }
         }
-        self.txns.commit(&txn, true)?;
+        self.txns.commit(txn, true)?;
         Ok(table_rows.len() as u64)
     }
 }

@@ -6,6 +6,7 @@
 //! results only when they leave the engine here, via
 //! `vdb_exec::collect_rows` / `Batch::into_rows`.
 
+use crate::trace::{QueryTrace, TraceFeatures, DEFAULT_TRACE_CAPACITY};
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use vdb_cluster::{Cluster, ClusterConfig};
@@ -91,6 +92,10 @@ pub struct Database {
     /// Durable databases append every successful DDL statement here so
     /// reopen can rebuild the catalog before reattaching storage.
     ddl_log: Option<std::path::PathBuf>,
+    /// Workload capture for the Database Designer: every SELECT executed
+    /// here or through the serving layer folds into this bounded ring
+    /// (durable databases spill it next to the DDL log).
+    trace: QueryTrace,
 }
 
 impl Database {
@@ -101,6 +106,7 @@ impl Database {
             catalog: RwLock::new(None),
             ddl_version: std::sync::atomic::AtomicU64::new(0),
             ddl_log: None,
+            trace: QueryTrace::new(DEFAULT_TRACE_CAPACITY, None),
         }
     }
 
@@ -164,6 +170,7 @@ impl Database {
             catalog: RwLock::new(None),
             ddl_version: std::sync::atomic::AtomicU64::new(0),
             ddl_log: Some(ddl_path),
+            trace: QueryTrace::new(DEFAULT_TRACE_CAPACITY, Some(root.join("query_trace.log"))),
         };
         if let Some(text) = existing_ddl {
             db.replay_ddl(&text)?;
@@ -415,7 +422,16 @@ impl Database {
         if is_ddl {
             self.append_ddl(sql)?;
         }
-        self.execute_bound(stmt)
+        let features = match &stmt {
+            BoundStatement::Select(q) => Some(self.trace_features(q)),
+            _ => None,
+        };
+        let result = self.execute_bound(stmt)?;
+        if let Some(f) = features {
+            self.trace
+                .record(&canonical_sql(sql), f, result.rows.len() as u64);
+        }
+        Ok(result)
     }
 
     /// Convenience: run a SELECT and return its rows.
@@ -437,7 +453,12 @@ impl Database {
             BoundStatement::CreateProjection { def } => {
                 self.cluster.create_projection(def.clone())?;
                 // Populate from existing data if the table already has rows
-                // (refresh, §5.2).
+                // (refresh, §5.2). The refresh's table lock conflicts with
+                // in-flight DML and the lock manager rejects rather than
+                // queues, so contention retries until an ingest window
+                // opens; a terminal failure unregisters the projection
+                // again — an empty replica the planner could route
+                // queries to must never survive.
                 if self
                     .cluster
                     .table_rows_excluding(
@@ -448,7 +469,21 @@ impl Database {
                     .map(|r| !r.is_empty())
                     .unwrap_or(false)
                 {
-                    self.cluster.refresh_projection(&def.name)?;
+                    let mut attempts = 0;
+                    let refreshed = loop {
+                        match self.cluster.refresh_projection(&def.name) {
+                            Ok(n) => break Ok(n),
+                            Err(DbError::LockConflict { .. }) if attempts < 2000 => {
+                                attempts += 1;
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                            }
+                            Err(e) => break Err(e),
+                        }
+                    };
+                    if let Err(e) = refreshed {
+                        let _ = self.cluster.drop_projection(&def.name);
+                        return Err(e);
+                    }
                 }
                 self.invalidate_catalog();
                 self.bump_ddl_version();
@@ -531,6 +566,17 @@ impl Database {
                 text.push_str(&format!(
                     "-- merge at initiator: {}\n",
                     match &planned.merge {
+                        // Top-k pushdown (ORDER BY + LIMIT): each node ships
+                        // only its first limit+offset sorted rows; the
+                        // initiator re-sorts the union and applies the
+                        // real limit/offset.
+                        vdb_optimizer::MergeSpec::Concat {
+                            order_by,
+                            limit: Some((n, offset)),
+                        } if !order_by.is_empty() => format!(
+                            "concat, re-sort, limit {n} (per-node top-{} pushdown)",
+                            n + offset
+                        ),
                         vdb_optimizer::MergeSpec::Concat { .. } => "concat".to_string(),
                         vdb_optimizer::MergeSpec::ReAggregate { .. } =>
                             "re-aggregate partials".to_string(),
@@ -568,7 +614,15 @@ impl Database {
             },
         )?;
         match stmt {
-            BoundStatement::Select(q) => self.run_select(&q),
+            BoundStatement::Select(q) => {
+                let (epoch, result) = self.run_select(&q)?;
+                self.trace.record(
+                    &canonical_sql(sql),
+                    self.trace_features(&q),
+                    result.rows.len() as u64,
+                );
+                Ok((epoch, result))
+            }
             _ => Err(DbError::Binder("query_snapshot requires a SELECT".into())),
         }
     }
@@ -662,6 +716,120 @@ impl Database {
         Ok(rationales)
     }
 
+    // -- automatic physical design (trace → enumerate → cost → deploy) ----
+
+    /// The query-trace ring feeding [`Database::auto_design`].
+    pub fn query_trace(&self) -> &QueryTrace {
+        &self.trace
+    }
+
+    /// Extract trace features for a bound query against the live schemas.
+    fn trace_features(&self, q: &vdb_optimizer::BoundQuery) -> TraceFeatures {
+        TraceFeatures::of(q, &|t| self.cluster.table_schema(t))
+    }
+
+    /// Serving-layer capture hook: a SELECT that was planned outside
+    /// [`Database::execute`] (plan-cache miss path).
+    pub(crate) fn record_traced_select(
+        &self,
+        canonical_sql: &str,
+        q: &vdb_optimizer::BoundQuery,
+        result_rows: u64,
+    ) {
+        self.trace
+            .record(canonical_sql, self.trace_features(q), result_rows);
+    }
+
+    /// Serving-layer capture hook: a plan-cache hit (no bound query at
+    /// hand; folds into the entry recorded at plan time).
+    pub(crate) fn record_traced_hit(&self, canonical_sql: &str, result_rows: u64) {
+        self.trace.record_hit(canonical_sql, result_rows);
+    }
+
+    /// Close the workload → projection → optimizer loop (§6.3, automated):
+    /// design projections from the traced workload and install them online.
+    ///
+    /// 1. Every distinct traced SELECT is re-compiled against the current
+    ///    catalog (statements over dropped tables fall out naturally).
+    /// 2. Per referenced table, `vdb_designer::design_from_trace`
+    ///    enumerates candidates — sort orders from hot predicates and
+    ///    group-bys, segmentation keys from join columns, encodings from
+    ///    empirical trials seeded by the catalog's observed codec stats —
+    ///    and scores them with the *planner's own* projection-choice cost
+    ///    model ([`vdb_optimizer::query_scan_cost`]).
+    /// 3. Accepted candidates are emitted as `CREATE PROJECTION` DDL and
+    ///    executed through [`Database::execute`]: the statement is
+    ///    write-ahead logged (the design survives reopen), the projection
+    ///    backfills online from committed data (refresh, §5.2) while
+    ///    concurrent queries keep answering from the old projections, and
+    ///    the DDL version bump invalidates the serving layer's cached
+    ///    plans so the planner starts choosing the new projection
+    ///    immediately.
+    ///
+    /// A tuple-mover pass runs afterwards so any WOS tail written during
+    /// the backfill moves into sorted, encoded ROS for the new projections.
+    pub fn auto_design(&self, policy: vdb_designer::DesignPolicy) -> DbResult<AutoDesignReport> {
+        const AUTO_DESIGN_SAMPLE: usize = 2048;
+        let entries = self.trace.snapshot();
+        let mut report = AutoDesignReport {
+            traced_statements: entries.len(),
+            installed: Vec::new(),
+        };
+        let mut workload: Vec<(vdb_optimizer::BoundQuery, u64)> = Vec::new();
+        let mut tables: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for e in &entries {
+            // Statements that no longer compile (dropped tables/columns)
+            // describe a workload that can no longer occur: skip them.
+            let Ok(BoundStatement::Select(q)) = self.compile(&e.sql) else {
+                continue;
+            };
+            tables.extend(q.tables.iter().map(|t| t.table.clone()));
+            workload.push((q, e.hits));
+        }
+        if workload.is_empty() {
+            return Ok(report);
+        }
+        let catalog = self.optimizer_catalog()?;
+        for table in tables {
+            let snapshot = self.cluster.epochs.read_committed_snapshot();
+            let mut sample = self
+                .cluster
+                .table_rows_excluding(&table, snapshot, None)
+                .unwrap_or_default();
+            sample.truncate(AUTO_DESIGN_SAMPLE);
+            let designs =
+                vdb_designer::design_from_trace(&catalog, &table, &sample, &workload, policy)?;
+            for d in designs {
+                // Deployment under concurrent DML: execute() already rides
+                // out refresh-lock contention internally, so a conflict
+                // surfacing here means the whole statement lost its window
+                // — retry a few times before giving up.
+                let mut attempts = 0;
+                loop {
+                    match self.execute(&d.ddl) {
+                        Ok(_) => break,
+                        Err(DbError::LockConflict { .. }) if attempts < 50 => {
+                            attempts += 1;
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                report.installed.push(AutoDesignInstall {
+                    table: table.clone(),
+                    name: d.def.name.clone(),
+                    ddl: d.ddl.clone(),
+                    rationale: d.rationale.clone(),
+                    predicted_speedup: d.predicted_speedup(),
+                });
+            }
+        }
+        if !report.installed.is_empty() {
+            self.cluster.tuple_mover_tick(false)?;
+        }
+        Ok(report)
+    }
+
     /// Total logical ROS bytes (disk space reporting for Table 3).
     pub fn disk_bytes(&self) -> u64 {
         self.cluster.logical_ros_bytes()
@@ -671,6 +839,38 @@ impl Database {
     pub fn tuple_mover_tick(&self) -> DbResult<()> {
         self.cluster.tuple_mover_tick(true)
     }
+}
+
+/// One projection installed by [`Database::auto_design`].
+#[derive(Debug, Clone)]
+pub struct AutoDesignInstall {
+    pub table: String,
+    pub name: String,
+    /// The executed `CREATE PROJECTION` statement (also in the DDL log).
+    pub ddl: String,
+    pub rationale: String,
+    /// Traced-workload scan-cost ratio (before / after) predicted by the
+    /// optimizer's cost model when the candidate was accepted.
+    pub predicted_speedup: f64,
+}
+
+/// Outcome of one [`Database::auto_design`] round.
+#[derive(Debug, Clone, Default)]
+pub struct AutoDesignReport {
+    /// Distinct statements in the trace when the round started.
+    pub traced_statements: usize,
+    pub installed: Vec<AutoDesignInstall>,
+}
+
+/// Canonical trace key for a statement: literals inlined into the
+/// whitespace/keyword-normalized template, so the same query folds into
+/// one trace entry whether it arrived through [`Database::execute`] or a
+/// serving-layer session. Statements the normalizer rejects keep their
+/// raw text (they will fail to re-compile at design time and be skipped).
+fn canonical_sql(sql: &str) -> String {
+    vdb_sql::normalize(sql)
+        .and_then(|n| n.render(&[]))
+        .unwrap_or_else(|_| sql.to_string())
 }
 
 /// One DDL statement per log line: escape backslashes and newlines.
@@ -960,6 +1160,60 @@ mod tests {
             .unwrap();
         // metric = 3 ⇔ i ≡ 3 (mod 5); those i values hit 10 distinct meters.
         assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn auto_design_closes_the_loop() {
+        let db = crate::Engine::builder().open().unwrap();
+        db.execute("CREATE TABLE m (metric INT, meter INT, ts TIMESTAMP, value FLOAT)")
+            .unwrap();
+        // Superprojection sorted by ts: useless for a metric filter.
+        db.execute("CREATE PROJECTION m_super AS SELECT * FROM m ORDER BY ts")
+            .unwrap();
+        let rows: Vec<Row> = (0..3000)
+            .map(|i| {
+                vec![
+                    Value::Integer(i % 10),
+                    Value::Integer(i % 100),
+                    Value::Timestamp(1000 + i * 300),
+                    Value::Float((i % 9) as f64),
+                ]
+            })
+            .collect();
+        db.load("m", &rows).unwrap();
+        let hot = "SELECT meter, value FROM m WHERE metric = 3";
+        for _ in 0..20 {
+            db.query(hot).unwrap();
+        }
+        let trace = db.query_trace().snapshot();
+        assert_eq!(trace.len(), 1, "identical statements fold into one entry");
+        assert_eq!(trace[0].hits, 20);
+        assert_eq!(trace[0].predicate_columns, vec!["m.metric"]);
+        assert_eq!(trace[0].result_rows, 300);
+
+        let mut before = db.query(hot).unwrap();
+        let report = db
+            .auto_design(vdb_designer::DesignPolicy::QueryOptimized)
+            .unwrap();
+        assert!(
+            !report.installed.is_empty(),
+            "hot selective trace must install a projection"
+        );
+        assert!(report.installed[0].predicted_speedup > 1.0);
+        // The planner now routes the traced query to the new projection…
+        let explain = db.execute(&format!("EXPLAIN {hot}")).unwrap();
+        let plan_text: String = explain.rows.iter().map(|r| format!("{:?}", r[0])).collect();
+        assert!(
+            plan_text.contains(&report.installed[0].name),
+            "EXPLAIN must scan {}: {plan_text}",
+            report.installed[0].name
+        );
+        // …and the answers are identical (order-insensitive: projection
+        // choice changes physical row order).
+        let mut after = db.query(hot).unwrap();
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
     }
 
     #[test]

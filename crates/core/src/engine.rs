@@ -97,6 +97,7 @@ pub struct EngineBuilder {
     data_dir: Option<PathBuf>,
     threads: Option<usize>,
     serve: Option<ServeConfig>,
+    wos_budget: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -143,6 +144,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Per-node WOS memory budget in bytes (§3.7 back-pressure): a
+    /// WOS-path commit that leaves any node's total WOS footprint above
+    /// this triggers an immediate forced moveout on that node. Default:
+    /// unbounded (the periodic tuple-mover tick is the only drain).
+    pub fn wos_budget(mut self, bytes: usize) -> EngineBuilder {
+        self.wos_budget = Some(bytes);
+        self
+    }
+
     /// Validate the configuration and assemble the stack.
     pub fn open(self) -> DbResult<Engine> {
         let nodes = self.nodes.unwrap_or(1);
@@ -166,6 +176,7 @@ impl EngineBuilder {
                 n_nodes: nodes,
                 k_safety,
                 n_local_segments,
+                wos_budget_bytes: self.wos_budget,
                 ..Default::default()
             },
             exec: match self.threads {

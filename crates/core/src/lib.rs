@@ -14,11 +14,14 @@ pub mod database;
 pub mod engine;
 pub mod loader;
 pub mod serve;
+pub mod trace;
 
-pub use database::{Database, DatabaseConfig, QueryResult};
+pub use database::{AutoDesignInstall, AutoDesignReport, Database, DatabaseConfig, QueryResult};
 pub use engine::{Engine, EngineBuilder};
 pub use loader::{load_csv, LoadReport};
 pub use serve::{ServeConfig, Server, ServerStats, Session};
+pub use trace::{QueryTrace, TraceEntry};
+pub use vdb_designer::DesignPolicy;
 
 // Re-exports for example/bench ergonomics.
 pub use vdb_cluster::{Cluster, ClusterConfig};

@@ -487,7 +487,9 @@ fn run_statement(server: &Arc<Server>, work: Statement) -> DbResult<QueryResult>
     let key = normalized.cache_key(&params)?;
     let current_ddl = db.ddl_version();
     if let Some(plan) = server.cache.get(&key, current_ddl, &server.counters) {
-        return db.execute_planned(&plan);
+        let result = db.execute_planned(&plan)?;
+        db.record_traced_hit(&normalized.render(&params)?, result.rows.len() as u64);
+        return Ok(result);
     }
     server.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
     // Stamp BEFORE compiling/planning: if DDL lands while we plan, the
@@ -498,8 +500,9 @@ fn run_statement(server: &Arc<Server>, work: Statement) -> DbResult<QueryResult>
         vdb_sql::BoundStatement::Select(q) => {
             let plan = Arc::new(db.plan_select(&q)?);
             let result = db.execute_planned(&plan);
-            if result.is_ok() {
+            if let Ok(result) = &result {
                 server.cache.insert(key, plan, stamp);
+                db.record_traced_select(&text, &q, result.rows.len() as u64);
             }
             result
         }
@@ -678,6 +681,57 @@ mod tests {
         assert!(
             stats.cache_invalidations >= 1,
             "DDL must invalidate the stamped entry: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn auto_design_ddl_invalidates_cached_plans() {
+        // Regression: an online CREATE PROJECTION issued by auto_design
+        // must bump ddl_version so plans that bound the old projection set
+        // are discarded — a stale cached plan would keep scanning the old
+        // superprojection and never exploit the designed one.
+        let db = served_db();
+        let server = Server::build(db.clone(), ServeConfig::default());
+        let s = server.session();
+        // Filter on g: the existing superprojection (sorted by v) cannot
+        // prune this, so the designer has a win available.
+        let hot = "SELECT COUNT(*) FROM t WHERE g = 3";
+        for _ in 0..10 {
+            s.execute(hot).unwrap(); // miss, then 9 cache hits
+        }
+        let stamp_before = db.ddl_version();
+        let report = db
+            .auto_design(vdb_designer::DesignPolicy::QueryOptimized)
+            .unwrap();
+        assert!(
+            !report.installed.is_empty(),
+            "session traffic must reach the trace: {report:?}"
+        );
+        assert!(
+            db.ddl_version() > stamp_before,
+            "auto_design DDL must bump ddl_version"
+        );
+        let hits_before = server.stats().cache_hits;
+        assert_eq!(
+            s.execute(hot).unwrap().scalar(),
+            Some(&Value::Integer(143)), // i % 7 == 3 for i in 0..1000
+            "replanned query answers identically"
+        );
+        let stats = server.stats();
+        assert_eq!(
+            stats.cache_hits, hits_before,
+            "stale plan must not be served from the cache"
+        );
+        assert!(
+            stats.cache_invalidations >= 1,
+            "stamped entry must self-invalidate: {stats:?}"
+        );
+        // The replanned query uses an auto-designed projection.
+        let explain = db.execute(&format!("EXPLAIN {hot}")).unwrap();
+        let text: String = explain.rows.iter().map(|r| format!("{:?}", r[0])).collect();
+        assert!(
+            report.installed.iter().any(|i| text.contains(&i.name)),
+            "EXPLAIN must pick an auto-designed projection: {text}"
         );
     }
 

@@ -1,0 +1,351 @@
+//! Query-trace ring: the workload log the Database Designer designs from.
+//!
+//! Every SELECT the database executes — through [`crate::Database`]
+//! directly or through the serving layer's sessions — is recorded here as
+//! a [`TraceEntry`]: canonical SQL text, the columns its predicates /
+//! GROUP BY / joins touch, and how many rows it returned. Identical
+//! statements fold into one entry with a hit count, so the ring holds the
+//! workload's *shape* (distinct statements weighted by frequency), not a
+//! raw event stream. The ring is bounded: when `capacity` distinct
+//! statements are exceeded, the least-recently-seen entry is evicted.
+//!
+//! Durable databases also spill the trace to `query_trace.log` under the
+//! data root, so a reopened database remembers its workload and
+//! [`crate::Database::auto_design`] can run before any new traffic
+//! arrives. The spill is append-only and self-compacting: when it grows
+//! past a rotation threshold it is rewritten from the in-memory ring.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::PathBuf;
+use vdb_optimizer::BoundQuery;
+use vdb_types::TableSchema;
+
+/// Default number of distinct statements the ring retains.
+pub const DEFAULT_TRACE_CAPACITY: usize = 512;
+
+/// Rewrite the spill file from the ring once it grows past this.
+const SPILL_ROTATE_BYTES: u64 = 1 << 20;
+
+/// One distinct traced statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Canonical executable SQL (whitespace-normalized, literals inlined);
+    /// re-compiling this against the current catalog reproduces the bound
+    /// query.
+    pub sql: String,
+    /// Tables the FROM clause references.
+    pub tables: Vec<String>,
+    /// `table.column` names restricted by single-table predicates.
+    pub predicate_columns: Vec<String>,
+    /// `table.column` names grouped by.
+    pub group_by_columns: Vec<String>,
+    /// `table.column` names used as join keys.
+    pub join_columns: Vec<String>,
+    /// Rows returned by the most recent execution.
+    pub result_rows: u64,
+    /// How many times this statement ran.
+    pub hits: u64,
+}
+
+/// Workload features of one bound query, resolved to column names at
+/// capture time (the trace must stay meaningful across later DDL).
+#[derive(Debug, Clone, Default)]
+pub struct TraceFeatures {
+    pub tables: Vec<String>,
+    pub predicate_columns: Vec<String>,
+    pub group_by_columns: Vec<String>,
+    pub join_columns: Vec<String>,
+}
+
+impl TraceFeatures {
+    /// Extract features from a bound query. `schema_of` resolves table
+    /// names (column indexes in the query are schema-relative).
+    pub fn of(q: &BoundQuery, schema_of: &dyn Fn(&str) -> Option<TableSchema>) -> TraceFeatures {
+        let mut f = TraceFeatures::default();
+        let schemas: Vec<Option<TableSchema>> = q
+            .tables
+            .iter()
+            .map(|t| {
+                f.tables.push(t.table.clone());
+                schema_of(&t.table)
+            })
+            .collect();
+        let name_of = |t: usize, c: usize| -> Option<String> {
+            let schema = schemas.get(t)?.as_ref()?;
+            let col = schema.columns.get(c)?;
+            Some(format!("{}.{}", q.tables[t].table, col.name))
+        };
+        // Global column offsets (select/group-by expressions index the
+        // concatenation of all FROM schemas).
+        let mut offsets = Vec::with_capacity(schemas.len());
+        let mut acc = 0usize;
+        for s in &schemas {
+            offsets.push(acc);
+            acc += s.as_ref().map_or(0, |s| s.arity());
+        }
+        let locate = |g: usize| -> Option<(usize, usize)> {
+            let t = offsets.iter().rposition(|&o| o <= g)?;
+            Some((t, g - offsets[t]))
+        };
+        for (t, filter) in q.table_filters.iter().enumerate() {
+            if let Some(filter) = filter {
+                for c in filter.referenced_columns() {
+                    f.predicate_columns.extend(name_of(t, c));
+                }
+            }
+        }
+        for g in &q.group_by {
+            for gc in g.referenced_columns() {
+                if let Some((t, c)) = locate(gc) {
+                    f.group_by_columns.extend(name_of(t, c));
+                }
+            }
+        }
+        for e in &q.joins {
+            for &c in &e.left_columns {
+                f.join_columns.extend(name_of(e.left_table, c));
+            }
+            for &c in &e.right_columns {
+                f.join_columns.extend(name_of(e.right_table, c));
+            }
+        }
+        for v in [
+            &mut f.predicate_columns,
+            &mut f.group_by_columns,
+            &mut f.join_columns,
+        ] {
+            let mut seen = std::collections::BTreeSet::new();
+            v.retain(|c| seen.insert(c.clone()));
+        }
+        f
+    }
+}
+
+/// Bounded ring of distinct traced statements (see the module docs).
+pub struct QueryTrace {
+    entries: Mutex<VecDeque<TraceEntry>>,
+    capacity: usize,
+    spill: Option<PathBuf>,
+}
+
+impl QueryTrace {
+    /// Create a trace ring; with a spill path, any existing spill file is
+    /// replayed into the ring first.
+    pub fn new(capacity: usize, spill: Option<PathBuf>) -> QueryTrace {
+        let trace = QueryTrace {
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            spill,
+        };
+        trace.replay_spill();
+        trace
+    }
+
+    /// Record one execution of `sql`. A statement already in the ring
+    /// folds into its entry (hit count + freshest row count + any features
+    /// it was missing); a new statement may evict the least-recently-seen.
+    pub fn record(&self, sql: &str, features: TraceFeatures, result_rows: u64) {
+        self.record_inner(sql, Some(features), result_rows, 1, true);
+    }
+
+    /// Record a repeat execution where the bound query is no longer at
+    /// hand (e.g. a plan-cache hit): bumps the existing entry, or inserts
+    /// a feature-less one — `auto_design` re-compiles the SQL anyway.
+    pub fn record_hit(&self, sql: &str, result_rows: u64) {
+        self.record_inner(sql, None, result_rows, 1, true);
+    }
+
+    fn record_inner(
+        &self,
+        sql: &str,
+        features: Option<TraceFeatures>,
+        result_rows: u64,
+        hits: u64,
+        spill: bool,
+    ) {
+        let mut entries = self.entries.lock();
+        if let Some(pos) = entries.iter().position(|e| e.sql == sql) {
+            let mut e = entries.remove(pos).expect("position just found");
+            e.hits += hits;
+            e.result_rows = result_rows;
+            if let Some(f) = features {
+                if e.tables.is_empty() {
+                    e.tables = f.tables;
+                    e.predicate_columns = f.predicate_columns;
+                    e.group_by_columns = f.group_by_columns;
+                    e.join_columns = f.join_columns;
+                }
+            }
+            entries.push_back(e);
+        } else {
+            let f = features.unwrap_or_default();
+            entries.push_back(TraceEntry {
+                sql: sql.to_string(),
+                tables: f.tables,
+                predicate_columns: f.predicate_columns,
+                group_by_columns: f.group_by_columns,
+                join_columns: f.join_columns,
+                result_rows,
+                hits,
+            });
+            if entries.len() > self.capacity {
+                entries.pop_front();
+            }
+        }
+        if spill {
+            self.spill_line(&entries, sql, result_rows, hits);
+        }
+    }
+
+    /// Current ring contents, least-recently-seen first.
+    pub fn snapshot(&self) -> Vec<TraceEntry> {
+        self.entries.lock().iter().cloned().collect()
+    }
+
+    /// Number of distinct statements currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Drop every entry (e.g. after a design round, to trace afresh).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+        if let Some(path) = &self.spill {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    // -- durable spill ----------------------------------------------------
+
+    /// Append one record; rotate (rewrite from the ring) when the file has
+    /// grown past the threshold. Spill I/O is best-effort: losing trace
+    /// history must never fail a query.
+    fn spill_line(&self, entries: &VecDeque<TraceEntry>, sql: &str, rows: u64, hits: u64) {
+        let Some(path) = &self.spill else { return };
+        let rotate = std::fs::metadata(path).is_ok_and(|m| m.len() > SPILL_ROTATE_BYTES);
+        if rotate {
+            let mut text = String::new();
+            for e in entries {
+                text.push_str(&format!(
+                    "{}\t{}\t{}\n",
+                    e.hits,
+                    e.result_rows,
+                    escape(&e.sql)
+                ));
+            }
+            let _ = std::fs::write(path, text);
+            return;
+        }
+        let line = format!("{hits}\t{rows}\t{}\n", escape(sql));
+        let _ = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+    }
+
+    /// Rebuild the ring from the spill file (features are not spilled —
+    /// they are re-derived when the SQL is re-compiled at design time).
+    fn replay_spill(&self) {
+        let Some(path) = &self.spill else { return };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return;
+        };
+        for line in text.lines() {
+            let mut parts = line.splitn(3, '\t');
+            let (Some(hits), Some(rows), Some(sql)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue; // torn tail
+            };
+            let (Ok(hits), Ok(rows)) = (hits.parse::<u64>(), rows.parse::<u64>()) else {
+                continue;
+            };
+            self.record_inner(&unescape(sql), None, rows, hits, false);
+        }
+    }
+}
+
+fn escape(sql: &str) -> String {
+    sql.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t")
+}
+
+fn unescape(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trace: &QueryTrace, sql: &str) -> TraceEntry {
+        trace
+            .snapshot()
+            .into_iter()
+            .find(|e| e.sql == sql)
+            .expect("entry present")
+    }
+
+    #[test]
+    fn folds_repeats_and_evicts_oldest() {
+        let t = QueryTrace::new(2, None);
+        t.record("SELECT 1", TraceFeatures::default(), 1);
+        t.record("SELECT 1", TraceFeatures::default(), 1);
+        t.record_hit("SELECT 1", 1);
+        assert_eq!(entry(&t, "SELECT 1").hits, 3);
+        t.record("SELECT 2", TraceFeatures::default(), 2);
+        t.record("SELECT 3", TraceFeatures::default(), 3);
+        assert_eq!(t.len(), 2, "capacity 2");
+        let sqls: Vec<String> = t.snapshot().into_iter().map(|e| e.sql).collect();
+        assert_eq!(sqls, vec!["SELECT 2", "SELECT 3"], "oldest evicted");
+    }
+
+    #[test]
+    fn repeat_refreshes_recency() {
+        let t = QueryTrace::new(2, None);
+        t.record("a", TraceFeatures::default(), 0);
+        t.record("b", TraceFeatures::default(), 0);
+        t.record_hit("a", 0); // a is now the most recent
+        t.record("c", TraceFeatures::default(), 0);
+        let sqls: Vec<String> = t.snapshot().into_iter().map(|e| e.sql).collect();
+        assert_eq!(sqls, vec!["a", "c"], "b (least recent) evicted");
+    }
+
+    #[test]
+    fn spill_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("vdb_trace_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("query_trace.log");
+        {
+            let t = QueryTrace::new(8, Some(path.clone()));
+            t.record("SELECT a\nFROM t", TraceFeatures::default(), 7);
+            t.record_hit("SELECT a\nFROM t", 7);
+        }
+        let t = QueryTrace::new(8, Some(path));
+        let e = entry(&t, "SELECT a\nFROM t");
+        assert_eq!((e.hits, e.result_rows), (2, 7));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

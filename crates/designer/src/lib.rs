@@ -20,6 +20,10 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod trace_design;
+
+pub use trace_design::{design_from_trace, render_ddl, TraceDesign};
+
 use std::collections::BTreeMap;
 use vdb_encoding::EncodingType;
 use vdb_optimizer::query::BoundQuery;
@@ -240,6 +244,8 @@ pub struct WorkloadInterest {
     pub join_columns: Vec<usize>,
     pub order_columns: Vec<usize>,
     pub aggregate_columns: Vec<usize>,
+    /// Columns appearing in SELECT lists (narrow-projection column sets).
+    pub select_columns: Vec<usize>,
 }
 
 /// Extract per-table interest from the workload (candidate enumeration
@@ -295,9 +301,8 @@ pub fn workload_interest(schema: &TableSchema, workload: &[BoundQuery]) -> Workl
             }
             for (e, _) in &q.select {
                 for c in e.referenced_columns() {
-                    if c < schema.arity() && !q.group_by.is_empty() {
-                        // covered by group handling
-                        let _ = c;
+                    if c < schema.arity() {
+                        interest.select_columns.push(c);
                     }
                 }
             }
@@ -308,6 +313,7 @@ pub fn workload_interest(schema: &TableSchema, workload: &[BoundQuery]) -> Workl
     dedup_keep_order(&mut interest.join_columns);
     dedup_keep_order(&mut interest.order_columns);
     dedup_keep_order(&mut interest.aggregate_columns);
+    dedup_keep_order(&mut interest.select_columns);
     // Most frequently filtered columns first.
     interest
         .predicate_columns

@@ -1,0 +1,561 @@
+//! Trace-driven automatic design (§6.3, closed loop).
+//!
+//! Where [`crate::design_table`] designs from a *representative* workload
+//! handed in by the operator, this module designs from the **observed**
+//! workload: the query-trace ring that `vdb-core` fills from live session
+//! traffic. Candidates are enumerated from the trace's hot predicates,
+//! group-bys and join keys; each candidate is then scored against the
+//! trace with [`vdb_optimizer::query_scan_cost`] — the *planner's own*
+//! projection-choice metric — so a candidate is accepted exactly when the
+//! planner would route traced queries to it and save I/O. There is no
+//! designer-private cost model to drift out of sync with the optimizer.
+
+use crate::{storage_optimize, workload_interest, DesignPolicy, REPLICATE_THRESHOLD};
+use vdb_encoding::EncodingType;
+use vdb_optimizer::query::BoundQuery;
+use vdb_optimizer::stats::build_column_stats;
+use vdb_optimizer::{query_scan_cost, OptimizerCatalog, ProjectionMeta, TableMeta};
+use vdb_storage::projection::{ProjectionDef, Segmentation};
+use vdb_types::schema::SortKey;
+use vdb_types::{DbError, DbResult, Row, TableSchema, Value};
+
+/// A candidate projection accepted against the traced workload.
+#[derive(Debug, Clone)]
+pub struct TraceDesign {
+    pub def: ProjectionDef,
+    /// `CREATE PROJECTION` text ready for execution; per-column `ENCODING`
+    /// clauses carry the empirical storage-optimization picks so the
+    /// design survives the DDL log round-trip.
+    pub ddl: String,
+    pub rationale: String,
+    /// Weighted workload scan cost over the projections that existed when
+    /// this candidate was evaluated.
+    pub baseline_cost: f64,
+    /// The same figure once this candidate exists.
+    pub candidate_cost: f64,
+}
+
+impl TraceDesign {
+    /// Predicted workload speedup from installing this projection.
+    pub fn predicted_speedup(&self) -> f64 {
+        if self.candidate_cost <= 0.0 {
+            1.0
+        } else {
+            self.baseline_cost / self.candidate_cost
+        }
+    }
+}
+
+/// Enumerate and cost projection candidates for `table` from a traced
+/// workload of `(query, hit count)` pairs.
+///
+/// * `catalog` — the optimizer's current catalog snapshot (existing
+///   projections, row counts, observed per-column codec stats).
+/// * `sample` — table-shaped sample rows for the empirical
+///   storage-optimization phase and hypothetical statistics.
+/// * `workload` — bound queries from the trace with their hit counts
+///   (a query traced 50 times weighs 50× in the cost comparison).
+///
+/// Returns the greedily-accepted candidates, best first; each is kept only
+/// if it cuts the weighted workload scan cost by ≥ 10% over the catalog
+/// *including previously accepted candidates* (so two candidates serving
+/// the same queries are not both installed).
+pub fn design_from_trace(
+    catalog: &OptimizerCatalog,
+    table: &str,
+    sample: &[Row],
+    workload: &[(BoundQuery, u64)],
+    policy: DesignPolicy,
+) -> DbResult<Vec<TraceDesign>> {
+    let meta = catalog
+        .table(table)
+        .ok_or_else(|| DbError::NotFound(format!("table {table}")))?;
+    let schema = &meta.schema;
+    let total_rows = meta.row_count();
+
+    let queries: Vec<(&BoundQuery, f64)> = workload
+        .iter()
+        .filter(|(q, _)| q.tables.iter().any(|t| t.table == table))
+        .map(|(q, w)| (q, (*w).max(1) as f64))
+        .collect();
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let flat: Vec<BoundQuery> = queries.iter().map(|(q, _)| (*q).clone()).collect();
+    let interest = workload_interest(schema, &flat);
+
+    let candidates = enumerate_candidates(schema, meta, sample, total_rows, &interest);
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Greedy accept loop: each round costs every remaining candidate
+    // against the catalog-so-far and keeps the biggest win.
+    let weighted_cost = |cat: &OptimizerCatalog| -> DbResult<f64> {
+        let mut total = 0.0;
+        for (q, w) in &queries {
+            total += w * query_scan_cost(cat, q)?;
+        }
+        Ok(total)
+    };
+    let budget = match policy {
+        DesignPolicy::LoadOptimized => 1,
+        DesignPolicy::Balanced => 2,
+        DesignPolicy::QueryOptimized => 4,
+    };
+    let mut working = catalog.clone();
+    let mut current_cost = weighted_cost(&working)?;
+    let mut remaining = candidates;
+    let mut accepted: Vec<TraceDesign> = Vec::new();
+    let mut taken: std::collections::BTreeSet<String> = meta
+        .projections
+        .iter()
+        .map(|p| p.def.name.clone())
+        .collect();
+    while accepted.len() < budget && !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in remaining.iter().enumerate() {
+            let mut cat = working.clone();
+            let hypo = hypothetical_meta(&cand.def, total_rows, sample, meta);
+            cat.tables
+                .get_mut(table)
+                .expect("table present")
+                .projections
+                .push(hypo);
+            let cost = weighted_cost(&cat)?;
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((i, cost));
+            }
+        }
+        let (i, cost) = best.expect("remaining is non-empty");
+        if cost > current_cost * 0.9 {
+            break; // best candidate saves < 10%: stop
+        }
+        let mut cand = remaining.swap_remove(i);
+        // Final unique name, then re-render the DDL with it.
+        let mut k = accepted.len() + 1;
+        while taken.contains(&format!("{table}_auto{k}")) {
+            k += 1;
+        }
+        cand.def.name = format!("{table}_auto{k}");
+        taken.insert(cand.def.name.clone());
+        let hypo = hypothetical_meta(&cand.def, total_rows, sample, meta);
+        working
+            .tables
+            .get_mut(table)
+            .expect("table present")
+            .projections
+            .push(hypo);
+        accepted.push(TraceDesign {
+            ddl: render_ddl(&cand.def, schema, &cand.seg_cols),
+            def: cand.def,
+            rationale: cand.rationale,
+            baseline_cost: current_cost,
+            candidate_cost: cost,
+        });
+        current_cost = cost;
+    }
+    Ok(accepted)
+}
+
+struct Candidate {
+    def: ProjectionDef,
+    /// Segmentation column names (for DDL rendering); empty = replicated.
+    seg_cols: Vec<String>,
+    rationale: String,
+}
+
+/// Candidate enumeration (§6.3 query-optimization phase, driven by the
+/// trace): sort orders from hot predicate and group-by columns,
+/// segmentation keys from join columns, column sets from what the traced
+/// queries actually touch.
+fn enumerate_candidates(
+    schema: &TableSchema,
+    meta: &TableMeta,
+    sample: &[Row],
+    total_rows: u64,
+    interest: &crate::WorkloadInterest,
+) -> Vec<Candidate> {
+    let column_stats: Vec<_> = (0..schema.arity())
+        .map(|c| {
+            let col: Vec<Value> = sample.iter().map(|r| r[c].clone()).collect();
+            build_column_stats(&col, total_rows)
+        })
+        .collect();
+    let all_cols: Vec<usize> = (0..schema.arity()).collect();
+    // Segmentation key: join columns first (co-located joins), then the
+    // highest-cardinality interesting column (skew-free distribution).
+    let seg_col = interest
+        .join_columns
+        .first()
+        .copied()
+        .or_else(|| {
+            interest
+                .predicate_columns
+                .iter()
+                .chain(all_cols.iter())
+                .max_by_key(|&&c| column_stats[c].distinct)
+                .copied()
+        })
+        .unwrap_or(0);
+    let replicated = total_rows < REPLICATE_THRESHOLD;
+
+    // Interesting-column orderings.
+    let mut predicate_first: Vec<usize> = Vec::new();
+    for &c in interest
+        .predicate_columns
+        .iter()
+        .chain(&interest.group_columns)
+        .chain(&interest.join_columns)
+        .chain(&interest.order_columns)
+    {
+        if !predicate_first.contains(&c) {
+            predicate_first.push(c);
+        }
+    }
+    if predicate_first.is_empty() {
+        predicate_first.push(0);
+    }
+    let mut group_first: Vec<usize> = interest.group_columns.clone();
+    for &c in &predicate_first {
+        if !group_first.contains(&c) {
+            group_first.push(c);
+        }
+    }
+
+    // Column set the traced queries actually touch (narrow candidates
+    // scan fewer bytes; anything untouched stays on the superprojection).
+    let mut touched: Vec<usize> = Vec::new();
+    for &c in interest
+        .predicate_columns
+        .iter()
+        .chain(&interest.group_columns)
+        .chain(&interest.join_columns)
+        .chain(&interest.order_columns)
+        .chain(&interest.aggregate_columns)
+        .chain(&interest.select_columns)
+    {
+        if !touched.contains(&c) {
+            touched.push(c);
+        }
+    }
+    touched.sort_unstable();
+
+    let mut out: Vec<Candidate> = Vec::new();
+    let mut push = |cols: Vec<usize>, order: &[usize], rationale: String| {
+        let order: Vec<usize> = order.iter().filter(|c| cols.contains(c)).copied().collect();
+        if cols.is_empty() {
+            return;
+        }
+        let column_names: Vec<String> = cols
+            .iter()
+            .map(|&c| schema.columns[c].name.clone())
+            .collect();
+        let column_types: Vec<_> = cols.iter().map(|&c| schema.columns[c].data_type).collect();
+        let proj_pos = |table_col: usize| cols.iter().position(|&c| c == table_col);
+        let sort_keys: Vec<SortKey> = order
+            .iter()
+            .filter_map(|&c| proj_pos(c).map(SortKey::asc))
+            .collect();
+        let (segmentation, seg_cols) = match proj_pos(seg_col) {
+            Some(p) if !replicated => (
+                Segmentation::hash_of(&[(p, column_names[p].as_str())]),
+                vec![column_names[p].clone()],
+            ),
+            _ => (Segmentation::Replicated, vec![]),
+        };
+        let mut def = ProjectionDef {
+            name: format!("{}_candidate{}", schema.name, out.len()),
+            anchor_table: schema.name.clone(),
+            columns: cols,
+            column_names,
+            column_types,
+            sort_keys,
+            encodings: Vec::new(),
+            segmentation,
+            prejoin: vec![],
+        };
+        def.encodings = vec![EncodingType::Auto; def.columns.len()];
+        // §6.3 phase 2: empirical encodings over the candidate-sorted
+        // sample; with no sample, fall back to the codecs storage actually
+        // observed for the same table columns on existing projections.
+        if sample.is_empty() {
+            for (i, &c) in def.columns.iter().enumerate() {
+                if let Some(e) = observed_encoding(meta, c) {
+                    def.encodings[i] = e;
+                }
+            }
+        } else {
+            storage_optimize(&mut def, sample);
+        }
+        let duplicate = out
+            .iter()
+            .any(|c| c.def.columns == def.columns && c.def.sort_keys == def.sort_keys);
+        if !duplicate {
+            out.push(Candidate {
+                def,
+                seg_cols,
+                rationale,
+            });
+        }
+    };
+
+    // Narrow, predicate-leading: the selective-scan winner.
+    push(
+        touched.clone(),
+        &predicate_first,
+        "narrow projection over the traced queries' columns, hottest \
+         predicate column leading the sort order (SMA pruning)"
+            .into(),
+    );
+    // Narrow, group-by-leading: the pipelined-aggregation winner.
+    if !interest.group_columns.is_empty() {
+        push(
+            touched.clone(),
+            &group_first,
+            "narrow projection sorted by the traced GROUP BY columns \
+             (pipelined aggregation)"
+                .into(),
+        );
+    }
+    // Full-width, predicate-leading: replaces the superprojection's scan
+    // when queries touch columns the narrow candidates dropped.
+    push(
+        (0..schema.arity()).collect(),
+        &predicate_first,
+        "full-width projection re-sorted by the hottest traced predicate".into(),
+    );
+    out
+}
+
+/// What would the catalog say about `def` if it existed? Statistics from
+/// the candidate-sorted sample; per-column bytes from trial-encoding the
+/// sorted sample and scaling to the table's row count — the same
+/// compression-aware I/O figure [`vdb_optimizer::projection_scan_cost`]
+/// reads for real projections.
+fn hypothetical_meta(
+    def: &ProjectionDef,
+    total_rows: u64,
+    sample: &[Row],
+    anchor: &TableMeta,
+) -> ProjectionMeta {
+    let mut projected: Vec<Row> = sample
+        .iter()
+        .filter_map(|r| def.project_row(r).ok())
+        .collect();
+    def.sort_rows(&mut projected);
+    let scale = if projected.is_empty() {
+        1.0
+    } else {
+        total_rows as f64 / projected.len() as f64
+    };
+    let column_bytes: Vec<u64> = (0..def.arity())
+        .map(|pc| {
+            if projected.is_empty() {
+                // No sample: assume the candidate compresses no better
+                // than the same column on an existing projection.
+                observed_bytes(anchor, def.columns[pc]).unwrap_or(8 * total_rows)
+            } else {
+                let col: Vec<Value> = projected.iter().map(|r| r[pc].clone()).collect();
+                let (_, trials) = vdb_encoding::auto::choose_by_trial(&col);
+                let best = trials.iter().map(|&(_, sz)| sz).min().unwrap_or(0);
+                (best as f64 * scale).ceil() as u64
+            }
+        })
+        .collect();
+    ProjectionMeta::from_sample(def.clone(), total_rows, column_bytes, &projected)
+}
+
+/// Encoded bytes of table column `table_col` on any existing projection.
+fn observed_bytes(meta: &TableMeta, table_col: usize) -> Option<u64> {
+    meta.projections.iter().find_map(|p| {
+        p.def
+            .projection_column_of(table_col)
+            .and_then(|pc| p.column_bytes.get(pc).copied())
+    })
+}
+
+/// The codec storage observed dominating table column `table_col` on any
+/// existing projection (from `ProjectionMeta::column_encodings`).
+fn observed_encoding(meta: &TableMeta, table_col: usize) -> Option<EncodingType> {
+    meta.projections.iter().find_map(|p| {
+        let pc = p.def.projection_column_of(table_col)?;
+        EncodingType::parse(p.dominant_encoding(pc)?)
+    })
+}
+
+/// Render `def` as executable `CREATE PROJECTION` DDL. Non-`Auto`
+/// encodings become per-column `ENCODING <name>` clauses.
+pub fn render_ddl(def: &ProjectionDef, schema: &TableSchema, seg_cols: &[String]) -> String {
+    let cols = def
+        .columns
+        .iter()
+        .zip(&def.encodings)
+        .map(|(&c, e)| {
+            let name = &schema.columns[c].name;
+            match e {
+                EncodingType::Auto => name.clone(),
+                e => format!("{name} ENCODING {}", e.name()),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut sql = format!(
+        "CREATE PROJECTION {} AS SELECT {cols} FROM {}",
+        def.name, def.anchor_table
+    );
+    if !def.sort_keys.is_empty() {
+        let order = def
+            .sort_keys
+            .iter()
+            .map(|k| def.column_names[k.column].clone())
+            .collect::<Vec<_>>()
+            .join(", ");
+        sql.push_str(&format!(" ORDER BY {order}"));
+    }
+    if seg_cols.is_empty() {
+        sql.push_str(" UNSEGMENTED ALL NODES");
+    } else {
+        sql.push_str(&format!(
+            " SEGMENTED BY HASH({}) ALL NODES",
+            seg_cols.join(", ")
+        ));
+    }
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdb_optimizer::query::QueryTable;
+    use vdb_types::{BinOp, ColumnDef, DataType, Expr};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "meter",
+            vec![
+                ColumnDef::new("metric", DataType::Integer),
+                ColumnDef::new("meter", DataType::Integer),
+                ColumnDef::new("ts", DataType::Timestamp),
+                ColumnDef::new("value", DataType::Float),
+            ],
+        )
+    }
+
+    fn sample(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Integer(i % 10),
+                    Value::Integer(i % 100),
+                    Value::Timestamp(1_000_000 + i * 300),
+                    Value::Float((i % 7) as f64),
+                ]
+            })
+            .collect()
+    }
+
+    /// Catalog whose only projection is an id-ordered superprojection —
+    /// useless for a `metric = ?` filter, so the designer has room to win.
+    fn catalog(rows: u64) -> OptimizerCatalog {
+        let s = schema();
+        let def = ProjectionDef::super_projection(&s, "meter_super", &[2], &[2]);
+        let sample = sample(1000);
+        let projected: Vec<Row> = sample
+            .iter()
+            .filter_map(|r| def.project_row(r).ok())
+            .collect();
+        let meta = ProjectionMeta::from_sample(def, rows, vec![8 * rows; 4], &projected);
+        let mut cat = OptimizerCatalog::default();
+        cat.tables.insert(
+            "meter".into(),
+            TableMeta {
+                schema: s,
+                partition_by: None,
+                projections: vec![meta],
+            },
+        );
+        cat
+    }
+
+    fn traced_query() -> BoundQuery {
+        BoundQuery {
+            tables: vec![QueryTable {
+                table: "meter".into(),
+                alias: "meter".into(),
+            }],
+            table_filters: vec![Some(Expr::binary(
+                BinOp::Eq,
+                Expr::col(0, "metric"),
+                Expr::int(3),
+            ))],
+            select: vec![
+                (Expr::col(1, "meter"), "meter".into()),
+                (Expr::col(3, "value"), "value".into()),
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn accepts_predicate_leading_candidate_with_planner_cost_model() {
+        let cat = catalog(1_000_000);
+        let designs = design_from_trace(
+            &cat,
+            "meter",
+            &sample(1000),
+            &[(traced_query(), 25)],
+            DesignPolicy::Balanced,
+        )
+        .unwrap();
+        assert!(!designs.is_empty(), "selective trace must yield a design");
+        let d = &designs[0];
+        // The accepted candidate leads its sort order with the hot
+        // predicate column (metric).
+        assert_eq!(d.def.columns[d.def.sort_keys[0].column], 0);
+        assert!(d.predicted_speedup() > 2.0, "got {}", d.predicted_speedup());
+        assert!(d.ddl.starts_with("CREATE PROJECTION meter_auto1 AS SELECT"));
+        assert!(d.ddl.contains("ORDER BY metric"));
+        // Narrow: the candidate drops the untouched ts column.
+        assert!(!d.def.columns.contains(&2));
+    }
+
+    #[test]
+    fn empty_or_foreign_trace_yields_nothing() {
+        let cat = catalog(1_000_000);
+        assert!(
+            design_from_trace(&cat, "meter", &sample(100), &[], DesignPolicy::Balanced)
+                .unwrap()
+                .is_empty()
+        );
+        let mut foreign = traced_query();
+        foreign.tables[0].table = "other".into();
+        assert!(design_from_trace(
+            &cat,
+            "meter",
+            &sample(100),
+            &[(foreign, 9)],
+            DesignPolicy::Balanced
+        )
+        .unwrap()
+        .is_empty());
+    }
+
+    #[test]
+    fn ddl_round_trips_encodings() {
+        let s = schema();
+        let mut def = ProjectionDef::super_projection(&s, "p", &[0], &[0]);
+        def.encodings = vec![
+            EncodingType::Rle,
+            EncodingType::Auto,
+            EncodingType::DeltaDelta,
+            EncodingType::Plain,
+        ];
+        let ddl = render_ddl(&def, &s, &["metric".into()]);
+        assert!(ddl.contains("metric ENCODING RLE"));
+        assert!(ddl.contains("ts ENCODING DELTADELTA"));
+        assert!(ddl.contains("SEGMENTED BY HASH(metric) ALL NODES"));
+        // The Auto column carries no clause.
+        assert!(!ddl.contains("meter ENCODING"));
+    }
+}

@@ -37,6 +37,6 @@ pub mod stats;
 
 pub use catalog::{ColumnStats, OptimizerCatalog, ProjectionMeta, TableMeta};
 pub use plan_out::{MergeSpec, PlannedQuery, TableAccess};
-pub use planner::plan;
+pub use planner::{plan, projection_scan_cost, query_scan_cost};
 pub use query::{BoundQuery, JoinEdge, OrderItem, QueryTable, WindowCall};
 pub use vdb_exec::parallel::ExecOptions;

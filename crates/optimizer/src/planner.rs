@@ -46,6 +46,92 @@ pub fn plan(
     .run()
 }
 
+/// Compression-aware scan cost of answering a table access with `p`, or
+/// `None` if `p` does not cover the `needed` table columns. This is the
+/// exact metric [`plan`] minimizes when it chooses a projection per table
+/// (selectivity from column stats, sort-prefix prune credit, per-column
+/// encoded byte counts), exposed so the Database Designer can score
+/// hypothetical projections with the model the planner will actually
+/// apply once they exist — there is no separate designer cost model to
+/// drift out of sync.
+pub fn projection_scan_cost(
+    p: &ProjectionMeta,
+    needed: &BTreeSet<usize>,
+    filter: Option<&Expr>,
+) -> Option<f64> {
+    let covers = needed
+        .iter()
+        .all(|&c| p.def.projection_column_of(c).is_some());
+    if !covers {
+        return None;
+    }
+    let proj_cols: Vec<usize> = needed
+        .iter()
+        .map(|&c| p.def.projection_column_of(c).unwrap())
+        .collect();
+    // Compression-aware scan cost with sort-prefix prune credit.
+    let (selectivity, prunable) = match filter {
+        None => (1.0, false),
+        Some(f) => {
+            let remapped = f.remap_columns(&|c| p.def.projection_column_of(c));
+            match remapped {
+                None => (1.0, false),
+                Some(rf) => {
+                    let sel = predicate_selectivity(&rf, &p.stats);
+                    let bounded: Vec<usize> = vdb_exec::scan::extract_bounds(&rf)
+                        .iter()
+                        .map(|b| b.column)
+                        .collect();
+                    let prefix = p.def.sort_prefix();
+                    let prunable =
+                        !bounded.is_empty() && bounded.iter().all(|c| prefix.first() == Some(c));
+                    (sel, prunable)
+                }
+            }
+        }
+    };
+    let prune_fraction = if prunable { selectivity.max(0.01) } else { 1.0 };
+    Some(crate::cost::scan_cost(p, &proj_cols, prune_fraction, selectivity).total())
+}
+
+/// Estimated scan cost of `query` under `catalog`: for each FROM table,
+/// the cheapest covering projection's [`projection_scan_cost`]. Join and
+/// merge costs are deliberately excluded — projection choice only changes
+/// the scans, so comparing this figure before and after adding a
+/// candidate projection measures exactly the benefit the planner would
+/// realize. Returns an error if some table has no covering projection.
+pub fn query_scan_cost(catalog: &OptimizerCatalog, query: &BoundQuery) -> DbResult<f64> {
+    let mut query = query.clone();
+    crate::rewrite::rewrite(&mut query);
+    let planner = Planner {
+        catalog,
+        query,
+        live: None,
+        exec: ExecOptions::serial(),
+    };
+    let metas: Vec<&TableMeta> = planner
+        .query
+        .tables
+        .iter()
+        .map(|t| {
+            planner
+                .catalog
+                .table(&t.table)
+                .ok_or_else(|| DbError::NotFound(format!("table {}", t.table)))
+        })
+        .collect::<DbResult<_>>()?;
+    let offsets = planner.offsets(&metas);
+    let needed = planner.needed_columns(&metas, &offsets)?;
+    let mut total = 0.0;
+    for (t, meta) in metas.iter().enumerate() {
+        let filter = planner.query.table_filters[t].clone();
+        let p = planner.choose_projection(meta, &needed[t], filter.as_ref())?;
+        total += projection_scan_cost(p, &needed[t], filter.as_ref())
+            .expect("chosen projection covers the query");
+    }
+    Ok(total)
+}
+
 struct Planner<'a> {
     catalog: &'a OptimizerCatalog,
     query: BoundQuery,
@@ -158,9 +244,11 @@ impl<'a> Planner<'a> {
     /// a hash GroupBy directly over a scan becomes per-worker partial
     /// aggregation + merge barrier, and a bare scan (under
     /// Project/Filter) becomes a parallel collect whose morsel-ordered
-    /// concat equals the serial scan row for row. Pipelined (sort-order)
-    /// aggregation, joins and LIMIT-bounded scans stay serial; `threads=1`
-    /// leaves every plan untouched.
+    /// concat equals the serial scan row for row. Sort barriers (and the
+    /// top-k `Limit{Sort{..}}` shape) recurse — they re-order their whole
+    /// input, so morsel order underneath is invisible. Pipelined
+    /// (sort-order) aggregation, joins and bare LIMIT-bounded scans stay
+    /// serial; `threads=1` leaves every plan untouched.
     fn parallelize(&self, plan: PhysicalPlan) -> PhysicalPlan {
         if self.exec.threads <= 1 {
             return plan;
@@ -231,8 +319,31 @@ impl<'a> Planner<'a> {
                 predicate,
             },
             plan @ PhysicalPlan::HashJoin { .. } => self.parallelize_join(plan),
-            // Everything else (pipelined group-by, sorts, limits — a
-            // parallel scan under LIMIT would over-scan) stays serial.
+            // A Sort is a full barrier that reorders its entire input, so
+            // the morsel-concat order of a parallel collect underneath
+            // cannot leak into the result; recursing keeps ORDER BY
+            // queries (including the pushed-down per-node top-k) on
+            // parallel scans.
+            PhysicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+                input: Box::new(self.parallelize(*input)),
+                keys,
+            },
+            // A LIMIT bounds how much of its input is *consumed*; over a
+            // Sort barrier the input is fully materialized anyway, so the
+            // top-k shape Limit{Sort{..}} may parallelize underneath. Any
+            // other LIMIT stays serial — a parallel scan under it would
+            // over-scan.
+            PhysicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } if matches!(*input, PhysicalPlan::Sort { .. }) => PhysicalPlan::Limit {
+                input: Box::new(self.parallelize(*input)),
+                limit,
+                offset,
+            },
+            // Everything else (pipelined group-by, bare limits) stays
+            // serial.
             other => other,
         }
     }
@@ -391,39 +502,9 @@ impl<'a> Planner<'a> {
             if !self.is_live(&p.def.name) || !p.def.prejoin.is_empty() {
                 continue;
             }
-            let covers = needed
-                .iter()
-                .all(|&c| p.def.projection_column_of(c).is_some());
-            if !covers {
+            let Some(cost) = projection_scan_cost(p, needed, filter) else {
                 continue;
-            }
-            let proj_cols: Vec<usize> = needed
-                .iter()
-                .map(|&c| p.def.projection_column_of(c).unwrap())
-                .collect();
-            // Compression-aware scan cost with sort-prefix prune credit.
-            let (selectivity, prunable) = match filter {
-                None => (1.0, false),
-                Some(f) => {
-                    let remapped = f.remap_columns(&|c| p.def.projection_column_of(c));
-                    match remapped {
-                        None => (1.0, false),
-                        Some(rf) => {
-                            let sel = predicate_selectivity(&rf, &p.stats);
-                            let bounded: Vec<usize> = vdb_exec::scan::extract_bounds(&rf)
-                                .iter()
-                                .map(|b| b.column)
-                                .collect();
-                            let prefix = p.def.sort_prefix();
-                            let prunable = !bounded.is_empty()
-                                && bounded.iter().all(|c| prefix.first() == Some(c));
-                            (sel, prunable)
-                        }
-                    }
-                }
             };
-            let prune_fraction = if prunable { selectivity.max(0.01) } else { 1.0 };
-            let cost = crate::cost::scan_cost(p, &proj_cols, prune_fraction, selectivity).total();
             if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((p, cost));
             }
@@ -1038,6 +1119,20 @@ impl<'a> Planner<'a> {
                     offset: 0,
                 };
             }
+        } else if let Some(n) = self.query.limit {
+            // ORDER BY + LIMIT: push a partial top-k to each node. Every
+            // node sorts its own rows and ships only the first
+            // limit+offset — rows past that bound can never appear in the
+            // global answer, since the initiator re-sorts the union and
+            // applies the real limit/offset itself (MergeSpec below).
+            local = PhysicalPlan::Limit {
+                input: Box::new(PhysicalPlan::Sort {
+                    input: Box::new(local),
+                    keys: self.order_keys(),
+                }),
+                limit: n + self.query.offset,
+                offset: 0,
+            };
         }
         Ok((
             local,

@@ -137,7 +137,10 @@ pub enum Statement {
     CreateProjection {
         name: String,
         table: String,
-        columns: Vec<String>,
+        /// `(column, encoding)` pairs; the encoding is the optional
+        /// per-column `ENCODING <name>` clause (None = AUTO). Empty list
+        /// = `SELECT *` (all columns, all AUTO).
+        columns: Vec<(String, Option<String>)>,
         order_by: Vec<String>,
         segmentation: SegmentationAst,
     },

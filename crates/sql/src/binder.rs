@@ -105,10 +105,23 @@ pub fn bind(stmt: Statement, schemas: &dyn SchemaProvider) -> DbResult<BoundStat
             } else {
                 columns
                     .iter()
-                    .map(|c| {
+                    .map(|(c, _)| {
                         schema
                             .column_index(c)
                             .ok_or_else(|| DbError::Binder(format!("no column {c} in {table}")))
+                    })
+                    .collect::<DbResult<_>>()?
+            };
+            let encodings: Vec<vdb_encoding::EncodingType> = if columns.is_empty() {
+                vec![vdb_encoding::EncodingType::Auto; col_indexes.len()]
+            } else {
+                columns
+                    .iter()
+                    .map(|(c, e)| match e {
+                        None => Ok(vdb_encoding::EncodingType::Auto),
+                        Some(name) => vdb_encoding::EncodingType::parse(name).ok_or_else(|| {
+                            DbError::Binder(format!("unknown encoding {name} for column {c}"))
+                        }),
                     })
                     .collect::<DbResult<_>>()?
             };
@@ -156,11 +169,10 @@ pub fn bind(stmt: Statement, schemas: &dyn SchemaProvider) -> DbResult<BoundStat
                     column_names,
                     column_types,
                     sort_keys,
-                    encodings: vec![vdb_encoding::EncodingType::Auto; 0],
+                    encodings,
                     segmentation,
                     prejoin: vec![],
-                }
-                .with_auto_encodings(),
+                },
             })
         }
         Statement::DropTable(n) => Ok(BoundStatement::DropTable(n)),
@@ -235,17 +247,6 @@ pub fn bind(stmt: Statement, schemas: &dyn SchemaProvider) -> DbResult<BoundStat
         Statement::Begin => Ok(BoundStatement::Begin),
         Statement::Commit => Ok(BoundStatement::Commit),
         Statement::Rollback => Ok(BoundStatement::Rollback),
-    }
-}
-
-trait WithAutoEncodings {
-    fn with_auto_encodings(self) -> Self;
-}
-
-impl WithAutoEncodings for ProjectionDef {
-    fn with_auto_encodings(mut self) -> Self {
-        self.encodings = vec![vdb_encoding::EncodingType::Auto; self.column_names.len()];
-        self
     }
 }
 
@@ -1036,6 +1037,29 @@ mod tests {
         assert_eq!(def.columns, vec![0, 2, 3, 1]);
         assert_eq!(def.sort_keys.len(), 1);
         assert_eq!(def.sort_keys[0].column, 2, "ts is projection column 2");
+    }
+
+    #[test]
+    fn create_projection_encoding_clause() {
+        let BoundStatement::CreateProjection { def } = bind_sql(
+            "CREATE PROJECTION sales_e AS SELECT id ENCODING DELTAVAL, amt, \
+             cust_id ENCODING RLE FROM sales ORDER BY cust_id",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            def.encodings,
+            vec![
+                vdb_encoding::EncodingType::DeltaValue,
+                vdb_encoding::EncodingType::Auto,
+                vdb_encoding::EncodingType::Rle,
+            ]
+        );
+        assert!(matches!(
+            bind_sql("CREATE PROJECTION p AS SELECT id ENCODING BOGUS FROM sales"),
+            Err(DbError::Binder(_))
+        ));
     }
 
     #[test]

@@ -203,7 +203,8 @@ impl Parser {
         })
     }
 
-    /// CREATE PROJECTION p AS SELECT c1, c2 FROM t ORDER BY c1, c2
+    /// CREATE PROJECTION p AS SELECT c1 \[ENCODING RLE\], c2 FROM t
+    ///   ORDER BY c1, c2
     ///   [SEGMENTED BY HASH(c1) [ALL NODES] | UNSEGMENTED [ALL NODES]]
     fn create_projection(&mut self) -> DbResult<Statement> {
         let name = self.ident()?;
@@ -214,7 +215,13 @@ impl Parser {
             // '*' handled by binder (empty column list = all columns).
         } else {
             loop {
-                columns.push(self.ident()?);
+                let col = self.ident()?;
+                let encoding = if self.eat_kw("ENCODING") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                columns.push((col, encoding));
                 if !self.eat_symbol(Sym::Comma) {
                     break;
                 }
